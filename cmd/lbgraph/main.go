@@ -1,0 +1,80 @@
+// Command lbgraph generates and inspects the paper's lower-bound graphs
+// H_{b,ℓ} and G_{b,ℓ} (Theorem 2.1).
+//
+// Usage:
+//
+//	lbgraph -b 2 -l 2            # summary of H and certificate
+//	lbgraph -b 2 -l 2 -expand    # also build the degree-3 expansion
+//	lbgraph -b 2 -l 2 -verify    # exhaustive Lemma 2.2 verification
+//	lbgraph -b 2 -l 2 -out h.gr  # write H to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hublab/internal/lbound"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	b := flag.Int("b", 2, "side-length exponent (s = 2^b)")
+	l := flag.Int("l", 2, "number of ascending levels")
+	expand := flag.Bool("expand", false, "build the max-degree-3 expansion G_{b,l}")
+	verify := flag.Bool("verify", false, "exhaustively verify Lemma 2.2 on H")
+	out := flag.String("out", "", "write H_{b,l} to this file")
+	flag.Parse()
+
+	p := lbound.Params{B: *b, L: *l}
+	h, err := lbound.BuildH(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("H_{%d,%d}: n=%d m=%d A=%d side=%d layer=%d levels=%d\n",
+		*b, *l, h.G.NumNodes(), h.G.NumEdges(), h.A, p.Side(), p.LayerSize(), p.Levels())
+	cert := h.CertificateH()
+	fmt.Printf("certificate: triplets=%.0f hop-bound=%d avg-hub lower bound=%.4f\n",
+		cert.Triplets, cert.HopBound, cert.AvgHubLB)
+
+	if *verify {
+		checked, bad, err := h.VerifyLemma22All()
+		if err != nil {
+			return err
+		}
+		if bad != nil {
+			return fmt.Errorf("Lemma 2.2 violated: %+v", *bad)
+		}
+		fmt.Printf("Lemma 2.2: all %d valid (x,z) pairs verified\n", checked)
+	}
+	if *expand {
+		e, err := lbound.Expand(h)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("G_{%d,%d}: n=%d m=%d max-degree=%d (aux=%d tree=%d)\n",
+			*b, *l, e.G.NumNodes(), e.G.NumEdges(), e.G.MaxDegree(),
+			e.AuxVertices, e.TreeVertices)
+		gc := e.CertificateG()
+		fmt.Printf("G certificate: avg-hub lower bound=%.3g (hop bound %d)\n",
+			gc.AvgHubLB, gc.HopBound)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := h.G.WriteTo(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Command quickstart is the smallest possible tour of hublab: build a
+// sparse random graph, construct a pruned landmark labeling, answer a few
+// exact distance queries from labels alone, and verify the labeling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hublab"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A connected sparse random graph: 1000 vertices, ~1800 edges.
+	g, err := hublab.GenerateGnm(1000, 1800, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d avg-degree=%.2f\n", g.NumNodes(), g.NumEdges(), g.AvgDegree())
+
+	labels, err := hublab.BuildPLL(g, hublab.PLLOptions{})
+	if err != nil {
+		return err
+	}
+	stats := labels.ComputeStats()
+	fmt.Printf("hub labeling: avg |S(v)| = %.1f, max = %d, total = %d\n",
+		stats.Avg, stats.Max, stats.Total)
+
+	// Distance queries use only the two labels.
+	for _, pair := range [][2]hublab.NodeID{{0, 999}, {17, 545}, {3, 3}} {
+		d, ok := labels.Query(pair[0], pair[1])
+		fmt.Printf("dist(%d,%d) = %d (ok=%v)\n", pair[0], pair[1], d, ok)
+		if want := hublab.ShortestDistance(g, pair[0], pair[1]); ok && d != want {
+			return fmt.Errorf("label decode %d != true distance %d", d, want)
+		}
+	}
+
+	// Sampled verification against true shortest paths.
+	if err := labels.VerifySampled(g, 500, 1); err != nil {
+		return err
+	}
+	fmt.Println("verified: 500 random pairs decode exactly")
+	return nil
+}

@@ -1,0 +1,68 @@
+// Command sumindexdemo runs the Theorem 1.6 reduction end to end: a
+// Sum-Index instance is planted into the layered graph G'_{b,ℓ} by deleting
+// level-ℓ vertices, Alice and Bob exchange distance labels of their
+// endpoint vertices, and the referee recovers S[(a+b) mod m] from the
+// decoded distance. The demo verifies every index pair and reports message
+// sizes against the trivial protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hublab"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, params := range [][2]int{{2, 2}, {3, 2}} {
+		p, err := hublab.NewSumIndexProtocol(params[0], params[1])
+		if err != nil {
+			return err
+		}
+		m := p.M()
+		rng := rand.New(rand.NewSource(42))
+		bits := make([]bool, m)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+		}
+		in := hublab.NewSumIndexInstance(bits)
+		sess, err := p.NewSession(in)
+		if err != nil {
+			return err
+		}
+		pairs, maxBits, err := sess.VerifyAll(in)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("protocol (b=%d, l=%d): m=%d\n", params[0], params[1], m)
+		fmt.Printf("  all %d (a,b) pairs decoded correctly by the referee\n", pairs)
+		fmt.Printf("  max message: %d bits (trivial protocol: %d bits)\n", maxBits, m+logBits(m))
+
+		tr, err := sess.Run(1, m-1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  example: a=1, b=%d -> S[%d]=%d (alice %d bits, bob %d bits)\n\n",
+			m-1, (1+m-1)%m, tr.Output, tr.AliceBits, tr.BobBits)
+	}
+	fmt.Println("note: at laptop-scale m the labels exceed the trivial m bits;")
+	fmt.Println("the reduction's point is the asymptotic transfer: any")
+	fmt.Println("o(SUMINDEX(n)/2^Θ(√log n))-bit distance labeling would beat the")
+	fmt.Println("best known Sum-Index protocols (Theorem 1.6).")
+	return nil
+}
+
+func logBits(m int) int {
+	bits := 1
+	for 1<<uint(bits) < m {
+		bits++
+	}
+	return bits
+}

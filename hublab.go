@@ -1,0 +1,219 @@
+// Package hublab is a library for exact distance queries in sparse graphs
+// through hub labeling, reproducing "Hardness of Exact Distance Queries in
+// Sparse Graphs Through Hub Labeling" (Kosowski, Uznański, Viennot,
+// PODC 2019).
+//
+// The package re-exports the user-facing API:
+//
+//   - graphs, builders and generators (Graph, Builder, generator funcs);
+//   - hub labelings with exact decoding and cover verification (Labeling),
+//     built by pruned landmark labeling (BuildPLL), greedy 2-hop cover
+//     (BuildGreedyCover), the sparse-graph scheme of ADKP16/GKU16 flavour
+//     (BuildSparseHubs), or the paper's Theorem 4.1 pipeline
+//     (BuildTheorem41, BuildTheorem14);
+//   - the lower-bound constructions H_{b,ℓ} and G_{b,ℓ} with Lemma 2.2
+//     verifiers and the triplet-count certificates (BuildLayered,
+//     BuildDegree3);
+//   - the Sum-Index reduction of Theorem 1.6 (NewSumIndexProtocol);
+//   - bit-measured distance labelings (HubDistanceLabels,
+//     EulerTourLabels, CentroidTreeLabels).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package hublab
+
+import (
+	"hublab/internal/approx"
+	"hublab/internal/cover"
+	"hublab/internal/dlabel"
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/hdim"
+	"hublab/internal/hhl"
+	"hublab/internal/hub"
+	"hublab/internal/lbound"
+	"hublab/internal/oracle"
+	"hublab/internal/pll"
+	"hublab/internal/rs"
+	"hublab/internal/sparsehub"
+	"hublab/internal/sssp"
+	"hublab/internal/sumindex"
+	"hublab/internal/ubound"
+)
+
+// Core graph types.
+type (
+	// Graph is an immutable undirected CSR graph.
+	Graph = graph.Graph
+	// Builder accumulates edges for a Graph.
+	Builder = graph.Builder
+	// NodeID identifies a vertex.
+	NodeID = graph.NodeID
+	// Weight is an edge weight or distance.
+	Weight = graph.Weight
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+)
+
+// Infinity is the unreachable-distance sentinel.
+const Infinity = graph.Infinity
+
+// NewBuilder returns a graph builder sized for n vertices and m edges.
+func NewBuilder(n, m int) *Builder { return graph.NewBuilder(n, m) }
+
+// Hub labeling types.
+type (
+	// Labeling is a hub labeling (2-hop cover) with exact distances.
+	Labeling = hub.Labeling
+	// Hub is one label entry.
+	Hub = hub.Hub
+	// PLLOptions configures BuildPLL.
+	PLLOptions = pll.Options
+	// SparseHubOptions configures BuildSparseHubs.
+	SparseHubOptions = sparsehub.Options
+	// Theorem41Options configures the upper-bound pipeline.
+	Theorem41Options = ubound.Options
+	// Theorem41Result carries the pipeline's size decomposition.
+	Theorem41Result = ubound.Result
+)
+
+// BuildPLL computes a pruned landmark labeling — the standard practical
+// hub labeling construction.
+func BuildPLL(g *Graph, opts PLLOptions) (*Labeling, error) { return pll.Build(g, opts) }
+
+// BuildGreedyCover computes a greedy 2-hop cover (small graphs only).
+func BuildGreedyCover(g *Graph) (*Labeling, error) { return cover.Greedy(g) }
+
+// BuildSparseHubs runs the sparse-graph scheme: shared random far hubs,
+// near balls, exact fix-ups.
+func BuildSparseHubs(g *Graph, opts SparseHubOptions) (*sparsehub.Result, error) {
+	return sparsehub.Build(g, opts)
+}
+
+// BuildTheorem41 runs the paper's Theorem 4.1 construction on a
+// bounded-degree graph.
+func BuildTheorem41(g *Graph, opts Theorem41Options) (*Theorem41Result, error) {
+	return ubound.Build(g, opts)
+}
+
+// BuildTheorem14 runs the Theorem 1.4 pipeline (degree reduction + Theorem
+// 4.1 + projection) on a sparse average-degree graph.
+func BuildTheorem14(g *Graph, opts Theorem41Options) (*Theorem41Result, error) {
+	res, _, err := ubound.BuildForSparse(g, opts)
+	return res, err
+}
+
+// Lower-bound constructions.
+type (
+	// LayeredParams selects an H_{b,ℓ}/G_{b,ℓ} instance.
+	LayeredParams = lbound.Params
+	// LayeredGraph is the weighted layered graph H_{b,ℓ}.
+	LayeredGraph = lbound.Layered
+	// Degree3Graph is the max-degree-3 expansion G_{b,ℓ}.
+	Degree3Graph = lbound.Expanded
+	// LowerBoundCertificate is the triplet-count certificate.
+	LowerBoundCertificate = lbound.Certificate
+)
+
+// BuildLayered constructs H_{b,ℓ}.
+func BuildLayered(p LayeredParams) (*LayeredGraph, error) { return lbound.BuildH(p) }
+
+// BuildDegree3 constructs the max-degree-3 expansion G_{b,ℓ}.
+func BuildDegree3(p LayeredParams) (*Degree3Graph, error) { return lbound.BuildG(p) }
+
+// FigureOne reproduces the paper's Figure 1 data.
+func FigureOne() (*lbound.Figure1, error) { return lbound.FigureOne() }
+
+// Sum-Index protocol (Theorem 1.6).
+type (
+	// SumIndexInstance is a shared Sum-Index input.
+	SumIndexInstance = sumindex.Instance
+	// SumIndexProtocol is the graph-based reduction.
+	SumIndexProtocol = sumindex.GraphProtocol
+)
+
+// NewSumIndexProtocol returns the Theorem 1.6 protocol for parameters
+// (b, ℓ), handling strings of length m = (2^(b-1))^ℓ.
+func NewSumIndexProtocol(b, l int) (*SumIndexProtocol, error) {
+	return sumindex.NewGraphProtocol(b, l)
+}
+
+// NewSumIndexInstance wraps a bit string.
+func NewSumIndexInstance(bits []bool) SumIndexInstance { return sumindex.NewInstance(bits) }
+
+// Distance labelings with bit accounting.
+type (
+	// DistanceLabels is a set of binary distance labels with a decoder.
+	DistanceLabels = dlabel.Labels
+)
+
+// HubDistanceLabels compresses a hub labeling into binary labels.
+func HubDistanceLabels(l *Labeling) (*DistanceLabels, error) { return dlabel.HubLabels(l) }
+
+// EulerTourLabels builds the log₂3-per-step distance-vector labels of a
+// connected unweighted graph.
+func EulerTourLabels(g *Graph) (*DistanceLabels, error) { return dlabel.EulerTour(g) }
+
+// CentroidTreeLabels builds the Θ(log²n)-bit centroid labeling of a tree.
+func CentroidTreeLabels(g *Graph) (*Labeling, error) { return dlabel.Centroid(g) }
+
+// Ruzsa–Szemerédi substrate.
+
+// BehrendSet returns a large progression-free subset of [0, n).
+func BehrendSet(n int) []int { return rs.BehrendSet(n) }
+
+// Generators.
+
+// GenerateGnm returns a connected sparse uniform random graph.
+func GenerateGnm(n, m int, seed int64) (*Graph, error) { return gen.Gnm(n, m, seed) }
+
+// GenerateRandomRegular returns a connected random graph with max degree d.
+func GenerateRandomRegular(n, d int, seed int64) (*Graph, error) {
+	return gen.RandomRegular(n, d, seed)
+}
+
+// GenerateGrid returns the rows×cols grid.
+func GenerateGrid(rows, cols int) (*Graph, error) { return gen.Grid(rows, cols) }
+
+// GenerateRoadLike returns a weighted grid with fast highway rows/columns.
+func GenerateRoadLike(rows, cols, period int, seed int64) (*Graph, error) {
+	return gen.RoadLike(rows, cols, period, seed)
+}
+
+// GenerateRandomTree returns a uniform random labelled tree.
+func GenerateRandomTree(n int, seed int64) (*Graph, error) { return gen.RandomTree(n, seed) }
+
+// Shortest paths.
+
+// ShortestDistance computes one exact distance with bidirectional search.
+func ShortestDistance(g *Graph, u, v NodeID) Weight { return sssp.Distance(g, u, v) }
+
+// AllDistancesFrom computes single-source shortest path distances.
+func AllDistancesFrom(g *Graph, src NodeID) []Weight { return sssp.Search(g, src).Dist }
+
+// Extensions.
+
+// BuildCanonicalHHL computes the canonical hierarchical hub labeling for a
+// processing order — the O(n³) reference PLL is validated against.
+func BuildCanonicalHHL(g *Graph, order []NodeID) (*Labeling, error) {
+	return hhl.Canonical(g, order)
+}
+
+// OracleTradeoff builds the matrix / hub-label / search oracles,
+// cross-checks them, and returns the S·T table (paper §1's tradeoff
+// discussion).
+func OracleTradeoff(g *Graph, samplePairs int) ([]oracle.TradeoffPoint, error) {
+	return oracle.Tradeoff(g, samplePairs)
+}
+
+// EstimateHighwayDimension returns greedy shortest-path-cover sizes per
+// doubling scale (the ADF+16 highway-dimension proxy).
+func EstimateHighwayDimension(g *Graph) ([]hdim.ScaleEstimate, error) {
+	return hdim.Estimate(g)
+}
+
+// BuildApproxLabels builds the +2-additive-error hub labeling of §1.1
+// (exact hubs collapsed onto a dominating set).
+func BuildApproxLabels(g *Graph) (*approx.CollapseResult, error) {
+	return approx.Collapse(g)
+}

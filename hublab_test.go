@@ -1,0 +1,103 @@
+package hublab
+
+import (
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the re-exported API end to end the way the
+// README's quickstart does.
+func TestFacadeQuickstart(t *testing.T) {
+	g, err := GenerateGnm(200, 360, 42)
+	if err != nil {
+		t.Fatalf("GenerateGnm: %v", err)
+	}
+	labels, err := BuildPLL(g, PLLOptions{})
+	if err != nil {
+		t.Fatalf("BuildPLL: %v", err)
+	}
+	if err := labels.VerifySampled(g, 200, 1); err != nil {
+		t.Fatalf("VerifySampled: %v", err)
+	}
+	d, ok := labels.Query(3, 77)
+	if !ok {
+		t.Fatal("Query found no common hub on a connected graph")
+	}
+	if want := ShortestDistance(g, 3, 77); d != want {
+		t.Errorf("Query = %d, want %d", d, want)
+	}
+}
+
+func TestFacadeLowerBound(t *testing.T) {
+	h, err := BuildLayered(LayeredParams{B: 2, L: 2})
+	if err != nil {
+		t.Fatalf("BuildLayered: %v", err)
+	}
+	cert := h.CertificateH()
+	if cert.AvgHubLB <= 0 {
+		t.Errorf("certificate lower bound = %v", cert.AvgHubLB)
+	}
+	fig, err := FigureOne()
+	if err != nil {
+		t.Fatalf("FigureOne: %v", err)
+	}
+	if fig.BlueLength >= fig.RedLength {
+		t.Errorf("blue %d should beat red %d", fig.BlueLength, fig.RedLength)
+	}
+}
+
+func TestFacadeSumIndex(t *testing.T) {
+	p, err := NewSumIndexProtocol(2, 2)
+	if err != nil {
+		t.Fatalf("NewSumIndexProtocol: %v", err)
+	}
+	bits := []bool{true, false, false, true}
+	in := NewSumIndexInstance(bits)
+	sess, err := p.NewSession(in)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if _, _, err := sess.VerifyAll(in); err != nil {
+		t.Errorf("VerifyAll: %v", err)
+	}
+}
+
+func TestFacadeTheorem14(t *testing.T) {
+	g, err := GenerateGnm(90, 140, 8)
+	if err != nil {
+		t.Fatalf("GenerateGnm: %v", err)
+	}
+	res, err := BuildTheorem14(g, Theorem41Options{D: 3, Seed: 5})
+	if err != nil {
+		t.Fatalf("BuildTheorem14: %v", err)
+	}
+	if err := res.Labeling.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+}
+
+func TestFacadeDistanceLabels(t *testing.T) {
+	tree, err := GenerateRandomTree(100, 6)
+	if err != nil {
+		t.Fatalf("GenerateRandomTree: %v", err)
+	}
+	cl, err := CentroidTreeLabels(tree)
+	if err != nil {
+		t.Fatalf("CentroidTreeLabels: %v", err)
+	}
+	bits, err := HubDistanceLabels(cl)
+	if err != nil {
+		t.Fatalf("HubDistanceLabels: %v", err)
+	}
+	euler, err := EulerTourLabels(tree)
+	if err != nil {
+		t.Fatalf("EulerTourLabels: %v", err)
+	}
+	if bits.AvgBits() >= euler.AvgBits() {
+		t.Errorf("centroid bits %.0f should beat euler bits %.0f on a tree",
+			bits.AvgBits(), euler.AvgBits())
+	}
+	set := BehrendSet(100)
+	if len(set) < 5 {
+		t.Errorf("BehrendSet(100) size = %d, unexpectedly small", len(set))
+	}
+}

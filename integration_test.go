@@ -1,0 +1,244 @@
+package hublab
+
+// Integration tests exercising multi-module pipelines end to end: the
+// degree-3 hardness graph under a real labeling algorithm, Theorem 1.4 on a
+// structured network, serialization round trips of live labelings, oracles
+// over the paper's own instances, and the approximate-label guarantee on
+// planar-ish inputs.
+
+import (
+	"math/rand"
+	"testing"
+
+	"hublab/internal/hub"
+	"hublab/internal/sssp"
+)
+
+// TestIntegrationDegree3PLL builds the full 24,400-vertex G_{2,2}, runs PLL
+// on it, and checks that decoded bottom-to-top center distances equal the
+// weighted distances in H_{2,2} — the hardness construction consumed by the
+// practical algorithm, with the certificate bound holding.
+func TestIntegrationDegree3PLL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 24k-vertex graph")
+	}
+	e, err := BuildDegree3(LayeredParams{B: 2, L: 2})
+	if err != nil {
+		t.Fatalf("BuildDegree3: %v", err)
+	}
+	labels, err := BuildPLL(e.G, PLLOptions{})
+	if err != nil {
+		t.Fatalf("BuildPLL: %v", err)
+	}
+	h := e.H
+	layer := h.Params.LayerSize()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 12; i++ {
+		u := NodeID(rng.Intn(layer))               // level 0
+		v := NodeID(2*h.L*layer + rng.Intn(layer)) // level 2L
+		want := sssp.Dijkstra(h.G, u).Dist[v]      // weighted distance in H
+		got, ok := labels.Query(e.CenterOf(u), e.CenterOf(v))
+		if !ok || got != want {
+			t.Fatalf("pair (%d,%d): labels decode (%d,%v), want %d", u, v, got, ok, want)
+		}
+	}
+	cert := e.CertificateG()
+	if avg := labels.ComputeStats().Avg; avg < cert.AvgHubLB {
+		t.Errorf("PLL avg %.4f below certificate %.4f — impossible", avg, cert.AvgHubLB)
+	}
+}
+
+// TestIntegrationTheorem14OnGrid runs the full average-degree pipeline on a
+// unit grid and verifies the projected labeling exhaustively.
+func TestIntegrationTheorem14OnGrid(t *testing.T) {
+	g, err := GenerateGrid(9, 9)
+	if err != nil {
+		t.Fatalf("GenerateGrid: %v", err)
+	}
+	res, err := BuildTheorem14(g, Theorem41Options{D: 3, Seed: 4})
+	if err != nil {
+		t.Fatalf("BuildTheorem14: %v", err)
+	}
+	if err := res.Labeling.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("Lemma 4.2 violations: %d", res.Violations)
+	}
+}
+
+// TestIntegrationSerializeLiveLabeling round-trips a PLL labeling of the
+// lower-bound graph H_{3,2} through the bit codec and re-verifies coverage.
+func TestIntegrationSerializeLiveLabeling(t *testing.T) {
+	h, err := BuildLayered(LayeredParams{B: 3, L: 2})
+	if err != nil {
+		t.Fatalf("BuildLayered: %v", err)
+	}
+	labels, err := BuildPLL(h.G, PLLOptions{})
+	if err != nil {
+		t.Fatalf("BuildPLL: %v", err)
+	}
+	data, err := labels.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := hub.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := back.VerifySampled(h.G, 300, 6); err != nil {
+		t.Errorf("decoded labeling fails verification: %v", err)
+	}
+	// Bit accounting sanity: stream length matches the per-vertex sizes.
+	total := 0
+	for _, bits := range labels.BitSize() {
+		total += bits
+	}
+	if len(data)*8 < total {
+		t.Errorf("stream %d bits shorter than per-vertex total %d", len(data)*8, total)
+	}
+}
+
+// TestIntegrationOracleOnHardInstance runs the oracle tradeoff over the
+// paper's weighted hardness graph H_{2,2}.
+func TestIntegrationOracleOnHardInstance(t *testing.T) {
+	h, err := BuildLayered(LayeredParams{B: 2, L: 2})
+	if err != nil {
+		t.Fatalf("BuildLayered: %v", err)
+	}
+	points, err := OracleTradeoff(h.G, 200)
+	if err != nil {
+		t.Fatalf("OracleTradeoff: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+}
+
+// TestIntegrationApproxOnGrid checks the +2 guarantee end to end on a grid
+// (a graph family quite different from the random ones in unit tests).
+func TestIntegrationApproxOnGrid(t *testing.T) {
+	g, err := GenerateGrid(8, 8)
+	if err != nil {
+		t.Fatalf("GenerateGrid: %v", err)
+	}
+	res, err := BuildApproxLabels(g)
+	if err != nil {
+		t.Fatalf("BuildApproxLabels: %v", err)
+	}
+	d := sssp.AllPairs(g)
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			got, ok := res.Labeling.Query(NodeID(u), NodeID(v))
+			if !ok {
+				t.Fatalf("pair (%d,%d): no common hub", u, v)
+			}
+			if got < d[u][v] || got > d[u][v]+2 {
+				t.Fatalf("pair (%d,%d): decode %d, true %d", u, v, got, d[u][v])
+			}
+		}
+	}
+}
+
+// TestIntegrationCentroidVsPLLOnTrees: on trees, centroid labels and PLL
+// labels are both exact; centroid must be asymptotically smaller.
+func TestIntegrationCentroidVsPLLOnTrees(t *testing.T) {
+	tree, err := GenerateRandomTree(500, 11)
+	if err != nil {
+		t.Fatalf("GenerateRandomTree: %v", err)
+	}
+	centroid, err := CentroidTreeLabels(tree)
+	if err != nil {
+		t.Fatalf("CentroidTreeLabels: %v", err)
+	}
+	pllLabels, err := BuildPLL(tree, PLLOptions{})
+	if err != nil {
+		t.Fatalf("BuildPLL: %v", err)
+	}
+	if err := centroid.VerifySampled(tree, 400, 2); err != nil {
+		t.Fatalf("centroid verification: %v", err)
+	}
+	if err := pllLabels.VerifySampled(tree, 400, 2); err != nil {
+		t.Fatalf("pll verification: %v", err)
+	}
+	c, p := centroid.ComputeStats(), pllLabels.ComputeStats()
+	if c.Max > 2*p.Max+8 {
+		t.Errorf("centroid max %d should be comparable to PLL max %d on trees", c.Max, p.Max)
+	}
+}
+
+// TestIntegrationLemma22SurvivesDeletion ties lbound and sumindex: deleting
+// a midpoint must raise the corresponding pair's distance by exactly the
+// +2 second-best margin (or disconnect it), never lower it.
+func TestIntegrationLemma22SurvivesDeletion(t *testing.T) {
+	p, err := NewSumIndexProtocol(2, 2)
+	if err != nil {
+		t.Fatalf("NewSumIndexProtocol: %v", err)
+	}
+	m := p.M()
+	// All-ones instance: nothing removed; all-zeros: everything removed.
+	ones := make([]bool, m)
+	for i := range ones {
+		ones[i] = true
+	}
+	sessOnes, err := p.NewSession(NewSumIndexInstance(ones))
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	sessZeros, err := p.NewSession(NewSumIndexInstance(make([]bool, m)))
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			trOne, err := sessOnes.Run(a, b)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			trZero, err := sessZeros.Run(a, b)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if trOne.Output != 1 || trZero.Output != 0 {
+				t.Fatalf("(a=%d,b=%d): outputs %d/%d, want 1/0", a, b, trOne.Output, trZero.Output)
+			}
+		}
+	}
+}
+
+// TestIntegrationDistanceLabelSchemesAgree: three independent label schemes
+// must decode identical distances on the same graph.
+func TestIntegrationDistanceLabelSchemesAgree(t *testing.T) {
+	g, err := GenerateGnm(120, 220, 13)
+	if err != nil {
+		t.Fatalf("GenerateGnm: %v", err)
+	}
+	pllLabels, err := BuildPLL(g, PLLOptions{})
+	if err != nil {
+		t.Fatalf("BuildPLL: %v", err)
+	}
+	hubBits, err := HubDistanceLabels(pllLabels)
+	if err != nil {
+		t.Fatalf("HubDistanceLabels: %v", err)
+	}
+	euler, err := EulerTourLabels(g)
+	if err != nil {
+		t.Fatalf("EulerTourLabels: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		u := NodeID(rng.Intn(120))
+		v := NodeID(rng.Intn(120))
+		a, err := hubBits.Decode(u, v)
+		if err != nil {
+			t.Fatalf("hub decode: %v", err)
+		}
+		b, err := euler.Decode(u, v)
+		if err != nil {
+			t.Fatalf("euler decode: %v", err)
+		}
+		if a != b {
+			t.Fatalf("schemes disagree on (%d,%d): %d vs %d", u, v, a, b)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package bitio implements bit-granular writers and readers plus the
+// universal integer codes (unary, Elias gamma/delta) used to produce
+// bit-exact distance labels.
+package bitio
+
+import (
+	"errors"
+	"math/bits"
+)
+
+var (
+	// ErrOutOfBits reports a read past the end of the stream.
+	ErrOutOfBits = errors.New("bitio: read past end of stream")
+	// ErrBadValue reports a value outside a code's domain.
+	ErrBadValue = errors.New("bitio: value outside code domain")
+)
+
+// Writer accumulates bits most-significant-first. The zero value is ready
+// to use.
+type Writer struct {
+	buf  []byte
+	nbit int
+}
+
+// Len returns the number of bits written.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the written stream padded with zero bits to a whole byte.
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(bit uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if bit != 0 {
+		w.buf[w.nbit/8] |= 1 << (7 - uint(w.nbit%8))
+	}
+	w.nbit++
+}
+
+// WriteBits appends the low n bits of v, most significant first (n ≤ 64).
+func (w *Writer) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// WriteUnary appends v as v zero bits followed by a one bit.
+func (w *Writer) WriteUnary(v uint64) {
+	for i := uint64(0); i < v; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBit(1)
+}
+
+// WriteGamma appends v ≥ 1 in Elias gamma code.
+func (w *Writer) WriteGamma(v uint64) error {
+	if v == 0 {
+		return ErrBadValue
+	}
+	n := bits.Len64(v) // number of significant bits
+	w.WriteUnary(uint64(n - 1))
+	if n > 1 {
+		w.WriteBits(v&((1<<uint(n-1))-1), n-1)
+	}
+	return nil
+}
+
+// WriteDelta appends v ≥ 1 in Elias delta code.
+func (w *Writer) WriteDelta(v uint64) error {
+	if v == 0 {
+		return ErrBadValue
+	}
+	n := bits.Len64(v)
+	if err := w.WriteGamma(uint64(n)); err != nil {
+		return err
+	}
+	if n > 1 {
+		w.WriteBits(v&((1<<uint(n-1))-1), n-1)
+	}
+	return nil
+}
+
+// Reader consumes bits most-significant-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int // bit position
+	nbit int // total available bits
+}
+
+// NewReader returns a reader over all bits of buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf, nbit: 8 * len(buf)}
+}
+
+// NewReaderBits returns a reader over exactly nbit bits of buf.
+func NewReaderBits(buf []byte, nbit int) *Reader {
+	if nbit > 8*len(buf) {
+		nbit = 8 * len(buf)
+	}
+	return &Reader{buf: buf, nbit: nbit}
+}
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= r.nbit {
+		return 0, ErrOutOfBits
+	}
+	b := (r.buf[r.pos/8] >> (7 - uint(r.pos%8))) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBits reads n bits into the low bits of the result (n ≤ 64).
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary-coded value.
+func (r *Reader) ReadUnary() (uint64, error) {
+	var v uint64
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// ReadGamma reads an Elias gamma coded value.
+func (r *Reader) ReadGamma() (uint64, error) {
+	n, err := r.ReadUnary()
+	if err != nil {
+		return 0, err
+	}
+	if n > 63 {
+		return 0, ErrBadValue
+	}
+	rest, err := r.ReadBits(int(n))
+	if err != nil {
+		return 0, err
+	}
+	return 1<<n | rest, nil
+}
+
+// ReadDelta reads an Elias delta coded value.
+func (r *Reader) ReadDelta() (uint64, error) {
+	n, err := r.ReadGamma()
+	if err != nil {
+		return 0, err
+	}
+	if n > 64 {
+		return 0, ErrBadValue
+	}
+	rest, err := r.ReadBits(int(n - 1))
+	if err != nil {
+		return 0, err
+	}
+	return 1<<(n-1) | rest, nil
+}
+
+// GammaLen returns the bit length of the Elias gamma code of v ≥ 1.
+func GammaLen(v uint64) int {
+	n := bits.Len64(v)
+	return 2*n - 1
+}
+
+// DeltaLen returns the bit length of the Elias delta code of v ≥ 1.
+func DeltaLen(v uint64) int {
+	n := bits.Len64(v)
+	return GammaLen(uint64(n)) + n - 1
+}
+
+// ZigZag maps a signed integer to an unsigned one (0→0, -1→1, 1→2, ...),
+// suitable for gamma/delta coding after adding 1.
+func ZigZag(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}

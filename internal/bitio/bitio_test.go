@@ -1,0 +1,186 @@
+package bitio
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0b1, 1)
+	w.WriteBits(0xFF, 8)
+	if w.Len() != 13 {
+		t.Fatalf("Len = %d, want 13", w.Len())
+	}
+	r := NewReaderBits(w.Bytes(), w.Len())
+	v, err := r.ReadBits(4)
+	if err != nil || v != 0b1011 {
+		t.Errorf("ReadBits(4) = (%b,%v), want 1011", v, err)
+	}
+	b, err := r.ReadBit()
+	if err != nil || b != 1 {
+		t.Errorf("ReadBit = (%d,%v), want 1", b, err)
+	}
+	v, err = r.ReadBits(8)
+	if err != nil || v != 0xFF {
+		t.Errorf("ReadBits(8) = (%x,%v), want ff", v, err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+	if _, err := r.ReadBit(); !errors.Is(err, ErrOutOfBits) {
+		t.Errorf("read past end err = %v, want ErrOutOfBits", err)
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []uint64{0, 1, 2, 5, 17}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReaderBits(w.Bytes(), w.Len())
+	for _, want := range vals {
+		got, err := r.ReadUnary()
+		if err != nil || got != want {
+			t.Errorf("ReadUnary = (%d,%v), want %d", got, err, want)
+		}
+	}
+}
+
+func TestGammaRejectsZero(t *testing.T) {
+	var w Writer
+	if err := w.WriteGamma(0); !errors.Is(err, ErrBadValue) {
+		t.Errorf("WriteGamma(0) err = %v, want ErrBadValue", err)
+	}
+	if err := w.WriteDelta(0); !errors.Is(err, ErrBadValue) {
+		t.Errorf("WriteDelta(0) err = %v, want ErrBadValue", err)
+	}
+}
+
+func TestGammaKnownCodes(t *testing.T) {
+	// gamma(1) = "1", gamma(2) = "010", gamma(3) = "011", gamma(4) = "00100".
+	cases := []struct {
+		v    uint64
+		bits string
+	}{
+		{1, "1"},
+		{2, "010"},
+		{3, "011"},
+		{4, "00100"},
+		{9, "0001001"},
+	}
+	for _, tc := range cases {
+		var w Writer
+		if err := w.WriteGamma(tc.v); err != nil {
+			t.Fatalf("WriteGamma(%d): %v", tc.v, err)
+		}
+		got := bitString(&w)
+		if got != tc.bits {
+			t.Errorf("gamma(%d) = %s, want %s", tc.v, got, tc.bits)
+		}
+		if GammaLen(tc.v) != len(tc.bits) {
+			t.Errorf("GammaLen(%d) = %d, want %d", tc.v, GammaLen(tc.v), len(tc.bits))
+		}
+	}
+}
+
+func bitString(w *Writer) string {
+	buf := w.Bytes()
+	out := make([]byte, 0, w.Len())
+	for i := 0; i < w.Len(); i++ {
+		if buf[i/8]>>(7-uint(i%8))&1 == 1 {
+			out = append(out, '1')
+		} else {
+			out = append(out, '0')
+		}
+	}
+	return string(out)
+}
+
+func TestGammaDeltaRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		vals := make([]uint64, n)
+		var w Writer
+		for i := range vals {
+			vals[i] = 1 + uint64(rng.Int63n(1<<40))
+			if rng.Intn(2) == 0 {
+				if err := w.WriteGamma(vals[i]); err != nil {
+					return false
+				}
+				vals[i] |= 1 << 63 // tag as gamma
+			} else {
+				if err := w.WriteDelta(vals[i]); err != nil {
+					return false
+				}
+			}
+		}
+		r := NewReaderBits(w.Bytes(), w.Len())
+		for _, tagged := range vals {
+			want := tagged &^ (1 << 63)
+			var got uint64
+			var err error
+			if tagged&(1<<63) != 0 {
+				got, err = r.ReadGamma()
+			} else {
+				got, err = r.ReadDelta()
+			}
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaLen(t *testing.T) {
+	for _, v := range []uint64{1, 2, 3, 100, 1 << 20} {
+		var w Writer
+		if err := w.WriteDelta(v); err != nil {
+			t.Fatalf("WriteDelta(%d): %v", v, err)
+		}
+		if w.Len() != DeltaLen(v) {
+			t.Errorf("DeltaLen(%d) = %d, actual bits %d", v, DeltaLen(v), w.Len())
+		}
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	cases := []struct {
+		v int64
+		u uint64
+	}{
+		{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4}, {1 << 40, 1 << 41},
+	}
+	for _, tc := range cases {
+		if got := ZigZag(tc.v); got != tc.u {
+			t.Errorf("ZigZag(%d) = %d, want %d", tc.v, got, tc.u)
+		}
+		if got := UnZigZag(tc.u); got != tc.v {
+			t.Errorf("UnZigZag(%d) = %d, want %d", tc.u, got, tc.v)
+		}
+	}
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyWriter(t *testing.T) {
+	var w Writer
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Errorf("empty writer: Len=%d Bytes=%v", w.Len(), w.Bytes())
+	}
+	r := NewReader(nil)
+	if _, err := r.ReadBit(); !errors.Is(err, ErrOutOfBits) {
+		t.Errorf("empty reader err = %v, want ErrOutOfBits", err)
+	}
+}

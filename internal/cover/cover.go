@@ -1,0 +1,100 @@
+// Package cover implements a greedy 2-hop cover construction in the spirit
+// of Cohen, Halperin, Kaplan and Zwick: hubs are chosen one at a time to
+// maximize the number of still-uncovered vertex pairs they cover, and each
+// chosen hub is added to the labels of both endpoints of every pair it
+// covers. The result is a valid shortest-path cover whose total size serves
+// as a near-optimal reference point for small graphs (it is not the exact
+// optimum, which is NP-hard).
+package cover
+
+import (
+	"errors"
+	"fmt"
+
+	"hublab/internal/graph"
+	"hublab/internal/hub"
+	"hublab/internal/sssp"
+)
+
+// MaxVertices bounds the graphs Greedy accepts; the algorithm holds the
+// full distance matrix and iterates over all pairs per round.
+const MaxVertices = 2000
+
+// ErrTooLarge reports a graph beyond MaxVertices.
+var ErrTooLarge = errors.New("cover: graph too large for greedy 2-hop cover")
+
+// Greedy builds a 2-hop cover greedily. It is exact (always a valid cover)
+// and intended for graphs with at most MaxVertices vertices.
+func Greedy(g *graph.Graph) (*hub.Labeling, error) {
+	n := g.NumNodes()
+	if n > MaxVertices {
+		return nil, fmt.Errorf("%w: %d vertices (max %d)", ErrTooLarge, n, MaxVertices)
+	}
+	l := hub.NewLabeling(n)
+	if n == 0 {
+		return l, nil
+	}
+	d := sssp.AllPairs(g)
+
+	// uncovered tracks pairs (u,v), u ≤ v, with finite distance that no
+	// chosen hub covers yet. Self-pairs (u,u) are covered by self-hubs,
+	// which the greedy discovers naturally (h=u covers (u,u)).
+	type pairList struct {
+		us, vs []graph.NodeID
+	}
+	uncovered := pairList{}
+	for u := 0; u < n; u++ {
+		for v := u; v < n; v++ {
+			if d[u][v] < graph.Infinity {
+				uncovered.us = append(uncovered.us, graph.NodeID(u))
+				uncovered.vs = append(uncovered.vs, graph.NodeID(v))
+			}
+		}
+	}
+
+	covers := func(h graph.NodeID, u, v graph.NodeID) bool {
+		return d[u][h]+d[h][v] == d[u][v]
+	}
+
+	for len(uncovered.us) > 0 {
+		// Pick the hub covering the most uncovered pairs.
+		bestH := graph.NodeID(-1)
+		bestCount := -1
+		for h := graph.NodeID(0); int(h) < n; h++ {
+			count := 0
+			for i := range uncovered.us {
+				if covers(h, uncovered.us[i], uncovered.vs[i]) {
+					count++
+				}
+			}
+			if count > bestCount {
+				bestCount = count
+				bestH = h
+			}
+		}
+		if bestCount <= 0 {
+			// Cannot happen on consistent metric data: h=u always covers
+			// (u,v). Guard anyway to avoid a spin loop on corrupt input.
+			return nil, errors.New("cover: greedy made no progress")
+		}
+		// Assign bestH to both endpoints of each covered pair; keep the rest.
+		next := pairList{}
+		touched := make(map[graph.NodeID]bool)
+		for i := range uncovered.us {
+			u, v := uncovered.us[i], uncovered.vs[i]
+			if covers(bestH, u, v) {
+				touched[u] = true
+				touched[v] = true
+			} else {
+				next.us = append(next.us, u)
+				next.vs = append(next.vs, v)
+			}
+		}
+		for v := range touched {
+			l.Add(v, bestH, d[v][bestH])
+		}
+		uncovered = next
+	}
+	l.Canonicalize()
+	return l, nil
+}

@@ -1,0 +1,132 @@
+package cover
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/pll"
+)
+
+func TestGreedyPath(t *testing.T) {
+	g, err := gen.Path(12)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	l, err := Greedy(g)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if err := l.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+}
+
+func TestGreedyStarIsTiny(t *testing.T) {
+	b := graph.NewBuilder(21, 20)
+	for v := graph.NodeID(1); v <= 20; v++ {
+		b.AddEdge(0, v)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	l, err := Greedy(g)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if err := l.VerifyCover(g); err != nil {
+		t.Fatalf("VerifyCover: %v", err)
+	}
+	s := l.ComputeStats()
+	// Center + self covers everything: average ≤ ~2.
+	if s.Avg > 2.2 {
+		t.Errorf("star greedy avg label = %v, want ≤ 2.2", s.Avg)
+	}
+}
+
+func TestGreedyEmptyAndSingle(t *testing.T) {
+	empty, err := graph.NewBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := Greedy(empty); err != nil {
+		t.Errorf("Greedy(empty): %v", err)
+	}
+	single, err := gen.Path(1)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	l, err := Greedy(single)
+	if err != nil {
+		t.Fatalf("Greedy(single): %v", err)
+	}
+	if err := l.VerifyCover(single); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+}
+
+func TestGreedyTooLarge(t *testing.T) {
+	b := graph.NewBuilder(0, 0)
+	b.Grow(MaxVertices + 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := Greedy(g); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Greedy err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestGreedyIsCover: greedy always produces a valid shortest-path cover on
+// random sparse graphs, including disconnected ones.
+func TestGreedyIsCover(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := graph.NewBuilder(n, 2*n)
+		for k := 0; k < 2*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+		b.Grow(n)
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		l, err := Greedy(g)
+		if err != nil {
+			return false
+		}
+		return l.VerifyCover(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyCompetitiveWithPLL: the greedy reference should not be wildly
+// worse than PLL on small sparse graphs (within 2x total size).
+func TestGreedyCompetitiveWithPLL(t *testing.T) {
+	g, err := gen.Gnm(100, 160, 11)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	gl, err := Greedy(g)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	pl, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		t.Fatalf("pll.Build: %v", err)
+	}
+	gs, ps := gl.ComputeStats(), pl.ComputeStats()
+	if float64(gs.Total) > 2.0*float64(ps.Total) {
+		t.Errorf("greedy total %d vs PLL total %d: ratio too large", gs.Total, ps.Total)
+	}
+}

@@ -1,0 +1,304 @@
+package dlabel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/pll"
+	"hublab/internal/sssp"
+)
+
+func TestHubLabelsDecode(t *testing.T) {
+	g, err := gen.Gnm(60, 110, 5)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	hl, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		t.Fatalf("pll.Build: %v", err)
+	}
+	labels, err := HubLabels(hl)
+	if err != nil {
+		t.Fatalf("HubLabels: %v", err)
+	}
+	d := sssp.AllPairs(g)
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			got, err := labels.Decode(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				t.Fatalf("Decode(%d,%d): %v", u, v, err)
+			}
+			if got != d[u][v] {
+				t.Fatalf("Decode(%d,%d) = %d, want %d", u, v, got, d[u][v])
+			}
+		}
+	}
+	if labels.AvgBits() <= 0 || labels.MaxBits() <= 0 {
+		t.Errorf("sizes: avg=%v max=%d", labels.AvgBits(), labels.MaxBits())
+	}
+}
+
+func TestEulerTourExact(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"path", func() (*graph.Graph, error) { return gen.Path(17) }},
+		{"cycle", func() (*graph.Graph, error) { return gen.Cycle(12) }},
+		{"grid", func() (*graph.Graph, error) { return gen.Grid(5, 6) }},
+		{"gnm", func() (*graph.Graph, error) { return gen.Gnm(40, 80, 9) }},
+		{"tree", func() (*graph.Graph, error) { return gen.RandomTree(30, 3) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			labels, err := EulerTour(g)
+			if err != nil {
+				t.Fatalf("EulerTour: %v", err)
+			}
+			d := sssp.AllPairs(g)
+			for u := 0; u < g.NumNodes(); u++ {
+				for v := 0; v < g.NumNodes(); v++ {
+					got, err := labels.Decode(graph.NodeID(u), graph.NodeID(v))
+					if err != nil {
+						t.Fatalf("Decode(%d,%d): %v", u, v, err)
+					}
+					if got != d[u][v] {
+						t.Fatalf("Decode(%d,%d) = %d, want %d", u, v, got, d[u][v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEulerTourBitBudget: label size must be ≈ (2n-1)·log₂3 + O(log n)
+// bits — the scheme's selling point versus n·log n.
+func TestEulerTourBitBudget(t *testing.T) {
+	g, err := gen.Gnm(200, 400, 13)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	labels, err := EulerTour(g)
+	if err != nil {
+		t.Fatalf("EulerTour: %v", err)
+	}
+	n := float64(g.NumNodes())
+	budget := (2*n-1)*math.Log2(3) + 4*math.Log2(n) + 16
+	if avg := labels.AvgBits(); avg > budget {
+		t.Errorf("AvgBits = %v exceeds budget %v", avg, budget)
+	}
+}
+
+func TestEulerTourErrors(t *testing.T) {
+	empty, err := graph.NewBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := EulerTour(empty); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty err = %v, want ErrBadInput", err)
+	}
+	b := graph.NewBuilder(4, 1)
+	b.AddEdge(0, 1)
+	b.Grow(4)
+	disc, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := EulerTour(disc); !errors.Is(err, ErrBadInput) {
+		t.Errorf("disconnected err = %v, want ErrBadInput", err)
+	}
+	wb := graph.NewBuilder(2, 1)
+	wb.AddWeightedEdge(0, 1, 3)
+	wg, err := wb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := EulerTour(wg); !errors.Is(err, ErrBadInput) {
+		t.Errorf("weighted err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestCentroidTree(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 2 + int(uint64(seed)%120)
+		g, err := gen.RandomTree(n, seed)
+		if err != nil {
+			return false
+		}
+		l, err := Centroid(g)
+		if err != nil {
+			return false
+		}
+		return l.VerifyCover(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCentroidLabelSizeLogarithmic: every label has O(log n) hubs — the
+// defining property of the centroid scheme.
+func TestCentroidLabelSizeLogarithmic(t *testing.T) {
+	for _, n := range []int{15, 63, 255, 1023} {
+		g, err := gen.RandomTree(n, int64(n))
+		if err != nil {
+			t.Fatalf("RandomTree(%d): %v", n, err)
+		}
+		l, err := Centroid(g)
+		if err != nil {
+			t.Fatalf("Centroid: %v", err)
+		}
+		maxHubs := l.ComputeStats().Max
+		bound := int(2*math.Log2(float64(n))) + 3
+		if maxHubs > bound {
+			t.Errorf("n=%d: max hubs %d exceeds 2·log2(n)+3 = %d", n, maxHubs, bound)
+		}
+	}
+}
+
+func TestCentroidPathTree(t *testing.T) {
+	g, err := gen.Path(64)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	l, err := Centroid(g)
+	if err != nil {
+		t.Fatalf("Centroid: %v", err)
+	}
+	if err := l.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+	// Path centroid decomposition is perfectly balanced: max 7 hubs
+	// (log2 64 + 1).
+	if maxHubs := l.ComputeStats().Max; maxHubs > 7 {
+		t.Errorf("max hubs on P64 = %d, want ≤ 7", maxHubs)
+	}
+}
+
+func TestCentroidErrors(t *testing.T) {
+	c, err := gen.Cycle(5)
+	if err != nil {
+		t.Fatalf("Cycle: %v", err)
+	}
+	if _, err := Centroid(c); !errors.Is(err, ErrBadInput) {
+		t.Errorf("cycle err = %v, want ErrBadInput", err)
+	}
+	wb := graph.NewBuilder(2, 1)
+	wb.AddWeightedEdge(0, 1, 2)
+	wg, err := wb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := Centroid(wg); !errors.Is(err, ErrBadInput) {
+		t.Errorf("weighted err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestCentroidSingleVertex(t *testing.T) {
+	g, err := gen.Path(1)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	l, err := Centroid(g)
+	if err != nil {
+		t.Fatalf("Centroid: %v", err)
+	}
+	if err := l.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+}
+
+// TestSchemeSizeComparison is a miniature of experiment E9: on a sparse
+// graph, hub-gamma labels must be much smaller than the Euler-tour distance
+// vectors; on trees, centroid labels must beat both.
+func TestSchemeSizeComparison(t *testing.T) {
+	g, err := gen.RandomRegular(256, 3, 21)
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	hl, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		t.Fatalf("pll.Build: %v", err)
+	}
+	hubBits, err := HubLabels(hl)
+	if err != nil {
+		t.Fatalf("HubLabels: %v", err)
+	}
+	eulerBits, err := EulerTour(g)
+	if err != nil {
+		t.Fatalf("EulerTour: %v", err)
+	}
+	if hubBits.AvgBits() >= eulerBits.AvgBits() {
+		t.Errorf("hub labels (%.0f bits) should beat Euler tour (%.0f bits) on sparse graphs",
+			hubBits.AvgBits(), eulerBits.AvgBits())
+	}
+	tree, err := gen.RandomTree(256, 4)
+	if err != nil {
+		t.Fatalf("RandomTree: %v", err)
+	}
+	cl, err := Centroid(tree)
+	if err != nil {
+		t.Fatalf("Centroid: %v", err)
+	}
+	centroidBits, err := HubLabels(cl)
+	if err != nil {
+		t.Fatalf("HubLabels: %v", err)
+	}
+	treeEuler, err := EulerTour(tree)
+	if err != nil {
+		t.Fatalf("EulerTour: %v", err)
+	}
+	if centroidBits.AvgBits() >= treeEuler.AvgBits() {
+		t.Errorf("centroid labels (%.0f bits) should beat Euler tour (%.0f bits) on trees",
+			centroidBits.AvgBits(), treeEuler.AvgBits())
+	}
+}
+
+func randomConnected(seed int64, n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, 2*n)
+	perm := rng.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[i+1]))
+	}
+	for k := 0; k < n; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestEulerTourProperty: decode matches BFS on random connected graphs.
+func TestEulerTourProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		g := randomConnected(seed, n)
+		labels, err := EulerTour(g)
+		if err != nil {
+			return false
+		}
+		u := graph.NodeID(rng.Intn(n))
+		dist := sssp.BFS(g, u).Dist
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			got, err := labels.Decode(u, v)
+			if err != nil || got != dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

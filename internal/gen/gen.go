@@ -1,0 +1,220 @@
+// Package gen provides deterministic, seeded synthetic graph generators for
+// the workloads used across hublab's tests, examples and experiments: sparse
+// random graphs, bounded-degree random graphs, grids and road-like networks,
+// and random trees.
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hublab/internal/graph"
+)
+
+// ErrBadParam reports an invalid generator parameter.
+var ErrBadParam = errors.New("gen: invalid parameter")
+
+// Gnm returns a uniform sparse random graph with n vertices and (about) m
+// distinct edges, made connected by a random spanning path first.
+func Gnm(n, m int, seed int64) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParam, n)
+	}
+	if m < n-1 {
+		return nil, fmt.Errorf("%w: m=%d below spanning tree size %d", ErrBadParam, m, n-1)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, m)
+	perm := rng.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[i+1]))
+	}
+	for k := n - 1; k < m; k++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random d-regular-ish graph on n vertices via the
+// configuration model with rejection of loops and duplicates; the result has
+// maximum degree ≤ d and is connected by construction of a spanning cycle
+// when d ≥ 2.
+func RandomRegular(n, d int, seed int64) (*graph.Graph, error) {
+	if n < 3 || d < 2 || d >= n {
+		return nil, fmt.Errorf("%w: n=%d d=%d", ErrBadParam, n, d)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, n*d/2)
+	deg := make([]int, n)
+	// Spanning cycle guarantees connectivity and consumes degree 2.
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		u, v := perm[i], perm[(i+1)%n]
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		deg[u]++
+		deg[v]++
+	}
+	// Fill remaining degree with random matchings over available stubs.
+	stubs := make([]int, 0, n*(d-2))
+	for v := 0; v < n; v++ {
+		for deg[v] < d {
+			stubs = append(stubs, v)
+			deg[v]++
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u != v {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols grid graph with unit weights.
+func Grid(rows, cols int) (*graph.Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("%w: rows=%d cols=%d", ErrBadParam, rows, cols)
+	}
+	b := graph.NewBuilder(rows*cols, 2*rows*cols)
+	b.Grow(rows * cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RoadLike returns a weighted rows×cols grid modelling a road network:
+// local streets get weights in [lo,hi], and every "highway" row and column
+// (multiples of period) gets fast edges of weight lo. Diagonal shortcuts are
+// absent, matching the paper's transportation-network discussion where
+// highway-dimension-style structure keeps hub sets small.
+func RoadLike(rows, cols, period int, seed int64) (*graph.Graph, error) {
+	if rows < 2 || cols < 2 || period < 2 {
+		return nil, fmt.Errorf("%w: rows=%d cols=%d period=%d", ErrBadParam, rows, cols, period)
+	}
+	const lo, hi = 1, 9
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(rows*cols, 2*rows*cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	weight := func(r1, c1, r2, c2 int) graph.Weight {
+		onHighway := (r1 == r2 && r1%period == 0) || (c1 == c2 && c1%period == 0)
+		if onHighway {
+			return lo
+		}
+		return graph.Weight(lo + 1 + rng.Intn(hi-lo))
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddWeightedEdge(id(r, c), id(r, c+1), weight(r, c, r, c+1))
+			}
+			if r+1 < rows {
+				b.AddWeightedEdge(id(r, c), id(r+1, c), weight(r, c, r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices
+// (random Prüfer sequence).
+func RandomTree(n int, seed int64) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParam, n)
+	}
+	b := graph.NewBuilder(n, n-1)
+	b.Grow(n)
+	if n == 1 {
+		return b.Build()
+	}
+	if n == 2 {
+		b.AddEdge(0, 1)
+		return b.Build()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prufer := make([]int, n-2)
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+		deg[prufer[i]]++
+	}
+	// Standard Prüfer decoding with a pointer + leaf variable.
+	ptr := 0
+	for deg[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range prufer {
+		b.AddEdge(graph.NodeID(leaf), graph.NodeID(v))
+		deg[v]--
+		if deg[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for deg[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	b.AddEdge(graph.NodeID(leaf), graph.NodeID(n-1))
+	return b.Build()
+}
+
+// BalancedBinaryTree returns the complete binary tree with the given number
+// of leaves (must be a power of two), rooted at vertex 0.
+func BalancedBinaryTree(leaves int) (*graph.Graph, error) {
+	if leaves < 1 || leaves&(leaves-1) != 0 {
+		return nil, fmt.Errorf("%w: leaves=%d not a power of two", ErrBadParam, leaves)
+	}
+	n := 2*leaves - 1
+	b := graph.NewBuilder(n, n-1)
+	b.Grow(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(graph.NodeID((v-1)/2), graph.NodeID(v))
+	}
+	return b.Build()
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParam, n)
+	}
+	b := graph.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Path returns the n-vertex path.
+func Path(n int) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParam, n)
+	}
+	b := graph.NewBuilder(n, n-1)
+	b.Grow(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return b.Build()
+}

@@ -1,0 +1,196 @@
+package gen
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hublab/internal/graph"
+	"hublab/internal/sssp"
+)
+
+func TestGnm(t *testing.T) {
+	g, err := Gnm(100, 150, 42)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	if g.NumNodes() != 100 {
+		t.Errorf("NumNodes = %d, want 100", g.NumNodes())
+	}
+	if g.NumEdges() < 99 || g.NumEdges() > 150 {
+		t.Errorf("NumEdges = %d, want in [99,150]", g.NumEdges())
+	}
+	if !sssp.Connected(g) {
+		t.Error("Gnm graph not connected")
+	}
+}
+
+func TestGnmDeterministic(t *testing.T) {
+	g1, err := Gnm(50, 80, 7)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	g2, err := Gnm(50, 80, 7)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed produced different edge counts: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("same seed produced different edges at %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestGnmErrors(t *testing.T) {
+	if _, err := Gnm(0, 5, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Gnm(0,...) err = %v, want ErrBadParam", err)
+	}
+	if _, err := Gnm(10, 3, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Gnm(10,3) err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g, err := RandomRegular(60, 3, 11)
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	if g.MaxDegree() > 3 {
+		t.Errorf("MaxDegree = %d, want ≤ 3", g.MaxDegree())
+	}
+	if !sssp.Connected(g) {
+		t.Error("RandomRegular graph not connected")
+	}
+	// Spanning cycle guarantees min degree 2.
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(graph.NodeID(v)) < 2 {
+			t.Errorf("Degree(%d) = %d, want ≥ 2", v, g.Degree(graph.NodeID(v)))
+		}
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	cases := []struct{ n, d int }{{2, 2}, {5, 1}, {5, 5}}
+	for _, tc := range cases {
+		if _, err := RandomRegular(tc.n, tc.d, 1); !errors.Is(err, ErrBadParam) {
+			t.Errorf("RandomRegular(%d,%d) err = %v, want ErrBadParam", tc.n, tc.d, err)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(4, 5)
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if g.NumNodes() != 20 {
+		t.Errorf("NumNodes = %d, want 20", g.NumNodes())
+	}
+	wantEdges := 4*4 + 3*5 // horizontal + vertical
+	if g.NumEdges() != wantEdges {
+		t.Errorf("NumEdges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if d := sssp.Diameter(g); d != 7 {
+		t.Errorf("Diameter = %d, want 7", d)
+	}
+}
+
+func TestRoadLike(t *testing.T) {
+	g, err := RoadLike(10, 10, 4, 3)
+	if err != nil {
+		t.Fatalf("RoadLike: %v", err)
+	}
+	if !g.Weighted() {
+		t.Error("RoadLike should be weighted")
+	}
+	if !sssp.Connected(g) {
+		t.Error("RoadLike graph not connected")
+	}
+	// Highway edges (row 0) must have weight 1.
+	for c := 0; c+1 < 10; c++ {
+		w, ok := g.EdgeWeight(graph.NodeID(c), graph.NodeID(c+1))
+		if !ok || w != 1 {
+			t.Errorf("highway edge (%d,%d) weight = (%d,%v), want (1,true)", c, c+1, w, ok)
+		}
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 1 + int(uint64(seed)%97)
+		g, err := RandomTree(n, seed)
+		if err != nil {
+			return false
+		}
+		return g.NumNodes() == n && g.NumEdges() == n-1 && sssp.Connected(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTreeSmall(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		g, err := RandomTree(n, 1)
+		if err != nil {
+			t.Fatalf("RandomTree(%d): %v", n, err)
+		}
+		if g.NumNodes() != n || g.NumEdges() != n-1 {
+			t.Errorf("RandomTree(%d): (%d,%d)", n, g.NumNodes(), g.NumEdges())
+		}
+	}
+}
+
+func TestBalancedBinaryTree(t *testing.T) {
+	g, err := BalancedBinaryTree(8)
+	if err != nil {
+		t.Fatalf("BalancedBinaryTree: %v", err)
+	}
+	if g.NumNodes() != 15 || g.NumEdges() != 14 {
+		t.Errorf("got (%d,%d), want (15,14)", g.NumNodes(), g.NumEdges())
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+	// Depth of a leaf is log2(8) = 3.
+	r := sssp.BFS(g, 0)
+	var maxD graph.Weight
+	for _, d := range r.Dist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD != 3 {
+		t.Errorf("max depth = %d, want 3", maxD)
+	}
+	if _, err := BalancedBinaryTree(6); !errors.Is(err, ErrBadParam) {
+		t.Errorf("BalancedBinaryTree(6) err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestCycleAndPath(t *testing.T) {
+	c, err := Cycle(5)
+	if err != nil {
+		t.Fatalf("Cycle: %v", err)
+	}
+	if c.NumNodes() != 5 || c.NumEdges() != 5 || c.MaxDegree() != 2 {
+		t.Errorf("Cycle(5): n=%d m=%d maxdeg=%d", c.NumNodes(), c.NumEdges(), c.MaxDegree())
+	}
+	p, err := Path(5)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if p.NumEdges() != 4 || sssp.Diameter(p) != 4 {
+		t.Errorf("Path(5): m=%d diam=%d", p.NumEdges(), sssp.Diameter(p))
+	}
+	if _, err := Cycle(2); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Cycle(2) err = %v, want ErrBadParam", err)
+	}
+	if _, err := Path(0); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Path(0) err = %v, want ErrBadParam", err)
+	}
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serializes g in a DIMACS-like text format:
+//
+//	p <n> <m> <weighted:0|1>
+//	e <u> <v> [w]
+//
+// one edge per line with U < V.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	weighted := 0
+	if g.Weighted() {
+		weighted = 1
+	}
+	n, err := fmt.Fprintf(bw, "p %d %d %d\n", g.NumNodes(), g.NumEdges(), weighted)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	for _, e := range g.Edges() {
+		if g.Weighted() {
+			n, err = fmt.Fprintf(bw, "e %d %d %d\n", e.U, e.V, e.W)
+		} else {
+			n, err = fmt.Fprintf(bw, "e %d %d\n", e.U, e.V)
+		}
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Read parses a graph in the format produced by WriteTo. Lines beginning
+// with 'c' are comments and ignored.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "p":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed problem line %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count: %w", line, err)
+			}
+			m, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge count: %w", line, err)
+			}
+			b = NewBuilder(n, m)
+			b.Grow(n)
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before problem line", line)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed edge line %q", line, text)
+			}
+			u, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint: %w", line, err)
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint: %w", line, err)
+			}
+			w := int64(1)
+			if len(fields) >= 4 {
+				w, err = strconv.ParseInt(fields[3], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad weight: %w", line, err)
+				}
+			}
+			b.AddWeightedEdge(NodeID(u), NodeID(v), Weight(w))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing problem line")
+	}
+	return b.Build()
+}

@@ -1,0 +1,151 @@
+// Package hdim estimates the highway dimension of a graph (Abraham,
+// Delling, Fiat, Goldberg, Werneck — reference [ADF+16] of the paper): the
+// smallest h such that for every scale r and every ball of radius 2r, some
+// h vertices hit all shortest paths of length in (r, 2r] intersecting the
+// ball. Small highway dimension is the structural reason road networks
+// admit tiny hub labels, the counterpoint to the paper's hardness results
+// on unstructured sparse graphs.
+//
+// The estimator is a greedy set-cover upper bound at each scale, suitable
+// for graphs up to about a thousand vertices.
+package hdim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hublab/internal/graph"
+	"hublab/internal/sssp"
+)
+
+// MaxVertices bounds the estimator's input size.
+const MaxVertices = 1500
+
+// ErrTooLarge reports a graph beyond MaxVertices.
+var ErrTooLarge = errors.New("hdim: graph too large for the estimator")
+
+// ScaleEstimate is the greedy cover size at one scale.
+type ScaleEstimate struct {
+	// R is the scale: paths of length in (R, 2R] are covered.
+	R graph.Weight
+	// Paths is the number of shortest paths at this scale (one canonical
+	// path per unordered pair in range).
+	Paths int
+	// GreedyCover is the greedy hitting-set size — an upper bound on the
+	// sparsest cover, and (up to the greedy's ln factor) a proxy for h.
+	GreedyCover int
+	// MaxBallCover is the maximum, over balls B(v, 2R), of the number of
+	// chosen cover vertices inside the ball — the locally-measured highway
+	// dimension proxy.
+	MaxBallCover int
+}
+
+// Estimate computes greedy shortest-path cover sizes for doubling scales
+// r = 1, 2, 4, ... up to the diameter.
+func Estimate(g *graph.Graph) ([]ScaleEstimate, error) {
+	n := g.NumNodes()
+	if n > MaxVertices {
+		return nil, fmt.Errorf("%w: %d vertices (max %d)", ErrTooLarge, n, MaxVertices)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// One canonical shortest path per pair, via parent trees.
+	results := make([]*sssp.Result, n)
+	for v := 0; v < n; v++ {
+		results[v] = sssp.Search(g, graph.NodeID(v))
+	}
+	diam := graph.Weight(0)
+	for v := 0; v < n; v++ {
+		for _, d := range results[v].Dist {
+			if d != graph.Infinity && d > diam {
+				diam = d
+			}
+		}
+	}
+	var out []ScaleEstimate
+	for r := graph.Weight(1); r <= diam; r *= 2 {
+		est, err := estimateScale(g, results, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, est)
+	}
+	return out, nil
+}
+
+func estimateScale(g *graph.Graph, results []*sssp.Result, r graph.Weight) (ScaleEstimate, error) {
+	n := g.NumNodes()
+	// Collect canonical shortest paths with length in (r, 2r].
+	var paths [][]graph.NodeID
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := results[u].Dist[v]
+			if d == graph.Infinity || d <= r || d > 2*r {
+				continue
+			}
+			paths = append(paths, results[u].PathTo(graph.NodeID(v)))
+		}
+	}
+	est := ScaleEstimate{R: r, Paths: len(paths)}
+	if len(paths) == 0 {
+		return est, nil
+	}
+	// Greedy hitting set: repeatedly pick the vertex on the most uncovered
+	// paths.
+	covered := make([]bool, len(paths))
+	remaining := len(paths)
+	var chosen []graph.NodeID
+	counts := make([]int, n)
+	for remaining > 0 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i, p := range paths {
+			if covered[i] {
+				continue
+			}
+			for _, x := range p {
+				counts[x]++
+			}
+		}
+		best := 0
+		for x := 1; x < n; x++ {
+			if counts[x] > counts[best] {
+				best = x
+			}
+		}
+		if counts[best] == 0 {
+			return est, errors.New("hdim: greedy cover stalled")
+		}
+		chosen = append(chosen, graph.NodeID(best))
+		for i, p := range paths {
+			if covered[i] {
+				continue
+			}
+			for _, x := range p {
+				if int(x) == best {
+					covered[i] = true
+					remaining--
+					break
+				}
+			}
+		}
+	}
+	est.GreedyCover = len(chosen)
+	// Local density: max count of chosen vertices in any ball B(v, 2r).
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i] < chosen[j] })
+	for v := 0; v < n; v++ {
+		inBall := 0
+		for _, c := range chosen {
+			if results[v].Dist[c] <= 2*r {
+				inBall++
+			}
+		}
+		if inBall > est.MaxBallCover {
+			est.MaxBallCover = inBall
+		}
+	}
+	return est, nil
+}

@@ -1,0 +1,132 @@
+// Package hhl implements canonical hierarchical hub labelings (Abraham,
+// Delling, Goldberg, Werneck, ESA 2012 — reference [ADGW12] of the paper).
+//
+// Fix a total order π on V (rank increasing = more important... here rank 0
+// is the MOST important vertex, matching the processing order of pruned
+// landmark labeling). The canonical labeling assigns h ∈ S(v) exactly when
+// h is the most important vertex on the union of shortest h–v paths:
+//
+//	S(v) = { h : rank(h) = min over x with d(h,x)+d(x,v) = d(h,v) of rank(x) }.
+//
+// Canonical labelings are the minimal hierarchical labelings for their
+// order, and pruned landmark labeling computes exactly the canonical
+// labeling of its processing order — a fact this package's reference
+// implementation lets the tests verify directly.
+package hhl
+
+import (
+	"errors"
+	"fmt"
+
+	"hublab/internal/graph"
+	"hublab/internal/hub"
+	"hublab/internal/sssp"
+)
+
+// MaxVertices bounds the graphs Canonical accepts (it inspects all hub
+// candidates for all pairs: cubic work).
+const MaxVertices = 1500
+
+var (
+	// ErrTooLarge reports a graph beyond MaxVertices.
+	ErrTooLarge = errors.New("hhl: graph too large for the canonical reference construction")
+	// ErrBadOrder reports an order that is not a permutation of V.
+	ErrBadOrder = errors.New("hhl: order is not a permutation of V")
+)
+
+// Canonical computes the canonical hierarchical hub labeling for the given
+// processing order (order[0] is the most important vertex). This is a
+// reference implementation: O(n³)-ish, always correct, used to validate
+// faster constructions.
+func Canonical(g *graph.Graph, order []graph.NodeID) (*hub.Labeling, error) {
+	n := g.NumNodes()
+	if n > MaxVertices {
+		return nil, fmt.Errorf("%w: %d vertices (max %d)", ErrTooLarge, n, MaxVertices)
+	}
+	rank, err := ranks(n, order)
+	if err != nil {
+		return nil, err
+	}
+	dist := sssp.AllPairs(g)
+	l := hub.NewLabeling(n)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		for h := graph.NodeID(0); int(h) < n; h++ {
+			dhv := dist[h][v]
+			if dhv == graph.Infinity {
+				continue
+			}
+			// h ∈ S(v) iff no strictly more important vertex lies on any
+			// shortest h–v path.
+			important := true
+			for x := graph.NodeID(0); int(x) < n; x++ {
+				if rank[x] < rank[h] && dist[h][x]+dist[x][v] == dhv {
+					important = false
+					break
+				}
+			}
+			if important {
+				l.Add(v, h, dhv)
+			}
+		}
+	}
+	l.Canonicalize()
+	return l, nil
+}
+
+// IsHierarchical reports whether the labeling respects the order in the
+// ADGW12 sense: every hub of v is at least as important as v itself
+// (rank(h) ≤ rank(v), with rank 0 most important). Canonical labelings
+// always satisfy this — the union of shortest h–v paths contains v, so the
+// most important vertex on it outranks v — and pruned landmark labeling
+// inherits it by computing exactly the canonical labeling.
+func IsHierarchical(l *hub.Labeling, order []graph.NodeID) (bool, error) {
+	rank, err := ranks(l.NumVertices(), order)
+	if err != nil {
+		return false, err
+	}
+	for v := graph.NodeID(0); int(v) < l.NumVertices(); v++ {
+		for _, h := range l.Label(v) {
+			if rank[h.Node] > rank[v] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Equal reports whether two labelings contain exactly the same hub sets
+// and distances, returning a description of the first difference.
+func Equal(a, b *hub.Labeling) (bool, string) {
+	if a.NumVertices() != b.NumVertices() {
+		return false, fmt.Sprintf("vertex counts differ: %d vs %d", a.NumVertices(), b.NumVertices())
+	}
+	for v := graph.NodeID(0); int(v) < a.NumVertices(); v++ {
+		la, lb := a.Label(v), b.Label(v)
+		if len(la) != len(lb) {
+			return false, fmt.Sprintf("label(%d) sizes differ: %d vs %d", v, len(la), len(lb))
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				return false, fmt.Sprintf("label(%d)[%d] differs: %v vs %v", v, i, la[i], lb[i])
+			}
+		}
+	}
+	return true, ""
+}
+
+func ranks(n int, order []graph.NodeID) ([]int, error) {
+	if len(order) != n {
+		return nil, fmt.Errorf("%w: got %d vertices, want %d", ErrBadOrder, len(order), n)
+	}
+	rank := make([]int, n)
+	for i := range rank {
+		rank[i] = -1
+	}
+	for i, v := range order {
+		if int(v) < 0 || int(v) >= n || rank[v] != -1 {
+			return nil, fmt.Errorf("%w: bad or repeated vertex %d", ErrBadOrder, v)
+		}
+		rank[v] = i
+	}
+	return rank, nil
+}

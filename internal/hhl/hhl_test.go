@@ -1,0 +1,263 @@
+package hhl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/hub"
+	"hublab/internal/pll"
+)
+
+func naturalOrder(n int) []graph.NodeID {
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	return order
+}
+
+func TestCanonicalIsCover(t *testing.T) {
+	g, err := gen.Gnm(60, 110, 3)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	l, err := Canonical(g, naturalOrder(60))
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if err := l.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+	ok, err := IsHierarchical(l, naturalOrder(60))
+	if err != nil {
+		t.Fatalf("IsHierarchical: %v", err)
+	}
+	if !ok {
+		t.Error("canonical labeling is not hierarchical")
+	}
+}
+
+// TestPLLEqualsCanonical is the central cross-validation: pruned landmark
+// labeling with a given order must produce exactly the canonical
+// hierarchical labeling of that order (the minimality theorem of ADGW12 /
+// Akiba et al.). Two completely independent implementations must agree
+// hub-for-hub.
+func TestPLLEqualsCanonical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		g, err := gen.Gnm(n, n+rng.Intn(2*n), seed)
+		if err != nil {
+			return false
+		}
+		order := make([]graph.NodeID, n)
+		for i := range order {
+			order[i] = graph.NodeID(i)
+		}
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		fast, err := pll.Build(g, pll.Options{Custom: order})
+		if err != nil {
+			return false
+		}
+		reference, err := Canonical(g, order)
+		if err != nil {
+			return false
+		}
+		equal, _ := Equal(fast, reference)
+		return equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPLLEqualsCanonicalWeighted extends the equivalence to weighted
+// graphs (pruned Dijkstra variant).
+func TestPLLEqualsCanonicalWeighted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		b := graph.NewBuilder(n, 3*n)
+		for i := 0; i+1 < n; i++ {
+			b.AddWeightedEdge(graph.NodeID(i), graph.NodeID(i+1), graph.Weight(1+rng.Intn(7)))
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddWeightedEdge(graph.NodeID(u), graph.NodeID(v), graph.Weight(1+rng.Intn(7)))
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		order := make([]graph.NodeID, n)
+		for i := range order {
+			order[i] = graph.NodeID(i)
+		}
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		fast, err := pll.Build(g, pll.Options{Custom: order})
+		if err != nil {
+			return false
+		}
+		reference, err := Canonical(g, order)
+		if err != nil {
+			return false
+		}
+		equal, _ := Equal(fast, reference)
+		return equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalDisconnected(t *testing.T) {
+	b := graph.NewBuilder(6, 4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	l, err := Canonical(g, naturalOrder(6))
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if err := l.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+	// Cross-component hubs must not appear.
+	for _, h := range l.Label(5) {
+		if h.Node < 3 {
+			t.Errorf("label(5) contains cross-component hub %d", h.Node)
+		}
+	}
+}
+
+func TestCanonicalErrors(t *testing.T) {
+	big := graph.NewBuilder(0, 0)
+	big.Grow(MaxVertices + 1)
+	bg, err := big.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := Canonical(bg, naturalOrder(MaxVertices+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized err = %v, want ErrTooLarge", err)
+	}
+	g, err := gen.Path(4)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if _, err := Canonical(g, naturalOrder(3)); !errors.Is(err, ErrBadOrder) {
+		t.Errorf("short order err = %v, want ErrBadOrder", err)
+	}
+	if _, err := Canonical(g, []graph.NodeID{0, 1, 2, 2}); !errors.Is(err, ErrBadOrder) {
+		t.Errorf("repeated order err = %v, want ErrBadOrder", err)
+	}
+}
+
+func TestIsHierarchicalDetectsViolation(t *testing.T) {
+	g, err := gen.Path(3)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	l, err := Canonical(g, naturalOrder(3))
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	// Inject a hub more important... less important than its owner: give
+	// vertex 0 the hub 2 (rank 2 > rank 0).
+	l.Add(0, 2, 2)
+	l.Canonicalize()
+	ok, err := IsHierarchical(l, naturalOrder(3))
+	if err != nil {
+		t.Fatalf("IsHierarchical: %v", err)
+	}
+	if ok {
+		t.Error("violation not detected")
+	}
+}
+
+func TestEqualReportsDifference(t *testing.T) {
+	g, err := gen.Path(5)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	a, err := Canonical(g, naturalOrder(5))
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	b, err := Canonical(g, []graph.NodeID{4, 3, 2, 1, 0})
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if equal, _ := Equal(a, a); !equal {
+		t.Error("labeling not equal to itself")
+	}
+	if equal, diff := Equal(a, b); equal {
+		t.Error("different orders produced identical labelings (unexpected on a path)")
+	} else if diff == "" {
+		t.Error("difference description empty")
+	}
+}
+
+// TestCanonicalMinimality: the canonical labeling is the minimum-size
+// hierarchical labeling for its order; in particular it can be no larger
+// than PLL's output, and since they are equal, any strict subset must fail
+// the cover property. We spot check: removing any non-self hub from a
+// canonical labeling breaks coverage of some pair.
+func TestCanonicalMinimality(t *testing.T) {
+	g, err := gen.Gnm(18, 30, 5)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	order := naturalOrder(18)
+	l, err := Canonical(g, order)
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	removals := 0
+	for v := graph.NodeID(0); int(v) < 18 && removals < 12; v++ {
+		hubs := l.Label(v)
+		for i, h := range hubs {
+			if h.Node == v {
+				continue
+			}
+			// Build a copy without this hub.
+			trimmed := make([]graph.NodeID, 0, len(hubs)-1)
+			for j, hh := range hubs {
+				if j != i {
+					trimmed = append(trimmed, hh.Node)
+				}
+			}
+			sets := make([][]graph.NodeID, 18)
+			for u := graph.NodeID(0); int(u) < 18; u++ {
+				if u == v {
+					sets[u] = trimmed
+					continue
+				}
+				for _, hh := range l.Label(u) {
+					sets[u] = append(sets[u], hh.Node)
+				}
+			}
+			cut, err := hub.FromSets(g, sets)
+			if err != nil {
+				t.Fatalf("FromSets: %v", err)
+			}
+			if cut.VerifyCover(g) == nil {
+				t.Errorf("removing hub %d from label(%d) left a valid cover — canonical labeling not minimal", h.Node, v)
+			}
+			removals++
+			if removals >= 12 {
+				break
+			}
+		}
+	}
+}

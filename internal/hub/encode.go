@@ -1,0 +1,183 @@
+package hub
+
+import (
+	"errors"
+	"fmt"
+
+	"hublab/internal/bitio"
+	"hublab/internal/graph"
+)
+
+// ErrCorrupt reports malformed serialized labeling data.
+var ErrCorrupt = errors.New("hub: corrupt serialized labeling")
+
+// Encode serializes the labeling into a compact bit stream: per vertex, the
+// label size in Elias gamma, then hub ids as gamma-coded gaps (+1) and
+// distances as gamma-coded values (+1). This is the "careful encoding"
+// direction the paper attributes to hub-based distance labelings.
+func (l *Labeling) Encode() ([]byte, error) {
+	var w bitio.Writer
+	if err := w.WriteGamma(uint64(len(l.labels)) + 1); err != nil {
+		return nil, err
+	}
+	for _, hubs := range l.labels {
+		if err := w.WriteGamma(uint64(len(hubs)) + 1); err != nil {
+			return nil, err
+		}
+		prev := int64(-1)
+		for _, h := range hubs {
+			gap := int64(h.Node) - prev
+			if gap <= 0 {
+				return nil, fmt.Errorf("%w: unsorted label", ErrCorrupt)
+			}
+			if err := w.WriteGamma(uint64(gap)); err != nil {
+				return nil, err
+			}
+			if err := w.WriteGamma(uint64(h.Dist) + 1); err != nil {
+				return nil, err
+			}
+			prev = int64(h.Node)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) (*Labeling, error) {
+	r := bitio.NewReader(data)
+	nPlus, err := r.ReadGamma()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	n := int(nPlus - 1)
+	l := NewLabeling(n)
+	for v := 0; v < n; v++ {
+		szPlus, err := r.ReadGamma()
+		if err != nil {
+			return nil, fmt.Errorf("%w: vertex %d: %v", ErrCorrupt, v, err)
+		}
+		sz := int(szPlus - 1)
+		hubs := make([]Hub, 0, sz)
+		prev := int64(-1)
+		for i := 0; i < sz; i++ {
+			gap, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("%w: vertex %d hub %d: %v", ErrCorrupt, v, i, err)
+			}
+			distPlus, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("%w: vertex %d hub %d: %v", ErrCorrupt, v, i, err)
+			}
+			prev += int64(gap)
+			hubs = append(hubs, Hub{Node: graph.NodeID(prev), Dist: graph.Weight(distPlus - 1)})
+		}
+		l.labels[v] = hubs
+	}
+	return l, nil
+}
+
+// EncodeLabel serializes a single vertex label in the per-vertex format of
+// Encode, returning the byte stream and its exact bit length. This is the
+// "message" form used by the Sum-Index protocol of Theorem 1.6.
+func (l *Labeling) EncodeLabel(v graph.NodeID) (data []byte, bits int, err error) {
+	var w bitio.Writer
+	hubs := l.labels[v]
+	if err := w.WriteGamma(uint64(len(hubs)) + 1); err != nil {
+		return nil, 0, err
+	}
+	prev := int64(-1)
+	for _, h := range hubs {
+		gap := int64(h.Node) - prev
+		if gap <= 0 {
+			return nil, 0, fmt.Errorf("%w: unsorted label", ErrCorrupt)
+		}
+		if err := w.WriteGamma(uint64(gap)); err != nil {
+			return nil, 0, err
+		}
+		if err := w.WriteGamma(uint64(h.Dist) + 1); err != nil {
+			return nil, 0, err
+		}
+		prev = int64(h.Node)
+	}
+	return w.Bytes(), w.Len(), nil
+}
+
+// DecodeLabel reverses EncodeLabel.
+func DecodeLabel(data []byte, bits int) ([]Hub, error) {
+	r := bitio.NewReaderBits(data, bits)
+	szPlus, err := r.ReadGamma()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	sz := int(szPlus - 1)
+	hubs := make([]Hub, 0, sz)
+	prev := int64(-1)
+	for i := 0; i < sz; i++ {
+		gap, err := r.ReadGamma()
+		if err != nil {
+			return nil, fmt.Errorf("%w: hub %d: %v", ErrCorrupt, i, err)
+		}
+		distPlus, err := r.ReadGamma()
+		if err != nil {
+			return nil, fmt.Errorf("%w: hub %d: %v", ErrCorrupt, i, err)
+		}
+		prev += int64(gap)
+		hubs = append(hubs, Hub{Node: graph.NodeID(prev), Dist: graph.Weight(distPlus - 1)})
+	}
+	return hubs, nil
+}
+
+// MergeQuery decodes the distance between the owners of two standalone
+// labels (as produced by EncodeLabel and DecodeLabel): the minimum of
+// a.Dist+b.Dist over common hubs, with ok=false when no hub is shared.
+func MergeQuery(a, b []Hub) (graph.Weight, bool) {
+	best := graph.Infinity
+	found := false
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Node < b[j].Node:
+			i++
+		case a[i].Node > b[j].Node:
+			j++
+		default:
+			if d := a[i].Dist + b[j].Dist; d < best {
+				best = d
+				found = true
+			}
+			i++
+			j++
+		}
+	}
+	return best, found
+}
+
+// BitSize returns the per-vertex bit sizes under the Encode format, without
+// materializing the stream.
+func (l *Labeling) BitSize() []int {
+	out := make([]int, len(l.labels))
+	for v, hubs := range l.labels {
+		bits := bitio.GammaLen(uint64(len(hubs)) + 1)
+		prev := int64(-1)
+		for _, h := range hubs {
+			gap := int64(h.Node) - prev
+			bits += bitio.GammaLen(uint64(gap))
+			bits += bitio.GammaLen(uint64(h.Dist) + 1)
+			prev = int64(h.Node)
+		}
+		out[v] = bits
+	}
+	return out
+}
+
+// AvgBits returns the average per-vertex label size in bits under Encode.
+func (l *Labeling) AvgBits() float64 {
+	if len(l.labels) == 0 {
+		return 0
+	}
+	total := 0
+	for _, b := range l.BitSize() {
+		total += b
+	}
+	return float64(total) / float64(len(l.labels))
+}

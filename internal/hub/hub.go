@@ -1,0 +1,261 @@
+// Package hub defines hub labelings (2-hop covers), the paper's central
+// object: every vertex v stores a hub set S(v) together with exact
+// distances, and the distance between u and v is recovered as
+//
+//	min_{w ∈ S(u) ∩ S(v)} dist(u,w) + dist(w,v),
+//
+// which is exact whenever the family {S(v)} is a shortest-path cover.
+// The package provides the labeling container, the merge query, cover
+// verification, monotone closure (the S* sets of Theorem 2.1's Eq. (1)),
+// size statistics and bit-level serialization.
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hublab/internal/graph"
+	"hublab/internal/sssp"
+)
+
+// Hub is one entry of a vertex label: a hub vertex and the exact distance
+// to it.
+type Hub struct {
+	Node graph.NodeID
+	Dist graph.Weight
+}
+
+// Labeling holds one hub set per vertex, each sorted by hub id, enabling
+// O(|S(u)|+|S(v)|) merge queries.
+type Labeling struct {
+	labels [][]Hub
+}
+
+// ErrNotCover reports that a labeling fails to cover some pair.
+var ErrNotCover = errors.New("hub: labeling is not a shortest-path cover")
+
+// CoverError describes a pair witnessing a cover violation.
+type CoverError struct {
+	U, V graph.NodeID
+	Got  graph.Weight // distance decoded from labels (Infinity if no common hub)
+	Want graph.Weight // true graph distance
+}
+
+func (e *CoverError) Error() string {
+	return fmt.Sprintf("hub: pair (%d,%d) decodes to %d, true distance %d", e.U, e.V, e.Got, e.Want)
+}
+
+func (e *CoverError) Unwrap() error { return ErrNotCover }
+
+// NewLabeling returns an empty labeling for n vertices.
+func NewLabeling(n int) *Labeling {
+	return &Labeling{labels: make([][]Hub, n)}
+}
+
+// NumVertices returns the number of vertices the labeling covers.
+func (l *Labeling) NumVertices() int { return len(l.labels) }
+
+// Add inserts hub h at distance d into S(v). Call Canonicalize after a
+// batch of Adds to restore sorted, deduplicated labels.
+func (l *Labeling) Add(v graph.NodeID, h graph.NodeID, d graph.Weight) {
+	l.labels[v] = append(l.labels[v], Hub{Node: h, Dist: d})
+}
+
+// Label returns S(v) sorted by hub id. The slice aliases internal storage.
+func (l *Labeling) Label(v graph.NodeID) []Hub { return l.labels[v] }
+
+// SetLabel replaces S(v) wholesale (taking ownership of hubs).
+func (l *Labeling) SetLabel(v graph.NodeID, hubs []Hub) { l.labels[v] = hubs }
+
+// Canonicalize sorts every label by hub id and merges duplicates keeping
+// the minimum distance.
+func (l *Labeling) Canonicalize() {
+	for v := range l.labels {
+		hubs := l.labels[v]
+		sort.Slice(hubs, func(i, j int) bool {
+			if hubs[i].Node != hubs[j].Node {
+				return hubs[i].Node < hubs[j].Node
+			}
+			return hubs[i].Dist < hubs[j].Dist
+		})
+		out := hubs[:0]
+		for i, h := range hubs {
+			if i == 0 || h.Node != hubs[i-1].Node {
+				out = append(out, h)
+			}
+		}
+		l.labels[v] = out
+	}
+}
+
+// Query decodes the distance between u and v from their labels alone. It
+// returns Infinity and false if the labels share no hub.
+func (l *Labeling) Query(u, v graph.NodeID) (graph.Weight, bool) {
+	d, _, ok := l.QueryVia(u, v)
+	return d, ok
+}
+
+// QueryVia is Query but also returns the minimizing hub.
+func (l *Labeling) QueryVia(u, v graph.NodeID) (graph.Weight, graph.NodeID, bool) {
+	a, b := l.labels[u], l.labels[v]
+	best := graph.Infinity
+	var via graph.NodeID = -1
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Node < b[j].Node:
+			i++
+		case a[i].Node > b[j].Node:
+			j++
+		default:
+			if d := a[i].Dist + b[j].Dist; d < best {
+				best = d
+				via = a[i].Node
+			}
+			i++
+			j++
+		}
+	}
+	return best, via, via >= 0
+}
+
+// Stats summarizes label sizes.
+type Stats struct {
+	Vertices int
+	Total    int     // sum of |S(v)|
+	Max      int     // max |S(v)|
+	Avg      float64 // Total / Vertices
+}
+
+// ComputeStats returns size statistics for the labeling.
+func (l *Labeling) ComputeStats() Stats {
+	s := Stats{Vertices: len(l.labels)}
+	for _, hubs := range l.labels {
+		s.Total += len(hubs)
+		if len(hubs) > s.Max {
+			s.Max = len(hubs)
+		}
+	}
+	if s.Vertices > 0 {
+		s.Avg = float64(s.Total) / float64(s.Vertices)
+	}
+	return s
+}
+
+// VerifyCover exhaustively checks that the labeling decodes the exact
+// distance for every vertex pair of g (one SSSP per vertex; intended for
+// graphs up to a few thousand vertices). It returns a *CoverError on the
+// first violation.
+func (l *Labeling) VerifyCover(g *graph.Graph) error {
+	if len(l.labels) != g.NumNodes() {
+		return fmt.Errorf("hub: labeling has %d vertices, graph has %d", len(l.labels), g.NumNodes())
+	}
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		r := sssp.Search(g, u)
+		for v := u; int(v) < g.NumNodes(); v++ {
+			if err := l.checkPair(u, v, r.Dist[v]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VerifySampled checks the labeling on `pairs` random vertex pairs.
+func (l *Labeling) VerifySampled(g *graph.Graph, pairs int, seed int64) error {
+	if len(l.labels) != g.NumNodes() {
+		return fmt.Errorf("hub: labeling has %d vertices, graph has %d", len(l.labels), g.NumNodes())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < pairs; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		want := sssp.Distance(g, u, v)
+		if err := l.checkPair(u, v, want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Labeling) checkPair(u, v graph.NodeID, want graph.Weight) error {
+	got, ok := l.Query(u, v)
+	if want == graph.Infinity {
+		if ok {
+			return &CoverError{U: u, V: v, Got: got, Want: want}
+		}
+		return nil
+	}
+	if !ok || got != want {
+		if !ok {
+			got = graph.Infinity
+		}
+		return &CoverError{U: u, V: v, Got: got, Want: want}
+	}
+	return nil
+}
+
+// FromSets builds a labeling with exact distances from bare hub sets by
+// running one shortest-path search per distinct hub.
+func FromSets(g *graph.Graph, sets [][]graph.NodeID) (*Labeling, error) {
+	if len(sets) != g.NumNodes() {
+		return nil, fmt.Errorf("hub: %d sets for %d vertices", len(sets), g.NumNodes())
+	}
+	// users[h] = vertices that want h as hub.
+	users := make(map[graph.NodeID][]graph.NodeID)
+	for v, hubs := range sets {
+		for _, h := range hubs {
+			if int(h) < 0 || int(h) >= g.NumNodes() {
+				return nil, fmt.Errorf("hub: %w: hub %d", graph.ErrVertexRange, h)
+			}
+			users[h] = append(users[h], graph.NodeID(v))
+		}
+	}
+	l := NewLabeling(g.NumNodes())
+	for h, vs := range users {
+		r := sssp.Search(g, h)
+		for _, v := range vs {
+			if r.Dist[v] < graph.Infinity {
+				l.Add(v, h, r.Dist[v])
+			}
+		}
+	}
+	l.Canonicalize()
+	return l, nil
+}
+
+// MonotoneClosure returns the monotone labeling {S*(v)}: for every hub
+// x ∈ S(v), all vertices of one shortest v-x path (along a fixed
+// shortest-path tree rooted at v) are added to S*(v). This is the object
+// the paper's Eq. (1) bounds: |S*(v)| ≤ diam · |S(v)|.
+func MonotoneClosure(g *graph.Graph, l *Labeling) (*Labeling, error) {
+	if l.NumVertices() != g.NumNodes() {
+		return nil, fmt.Errorf("hub: labeling has %d vertices, graph has %d", l.NumVertices(), g.NumNodes())
+	}
+	out := NewLabeling(g.NumNodes())
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		r := sssp.Search(g, v)
+		added := make(map[graph.NodeID]bool, len(l.labels[v]))
+		for _, h := range l.labels[v] {
+			// Walk from the hub back to v along the shortest-path tree.
+			for x := h.Node; x != -1 && !added[x]; x = r.Parent[x] {
+				if r.Dist[x] == graph.Infinity {
+					break // hub unreachable from v: keep original entry only
+				}
+				added[x] = true
+				out.Add(v, x, r.Dist[x])
+			}
+		}
+		if !added[v] {
+			out.Add(v, v, 0)
+		}
+	}
+	out.Canonicalize()
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package lbound
+
+import (
+	"fmt"
+	"math"
+
+	"hublab/internal/graph"
+	"hublab/internal/sssp"
+)
+
+// Certificate is the triplet-counting lower bound of Theorem 2.1 (iii) in
+// executable form. The argument: for every triplet (x, y, z) with
+// y = (x+z)/2, the unique shortest path from v_{0,x} to v_{2ℓ,z} passes
+// through v_{ℓ,y} (Lemma 2.2), so y belongs to the monotone hub set S*_x or
+// S*_z; distinct triplets charge distinct (vertex, hub) incidences, hence
+// Σ_v |S*_v| ≥ #triplets, and Σ_v |S_v| ≥ #triplets / hopBound because
+// |S*_v| ≤ hopBound·|S_v| along shortest-path trees.
+type Certificate struct {
+	// Triplets is s^ℓ · (s/2)^ℓ, the number of (x, y, z) charges.
+	Triplets float64
+	// Vertices is the vertex count of the certified graph.
+	Vertices int
+	// HopBound bounds the number of edges on any shortest path.
+	HopBound int
+	// AvgMonotoneLB = Triplets / Vertices lower-bounds the average monotone
+	// hub set size Σ|S*_v|/n.
+	AvgMonotoneLB float64
+	// AvgHubLB = Triplets / (Vertices·HopBound) lower-bounds the average
+	// hub set size of ANY hub labeling of the graph.
+	AvgHubLB float64
+}
+
+// TripletCount returns s^ℓ·(s/2)^ℓ.
+func (p Params) TripletCount() float64 {
+	s := float64(p.Side())
+	return math.Pow(s, float64(p.L)) * math.Pow(s/2, float64(p.L))
+}
+
+// CertificateH computes the certificate for H_{b,ℓ} with an exact hop
+// bound derived from the weighted diameter: every edge weighs at least A,
+// so no shortest path has more than diam/A edges.
+func (h *Layered) CertificateH() Certificate {
+	diam := sssp.Diameter(h.G)
+	hops := int(diam / h.A)
+	if hops < 1 {
+		hops = 1
+	}
+	n := h.G.NumNodes()
+	t := h.TripletCount()
+	return Certificate{
+		Triplets:      t,
+		Vertices:      n,
+		HopBound:      hops,
+		AvgMonotoneLB: t / float64(n),
+		AvgHubLB:      t / float64(n) / float64(hops),
+	}
+}
+
+// CertificateG computes the certificate for the expanded G_{b,ℓ} using the
+// paper's closed-form diameter bound diam(G) ≤ (3ℓ+1)s²·4ℓ (Eq. 1), which
+// avoids an all-pairs computation on the large expanded graph.
+func (e *Expanded) CertificateG() Certificate {
+	p := e.H.Params
+	s := p.Side()
+	hops := (3*p.L + 1) * s * s * 4 * p.L
+	n := e.G.NumNodes()
+	t := p.TripletCount()
+	return Certificate{
+		Triplets:      t,
+		Vertices:      n,
+		HopBound:      hops,
+		AvgMonotoneLB: t / float64(n),
+		AvgHubLB:      t / float64(n) / float64(hops),
+	}
+}
+
+// Figure1 reproduces the data of the paper's Figure 1 on H_{2,2}: the blue
+// path from v_{0,(1,0)} to v_{4,(3,2)} of length 4A+4 through v_{2,(2,1)},
+// and the red path of length 4A+8 that front-loads both coordinate changes.
+type Figure1 struct {
+	A graph.Weight
+	// Blue is the unique shortest path (vertex ids in H_{2,2}).
+	Blue []graph.NodeID
+	// BlueLength = 4A+4.
+	BlueLength graph.Weight
+	// Mid is v_{2,(2,1)}, the blue path's point of symmetry.
+	Mid graph.NodeID
+	// Unique reports that the blue path is the only shortest path.
+	Unique bool
+	// ViaMid reports that the blue path passes through Mid.
+	ViaMid bool
+	// Red is the alternative path; RedLength = 4A+8.
+	Red       []graph.NodeID
+	RedLength graph.Weight
+}
+
+// FigureOne builds H_{2,2} and verifies the two paths drawn in Figure 1.
+func FigureOne() (*Figure1, error) {
+	h, err := BuildH(Params{B: 2, L: 2})
+	if err != nil {
+		return nil, err
+	}
+	x := []int{1, 0}
+	z := []int{3, 2}
+	rep, err := h.VerifyLemma22(x, z)
+	if err != nil {
+		return nil, err
+	}
+	src, err := h.VertexID(0, x)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := h.VertexID(4, z)
+	if err != nil {
+		return nil, err
+	}
+	mid, err := h.VertexID(2, []int{2, 1})
+	if err != nil {
+		return nil, err
+	}
+	res := sssp.Dijkstra(h.G, src)
+	fig := &Figure1{
+		A:          h.A,
+		Blue:       res.PathTo(dst),
+		BlueLength: res.Dist[dst],
+		Mid:        mid,
+		Unique:     rep.Unique,
+		ViaMid:     rep.ViaMid,
+	}
+	// Red path: change both coordinates fully on the way up
+	// ((1,0) → (3,0) → (3,2)) and keep them on the way down.
+	redVecs := [][]int{{1, 0}, {3, 0}, {3, 2}, {3, 2}, {3, 2}}
+	var redLen graph.Weight
+	red := make([]graph.NodeID, 0, len(redVecs))
+	for level, vec := range redVecs {
+		id, err := h.VertexID(level, vec)
+		if err != nil {
+			return nil, err
+		}
+		red = append(red, id)
+	}
+	for i := 0; i+1 < len(red); i++ {
+		w, ok := h.G.EdgeWeight(red[i], red[i+1])
+		if !ok {
+			return nil, errNotEdge(red[i], red[i+1])
+		}
+		redLen += w
+	}
+	fig.Red = red
+	fig.RedLength = redLen
+	return fig, nil
+}
+
+func errNotEdge(u, v graph.NodeID) error {
+	return fmt.Errorf("lbound: figure path step (%d,%d) is not an edge", u, v)
+}

@@ -1,0 +1,203 @@
+package lbound
+
+import (
+	"fmt"
+
+	"hublab/internal/graph"
+	"hublab/internal/sssp"
+)
+
+// maxGVertices bounds the size of expanded constructions.
+const maxGVertices = 1 << 24
+
+// Expanded is the max-degree-3 graph G_{b,ℓ} of Theorem 2.1: every vertex v
+// of H_{b,ℓ} becomes a center attached to two perfectly balanced binary
+// trees T^in_v and T^out_v with s leaves each (depth b), and every weighted
+// edge {u,v} of H becomes an unweighted path of length w(e)-2b-2 between
+// the corresponding out-leaf of u and in-leaf of v, so that unweighted
+// distances in G equal weighted distances in H on center vertices.
+type Expanded struct {
+	H *Layered
+	// G is the unweighted max-degree-3 graph.
+	G *graph.Graph
+	// AuxVertices counts the subdivision vertices on edge paths.
+	AuxVertices int
+	// TreeVertices counts all vertices of the T^in/T^out trees.
+	TreeVertices int
+
+	centers []graph.NodeID // centers[hID] = center vertex id in G
+	outBase []graph.NodeID // id of heap node 1 of T^out, -1 if absent
+	inBase  []graph.NodeID // id of heap node 1 of T^in, -1 if absent
+}
+
+// BuildG constructs G_{b,ℓ}.
+func BuildG(p Params) (*Expanded, error) {
+	h, err := BuildH(p)
+	if err != nil {
+		return nil, err
+	}
+	return Expand(h)
+}
+
+// Expand converts an already-built H_{b,ℓ} into G_{b,ℓ}.
+func Expand(h *Layered) (*Expanded, error) {
+	s := h.Side()
+	layer := h.LayerSize()
+	levels := h.Levels()
+	nH := layer * levels
+	treeNodes := 2*s - 1
+
+	// Vertex budget: centers + trees + subdivision vertices.
+	edges := h.G.Edges()
+	total := int64(nH)
+	treeCount := 0
+	for level := 0; level < levels; level++ {
+		if level > 0 {
+			treeCount += layer
+		}
+		if level < levels-1 {
+			treeCount += layer
+		}
+	}
+	total += int64(treeCount) * int64(treeNodes)
+	pathLenSum := int64(0)
+	for _, e := range edges {
+		pathLenSum += int64(e.W) - int64(2*h.B) - 3
+	}
+	total += pathLenSum
+	if total > maxGVertices {
+		return nil, fmt.Errorf("%w: expansion would have %d vertices (max %d)", ErrBadParam, total, maxGVertices)
+	}
+
+	e := &Expanded{
+		H:       h,
+		centers: make([]graph.NodeID, nH),
+		outBase: make([]graph.NodeID, nH),
+		inBase:  make([]graph.NodeID, nH),
+	}
+	next := graph.NodeID(0)
+	alloc := func(k int) graph.NodeID {
+		id := next
+		next += graph.NodeID(k)
+		return id
+	}
+
+	gb := graph.NewBuilder(int(total), int(total)+nH*2)
+	// Centers first (ids 0..nH-1 equal the H ids, which keeps mappings
+	// trivial), then trees, then path vertices.
+	alloc(nH)
+	for v := 0; v < nH; v++ {
+		e.centers[v] = graph.NodeID(v)
+		e.outBase[v] = -1
+		e.inBase[v] = -1
+	}
+	addTree := func(center graph.NodeID) graph.NodeID {
+		base := alloc(treeNodes)
+		// Heap node k lives at id base+k-1; root (k=1) links to the center.
+		gb.AddEdge(center, base)
+		for k := 2; k <= treeNodes; k++ {
+			gb.AddEdge(base+graph.NodeID(k-1), base+graph.NodeID(k/2-1))
+		}
+		return base
+	}
+	for v := 0; v < nH; v++ {
+		level := h.LevelOf(graph.NodeID(v))
+		if level > 0 {
+			e.inBase[v] = addTree(e.centers[v])
+		}
+		if level < levels-1 {
+			e.outBase[v] = addTree(e.centers[v])
+		}
+		e.TreeVertices = int(next) - nH
+	}
+	// leaf for value val is heap node s+val.
+	leafID := func(base graph.NodeID, val int) graph.NodeID {
+		return base + graph.NodeID(s+val-1)
+	}
+	for _, he := range edges {
+		u, v := he.U, he.V
+		if h.LevelOf(u) > h.LevelOf(v) {
+			u, v = v, u
+		}
+		c := h.ChangingCoord(h.LevelOf(u))
+		uVec := h.VectorOf(u)
+		vVec := h.VectorOf(v)
+		start := leafID(e.outBase[u], vVec[c])
+		end := leafID(e.inBase[v], uVec[c])
+		pathEdges := int(he.W) - 2*h.B - 2
+		prev := start
+		for t := 0; t < pathEdges-1; t++ {
+			aux := alloc(1)
+			gb.AddEdge(prev, aux)
+			prev = aux
+			e.AuxVertices++
+		}
+		gb.AddEdge(prev, end)
+	}
+	g, err := gb.Build()
+	if err != nil {
+		return nil, err
+	}
+	e.G = g
+	return e, nil
+}
+
+// Center returns the G vertex corresponding to H vertex v_{level,vec}.
+func (e *Expanded) Center(level int, vec []int) (graph.NodeID, error) {
+	id, err := e.H.VertexID(level, vec)
+	if err != nil {
+		return 0, err
+	}
+	return e.centers[id], nil
+}
+
+// CenterOf returns the G vertex for an H vertex id.
+func (e *Expanded) CenterOf(hID graph.NodeID) graph.NodeID { return e.centers[hID] }
+
+// NumCenters returns the number of center vertices (= |V(H)|).
+func (e *Expanded) NumCenters() int { return len(e.centers) }
+
+// VerifyLemma22 checks Lemma 2.2 directly on the expanded graph G_{b,ℓ}:
+// the shortest path between the centers of v_{0,x} and v_{2ℓ,z} is unique,
+// has the same length as in H, and passes through the center of
+// v_{ℓ,(x+z)/2}. Cost: one BFS over G per call.
+func (e *Expanded) VerifyLemma22(x, z []int) (LemmaReport, error) {
+	h := e.H
+	for k := range x {
+		if (z[k]-x[k])%2 != 0 {
+			return LemmaReport{}, fmt.Errorf("%w: z-x odd at coordinate %d", ErrBadParam, k)
+		}
+	}
+	srcH, err := h.VertexID(0, x)
+	if err != nil {
+		return LemmaReport{}, err
+	}
+	dstH, err := h.VertexID(2*h.L, z)
+	if err != nil {
+		return LemmaReport{}, err
+	}
+	mid := make([]int, h.L)
+	for k := range mid {
+		mid[k] = (x[k] + z[k]) / 2
+	}
+	midH, err := h.VertexID(h.L, mid)
+	if err != nil {
+		return LemmaReport{}, err
+	}
+	src, dst, midG := e.CenterOf(srcH), e.CenterOf(dstH), e.CenterOf(midH)
+	res, counts := sssp.CountShortestPaths(e.G, src, 4)
+	report := LemmaReport{
+		X:          append([]int(nil), x...),
+		Z:          append([]int(nil), z...),
+		Length:     res.Dist[dst],
+		WantLength: h.ExpectedPathLength(x, z),
+		Unique:     counts[dst] == 1,
+	}
+	for _, v := range res.PathTo(dst) {
+		if v == midG {
+			report.ViaMid = true
+			break
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,296 @@
+// Package lbound implements the paper's lower-bound constructions
+// (Section 2): the weighted layered graph H_{b,ℓ} whose bottom-to-top
+// shortest paths are unique and midpoint-determined (Lemma 2.2), its
+// max-degree-3 expansion G_{b,ℓ} (Theorem 2.1), the triplet-counting
+// certificate for the average hub set size, and the Figure 1 data.
+//
+// Vertex layout of H_{b,ℓ}: levels 0..2ℓ, each containing s^ℓ vertices
+// (s = 2^b) identified with vectors in [0,s-1]^ℓ. Level i connects to level
+// i+1 by edges between vectors that differ in at most the single coordinate
+// c(i) — coordinate i for i < ℓ (0-based) and coordinate 2ℓ-i-1 for i ≥ ℓ —
+// with weight A + (x_c - y_c)², A = 3ℓs².
+package lbound
+
+import (
+	"errors"
+	"fmt"
+
+	"hublab/internal/graph"
+	"hublab/internal/sssp"
+)
+
+// ErrBadParam reports invalid construction parameters.
+var ErrBadParam = errors.New("lbound: invalid parameter")
+
+// maxHVertices bounds the size of H constructions (s^ℓ·(2ℓ+1) vertices).
+const maxHVertices = 1 << 22
+
+// Params selects an instance: B is the side-length exponent (s = 2^B) and
+// L the number of ascending levels (the graph has 2L+1 levels).
+type Params struct {
+	B, L int
+}
+
+func (p Params) validate() error {
+	if p.B < 1 || p.L < 1 {
+		return fmt.Errorf("%w: b=%d l=%d, want ≥ 1", ErrBadParam, p.B, p.L)
+	}
+	if p.B > 20 || p.L > 20 {
+		return fmt.Errorf("%w: b=%d l=%d too large", ErrBadParam, p.B, p.L)
+	}
+	// s^l * (2l+1) must stay manageable.
+	n := int64(2*p.L + 1)
+	for i := 0; i < p.L; i++ {
+		n *= int64(1) << uint(p.B)
+		if n > maxHVertices {
+			return fmt.Errorf("%w: b=%d l=%d yields more than %d vertices", ErrBadParam, p.B, p.L, maxHVertices)
+		}
+	}
+	return nil
+}
+
+// Side returns s = 2^B.
+func (p Params) Side() int { return 1 << uint(p.B) }
+
+// LayerSize returns s^L, the number of vertices per level.
+func (p Params) LayerSize() int {
+	n := 1
+	for i := 0; i < p.L; i++ {
+		n <<= uint(p.B)
+	}
+	return n
+}
+
+// Levels returns the number of levels, 2L+1.
+func (p Params) Levels() int { return 2*p.L + 1 }
+
+// BaseWeight returns A = 3ℓs².
+func (p Params) BaseWeight() graph.Weight {
+	s := p.Side()
+	return graph.Weight(3 * p.L * s * s)
+}
+
+// ChangingCoord returns the 0-based coordinate allowed to change between
+// levels i and i+1: coordinate i on the way up (i < L), coordinate 2L-i-1
+// on the way down.
+func (p Params) ChangingCoord(i int) int {
+	if i < p.L {
+		return i
+	}
+	return 2*p.L - i - 1
+}
+
+// Layered is the weighted graph H_{b,ℓ}.
+type Layered struct {
+	Params
+	// G is the underlying weighted graph.
+	G *graph.Graph
+	// A is the base edge weight 3ℓs².
+	A graph.Weight
+}
+
+// BuildH constructs H_{b,ℓ}.
+func BuildH(p Params) (*Layered, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	s := p.Side()
+	layer := p.LayerSize()
+	levels := p.Levels()
+	n := layer * levels
+	a := p.BaseWeight()
+
+	// Edges per level pair: layer * s (each vertex connects to s vertices
+	// above, including the same-vector one).
+	b := graph.NewBuilder(n, layer*s*(levels-1))
+	vec := make([]int, p.L)
+	for level := 0; level+1 < levels; level++ {
+		c := p.ChangingCoord(level)
+		stride := 1
+		for k := 0; k < c; k++ {
+			stride *= s
+		}
+		for idx := 0; idx < layer; idx++ {
+			decode(idx, s, p.L, vec)
+			from := graph.NodeID(level*layer + idx)
+			base := idx - vec[c]*stride
+			for val := 0; val < s; val++ {
+				toIdx := base + val*stride
+				diff := graph.Weight(vec[c] - val)
+				w := a + diff*diff
+				b.AddWeightedEdge(from, graph.NodeID((level+1)*layer+toIdx), w)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Layered{Params: p, G: g, A: a}, nil
+}
+
+// decode writes the s-ary digits of idx into vec (coordinate k = digit k).
+func decode(idx, s, l int, vec []int) {
+	for k := 0; k < l; k++ {
+		vec[k] = idx % s
+		idx /= s
+	}
+}
+
+// encode is the inverse of decode.
+func encode(vec []int, s int) int {
+	idx := 0
+	for k := len(vec) - 1; k >= 0; k-- {
+		idx = idx*s + vec[k]
+	}
+	return idx
+}
+
+// VertexID returns the id of v_{level,vec}.
+func (h *Layered) VertexID(level int, vec []int) (graph.NodeID, error) {
+	if level < 0 || level >= h.Levels() {
+		return 0, fmt.Errorf("%w: level %d", ErrBadParam, level)
+	}
+	if len(vec) != h.L {
+		return 0, fmt.Errorf("%w: vector has %d coordinates, want %d", ErrBadParam, len(vec), h.L)
+	}
+	s := h.Side()
+	for _, x := range vec {
+		if x < 0 || x >= s {
+			return 0, fmt.Errorf("%w: coordinate %d outside [0,%d)", ErrBadParam, x, s)
+		}
+	}
+	return graph.NodeID(level*h.LayerSize() + encode(vec, s)), nil
+}
+
+// LevelOf returns the level of a vertex id.
+func (h *Layered) LevelOf(v graph.NodeID) int { return int(v) / h.LayerSize() }
+
+// VectorOf returns the coordinate vector of a vertex id.
+func (h *Layered) VectorOf(v graph.NodeID) []int {
+	vec := make([]int, h.L)
+	decode(int(v)%h.LayerSize(), h.Side(), h.L, vec)
+	return vec
+}
+
+// ExpectedPathLength returns the Lemma 2.2 closed-form length of the unique
+// shortest path from v_{0,x} to v_{2ℓ,z} when z-x is coordinate-wise even:
+// 2ℓA + 2·Σ ((z_k-x_k)/2)².
+func (h *Layered) ExpectedPathLength(x, z []int) graph.Weight {
+	total := graph.Weight(2*h.L) * h.A
+	for k := 0; k < h.L; k++ {
+		d := graph.Weight(z[k]-x[k]) / 2
+		total += 2 * d * d
+	}
+	return total
+}
+
+// LemmaReport is the outcome of verifying Lemma 2.2 on one pair.
+type LemmaReport struct {
+	X, Z       []int
+	Length     graph.Weight // measured shortest-path length
+	WantLength graph.Weight // closed form 2ℓA + 2Σδ²
+	Unique     bool         // shortest path is unique
+	ViaMid     bool         // the path passes through v_{ℓ,(x+z)/2}
+}
+
+// Ok reports whether all Lemma 2.2 claims hold for the pair.
+func (r LemmaReport) Ok() bool {
+	return r.Unique && r.ViaMid && r.Length == r.WantLength
+}
+
+// VerifyLemma22 checks Lemma 2.2 for the pair (x, z): the shortest path
+// from v_{0,x} to v_{2ℓ,z} is unique, has the closed-form length, and
+// passes through v_{ℓ,(x+z)/2}. The difference z-x must be coordinate-wise
+// even.
+func (h *Layered) VerifyLemma22(x, z []int) (LemmaReport, error) {
+	for k := range x {
+		if (z[k]-x[k])%2 != 0 {
+			return LemmaReport{}, fmt.Errorf("%w: z-x odd at coordinate %d", ErrBadParam, k)
+		}
+	}
+	src, err := h.VertexID(0, x)
+	if err != nil {
+		return LemmaReport{}, err
+	}
+	dst, err := h.VertexID(2*h.L, z)
+	if err != nil {
+		return LemmaReport{}, err
+	}
+	mid := make([]int, h.L)
+	for k := range mid {
+		mid[k] = (x[k] + z[k]) / 2
+	}
+	midID, err := h.VertexID(h.L, mid)
+	if err != nil {
+		return LemmaReport{}, err
+	}
+	res, counts := sssp.CountShortestPaths(h.G, src, 4)
+	report := LemmaReport{
+		X:          append([]int(nil), x...),
+		Z:          append([]int(nil), z...),
+		Length:     res.Dist[dst],
+		WantLength: h.ExpectedPathLength(x, z),
+		Unique:     counts[dst] == 1,
+	}
+	for _, v := range res.PathTo(dst) {
+		if v == midID {
+			report.ViaMid = true
+			break
+		}
+	}
+	return report, nil
+}
+
+// VerifyLemma22All verifies Lemma 2.2 over every valid (x, z) pair (both
+// iterating over [0,s-1]^ℓ with z-x even). It returns the number of pairs
+// checked and the first failing report, if any. Cost: one Dijkstra per x.
+func (h *Layered) VerifyLemma22All() (checked int, firstBad *LemmaReport, err error) {
+	s := h.Side()
+	layer := h.LayerSize()
+	x := make([]int, h.L)
+	z := make([]int, h.L)
+	mid := make([]int, h.L)
+	for xi := 0; xi < layer; xi++ {
+		decode(xi, s, h.L, x)
+		src := graph.NodeID(xi)
+		res, counts := sssp.CountShortestPaths(h.G, src, 4)
+		for zi := 0; zi < layer; zi++ {
+			decode(zi, s, h.L, z)
+			even := true
+			for k := 0; k < h.L; k++ {
+				if (z[k]-x[k])%2 != 0 {
+					even = false
+					break
+				}
+			}
+			if !even {
+				continue
+			}
+			checked++
+			dst := graph.NodeID(2*h.L*layer + zi)
+			for k := 0; k < h.L; k++ {
+				mid[k] = (x[k] + z[k]) / 2
+			}
+			midID := graph.NodeID(h.L*layer + encode(mid, s))
+			report := LemmaReport{
+				X:          append([]int(nil), x...),
+				Z:          append([]int(nil), z...),
+				Length:     res.Dist[dst],
+				WantLength: h.ExpectedPathLength(x, z),
+				Unique:     counts[dst] == 1,
+			}
+			for _, v := range res.PathTo(dst) {
+				if v == midID {
+					report.ViaMid = true
+					break
+				}
+			}
+			if !report.Ok() && firstBad == nil {
+				r := report
+				firstBad = &r
+			}
+		}
+	}
+	return checked, firstBad, nil
+}

@@ -1,0 +1,399 @@
+package lbound
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hublab/internal/graph"
+	"hublab/internal/pll"
+	"hublab/internal/sssp"
+)
+
+func TestParamsValidation(t *testing.T) {
+	cases := []Params{{0, 1}, {1, 0}, {-1, 2}, {21, 1}, {10, 10}}
+	for _, p := range cases {
+		if _, err := BuildH(p); !errors.Is(err, ErrBadParam) {
+			t.Errorf("BuildH(%+v) err = %v, want ErrBadParam", p, err)
+		}
+	}
+}
+
+func TestParamsDerived(t *testing.T) {
+	p := Params{B: 2, L: 2}
+	if p.Side() != 4 {
+		t.Errorf("Side = %d, want 4", p.Side())
+	}
+	if p.LayerSize() != 16 {
+		t.Errorf("LayerSize = %d, want 16", p.LayerSize())
+	}
+	if p.Levels() != 5 {
+		t.Errorf("Levels = %d, want 5", p.Levels())
+	}
+	if p.BaseWeight() != 96 {
+		t.Errorf("BaseWeight = %d, want 96 (3·2·16)", p.BaseWeight())
+	}
+	if p.TripletCount() != 16*4 {
+		t.Errorf("TripletCount = %v, want 64", p.TripletCount())
+	}
+}
+
+func TestChangingCoord(t *testing.T) {
+	p := Params{B: 1, L: 3}
+	// Up: coords 0,1,2; down: 2,1,0.
+	want := []int{0, 1, 2, 2, 1, 0}
+	for i, w := range want {
+		if got := p.ChangingCoord(i); got != w {
+			t.Errorf("ChangingCoord(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestBuildHStructure(t *testing.T) {
+	h, err := BuildH(Params{B: 2, L: 2})
+	if err != nil {
+		t.Fatalf("BuildH: %v", err)
+	}
+	if h.G.NumNodes() != 80 {
+		t.Errorf("NumNodes = %d, want 80 (5 levels × 16)", h.G.NumNodes())
+	}
+	// Each of the 4 level pairs contributes 16·4 edges.
+	if h.G.NumEdges() != 4*16*4 {
+		t.Errorf("NumEdges = %d, want 256", h.G.NumEdges())
+	}
+	// Every vertex has s neighbors above and s below (except extremes).
+	for v := graph.NodeID(0); int(v) < h.G.NumNodes(); v++ {
+		level := h.LevelOf(v)
+		want := 8
+		if level == 0 || level == 4 {
+			want = 4
+		}
+		if d := h.G.Degree(v); d != want {
+			t.Fatalf("Degree(level %d vertex) = %d, want %d", level, d, want)
+		}
+	}
+}
+
+func TestVertexIDRoundTrip(t *testing.T) {
+	h, err := BuildH(Params{B: 2, L: 3})
+	if err != nil {
+		t.Fatalf("BuildH: %v", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		level := rng.Intn(h.Levels())
+		vec := []int{rng.Intn(4), rng.Intn(4), rng.Intn(4)}
+		id, err := h.VertexID(level, vec)
+		if err != nil {
+			t.Fatalf("VertexID: %v", err)
+		}
+		if h.LevelOf(id) != level {
+			t.Fatalf("LevelOf = %d, want %d", h.LevelOf(id), level)
+		}
+		got := h.VectorOf(id)
+		for k := range vec {
+			if got[k] != vec[k] {
+				t.Fatalf("VectorOf = %v, want %v", got, vec)
+			}
+		}
+	}
+}
+
+func TestVertexIDErrors(t *testing.T) {
+	h, err := BuildH(Params{B: 1, L: 2})
+	if err != nil {
+		t.Fatalf("BuildH: %v", err)
+	}
+	if _, err := h.VertexID(-1, []int{0, 0}); !errors.Is(err, ErrBadParam) {
+		t.Error("negative level accepted")
+	}
+	if _, err := h.VertexID(9, []int{0, 0}); !errors.Is(err, ErrBadParam) {
+		t.Error("too-large level accepted")
+	}
+	if _, err := h.VertexID(0, []int{0}); !errors.Is(err, ErrBadParam) {
+		t.Error("short vector accepted")
+	}
+	if _, err := h.VertexID(0, []int{0, 5}); !errors.Is(err, ErrBadParam) {
+		t.Error("out-of-range coordinate accepted")
+	}
+}
+
+func TestEdgeWeightsFormula(t *testing.T) {
+	h, err := BuildH(Params{B: 2, L: 2})
+	if err != nil {
+		t.Fatalf("BuildH: %v", err)
+	}
+	// Edge between (0,0) level 0 and (3,0) level 1 changes coord 0 by 3:
+	// weight A + 9.
+	u, err := h.VertexID(0, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.VertexID(1, []int{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := h.G.EdgeWeight(u, v)
+	if !ok || w != h.A+9 {
+		t.Errorf("EdgeWeight = (%d,%v), want (%d,true)", w, ok, h.A+9)
+	}
+	// No edge when a non-changing coordinate differs.
+	v2, err := h.VertexID(1, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.G.HasEdge(u, v2) {
+		t.Error("edge exists despite non-changing coordinate differing")
+	}
+	// Same-vector edges exist with weight exactly A.
+	v3, err := h.VertexID(1, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := h.G.EdgeWeight(u, v3); !ok || w != h.A {
+		t.Errorf("same-vector edge = (%d,%v), want (%d,true)", w, ok, h.A)
+	}
+}
+
+func TestLemma22SinglePair(t *testing.T) {
+	h, err := BuildH(Params{B: 2, L: 2})
+	if err != nil {
+		t.Fatalf("BuildH: %v", err)
+	}
+	rep, err := h.VerifyLemma22([]int{1, 0}, []int{3, 2})
+	if err != nil {
+		t.Fatalf("VerifyLemma22: %v", err)
+	}
+	if !rep.Ok() {
+		t.Errorf("Lemma 2.2 fails: %+v", rep)
+	}
+	if rep.Length != 4*h.A+4 {
+		t.Errorf("length = %d, want %d (4A+4)", rep.Length, 4*h.A+4)
+	}
+	if _, err := h.VerifyLemma22([]int{0, 0}, []int{1, 0}); !errors.Is(err, ErrBadParam) {
+		t.Error("odd difference accepted")
+	}
+}
+
+// TestLemma22Exhaustive verifies Lemma 2.2 on every valid pair of two
+// instances — the core correctness result behind Theorem 2.1.
+func TestLemma22Exhaustive(t *testing.T) {
+	for _, p := range []Params{{B: 1, L: 1}, {B: 2, L: 1}, {B: 1, L: 2}, {B: 2, L: 2}} {
+		h, err := BuildH(p)
+		if err != nil {
+			t.Fatalf("BuildH(%+v): %v", p, err)
+		}
+		checked, bad, err := h.VerifyLemma22All()
+		if err != nil {
+			t.Fatalf("VerifyLemma22All(%+v): %v", p, err)
+		}
+		if bad != nil {
+			t.Errorf("params %+v: Lemma 2.2 violated: %+v", p, *bad)
+		}
+		// Valid pairs: for each coordinate, (s/2)·s ordered (x_k,z_k) pairs
+		// with even difference... total (s²/2)^ℓ.
+		s := p.Side()
+		want := 1
+		for k := 0; k < p.L; k++ {
+			want *= s * s / 2
+		}
+		if checked != want {
+			t.Errorf("params %+v: checked %d pairs, want %d", p, checked, want)
+		}
+	}
+}
+
+func TestExpandStructure(t *testing.T) {
+	e, err := BuildG(Params{B: 1, L: 1})
+	if err != nil {
+		t.Fatalf("BuildG: %v", err)
+	}
+	if got := e.G.MaxDegree(); got > 3 {
+		t.Errorf("MaxDegree = %d, want ≤ 3 (Theorem 2.1(ii))", got)
+	}
+	if e.NumCenters() != 6 {
+		t.Errorf("NumCenters = %d, want 6", e.NumCenters())
+	}
+	if !sssp.Connected(e.G) {
+		t.Error("expanded graph disconnected")
+	}
+}
+
+// TestExpandPreservesDistances checks the distance relationships the
+// paper's argument actually relies on:
+//
+//  1. dist_G ≤ dist_H for all center pairs (every H-path maps to a G-path
+//     of the same total length);
+//  2. dist_G = w(e) for every H-edge (adjacent levels);
+//  3. dist_G = dist_H for all bottom-to-top pairs (v_{0,x}, v_{2ℓ,z}),
+//     where shortest paths are monotone and cross every level cut.
+//
+// Arbitrary cross-level pairs may be strictly shorter in G: when no
+// monotone route exists, H-paths must reverse level direction and G saves
+// 2 hops per reversal by cutting through a leaf tree. The proof never uses
+// such pairs.
+func TestExpandPreservesDistances(t *testing.T) {
+	for _, p := range []Params{{B: 1, L: 1}, {B: 2, L: 1}, {B: 1, L: 2}} {
+		e, err := BuildG(p)
+		if err != nil {
+			t.Fatalf("BuildG(%+v): %v", p, err)
+		}
+		h := e.H
+		nH := h.G.NumNodes()
+		layer := p.LayerSize()
+		for u := graph.NodeID(0); int(u) < nH; u++ {
+			hd := sssp.Dijkstra(h.G, u)
+			gd := sssp.BFS(e.G, e.CenterOf(u))
+			for v := graph.NodeID(0); int(v) < nH; v++ {
+				hDist, gDist := hd.Dist[v], gd.Dist[e.CenterOf(v)]
+				if gDist > hDist {
+					t.Fatalf("params %+v: pair (%d,%d): G=%d exceeds H=%d",
+						p, u, v, gDist, hDist)
+				}
+				if w, ok := h.G.EdgeWeight(u, v); ok && gDist != w {
+					t.Fatalf("params %+v: H-edge (%d,%d) weight %d, G distance %d",
+						p, u, v, w, gDist)
+				}
+			}
+			if h.LevelOf(u) == 0 {
+				// Bottom-to-top pairs must match exactly.
+				for zi := 0; zi < layer; zi++ {
+					v := graph.NodeID(2*p.L*layer + zi)
+					if hd.Dist[v] != gd.Dist[e.CenterOf(v)] {
+						t.Fatalf("params %+v: bottom-top pair (%d,%d): H=%d G=%d",
+							p, u, v, hd.Dist[v], gd.Dist[e.CenterOf(v)])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLemma22OnExpanded verifies Lemma 2.2 directly in the degree-3 graph
+// G_{b,ℓ} for a sample of pairs.
+func TestLemma22OnExpanded(t *testing.T) {
+	e, err := BuildG(Params{B: 2, L: 2})
+	if err != nil {
+		t.Fatalf("BuildG: %v", err)
+	}
+	pairs := [][2][]int{
+		{{1, 0}, {3, 2}}, // the Figure 1 pair
+		{{0, 0}, {0, 0}},
+		{{0, 0}, {2, 2}},
+		{{3, 3}, {1, 1}},
+		{{2, 0}, {0, 2}},
+	}
+	for _, pr := range pairs {
+		rep, err := e.VerifyLemma22(pr[0], pr[1])
+		if err != nil {
+			t.Fatalf("VerifyLemma22(%v,%v): %v", pr[0], pr[1], err)
+		}
+		if !rep.Ok() {
+			t.Errorf("Lemma 2.2 fails in G for (%v,%v): %+v", pr[0], pr[1], rep)
+		}
+	}
+	if _, err := e.VerifyLemma22([]int{0, 0}, []int{1, 0}); !errors.Is(err, ErrBadParam) {
+		t.Error("odd difference accepted in G verifier")
+	}
+}
+
+func TestExpandNodeCountBound(t *testing.T) {
+	for _, p := range []Params{{B: 1, L: 1}, {B: 2, L: 1}, {B: 1, L: 2}, {B: 2, L: 2}} {
+		e, err := BuildG(p)
+		if err != nil {
+			t.Fatalf("BuildG(%+v): %v", p, err)
+		}
+		s := p.Side()
+		nH := p.LayerSize() * p.Levels()
+		// Paper bound: |V(G)| ≤ 4s·|V(H)| + Σ w(e).
+		bound := int64(4*s*nH) + e.H.G.TotalWeight()
+		if int64(e.G.NumNodes()) > bound {
+			t.Errorf("params %+v: |V(G)| = %d exceeds paper bound %d", p, e.G.NumNodes(), bound)
+		}
+	}
+}
+
+func TestCertificateH(t *testing.T) {
+	h, err := BuildH(Params{B: 2, L: 2})
+	if err != nil {
+		t.Fatalf("BuildH: %v", err)
+	}
+	cert := h.CertificateH()
+	if cert.Triplets != 64 {
+		t.Errorf("Triplets = %v, want 64", cert.Triplets)
+	}
+	if cert.Vertices != 80 {
+		t.Errorf("Vertices = %d, want 80", cert.Vertices)
+	}
+	if cert.HopBound < 2 || cert.HopBound > 8 {
+		t.Errorf("HopBound = %d, want small (paths have ≤ ~2ℓ hops)", cert.HopBound)
+	}
+	if cert.AvgHubLB <= 0 {
+		t.Errorf("AvgHubLB = %v, want > 0", cert.AvgHubLB)
+	}
+}
+
+// TestCertificateAgainstPLL: the certified lower bound must hold for the
+// PLL labeling (which is a valid hub labeling), i.e. measured average hub
+// set size ≥ certified bound. This is the executable form of Theorem 1.1.
+func TestCertificateAgainstPLL(t *testing.T) {
+	for _, p := range []Params{{B: 2, L: 2}, {B: 3, L: 2}} {
+		h, err := BuildH(p)
+		if err != nil {
+			t.Fatalf("BuildH(%+v): %v", p, err)
+		}
+		l, err := pll.Build(h.G, pll.Options{})
+		if err != nil {
+			t.Fatalf("pll.Build: %v", err)
+		}
+		if err := l.VerifySampled(h.G, 200, 1); err != nil {
+			t.Fatalf("VerifySampled: %v", err)
+		}
+		cert := h.CertificateH()
+		measured := l.ComputeStats().Avg
+		if measured < cert.AvgHubLB {
+			t.Errorf("params %+v: PLL average %v below certified bound %v — impossible",
+				p, measured, cert.AvgHubLB)
+		}
+	}
+}
+
+func TestCertificateG(t *testing.T) {
+	e, err := BuildG(Params{B: 1, L: 1})
+	if err != nil {
+		t.Fatalf("BuildG: %v", err)
+	}
+	cert := e.CertificateG()
+	if cert.HopBound != (3*1+1)*2*2*4*1 {
+		t.Errorf("HopBound = %d, want %d", cert.HopBound, 64)
+	}
+	if cert.Vertices != e.G.NumNodes() {
+		t.Errorf("Vertices = %d, want %d", cert.Vertices, e.G.NumNodes())
+	}
+}
+
+func TestFigureOne(t *testing.T) {
+	fig, err := FigureOne()
+	if err != nil {
+		t.Fatalf("FigureOne: %v", err)
+	}
+	if fig.A != 96 {
+		t.Errorf("A = %d, want 96", fig.A)
+	}
+	if fig.BlueLength != 4*fig.A+4 {
+		t.Errorf("BlueLength = %d, want 4A+4 = %d", fig.BlueLength, 4*fig.A+4)
+	}
+	if fig.RedLength != 4*fig.A+8 {
+		t.Errorf("RedLength = %d, want 4A+8 = %d", fig.RedLength, 4*fig.A+8)
+	}
+	if !fig.Unique || !fig.ViaMid {
+		t.Errorf("blue path: Unique=%v ViaMid=%v, want true/true", fig.Unique, fig.ViaMid)
+	}
+	if len(fig.Blue) != 5 {
+		t.Errorf("blue path has %d vertices, want 5 (4 hops)", len(fig.Blue))
+	}
+	// The blue path's middle vertex is the symmetry point v_{2,(2,1)}.
+	if fig.Blue[2] != fig.Mid {
+		t.Errorf("blue path midpoint = %d, want %d", fig.Blue[2], fig.Mid)
+	}
+}

@@ -1,0 +1,299 @@
+// Package matching implements bipartite matching primitives used by the
+// paper's upper-bound construction (Theorem 4.1): greedy maximal matchings,
+// Hopcroft–Karp maximum matchings, König vertex covers, and verification of
+// the induced-matching property central to Ruzsa–Szemerédi graphs.
+package matching
+
+import (
+	"sort"
+)
+
+// Bipartite is a bipartite graph between a left set L and right set R,
+// both addressed by dense int32 ids. Edges are stored as (left, right)
+// pairs.
+type Bipartite struct {
+	nl, nr int
+	adj    [][]int32 // adj[l] = sorted right neighbors
+	m      int
+}
+
+// NewBipartite returns an empty bipartite graph with nl left and nr right
+// vertices.
+func NewBipartite(nl, nr int) *Bipartite {
+	return &Bipartite{nl: nl, nr: nr, adj: make([][]int32, nl)}
+}
+
+// AddEdge inserts the edge (l, r). Duplicate edges are tolerated and
+// removed by Finish.
+func (b *Bipartite) AddEdge(l, r int32) {
+	b.adj[l] = append(b.adj[l], r)
+	b.m++
+}
+
+// Finish sorts and deduplicates adjacency lists. It must be called before
+// queries or matching computations.
+func (b *Bipartite) Finish() {
+	b.m = 0
+	for l := range b.adj {
+		a := b.adj[l]
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		out := a[:0]
+		for i, r := range a {
+			if i == 0 || r != a[i-1] {
+				out = append(out, r)
+			}
+		}
+		b.adj[l] = out
+		b.m += len(out)
+	}
+}
+
+// NumEdges returns the number of distinct edges (valid after Finish).
+func (b *Bipartite) NumEdges() int { return b.m }
+
+// LeftSize returns the number of left vertices.
+func (b *Bipartite) LeftSize() int { return b.nl }
+
+// RightSize returns the number of right vertices.
+func (b *Bipartite) RightSize() int { return b.nr }
+
+// HasEdge reports whether (l, r) is an edge (valid after Finish).
+func (b *Bipartite) HasEdge(l, r int32) bool {
+	a := b.adj[l]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= r })
+	return i < len(a) && a[i] == r
+}
+
+// Neighbors returns the right neighbors of l. The slice aliases internal
+// storage.
+func (b *Bipartite) Neighbors(l int32) []int32 { return b.adj[l] }
+
+// MatchEdge is one edge of a matching.
+type MatchEdge struct {
+	L, R int32
+}
+
+// GreedyMaximalMatching returns a maximal (not necessarily maximum)
+// matching: every edge of b shares an endpoint with some matched edge.
+func (b *Bipartite) GreedyMaximalMatching() []MatchEdge {
+	usedL := make([]bool, b.nl)
+	usedR := make([]bool, b.nr)
+	var out []MatchEdge
+	for l := int32(0); int(l) < b.nl; l++ {
+		if usedL[l] {
+			continue
+		}
+		for _, r := range b.adj[l] {
+			if !usedR[r] {
+				usedL[l] = true
+				usedR[r] = true
+				out = append(out, MatchEdge{L: l, R: r})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MaximumMatching returns a maximum matching via Hopcroft–Karp.
+func (b *Bipartite) MaximumMatching() []MatchEdge {
+	const unmatched = -1
+	matchL := make([]int32, b.nl)
+	matchR := make([]int32, b.nr)
+	for i := range matchL {
+		matchL[i] = unmatched
+	}
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+	dist := make([]int32, b.nl)
+	const inf = int32(1) << 30
+
+	bfs := func() bool {
+		queue := make([]int32, 0, b.nl)
+		for l := int32(0); int(l) < b.nl; l++ {
+			if matchL[l] == unmatched {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			l := queue[0]
+			queue = queue[1:]
+			for _, r := range b.adj[l] {
+				next := matchR[r]
+				if next == unmatched {
+					found = true
+				} else if dist[next] == inf {
+					dist[next] = dist[l] + 1
+					queue = append(queue, next)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(l int32) bool
+	dfs = func(l int32) bool {
+		for _, r := range b.adj[l] {
+			next := matchR[r]
+			if next == unmatched || (dist[next] == dist[l]+1 && dfs(next)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+	for bfs() {
+		for l := int32(0); int(l) < b.nl; l++ {
+			if matchL[l] == unmatched {
+				dfs(l)
+			}
+		}
+	}
+	var out []MatchEdge
+	for l := int32(0); int(l) < b.nl; l++ {
+		if matchL[l] != unmatched {
+			out = append(out, MatchEdge{L: l, R: matchL[l]})
+		}
+	}
+	return out
+}
+
+// VertexCover holds a bipartite vertex cover as left and right vertex sets.
+type VertexCover struct {
+	Left, Right []int32
+}
+
+// Size returns the total number of cover vertices.
+func (vc VertexCover) Size() int { return len(vc.Left) + len(vc.Right) }
+
+// MinimumVertexCover computes a minimum vertex cover via König's theorem
+// from a maximum matching.
+func (b *Bipartite) MinimumVertexCover() VertexCover {
+	matching := b.MaximumMatching()
+	matchL := make([]int32, b.nl)
+	matchR := make([]int32, b.nr)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	for _, e := range matching {
+		matchL[e.L] = e.R
+		matchR[e.R] = e.L
+	}
+	// Alternating BFS from unmatched left vertices.
+	visitedL := make([]bool, b.nl)
+	visitedR := make([]bool, b.nr)
+	queue := make([]int32, 0, b.nl)
+	for l := int32(0); int(l) < b.nl; l++ {
+		if matchL[l] == -1 {
+			visitedL[l] = true
+			queue = append(queue, l)
+		}
+	}
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		for _, r := range b.adj[l] {
+			if visitedR[r] {
+				continue
+			}
+			visitedR[r] = true
+			if next := matchR[r]; next != -1 && !visitedL[next] {
+				visitedL[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	// König: cover = (L \ visitedL) ∪ (R ∩ visitedR).
+	var vc VertexCover
+	for l := int32(0); int(l) < b.nl; l++ {
+		if !visitedL[l] {
+			vc.Left = append(vc.Left, l)
+		}
+	}
+	for r := int32(0); int(r) < b.nr; r++ {
+		if visitedR[r] {
+			vc.Right = append(vc.Right, r)
+		}
+	}
+	return vc
+}
+
+// CoverFromMatching returns the 2-approximate vertex cover consisting of
+// both endpoints of every matching edge (the form used in the paper's
+// Lemma 4.2 accounting, |VC| ≤ 2|MM|).
+func CoverFromMatching(matching []MatchEdge) VertexCover {
+	vc := VertexCover{
+		Left:  make([]int32, 0, len(matching)),
+		Right: make([]int32, 0, len(matching)),
+	}
+	for _, e := range matching {
+		vc.Left = append(vc.Left, e.L)
+		vc.Right = append(vc.Right, e.R)
+	}
+	return vc
+}
+
+// IsVertexCover verifies that every edge of b has an endpoint in vc.
+func (b *Bipartite) IsVertexCover(vc VertexCover) bool {
+	inL := make([]bool, b.nl)
+	inR := make([]bool, b.nr)
+	for _, l := range vc.Left {
+		inL[l] = true
+	}
+	for _, r := range vc.Right {
+		inR[r] = true
+	}
+	for l := int32(0); int(l) < b.nl; l++ {
+		if inL[l] {
+			continue
+		}
+		for _, r := range b.adj[l] {
+			if !inR[r] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMatching verifies that no two edges share an endpoint.
+func IsMatching(edges []MatchEdge) bool {
+	seenL := map[int32]bool{}
+	seenR := map[int32]bool{}
+	for _, e := range edges {
+		if seenL[e.L] || seenR[e.R] {
+			return false
+		}
+		seenL[e.L] = true
+		seenR[e.R] = true
+	}
+	return true
+}
+
+// IsInducedMatching verifies that m is an induced matching of b: m is a
+// matching and no edge of b connects two distinct matched pairs.
+func (b *Bipartite) IsInducedMatching(m []MatchEdge) bool {
+	if !IsMatching(m) {
+		return false
+	}
+	for i, e := range m {
+		for j, f := range m {
+			if i == j {
+				continue
+			}
+			if b.HasEdge(e.L, f.R) {
+				return false
+			}
+		}
+	}
+	return true
+}

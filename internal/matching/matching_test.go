@@ -1,0 +1,185 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func completeBipartite(nl, nr int) *Bipartite {
+	b := NewBipartite(nl, nr)
+	for l := int32(0); int(l) < nl; l++ {
+		for r := int32(0); int(r) < nr; r++ {
+			b.AddEdge(l, r)
+		}
+	}
+	b.Finish()
+	return b
+}
+
+func randomBipartite(seed int64, nl, nr, m int) *Bipartite {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBipartite(nl, nr)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(rng.Intn(nl)), int32(rng.Intn(nr)))
+	}
+	b.Finish()
+	return b
+}
+
+func TestFinishDedup(t *testing.T) {
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 0)
+	b.Finish()
+	if b.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", b.NumEdges())
+	}
+	if !b.HasEdge(0, 1) || !b.HasEdge(0, 0) || b.HasEdge(1, 0) {
+		t.Error("HasEdge gives wrong answers after Finish")
+	}
+}
+
+func TestGreedyMaximalMatching(t *testing.T) {
+	b := completeBipartite(3, 3)
+	m := b.GreedyMaximalMatching()
+	if !IsMatching(m) {
+		t.Fatal("greedy result is not a matching")
+	}
+	if len(m) != 3 {
+		t.Errorf("matching size = %d, want 3 (greedy is perfect on K33)", len(m))
+	}
+}
+
+func TestMaximalMatchingIsMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(20), 1+rng.Intn(20)
+		b := randomBipartite(seed, nl, nr, 2*(nl+nr))
+		m := b.GreedyMaximalMatching()
+		if !IsMatching(m) {
+			return false
+		}
+		usedL := make([]bool, nl)
+		usedR := make([]bool, nr)
+		for _, e := range m {
+			usedL[e.L] = true
+			usedR[e.R] = true
+		}
+		// Maximality: every edge touches a matched vertex.
+		for l := int32(0); int(l) < nl; l++ {
+			for _, r := range b.Neighbors(l) {
+				if !usedL[l] && !usedR[r] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaximumMatchingKnownValues(t *testing.T) {
+	// A path l0-r0-l1-r1: maximum matching has size 2.
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 1)
+	b.Finish()
+	m := b.MaximumMatching()
+	if len(m) != 2 {
+		t.Errorf("maximum matching size = %d, want 2", len(m))
+	}
+	if !IsMatching(m) {
+		t.Error("not a matching")
+	}
+	// Star: l0 connected to r0..r4 — max matching 1.
+	star := NewBipartite(1, 5)
+	for r := int32(0); r < 5; r++ {
+		star.AddEdge(0, r)
+	}
+	star.Finish()
+	if m := star.MaximumMatching(); len(m) != 1 {
+		t.Errorf("star matching size = %d, want 1", len(m))
+	}
+}
+
+func TestMaximumAtLeastGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(25), 1+rng.Intn(25)
+		b := randomBipartite(seed, nl, nr, 3*(nl+nr))
+		greedy := b.GreedyMaximalMatching()
+		max := b.MaximumMatching()
+		// Maximal matching is a 2-approximation of maximum.
+		return IsMatching(max) && len(max) >= len(greedy) && 2*len(greedy) >= len(max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKonigCover(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 1+rng.Intn(20), 1+rng.Intn(20)
+		b := randomBipartite(seed, nl, nr, 2*(nl+nr))
+		vc := b.MinimumVertexCover()
+		if !b.IsVertexCover(vc) {
+			return false
+		}
+		// König: |min cover| = |max matching|.
+		return vc.Size() == len(b.MaximumMatching())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverFromMatching(t *testing.T) {
+	b := completeBipartite(4, 4)
+	m := b.GreedyMaximalMatching()
+	vc := CoverFromMatching(m)
+	if !b.IsVertexCover(vc) {
+		t.Error("matched endpoints do not form a vertex cover")
+	}
+	if vc.Size() != 2*len(m) {
+		t.Errorf("cover size = %d, want %d", vc.Size(), 2*len(m))
+	}
+}
+
+func TestIsInducedMatching(t *testing.T) {
+	// K22 has no induced matching of size 2 (all cross edges present).
+	b := completeBipartite(2, 2)
+	bad := []MatchEdge{{0, 0}, {1, 1}}
+	if b.IsInducedMatching(bad) {
+		t.Error("perfect matching of K22 reported as induced")
+	}
+	// Two disjoint edges with no cross edges are induced.
+	b2 := NewBipartite(2, 2)
+	b2.AddEdge(0, 0)
+	b2.AddEdge(1, 1)
+	b2.Finish()
+	good := []MatchEdge{{0, 0}, {1, 1}}
+	if !b2.IsInducedMatching(good) {
+		t.Error("disjoint edges not reported as induced matching")
+	}
+	// A non-matching must be rejected.
+	if b2.IsInducedMatching([]MatchEdge{{0, 0}, {0, 1}}) {
+		t.Error("non-matching accepted")
+	}
+}
+
+func TestEmptyBipartite(t *testing.T) {
+	b := NewBipartite(0, 0)
+	b.Finish()
+	if len(b.MaximumMatching()) != 0 {
+		t.Error("non-empty matching on empty graph")
+	}
+	if vc := b.MinimumVertexCover(); vc.Size() != 0 {
+		t.Error("non-empty cover on empty graph")
+	}
+}

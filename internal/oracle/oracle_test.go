@@ -1,0 +1,134 @@
+package oracle
+
+import (
+	"errors"
+	"testing"
+
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/sssp"
+)
+
+func TestOraclesAgree(t *testing.T) {
+	g, err := gen.Gnm(120, 220, 5)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	matrix, err := NewMatrix(g)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	labels, err := NewLabels(g)
+	if err != nil {
+		t.Fatalf("NewLabels: %v", err)
+	}
+	search := NewSearch(g)
+	truth := sssp.AllPairs(g)
+	for u := 0; u < 120; u += 7 {
+		for v := 0; v < 120; v += 5 {
+			want := truth[u][v]
+			for _, o := range []Oracle{matrix, labels, search} {
+				if got := o.Distance(graph.NodeID(u), graph.NodeID(v)); got != want {
+					t.Fatalf("%s(%d,%d) = %d, want %d", o.Name(), u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOracleSpaceAccounting(t *testing.T) {
+	g, err := gen.Gnm(100, 180, 3)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	matrix, err := NewMatrix(g)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if want := int64(100 * 100 * 4); matrix.SpaceBytes() != want {
+		t.Errorf("matrix space = %d, want %d", matrix.SpaceBytes(), want)
+	}
+	labels, err := NewLabels(g)
+	if err != nil {
+		t.Fatalf("NewLabels: %v", err)
+	}
+	if want := int64(labels.Labeling().ComputeStats().Total) * 8; labels.SpaceBytes() != want {
+		t.Errorf("labels space = %d, want %d", labels.SpaceBytes(), want)
+	}
+	search := NewSearch(g)
+	if search.SpaceBytes() <= 0 {
+		t.Errorf("search space = %d", search.SpaceBytes())
+	}
+	// The expected ordering on a sparse graph: search < labels < matrix.
+	if !(search.SpaceBytes() < labels.SpaceBytes() && labels.SpaceBytes() < matrix.SpaceBytes()) {
+		t.Errorf("space ordering violated: search=%d labels=%d matrix=%d",
+			search.SpaceBytes(), labels.SpaceBytes(), matrix.SpaceBytes())
+	}
+}
+
+func TestTradeoffTable(t *testing.T) {
+	g, err := gen.RandomRegular(150, 3, 9)
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	points, err := Tradeoff(g, 300)
+	if err != nil {
+		t.Fatalf("Tradeoff: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	for _, p := range points {
+		if p.SpaceBytes <= 0 || p.AvgQueryOps <= 0 || p.SpaceTimeProduct <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+	// Query-op ordering must be the reverse of the space ordering.
+	if !(points[0].AvgQueryOps < points[1].AvgQueryOps &&
+		points[1].AvgQueryOps < points[2].AvgQueryOps) {
+		t.Errorf("query ordering violated: %+v", points)
+	}
+}
+
+func TestMatrixTooLarge(t *testing.T) {
+	b := graph.NewBuilder(0, 0)
+	b.Grow(maxMatrixVertices + 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := NewMatrix(g); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestTradeoffEmptyGraph(t *testing.T) {
+	g, err := graph.NewBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := Tradeoff(g, 10); err == nil {
+		t.Error("Tradeoff(empty) succeeded")
+	}
+}
+
+func TestSearchDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4, 2)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := NewSearch(g)
+	if d := s.Distance(0, 3); d != graph.Infinity {
+		t.Errorf("Distance across components = %d, want Infinity", d)
+	}
+	m, err := NewMatrix(g)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	if d := m.Distance(0, 3); d != graph.Infinity {
+		t.Errorf("matrix Distance across components = %d, want Infinity", d)
+	}
+}

@@ -1,0 +1,89 @@
+package pll
+
+import (
+	"fmt"
+	"sort"
+
+	"hublab/internal/graph"
+)
+
+// GridSeparatorOrder returns a landmark order for the rows×cols grid that
+// mirrors the recursive balanced-separator hierarchy the paper credits for
+// planar O(√n) hub labelings (GPPR04): the middle row/column of each
+// recursive block comes before the block's two halves. Degree order cannot
+// find this structure (all interior degrees are equal); this order makes
+// PLL exploit it.
+func GridSeparatorOrder(rows, cols int) ([]graph.NodeID, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("%w: rows=%d cols=%d", ErrBadOrder, rows, cols)
+	}
+	order := make([]graph.NodeID, 0, rows*cols)
+	emitted := make([]bool, rows*cols)
+	emit := func(r, c int) {
+		id := r*cols + c
+		if !emitted[id] {
+			emitted[id] = true
+			order = append(order, graph.NodeID(id))
+		}
+	}
+	// Breadth-first over recursion levels so that coarse separators of all
+	// blocks precede finer ones.
+	type block struct{ r0, r1, c0, c1 int } // half-open
+	queue := []block{{0, rows, 0, cols}}
+	for len(queue) > 0 {
+		next := queue[:0:0]
+		for _, bl := range queue {
+			h, w := bl.r1-bl.r0, bl.c1-bl.c0
+			if h <= 0 || w <= 0 {
+				continue
+			}
+			if h >= w {
+				mid := bl.r0 + h/2
+				for c := bl.c0; c < bl.c1; c++ {
+					emit(mid, c)
+				}
+				next = append(next, block{bl.r0, mid, bl.c0, bl.c1},
+					block{mid + 1, bl.r1, bl.c0, bl.c1})
+			} else {
+				mid := bl.c0 + w/2
+				for r := bl.r0; r < bl.r1; r++ {
+					emit(r, mid)
+				}
+				next = append(next, block{bl.r0, bl.r1, bl.c0, mid},
+					block{bl.r0, bl.r1, mid + 1, bl.c1})
+			}
+		}
+		queue = next
+	}
+	return order, nil
+}
+
+// RoadHighwayOrder returns a landmark order for the RoadLike rows×cols
+// generator: vertices on highway rows/columns (multiples of period) first —
+// intersections of two highways before single-highway vertices — then the
+// rest. This is the highway-dimension intuition (ADF+16) in executable
+// form: shortest paths concentrate on the fast subnetwork, so its vertices
+// make disproportionately good hubs.
+func RoadHighwayOrder(rows, cols, period int) ([]graph.NodeID, error) {
+	if rows < 1 || cols < 1 || period < 1 {
+		return nil, fmt.Errorf("%w: rows=%d cols=%d period=%d", ErrBadOrder, rows, cols, period)
+	}
+	n := rows * cols
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	rank := func(v graph.NodeID) int {
+		r, c := int(v)/cols, int(v)%cols
+		score := 0
+		if r%period == 0 {
+			score++
+		}
+		if c%period == 0 {
+			score++
+		}
+		return score
+	}
+	sort.SliceStable(order, func(i, j int) bool { return rank(order[i]) > rank(order[j]) })
+	return order, nil
+}

@@ -1,0 +1,225 @@
+// Package pll implements pruned landmark labeling (the 2-hop-cover
+// construction of Akiba, Iwata and Yoshikawa), the standard practical hub
+// labeling algorithm the paper's bounds speak to. Vertices are processed in
+// a priority order; from each one a pruned BFS (or pruned Dijkstra on
+// weighted graphs) adds the root as a hub exactly where the current labels
+// cannot already certify the distance. The result is always a valid
+// shortest-path cover, and is minimal with respect to the chosen order.
+package pll
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hublab/internal/graph"
+	"hublab/internal/hub"
+	"hublab/internal/pqueue"
+)
+
+// ErrBadOrder reports an order that is not a permutation of the vertices.
+var ErrBadOrder = errors.New("pll: order is not a permutation of V")
+
+// Order enumerates vertex orders for the landmark processing priority.
+type Order int
+
+// Supported orders. Degree order (hubs first at high-degree vertices) is the
+// standard default; random and natural orders exist for ablations.
+const (
+	OrderDegree Order = iota + 1
+	OrderRandom
+	OrderNatural
+)
+
+// Options configures Build.
+type Options struct {
+	// Order selects the built-in processing order (default OrderDegree).
+	Order Order
+	// Seed drives OrderRandom.
+	Seed int64
+	// Custom, when non-nil, overrides Order: vertices are processed in the
+	// given sequence, which must be a permutation of V.
+	Custom []graph.NodeID
+}
+
+// Build computes a pruned landmark labeling of g.
+func Build(g *graph.Graph, opts Options) (*hub.Labeling, error) {
+	order, err := buildOrder(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	if g.Weighted() {
+		return buildWeighted(g, order), nil
+	}
+	return buildUnweighted(g, order), nil
+}
+
+func buildOrder(g *graph.Graph, opts Options) ([]graph.NodeID, error) {
+	n := g.NumNodes()
+	if opts.Custom != nil {
+		if len(opts.Custom) != n {
+			return nil, fmt.Errorf("%w: got %d vertices, want %d", ErrBadOrder, len(opts.Custom), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range opts.Custom {
+			if int(v) < 0 || int(v) >= n || seen[v] {
+				return nil, fmt.Errorf("%w: bad or repeated vertex %d", ErrBadOrder, v)
+			}
+			seen[v] = true
+		}
+		return opts.Custom, nil
+	}
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	switch opts.Order {
+	case OrderRandom:
+		rng := rand.New(rand.NewSource(opts.Seed))
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	case OrderNatural:
+		// keep as-is
+	default: // OrderDegree
+		sort.SliceStable(order, func(i, j int) bool {
+			return g.Degree(order[i]) > g.Degree(order[j])
+		})
+	}
+	return order, nil
+}
+
+// buildUnweighted runs one pruned BFS per root in priority order.
+//
+// Labels are accumulated in root-rank order; since pruning only ever
+// consults labels of already-ranked roots, a temporary array holding the
+// current root's distances makes each prune check O(|label|).
+func buildUnweighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
+	n := g.NumNodes()
+	labels := make([][]hub.Hub, n)
+	rootDist := make([]graph.Weight, n) // distances from current root's label
+	for i := range rootDist {
+		rootDist[i] = graph.Infinity
+	}
+	dist := make([]graph.Weight, n)
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	queue := make([]graph.NodeID, 0, n)
+	visited := make([]graph.NodeID, 0, n)
+
+	for _, root := range order {
+		// Load the root's current label into rootDist for O(1) lookups.
+		for _, h := range labels[root] {
+			rootDist[h.Node] = h.Dist
+		}
+		dist[root] = 0
+		queue = append(queue[:0], root)
+		visited = append(visited[:0], root)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			du := dist[u]
+			// Prune: can existing labels already certify dist(root,u) ≤ du?
+			pruned := false
+			for _, h := range labels[u] {
+				if rd := rootDist[h.Node]; rd < graph.Infinity && rd+h.Dist <= du {
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				continue
+			}
+			labels[u] = append(labels[u], hub.Hub{Node: root, Dist: du})
+			for _, v := range g.Neighbors(u) {
+				if dist[v] == graph.Infinity {
+					dist[v] = du + 1
+					queue = append(queue, v)
+					visited = append(visited, v)
+				}
+			}
+		}
+		for _, h := range labels[root] {
+			rootDist[h.Node] = graph.Infinity
+		}
+		for _, v := range visited {
+			dist[v] = graph.Infinity
+		}
+	}
+	l := hub.NewLabeling(n)
+	for v := range labels {
+		l.SetLabel(graph.NodeID(v), labels[v])
+	}
+	l.Canonicalize()
+	return l
+}
+
+// buildWeighted is the pruned Dijkstra variant (handles any non-negative
+// weights, including the 0-weight auxiliary edges used by degree
+// reduction).
+func buildWeighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
+	n := g.NumNodes()
+	labels := make([][]hub.Hub, n)
+	rootDist := make([]graph.Weight, n)
+	for i := range rootDist {
+		rootDist[i] = graph.Infinity
+	}
+	dist := make([]graph.Weight, n)
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	h := pqueue.New(n)
+	visited := make([]graph.NodeID, 0, n)
+
+	for _, root := range order {
+		for _, e := range labels[root] {
+			rootDist[e.Node] = e.Dist
+		}
+		dist[root] = 0
+		h.Reset()
+		h.Push(root, 0)
+		visited = append(visited[:0], root)
+		for h.Len() > 0 {
+			u, du := h.Pop()
+			if du > dist[u] {
+				continue
+			}
+			pruned := false
+			for _, e := range labels[u] {
+				if rd := rootDist[e.Node]; rd < graph.Infinity && rd+e.Dist <= du {
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				continue
+			}
+			labels[u] = append(labels[u], hub.Hub{Node: root, Dist: du})
+			ws := g.NeighborWeights(u)
+			for i, v := range g.Neighbors(u) {
+				w := graph.Weight(1)
+				if ws != nil {
+					w = ws[i]
+				}
+				if nd := du + w; nd < dist[v] {
+					if dist[v] == graph.Infinity {
+						visited = append(visited, v)
+					}
+					dist[v] = nd
+					h.Push(v, nd)
+				}
+			}
+		}
+		for _, e := range labels[root] {
+			rootDist[e.Node] = graph.Infinity
+		}
+		for _, v := range visited {
+			dist[v] = graph.Infinity
+		}
+	}
+	l := hub.NewLabeling(n)
+	for v := range labels {
+		l.SetLabel(graph.NodeID(v), labels[v])
+	}
+	l.Canonicalize()
+	return l
+}

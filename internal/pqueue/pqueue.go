@@ -1,0 +1,121 @@
+// Package pqueue implements an indexed binary min-heap keyed by int32
+// priorities, specialized for Dijkstra-style graph searches over dense
+// int32 vertex ids.
+package pqueue
+
+// IndexedHeap is a min-heap over items 0..n-1 with int32 keys supporting
+// DecreaseKey. The zero value is not usable; call New.
+type IndexedHeap struct {
+	keys []int32 // key per item id; valid while item is queued
+	heap []int32 // item ids in heap order
+	pos  []int32 // pos[item] = index in heap, -1 if absent
+}
+
+// New returns a heap supporting item ids in [0, n).
+func New(n int) *IndexedHeap {
+	h := &IndexedHeap{
+		keys: make([]int32, n),
+		heap: make([]int32, 0, n),
+		pos:  make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of queued items.
+func (h *IndexedHeap) Len() int { return len(h.heap) }
+
+// Contains reports whether item is currently queued.
+func (h *IndexedHeap) Contains(item int32) bool { return h.pos[item] >= 0 }
+
+// Key returns the current key of a queued item. The result is undefined for
+// items not in the heap.
+func (h *IndexedHeap) Key(item int32) int32 { return h.keys[item] }
+
+// Push inserts item with the given key, or decreases its key if it is
+// already queued with a larger key. Pushing a queued item with a larger key
+// is a no-op. This is the standard "lazy decrease" Dijkstra primitive.
+func (h *IndexedHeap) Push(item int32, key int32) {
+	if p := h.pos[item]; p >= 0 {
+		if key < h.keys[item] {
+			h.keys[item] = key
+			h.up(int(p))
+		}
+		return
+	}
+	h.keys[item] = key
+	h.pos[item] = int32(len(h.heap))
+	h.heap = append(h.heap, item)
+	h.up(len(h.heap) - 1)
+}
+
+// Peek returns the item with minimum key without removing it. It must not
+// be called on an empty heap.
+func (h *IndexedHeap) Peek() (item int32, key int32) {
+	item = h.heap[0]
+	return item, h.keys[item]
+}
+
+// Pop removes and returns the item with minimum key.
+func (h *IndexedHeap) Pop() (item int32, key int32) {
+	item = h.heap[0]
+	key = h.keys[item]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[item] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return item, key
+}
+
+// Reset empties the heap for reuse without reallocating.
+func (h *IndexedHeap) Reset() {
+	for _, item := range h.heap {
+		h.pos[item] = -1
+	}
+	h.heap = h.heap[:0]
+}
+
+func (h *IndexedHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *IndexedHeap) less(i, j int) bool {
+	return h.keys[h.heap[i]] < h.keys[h.heap[j]]
+}
+
+func (h *IndexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

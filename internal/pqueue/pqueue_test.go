@@ -1,0 +1,133 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrdering(t *testing.T) {
+	h := New(10)
+	keys := []int32{5, 3, 8, 1, 9, 2, 7, 0, 6, 4}
+	for i, k := range keys {
+		h.Push(int32(i), k)
+	}
+	var got []int32
+	for h.Len() > 0 {
+		_, k := h.Pop()
+		got = append(got, k)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("pop order not sorted: %v", got)
+	}
+	if len(got) != 10 {
+		t.Errorf("popped %d items, want 10", len(got))
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	h := New(3)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.Push(2, 5) // decrease
+	item, key := h.Pop()
+	if item != 2 || key != 5 {
+		t.Errorf("Pop = (%d,%d), want (2,5)", item, key)
+	}
+	h.Push(1, 25) // attempted increase must be ignored
+	item, key = h.Pop()
+	if item != 0 || key != 10 {
+		t.Errorf("Pop = (%d,%d), want (0,10)", item, key)
+	}
+	item, key = h.Pop()
+	if item != 1 || key != 20 {
+		t.Errorf("Pop = (%d,%d), want (1,20) (increase ignored)", item, key)
+	}
+}
+
+func TestContainsAndKey(t *testing.T) {
+	h := New(4)
+	if h.Contains(2) {
+		t.Error("Contains(2) on empty heap")
+	}
+	h.Push(2, 7)
+	if !h.Contains(2) || h.Key(2) != 7 {
+		t.Errorf("Contains/Key = %v/%d, want true/7", h.Contains(2), h.Key(2))
+	}
+	h.Pop()
+	if h.Contains(2) {
+		t.Error("Contains(2) after Pop")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(5)
+	for i := int32(0); i < 5; i++ {
+		h.Push(i, i)
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+	for i := int32(0); i < 5; i++ {
+		if h.Contains(i) {
+			t.Errorf("Contains(%d) after Reset", i)
+		}
+	}
+	h.Push(3, 1)
+	if item, key := h.Pop(); item != 3 || key != 1 {
+		t.Errorf("Pop after Reset = (%d,%d), want (3,1)", item, key)
+	}
+}
+
+// TestHeapProperty: random workloads of pushes and decrease-keys always pop
+// in non-decreasing key order, matching a reference sort.
+func TestHeapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		h := New(n)
+		best := make(map[int32]int32)
+		ops := 3 * n
+		for i := 0; i < ops; i++ {
+			item := int32(rng.Intn(n))
+			key := int32(rng.Intn(1000))
+			h.Push(item, key)
+			if old, ok := best[item]; !ok || key < old {
+				best[item] = key
+			}
+		}
+		var want []int32
+		for _, k := range best {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []int32
+		seen := make(map[int32]bool)
+		for h.Len() > 0 {
+			item, key := h.Pop()
+			if seen[item] {
+				return false // duplicate pop
+			}
+			seen[item] = true
+			if key != best[item] {
+				return false // popped key must be the minimum pushed
+			}
+			got = append(got, key)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

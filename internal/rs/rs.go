@@ -1,0 +1,330 @@
+// Package rs implements the Ruzsa–Szemerédi substrate of the paper:
+// Behrend's construction of large progression-free sets (the source of the
+// upper bound RS(n) ≤ 2^{O(√log n)}), the classical tripartite graph whose
+// every edge lies in exactly one triangle, and the norm-shell induced
+// matching family (the Alon–Moitra–Sudakov mechanism that the paper tweaks
+// into its layered lower-bound graph H_{b,ℓ}).
+package rs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadParam reports invalid parameters.
+var ErrBadParam = errors.New("rs: invalid parameter")
+
+// BehrendSet returns a progression-free subset of [0, n): no three distinct
+// elements x, y, z satisfy x + z = 2y. It searches Behrend's sphere
+// construction over a small range of dimensions and returns the largest
+// shell found (falling back to tiny explicit sets for small n).
+func BehrendSet(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	var best []int
+	switch {
+	case n == 1:
+		return []int{0}
+	case n <= 3:
+		return []int{0, 1}
+	default:
+		best = []int{0, 1, 3}
+	}
+	maxDim := int(math.Max(2, math.Round(math.Sqrt(math.Log2(float64(n))))))
+	for d := 2; d <= maxDim+2; d++ {
+		base := int(math.Floor(math.Pow(float64(n), 1.0/float64(d))))
+		if base < 3 {
+			continue
+		}
+		// Digits in [0, m) with m = ⌈base/2⌉ avoid carries when adding two
+		// set elements digit-wise, so digit-vector equations lift to ℤ.
+		m := (base + 1) / 2
+		if m < 2 {
+			continue
+		}
+		shells := make(map[int][]int)
+		digits := make([]int, d)
+		for {
+			norm, value, pow := 0, 0, 1
+			for k := 0; k < d; k++ {
+				norm += digits[k] * digits[k]
+				value += digits[k] * pow
+				pow *= base
+			}
+			if value < n {
+				shells[norm] = append(shells[norm], value)
+			}
+			k := 0
+			for k < d {
+				digits[k]++
+				if digits[k] < m {
+					break
+				}
+				digits[k] = 0
+				k++
+			}
+			if k == d {
+				break
+			}
+		}
+		for _, shell := range shells {
+			if len(shell) > len(best) {
+				best = shell
+			}
+		}
+	}
+	sort.Ints(best)
+	return best
+}
+
+// IsProgressionFree verifies that no three distinct elements of set form an
+// arithmetic progression x + z = 2y (O(|set|²) with a member lookup).
+func IsProgressionFree(set []int) bool {
+	member := make(map[int]bool, len(set))
+	for _, v := range set {
+		member[v] = true
+	}
+	for i, x := range set {
+		for j, z := range set {
+			if i == j {
+				continue
+			}
+			sum := x + z
+			if sum%2 != 0 {
+				continue
+			}
+			y := sum / 2
+			if y != x && y != z && member[y] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TriangleGraph is the classical Ruzsa–Szemerédi tripartite structure built
+// from a progression-free set B ⊆ [0,n): parts X = [0,n), Y = [0,2n),
+// Z = [0,3n); for every x ∈ X and a ∈ B a triangle {x, x+a, x+2a}.
+// Progression-freeness makes these n·|B| triangles edge-disjoint and the
+// only triangles of the graph — the (6,3) structure behind Definition 1.3.
+type TriangleGraph struct {
+	N int
+	B []int
+	// Triangles counts n·|B|.
+	Triangles int
+}
+
+// NewTriangleGraph validates B against n and constructs the descriptor.
+func NewTriangleGraph(n int, b []int) (*TriangleGraph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParam, n)
+	}
+	for _, a := range b {
+		if a < 0 || a >= n {
+			return nil, fmt.Errorf("%w: element %d outside [0,%d)", ErrBadParam, a, n)
+		}
+	}
+	if !IsProgressionFree(b) {
+		return nil, fmt.Errorf("%w: set is not progression-free", ErrBadParam)
+	}
+	return &TriangleGraph{N: n, B: append([]int(nil), b...), Triangles: n * len(b)}, nil
+}
+
+// NumVertices returns 6n.
+func (t *TriangleGraph) NumVertices() int { return 6 * t.N }
+
+// NumEdges returns 3·n·|B| (three edges per triangle, all distinct).
+func (t *TriangleGraph) NumEdges() int { return 3 * t.Triangles }
+
+// VerifyUniqueTriangles exhaustively checks that every XY edge of the graph
+// lies in exactly one triangle — the executable content of the RS/(6,3)
+// structure. A triangle on (x, x+a, x+a+a') needs a” = (a+a')/2 ∈ B, and
+// progression-freeness forces a = a' = a”. Cost O(n·|B|²).
+func (t *TriangleGraph) VerifyUniqueTriangles() error {
+	inB := make(map[int]bool, len(t.B))
+	for _, a := range t.B {
+		inB[a] = true
+	}
+	for x := 0; x < t.N; x++ {
+		for _, a := range t.B {
+			count := 0
+			for _, ap := range t.B {
+				sum := a + ap
+				if sum%2 == 0 && inB[sum/2] {
+					count++
+				}
+			}
+			if count != 1 {
+				return fmt.Errorf("rs: edge (x=%d, a=%d) lies in %d triangles, want 1", x, a, count)
+			}
+		}
+	}
+	return nil
+}
+
+// MatchingFamily is the norm-shell induced matching family: bipartite
+// vertex sets L = R = [0,s)^ℓ, an edge (x, z) whenever z-x is
+// coordinate-wise even with canonical sign and Σ((z_k-x_k)/2)² equals the
+// shell norm ρ, and matchings indexed by the midpoint y = (x+z)/2. The
+// parallelogram identity sends any cross pair to a strictly smaller shell,
+// so every midpoint class is an induced matching — the mechanism that makes
+// the midpoints of H_{b,ℓ} unavoidable hubs.
+type MatchingFamily struct {
+	S, L, Rho int
+	// Edges lists the (xIndex, zIndex) pairs.
+	Edges [][2]int
+	// ByMidpoint groups edge indices by midpoint index.
+	ByMidpoint map[int][]int
+}
+
+// NewMatchingFamily enumerates the family for side s (even), dimension ℓ
+// and shell ρ ≥ 1.
+func NewMatchingFamily(s, l, rho int) (*MatchingFamily, error) {
+	if s < 2 || s%2 != 0 || l < 1 || rho < 1 {
+		return nil, fmt.Errorf("%w: s=%d l=%d rho=%d", ErrBadParam, s, l, rho)
+	}
+	size := 1
+	for k := 0; k < l; k++ {
+		size *= s
+		if size > 1<<20 {
+			return nil, fmt.Errorf("%w: [0,%d)^%d too large", ErrBadParam, s, l)
+		}
+	}
+	mf := &MatchingFamily{S: s, L: l, Rho: rho, ByMidpoint: make(map[int][]int)}
+	deltas := enumerateDeltas(l, s, rho)
+	y := make([]int, l)
+	x := make([]int, l)
+	z := make([]int, l)
+	var enumY func(k int)
+	enumY = func(k int) {
+		if k == l {
+			yIdx := indexOf(y, s)
+			for _, d := range deltas {
+				ok := true
+				for kk := 0; kk < l; kk++ {
+					x[kk] = y[kk] - d[kk]
+					z[kk] = y[kk] + d[kk]
+					if x[kk] < 0 || x[kk] >= s || z[kk] < 0 || z[kk] >= s {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				mf.ByMidpoint[yIdx] = append(mf.ByMidpoint[yIdx], len(mf.Edges))
+				mf.Edges = append(mf.Edges, [2]int{indexOf(x, s), indexOf(z, s)})
+			}
+			return
+		}
+		for v := 0; v < s; v++ {
+			y[k] = v
+			enumY(k + 1)
+		}
+	}
+	enumY(0)
+	return mf, nil
+}
+
+// enumerateDeltas lists integer vectors δ of squared norm rho whose first
+// nonzero coordinate is positive (one canonical representative per ±δ
+// pair).
+func enumerateDeltas(l, s, rho int) [][]int {
+	var out [][]int
+	cur := make([]int, l)
+	var rec func(k, norm int)
+	rec = func(k, norm int) {
+		if norm > rho {
+			return
+		}
+		if k == l {
+			if norm != rho {
+				return
+			}
+			first := 0
+			for first < l && cur[first] == 0 {
+				first++
+			}
+			if first == l || cur[first] < 0 {
+				return
+			}
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for d := -(s - 1); d <= s-1; d++ {
+			cur[k] = d
+			rec(k+1, norm+d*d)
+		}
+		cur[k] = 0
+	}
+	rec(0, 0)
+	return out
+}
+
+func indexOf(vec []int, s int) int {
+	idx := 0
+	for k := len(vec) - 1; k >= 0; k-- {
+		idx = idx*s + vec[k]
+	}
+	return idx
+}
+
+// NumEdges returns the number of edges across all matchings.
+func (mf *MatchingFamily) NumEdges() int { return len(mf.Edges) }
+
+// NumMatchings returns the number of nonempty midpoint classes.
+func (mf *MatchingFamily) NumMatchings() int { return len(mf.ByMidpoint) }
+
+// VerifyInduced checks that every midpoint class is an induced matching in
+// the shell graph: classes are matchings, and no shell edge connects
+// endpoints of two different edges of the same class.
+func (mf *MatchingFamily) VerifyInduced() error {
+	present := make(map[[2]int]bool, len(mf.Edges))
+	for _, e := range mf.Edges {
+		present[e] = true
+	}
+	for mid, idxs := range mf.ByMidpoint {
+		seenL := map[int]bool{}
+		seenR := map[int]bool{}
+		for _, i := range idxs {
+			e := mf.Edges[i]
+			if seenL[e[0]] || seenR[e[1]] {
+				return fmt.Errorf("rs: midpoint %d class is not a matching", mid)
+			}
+			seenL[e[0]] = true
+			seenR[e[1]] = true
+		}
+		for _, i := range idxs {
+			for _, j := range idxs {
+				if i == j {
+					continue
+				}
+				cross := [2]int{mf.Edges[i][0], mf.Edges[j][1]}
+				if present[cross] {
+					return fmt.Errorf("rs: midpoint %d class has cross edge %v", mid, cross)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BestShell returns the ρ ∈ [1, maxRho] maximizing the edge count of the
+// matching family for (s, ℓ).
+func BestShell(s, l, maxRho int) (rho, edges int, err error) {
+	best, bestEdges := 1, -1
+	for r := 1; r <= maxRho; r++ {
+		mf, ferr := NewMatchingFamily(s, l, r)
+		if ferr != nil {
+			return 0, 0, ferr
+		}
+		if mf.NumEdges() > bestEdges {
+			bestEdges = mf.NumEdges()
+			best = r
+		}
+	}
+	return best, bestEdges, nil
+}

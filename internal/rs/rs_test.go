@@ -1,0 +1,180 @@
+package rs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBehrendSetProgressionFree(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 10, 50, 100, 500, 1000, 5000} {
+		set := BehrendSet(n)
+		if len(set) == 0 {
+			t.Errorf("BehrendSet(%d) empty", n)
+			continue
+		}
+		for _, v := range set {
+			if v < 0 || v >= n {
+				t.Errorf("BehrendSet(%d) contains out-of-range %d", n, v)
+			}
+		}
+		if !IsProgressionFree(set) {
+			t.Errorf("BehrendSet(%d) = %v contains an AP", n, set)
+		}
+	}
+}
+
+func TestBehrendSetGrowsSuperlinearlyInDensity(t *testing.T) {
+	// |B(n)| should grow clearly faster than √n for moderate n — Behrend
+	// sets are n^{1-o(1)}. We check |B(4096)| > 3·|B(64)| as a loose shape
+	// test.
+	small := len(BehrendSet(64))
+	large := len(BehrendSet(4096))
+	if large <= 3*small {
+		t.Errorf("Behrend growth too slow: |B(64)|=%d |B(4096)|=%d", small, large)
+	}
+}
+
+func TestIsProgressionFree(t *testing.T) {
+	cases := []struct {
+		set  []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{5}, true},
+		{[]int{1, 2}, true},
+		{[]int{1, 2, 3}, false},
+		{[]int{0, 1, 3}, true},
+		{[]int{0, 2, 4}, false},
+		{[]int{1, 5, 9}, false},
+		{[]int{0, 1, 5, 11}, true},
+	}
+	for _, tc := range cases {
+		if got := IsProgressionFree(tc.set); got != tc.want {
+			t.Errorf("IsProgressionFree(%v) = %v, want %v", tc.set, got, tc.want)
+		}
+	}
+}
+
+func TestTriangleGraph(t *testing.T) {
+	n := 200
+	b := BehrendSet(n / 3) // keep x+2a < 3n comfortably
+	tg, err := NewTriangleGraph(n, b)
+	if err != nil {
+		t.Fatalf("NewTriangleGraph: %v", err)
+	}
+	if tg.NumVertices() != 6*n {
+		t.Errorf("NumVertices = %d, want %d", tg.NumVertices(), 6*n)
+	}
+	if tg.NumEdges() != 3*n*len(b) {
+		t.Errorf("NumEdges = %d, want %d", tg.NumEdges(), 3*n*len(b))
+	}
+	if err := tg.VerifyUniqueTriangles(); err != nil {
+		t.Errorf("VerifyUniqueTriangles: %v", err)
+	}
+}
+
+func TestTriangleGraphRejectsAP(t *testing.T) {
+	if _, err := NewTriangleGraph(10, []int{1, 2, 3}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("AP set accepted: %v", err)
+	}
+	if _, err := NewTriangleGraph(10, []int{11}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("out-of-range element accepted: %v", err)
+	}
+	if _, err := NewTriangleGraph(0, nil); !errors.Is(err, ErrBadParam) {
+		t.Errorf("n=0 accepted: %v", err)
+	}
+}
+
+func TestMatchingFamilyBasics(t *testing.T) {
+	mf, err := NewMatchingFamily(4, 2, 1)
+	if err != nil {
+		t.Fatalf("NewMatchingFamily: %v", err)
+	}
+	if mf.NumEdges() == 0 {
+		t.Fatal("family has no edges")
+	}
+	if err := mf.VerifyInduced(); err != nil {
+		t.Errorf("VerifyInduced: %v", err)
+	}
+	// Midpoint classes partition the edges.
+	total := 0
+	for _, idxs := range mf.ByMidpoint {
+		total += len(idxs)
+	}
+	if total != mf.NumEdges() {
+		t.Errorf("classes cover %d edges, want %d", total, mf.NumEdges())
+	}
+}
+
+func TestMatchingFamilyInducedAcrossParams(t *testing.T) {
+	for _, tc := range []struct{ s, l, rho int }{
+		{2, 2, 1}, {4, 1, 1}, {4, 2, 2}, {4, 3, 1}, {6, 2, 2}, {8, 2, 5},
+	} {
+		mf, err := NewMatchingFamily(tc.s, tc.l, tc.rho)
+		if err != nil {
+			t.Fatalf("NewMatchingFamily(%+v): %v", tc, err)
+		}
+		if err := mf.VerifyInduced(); err != nil {
+			t.Errorf("params %+v: %v", tc, err)
+		}
+	}
+}
+
+func TestMatchingFamilyErrors(t *testing.T) {
+	cases := []struct{ s, l, rho int }{
+		{3, 2, 1},  // odd side
+		{0, 1, 1},  // bad side
+		{4, 0, 1},  // bad dimension
+		{4, 2, 0},  // bad shell
+		{4, 30, 1}, // too large
+	}
+	for _, tc := range cases {
+		if _, err := NewMatchingFamily(tc.s, tc.l, tc.rho); !errors.Is(err, ErrBadParam) {
+			t.Errorf("params %+v accepted: %v", tc, err)
+		}
+	}
+}
+
+func TestBestShell(t *testing.T) {
+	rho, edges, err := BestShell(4, 2, 8)
+	if err != nil {
+		t.Fatalf("BestShell: %v", err)
+	}
+	if rho < 1 || rho > 8 || edges <= 0 {
+		t.Errorf("BestShell = (%d,%d)", rho, edges)
+	}
+	// The best shell must dominate shell 1.
+	mf1, err := NewMatchingFamily(4, 2, 1)
+	if err != nil {
+		t.Fatalf("NewMatchingFamily: %v", err)
+	}
+	if edges < mf1.NumEdges() {
+		t.Errorf("best shell %d has %d edges < shell 1's %d", rho, edges, mf1.NumEdges())
+	}
+}
+
+// TestMatchingFamilyCanonicalOrientation: property check that edges are
+// never duplicated in reverse.
+func TestMatchingFamilyCanonicalOrientation(t *testing.T) {
+	f := func(seed int64) bool {
+		s := 2 + 2*int(uint64(seed)%3) // 2,4,6
+		l := 1 + int(uint64(seed)%2)   // 1,2
+		rho := 1 + int(uint64(seed)%4)
+		mf, err := NewMatchingFamily(s, l, rho)
+		if err != nil {
+			return false
+		}
+		seen := map[[2]int]bool{}
+		for _, e := range mf.Edges {
+			if seen[e] || seen[[2]int{e[1], e[0]}] {
+				return false
+			}
+			seen[e] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package sparsehub implements the sparse-graph hub labeling scheme the
+// paper's introduction attributes to Alstrup, Dahlgaard, Knudsen and Porat
+// (ESA 2016) and Gawrychowski, Kosowski and Uznański (DISC 2016):
+//
+//   - a shared random hub set S of ≈ (n/D)·ln(coverage) vertices covers,
+//     with high probability, every pair at distance ≥ D (any such pair has
+//     ≥ D+1 valid hubs for S to hit);
+//   - pairs the random set happens to miss are repaired exactly with
+//     explicit per-vertex fix-up hubs (the Q_u sets of the paper's
+//     Section 4 discussion);
+//   - pairs at distance < D are covered by storing the radius-⌈D/2⌉ ball
+//     around every vertex (the "store vertices closer than D" step).
+//
+// On bounded-degree graphs with D ≈ log n this yields the paper's
+// O(n/log n · polyloglog) average hub set shape, which experiment E8
+// measures.
+package sparsehub
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hublab/internal/graph"
+	"hublab/internal/hub"
+	"hublab/internal/sssp"
+)
+
+// ErrBadParam reports invalid build parameters.
+var ErrBadParam = errors.New("sparsehub: invalid parameter")
+
+// Options configures Build.
+type Options struct {
+	// D is the near/far distance threshold. Zero selects a heuristic
+	// balancing |S| against ball sizes.
+	D graph.Weight
+	// Seed drives the random hub sample.
+	Seed int64
+	// SkipFixup disables the exact far-pair repair pass (the scheme is then
+	// correct only with high probability). Used by ablations.
+	SkipFixup bool
+}
+
+// Result carries the labeling together with its size decomposition, so
+// experiments can report each term of the paper's bound separately.
+type Result struct {
+	Labeling *hub.Labeling
+	D        graph.Weight
+	// SharedHubs is |S|, the shared random far-pair hub set size.
+	SharedHubs int
+	// BallTotal is Σ_v |ball(v, ⌈D/2⌉)|.
+	BallTotal int
+	// FixupTotal is Σ_v |Q_v|, the number of explicitly repaired far pairs.
+	FixupTotal int
+}
+
+// ChooseD returns a heuristic threshold D ≈ log2(n), clamped to ≥ 2.
+func ChooseD(n int) graph.Weight {
+	if n < 4 {
+		return 2
+	}
+	d := graph.Weight(math.Round(math.Log2(float64(n))))
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// Build constructs the labeling. The exact fix-up pass runs one BFS per
+// vertex plus an O(n·|S|) scan per vertex; intended for graphs up to a few
+// thousand vertices (use SkipFixup beyond that).
+func Build(g *graph.Graph, opts Options) (*Result, error) {
+	if g.Weighted() {
+		return nil, fmt.Errorf("%w: weighted graphs not supported (the scheme is defined for unweighted sparse graphs)", ErrBadParam)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return &Result{Labeling: hub.NewLabeling(0), D: opts.D}, nil
+	}
+	d := opts.D
+	if d == 0 {
+		d = ChooseD(n)
+	}
+	if d < 2 {
+		return nil, fmt.Errorf("%w: D=%d, want ≥ 2", ErrBadParam, d)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Shared random hub set S of the paper's size (n/D)·ln D: it covers
+	// every far pair except an expected ≤ n²/D of them, and the fix-up
+	// pass repairs the remainder exactly (the Q_u sets).
+	sizeS := int(math.Ceil(float64(n) / float64(d) * math.Log(float64(d)+1)))
+	if sizeS > n {
+		sizeS = n
+	}
+	perm := rng.Perm(n)
+	shared := make([]graph.NodeID, sizeS)
+	inS := make([]bool, n)
+	for i := 0; i < sizeS; i++ {
+		shared[i] = graph.NodeID(perm[i])
+		inS[perm[i]] = true
+	}
+
+	l := hub.NewLabeling(n)
+	// Distances from every shared hub (used both for labels and fix-up).
+	sharedDist := make([][]graph.Weight, sizeS)
+	for i, h := range shared {
+		sharedDist[i] = sssp.BFS(g, h).Dist
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		for i, h := range shared {
+			if sharedDist[i][v] < graph.Infinity {
+				l.Add(v, h, sharedDist[i][v])
+			}
+		}
+	}
+
+	// Near pairs: radius-⌈D/2⌉ balls.
+	res := &Result{D: d, SharedHubs: sizeS}
+	radius := (d + 1) / 2
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		nodes, dist := sssp.Truncated(g, v, radius)
+		for i, u := range nodes {
+			l.Add(v, u, dist[i])
+		}
+		res.BallTotal += len(nodes)
+	}
+
+	// Exact fix-up of far pairs the random set missed.
+	if !opts.SkipFixup {
+		for u := graph.NodeID(0); int(u) < n; u++ {
+			du := sssp.BFS(g, u).Dist
+			for v := u + 1; int(v) < n; v++ {
+				if du[v] == graph.Infinity || du[v] < d {
+					continue
+				}
+				covered := false
+				for i := range shared {
+					if sharedDist[i][u]+sharedDist[i][v] == du[v] {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					// Store v directly in Q_u (represented as hub v for u
+					// and self-hub for v).
+					l.Add(u, v, du[v])
+					res.FixupTotal++
+				}
+			}
+		}
+	}
+	l.Canonicalize()
+	res.Labeling = l
+	return res, nil
+}

@@ -1,0 +1,145 @@
+package sparsehub
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+)
+
+func TestBuildIsCover(t *testing.T) {
+	g, err := gen.RandomRegular(200, 3, 7)
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	res, err := Build(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := res.Labeling.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+	if res.SharedHubs <= 0 {
+		t.Errorf("SharedHubs = %d, want > 0", res.SharedHubs)
+	}
+	if res.BallTotal < g.NumNodes() {
+		t.Errorf("BallTotal = %d, want ≥ n (every ball contains its center)", res.BallTotal)
+	}
+}
+
+func TestBuildExplicitD(t *testing.T) {
+	g, err := gen.Gnm(150, 250, 3)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	for _, d := range []graph.Weight{2, 4, 8} {
+		res, err := Build(g, Options{D: d, Seed: 5})
+		if err != nil {
+			t.Fatalf("Build(D=%d): %v", d, err)
+		}
+		if res.D != d {
+			t.Errorf("res.D = %d, want %d", res.D, d)
+		}
+		if err := res.Labeling.VerifyCover(g); err != nil {
+			t.Errorf("D=%d VerifyCover: %v", d, err)
+		}
+	}
+}
+
+func TestBuildRejectsWeighted(t *testing.T) {
+	b := graph.NewBuilder(3, 2)
+	b.AddWeightedEdge(0, 1, 5)
+	b.AddWeightedEdge(1, 2, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := Build(g, Options{}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Build err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestBuildRejectsBadD(t *testing.T) {
+	g, err := gen.Path(10)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if _, err := Build(g, Options{D: 1}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Build(D=1) err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	g, err := graph.NewBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatalf("graph build: %v", err)
+	}
+	res, err := Build(g, Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if res.Labeling.NumVertices() != 0 {
+		t.Errorf("NumVertices = %d, want 0", res.Labeling.NumVertices())
+	}
+}
+
+func TestBuildDisconnected(t *testing.T) {
+	b := graph.NewBuilder(20, 18)
+	for i := 0; i < 9; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+		b.AddEdge(graph.NodeID(10+i), graph.NodeID(11+i))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := Build(g, Options{D: 3, Seed: 2})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := res.Labeling.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+}
+
+func TestChooseD(t *testing.T) {
+	if d := ChooseD(2); d != 2 {
+		t.Errorf("ChooseD(2) = %d, want 2", d)
+	}
+	if d := ChooseD(1024); d != 10 {
+		t.Errorf("ChooseD(1024) = %d, want 10", d)
+	}
+}
+
+// TestScalingShape is a small-scale version of experiment E8: the average
+// label size divided by n/log2(n) should stay within a constant band as n
+// doubles on random 3-regular graphs.
+func TestScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling test")
+	}
+	var ratios []float64
+	for _, n := range []int{128, 256, 512} {
+		g, err := gen.RandomRegular(n, 3, int64(n))
+		if err != nil {
+			t.Fatalf("RandomRegular(%d): %v", n, err)
+		}
+		res, err := Build(g, Options{Seed: int64(n)})
+		if err != nil {
+			t.Fatalf("Build(%d): %v", n, err)
+		}
+		if err := res.Labeling.VerifySampled(g, 300, 9); err != nil {
+			t.Fatalf("VerifySampled(%d): %v", n, err)
+		}
+		avg := res.Labeling.ComputeStats().Avg
+		ref := float64(n) / math.Log2(float64(n))
+		ratios = append(ratios, avg/ref)
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > 8*ratios[0] {
+			t.Errorf("ratio blow-up across doublings: %v", ratios)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+// Package sssp implements single-source shortest path algorithms (BFS,
+// 0-1 BFS, Dijkstra, bidirectional Dijkstra), truncated searches, shortest
+// path counting and extraction, and small all-pairs helpers.
+//
+// All distances use graph.Weight with graph.Infinity marking unreachable
+// vertices.
+package sssp
+
+import (
+	"sort"
+
+	"hublab/internal/graph"
+	"hublab/internal/pqueue"
+)
+
+// Result holds the output of a single-source search.
+type Result struct {
+	// Dist[v] is the shortest-path distance from the source to v, or
+	// graph.Infinity if unreachable.
+	Dist []graph.Weight
+	// Parent[v] is the predecessor of v on one shortest path from the
+	// source, or -1 for the source and unreachable vertices.
+	Parent []graph.NodeID
+}
+
+func newResult(n int) *Result {
+	r := &Result{
+		Dist:   make([]graph.Weight, n),
+		Parent: make([]graph.NodeID, n),
+	}
+	for i := 0; i < n; i++ {
+		r.Dist[i] = graph.Infinity
+		r.Parent[i] = -1
+	}
+	return r
+}
+
+// BFS computes unit-weight shortest paths from src. Edge weights, if any,
+// are ignored; use Search for weight-aware dispatch.
+func BFS(g *graph.Graph, src graph.NodeID) *Result {
+	r := newResult(g.NumNodes())
+	r.Dist[src] = 0
+	queue := make([]graph.NodeID, 0, g.NumNodes())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := r.Dist[u]
+		for _, v := range g.Neighbors(u) {
+			if r.Dist[v] == graph.Infinity {
+				r.Dist[v] = du + 1
+				r.Parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return r
+}
+
+// Dijkstra computes weighted shortest paths from src.
+func Dijkstra(g *graph.Graph, src graph.NodeID) *Result {
+	r := newResult(g.NumNodes())
+	r.Dist[src] = 0
+	h := pqueue.New(g.NumNodes())
+	h.Push(src, 0)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if du > r.Dist[u] {
+			continue
+		}
+		ws := g.NeighborWeights(u)
+		for i, v := range g.Neighbors(u) {
+			w := graph.Weight(1)
+			if ws != nil {
+				w = ws[i]
+			}
+			if nd := du + w; nd < r.Dist[v] {
+				r.Dist[v] = nd
+				r.Parent[v] = u
+				h.Push(v, nd)
+			}
+		}
+	}
+	return r
+}
+
+// ZeroOneBFS computes shortest paths from src on graphs whose edge weights
+// are all 0 or 1, using a deque in O(n+m) time.
+func ZeroOneBFS(g *graph.Graph, src graph.NodeID) *Result {
+	r := newResult(g.NumNodes())
+	r.Dist[src] = 0
+	dq := newDeque(g.NumNodes())
+	dq.pushBack(src)
+	for dq.len() > 0 {
+		u := dq.popFront()
+		du := r.Dist[u]
+		ws := g.NeighborWeights(u)
+		for i, v := range g.Neighbors(u) {
+			w := graph.Weight(1)
+			if ws != nil {
+				w = ws[i]
+			}
+			if nd := du + w; nd < r.Dist[v] {
+				r.Dist[v] = nd
+				r.Parent[v] = u
+				if w == 0 {
+					dq.pushFront(v)
+				} else {
+					dq.pushBack(v)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// deque is a growable ring buffer of vertex ids.
+type deque struct {
+	buf  []graph.NodeID
+	head int
+	size int
+}
+
+func newDeque(capacity int) *deque {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &deque{buf: make([]graph.NodeID, capacity)}
+}
+
+func (d *deque) len() int { return d.size }
+
+func (d *deque) grow() {
+	if d.size < len(d.buf) {
+		return
+	}
+	next := make([]graph.NodeID, 2*len(d.buf))
+	for i := 0; i < d.size; i++ {
+		next[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = next
+	d.head = 0
+}
+
+func (d *deque) pushBack(v graph.NodeID) {
+	d.grow()
+	d.buf[(d.head+d.size)%len(d.buf)] = v
+	d.size++
+}
+
+func (d *deque) pushFront(v graph.NodeID) {
+	d.grow()
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = v
+	d.size++
+}
+
+func (d *deque) popFront() graph.NodeID {
+	v := d.buf[d.head]
+	d.head = (d.head + 1) % len(d.buf)
+	d.size--
+	return v
+}
+
+// MaxEdgeWeight returns the largest edge weight in g (1 when unweighted,
+// 0 for the empty graph).
+func MaxEdgeWeight(g *graph.Graph) graph.Weight {
+	if !g.Weighted() {
+		if g.NumEdges() == 0 {
+			return 0
+		}
+		return 1
+	}
+	var max graph.Weight
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, w := range g.NeighborWeights(v) {
+			if w > max {
+				max = w
+			}
+		}
+	}
+	return max
+}
+
+// Search dispatches to the cheapest correct algorithm for g: BFS when
+// unweighted, 0-1 BFS when all weights are ≤ 1, Dijkstra otherwise.
+func Search(g *graph.Graph, src graph.NodeID) *Result {
+	if !g.Weighted() {
+		return BFS(g, src)
+	}
+	if MaxEdgeWeight(g) <= 1 {
+		return ZeroOneBFS(g, src)
+	}
+	return Dijkstra(g, src)
+}
+
+// Distance returns the shortest-path distance between u and v using a
+// bidirectional search (Dijkstra from both ends on weighted graphs).
+func Distance(g *graph.Graph, u, v graph.NodeID) graph.Weight {
+	if u == v {
+		return 0
+	}
+	return bidirectional(g, u, v)
+}
+
+func bidirectional(g *graph.Graph, s, t graph.NodeID) graph.Weight {
+	n := g.NumNodes()
+	distF := make([]graph.Weight, n)
+	distB := make([]graph.Weight, n)
+	for i := 0; i < n; i++ {
+		distF[i] = graph.Infinity
+		distB[i] = graph.Infinity
+	}
+	distF[s], distB[t] = 0, 0
+	hf, hb := pqueue.New(n), pqueue.New(n)
+	hf.Push(s, 0)
+	hb.Push(t, 0)
+	best := graph.Infinity
+	settledF := make([]bool, n)
+	settledB := make([]bool, n)
+	for hf.Len() > 0 || hb.Len() > 0 {
+		var topF, topB graph.Weight = graph.Infinity, graph.Infinity
+		if hf.Len() > 0 {
+			_, topF = hf.Peek()
+		}
+		if hb.Len() > 0 {
+			_, topB = hb.Peek()
+		}
+		if topF+topB >= best {
+			break
+		}
+		if topF <= topB {
+			expand(g, hf, distF, settledF, distB, &best)
+		} else {
+			expand(g, hb, distB, settledB, distF, &best)
+		}
+	}
+	return best
+}
+
+func expand(g *graph.Graph, h *pqueue.IndexedHeap, dist []graph.Weight,
+	settled []bool, other []graph.Weight, best *graph.Weight) {
+	u, du := h.Pop()
+	if settled[u] || du > dist[u] {
+		return
+	}
+	settled[u] = true
+	if other[u] < graph.Infinity {
+		if total := du + other[u]; total < *best {
+			*best = total
+		}
+	}
+	ws := g.NeighborWeights(u)
+	for i, v := range g.Neighbors(u) {
+		w := graph.Weight(1)
+		if ws != nil {
+			w = ws[i]
+		}
+		if nd := du + w; nd < dist[v] {
+			dist[v] = nd
+			h.Push(v, nd)
+			if other[v] < graph.Infinity {
+				if total := nd + other[v]; total < *best {
+					*best = total
+				}
+			}
+		}
+	}
+}
+
+// PathTo reconstructs one shortest path from the search source to v, ending
+// at v, using the parent pointers in r. It returns nil if v is unreachable.
+func (r *Result) PathTo(v graph.NodeID) []graph.NodeID {
+	if r.Dist[v] == graph.Infinity {
+		return nil
+	}
+	var rev []graph.NodeID
+	for u := v; u != -1; u = r.Parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Truncated computes distances from src only up to the given radius. It
+// returns the visited vertices (in distance order) and their distances.
+// Unit-weight graphs only.
+func Truncated(g *graph.Graph, src graph.NodeID, radius graph.Weight) (nodes []graph.NodeID, dist []graph.Weight) {
+	seen := make(map[graph.NodeID]graph.Weight, 16)
+	seen[src] = 0
+	queue := []graph.NodeID{src}
+	nodes = append(nodes, src)
+	dist = append(dist, 0)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := seen[u]
+		if du >= radius {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if _, ok := seen[v]; !ok {
+				seen[v] = du + 1
+				queue = append(queue, v)
+				nodes = append(nodes, v)
+				dist = append(dist, du+1)
+			}
+		}
+	}
+	return nodes, dist
+}
+
+// AllPairs computes the full distance matrix by running one search per
+// vertex. Intended for small graphs (n up to a few thousand).
+func AllPairs(g *graph.Graph) [][]graph.Weight {
+	n := g.NumNodes()
+	weighted := g.Weighted()
+	zeroOne := weighted && MaxEdgeWeight(g) <= 1
+	out := make([][]graph.Weight, n)
+	for v := 0; v < n; v++ {
+		var r *Result
+		switch {
+		case !weighted:
+			r = BFS(g, graph.NodeID(v))
+		case zeroOne:
+			r = ZeroOneBFS(g, graph.NodeID(v))
+		default:
+			r = Dijkstra(g, graph.NodeID(v))
+		}
+		out[v] = r.Dist
+	}
+	return out
+}
+
+// CountShortestPaths returns, for every v, the number of distinct shortest
+// src-v paths saturated at the given limit (counts never exceed limit). A
+// count of exactly 1 certifies a unique shortest path.
+func CountShortestPaths(g *graph.Graph, src graph.NodeID, limit int64) (*Result, []int64) {
+	r := Search(g, src)
+	n := g.NumNodes()
+	order := make([]graph.NodeID, 0, n)
+	for v := 0; v < n; v++ {
+		if r.Dist[v] < graph.Infinity {
+			order = append(order, graph.NodeID(v))
+		}
+	}
+	// Process vertices in increasing distance order; counts accumulate over
+	// tight edges.
+	sort.Slice(order, func(i, j int) bool { return r.Dist[order[i]] < r.Dist[order[j]] })
+	counts := make([]int64, n)
+	counts[src] = 1
+	for _, u := range order {
+		if counts[u] == 0 && u != src {
+			continue
+		}
+		ws := g.NeighborWeights(u)
+		for i, v := range g.Neighbors(u) {
+			w := graph.Weight(1)
+			if ws != nil {
+				w = ws[i]
+			}
+			if r.Dist[u]+w == r.Dist[v] && r.Dist[v] != graph.Infinity {
+				counts[v] += counts[u]
+				if counts[v] > limit {
+					counts[v] = limit
+				}
+			}
+		}
+	}
+	return r, counts
+}
+
+// UniqueShortestPath reports whether the shortest path between u and v is
+// unique, along with its length.
+func UniqueShortestPath(g *graph.Graph, u, v graph.NodeID) (graph.Weight, bool) {
+	r, counts := CountShortestPaths(g, u, 4)
+	if r.Dist[v] == graph.Infinity {
+		return graph.Infinity, false
+	}
+	return r.Dist[v], counts[v] == 1
+}
+
+// Eccentricity returns the maximum finite distance from v, and whether any
+// vertex was unreachable.
+func Eccentricity(g *graph.Graph, v graph.NodeID) (graph.Weight, bool) {
+	r := Search(g, v)
+	var ecc graph.Weight
+	disconnected := false
+	for _, d := range r.Dist {
+		if d == graph.Infinity {
+			disconnected = true
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, disconnected
+}
+
+// Diameter computes the exact diameter over the (possibly disconnected)
+// graph, ignoring infinite pairs. Intended for small graphs.
+func Diameter(g *graph.Graph) graph.Weight {
+	var diam graph.Weight
+	for v := 0; v < g.NumNodes(); v++ {
+		ecc, _ := Eccentricity(g, graph.NodeID(v))
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// Connected reports whether g is connected (vacuously true for n ≤ 1).
+func Connected(g *graph.Graph) bool {
+	n := g.NumNodes()
+	if n <= 1 {
+		return true
+	}
+	r := BFS(g, 0)
+	for _, d := range r.Dist {
+		if d == graph.Infinity {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,360 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hublab/internal/graph"
+)
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n, n-1)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func gridGraph(t *testing.T, rows, cols int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(rows*cols, 2*rows*cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// randomWeighted builds a connected weighted graph; inputs are always valid
+// so the build cannot fail.
+func randomWeighted(seed int64, n, m, maxW int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, m)
+	// Spanning path keeps the graph connected.
+	for i := 0; i < n-1; i++ {
+		b.AddWeightedEdge(graph.NodeID(i), graph.NodeID(i+1), graph.Weight(1+rng.Intn(maxW)))
+	}
+	for i := n - 1; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddWeightedEdge(graph.NodeID(u), graph.NodeID(v), graph.Weight(1+rng.Intn(maxW)))
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestBFSPath(t *testing.T) {
+	g := pathGraph(t, 6)
+	r := BFS(g, 0)
+	for v := 0; v < 6; v++ {
+		if r.Dist[v] != graph.Weight(v) {
+			t.Errorf("Dist[%d] = %d, want %d", v, r.Dist[v], v)
+		}
+	}
+	if r.Parent[0] != -1 {
+		t.Errorf("Parent[src] = %d, want -1", r.Parent[0])
+	}
+	p := r.PathTo(5)
+	want := []graph.NodeID{0, 1, 2, 3, 4, 5}
+	if len(p) != len(want) {
+		t.Fatalf("PathTo(5) = %v, want %v", p, want)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("PathTo(5) = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4, 1)
+	b.AddEdge(0, 1)
+	b.Grow(4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	r := BFS(g, 0)
+	if r.Dist[2] != graph.Infinity || r.Dist[3] != graph.Infinity {
+		t.Errorf("unreachable distances = %d,%d, want Infinity", r.Dist[2], r.Dist[3])
+	}
+	if p := r.PathTo(3); p != nil {
+		t.Errorf("PathTo(3) = %v, want nil", p)
+	}
+	if Connected(g) {
+		t.Error("Connected = true, want false")
+	}
+}
+
+func TestDijkstraVsBFSOnUnitWeights(t *testing.T) {
+	g := gridGraph(t, 7, 9)
+	for _, src := range []graph.NodeID{0, 31, 62} {
+		bfs := BFS(g, src)
+		dij := Dijkstra(g, src)
+		for v := range bfs.Dist {
+			if bfs.Dist[v] != dij.Dist[v] {
+				t.Fatalf("src %d: Dist[%d]: bfs %d, dijkstra %d", src, v, bfs.Dist[v], dij.Dist[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// Triangle where the direct edge is more expensive than the detour.
+	b := graph.NewBuilder(3, 3)
+	b.AddWeightedEdge(0, 1, 10)
+	b.AddWeightedEdge(1, 2, 1)
+	b.AddWeightedEdge(0, 2, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	r := Dijkstra(g, 0)
+	if r.Dist[1] != 3 {
+		t.Errorf("Dist[1] = %d, want 3 (via vertex 2)", r.Dist[1])
+	}
+	if r.Parent[1] != 2 {
+		t.Errorf("Parent[1] = %d, want 2", r.Parent[1])
+	}
+}
+
+func TestZeroOneBFSMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		b := graph.NewBuilder(n, 3*n)
+		for i := 0; i < n-1; i++ {
+			b.AddWeightedEdge(graph.NodeID(i), graph.NodeID(i+1), graph.Weight(rng.Intn(2)))
+		}
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddWeightedEdge(graph.NodeID(u), graph.NodeID(v), graph.Weight(rng.Intn(2)))
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		src := graph.NodeID(rng.Intn(n))
+		zo := ZeroOneBFS(g, src)
+		dj := Dijkstra(g, src)
+		for v := range zo.Dist {
+			if zo.Dist[v] != dj.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchDispatch(t *testing.T) {
+	unit := pathGraph(t, 4)
+	if got := Search(unit, 0).Dist[3]; got != 3 {
+		t.Errorf("Search on unweighted: Dist[3] = %d, want 3", got)
+	}
+	weighted := randomWeighted(7, 30, 60, 9)
+	want := Dijkstra(weighted, 5)
+	got := Search(weighted, 5)
+	for v := range want.Dist {
+		if want.Dist[v] != got.Dist[v] {
+			t.Fatalf("Search weighted mismatch at %d", v)
+		}
+	}
+}
+
+func TestBidirectionalDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		m := n + rng.Intn(2*n)
+		g := randomWeighted(seed, n, m, 10)
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		return Distance(g, u, v) == Dijkstra(g, u).Dist[v]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	g := pathGraph(t, 3)
+	if d := Distance(g, 1, 1); d != 0 {
+		t.Errorf("Distance(v,v) = %d, want 0", d)
+	}
+}
+
+func TestDistanceUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if d := Distance(g, 0, 3); d != graph.Infinity {
+		t.Errorf("Distance across components = %d, want Infinity", d)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	g := gridGraph(t, 5, 5)
+	nodes, dist := Truncated(g, 12, 2) // center of the grid
+	full := BFS(g, 12)
+	seen := map[graph.NodeID]graph.Weight{}
+	for i, v := range nodes {
+		seen[v] = dist[i]
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		d, ok := seen[graph.NodeID(v)]
+		if full.Dist[v] <= 2 {
+			if !ok || d != full.Dist[v] {
+				t.Errorf("vertex %d: truncated (%d,%v), want (%d,true)", v, d, ok, full.Dist[v])
+			}
+		} else if ok {
+			t.Errorf("vertex %d at distance %d should not be visited at radius 2", v, full.Dist[v])
+		}
+	}
+}
+
+func TestCountShortestPathsGrid(t *testing.T) {
+	// On a grid from the corner, the number of shortest paths to (r,c) is
+	// binomial(r+c, r); count saturation keeps values bounded.
+	g := gridGraph(t, 3, 3)
+	_, counts := CountShortestPaths(g, 0, 1000)
+	wants := map[int]int64{
+		0: 1, 1: 1, 2: 1, // top row
+		3: 1, 4: 2, 5: 3,
+		6: 1, 7: 3, 8: 6,
+	}
+	for v, want := range wants {
+		if counts[v] != want {
+			t.Errorf("counts[%d] = %d, want %d", v, counts[v], want)
+		}
+	}
+}
+
+func TestCountShortestPathsSaturation(t *testing.T) {
+	g := gridGraph(t, 5, 5)
+	_, counts := CountShortestPaths(g, 0, 3)
+	for v, c := range counts {
+		if c > 3 {
+			t.Errorf("counts[%d] = %d exceeds saturation limit 3", v, c)
+		}
+	}
+	if counts[24] != 3 {
+		t.Errorf("far corner count = %d, want saturated 3", counts[24])
+	}
+}
+
+func TestUniqueShortestPath(t *testing.T) {
+	// Path graph: unique. Cycle of even length: two shortest paths to the
+	// antipode.
+	p := pathGraph(t, 5)
+	if d, uniq := UniqueShortestPath(p, 0, 4); d != 4 || !uniq {
+		t.Errorf("path: (%d,%v), want (4,true)", d, uniq)
+	}
+	b := graph.NewBuilder(6, 6)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%6))
+	}
+	c6, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if d, uniq := UniqueShortestPath(c6, 0, 3); d != 3 || uniq {
+		t.Errorf("C6 antipode: (%d,%v), want (3,false)", d, uniq)
+	}
+	if d, uniq := UniqueShortestPath(c6, 0, 2); d != 2 || !uniq {
+		t.Errorf("C6 near pair: (%d,%v), want (2,true)", d, uniq)
+	}
+}
+
+func TestAllPairsSymmetry(t *testing.T) {
+	g := randomWeighted(99, 40, 80, 7)
+	d := AllPairs(g)
+	for u := 0; u < g.NumNodes(); u++ {
+		if d[u][u] != 0 {
+			t.Errorf("d[%d][%d] = %d, want 0", u, u, d[u][u])
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if d[u][v] != d[v][u] {
+				t.Errorf("asymmetry d[%d][%d]=%d d[%d][%d]=%d", u, v, d[u][v], v, u, d[v][u])
+			}
+		}
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		g := randomWeighted(seed, n, 2*n, 8)
+		d := AllPairs(g)
+		for i := 0; i < 20; i++ {
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			c := rng.Intn(n)
+			if d[a][b] > d[a][c]+d[c][b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := pathGraph(t, 7)
+	ecc, disconnected := Eccentricity(g, 3)
+	if ecc != 3 || disconnected {
+		t.Errorf("Eccentricity(center) = (%d,%v), want (3,false)", ecc, disconnected)
+	}
+	if d := Diameter(g); d != 6 {
+		t.Errorf("Diameter = %d, want 6", d)
+	}
+	grid := gridGraph(t, 4, 6)
+	if d := Diameter(grid); d != 8 {
+		t.Errorf("grid Diameter = %d, want 8", d)
+	}
+}
+
+func TestMaxEdgeWeight(t *testing.T) {
+	if w := MaxEdgeWeight(pathGraph(t, 3)); w != 1 {
+		t.Errorf("unweighted MaxEdgeWeight = %d, want 1", w)
+	}
+	empty, err := graph.NewBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if w := MaxEdgeWeight(empty); w != 0 {
+		t.Errorf("empty MaxEdgeWeight = %d, want 0", w)
+	}
+	g := randomWeighted(3, 10, 20, 9)
+	if w := MaxEdgeWeight(g); w < 1 || w > 9 {
+		t.Errorf("MaxEdgeWeight = %d, want in [1,9]", w)
+	}
+}

@@ -1,0 +1,233 @@
+package sumindex
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomInstance(m int, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	bits := make([]bool, m)
+	for i := range bits {
+		bits[i] = rng.Intn(2) == 1
+	}
+	return NewInstance(bits)
+}
+
+func TestInstanceBits(t *testing.T) {
+	in := NewInstance([]bool{true, false, true, true, false})
+	want := []byte{1, 0, 1, 1, 0}
+	for i, w := range want {
+		if got := in.Bit(i); got != w {
+			t.Errorf("Bit(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if in.M != 5 {
+		t.Errorf("M = %d, want 5", in.M)
+	}
+}
+
+func TestTrivialProtocol(t *testing.T) {
+	in := randomInstance(16, 3)
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			tr, err := Trivial(in, a, b)
+			if err != nil {
+				t.Fatalf("Trivial(%d,%d): %v", a, b, err)
+			}
+			if tr.Output != in.Bit((a+b)%16) {
+				t.Errorf("Trivial(%d,%d) = %d, want %d", a, b, tr.Output, in.Bit((a+b)%16))
+			}
+			if tr.AliceBits != 16+4 || tr.BobBits != 4 {
+				t.Errorf("message sizes = (%d,%d), want (20,4)", tr.AliceBits, tr.BobBits)
+			}
+		}
+	}
+	if _, err := Trivial(in, -1, 0); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Trivial(-1,0) err = %v, want ErrBadParam", err)
+	}
+	if _, err := Trivial(in, 0, 16); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Trivial(0,16) err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestNewGraphProtocol(t *testing.T) {
+	gp, err := NewGraphProtocol(2, 2)
+	if err != nil {
+		t.Fatalf("NewGraphProtocol: %v", err)
+	}
+	if gp.M() != 4 {
+		t.Errorf("M = %d, want (s/2)^ℓ = 4", gp.M())
+	}
+	gp3, err := NewGraphProtocol(3, 2)
+	if err != nil {
+		t.Fatalf("NewGraphProtocol(3,2): %v", err)
+	}
+	if gp3.M() != 16 {
+		t.Errorf("M = %d, want 16", gp3.M())
+	}
+	if _, err := NewGraphProtocol(1, 2); !errors.Is(err, ErrBadParam) {
+		t.Errorf("b=1 err = %v, want ErrBadParam (m would be 1)", err)
+	}
+	if _, err := NewGraphProtocol(0, 1); err == nil {
+		t.Error("b=0 accepted")
+	}
+}
+
+// TestGraphProtocolExhaustive is the executable Theorem 1.6: for random
+// instances, the referee answers correctly on every (a, b) pair.
+func TestGraphProtocolExhaustive(t *testing.T) {
+	gp, err := NewGraphProtocol(2, 2)
+	if err != nil {
+		t.Fatalf("NewGraphProtocol: %v", err)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		in := randomInstance(gp.M(), seed)
+		sess, err := gp.NewSession(in)
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		pairs, maxBits, err := sess.VerifyAll(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if pairs != gp.M()*gp.M() {
+			t.Errorf("checked %d pairs, want %d", pairs, gp.M()*gp.M())
+		}
+		if maxBits <= 0 {
+			t.Errorf("maxBits = %d", maxBits)
+		}
+	}
+}
+
+func TestGraphProtocolAllZerosAllOnes(t *testing.T) {
+	gp, err := NewGraphProtocol(2, 2)
+	if err != nil {
+		t.Fatalf("NewGraphProtocol: %v", err)
+	}
+	for _, value := range []bool{false, true} {
+		bits := make([]bool, gp.M())
+		for i := range bits {
+			bits[i] = value
+		}
+		in := NewInstance(bits)
+		sess, err := gp.NewSession(in)
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		if _, _, err := sess.VerifyAll(in); err != nil {
+			t.Errorf("constant %v instance: %v", value, err)
+		}
+	}
+}
+
+func TestGraphProtocolLargerInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger protocol instance")
+	}
+	gp, err := NewGraphProtocol(3, 2)
+	if err != nil {
+		t.Fatalf("NewGraphProtocol: %v", err)
+	}
+	in := randomInstance(gp.M(), 7)
+	sess, err := gp.NewSession(in)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if _, _, err := sess.VerifyAll(in); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	gp, err := NewGraphProtocol(2, 2)
+	if err != nil {
+		t.Fatalf("NewGraphProtocol: %v", err)
+	}
+	wrong := randomInstance(8, 1) // m mismatch
+	if _, err := gp.NewSession(wrong); !errors.Is(err, ErrBadParam) {
+		t.Errorf("mismatched instance err = %v, want ErrBadParam", err)
+	}
+	in := randomInstance(4, 1)
+	sess, err := gp.NewSession(in)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	if _, err := sess.AliceMessage(-1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("AliceMessage(-1) err = %v, want ErrBadParam", err)
+	}
+	if _, err := sess.BobMessage(99); !errors.Is(err, ErrBadParam) {
+		t.Errorf("BobMessage(99) err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestRefereeRejectsGarbage(t *testing.T) {
+	gp, err := NewGraphProtocol(2, 2)
+	if err != nil {
+		t.Fatalf("NewGraphProtocol: %v", err)
+	}
+	// An empty label stream cannot even encode the count.
+	if _, err := gp.Referee(Message{Label: nil, BitLen: 0}, Message{Label: nil, BitLen: 0}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("Referee err = %v, want ErrBadMessage", err)
+	}
+}
+
+// TestProtocolDeterminism: both players building the session independently
+// produce identical messages — required for a simultaneous-message
+// protocol with no shared randomness at run time.
+func TestProtocolDeterminism(t *testing.T) {
+	gp, err := NewGraphProtocol(2, 2)
+	if err != nil {
+		t.Fatalf("NewGraphProtocol: %v", err)
+	}
+	in := randomInstance(gp.M(), 11)
+	s1, err := gp.NewSession(in)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	s2, err := gp.NewSession(in)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	for a := 0; a < gp.M(); a++ {
+		m1, err := s1.AliceMessage(a)
+		if err != nil {
+			t.Fatalf("AliceMessage: %v", err)
+		}
+		m2, err := s2.AliceMessage(a)
+		if err != nil {
+			t.Fatalf("AliceMessage: %v", err)
+		}
+		if m1.BitLen != m2.BitLen || string(m1.Label) != string(m2.Label) {
+			t.Errorf("index %d: sessions disagree", a)
+		}
+	}
+}
+
+// TestReprFolding: repr(x)+repr(z) ≡ repr(x+z) (mod m) — the identity the
+// referee's index arithmetic relies on.
+func TestReprFolding(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		half := 2 + rng.Intn(4)
+		l := 1 + rng.Intn(3)
+		m := 1
+		for k := 0; k < l; k++ {
+			m *= half
+		}
+		a := rng.Intn(m)
+		b := rng.Intn(m)
+		x := digits(a, half, l)
+		z := digits(b, half, l)
+		sum := make([]int, l)
+		for k := range sum {
+			sum[k] = x[k] + z[k]
+		}
+		return repr(sum, half, m) == (a+b)%m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package ubound
+
+import (
+	"fmt"
+
+	"hublab/internal/graph"
+	"hublab/internal/hub"
+)
+
+// Reduced is the outcome of the paper's degree-reduction step: every vertex
+// v of degree deg(v) is split into ⌈deg(v)/t⌉ copies of degree at most
+// t+2, chained by weight-0 edges, with original edges (weight 1)
+// distributed among the copies. Distances between representatives equal
+// distances in the original graph.
+type Reduced struct {
+	// G is the reduced {0,1}-weighted graph.
+	G *graph.Graph
+	// Rep[v] is the representative copy of original vertex v.
+	Rep []graph.NodeID
+	// Orig[x] is the original vertex a copy x descends from.
+	Orig []graph.NodeID
+	// T is the per-copy edge budget used.
+	T int
+}
+
+// ReduceDegree splits high-degree vertices. t is the per-copy budget for
+// original edges; t = 0 selects ⌈2m/n⌉ (the paper's ⌈m/n⌉-flavoured choice,
+// doubled because every undirected edge consumes budget at both
+// endpoints), clamped to ≥ 1.
+func ReduceDegree(g *graph.Graph, t int) (*Reduced, error) {
+	n := g.NumNodes()
+	if t < 0 {
+		return nil, fmt.Errorf("%w: t=%d", ErrBadParam, t)
+	}
+	if t == 0 {
+		if n > 0 {
+			t = (2*g.NumEdges() + n - 1) / n
+		}
+		if t < 1 {
+			t = 1
+		}
+	}
+	red := &Reduced{Rep: make([]graph.NodeID, n), T: t}
+	// Copies per vertex and base ids.
+	base := make([]graph.NodeID, n)
+	next := graph.NodeID(0)
+	copies := make([]int, n)
+	for v := 0; v < n; v++ {
+		c := (g.Degree(graph.NodeID(v)) + t - 1) / t
+		if c < 1 {
+			c = 1
+		}
+		copies[v] = c
+		base[v] = next
+		red.Rep[v] = next
+		next += graph.NodeID(c)
+	}
+	red.Orig = make([]graph.NodeID, next)
+	for v := 0; v < n; v++ {
+		for k := 0; k < copies[v]; k++ {
+			red.Orig[int(base[v])+k] = graph.NodeID(v)
+		}
+	}
+	b := graph.NewBuilder(int(next), g.NumEdges()+int(next))
+	b.Grow(int(next))
+	// Weight-0 chains between consecutive copies.
+	for v := 0; v < n; v++ {
+		for k := 0; k+1 < copies[v]; k++ {
+			b.AddWeightedEdge(base[v]+graph.NodeID(k), base[v]+graph.NodeID(k+1), 0)
+		}
+	}
+	// Distribute original edges: the i-th incident edge of v (in adjacency
+	// order) attaches to copy ⌊i/t⌋. Each undirected edge is visited once
+	// from each endpoint; remember the copy chosen at the first visit and
+	// complete the edge at the second.
+	counter := make([]int, n)
+	pending := make(map[[2]graph.NodeID]graph.NodeID, g.NumEdges())
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			slot := counter[u]
+			counter[u]++
+			cu := base[u] + graph.NodeID(slot/t)
+			if u < v {
+				pending[[2]graph.NodeID{u, v}] = cu
+			} else {
+				b.AddWeightedEdge(pending[[2]graph.NodeID{v, u}], cu, 1)
+			}
+		}
+	}
+	rg, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	red.G = rg
+	return red, nil
+}
+
+// Project maps a labeling of the reduced graph back to the original graph:
+// the label of an original vertex v is the label of its representative with
+// every hub replaced by its original vertex. Weight-0 chains make the
+// distances coincide.
+func (r *Reduced) Project(l *hub.Labeling) (*hub.Labeling, error) {
+	if l.NumVertices() != r.G.NumNodes() {
+		return nil, fmt.Errorf("%w: labeling has %d vertices, reduced graph has %d",
+			ErrBadParam, l.NumVertices(), r.G.NumNodes())
+	}
+	n := len(r.Rep)
+	out := hub.NewLabeling(n)
+	for v := 0; v < n; v++ {
+		for _, h := range l.Label(r.Rep[v]) {
+			out.Add(graph.NodeID(v), r.Orig[h.Node], h.Dist)
+		}
+	}
+	out.Canonicalize()
+	return out, nil
+}
+
+// BuildForSparse is the Theorem 1.4 pipeline: reduce degree, run the
+// Theorem 4.1 construction on the {0,1}-weighted reduced graph, and project
+// the labeling back to the original average-degree-bounded graph.
+func BuildForSparse(g *graph.Graph, opts Options) (*Result, *Reduced, error) {
+	red, err := ReduceDegree(g, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Build(red.G, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	projected, err := red.Project(res.Labeling)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Labeling = projected
+	return res, red, nil
+}

@@ -1,0 +1,309 @@
+package ubound
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/hub"
+	"hublab/internal/sssp"
+)
+
+func TestBuildPathGraph(t *testing.T) {
+	g, err := gen.Path(30)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	res, err := Build(g, Options{D: 3, Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := res.Labeling.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("Lemma 4.2 violations: %d", res.Violations)
+	}
+}
+
+func TestBuildDegree3Random(t *testing.T) {
+	g, err := gen.RandomRegular(120, 3, 5)
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	for _, d := range []graph.Weight{2, 3, 4} {
+		res, err := Build(g, Options{D: d, Seed: 9})
+		if err != nil {
+			t.Fatalf("Build(D=%d): %v", d, err)
+		}
+		if err := res.Labeling.VerifyCover(g); err != nil {
+			t.Errorf("D=%d: VerifyCover: %v", d, err)
+		}
+		if res.Violations != 0 {
+			t.Errorf("D=%d: Lemma 4.2 violations: %d of %d matchings",
+				d, res.Violations, res.InducedMatchings+res.Violations)
+		}
+	}
+}
+
+func TestBuildKonigVariant(t *testing.T) {
+	g, err := gen.Gnm(80, 120, 4)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	res, err := Build(g, Options{D: 3, Seed: 2, UseKonig: true})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := res.Labeling.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	g, err := gen.Grid(7, 7)
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	res, err := Build(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if res.D != DefaultD(49) {
+		t.Errorf("D = %d, want %d", res.D, DefaultD(49))
+	}
+	if res.Colors != int(res.D*res.D*res.D) {
+		t.Errorf("Colors = %d, want D³ = %d", res.Colors, res.D*res.D*res.D)
+	}
+	if err := res.Labeling.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	big := graph.NewBuilder(0, 0)
+	big.Grow(MaxVertices + 1)
+	bg, err := big.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := Build(bg, Options{}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized err = %v, want ErrTooLarge", err)
+	}
+	wb := graph.NewBuilder(3, 2)
+	wb.AddWeightedEdge(0, 1, 5)
+	wg, err := wb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := Build(wg, Options{}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("weight-5 err = %v, want ErrBadParam", err)
+	}
+	g, err := gen.Path(5)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if _, err := Build(g, Options{D: 1}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("D=1 err = %v, want ErrBadParam", err)
+	}
+	if _, err := Build(g, Options{D: 2, Colors: -3}); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative colors err = %v, want ErrBadParam", err)
+	}
+}
+
+func TestBuildEmptyAndDisconnected(t *testing.T) {
+	empty, err := graph.NewBuilder(0, 0).Build()
+	if err != nil {
+		t.Fatalf("graph build: %v", err)
+	}
+	if _, err := Build(empty, Options{D: 2}); err != nil {
+		t.Errorf("Build(empty): %v", err)
+	}
+	b := graph.NewBuilder(12, 10)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+		b.AddEdge(graph.NodeID(6+i), graph.NodeID(6+(i+1)%6))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("graph build: %v", err)
+	}
+	res, err := Build(g, Options{D: 2, Seed: 7})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := res.Labeling.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+}
+
+// TestBuildIsCoverProperty: the pipeline yields a valid cover on random
+// sparse graphs across seeds and D values.
+func TestBuildIsCoverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		g, err := gen.Gnm(n, n+rng.Intn(n), seed)
+		if err != nil {
+			return false
+		}
+		d := graph.Weight(2 + rng.Intn(3))
+		res, err := Build(g, Options{D: d, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return res.Labeling.VerifyCover(g) == nil && res.Violations == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildZeroOneWeights(t *testing.T) {
+	b := graph.NewBuilder(10, 12)
+	for i := 0; i < 9; i++ {
+		b.AddWeightedEdge(graph.NodeID(i), graph.NodeID(i+1), graph.Weight(i%2))
+	}
+	b.AddWeightedEdge(0, 5, 1)
+	b.AddWeightedEdge(2, 8, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("graph build: %v", err)
+	}
+	res, err := Build(g, Options{D: 3, Seed: 11})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := res.Labeling.VerifyCover(g); err != nil {
+		t.Errorf("VerifyCover: %v", err)
+	}
+}
+
+func TestReduceDegree(t *testing.T) {
+	// Star with 12 leaves: center splits into ⌈12/t⌉ copies.
+	b := graph.NewBuilder(13, 12)
+	for v := graph.NodeID(1); v <= 12; v++ {
+		b.AddEdge(0, v)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("graph build: %v", err)
+	}
+	red, err := ReduceDegree(g, 3)
+	if err != nil {
+		t.Fatalf("ReduceDegree: %v", err)
+	}
+	if red.G.MaxDegree() > 3+2 {
+		t.Errorf("reduced MaxDegree = %d, want ≤ t+2 = 5", red.G.MaxDegree())
+	}
+	// Distances between representatives match the original.
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		want := sssp.BFS(g, u)
+		got := sssp.ZeroOneBFS(red.G, red.Rep[u])
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if want.Dist[v] != got.Dist[red.Rep[v]] {
+				t.Fatalf("dist(%d,%d): original %d, reduced %d",
+					u, v, want.Dist[v], got.Dist[red.Rep[v]])
+			}
+		}
+	}
+}
+
+func TestReduceDegreeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		g, err := gen.Gnm(n, n+rng.Intn(3*n), seed)
+		if err != nil {
+			return false
+		}
+		red, err := ReduceDegree(g, 0)
+		if err != nil {
+			return false
+		}
+		if red.G.MaxDegree() > red.T+2 {
+			return false
+		}
+		// Orig/Rep are mutually consistent.
+		for v := 0; v < n; v++ {
+			if red.Orig[red.Rep[v]] != graph.NodeID(v) {
+				return false
+			}
+		}
+		// Sampled distance preservation.
+		for i := 0; i < 5; i++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			want := sssp.BFS(g, u).Dist[v]
+			got := sssp.ZeroOneBFS(red.G, red.Rep[u]).Dist[red.Rep[v]]
+			if want != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceDegreeErrors(t *testing.T) {
+	g, err := gen.Path(4)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if _, err := ReduceDegree(g, -1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("t=-1 err = %v, want ErrBadParam", err)
+	}
+}
+
+// TestBuildForSparse is the Theorem 1.4 end-to-end pipeline: high-degree
+// sparse graph → degree reduction → Theorem 4.1 labeling → projection —
+// and the projected labeling must exactly cover the ORIGINAL graph.
+func TestBuildForSparse(t *testing.T) {
+	// A graph with a few very high degree vertices but constant average
+	// degree: two hubs connected to many leaves plus a sparse ring.
+	b := graph.NewBuilder(60, 100)
+	for v := graph.NodeID(2); v < 30; v++ {
+		b.AddEdge(0, v)
+	}
+	for v := graph.NodeID(30); v < 58; v++ {
+		b.AddEdge(1, v)
+	}
+	b.AddEdge(0, 1)
+	for v := graph.NodeID(2); v < 59; v++ {
+		b.AddEdge(v, v+1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("graph build: %v", err)
+	}
+	res, red, err := BuildForSparse(g, Options{D: 3, Seed: 13})
+	if err != nil {
+		t.Fatalf("BuildForSparse: %v", err)
+	}
+	if red.G.MaxDegree() > red.T+2 {
+		t.Errorf("reduced degree %d exceeds %d", red.G.MaxDegree(), red.T+2)
+	}
+	if err := res.Labeling.VerifyCover(g); err != nil {
+		t.Errorf("projected labeling VerifyCover: %v", err)
+	}
+}
+
+func TestProjectSizeMismatch(t *testing.T) {
+	g, err := gen.Path(6)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	red, err := ReduceDegree(g, 1)
+	if err != nil {
+		t.Fatalf("ReduceDegree: %v", err)
+	}
+	bad := hub.NewLabeling(3)
+	if _, err := red.Project(bad); !errors.Is(err, ErrBadParam) {
+		t.Errorf("Project err = %v, want ErrBadParam", err)
+	}
+}
