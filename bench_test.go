@@ -6,6 +6,7 @@ package hublab
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"hublab/internal/approx"
@@ -18,6 +19,7 @@ import (
 	"hublab/internal/hub"
 	"hublab/internal/lbound"
 	"hublab/internal/oracle"
+	"hublab/internal/par"
 	"hublab/internal/pll"
 	"hublab/internal/rs"
 	"hublab/internal/sparsehub"
@@ -246,6 +248,137 @@ func BenchmarkE10QueryBFS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := pairs[i%len(pairs)]
 		sssp.BFS(g, p[0])
+	}
+}
+
+// --- E10b: flat CSR vs slice-of-slices representation on Gnm(n=10k) -----
+
+var bench10k struct {
+	once   sync.Once
+	flat   *hub.FlatLabeling
+	slices *hub.Labeling // thawed, unfrozen: queries run the slice merge
+	graph  *graph.Graph
+	pairs  [][2]graph.NodeID
+	err    error
+}
+
+// benchQueryGraph10k builds (once) the Gnm(10k) PLL labeling in both
+// representations plus a shared query workload.
+func benchQueryGraph10k(b *testing.B) (*hub.FlatLabeling, *hub.Labeling, [][2]graph.NodeID) {
+	b.Helper()
+	bench10k.once.Do(func() {
+		g, err := gen.Gnm(10000, 18000, 17)
+		if err != nil {
+			bench10k.err = err
+			return
+		}
+		labels, err := pll.Build(g, pll.Options{})
+		if err != nil {
+			bench10k.err = err
+			return
+		}
+		bench10k.graph = g
+		bench10k.flat = labels.Freeze()
+		bench10k.slices = bench10k.flat.Thaw()
+		rng := rand.New(rand.NewSource(5))
+		bench10k.pairs = make([][2]graph.NodeID, 1024)
+		for i := range bench10k.pairs {
+			bench10k.pairs[i] = [2]graph.NodeID{
+				graph.NodeID(rng.Intn(10000)), graph.NodeID(rng.Intn(10000))}
+		}
+	})
+	if bench10k.err != nil {
+		b.Fatal(bench10k.err)
+	}
+	return bench10k.flat, bench10k.slices, bench10k.pairs
+}
+
+// BenchmarkE10QuerySlice10k is the slice-of-slices merge-query baseline.
+func BenchmarkE10QuerySlice10k(b *testing.B) {
+	_, slices, pairs := benchQueryGraph10k(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		slices.Query(p[0], p[1])
+	}
+}
+
+// BenchmarkE10QueryFlat10k is the frozen CSR/SoA merge query (expected
+// ≥2× the slice baseline, 0 allocs/op).
+func BenchmarkE10QueryFlat10k(b *testing.B) {
+	flat, _, pairs := benchQueryGraph10k(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		flat.Query(p[0], p[1])
+	}
+}
+
+// BenchmarkE10QueryFlatBatch10k interleaves two merges per loop via
+// QueryBatch — the throughput configuration of the flat representation
+// (independent scans overlap in the pipeline).
+func BenchmarkE10QueryFlatBatch10k(b *testing.B) {
+	flat, _, pairs := benchQueryGraph10k(b)
+	out := make([]graph.Weight, len(pairs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(pairs) {
+		flat.QueryBatch(pairs, out)
+	}
+}
+
+// BenchmarkE10QueryFlatBatchPar10k runs QueryBatch from every core — the
+// query-service throughput configuration (flat labeling is immutable and
+// safe for concurrent readers). ns/op is per 1024-query batch, so divide
+// by 1024 to compare with the per-query benchmarks above.
+func BenchmarkE10QueryFlatBatchPar10k(b *testing.B) {
+	flat, _, pairs := benchQueryGraph10k(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		out := make([]graph.Weight, len(pairs))
+		for pb.Next() {
+			flat.QueryBatch(pairs, out)
+		}
+	})
+}
+
+// BenchmarkE10VerifyCoverSerial / ...Parallel measure exhaustive cover
+// verification with the worker pool pinned to one worker versus all cores.
+func benchVerifyGraph(b *testing.B) (*graph.Graph, *hub.Labeling) {
+	b.Helper()
+	g, err := gen.Gnm(2000, 3600, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, labels
+}
+
+func BenchmarkE10VerifyCoverSerial(b *testing.B) {
+	g, labels := benchVerifyGraph(b)
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := labels.VerifyCover(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10VerifyCoverParallel(b *testing.B) {
+	g, labels := benchVerifyGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := labels.VerifyCover(g); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,102 @@
+package hublab
+
+import (
+	"math/rand"
+	"testing"
+
+	"hublab/internal/cover"
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/hhl"
+	"hublab/internal/hub"
+	"hublab/internal/par"
+	"hublab/internal/pll"
+	"hublab/internal/sparsehub"
+	"hublab/internal/ubound"
+)
+
+// TestFlatSliceEquivalenceAcrossBuilders asserts, for every construction
+// path, that the frozen flat CSR representation and the mutable
+// slice-of-slices representation decode identical distances (and
+// minimizing hubs) on random sparse graphs.
+func TestFlatSliceEquivalenceAcrossBuilders(t *testing.T) {
+	// Force a multi-worker pool so the builders' parallel paths run
+	// concurrently even on single-CPU machines.
+	prev := par.SetWorkers(8)
+	defer par.SetWorkers(prev)
+	g, err := gen.Gnm(180, 320, 13)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	order := make([]graph.NodeID, g.NumNodes())
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	builders := []struct {
+		name  string
+		build func() (*hub.Labeling, error)
+	}{
+		{"pll", func() (*hub.Labeling, error) { return pll.Build(g, pll.Options{}) }},
+		{"greedy-cover", func() (*hub.Labeling, error) { return cover.Greedy(g) }},
+		{"sparse-hubs", func() (*hub.Labeling, error) {
+			res, err := sparsehub.Build(g, sparsehub.Options{Seed: 5})
+			if err != nil {
+				return nil, err
+			}
+			return res.Labeling, nil
+		}},
+		{"theorem41", func() (*hub.Labeling, error) {
+			res, err := ubound.Build(g, ubound.Options{D: 2, Seed: 5})
+			if err != nil {
+				return nil, err
+			}
+			return res.Labeling, nil
+		}},
+		{"canonical-hhl", func() (*hub.Labeling, error) { return hhl.Canonical(g, order) }},
+	}
+	for _, bc := range builders {
+		t.Run(bc.name, func(t *testing.T) {
+			l, err := bc.build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if !l.Frozen() {
+				t.Errorf("%s did not return a frozen labeling", bc.name)
+			}
+			f := l.Freeze()
+			slices := f.Thaw() // unfrozen: queries run the slice merge
+			n := g.NumNodes()
+			rng := rand.New(rand.NewSource(99))
+			check := func(u, v graph.NodeID) {
+				df, viaF, okF := f.QueryVia(u, v)
+				ds, viaS, okS := slices.QueryVia(u, v)
+				if df != ds || viaF != viaS || okF != okS {
+					t.Fatalf("(%d,%d): flat (%d,%d,%v) vs slices (%d,%d,%v)",
+						u, v, df, viaF, okF, ds, viaS, okS)
+				}
+			}
+			for u := graph.NodeID(0); int(u) < n; u++ {
+				check(u, u)
+			}
+			for k := 0; k < 3000; k++ {
+				check(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+			}
+		})
+	}
+}
+
+// TestFrozenQueryMatchesGraphDistances spot-checks that frozen queries
+// agree with true graph distances end to end for the PLL path.
+func TestFrozenQueryMatchesGraphDistances(t *testing.T) {
+	g, err := GenerateGnm(400, 720, 21)
+	if err != nil {
+		t.Fatalf("GenerateGnm: %v", err)
+	}
+	l, err := BuildPLL(g, PLLOptions{})
+	if err != nil {
+		t.Fatalf("BuildPLL: %v", err)
+	}
+	if err := l.VerifyCover(g); err != nil {
+		t.Fatalf("VerifyCover: %v", err)
+	}
+}

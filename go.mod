@@ -1,0 +1,3 @@
+module hublab
+
+go 1.24

@@ -63,8 +63,16 @@ func NewBuilder(n, m int) *Builder { return graph.NewBuilder(n, m) }
 
 // Hub labeling types.
 type (
-	// Labeling is a hub labeling (2-hop cover) with exact distances.
+	// Labeling is a hub labeling (2-hop cover) with exact distances. It is
+	// the mutable builder form; call Freeze to obtain the immutable flat
+	// CSR form (FlatLabeling) used for zero-allocation merge queries. All
+	// Build* constructors return labelings that are already frozen.
 	Labeling = hub.Labeling
+	// FlatLabeling is the frozen CSR/structure-of-arrays labeling: one
+	// contiguous offsets array over parallel hub-id and distance columns,
+	// with sentinel-terminated per-vertex runs. Queries on it allocate
+	// nothing and it is safe for concurrent use.
+	FlatLabeling = hub.FlatLabeling
 	// Hub is one label entry.
 	Hub = hub.Hub
 	// PLLOptions configures BuildPLL.

@@ -13,6 +13,7 @@ import (
 
 	"hublab/internal/graph"
 	"hublab/internal/hub"
+	"hublab/internal/par"
 	"hublab/internal/sssp"
 )
 
@@ -56,20 +57,27 @@ func Greedy(g *graph.Graph) (*hub.Labeling, error) {
 		return d[u][h]+d[h][v] == d[u][v]
 	}
 
+	counts := make([]int, n)
 	for len(uncovered.us) > 0 {
-		// Pick the hub covering the most uncovered pairs.
-		bestH := graph.NodeID(-1)
-		bestCount := -1
-		for h := graph.NodeID(0); int(h) < n; h++ {
+		// Pick the hub covering the most uncovered pairs. Scoring each
+		// candidate hub is independent, so it fans out over the worker
+		// pool; the argmax scan stays sequential and takes the smallest id
+		// among maxima, matching the sequential greedy exactly.
+		par.For(n, func(h int) {
 			count := 0
 			for i := range uncovered.us {
-				if covers(h, uncovered.us[i], uncovered.vs[i]) {
+				if covers(graph.NodeID(h), uncovered.us[i], uncovered.vs[i]) {
 					count++
 				}
 			}
-			if count > bestCount {
-				bestCount = count
-				bestH = h
+			counts[h] = count
+		})
+		bestH := graph.NodeID(-1)
+		bestCount := -1
+		for h := 0; h < n; h++ {
+			if counts[h] > bestCount {
+				bestCount = counts[h]
+				bestH = graph.NodeID(h)
 			}
 		}
 		if bestCount <= 0 {
@@ -96,5 +104,6 @@ func Greedy(g *graph.Graph) (*hub.Labeling, error) {
 		uncovered = next
 	}
 	l.Canonicalize()
+	l.Freeze()
 	return l, nil
 }

@@ -19,6 +19,7 @@ import (
 	"hublab/internal/bitio"
 	"hublab/internal/graph"
 	"hublab/internal/hub"
+	"hublab/internal/par"
 	"hublab/internal/sssp"
 )
 
@@ -91,13 +92,16 @@ func HubLabels(hl *hub.Labeling) (*Labels, error) {
 			return d, nil
 		},
 	}
-	for v := graph.NodeID(0); int(v) < n; v++ {
-		data, bits, err := hl.EncodeLabel(v)
+	if err := par.FirstError(n, func(i int) error {
+		data, bits, err := hl.EncodeLabel(graph.NodeID(i))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Data[v] = data
-		out.Bits[v] = bits
+		out.Data[i] = data
+		out.Bits[i] = bits
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -137,7 +141,8 @@ func EulerTour(g *graph.Graph) (*Labels, error) {
 		Data: make([][]byte, n),
 		Bits: make([]int, n),
 	}
-	for v := graph.NodeID(0); int(v) < n; v++ {
+	par.For(n, func(i int) {
+		v := graph.NodeID(i)
 		dist := sssp.BFS(g, v).Dist
 		var w bitio.Writer
 		w.WriteBits(uint64(pos[v]), posBits)
@@ -165,7 +170,7 @@ func EulerTour(g *graph.Graph) (*Labels, error) {
 		}
 		out.Data[v] = w.Bytes()
 		out.Bits[v] = w.Len()
-	}
+	})
 	decodeVector := func(data []byte, bits int) (int, []graph.Weight, error) {
 		r := bitio.NewReaderBits(data, bits)
 		p, err := r.ReadBits(posBits)
@@ -340,6 +345,7 @@ func Centroid(g *graph.Graph) (*hub.Labeling, error) {
 	}
 	decompose(0)
 	l.Canonicalize()
+	l.Freeze()
 	return l, nil
 }
 

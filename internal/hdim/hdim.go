@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"hublab/internal/graph"
+	"hublab/internal/par"
 	"hublab/internal/sssp"
 )
 
@@ -51,11 +52,12 @@ func Estimate(g *graph.Graph) ([]ScaleEstimate, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	// One canonical shortest path per pair, via parent trees.
+	// One canonical shortest path per pair, via parent trees; the searches
+	// are independent and fan out over the worker pool.
 	results := make([]*sssp.Result, n)
-	for v := 0; v < n; v++ {
+	par.For(n, func(v int) {
 		results[v] = sssp.Search(g, graph.NodeID(v))
-	}
+	})
 	diam := graph.Weight(0)
 	for v := 0; v < n; v++ {
 		for _, d := range results[v].Dist {
@@ -77,16 +79,24 @@ func Estimate(g *graph.Graph) ([]ScaleEstimate, error) {
 
 func estimateScale(g *graph.Graph, results []*sssp.Result, r graph.Weight) (ScaleEstimate, error) {
 	n := g.NumNodes()
-	// Collect canonical shortest paths with length in (r, 2r].
-	var paths [][]graph.NodeID
-	for u := 0; u < n; u++ {
+	// Collect canonical shortest paths with length in (r, 2r]; extraction
+	// is per-source independent, and concatenating the per-source buckets
+	// in id order keeps the path list deterministic.
+	perSource := make([][][]graph.NodeID, n)
+	par.For(n, func(u int) {
+		var bucket [][]graph.NodeID
 		for v := u + 1; v < n; v++ {
 			d := results[u].Dist[v]
 			if d == graph.Infinity || d <= r || d > 2*r {
 				continue
 			}
-			paths = append(paths, results[u].PathTo(graph.NodeID(v)))
+			bucket = append(bucket, results[u].PathTo(graph.NodeID(v)))
 		}
+		perSource[u] = bucket
+	})
+	var paths [][]graph.NodeID
+	for _, bucket := range perSource {
+		paths = append(paths, bucket...)
 	}
 	est := ScaleEstimate{R: r, Paths: len(paths)}
 	if len(paths) == 0 {

@@ -20,6 +20,7 @@ import (
 
 	"hublab/internal/graph"
 	"hublab/internal/hub"
+	"hublab/internal/par"
 	"hublab/internal/sssp"
 )
 
@@ -48,8 +49,13 @@ func Canonical(g *graph.Graph, order []graph.NodeID) (*hub.Labeling, error) {
 		return nil, err
 	}
 	dist := sssp.AllPairs(g)
-	l := hub.NewLabeling(n)
-	for v := graph.NodeID(0); int(v) < n; v++ {
+	// Per-vertex hub selection is independent; fan it out over the worker
+	// pool with each vertex writing its own label slot, then emit the
+	// canonical frozen labeling in one pass.
+	labels := make([][]hub.Hub, n)
+	par.For(n, func(i int) {
+		v := graph.NodeID(i)
+		var hubs []hub.Hub
 		for h := graph.NodeID(0); int(h) < n; h++ {
 			dhv := dist[h][v]
 			if dhv == graph.Infinity {
@@ -65,12 +71,12 @@ func Canonical(g *graph.Graph, order []graph.NodeID) (*hub.Labeling, error) {
 				}
 			}
 			if important {
-				l.Add(v, h, dhv)
+				hubs = append(hubs, hub.Hub{Node: h, Dist: dhv})
 			}
 		}
-	}
-	l.Canonicalize()
-	return l, nil
+		labels[i] = hubs
+	})
+	return hub.FromSlices(labels), nil
 }
 
 // IsHierarchical reports whether the labeling respects the order in the

@@ -1,0 +1,399 @@
+package hub
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hublab/internal/graph"
+)
+
+// flatSentinel terminates every per-vertex run in the flat arrays. It
+// compares greater than any real hub id, so the merge scan needs no bounds
+// or length checks: when one side reaches its sentinel the other side
+// advances until both sides agree on the sentinel.
+const flatSentinel = graph.NodeID(math.MaxInt32)
+
+// FlatLabeling is the frozen CSR/structure-of-arrays form of a Labeling:
+// one contiguous offsets array plus parallel hub-id and distance arrays.
+// The layout is chosen for the merge-query hot path — the scan touches
+// only the hub-id array until ids match, every label is terminated by a
+// sentinel id so the inner loop carries no length comparisons, and a query
+// performs zero allocations.
+//
+// FlatLabeling is immutable. Obtain one with Labeling.Freeze and convert
+// back to the mutable builder form with Thaw. Labels must be canonical
+// (sorted by hub id, no duplicates); Freeze canonicalizes first when
+// needed.
+type FlatLabeling struct {
+	offsets []int32        // len n+1; label of v occupies [offsets[v], offsets[v+1]-1), sentinel at offsets[v+1]-1
+	hubIDs  []graph.NodeID // len Total + n, sentinel-terminated runs
+	dists   []graph.Weight // parallel to hubIDs (sentinel slots hold Infinity)
+}
+
+// Freeze builds the flat CSR/SoA form of the labeling and caches it, so
+// subsequent Query/QueryVia calls on l run on the flat representation.
+// Labels are canonicalized first if any label is unsorted or contains
+// duplicates. The returned FlatLabeling is immutable and safe for
+// concurrent queries; any later mutation of l (Add, SetLabel,
+// Canonicalize) discards the cache.
+func (l *Labeling) Freeze() *FlatLabeling {
+	if l.flat != nil {
+		return l.flat
+	}
+	if !l.canonical() {
+		l.Canonicalize()
+	}
+	l.flat = l.buildFlat()
+	return l.flat
+}
+
+// buildFlat constructs the flat arrays from the (canonical) labels without
+// touching the cache — a pure read of l, so it is safe while other
+// goroutines query l.
+func (l *Labeling) buildFlat() *FlatLabeling {
+	n := len(l.labels)
+	total := 0
+	for _, hubs := range l.labels {
+		total += len(hubs)
+	}
+	f := &FlatLabeling{
+		offsets: make([]int32, n+1),
+		hubIDs:  make([]graph.NodeID, total+n),
+		dists:   make([]graph.Weight, total+n),
+	}
+	pos := int32(0)
+	for v, hubs := range l.labels {
+		f.offsets[v] = pos
+		for _, h := range hubs {
+			f.hubIDs[pos] = h.Node
+			f.dists[pos] = h.Dist
+			pos++
+		}
+		f.hubIDs[pos] = flatSentinel
+		f.dists[pos] = graph.Infinity
+		pos++
+	}
+	f.offsets[n] = pos
+	return f
+}
+
+// Frozen reports whether l currently carries a flat representation (and
+// thus answers queries on it).
+func (l *Labeling) Frozen() bool { return l.flat != nil }
+
+// canonical reports whether every label is strictly sorted by hub id.
+func (l *Labeling) canonical() bool {
+	for _, hubs := range l.labels {
+		for i := 1; i < len(hubs); i++ {
+			if hubs[i-1].Node >= hubs[i].Node {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Thaw materializes a mutable Labeling holding a copy of the flat labels.
+func (f *FlatLabeling) Thaw() *Labeling {
+	n := f.NumVertices()
+	l := NewLabeling(n)
+	for v := 0; v < n; v++ {
+		lo, hi := f.offsets[v], f.offsets[v+1]-1
+		hubs := make([]Hub, hi-lo)
+		for i := lo; i < hi; i++ {
+			hubs[i-lo] = Hub{Node: f.hubIDs[i], Dist: f.dists[i]}
+		}
+		l.labels[v] = hubs
+	}
+	return l
+}
+
+// NumVertices returns the number of vertices the labeling covers.
+func (f *FlatLabeling) NumVertices() int { return len(f.offsets) - 1 }
+
+// LabelLen returns |S(v)|.
+func (f *FlatLabeling) LabelLen(v graph.NodeID) int {
+	return int(f.offsets[v+1] - f.offsets[v] - 1)
+}
+
+// LabelIDs returns the hub ids of S(v) sorted ascending, excluding the
+// sentinel. The slice aliases internal storage and must not be modified.
+func (f *FlatLabeling) LabelIDs(v graph.NodeID) []graph.NodeID {
+	return f.hubIDs[f.offsets[v] : f.offsets[v+1]-1]
+}
+
+// LabelDists returns the distances parallel to LabelIDs(v). The slice
+// aliases internal storage and must not be modified.
+func (f *FlatLabeling) LabelDists(v graph.NodeID) []graph.Weight {
+	return f.dists[f.offsets[v] : f.offsets[v+1]-1]
+}
+
+// Query decodes the distance between u and v by merging the two
+// sentinel-terminated runs. It performs zero allocations and returns
+// Infinity and false when the labels share no hub.
+//
+// The scan is branch-reduced: hub ids of distinct labels compare
+// unpredictably, so the advance of the smaller cursor is computed from the
+// sign bit of the id difference instead of a data-dependent branch; the
+// only branches left (match, sentinel) are rare and well predicted. The
+// sentinel is the maximum id, so no length checks are needed: when one
+// run is exhausted the other side advances to its own sentinel and the
+// cursors meet there.
+func (f *FlatLabeling) Query(u, v graph.NodeID) (graph.Weight, bool) {
+	i, j := int(f.offsets[u]), int(f.offsets[v])
+	ids, ds := f.hubIDs, f.dists
+	best := graph.Infinity
+	for {
+		a, b := ids[i], ids[j]
+		if a == b {
+			if a == flatSentinel {
+				break
+			}
+			if d := ds[i] + ds[j]; d < best {
+				best = d
+			}
+			i++
+			j++
+			continue
+		}
+		// a-b cannot overflow: ids are in [0, MaxInt32]. lt = 1 iff a < b.
+		lt := int(uint32(a-b) >> 31)
+		i += lt
+		j += 1 - lt
+	}
+	return best, best < graph.Infinity
+}
+
+// QueryVia is Query but also returns the minimizing hub (-1 when none).
+func (f *FlatLabeling) QueryVia(u, v graph.NodeID) (graph.Weight, graph.NodeID, bool) {
+	i, j := int(f.offsets[u]), int(f.offsets[v])
+	ids, ds := f.hubIDs, f.dists
+	best := graph.Infinity
+	via := graph.NodeID(-1)
+	for {
+		a, b := ids[i], ids[j]
+		if a == b {
+			if a == flatSentinel {
+				break
+			}
+			if d := ds[i] + ds[j]; d < best {
+				best = d
+				via = a
+			}
+			i++
+			j++
+			continue
+		}
+		lt := int(uint32(a-b) >> 31)
+		i += lt
+		j += 1 - lt
+	}
+	return best, via, via >= 0
+}
+
+// queryStream is the saved state of one in-flight merge inside
+// QueryBatch: cursors, the running minimum, and the batch slot the result
+// belongs to.
+type queryStream struct {
+	i, j, o int
+	best    graph.Weight
+}
+
+// QueryBatch answers pairs[k] = (u, v) into out[k] for every k, writing
+// graph.Infinity for pairs with no common hub. out must have at least
+// len(pairs) entries.
+//
+// Three merges are kept in flight at all times, their scans interleaved
+// in one loop: the merge is latency-bound on its load→compare→advance
+// dependency chain, so three independent chains overlap in the pipeline
+// and roughly double throughput over repeated Query calls. Whenever one
+// merge completes, the next pair of the batch is loaded into the freed
+// stream. Zero allocations.
+func (f *FlatLabeling) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
+	if len(pairs) < 3 {
+		for k, p := range pairs {
+			out[k], _ = f.Query(p[0], p[1])
+		}
+		return
+	}
+	ids, ds := f.hubIDs, f.dists
+	var s [3]queryStream
+	for t := 0; t < 3; t++ {
+		s[t] = queryStream{
+			i: int(f.offsets[pairs[t][0]]), j: int(f.offsets[pairs[t][1]]),
+			o: t, best: graph.Infinity,
+		}
+	}
+	k := 3 // next pair to feed into a freed stream
+	for active := 3; active == 3; {
+		// Hoist stream state into scalars so the hot loop runs on
+		// registers; the refill bookkeeping only touches the array.
+		i0, j0, b0 := s[0].i, s[0].j, s[0].best
+		i1, j1, b1 := s[1].i, s[1].j, s[1].best
+		i2, j2, b2 := s[2].i, s[2].j, s[2].best
+		fin := -1
+		for fin < 0 {
+			a0, c0 := ids[i0], ids[j0]
+			a1, c1 := ids[i1], ids[j1]
+			a2, c2 := ids[i2], ids[j2]
+			if a0 == c0 {
+				// The sentinel only ever surfaces as a match, so stream
+				// completion rides the rare match branch instead of
+				// costing a comparison every iteration.
+				if a0 == flatSentinel {
+					fin = 0
+					break
+				}
+				if d := ds[i0] + ds[j0]; d < b0 {
+					b0 = d
+				}
+				i0++
+				j0++
+			} else {
+				lt := int(uint32(a0-c0) >> 31)
+				i0 += lt
+				j0 += 1 - lt
+			}
+			if a1 == c1 {
+				if a1 == flatSentinel {
+					fin = 1
+					break
+				}
+				if d := ds[i1] + ds[j1]; d < b1 {
+					b1 = d
+				}
+				i1++
+				j1++
+			} else {
+				lt := int(uint32(a1-c1) >> 31)
+				i1 += lt
+				j1 += 1 - lt
+			}
+			if a2 == c2 {
+				if a2 == flatSentinel {
+					fin = 2
+					break
+				}
+				if d := ds[i2] + ds[j2]; d < b2 {
+					b2 = d
+				}
+				i2++
+				j2++
+			} else {
+				lt := int(uint32(a2-c2) >> 31)
+				i2 += lt
+				j2 += 1 - lt
+			}
+		}
+		s[0].i, s[0].j, s[0].best = i0, j0, b0
+		s[1].i, s[1].j, s[1].best = i1, j1, b1
+		s[2].i, s[2].j, s[2].best = i2, j2, b2
+		out[s[fin].o] = s[fin].best
+		if k < len(pairs) {
+			s[fin] = queryStream{
+				i: int(f.offsets[pairs[k][0]]), j: int(f.offsets[pairs[k][1]]),
+				o: k, best: graph.Infinity,
+			}
+			k++
+		} else {
+			s[fin] = s[2]
+			active = 2
+		}
+	}
+	// Batch exhausted: drain the two remaining streams single-file.
+	out[s[0].o] = f.mergeRest(s[0].i, s[0].j, s[0].best)
+	out[s[1].o] = f.mergeRest(s[1].i, s[1].j, s[1].best)
+}
+
+// mergeRest continues a single merge from saved cursors.
+func (f *FlatLabeling) mergeRest(i, j int, best graph.Weight) graph.Weight {
+	ids, ds := f.hubIDs, f.dists
+	for {
+		a, b := ids[i], ids[j]
+		if a == b {
+			if a == flatSentinel {
+				return best
+			}
+			if d := ds[i] + ds[j]; d < best {
+				best = d
+			}
+			i++
+			j++
+			continue
+		}
+		lt := int(uint32(a-b) >> 31)
+		i += lt
+		j += 1 - lt
+	}
+}
+
+// ComputeStats returns size statistics for the flat labeling (sentinels
+// excluded).
+func (f *FlatLabeling) ComputeStats() Stats {
+	s := Stats{Vertices: f.NumVertices()}
+	for v := 0; v < s.Vertices; v++ {
+		sz := f.LabelLen(graph.NodeID(v))
+		s.Total += sz
+		if sz > s.Max {
+			s.Max = sz
+		}
+	}
+	if s.Vertices > 0 {
+		s.Avg = float64(s.Total) / float64(s.Vertices)
+	}
+	return s
+}
+
+// SpaceBytes returns the exact storage of the flat arrays: 4 bytes per
+// offset plus 8 bytes per slot (hub id + distance), sentinels included.
+func (f *FlatLabeling) SpaceBytes() int64 {
+	return int64(len(f.offsets))*4 + int64(len(f.hubIDs))*4 + int64(len(f.dists))*4
+}
+
+// FromSlices builds a canonical, frozen Labeling directly from raw
+// per-vertex hub slices, taking ownership of them. It is the emit path the
+// construction algorithms (PLL, canonical HHL, monotone closure) use so
+// their output carries the flat representation without an extra copy of
+// the mutable form.
+func FromSlices(labels [][]Hub) *Labeling {
+	l := &Labeling{labels: labels}
+	l.Canonicalize()
+	l.Freeze()
+	return l
+}
+
+// sortHubs sorts a label slice by (hub id, distance) — the canonical
+// per-vertex order.
+func sortHubs(hubs []Hub) {
+	sort.Slice(hubs, func(i, j int) bool {
+		if hubs[i].Node != hubs[j].Node {
+			return hubs[i].Node < hubs[j].Node
+		}
+		return hubs[i].Dist < hubs[j].Dist
+	})
+}
+
+// validateFlat is a debug helper asserting structural invariants; it is
+// exercised by tests rather than production paths.
+func (f *FlatLabeling) validate() error {
+	n := f.NumVertices()
+	if len(f.hubIDs) != len(f.dists) {
+		return fmt.Errorf("hub: flat arrays disagree: %d ids, %d dists", len(f.hubIDs), len(f.dists))
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := f.offsets[v], f.offsets[v+1]
+		if hi <= lo {
+			return fmt.Errorf("hub: vertex %d has empty run", v)
+		}
+		if f.hubIDs[hi-1] != flatSentinel {
+			return fmt.Errorf("hub: vertex %d run not sentinel-terminated", v)
+		}
+		for i := lo + 1; i < hi-1; i++ {
+			if f.hubIDs[i-1] >= f.hubIDs[i] {
+				return fmt.Errorf("hub: vertex %d label unsorted at slot %d", v, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package hub
+
+import (
+	"math/rand"
+	"testing"
+
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/par"
+)
+
+// buildSmall returns a labeling over 4 vertices exercising empty labels,
+// shared hubs and disjoint hubs:
+//
+//	S(0) = {0:0, 2:1}, S(1) = {1:0, 2:2}, S(2) = {} (empty), S(3) = {3:0}.
+func buildSmall() *Labeling {
+	l := NewLabeling(4)
+	l.Add(0, 0, 0)
+	l.Add(0, 2, 1)
+	l.Add(1, 1, 0)
+	l.Add(1, 2, 2)
+	l.Add(3, 3, 0)
+	l.Canonicalize()
+	return l
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	l := buildSmall()
+	for _, frozen := range []bool{false, true} {
+		if frozen {
+			l.Freeze()
+			if !l.Frozen() {
+				t.Fatal("Freeze did not stick")
+			}
+		}
+		// Common hub 2: d = 1 + 2.
+		if d, via, ok := l.QueryVia(0, 1); !ok || d != 3 || via != 2 {
+			t.Errorf("frozen=%v Query(0,1) = (%d,%d,%v), want (3,2,true)", frozen, d, via, ok)
+		}
+		// Empty label on one side.
+		if d, ok := l.Query(0, 2); ok || d != graph.Infinity {
+			t.Errorf("frozen=%v Query(0,2) = (%d,%v), want (Infinity,false)", frozen, d, ok)
+		}
+		// Empty label on both sides (self-query on empty).
+		if _, ok := l.Query(2, 2); ok {
+			t.Errorf("frozen=%v Query(2,2) succeeded on empty label", frozen)
+		}
+		// No common hub.
+		if _, ok := l.Query(0, 3); ok {
+			t.Errorf("frozen=%v Query(0,3) found a hub", frozen)
+		}
+		// Self-query via self-hub.
+		if d, via, ok := l.QueryVia(0, 0); !ok || d != 0 || via != 0 {
+			t.Errorf("frozen=%v Query(0,0) = (%d,%d,%v), want (0,0,true)", frozen, d, via, ok)
+		}
+	}
+}
+
+func TestDuplicateHubsPreCanonicalize(t *testing.T) {
+	// Duplicate hub with differing distances: Canonicalize must keep the
+	// minimum, and Freeze on the raw labeling must canonicalize first.
+	l := NewLabeling(2)
+	l.Add(0, 1, 5)
+	l.Add(0, 1, 2)
+	l.Add(0, 0, 0)
+	l.Add(1, 1, 0)
+	f := l.Freeze()
+	if err := f.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if d, ok := f.Query(0, 1); !ok || d != 2 {
+		t.Errorf("Query(0,1) = (%d,%v), want (2,true)", d, ok)
+	}
+	if got := f.LabelLen(0); got != 2 {
+		t.Errorf("LabelLen(0) = %d, want 2 after dedup", got)
+	}
+}
+
+func TestFreezeThawRoundTrip(t *testing.T) {
+	l := buildSmall()
+	f := l.Freeze()
+	if err := f.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	back := f.Thaw()
+	if back.NumVertices() != l.NumVertices() {
+		t.Fatalf("Thaw lost vertices: %d vs %d", back.NumVertices(), l.NumVertices())
+	}
+	for v := graph.NodeID(0); int(v) < l.NumVertices(); v++ {
+		a, b := l.Label(v), back.Label(v)
+		if len(a) != len(b) {
+			t.Fatalf("label(%d) sizes differ: %d vs %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("label(%d)[%d] differs: %v vs %v", v, i, a[i], b[i])
+			}
+		}
+	}
+	if back.Frozen() {
+		t.Error("Thaw returned a frozen labeling")
+	}
+}
+
+func TestMutationInvalidatesFlat(t *testing.T) {
+	l := buildSmall()
+	l.Freeze()
+	l.Add(2, 2, 0)
+	if l.Frozen() {
+		t.Fatal("Add did not invalidate the flat form")
+	}
+	l.Canonicalize()
+	l.Freeze()
+	l.SetLabel(3, []Hub{{Node: 3, Dist: 0}})
+	if l.Frozen() {
+		t.Fatal("SetLabel did not invalidate the flat form")
+	}
+	l.Freeze()
+	l.Canonicalize()
+	if l.Frozen() {
+		t.Fatal("Canonicalize did not invalidate the flat form")
+	}
+}
+
+func TestFlatStatsMatchSlices(t *testing.T) {
+	l := buildSmall()
+	want := l.ComputeStats()
+	got := l.Freeze().ComputeStats()
+	if want != got {
+		t.Errorf("stats differ: flat %+v vs slices %+v", got, want)
+	}
+}
+
+// TestFlatSliceEquivalenceRandom asserts the flat and slice-of-slices
+// representations decode identical distances on random Gnm graphs labeled
+// from random hub sets (builder-level equivalence for PLL, greedy cover,
+// sparse hubs, Theorem 4.1 and canonical HHL lives in the top-level
+// package's TestFlatSliceEquivalenceAcrossBuilders).
+func TestFlatSliceEquivalenceRandom(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g, err := gen.Gnm(300, 520, seed)
+		if err != nil {
+			t.Fatalf("Gnm: %v", err)
+		}
+		rng := rand.New(rand.NewSource(seed * 31))
+		sets := make([][]graph.NodeID, g.NumNodes())
+		for v := range sets {
+			sets[v] = append(sets[v], graph.NodeID(v), 0)
+			for k := 0; k < 6; k++ {
+				sets[v] = append(sets[v], graph.NodeID(rng.Intn(g.NumNodes())))
+			}
+		}
+		l, err := FromSets(g, sets)
+		if err != nil {
+			t.Fatalf("FromSets: %v", err)
+		}
+		f := l.Freeze()
+		if err := f.validate(); err != nil {
+			t.Fatalf("validate: %v", err)
+		}
+		slices := f.Thaw() // unfrozen copy: queries run the slice merge
+		n := g.NumNodes()
+		pairRng := rand.New(rand.NewSource(seed))
+		for k := 0; k < 4000; k++ {
+			u := graph.NodeID(pairRng.Intn(n))
+			v := graph.NodeID(pairRng.Intn(n))
+			df, vf, okf := f.QueryVia(u, v)
+			ds, vs, oks := slices.QueryVia(u, v)
+			if df != ds || vf != vs || okf != oks {
+				t.Fatalf("seed %d pair (%d,%d): flat (%d,%d,%v) vs slices (%d,%d,%v)",
+					seed, u, v, df, vf, okf, ds, vs, oks)
+			}
+		}
+	}
+}
+
+func TestFromSetsDeterministic(t *testing.T) {
+	prev := par.SetWorkers(8)
+	defer par.SetWorkers(prev)
+	g, err := gen.Gnm(150, 260, 9)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(4))
+	sets := make([][]graph.NodeID, n)
+	for v := range sets {
+		sets[v] = append(sets[v], graph.NodeID(v))
+		for k := 0; k < 3; k++ {
+			sets[v] = append(sets[v], graph.NodeID(rng.Intn(n)))
+		}
+	}
+	a, err := FromSets(g, sets)
+	if err != nil {
+		t.Fatalf("FromSets: %v", err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		b, err := FromSets(g, sets)
+		if err != nil {
+			t.Fatalf("FromSets: %v", err)
+		}
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			la, lb := a.Label(v), b.Label(v)
+			if len(la) != len(lb) {
+				t.Fatalf("trial %d: label(%d) sizes differ: %d vs %d", trial, v, len(la), len(lb))
+			}
+			for i := range la {
+				if la[i] != lb[i] {
+					t.Fatalf("trial %d: label(%d)[%d] differs: %v vs %v", trial, v, i, la[i], lb[i])
+				}
+			}
+		}
+	}
+	if !a.Frozen() {
+		t.Error("FromSets result not frozen")
+	}
+}
+
+func TestVerifyCoverDeterministicError(t *testing.T) {
+	// Force a multi-worker pool (single-CPU machines would otherwise run
+	// serial): a labeling with several violations must always report the
+	// lowest (u, v) violation regardless of worker scheduling.
+	prev := par.SetWorkers(8)
+	defer par.SetWorkers(prev)
+	g, err := gen.Gnm(60, 100, 2)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	l := NewLabeling(60)
+	for v := graph.NodeID(0); v < 60; v++ {
+		l.Add(v, v, 0) // self-hubs only: every nonadjacent pair violates
+	}
+	l.Canonicalize()
+	var want *CoverError
+	for trial := 0; trial < 8; trial++ {
+		err := l.VerifyCover(g)
+		var ce *CoverError
+		if !asCoverError(err, &ce) {
+			t.Fatalf("trial %d: err = %v, want *CoverError", trial, err)
+		}
+		if want == nil {
+			want = ce
+			continue
+		}
+		if ce.U != want.U || ce.V != want.V {
+			t.Fatalf("trial %d: violation (%d,%d), want stable (%d,%d)", trial, ce.U, ce.V, want.U, want.V)
+		}
+	}
+}
+
+func TestVerifyDoesNotMutate(t *testing.T) {
+	// Verification must never freeze or canonicalize the receiver — a
+	// concurrent reader of an unfrozen labeling would race with it.
+	g, err := gen.Gnm(40, 70, 5)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	sets := make([][]graph.NodeID, 40)
+	for v := range sets {
+		for h := graph.NodeID(0); h < 40; h++ {
+			sets[v] = append(sets[v], h)
+		}
+	}
+	l, err := FromSets(g, sets)
+	if err != nil {
+		t.Fatalf("FromSets: %v", err)
+	}
+	unfrozen := l.Freeze().Thaw()
+	if err := unfrozen.VerifyCover(g); err != nil {
+		t.Fatalf("VerifyCover: %v", err)
+	}
+	if unfrozen.Frozen() {
+		t.Error("VerifyCover froze the labeling")
+	}
+	if err := unfrozen.VerifySampled(g, 50, 1); err != nil {
+		t.Fatalf("VerifySampled: %v", err)
+	}
+	if unfrozen.Frozen() {
+		t.Error("VerifySampled froze the labeling")
+	}
+}
+
+func asCoverError(err error, out **CoverError) bool {
+	ce, ok := err.(*CoverError)
+	if ok {
+		*out = ce
+	}
+	return ok
+}

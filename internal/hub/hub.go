@@ -8,6 +8,19 @@
 // The package provides the labeling container, the merge query, cover
 // verification, monotone closure (the S* sets of Theorem 2.1's Eq. (1)),
 // size statistics and bit-level serialization.
+//
+// # Freeze/Thaw lifecycle
+//
+// Labeling is the mutable builder form: construction algorithms Add hubs,
+// Canonicalize, and hand the result out. Freeze converts the slice-of-
+// slices storage into the immutable FlatLabeling — contiguous CSR offsets
+// over structure-of-arrays hub-id/distance columns with sentinel-
+// terminated runs — and caches it on the Labeling, so Query and QueryVia
+// transparently run the zero-allocation flat merge. Every mutation (Add,
+// SetLabel, Canonicalize) drops the cache; Thaw converts a FlatLabeling
+// back into a fresh mutable Labeling. All construction paths in this
+// module freeze their final result, so consumers get flat-speed queries
+// without holding a second type.
 package hub
 
 import (
@@ -17,6 +30,7 @@ import (
 	"sort"
 
 	"hublab/internal/graph"
+	"hublab/internal/par"
 	"hublab/internal/sssp"
 )
 
@@ -28,9 +42,11 @@ type Hub struct {
 }
 
 // Labeling holds one hub set per vertex, each sorted by hub id, enabling
-// O(|S(u)|+|S(v)|) merge queries.
+// O(|S(u)|+|S(v)|) merge queries. A frozen flat form (see Freeze) is
+// cached after construction and used transparently by the query methods.
 type Labeling struct {
 	labels [][]Hub
+	flat   *FlatLabeling // non-nil iff frozen; invalidated by any mutation
 }
 
 // ErrNotCover reports that a labeling fails to cover some pair.
@@ -58,28 +74,31 @@ func NewLabeling(n int) *Labeling {
 func (l *Labeling) NumVertices() int { return len(l.labels) }
 
 // Add inserts hub h at distance d into S(v). Call Canonicalize after a
-// batch of Adds to restore sorted, deduplicated labels.
+// batch of Adds to restore sorted, deduplicated labels. Adding discards
+// any frozen flat form.
 func (l *Labeling) Add(v graph.NodeID, h graph.NodeID, d graph.Weight) {
+	l.flat = nil
 	l.labels[v] = append(l.labels[v], Hub{Node: h, Dist: d})
 }
 
 // Label returns S(v) sorted by hub id. The slice aliases internal storage.
 func (l *Labeling) Label(v graph.NodeID) []Hub { return l.labels[v] }
 
-// SetLabel replaces S(v) wholesale (taking ownership of hubs).
-func (l *Labeling) SetLabel(v graph.NodeID, hubs []Hub) { l.labels[v] = hubs }
+// SetLabel replaces S(v) wholesale (taking ownership of hubs) and discards
+// any frozen flat form.
+func (l *Labeling) SetLabel(v graph.NodeID, hubs []Hub) {
+	l.flat = nil
+	l.labels[v] = hubs
+}
 
 // Canonicalize sorts every label by hub id and merges duplicates keeping
-// the minimum distance.
+// the minimum distance. It discards any frozen flat form (Freeze again
+// afterwards to restore it).
 func (l *Labeling) Canonicalize() {
+	l.flat = nil
 	for v := range l.labels {
 		hubs := l.labels[v]
-		sort.Slice(hubs, func(i, j int) bool {
-			if hubs[i].Node != hubs[j].Node {
-				return hubs[i].Node < hubs[j].Node
-			}
-			return hubs[i].Dist < hubs[j].Dist
-		})
+		sortHubs(hubs)
 		out := hubs[:0]
 		for i, h := range hubs {
 			if i == 0 || h.Node != hubs[i-1].Node {
@@ -91,14 +110,26 @@ func (l *Labeling) Canonicalize() {
 }
 
 // Query decodes the distance between u and v from their labels alone. It
-// returns Infinity and false if the labels share no hub.
+// returns Infinity and false if the labels share no hub. On a frozen
+// labeling the zero-allocation flat merge is used.
 func (l *Labeling) Query(u, v graph.NodeID) (graph.Weight, bool) {
-	d, _, ok := l.QueryVia(u, v)
+	if f := l.flat; f != nil {
+		return f.Query(u, v)
+	}
+	d, _, ok := l.queryViaSlices(u, v)
 	return d, ok
 }
 
 // QueryVia is Query but also returns the minimizing hub.
 func (l *Labeling) QueryVia(u, v graph.NodeID) (graph.Weight, graph.NodeID, bool) {
+	if f := l.flat; f != nil {
+		return f.QueryVia(u, v)
+	}
+	return l.queryViaSlices(u, v)
+}
+
+// queryViaSlices is the merge query over the mutable slice-of-slices form.
+func (l *Labeling) queryViaSlices(u, v graph.NodeID) (graph.Weight, graph.NodeID, bool) {
 	a, b := l.labels[u], l.labels[v]
 	best := graph.Infinity
 	var via graph.NodeID = -1
@@ -144,26 +175,50 @@ func (l *Labeling) ComputeStats() Stats {
 	return s
 }
 
+// verifyQueryFunc returns the query function verification should use
+// without mutating the receiver (so a concurrent reader of l is safe):
+// the cached flat form when present, a locally built flat form when the
+// labels are canonical, and the plain slice merge otherwise.
+func (l *Labeling) verifyQueryFunc() func(u, v graph.NodeID) (graph.Weight, bool) {
+	if f := l.flat; f != nil {
+		return f.Query
+	}
+	if l.canonical() {
+		return l.buildFlat().Query
+	}
+	return l.Query
+}
+
 // VerifyCover exhaustively checks that the labeling decodes the exact
 // distance for every vertex pair of g (one SSSP per vertex; intended for
-// graphs up to a few thousand vertices). It returns a *CoverError on the
-// first violation.
+// graphs up to a few thousand vertices). The per-source checks run on a
+// runtime.NumCPU()-bounded worker pool over the flat form (built locally
+// when the labeling is not already frozen — the receiver is never
+// mutated); the reported *CoverError is deterministic — the same first
+// violation (lowest u, then lowest v) a sequential scan would find.
 func (l *Labeling) VerifyCover(g *graph.Graph) error {
 	if len(l.labels) != g.NumNodes() {
 		return fmt.Errorf("hub: labeling has %d vertices, graph has %d", len(l.labels), g.NumNodes())
 	}
-	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+	query := l.verifyQueryFunc()
+	n := g.NumNodes()
+	return par.FirstError(n, func(i int) error {
+		u := graph.NodeID(i)
 		r := sssp.Search(g, u)
-		for v := u; int(v) < g.NumNodes(); v++ {
-			if err := l.checkPair(u, v, r.Dist[v]); err != nil {
+		for v := u; int(v) < n; v++ {
+			if err := checkPairQuery(query, u, v, r.Dist[v]); err != nil {
 				return err
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
-// VerifySampled checks the labeling on `pairs` random vertex pairs.
+// VerifySampled checks the labeling on `pairs` random vertex pairs. The
+// pair sequence is drawn up front from the seed and the checks are
+// batched across the worker pool; the reported error is the one a
+// sequential scan of the same sequence would hit first. Like VerifyCover
+// it never mutates the receiver.
 func (l *Labeling) VerifySampled(g *graph.Graph, pairs int, seed int64) error {
 	if len(l.labels) != g.NumNodes() {
 		return fmt.Errorf("hub: labeling has %d vertices, graph has %d", len(l.labels), g.NumNodes())
@@ -173,19 +228,19 @@ func (l *Labeling) VerifySampled(g *graph.Graph, pairs int, seed int64) error {
 	if n == 0 {
 		return nil
 	}
-	for i := 0; i < pairs; i++ {
-		u := graph.NodeID(rng.Intn(n))
-		v := graph.NodeID(rng.Intn(n))
-		want := sssp.Distance(g, u, v)
-		if err := l.checkPair(u, v, want); err != nil {
-			return err
-		}
+	query := l.verifyQueryFunc()
+	batch := make([][2]graph.NodeID, pairs)
+	for i := range batch {
+		batch[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))}
 	}
-	return nil
+	return par.FirstError(len(batch), func(i int) error {
+		u, v := batch[i][0], batch[i][1]
+		return checkPairQuery(query, u, v, sssp.Distance(g, u, v))
+	})
 }
 
-func (l *Labeling) checkPair(u, v graph.NodeID, want graph.Weight) error {
-	got, ok := l.Query(u, v)
+func checkPairQuery(query func(u, v graph.NodeID) (graph.Weight, bool), u, v graph.NodeID, want graph.Weight) error {
+	got, ok := query(u, v)
 	if want == graph.Infinity {
 		if ok {
 			return &CoverError{U: u, V: v, Got: got, Want: want}
@@ -202,7 +257,10 @@ func (l *Labeling) checkPair(u, v graph.NodeID, want graph.Weight) error {
 }
 
 // FromSets builds a labeling with exact distances from bare hub sets by
-// running one shortest-path search per distinct hub.
+// running one shortest-path search per distinct hub. Hubs are processed in
+// sorted id order (so construction is deterministic run-to-run) and the
+// per-hub searches run on the worker pool; the result is canonical and
+// frozen.
 func FromSets(g *graph.Graph, sets [][]graph.NodeID) (*Labeling, error) {
 	if len(sets) != g.NumNodes() {
 		return nil, fmt.Errorf("hub: %d sets for %d vertices", len(sets), g.NumNodes())
@@ -217,16 +275,38 @@ func FromSets(g *graph.Graph, sets [][]graph.NodeID) (*Labeling, error) {
 			users[h] = append(users[h], graph.NodeID(v))
 		}
 	}
-	l := NewLabeling(g.NumNodes())
-	for h, vs := range users {
+	order := make([]graph.NodeID, 0, len(users))
+	for h := range users {
+		order = append(order, h)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	// One search per distinct hub, in parallel; entry lists land in the
+	// slot of their hub's rank, so assembly order is deterministic.
+	type entry struct {
+		v graph.NodeID
+		d graph.Weight
+	}
+	perHub := make([][]entry, len(order))
+	par.For(len(order), func(i int) {
+		h := order[i]
 		r := sssp.Search(g, h)
+		vs := users[h]
+		list := make([]entry, 0, len(vs))
 		for _, v := range vs {
 			if r.Dist[v] < graph.Infinity {
-				l.Add(v, h, r.Dist[v])
+				list = append(list, entry{v, r.Dist[v]})
 			}
+		}
+		perHub[i] = list
+	})
+	l := NewLabeling(g.NumNodes())
+	for i, h := range order {
+		for _, e := range perHub[i] {
+			l.Add(e.v, h, e.d)
 		}
 	}
 	l.Canonicalize()
+	l.Freeze()
 	return l, nil
 }
 
@@ -238,10 +318,13 @@ func MonotoneClosure(g *graph.Graph, l *Labeling) (*Labeling, error) {
 	if l.NumVertices() != g.NumNodes() {
 		return nil, fmt.Errorf("hub: labeling has %d vertices, graph has %d", l.NumVertices(), g.NumNodes())
 	}
-	out := NewLabeling(g.NumNodes())
-	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+	n := g.NumNodes()
+	outLabels := make([][]Hub, n)
+	par.For(n, func(i int) {
+		v := graph.NodeID(i)
 		r := sssp.Search(g, v)
 		added := make(map[graph.NodeID]bool, len(l.labels[v]))
+		var hubs []Hub
 		for _, h := range l.labels[v] {
 			// Walk from the hub back to v along the shortest-path tree.
 			for x := h.Node; x != -1 && !added[x]; x = r.Parent[x] {
@@ -249,13 +332,13 @@ func MonotoneClosure(g *graph.Graph, l *Labeling) (*Labeling, error) {
 					break // hub unreachable from v: keep original entry only
 				}
 				added[x] = true
-				out.Add(v, x, r.Dist[x])
+				hubs = append(hubs, Hub{Node: x, Dist: r.Dist[x]})
 			}
 		}
 		if !added[v] {
-			out.Add(v, v, 0)
+			hubs = append(hubs, Hub{Node: v, Dist: 0})
 		}
-	}
-	out.Canonicalize()
-	return out, nil
+		outLabels[i] = hubs
+	})
+	return FromSlices(outLabels), nil
 }

@@ -62,9 +62,11 @@ func (m *Matrix) SpaceBytes() int64 {
 // Name implements Oracle.
 func (m *Matrix) Name() string { return "matrix" }
 
-// Labels is the hub labeling point of the tradeoff.
+// Labels is the hub labeling point of the tradeoff. Queries run on the
+// frozen flat CSR form, so each Distance call is a zero-allocation merge.
 type Labels struct {
 	l *hub.Labeling
+	f *hub.FlatLabeling
 }
 
 var _ Oracle = (*Labels)(nil)
@@ -75,24 +77,25 @@ func NewLabels(g *graph.Graph) (*Labels, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Labels{l: l}, nil
+	return NewLabelsFrom(l), nil
 }
 
-// NewLabelsFrom wraps an existing labeling.
-func NewLabelsFrom(l *hub.Labeling) *Labels { return &Labels{l: l} }
+// NewLabelsFrom wraps an existing labeling, freezing it if necessary.
+func NewLabelsFrom(l *hub.Labeling) *Labels { return &Labels{l: l, f: l.Freeze()} }
 
 // Distance decodes from the two labels.
 func (o *Labels) Distance(u, v graph.NodeID) graph.Weight {
-	d, ok := o.l.Query(u, v)
+	d, ok := o.f.Query(u, v)
 	if !ok {
 		return graph.Infinity
 	}
 	return d
 }
 
-// SpaceBytes counts 8 bytes per hub entry (node + distance).
+// SpaceBytes counts the flat storage exactly: 4 bytes per CSR offset plus
+// 8 bytes per slot (hub id + distance), sentinels included.
 func (o *Labels) SpaceBytes() int64 {
-	return int64(o.l.ComputeStats().Total) * 8
+	return o.f.SpaceBytes()
 }
 
 // Name implements Oracle.
@@ -165,7 +168,7 @@ func Tradeoff(g *graph.Graph, samplePairs int) ([]TradeoffPoint, error) {
 			return nil, fmt.Errorf("oracle: search disagrees with matrix on (%d,%d): %d vs %d", u, v, ds, dm)
 		}
 	}
-	stats := labels.l.ComputeStats()
+	stats := labels.f.ComputeStats()
 	points := []TradeoffPoint{
 		{Name: matrix.Name(), SpaceBytes: matrix.SpaceBytes(), AvgQueryOps: 1},
 		{Name: labels.Name(), SpaceBytes: labels.SpaceBytes(), AvgQueryOps: 2 * stats.Avg},

@@ -52,7 +52,10 @@ func TestOracleSpaceAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewLabels: %v", err)
 	}
-	if want := int64(labels.Labeling().ComputeStats().Total) * 8; labels.SpaceBytes() != want {
+	// Exact flat CSR accounting: 8 bytes per slot (hub entries plus one
+	// sentinel per vertex) and 4 bytes per offset.
+	stats := labels.Labeling().ComputeStats()
+	if want := int64(stats.Total+100)*8 + int64(100+1)*4; labels.SpaceBytes() != want {
 		t.Errorf("labels space = %d, want %d", labels.SpaceBytes(), want)
 	}
 	search := NewSearch(g)

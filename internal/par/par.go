@@ -1,0 +1,157 @@
+// Package par provides a small bounded worker pool for the embarrassingly
+// parallel per-vertex loops of the hub-labeling pipeline (cover
+// verification, per-hub shortest-path searches, canonical label
+// construction). Parallelism is bounded by runtime.NumCPU() and every
+// helper is deterministic as long as callers write results only into the
+// slot of the index they were handed.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers overrides the worker count when positive; 0 means
+// runtime.NumCPU(). It exists so benchmarks can pin a serial baseline and
+// tests can exercise both code paths.
+var maxWorkers int64
+
+// SetWorkers bounds the pool to k workers (k ≤ 0 restores the
+// runtime.NumCPU() default) and returns the previous setting. Not intended
+// for concurrent use with running loops.
+func SetWorkers(k int) int {
+	prev := int(atomic.LoadInt64(&maxWorkers))
+	if k < 0 {
+		k = 0
+	}
+	atomic.StoreInt64(&maxWorkers, int64(k))
+	return prev
+}
+
+// Workers returns the number of workers a loop over n items will use.
+func Workers(n int) int {
+	w := int(atomic.LoadInt64(&maxWorkers))
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn(i) for every i in [0, n), distributing indices over the
+// worker pool and blocking until all calls return. Output is deterministic
+// when fn(i) writes only to position i of shared slices. A panic inside
+// fn is recovered on its worker, the loop drains, and the first panic
+// value is re-raised on the calling goroutine.
+func For(n int, fn func(i int)) {
+	w := Workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// FirstError runs fn(i) for every i in [0, n) in parallel and returns the
+// error with the smallest index, or nil if every call succeeds — exactly
+// what a sequential loop with an early return would report, regardless of
+// scheduling. Indices above the smallest failing one seen so far are
+// skipped best-effort, so the full range is not necessarily evaluated
+// after a failure. Panics in fn propagate like For's.
+func FirstError(n int, fn func(i int) error) error {
+	w := Workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     int64
+		mu       sync.Mutex
+		bestIdx  = int64(n)
+		bestErr  error
+		panicVal any
+		wg       sync.WaitGroup
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				skip := int64(i) > bestIdx
+				mu.Unlock()
+				if skip {
+					continue
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if int64(i) < bestIdx {
+						bestIdx, bestErr = int64(i), err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return bestErr
+}

@@ -1,0 +1,132 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	// Force a multi-worker pool even on single-CPU machines so the
+	// concurrent path is exercised (and race-checked) everywhere.
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		seen := make([]int64, n)
+		For(n, func(i int) { atomic.AddInt64(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForSerialFallback(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	order := make([]int, 0, 10)
+	For(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial For out of order: %v", order)
+		}
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Errorf("Workers(0) = %d, want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Errorf("Workers(1) = %d, want 1", w)
+	}
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if w := Workers(100); w != 3 {
+		t.Errorf("Workers(100) with limit 3 = %d", w)
+	}
+	if w := Workers(2); w != 2 {
+		t.Errorf("Workers(2) with limit 3 = %d, want 2", w)
+	}
+}
+
+func TestFirstErrorReturnsSmallestIndex(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	// Fail at several indices; the reported error must always be the
+	// smallest, matching a sequential early-return loop.
+	fail := map[int]bool{3: true, 50: true, 7: true, 999: true}
+	for trial := 0; trial < 20; trial++ {
+		err := FirstError(1000, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@3" {
+			t.Fatalf("trial %d: err = %v, want fail@3", trial, err)
+		}
+	}
+}
+
+func TestFirstErrorNil(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	if err := FirstError(100, func(int) error { return nil }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if err := FirstError(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0 err = %v", err)
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	For(100, func(i int) {
+		if i == 42 {
+			panic("boom")
+		}
+	})
+	t.Fatal("For returned instead of panicking")
+}
+
+func TestFirstErrorPanicPropagates(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	FirstError(100, func(i int) error {
+		if i == 42 {
+			panic("boom")
+		}
+		return nil
+	})
+	t.Fatal("FirstError returned instead of panicking")
+}
+
+func TestFirstErrorSerial(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	calls := 0
+	err := FirstError(10, func(i int) error {
+		calls++
+		if i == 4 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || calls != 5 {
+		t.Fatalf("err=%v calls=%d, want early return after 5", err, calls)
+	}
+}

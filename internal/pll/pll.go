@@ -145,12 +145,7 @@ func buildUnweighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 			dist[v] = graph.Infinity
 		}
 	}
-	l := hub.NewLabeling(n)
-	for v := range labels {
-		l.SetLabel(graph.NodeID(v), labels[v])
-	}
-	l.Canonicalize()
-	return l
+	return hub.FromSlices(labels)
 }
 
 // buildWeighted is the pruned Dijkstra variant (handles any non-negative
@@ -216,10 +211,5 @@ func buildWeighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 			dist[v] = graph.Infinity
 		}
 	}
-	l := hub.NewLabeling(n)
-	for v := range labels {
-		l.SetLabel(graph.NodeID(v), labels[v])
-	}
-	l.Canonicalize()
-	return l
+	return hub.FromSlices(labels)
 }

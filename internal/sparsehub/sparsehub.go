@@ -24,6 +24,7 @@ import (
 
 	"hublab/internal/graph"
 	"hublab/internal/hub"
+	"hublab/internal/par"
 	"hublab/internal/sssp"
 )
 
@@ -102,42 +103,54 @@ func Build(g *graph.Graph, opts Options) (*Result, error) {
 		inS[perm[i]] = true
 	}
 
-	l := hub.NewLabeling(n)
-	// Distances from every shared hub (used both for labels and fix-up).
+	// Distances from every shared hub (used both for labels and fix-up),
+	// one BFS per hub across the worker pool.
 	sharedDist := make([][]graph.Weight, sizeS)
-	for i, h := range shared {
-		sharedDist[i] = sssp.BFS(g, h).Dist
-	}
-	for v := graph.NodeID(0); int(v) < n; v++ {
-		for i, h := range shared {
-			if sharedDist[i][v] < graph.Infinity {
-				l.Add(v, h, sharedDist[i][v])
-			}
-		}
-	}
+	par.For(sizeS, func(i int) {
+		sharedDist[i] = sssp.BFS(g, shared[i]).Dist
+	})
 
-	// Near pairs: radius-⌈D/2⌉ balls.
+	// Per-vertex label assembly (shared hubs + radius-⌈D/2⌉ ball) is
+	// independent across vertices; each writes only its own slot.
 	res := &Result{D: d, SharedHubs: sizeS}
 	radius := (d + 1) / 2
-	for v := graph.NodeID(0); int(v) < n; v++ {
-		nodes, dist := sssp.Truncated(g, v, radius)
-		for i, u := range nodes {
-			l.Add(v, u, dist[i])
+	labels := make([][]hub.Hub, n)
+	ballSizes := make([]int, n)
+	par.For(n, func(i int) {
+		v := graph.NodeID(i)
+		var hubs []hub.Hub
+		for si, h := range shared {
+			if sharedDist[si][v] < graph.Infinity {
+				hubs = append(hubs, hub.Hub{Node: h, Dist: sharedDist[si][v]})
+			}
 		}
-		res.BallTotal += len(nodes)
+		nodes, dist := sssp.Truncated(g, v, radius)
+		for k, u := range nodes {
+			hubs = append(hubs, hub.Hub{Node: u, Dist: dist[k]})
+		}
+		ballSizes[i] = len(nodes)
+		labels[i] = hubs
+	})
+	for _, b := range ballSizes {
+		res.BallTotal += b
 	}
 
-	// Exact fix-up of far pairs the random set missed.
+	// Exact fix-up of far pairs the random set missed: one BFS plus an
+	// O(n·|S|) scan per source, fanned out over sources; fix-ups land in
+	// the source's slot and are appended in id order.
 	if !opts.SkipFixup {
-		for u := graph.NodeID(0); int(u) < n; u++ {
+		fixes := make([][]hub.Hub, n)
+		par.For(n, func(i int) {
+			u := graph.NodeID(i)
 			du := sssp.BFS(g, u).Dist
+			var fx []hub.Hub
 			for v := u + 1; int(v) < n; v++ {
 				if du[v] == graph.Infinity || du[v] < d {
 					continue
 				}
 				covered := false
-				for i := range shared {
-					if sharedDist[i][u]+sharedDist[i][v] == du[v] {
+				for si := range shared {
+					if sharedDist[si][u]+sharedDist[si][v] == du[v] {
 						covered = true
 						break
 					}
@@ -145,13 +158,16 @@ func Build(g *graph.Graph, opts Options) (*Result, error) {
 				if !covered {
 					// Store v directly in Q_u (represented as hub v for u
 					// and self-hub for v).
-					l.Add(u, v, du[v])
-					res.FixupTotal++
+					fx = append(fx, hub.Hub{Node: v, Dist: du[v]})
 				}
 			}
+			fixes[i] = fx
+		})
+		for u, fx := range fixes {
+			labels[u] = append(labels[u], fx...)
+			res.FixupTotal += len(fx)
 		}
 	}
-	l.Canonicalize()
-	res.Labeling = l
+	res.Labeling = hub.FromSlices(labels)
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"hublab/internal/graph"
+	"hublab/internal/par"
 	"hublab/internal/pqueue"
 )
 
@@ -313,13 +314,14 @@ func Truncated(g *graph.Graph, src graph.NodeID, radius graph.Weight) (nodes []g
 }
 
 // AllPairs computes the full distance matrix by running one search per
-// vertex. Intended for small graphs (n up to a few thousand).
+// vertex across the worker pool. Intended for small graphs (n up to a few
+// thousand).
 func AllPairs(g *graph.Graph) [][]graph.Weight {
 	n := g.NumNodes()
 	weighted := g.Weighted()
 	zeroOne := weighted && MaxEdgeWeight(g) <= 1
 	out := make([][]graph.Weight, n)
-	for v := 0; v < n; v++ {
+	par.For(n, func(v int) {
 		var r *Result
 		switch {
 		case !weighted:
@@ -330,7 +332,7 @@ func AllPairs(g *graph.Graph) [][]graph.Weight {
 			r = Dijkstra(g, graph.NodeID(v))
 		}
 		out[v] = r.Dist
-	}
+	})
 	return out
 }
 

@@ -112,6 +112,7 @@ func (r *Reduced) Project(l *hub.Labeling) (*hub.Labeling, error) {
 		}
 	}
 	out.Canonicalize()
+	out.Freeze()
 	return out, nil
 }
 

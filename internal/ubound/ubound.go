@@ -27,6 +27,7 @@ import (
 	"hublab/internal/graph"
 	"hublab/internal/hub"
 	"hublab/internal/matching"
+	"hublab/internal/par"
 	"hublab/internal/sssp"
 )
 
@@ -138,16 +139,25 @@ func Build(g *graph.Graph, opts Options) (*Result, error) {
 	// helps. Distance-0 pairs (possible under the 0-weight edges of degree
 	// reduction) fall outside the proof's 1 ≤ a+b ≤ D window and are
 	// covered directly.
+	// Classification needs |H_uv| for all pairs — the cubic hot spot — so
+	// rows fan out over the worker pool, each source writing its own
+	// bucket; buckets are then concatenated in source order, preserving
+	// the sequential pair order exactly.
 	type pair struct{ u, v graph.NodeID }
-	var farPairs, nearPairs []pair
-	for u := graph.NodeID(0); int(u) < n; u++ {
+	type classRow struct {
+		far, near []pair
+		zero      []graph.NodeID // v at distance 0 from the row's source
+	}
+	rows := make([]classRow, n)
+	par.For(n, func(i int) {
+		u := graph.NodeID(i)
+		var row classRow
 		for v := u + 1; int(v) < n; v++ {
 			if dist[u][v] == graph.Infinity {
 				continue
 			}
 			if dist[u][v] == 0 {
-				l.Add(v, u, 0) // common hub u with the self-hub of u
-				res.QTotal++
+				row.zero = append(row.zero, v)
 				continue
 			}
 			count := 0
@@ -157,11 +167,22 @@ func Build(g *graph.Graph, opts Options) (*Result, error) {
 				}
 			}
 			if count >= int(d) {
-				farPairs = append(farPairs, pair{u, v})
+				row.far = append(row.far, pair{u, v})
 			} else {
-				nearPairs = append(nearPairs, pair{u, v})
+				row.near = append(row.near, pair{u, v})
 			}
 		}
+		rows[i] = row
+	})
+	var farPairs, nearPairs []pair
+	for i := range rows {
+		u := graph.NodeID(i)
+		for _, v := range rows[i].zero {
+			l.Add(v, u, 0) // common hub u with the self-hub of u
+			res.QTotal++
+		}
+		farPairs = append(farPairs, rows[i].far...)
+		nearPairs = append(nearPairs, rows[i].near...)
 	}
 
 	// Step 1: random hitting set S with |S| = ⌈(n/D)·ln(D+1)⌉ (the proof's
@@ -207,7 +228,8 @@ func Build(g *graph.Graph, opts Options) (*Result, error) {
 		color[v] = rng.Intn(colors)
 	}
 	conflicted := make([]bool, len(nearPairs))
-	for i, p := range nearPairs {
+	par.For(len(nearPairs), func(i int) {
+		p := nearPairs[i]
 		seen := make(map[int]bool, int(d))
 		for _, x := range hubsOf(p.u, p.v) {
 			if seen[color[x]] {
@@ -216,6 +238,8 @@ func Build(g *graph.Graph, opts Options) (*Result, error) {
 			}
 			seen[color[x]] = true
 		}
+	})
+	for i, p := range nearPairs {
 		if conflicted[i] {
 			l.Add(p.u, p.v, dist[p.u][p.v]) // v ∈ R_u
 			res.RTotal++
@@ -335,6 +359,7 @@ func Build(g *graph.Graph, opts Options) (*Result, error) {
 		res.NFTotal += len(added)
 	}
 	l.Canonicalize()
+	l.Freeze()
 	res.Labeling = l
 	return res, nil
 }

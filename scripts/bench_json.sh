@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench_json.sh [PR_NUMBER] [BENCH_REGEX]
+#
+# Runs the E-series benchmarks and emits BENCH_pr<N>.json in the repo
+# root: one JSON object per benchmark with name, iterations, ns/op and
+# (where reported) B/op and allocs/op. Starts the performance trajectory
+# that EXPERIMENTS.md tracks across PRs.
+set -eu
+
+PR="${1:-1}"
+REGEX="${2:-BenchmarkE10Query.*}"
+OUT="BENCH_pr${PR}.json"
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench "$REGEX" -benchtime=1s -benchmem . |
+	awk -v pr="$PR" '
+	BEGIN { print "["; first = 1 }
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		line = sprintf("  {\"pr\": %s, \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", pr, name, $2, $3)
+		if ($6 == "B/op")      { line = line sprintf(", \"bytes_per_op\": %s", $5) }
+		if ($8 == "allocs/op") { line = line sprintf(", \"allocs_per_op\": %s", $7) }
+		line = line "}"
+		if (!first) { print prev "," }
+		prev = line
+		first = 0
+	}
+	END { if (!first) print prev; print "]" }
+	' >"$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
