@@ -5,6 +5,7 @@ package hublab
 // Run with: go test -bench=. -benchmem
 
 import (
+	"bytes"
 	"math/rand"
 	"sync"
 	"testing"
@@ -17,11 +18,13 @@ import (
 	"hublab/internal/hdim"
 	"hublab/internal/hhl"
 	"hublab/internal/hub"
+	"hublab/internal/index"
 	"hublab/internal/lbound"
 	"hublab/internal/oracle"
 	"hublab/internal/par"
 	"hublab/internal/pll"
 	"hublab/internal/rs"
+	"hublab/internal/server"
 	"hublab/internal/sparsehub"
 	"hublab/internal/sssp"
 	"hublab/internal/sumindex"
@@ -548,6 +551,114 @@ func BenchmarkE15Collapse(b *testing.B) {
 		if _, err := approx.Collapse(g); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- E17: persistent containers — load vs rebuild (Gnm 10k) -------------
+
+// BenchmarkE17RebuildPLL is the baseline a persisted index avoids: one
+// full PLL construction of the E10b Gnm(10k, 18k) instance per iteration.
+func BenchmarkE17RebuildPLL(b *testing.B) {
+	benchQueryGraph10k(b)
+	g := bench10k.graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pll.Build(g, pll.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchContainer10k serializes the 10k labeling once per payload kind.
+func benchContainer10k(b *testing.B, compress bool) []byte {
+	b.Helper()
+	flat, _, _ := benchQueryGraph10k(b)
+	var buf bytes.Buffer
+	if _, err := flat.WriteContainer(&buf, hub.ContainerOptions{Compress: compress}); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkE17LoadContainerRaw loads the raw-column container of the same
+// labeling — the near-memcpy path (expected ≥10× faster than the
+// rebuild above).
+func BenchmarkE17LoadContainerRaw(b *testing.B) {
+	data := benchContainer10k(b, false)
+	// One untimed load so short runs measure steady state, not first-touch
+	// page faults on a cold heap.
+	if _, err := hub.ReadContainer(bytes.NewReader(data)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hub.ReadContainer(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE17LoadContainerGamma loads the Elias-gamma container (≈4.5×
+// smaller, decoded straight into the flat arrays).
+func BenchmarkE17LoadContainerGamma(b *testing.B) {
+	data := benchContainer10k(b, true)
+	if _, err := hub.ReadContainer(bytes.NewReader(data)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hub.ReadContainer(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E18: sharded query service throughput vs worker count --------------
+
+// benchServer measures server throughput with the given shard count:
+// every benchmark goroutine is a client pushing queries through the
+// service (pooled requests, coalesced groups, snapshot reads). ns/op is
+// per served query; the per-query hot path must stay at 0 allocs/op.
+func benchServer(b *testing.B, shards int) {
+	flat, _, pairs := benchQueryGraph10k(b)
+	srv := server.New(index.FromFlat(flat), server.Options{Shards: shards})
+	defer srv.Close()
+	// Warm the request pool so steady state is measured.
+	for i := 0; i < 256; i++ {
+		p := pairs[i%len(pairs)]
+		srv.Query(p[0], p[1])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		k := 0
+		for pb.Next() {
+			p := pairs[k%len(pairs)]
+			k++
+			srv.Query(p[0], p[1])
+		}
+	})
+}
+
+func BenchmarkE18ServerW1(b *testing.B) { benchServer(b, 1) }
+func BenchmarkE18ServerW2(b *testing.B) { benchServer(b, 2) }
+func BenchmarkE18ServerW4(b *testing.B) { benchServer(b, 4) }
+func BenchmarkE18ServerW8(b *testing.B) { benchServer(b, 8) }
+
+// BenchmarkE18ServerBatch measures the direct batch door of the service
+// (no shard hop): one 1024-pair QueryBatch per iteration, ns/op per
+// batch.
+func BenchmarkE18ServerBatch(b *testing.B) {
+	flat, _, pairs := benchQueryGraph10k(b)
+	srv := server.New(index.FromFlat(flat), server.Options{Shards: 1})
+	defer srv.Close()
+	out := make([]graph.Weight, len(pairs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.QueryBatch(pairs, out)
 	}
 }
 

@@ -1,12 +1,20 @@
 // Command experiments reproduces every experiment in DESIGN.md's
-// per-experiment index (E1–E12 plus the extension experiments E13–E16),
+// per-experiment index (E1–E12 plus the extension experiments E13–E18),
 // printing one table per experiment. The output of `experiments -run all`
 // is the source of EXPERIMENTS.md.
+//
+// With -cache the expensive PLL labelings are persisted as index
+// containers under the given directory and reloaded on later runs
+// instead of being rebuilt: E10 caches its Gnm(3k) labels, E18 its
+// Gnm(10k) serving index. E17 measures the rebuild-vs-load tradeoff
+// itself, so it always rebuilds — but it saves its result into the
+// cache, seeding E18 and later runs.
 //
 // Usage:
 //
 //	experiments -run all
 //	experiments -run E4,E5
+//	experiments -run E10,E17,E18 -cache /tmp/hlicache
 package main
 
 import (
@@ -15,7 +23,10 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"hublab/internal/approx"
@@ -26,10 +37,12 @@ import (
 	"hublab/internal/hdim"
 	"hublab/internal/hhl"
 	"hublab/internal/hub"
+	"hublab/internal/index"
 	"hublab/internal/lbound"
 	"hublab/internal/oracle"
 	"hublab/internal/pll"
 	"hublab/internal/rs"
+	"hublab/internal/server"
 	"hublab/internal/sparsehub"
 	"hublab/internal/sssp"
 	"hublab/internal/sumindex"
@@ -63,10 +76,17 @@ var experiments = []struct {
 	{"E14", "Extension: PLL equals canonical hierarchical labeling (ADGW12)", e14},
 	{"E15", "Extension: +2-error hub labels and correction tables (paper §1.1)", e15},
 	{"E16", "Extension: highway dimension estimates (ADF+16)", e16},
+	{"E17", "Serving: container load vs PLL rebuild", e17},
+	{"E18", "Serving: sharded server throughput vs worker count", e18},
 }
+
+// cacheDir, when non-empty, holds persisted index containers so repeated
+// runs load instead of rebuild.
+var cacheDir string
 
 func run() error {
 	sel := flag.String("run", "all", "comma-separated experiment ids or 'all'")
+	flag.StringVar(&cacheDir, "cache", "", "directory for cached index containers (empty = rebuild every run)")
 	flag.Parse()
 	want := map[string]bool{}
 	all := *sel == "all"
@@ -350,15 +370,50 @@ func e9() error {
 	return nil
 }
 
+// cachedPLL returns a PLL hub-label index for g, loading it from the
+// container cache when -cache is set and a prior run saved a usable
+// container, and rebuilding (then saving) otherwise. A stale, corrupt or
+// version-incompatible cache file is not fatal — it is rebuilt over.
+func cachedPLL(key string, g *graph.Graph) (idx *index.HubLabels, cached bool, err error) {
+	var path string
+	if cacheDir != "" {
+		path = filepath.Join(cacheDir, key+".hli")
+		loaded, err := index.Load(path)
+		switch {
+		case err == nil && loaded.Meta().Vertices == g.NumNodes():
+			fmt.Printf("  (loaded cached index %s)\n", path)
+			return loaded, true, nil
+		case err != nil && !os.IsNotExist(err):
+			fmt.Printf("  (cache %s unusable, rebuilding: %v)\n", path, err)
+		}
+	}
+	labels, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		return nil, false, err
+	}
+	idx = index.NewHubLabelsFrom(labels)
+	if path != "" {
+		if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+			return nil, false, err
+		}
+		if err := index.Save(path, idx, hub.ContainerOptions{}); err != nil {
+			return nil, false, err
+		}
+		fmt.Printf("  (saved index container %s)\n", path)
+	}
+	return idx, false, nil
+}
+
 func e10() error {
 	g, err := gen.Gnm(3000, 5400, 17)
 	if err != nil {
 		return err
 	}
-	labels, err := pll.Build(g, pll.Options{})
+	idx, _, err := cachedPLL("e10-gnm3000", g)
 	if err != nil {
 		return err
 	}
+	labels := idx.Flat()
 	rng := rand.New(rand.NewSource(5))
 	const q = 300
 	pairs := make([][2]graph.NodeID, q)
@@ -574,5 +629,141 @@ func e16() error {
 	}
 	fmt.Println("  (small per-ball covers at large scales = low highway dimension;")
 	fmt.Println("   the road-like network thins out, the random graph does not)")
+	return nil
+}
+
+// servingInstance builds (or loads) the shared Gnm(10k, 18k) serving
+// index — the E10b/E17 instance — once per process for E18.
+var servingInstance struct {
+	once   sync.Once
+	idx    *index.HubLabels
+	ready  time.Duration
+	cached bool
+	err    error
+}
+
+func servingIndex() (*index.HubLabels, time.Duration, bool, error) {
+	servingInstance.once.Do(func() {
+		g, err := gen.Gnm(10000, 18000, 17)
+		if err != nil {
+			servingInstance.err = err
+			return
+		}
+		start := time.Now()
+		idx, cached, err := cachedPLL("gnm10000", g)
+		if err != nil {
+			servingInstance.err = err
+			return
+		}
+		servingInstance.idx = idx
+		servingInstance.ready = time.Since(start)
+		servingInstance.cached = cached
+	})
+	return servingInstance.idx, servingInstance.ready, servingInstance.cached, servingInstance.err
+}
+
+func e17() error {
+	g, err := gen.Gnm(10000, 18000, 17)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	labels, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		return err
+	}
+	build := time.Since(start)
+	idx := index.NewHubLabelsFrom(labels)
+	// Seed the shared cache so E18 (and later -cache runs) start from
+	// this container instead of paying the build again.
+	if cacheDir != "" {
+		if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+			return err
+		}
+		if err := index.Save(filepath.Join(cacheDir, "gnm10000.hli"), idx, hub.ContainerOptions{}); err != nil {
+			return err
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "hublab-e17-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fmt.Printf("  instance: Gnm(10000, 18000), avg|S(v)|=%.1f; PLL rebuild = %v\n",
+		idx.Flat().ComputeStats().Avg, build.Round(time.Millisecond))
+	fmt.Println("  payload   bytes      write      load     rebuild/load")
+	for _, tc := range []struct {
+		name     string
+		compress bool
+	}{{"raw", false}, {"gamma", true}} {
+		path := filepath.Join(dir, tc.name+".hli")
+		ws := time.Now()
+		if err := index.Save(path, idx, hub.ContainerOptions{Compress: tc.compress}); err != nil {
+			return err
+		}
+		write := time.Since(ws)
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		ls := time.Now()
+		loaded, err := index.Load(path)
+		if err != nil {
+			return err
+		}
+		load := time.Since(ls)
+		if loaded.Meta().Vertices != 10000 {
+			return fmt.Errorf("e17: loaded %d vertices", loaded.Meta().Vertices)
+		}
+		fmt.Printf("  %-6s %9d  %9v %9v  %10.1fx\n",
+			tc.name, info.Size(), write.Round(time.Microsecond), load.Round(time.Microsecond),
+			float64(build)/float64(load))
+	}
+	fmt.Println("  (the stored query structure is the product; serving never re-runs construction)")
+	return nil
+}
+
+func e18() error {
+	idx, ready, cached, err := servingIndex()
+	if err != nil {
+		return err
+	}
+	if cached {
+		fmt.Printf("  index loaded from cache in %v\n", ready.Round(time.Millisecond))
+	} else {
+		fmt.Printf("  index built in %v (use -cache to load it next run)\n", ready.Round(time.Millisecond))
+	}
+	rng := rand.New(rand.NewSource(5))
+	const queries = 40000
+	pairs := make([][2]graph.NodeID, queries)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(10000)), graph.NodeID(rng.Intn(10000))}
+	}
+	fmt.Println("  workers  clients      wall      queries/sec   coalesce")
+	for _, workers := range []int{1, 2, 4, 8} {
+		srv := server.New(idx, server.Options{Shards: workers})
+		clients := 2 * workers
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := c; i < queries; i += clients {
+					p := pairs[i]
+					srv.Query(p[0], p[1])
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		st := srv.Stats()
+		srv.Close()
+		fmt.Printf("  %7d  %7d  %9v  %13.0f  %7.2f\n",
+			workers, clients, wall.Round(time.Millisecond),
+			float64(st.Served)/wall.Seconds(), float64(st.Served)/float64(st.Batches))
+	}
+	fmt.Println("  (throughput scales with shard workers; coalesce ≈ requests per merge group)")
 	return nil
 }

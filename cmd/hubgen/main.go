@@ -1,12 +1,18 @@
 // Command hubgen builds hub labelings with any of the library's
 // constructions and reports size statistics and verification results.
 //
+// With -out the frozen labeling is persisted as an index container that
+// cmd/hubserve, cmd/experiments and the library (index.Load) reload
+// without rebuilding; -graphout writes the (possibly generated) graph so
+// the two tools share inputs.
+//
 // Usage:
 //
 //	hubgen -gen gnm -n 500 -m 900 -algo pll
 //	hubgen -gen reg3 -n 300 -algo thm41 -d 3
 //	hubgen -gen road -n 400 -algo pll -order random
 //	hubgen -in graph.gr -algo greedy
+//	hubgen -gen gnm -n 10000 -algo pll -out labels.hli -graphout g.gr
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"hublab/internal/gen"
 	"hublab/internal/graph"
 	"hublab/internal/hub"
+	"hublab/internal/index"
 	"hublab/internal/pll"
 	"hublab/internal/sparsehub"
 	"hublab/internal/ubound"
@@ -41,6 +48,9 @@ func run() error {
 	order := flag.String("order", "degree", "pll order: degree|random|natural")
 	d := flag.Int("d", 0, "threshold D for sparse/thm41/thm14 (0 = auto)")
 	verify := flag.Bool("verify", true, "verify the labeling (exhaustive ≤ 1000 vertices, sampled beyond)")
+	out := flag.String("out", "", "write the labeling as an index container (.hli)")
+	compress := flag.Bool("compress", false, "use the Elias-gamma container payload for -out")
+	graphOut := flag.String("graphout", "", "write the graph in the text format hubgen/hubserve read")
 	flag.Parse()
 
 	g, err := loadGraph(*in, *genName, *n, *m, *seed)
@@ -112,6 +122,33 @@ func run() error {
 			}
 			fmt.Println("verified: 2000 sampled pairs passed")
 		}
+	}
+
+	if *graphOut != "" {
+		f, err := os.Create(*graphOut)
+		if err != nil {
+			return err
+		}
+		if err := graph.Write(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote graph: %s\n", *graphOut)
+	}
+	if *out != "" {
+		idx := index.NewHubLabelsFrom(labeling)
+		if err := index.Save(*out, idx, hub.ContainerOptions{Compress: *compress}); err != nil {
+			return err
+		}
+		info, err := os.Stat(*out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote container: %s (%d bytes, compress=%v; serve with: hubserve -index %s)\n",
+			*out, info.Size(), *compress, *out)
 	}
 	return nil
 }

@@ -1,0 +1,174 @@
+// Command hubserve loads a hub-labeling index container (written by
+// hubgen -out) and serves exact distance queries from it — the paper's
+// stored-label query structure as a running service. Queries go through
+// the sharded in-process query service (internal/server): worker
+// goroutines coalesce adjacent requests into interleaved-merge batches,
+// and the served index sits behind an atomic snapshot.
+//
+// Two front ends:
+//
+//   - line protocol (default): one "u v" pair per stdin line, answered as
+//     "u v dist" ("inf" when unreachable); "quit" stops.
+//   - HTTP (-http addr): GET /distance?u=U&v=V, plus /stats and /healthz.
+//
+// With -graph the input graph is loaded too and every served distance is
+// spot-checkable: -selfcheck n verifies n random queries against
+// bidirectional search before serving.
+//
+// Usage:
+//
+//	hubgen -gen gnm -n 10000 -algo pll -out labels.hli -graphout g.gr
+//	echo "0 17" | hubserve -index labels.hli
+//	hubserve -index labels.hli -graph g.gr -selfcheck 200
+//	hubserve -index labels.hli -http :8080
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"hublab/internal/graph"
+	"hublab/internal/index"
+	"hublab/internal/server"
+	"hublab/internal/sssp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	indexPath := flag.String("index", "", "index container to serve (required)")
+	graphPath := flag.String("graph", "", "optional graph file for self-checking")
+	httpAddr := flag.String("http", "", "serve HTTP on this address instead of the line protocol")
+	workers := flag.Int("workers", 0, "shard/worker count (0 = number of CPUs)")
+	selfcheck := flag.Int("selfcheck", 0, "verify this many random queries against graph search before serving (needs -graph)")
+	flag.Parse()
+	if *indexPath == "" {
+		return fmt.Errorf("hubserve: -index is required")
+	}
+
+	start := time.Now()
+	idx, err := index.Load(*indexPath)
+	if err != nil {
+		return err
+	}
+	meta := idx.Meta()
+	fmt.Fprintf(os.Stderr, "loaded %s: %s n=%d space=%d bytes in %v\n",
+		*indexPath, meta.Kind, meta.Vertices, idx.SpaceBytes(), time.Since(start).Round(time.Microsecond))
+
+	var g *graph.Graph
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			return err
+		}
+		g, err = graph.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if g.NumNodes() != meta.Vertices {
+			return fmt.Errorf("hubserve: graph has %d vertices, index has %d", g.NumNodes(), meta.Vertices)
+		}
+	}
+
+	srv := server.New(idx, server.Options{Shards: *workers})
+	defer srv.Close()
+
+	if *selfcheck > 0 {
+		if g == nil {
+			return fmt.Errorf("hubserve: -selfcheck needs -graph")
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < *selfcheck; i++ {
+			u := graph.NodeID(rng.Intn(meta.Vertices))
+			v := graph.NodeID(rng.Intn(meta.Vertices))
+			if got, want := srv.Query(u, v), sssp.Distance(g, u, v); got != want {
+				return fmt.Errorf("hubserve: selfcheck (%d,%d): index %d, graph %d", u, v, got, want)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "selfcheck: %d random queries match graph search\n", *selfcheck)
+	}
+
+	if *httpAddr != "" {
+		return serveHTTP(srv, meta.Vertices, *httpAddr)
+	}
+	return serveLines(srv, meta.Vertices)
+}
+
+// serveLines answers "u v" query lines from stdin until EOF or "quit".
+func serveLines(srv *server.Server, n int) error {
+	sc := bufio.NewScanner(os.Stdin)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if line == "quit" {
+			break
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			fmt.Fprintf(w, "error: bad query %q (want: u v)\n", line)
+			continue
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			fmt.Fprintf(w, "error: vertex out of range [0,%d)\n", n)
+			continue
+		}
+		d := srv.Query(graph.NodeID(u), graph.NodeID(v))
+		if d >= graph.Infinity {
+			fmt.Fprintf(w, "%d %d inf\n", u, v)
+		} else {
+			fmt.Fprintf(w, "%d %d %d\n", u, v, d)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "served %d queries in %d groups across %d shards\n",
+		st.Served, st.Batches, st.Shards)
+	return nil
+}
+
+// serveHTTP exposes /distance, /stats and /healthz.
+func serveHTTP(srv *server.Server, n int, addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/distance", func(w http.ResponseWriter, r *http.Request) {
+		u, errU := strconv.Atoi(r.URL.Query().Get("u"))
+		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
+		if errU != nil || errV != nil || u < 0 || u >= n || v < 0 || v >= n {
+			http.Error(w, fmt.Sprintf("want /distance?u=U&v=V with vertices in [0,%d)", n),
+				http.StatusBadRequest)
+			return
+		}
+		d := srv.Query(graph.NodeID(u), graph.NodeID(v))
+		if d >= graph.Infinity {
+			fmt.Fprintf(w, `{"u":%d,"v":%d,"distance":null}`+"\n", u, v)
+			return
+		}
+		fmt.Fprintf(w, `{"u":%d,"v":%d,"distance":%d}`+"\n", u, v, d)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := srv.Stats()
+		fmt.Fprintf(w, `{"shards":%d,"served":%d,"batches":%d}`+"\n", st.Shards, st.Served, st.Batches)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	fmt.Fprintf(os.Stderr, "serving HTTP on %s\n", addr)
+	return http.ListenAndServe(addr, mux)
+}

@@ -1,11 +1,15 @@
 // Command quickstart is the smallest possible tour of hublab: build a
 // sparse random graph, construct a pruned landmark labeling, answer a few
-// exact distance queries from labels alone, and verify the labeling.
+// exact distance queries from labels alone, verify the labeling, and
+// round-trip it through the persistent index container so a later process
+// can serve it without rebuilding.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"hublab"
 )
@@ -46,5 +50,27 @@ func run() error {
 		return err
 	}
 	fmt.Println("verified: 500 random pairs decode exactly")
+
+	// Persist the frozen labeling as an index container and load it back —
+	// this is how hubgen -out / hubserve -index share work across runs.
+	dir, err := os.MkdirTemp("", "hublab-quickstart-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "labels.hli")
+	if err := hublab.SaveIndex(path, hublab.NewHubLabelsIndex(labels), hublab.ContainerOptions{}); err != nil {
+		return err
+	}
+	loaded, err := hublab.LoadIndex(path)
+	if err != nil {
+		return err
+	}
+	d, _ := labels.Query(17, 545)
+	if got := loaded.Distance(17, 545); got != d {
+		return fmt.Errorf("container round trip: %d != %d", got, d)
+	}
+	fmt.Printf("container round trip: %s is %d bytes and answers dist(17,545)=%d without rebuilding\n",
+		filepath.Base(path), loaded.SpaceBytes(), d)
 	return nil
 }

@@ -16,13 +16,19 @@
 //     BuildDegree3);
 //   - the Sum-Index reduction of Theorem 1.6 (NewSumIndexProtocol);
 //   - bit-measured distance labelings (HubDistanceLabels,
-//     EulerTourLabels, CentroidTreeLabels).
+//     EulerTourLabels, CentroidTreeLabels);
+//   - the serving pipeline: a unified Index interface with buildable
+//     backends (BuildIndex, IndexKinds), persistent index containers
+//     (SaveIndex, LoadIndex, WriteContainer, ReadContainer), and the
+//     sharded in-process query service (NewServer).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
 package hublab
 
 import (
+	"io"
+
 	"hublab/internal/approx"
 	"hublab/internal/cover"
 	"hublab/internal/dlabel"
@@ -31,10 +37,12 @@ import (
 	"hublab/internal/hdim"
 	"hublab/internal/hhl"
 	"hublab/internal/hub"
+	"hublab/internal/index"
 	"hublab/internal/lbound"
 	"hublab/internal/oracle"
 	"hublab/internal/pll"
 	"hublab/internal/rs"
+	"hublab/internal/server"
 	"hublab/internal/sparsehub"
 	"hublab/internal/sssp"
 	"hublab/internal/sumindex"
@@ -60,6 +68,12 @@ const Infinity = graph.Infinity
 
 // NewBuilder returns a graph builder sized for n vertices and m edges.
 func NewBuilder(n, m int) *Builder { return graph.NewBuilder(n, m) }
+
+// WriteGraph serializes g in the text format ReadGraph parses.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// ReadGraph parses a graph written by WriteGraph.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
 
 // Hub labeling types.
 type (
@@ -213,6 +227,70 @@ func BuildCanonicalHHL(g *Graph, order []NodeID) (*Labeling, error) {
 func OracleTradeoff(g *Graph, samplePairs int) ([]oracle.TradeoffPoint, error) {
 	return oracle.Tradeoff(g, samplePairs)
 }
+
+// Index lifecycle: build → persist → load → serve.
+
+type (
+	// Index is the unified interface over distance-query structures: exact
+	// queries plus space accounting and metadata. The distance matrix, hub
+	// labels and bidirectional search are registered backends.
+	Index = index.Index
+	// IndexMeta describes an index (backend kind, vertex count, and the
+	// query-operation estimate used for the S·T table).
+	IndexMeta = index.Meta
+	// IndexOptions parameterizes BuildIndex.
+	IndexOptions = index.Options
+	// HubLabelsIndex is the hub-labeling backend — the only one with a
+	// persistent container form.
+	HubLabelsIndex = index.HubLabels
+	// ContainerOptions configures WriteContainer/SaveIndex (raw columns
+	// vs Elias-gamma compressed payload).
+	ContainerOptions = hub.ContainerOptions
+	// Server is the in-process sharded query service: worker goroutines
+	// coalesce request streams into interleaved-merge batches over an
+	// atomically swappable index snapshot.
+	Server = server.Server
+	// ServerOptions configures NewServer (shard/worker count, queue depth).
+	ServerOptions = server.Options
+)
+
+// BuildIndex constructs a registered index backend ("matrix",
+// "hub-labels", "search") over g.
+func BuildIndex(kind string, g *Graph, opts IndexOptions) (Index, error) {
+	return index.Build(kind, g, opts)
+}
+
+// IndexKinds lists the registered index backends.
+func IndexKinds() []string { return index.Kinds() }
+
+// NewHubLabelsIndex wraps a labeling as a servable hub-labels index,
+// freezing it if necessary.
+func NewHubLabelsIndex(l *Labeling) *HubLabelsIndex { return index.NewHubLabelsFrom(l) }
+
+// SaveIndex persists idx at path as a versioned index container
+// (checksummed, little-endian, optionally Elias-gamma compressed).
+func SaveIndex(path string, idx Index, opts ContainerOptions) error {
+	return index.Save(path, idx, opts)
+}
+
+// LoadIndex loads an index container written by SaveIndex (or
+// hubgen -out). The raw-payload path is near-memcpy and never rebuilds
+// the mutable labeling form.
+func LoadIndex(path string) (*HubLabelsIndex, error) { return index.Load(path) }
+
+// WriteContainer serializes a frozen labeling as an index container.
+func WriteContainer(w io.Writer, f *FlatLabeling, opts ContainerOptions) (int64, error) {
+	return f.WriteContainer(w, opts)
+}
+
+// ReadContainer parses an index container back into a frozen labeling.
+// Corrupt input returns an error (wrapping hub.ErrContainer), never a
+// panic.
+func ReadContainer(r io.Reader) (*FlatLabeling, error) { return hub.ReadContainer(r) }
+
+// NewServer starts the sharded query service over idx. Close it to
+// release the workers; Swap replaces the served index under live traffic.
+func NewServer(idx Index, opts ServerOptions) *Server { return server.New(idx, opts) }
 
 // EstimateHighwayDimension returns greedy shortest-path-cover sizes per
 // doubling scale (the ADF+16 highway-dimension proxy).

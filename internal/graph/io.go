@@ -40,6 +40,14 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
+// Write serializes g to w in the text format Read parses — the
+// free-function mirror of Read, so generated graphs round-trip to disk
+// and tools (hubgen -graphout, hubserve -graph) can share inputs.
+func Write(w io.Writer, g *Graph) error {
+	_, err := g.WriteTo(w)
+	return err
+}
+
 // Read parses a graph in the format produced by WriteTo. Lines beginning
 // with 'c' are comments and ignored.
 func Read(r io.Reader) (*Graph, error) {

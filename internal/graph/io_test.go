@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteReadRoundTrip round-trips graphs through the free-function
+// Write/Read pair, including weights and isolated trailing vertices.
+func TestWriteReadRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Graph, error)
+	}{
+		{"unweighted", func() (*Graph, error) {
+			b := NewBuilder(5, 4)
+			b.AddEdge(0, 1)
+			b.AddEdge(1, 2)
+			b.AddEdge(2, 3)
+			b.AddEdge(0, 4)
+			return b.Build()
+		}},
+		{"weighted", func() (*Graph, error) {
+			b := NewBuilder(4, 3)
+			b.AddWeightedEdge(0, 1, 7)
+			b.AddWeightedEdge(1, 2, 1)
+			b.AddWeightedEdge(0, 3, 12)
+			return b.Build()
+		}},
+		{"isolated vertices", func() (*Graph, error) {
+			b := NewBuilder(6, 1)
+			b.AddEdge(0, 1)
+			b.Grow(6)
+			return b.Build()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := Write(&buf, g); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			g2, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+				t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d",
+					g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+			}
+			if g2.Weighted() != g.Weighted() {
+				t.Errorf("round trip weighted=%v, want %v", g2.Weighted(), g.Weighted())
+			}
+			for _, e := range g.Edges() {
+				w, ok := g2.EdgeWeight(e.U, e.V)
+				if !ok || w != e.W {
+					t.Errorf("edge {%d,%d} weight %d, ok=%v; want %d", e.U, e.V, w, ok, e.W)
+				}
+			}
+		})
+	}
+}

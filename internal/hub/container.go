@@ -1,0 +1,394 @@
+package hub
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"hublab/internal/bitio"
+	"hublab/internal/graph"
+)
+
+// Container format: the persistent on-disk form of a FlatLabeling.
+//
+// A container is a little-endian byte stream:
+//
+//	header (32 bytes)
+//	  [ 0: 8)  magic  "HUBLABIX"
+//	  [ 8:10)  format version (currently 1)
+//	  [10:12)  flags (bit 0: payload is Elias-gamma compressed)
+//	  [12:16)  reserved (must be zero)
+//	  [16:24)  n      — vertex count
+//	  [24:32)  slots  — len of the hub-id/distance columns, sentinels included
+//	payload
+//	  raw    flag clear: offsets (n+1)·int32, hubIDs slots·int32,
+//	         dists slots·int32 — the flat arrays verbatim, so loading is a
+//	         sequential read plus one pass of byte→int32 conversion
+//	  gamma  flag set: a single gamma section in exactly the stream format
+//	         of Labeling.Encode (vertex count, then per vertex the label
+//	         size and gap/distance pairs, all Elias gamma), preceded by its
+//	         byte length as uint64
+//	trailer (4 bytes)
+//	  crc32 (Castagnoli) of header + payload
+//
+// Both the writer and the reader work directly on the flat arrays: the
+// slice-of-slices Labeling form is never materialized, and the raw path in
+// particular loads near-memcpy. All multi-byte fields are little-endian
+// regardless of host order.
+
+// ContainerVersion is the current container format version.
+const ContainerVersion = 1
+
+// containerMagic identifies hub-labeling index containers.
+var containerMagic = [8]byte{'H', 'U', 'B', 'L', 'A', 'B', 'I', 'X'}
+
+const (
+	containerHeaderLen  = 32
+	containerFlagGamma  = 1 << 0
+	containerKnownFlags = containerFlagGamma
+)
+
+// ErrContainer reports a malformed or corrupt index container.
+var ErrContainer = errors.New("hub: corrupt index container")
+
+// ContainerOptions configures WriteContainer.
+type ContainerOptions struct {
+	// Compress selects the Elias-gamma payload (smaller, slower to load)
+	// over the raw column payload (larger, near-memcpy to load).
+	Compress bool
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteTo serializes f as a raw (uncompressed) container. It implements
+// io.WriterTo.
+func (f *FlatLabeling) WriteTo(w io.Writer) (int64, error) {
+	return f.WriteContainer(w, ContainerOptions{})
+}
+
+// WriteContainer serializes f in the container format described above and
+// returns the number of bytes written.
+func (f *FlatLabeling) WriteContainer(w io.Writer, opts ContainerOptions) (int64, error) {
+	var header [containerHeaderLen]byte
+	copy(header[0:8], containerMagic[:])
+	binary.LittleEndian.PutUint16(header[8:10], ContainerVersion)
+	flags := uint16(0)
+	if opts.Compress {
+		flags |= containerFlagGamma
+	}
+	binary.LittleEndian.PutUint16(header[10:12], flags)
+	binary.LittleEndian.PutUint64(header[16:24], uint64(f.NumVertices()))
+	binary.LittleEndian.PutUint64(header[24:32], uint64(len(f.hubIDs)))
+
+	crc := crc32.New(castagnoli)
+	cw := &countingWriter{w: w}
+	body := io.MultiWriter(cw, crc)
+	if _, err := body.Write(header[:]); err != nil {
+		return cw.n, err
+	}
+	if opts.Compress {
+		stream, err := f.encodeGamma()
+		if err != nil {
+			return cw.n, err
+		}
+		var lenBuf [8]byte
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(stream)))
+		if _, err := body.Write(lenBuf[:]); err != nil {
+			return cw.n, err
+		}
+		if _, err := body.Write(stream); err != nil {
+			return cw.n, err
+		}
+	} else {
+		// Stream the columns through one reused chunk buffer instead of
+		// materializing a second full copy of the arrays.
+		chunk := make([]byte, 4<<20)
+		for _, col := range [][]int32{f.offsets, f.hubIDs, f.dists} {
+			for len(col) > 0 {
+				n := len(col)
+				if n > len(chunk)/4 {
+					n = len(chunk) / 4
+				}
+				putInt32s(chunk, 0, col[:n])
+				if _, err := body.Write(chunk[:4*n]); err != nil {
+					return cw.n, err
+				}
+				col = col[n:]
+			}
+		}
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	if _, err := cw.Write(trailer[:]); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// countingWriter tracks bytes written to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadFrom parses a container produced by WriteContainer into f,
+// implementing io.ReaderFrom. Malformed input of any kind — bad magic,
+// an unknown version or flag, truncated sections, checksum mismatch, or
+// structurally invalid arrays — is reported as an error wrapping
+// ErrContainer; parsing never panics on hostile input.
+func (f *FlatLabeling) ReadFrom(r io.Reader) (int64, error) {
+	loaded, n, err := readContainer(r)
+	if err != nil {
+		return n, err
+	}
+	*f = *loaded
+	return n, nil
+}
+
+// ReadContainer parses a container produced by WriteContainer and
+// returns the loaded FlatLabeling. See (*FlatLabeling).ReadFrom for the
+// error contract; ReadContainer never panics on hostile input.
+func ReadContainer(r io.Reader) (*FlatLabeling, error) {
+	f, _, err := readContainer(r)
+	return f, err
+}
+
+func readContainer(r io.Reader) (*FlatLabeling, int64, error) {
+	var header [containerHeaderLen]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: header: %v", ErrContainer, err)
+	}
+	read := int64(containerHeaderLen)
+	if [8]byte(header[0:8]) != containerMagic {
+		return nil, read, fmt.Errorf("%w: bad magic %q", ErrContainer, header[0:8])
+	}
+	if v := binary.LittleEndian.Uint16(header[8:10]); v != ContainerVersion {
+		return nil, read, fmt.Errorf("%w: unsupported version %d", ErrContainer, v)
+	}
+	flags := binary.LittleEndian.Uint16(header[10:12])
+	if flags&^uint16(containerKnownFlags) != 0 {
+		return nil, read, fmt.Errorf("%w: unknown flags %#x", ErrContainer, flags)
+	}
+	if rsv := binary.LittleEndian.Uint32(header[12:16]); rsv != 0 {
+		return nil, read, fmt.Errorf("%w: nonzero reserved field", ErrContainer)
+	}
+	n64 := binary.LittleEndian.Uint64(header[16:24])
+	slots64 := binary.LittleEndian.Uint64(header[24:32])
+	// The flat offsets are int32, so total slots (and a fortiori n) must
+	// fit; this also bounds allocations on hostile headers before any
+	// large buffer is reserved.
+	if slots64 > math.MaxInt32 || n64 > slots64 {
+		return nil, read, fmt.Errorf("%w: implausible sizes n=%d slots=%d", ErrContainer, n64, slots64)
+	}
+	n, slots := int(n64), int(slots64)
+
+	crc := crc32.New(castagnoli)
+	crc.Write(header[:])
+	body := io.TeeReader(r, crc)
+
+	var f *FlatLabeling
+	if flags&containerFlagGamma != 0 {
+		var lenBuf [8]byte
+		if _, err := io.ReadFull(body, lenBuf[:]); err != nil {
+			return nil, read, fmt.Errorf("%w: gamma section length: %v", ErrContainer, err)
+		}
+		read += 8
+		streamLen := binary.LittleEndian.Uint64(lenBuf[:])
+		if streamLen > 3*8*slots64+16 {
+			return nil, read, fmt.Errorf("%w: implausible gamma section length %d", ErrContainer, streamLen)
+		}
+		// Every non-sentinel slot costs at least two gamma codes (gap +
+		// distance) of one bit each, and every vertex one size code — so a
+		// stream this short cannot fill the declared slots. Checking before
+		// allocating keeps hostile headers from reserving huge arrays.
+		if 2*(slots64-n64)+n64 > 8*streamLen {
+			return nil, read, fmt.Errorf("%w: gamma section of %d bytes cannot fill %d slots",
+				ErrContainer, streamLen, slots64)
+		}
+		stream, err := readExact(body, int64(streamLen))
+		read += int64(len(stream))
+		if err != nil {
+			return nil, read, fmt.Errorf("%w: gamma section: %v", ErrContainer, err)
+		}
+		if f, err = decodeGamma(stream, n, slots); err != nil {
+			return nil, read, err
+		}
+	} else {
+		// Length arithmetic stays in int64 until the size is known to fit
+		// the platform int — on 32-bit, a hostile header must error here
+		// rather than overflow into a short read and a panic below.
+		payloadLen := 4 * (int64(n64) + 1 + 2*int64(slots64))
+		if payloadLen > math.MaxInt-containerHeaderLen {
+			return nil, read, fmt.Errorf("%w: %d-byte payload exceeds address space", ErrContainer, payloadLen)
+		}
+		payload, err := readExact(body, payloadLen)
+		read += int64(len(payload))
+		if err != nil {
+			return nil, read, fmt.Errorf("%w: columns: %v", ErrContainer, err)
+		}
+		f = &FlatLabeling{
+			offsets: getInt32s(payload, 0, n+1),
+			hubIDs:  getInt32s(payload, 4*(n+1), slots),
+			dists:   getInt32s(payload, 4*(n+1+slots), slots),
+		}
+	}
+
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return nil, read, fmt.Errorf("%w: checksum: %v", ErrContainer, err)
+	}
+	read += 4
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(trailer[:]); got != want {
+		return nil, read, fmt.Errorf("%w: checksum mismatch (computed %#x, stored %#x)", ErrContainer, got, want)
+	}
+	if err := f.validate(); err != nil {
+		return nil, read, fmt.Errorf("%w: %v", ErrContainer, err)
+	}
+	return f, read, nil
+}
+
+// encodeGamma produces the gamma payload straight from the flat arrays, in
+// exactly the stream format of Labeling.Encode (so hub.Decode can also
+// parse it).
+func (f *FlatLabeling) encodeGamma() ([]byte, error) {
+	var w bitio.Writer
+	n := f.NumVertices()
+	if err := w.WriteGamma(uint64(n) + 1); err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		ids, ds := f.LabelIDs(graph.NodeID(v)), f.LabelDists(graph.NodeID(v))
+		if err := w.WriteGamma(uint64(len(ids)) + 1); err != nil {
+			return nil, err
+		}
+		prev := int64(-1)
+		for i, h := range ids {
+			gap := int64(h) - prev
+			if gap <= 0 {
+				return nil, fmt.Errorf("%w: unsorted label", ErrCorrupt)
+			}
+			if err := w.WriteGamma(uint64(gap)); err != nil {
+				return nil, err
+			}
+			if err := w.WriteGamma(uint64(ds[i]) + 1); err != nil {
+				return nil, err
+			}
+			prev = int64(h)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// decodeGamma reverses encodeGamma directly into freshly allocated flat
+// arrays sized from the container header — the slice-of-slices form is
+// never built.
+func decodeGamma(stream []byte, n, slots int) (*FlatLabeling, error) {
+	r := bitio.NewReader(stream)
+	nPlus, err := r.ReadGamma()
+	if err != nil {
+		return nil, fmt.Errorf("%w: gamma vertex count: %v", ErrContainer, err)
+	}
+	if nPlus != uint64(n)+1 {
+		return nil, fmt.Errorf("%w: gamma vertex count %d, header says %d", ErrContainer, nPlus-1, n)
+	}
+	f := &FlatLabeling{
+		offsets: make([]int32, n+1),
+		hubIDs:  make([]graph.NodeID, slots),
+		dists:   make([]graph.Weight, slots),
+	}
+	pos := 0
+	for v := 0; v < n; v++ {
+		f.offsets[v] = int32(pos)
+		szPlus, err := r.ReadGamma()
+		if err != nil {
+			return nil, fmt.Errorf("%w: vertex %d size: %v", ErrContainer, v, err)
+		}
+		sz := int(szPlus - 1)
+		if sz < 0 || pos+sz+1 > slots {
+			return nil, fmt.Errorf("%w: vertex %d overflows %d slots", ErrContainer, v, slots)
+		}
+		prev := int64(-1)
+		for i := 0; i < sz; i++ {
+			gap, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("%w: vertex %d hub %d: %v", ErrContainer, v, i, err)
+			}
+			distPlus, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("%w: vertex %d hub %d: %v", ErrContainer, v, i, err)
+			}
+			prev += int64(gap)
+			if prev >= int64(flatSentinel) || distPlus-1 > uint64(graph.Infinity) {
+				return nil, fmt.Errorf("%w: vertex %d hub %d out of range", ErrContainer, v, i)
+			}
+			f.hubIDs[pos] = graph.NodeID(prev)
+			f.dists[pos] = graph.Weight(distPlus - 1)
+			pos++
+		}
+		f.hubIDs[pos] = flatSentinel
+		f.dists[pos] = graph.Infinity
+		pos++
+	}
+	if pos != slots {
+		return nil, fmt.Errorf("%w: gamma stream fills %d of %d slots", ErrContainer, pos, slots)
+	}
+	f.offsets[n] = int32(pos)
+	return f, nil
+}
+
+// putInt32s stores xs little-endian into buf starting at pos, returning
+// the next write position.
+func putInt32s(buf []byte, pos int, xs []int32) int {
+	for _, x := range xs {
+		binary.LittleEndian.PutUint32(buf[pos:], uint32(x))
+		pos += 4
+	}
+	return pos
+}
+
+// getInt32s decodes count little-endian int32s from buf starting at pos.
+func getInt32s(buf []byte, pos, count int) []int32 {
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(buf[pos:]))
+		pos += 4
+	}
+	return out
+}
+
+// readExact reads exactly n bytes. The up-front reservation is capped so
+// a hostile header cannot force a huge allocation before the stream runs
+// dry; within the cap the buffer is reserved once, so legitimate
+// containers fill it without growth copies.
+func readExact(r io.Reader, n int64) ([]byte, error) {
+	const (
+		chunk  = 4 << 20
+		maxCap = 64 << 20
+	)
+	cap0 := n
+	if cap0 > maxCap {
+		cap0 = maxCap
+	}
+	buf := make([]byte, 0, cap0)
+	for int64(len(buf)) < n {
+		want := n - int64(len(buf))
+		if want > chunk {
+			want = chunk
+		}
+		old := len(buf)
+		buf = append(buf, make([]byte, want)...)
+		if _, err := io.ReadFull(r, buf[old:]); err != nil {
+			return buf[:old], err
+		}
+	}
+	return buf, nil
+}

@@ -1,0 +1,253 @@
+package hub
+
+import (
+	"bytes"
+	"testing"
+
+	"hublab/internal/graph"
+)
+
+// containerFixture builds a small canonical labeling with uneven label
+// sizes, including an empty label.
+func containerFixture(t testing.TB) *FlatLabeling {
+	t.Helper()
+	l := NewLabeling(6)
+	l.Add(0, 0, 0)
+	l.Add(0, 3, 2)
+	l.Add(0, 5, 7)
+	l.Add(1, 1, 0)
+	l.Add(2, 0, 4)
+	l.Add(2, 2, 0)
+	l.Add(2, 3, 1)
+	l.Add(2, 4, 9)
+	l.Add(3, 3, 0)
+	l.Add(4, 4, 0)
+	l.Add(5, 5, 0)
+	// vertex 5 also gets a far hub; vertex 1 stays tiny.
+	l.Add(5, 0, 7)
+	return l.Freeze()
+}
+
+func flatEqual(a, b *FlatLabeling) bool {
+	if a.NumVertices() != b.NumVertices() {
+		return false
+	}
+	if len(a.hubIDs) != len(b.hubIDs) {
+		return false
+	}
+	for i := range a.offsets {
+		if a.offsets[i] != b.offsets[i] {
+			return false
+		}
+	}
+	for i := range a.hubIDs {
+		if a.hubIDs[i] != b.hubIDs[i] {
+			return false
+		}
+	}
+	for v := graph.NodeID(0); int(v) < a.NumVertices(); v++ {
+		ad, bd := a.LabelDists(v), b.LabelDists(v)
+		for i := range ad {
+			if ad[i] != bd[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestContainerRoundTripRawAndGamma(t *testing.T) {
+	f := containerFixture(t)
+	for _, tc := range []struct {
+		name string
+		opts ContainerOptions
+	}{
+		{"raw", ContainerOptions{}},
+		{"gamma", ContainerOptions{Compress: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			n, err := f.WriteContainer(&buf, tc.opts)
+			if err != nil {
+				t.Fatalf("WriteContainer: %v", err)
+			}
+			if n != int64(buf.Len()) {
+				t.Errorf("WriteContainer reported %d bytes, wrote %d", n, buf.Len())
+			}
+			got, err := ReadContainer(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadContainer: %v", err)
+			}
+			if !flatEqual(f, got) {
+				t.Fatal("round trip changed the labeling")
+			}
+			if err := got.validate(); err != nil {
+				t.Fatalf("loaded labeling invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestContainerReadFrom(t *testing.T) {
+	f := containerFixture(t)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	var got FlatLabeling
+	n, err := got.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("ReadFrom consumed %d of %d bytes", n, buf.Len())
+	}
+	if !flatEqual(f, &got) {
+		t.Fatal("ReadFrom changed the labeling")
+	}
+}
+
+// TestContainerGammaMatchesEncode pins the compressed section to the
+// Labeling.Encode stream format: Decode must parse it.
+func TestContainerGammaMatchesEncode(t *testing.T) {
+	f := containerFixture(t)
+	stream, err := f.encodeGamma()
+	if err != nil {
+		t.Fatalf("encodeGamma: %v", err)
+	}
+	want, err := f.Thaw().Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !bytes.Equal(stream, want) {
+		t.Fatal("encodeGamma differs from Labeling.Encode")
+	}
+	dec, err := Decode(stream)
+	if err != nil {
+		t.Fatalf("Decode(gamma section): %v", err)
+	}
+	if !flatEqual(f, dec.Freeze()) {
+		t.Fatal("Decode round trip changed the labeling")
+	}
+}
+
+func TestContainerEmptyLabeling(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		f := NewLabeling(0).Freeze()
+		var buf bytes.Buffer
+		if _, err := f.WriteContainer(&buf, ContainerOptions{Compress: compress}); err != nil {
+			t.Fatalf("WriteContainer(empty, compress=%v): %v", compress, err)
+		}
+		got, err := ReadContainer(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadContainer(empty, compress=%v): %v", compress, err)
+		}
+		if got.NumVertices() != 0 {
+			t.Fatalf("empty round trip has %d vertices", got.NumVertices())
+		}
+	}
+}
+
+// TestContainerCorruption flips, truncates and rewrites containers; every
+// mutation must surface as an error wrapping ErrContainer — never a panic,
+// never a silently wrong labeling.
+func TestContainerCorruption(t *testing.T) {
+	f := containerFixture(t)
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if _, err := f.WriteContainer(&buf, ContainerOptions{Compress: compress}); err != nil {
+			t.Fatalf("WriteContainer: %v", err)
+		}
+		data := buf.Bytes()
+		mutations := []struct {
+			name   string
+			mutate func([]byte) []byte
+		}{
+			{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+			{"bad version", func(b []byte) []byte { b[8] = 99; return b }},
+			{"unknown flag", func(b []byte) []byte { b[11] |= 0x80; return b }},
+			{"nonzero reserved", func(b []byte) []byte { b[13] = 1; return b }},
+			{"huge slot count", func(b []byte) []byte { b[30] = 0xFF; b[31] = 0x7F; return b }},
+			{"truncated header", func(b []byte) []byte { return b[:16] }},
+			{"truncated columns", func(b []byte) []byte { return b[:len(b)/2] }},
+			{"missing checksum", func(b []byte) []byte { return b[:len(b)-4] }},
+			{"checksum mismatch", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }},
+			{"payload bit flip", func(b []byte) []byte { b[containerHeaderLen+2] ^= 0x10; return b }},
+			{"empty input", func(b []byte) []byte { return nil }},
+		}
+		for _, m := range mutations {
+			t.Run(m.name, func(t *testing.T) {
+				cp := append([]byte(nil), data...)
+				cp = m.mutate(cp)
+				got, err := ReadContainer(bytes.NewReader(cp))
+				if err == nil {
+					t.Fatalf("compress=%v: corrupt container accepted (got %d vertices)",
+						compress, got.NumVertices())
+				}
+			})
+		}
+	}
+}
+
+// TestContainerRejectsInvalidArrays writes containers whose checksums are
+// valid but whose arrays violate the flat invariants — a hostile writer
+// can always produce a matching CRC, so validation has to catch these.
+func TestContainerRejectsInvalidArrays(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(f *FlatLabeling)
+	}{
+		{"negative distance", func(f *FlatLabeling) { f.dists[1] = -5 }},
+		{"distance above infinity", func(f *FlatLabeling) { f.dists[1] = graph.Infinity + 1 }},
+		{"sentinel id in label body", func(f *FlatLabeling) { f.hubIDs[2] = flatSentinel }},
+		{"negative hub id", func(f *FlatLabeling) { f.hubIDs[0] = -1 }},
+		{"unsorted label", func(f *FlatLabeling) { f.hubIDs[0], f.hubIDs[1] = f.hubIDs[1], f.hubIDs[0] }},
+		{"non-infinite sentinel distance", func(f *FlatLabeling) {
+			f.dists[f.offsets[1]-1] = 7
+		}},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			f := containerFixture(t)
+			cp := &FlatLabeling{
+				offsets: append([]int32(nil), f.offsets...),
+				hubIDs:  append([]graph.NodeID(nil), f.hubIDs...),
+				dists:   append([]graph.Weight(nil), f.dists...),
+			}
+			m.mutate(cp)
+			var buf bytes.Buffer
+			if _, err := cp.WriteContainer(&buf, ContainerOptions{}); err != nil {
+				t.Fatalf("WriteContainer: %v", err)
+			}
+			if _, err := ReadContainer(bytes.NewReader(buf.Bytes())); err == nil {
+				t.Fatal("structurally invalid container accepted")
+			}
+		})
+	}
+}
+
+// FuzzReadContainer hammers the parser with arbitrary bytes; the only
+// acceptable outcomes are a clean error or a labeling that passes
+// validation.
+func FuzzReadContainer(f *testing.F) {
+	fixture := containerFixture(f)
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if _, err := fixture.WriteContainer(&buf, ContainerOptions{Compress: compress}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+	}
+	f.Add([]byte("HUBLABIX"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadContainer(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.validate(); err != nil {
+			t.Fatalf("accepted container fails validation: %v", err)
+		}
+	})
+}

@@ -374,24 +374,44 @@ func sortHubs(hubs []Hub) {
 	})
 }
 
-// validateFlat is a debug helper asserting structural invariants; it is
-// exercised by tests rather than production paths.
+// validate asserts the structural invariants of the flat arrays. It must
+// stay fully defensive — ReadContainer runs it on untrusted input after
+// the checksum passes, so every index derived from the data is bounds-
+// checked before use.
 func (f *FlatLabeling) validate() error {
 	n := f.NumVertices()
+	if n < 0 {
+		return fmt.Errorf("hub: flat labeling missing offsets array")
+	}
 	if len(f.hubIDs) != len(f.dists) {
 		return fmt.Errorf("hub: flat arrays disagree: %d ids, %d dists", len(f.hubIDs), len(f.dists))
 	}
+	if f.offsets[0] != 0 {
+		return fmt.Errorf("hub: first offset is %d, want 0", f.offsets[0])
+	}
+	if int(f.offsets[n]) != len(f.hubIDs) {
+		return fmt.Errorf("hub: last offset %d does not cover %d slots", f.offsets[n], len(f.hubIDs))
+	}
 	for v := 0; v < n; v++ {
 		lo, hi := f.offsets[v], f.offsets[v+1]
-		if hi <= lo {
-			return fmt.Errorf("hub: vertex %d has empty run", v)
+		if hi <= lo || lo < 0 || int(hi) > len(f.hubIDs) {
+			return fmt.Errorf("hub: vertex %d has invalid run [%d,%d)", v, lo, hi)
 		}
-		if f.hubIDs[hi-1] != flatSentinel {
+		if f.hubIDs[hi-1] != flatSentinel || f.dists[hi-1] != graph.Infinity {
 			return fmt.Errorf("hub: vertex %d run not sentinel-terminated", v)
 		}
-		for i := lo + 1; i < hi-1; i++ {
-			if f.hubIDs[i-1] >= f.hubIDs[i] {
+		for i := lo; i < hi-1; i++ {
+			if f.hubIDs[i] < 0 || f.hubIDs[i] >= flatSentinel {
+				return fmt.Errorf("hub: vertex %d hub id out of range at slot %d", v, i)
+			}
+			if i > lo && f.hubIDs[i-1] >= f.hubIDs[i] {
 				return fmt.Errorf("hub: vertex %d label unsorted at slot %d", v, i)
+			}
+			// Distances above Infinity could overflow the int32 sum in the
+			// merge; negatives would serve nonsense. Infinity itself is
+			// allowed (and overflow-safe by its choice of value).
+			if f.dists[i] < 0 || f.dists[i] > graph.Infinity {
+				return fmt.Errorf("hub: vertex %d distance out of range at slot %d", v, i)
 			}
 		}
 	}

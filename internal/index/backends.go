@@ -1,0 +1,166 @@
+package index
+
+import (
+	"fmt"
+
+	"hublab/internal/graph"
+	"hublab/internal/hub"
+	"hublab/internal/pll"
+	"hublab/internal/sssp"
+)
+
+// The three points of the paper's S·T curve register themselves as
+// buildable backends; external packages can Register more.
+func init() {
+	Register(KindMatrix, func(g *graph.Graph, _ Options) (Index, error) { return NewMatrix(g) })
+	Register(KindHubLabels, func(g *graph.Graph, opts Options) (Index, error) {
+		l, err := pll.Build(g, pll.Options{Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		return NewHubLabelsFrom(l), nil
+	})
+	Register(KindSearch, func(g *graph.Graph, _ Options) (Index, error) { return NewSearch(g), nil })
+}
+
+// Registered backend kinds.
+const (
+	KindMatrix    = "matrix"
+	KindHubLabels = "hub-labels"
+	KindSearch    = "search"
+)
+
+// Matrix is the S = n² endpoint: the full distance matrix.
+type Matrix struct {
+	dist [][]graph.Weight
+}
+
+var _ Index = (*Matrix)(nil)
+
+// MaxMatrixVertices caps matrix indexes at ~1 GiB.
+const MaxMatrixVertices = 16384
+
+// NewMatrix precomputes all pairwise distances.
+func NewMatrix(g *graph.Graph) (*Matrix, error) {
+	if g.NumNodes() > MaxMatrixVertices {
+		return nil, fmt.Errorf("%w: %d vertices for a distance matrix", ErrTooLarge, g.NumNodes())
+	}
+	return &Matrix{dist: sssp.AllPairs(g)}, nil
+}
+
+// Distance looks up the precomputed entry.
+func (m *Matrix) Distance(u, v graph.NodeID) graph.Weight { return m.dist[u][v] }
+
+// SpaceBytes counts 4 bytes per matrix entry.
+func (m *Matrix) SpaceBytes() int64 {
+	n := int64(len(m.dist))
+	return n * n * 4
+}
+
+// Name implements Index.
+func (m *Matrix) Name() string { return KindMatrix }
+
+// Meta implements Index.
+func (m *Matrix) Meta() Meta {
+	return Meta{Kind: KindMatrix, Vertices: len(m.dist), QueryOps: 1}
+}
+
+// HubLabels is the hub labeling point of the tradeoff. Queries run on the
+// frozen flat CSR form, so each Distance call is a zero-allocation merge,
+// and DistanceBatch interleaves three merges per loop. A HubLabels index
+// is the only backend with a persistent container form (see Load/Save).
+type HubLabels struct {
+	l *hub.Labeling // nil when loaded from a container
+	f *hub.FlatLabeling
+}
+
+var (
+	_ Index   = (*HubLabels)(nil)
+	_ Batcher = (*HubLabels)(nil)
+)
+
+// NewHubLabels builds a PLL-backed hub-label index.
+func NewHubLabels(g *graph.Graph) (*HubLabels, error) {
+	l, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return NewHubLabelsFrom(l), nil
+}
+
+// NewHubLabelsFrom wraps an existing labeling, freezing it if necessary.
+func NewHubLabelsFrom(l *hub.Labeling) *HubLabels { return &HubLabels{l: l, f: l.Freeze()} }
+
+// FromFlat wraps an already-frozen flat labeling (e.g. one loaded from a
+// container) without ever materializing the mutable form.
+func FromFlat(f *hub.FlatLabeling) *HubLabels { return &HubLabels{f: f} }
+
+// Distance decodes from the two labels.
+func (x *HubLabels) Distance(u, v graph.NodeID) graph.Weight {
+	d, ok := x.f.Query(u, v)
+	if !ok {
+		return graph.Infinity
+	}
+	return d
+}
+
+// DistanceBatch answers pairs[k] into out[k] with the interleaved merge.
+func (x *HubLabels) DistanceBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
+	x.f.QueryBatch(pairs, out)
+}
+
+// SpaceBytes counts the flat storage exactly: 4 bytes per CSR offset plus
+// 8 bytes per slot (hub id + distance), sentinels included.
+func (x *HubLabels) SpaceBytes() int64 { return x.f.SpaceBytes() }
+
+// Name implements Index.
+func (x *HubLabels) Name() string { return KindHubLabels }
+
+// Meta implements Index.
+func (x *HubLabels) Meta() Meta {
+	return Meta{
+		Kind:     KindHubLabels,
+		Vertices: x.f.NumVertices(),
+		QueryOps: 2 * x.f.ComputeStats().Avg,
+	}
+}
+
+// Labeling exposes the underlying mutable labeling; it is nil for indexes
+// loaded from a container (use Flat instead).
+func (x *HubLabels) Labeling() *hub.Labeling { return x.l }
+
+// Flat exposes the frozen flat labeling the queries run on.
+func (x *HubLabels) Flat() *hub.FlatLabeling { return x.f }
+
+// Search is the S = O(m) endpoint: store only the graph, search per query.
+type Search struct {
+	g *graph.Graph
+}
+
+var _ Index = (*Search)(nil)
+
+// NewSearch wraps the graph.
+func NewSearch(g *graph.Graph) *Search { return &Search{g: g} }
+
+// Distance runs a bidirectional search.
+func (x *Search) Distance(u, v graph.NodeID) graph.Weight {
+	return sssp.Distance(x.g, u, v)
+}
+
+// SpaceBytes counts the CSR arrays: 8 bytes per directed edge entry plus
+// 4 per offset.
+func (x *Search) SpaceBytes() int64 {
+	return int64(x.g.NumEdges())*2*8 + int64(x.g.NumNodes()+1)*4
+}
+
+// Name implements Index.
+func (x *Search) Name() string { return KindSearch }
+
+// Meta implements Index.
+func (x *Search) Meta() Meta {
+	return Meta{
+		Kind:     KindSearch,
+		Vertices: x.g.NumNodes(),
+		QueryOps: float64(2 * x.g.NumEdges()),
+	}
+}

@@ -1,0 +1,105 @@
+// Package index defines the unified lifecycle of distance-query
+// structures: build from a graph (through a registry of named backends),
+// persist to and load from index containers, and serve queries behind one
+// Index interface. It subsumes the ad-hoc oracle backends of the S·T
+// tradeoff discussion (paper §1) — the distance matrix, hub labels and
+// plain bidirectional search are all registered backends — and is the
+// layer the serving stack (internal/server, cmd/hubserve) is built on.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hublab/internal/graph"
+)
+
+// ErrTooLarge reports inputs beyond an implementation's size limit.
+var ErrTooLarge = errors.New("index: graph too large")
+
+// ErrUnknownKind reports a backend kind absent from the registry.
+var ErrUnknownKind = errors.New("index: unknown backend kind")
+
+// Index answers exact distance queries over a fixed graph and accounts
+// for the bytes its query structure occupies.
+type Index interface {
+	// Distance returns the exact shortest-path distance (graph.Infinity if
+	// unreachable).
+	Distance(u, v graph.NodeID) graph.Weight
+	// SpaceBytes returns the size of the query structure (excluding the
+	// input graph unless the index retains it).
+	SpaceBytes() int64
+	// Name identifies the backend for reports.
+	Name() string
+	// Meta returns structural metadata about the index.
+	Meta() Meta
+}
+
+// Meta describes an index for registries, reports and the S·T table.
+type Meta struct {
+	// Kind is the backend's registry name.
+	Kind string
+	// Vertices is the number of vertices the index covers.
+	Vertices int
+	// QueryOps approximates the time side T of the S·T tradeoff:
+	// operations touched per query (matrix: 1; hub labels: average merged
+	// label length; search: edges scanned estimate).
+	QueryOps float64
+}
+
+// Batcher is the optional batched-query fast path. Backends whose query
+// is latency-bound (the hub-label merge) implement it to answer many
+// pairs with interleaved scans; out must have at least len(pairs) slots.
+type Batcher interface {
+	DistanceBatch(pairs [][2]graph.NodeID, out []graph.Weight)
+}
+
+// Options parameterizes backend construction.
+type Options struct {
+	// Seed drives any randomized choices of the builder.
+	Seed int64
+}
+
+// BuildFunc constructs a backend's index from a graph.
+type BuildFunc func(g *graph.Graph, opts Options) (Index, error)
+
+var registry = struct {
+	sync.RWMutex
+	builders map[string]BuildFunc
+}{builders: map[string]BuildFunc{}}
+
+// Register adds a buildable backend under kind. Registering a kind twice
+// panics — backend names are an API.
+func Register(kind string, build BuildFunc) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.builders[kind]; dup {
+		panic(fmt.Sprintf("index: backend %q registered twice", kind))
+	}
+	registry.builders[kind] = build
+}
+
+// Build constructs the registered backend kind over g.
+func Build(kind string, g *graph.Graph, opts Options) (Index, error) {
+	registry.RLock()
+	build, ok := registry.builders[kind]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownKind, kind, Kinds())
+	}
+	return build(g, opts)
+}
+
+// Kinds returns the registered backend names, sorted.
+func Kinds() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	kinds := make([]string, 0, len(registry.builders))
+	for k := range registry.builders {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}

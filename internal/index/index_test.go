@@ -1,0 +1,143 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/hub"
+	"hublab/internal/sssp"
+)
+
+func TestRegistryKinds(t *testing.T) {
+	kinds := Kinds()
+	for _, want := range []string{KindMatrix, KindHubLabels, KindSearch} {
+		found := false
+		for _, k := range kinds {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q (have %v)", want, kinds)
+		}
+	}
+	if _, err := Build("no-such-backend", nil, Options{}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("Build(unknown) err = %v, want ErrUnknownKind", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(KindMatrix, nil)
+}
+
+func TestBackendsAgreeWithBFS(t *testing.T) {
+	g, err := gen.Gnm(140, 250, 3)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	truth := sssp.AllPairs(g)
+	for _, kind := range Kinds() {
+		idx, err := Build(kind, g, Options{Seed: 7})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", kind, err)
+		}
+		if idx.Name() != kind {
+			t.Errorf("Build(%q).Name() = %q", kind, idx.Name())
+		}
+		meta := idx.Meta()
+		if meta.Kind != kind || meta.Vertices != g.NumNodes() || meta.QueryOps <= 0 {
+			t.Errorf("Build(%q).Meta() = %+v", kind, meta)
+		}
+		if idx.SpaceBytes() <= 0 {
+			t.Errorf("Build(%q).SpaceBytes() = %d", kind, idx.SpaceBytes())
+		}
+		for u := 0; u < 140; u += 9 {
+			for v := 0; v < 140; v += 7 {
+				if got := idx.Distance(graph.NodeID(u), graph.NodeID(v)); got != truth[u][v] {
+					t.Fatalf("%s.Distance(%d,%d) = %d, want %d", kind, u, v, got, truth[u][v])
+				}
+			}
+		}
+	}
+}
+
+func TestHubLabelsBatchMatchesScalar(t *testing.T) {
+	g, err := gen.Gnm(200, 360, 11)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	idx, err := NewHubLabels(g)
+	if err != nil {
+		t.Fatalf("NewHubLabels: %v", err)
+	}
+	var b Batcher = idx
+	pairs := make([][2]graph.NodeID, 64)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(i * 3 % 200), graph.NodeID(i * 7 % 200)}
+	}
+	out := make([]graph.Weight, len(pairs))
+	b.DistanceBatch(pairs, out)
+	for i, p := range pairs {
+		if want := idx.Distance(p[0], p[1]); out[i] != want {
+			t.Fatalf("batch[%d] = %d, scalar = %d", i, out[i], want)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g, err := gen.Gnm(150, 270, 5)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	built, err := NewHubLabels(g)
+	if err != nil {
+		t.Fatalf("NewHubLabels: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "test.hli")
+	if err := Save(path, built, hub.ContainerOptions{}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Labeling() != nil {
+		t.Error("container-loaded index materialized a mutable labeling")
+	}
+	if loaded.SpaceBytes() != built.SpaceBytes() {
+		t.Errorf("loaded space %d, built space %d", loaded.SpaceBytes(), built.SpaceBytes())
+	}
+	for u := 0; u < 150; u += 4 {
+		for v := 0; v < 150; v += 11 {
+			uu, vv := graph.NodeID(u), graph.NodeID(v)
+			if got, want := loaded.Distance(uu, vv), built.Distance(uu, vv); got != want {
+				t.Fatalf("loaded.Distance(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestSaveUnsupportedBackend(t *testing.T) {
+	g, err := gen.Gnm(30, 50, 1)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	if err := Save(filepath.Join(t.TempDir(), "x.hli"), NewSearch(g), hub.ContainerOptions{}); err == nil {
+		t.Error("Save(search backend) succeeded, want error")
+	}
+}
+
+func TestLoadReaderRejectsGarbage(t *testing.T) {
+	if _, err := LoadReader(bytes.NewReader([]byte("not a container"))); !errors.Is(err, hub.ErrContainer) {
+		t.Errorf("LoadReader(garbage) err = %v, want ErrContainer", err)
+	}
+}

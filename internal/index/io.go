@@ -1,0 +1,62 @@
+package index
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hublab/internal/hub"
+)
+
+// Save writes idx to path as an index container. Only backends with a
+// persistent form support this; today that is HubLabels (the paper's
+// whole point is that the label structure is the thing worth storing).
+// The file is written to a temporary sibling and renamed into place, so a
+// crashed save never leaves a truncated container behind.
+func Save(path string, idx Index, opts hub.ContainerOptions) error {
+	x, ok := idx.(*HubLabels)
+	if !ok {
+		return fmt.Errorf("index: backend %q has no container form", idx.Name())
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".hli-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	// CreateTemp files are 0600; containers should be as readable as any
+	// other artifact the tools write.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := x.Flat().WriteContainer(tmp, opts); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads an index container from path. The raw container path is
+// near-memcpy: the flat arrays are reconstructed without ever touching
+// the slice-of-slices labeling form.
+func Load(path string) (*HubLabels, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadReader(f)
+}
+
+// LoadReader is Load over an arbitrary stream.
+func LoadReader(r io.Reader) (*HubLabels, error) {
+	flat, err := hub.ReadContainer(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromFlat(flat), nil
+}

@@ -1,132 +1,52 @@
 // Package oracle frames the paper's Section 1 discussion of centralized
 // distance oracles: data structures using space S answering exact queries
 // in time T, with the conjectured barrier S·T = Õ(n²) for sparse graphs.
-// Three concrete points on the curve are provided — the full distance
-// matrix (S = n², T = O(1)), hub labels (S = Σ|S(v)|, T = |S(u)|+|S(v)|),
-// and plain bidirectional search (S = O(m), T = Õ(m)) — each with byte-
-// accurate space accounting so experiments can chart the tradeoff.
+// The three concrete points on the curve — the full distance matrix
+// (S = n², T = O(1)), hub labels (S = Σ|S(v)|, T = |S(u)|+|S(v)|), and
+// plain bidirectional search (S = O(m), T = Õ(m)) — are implemented as
+// registered backends of internal/index; this package keeps the paper-
+// facing names and builds the cross-checked S·T table.
 package oracle
 
 import (
-	"errors"
 	"fmt"
 
 	"hublab/internal/graph"
 	"hublab/internal/hub"
-	"hublab/internal/pll"
-	"hublab/internal/sssp"
+	"hublab/internal/index"
 )
 
 // ErrTooLarge reports inputs beyond an implementation's size limit.
-var ErrTooLarge = errors.New("oracle: graph too large")
+var ErrTooLarge = index.ErrTooLarge
 
-// Oracle answers exact distance queries over a fixed graph.
-type Oracle interface {
-	// Distance returns the exact shortest-path distance (graph.Infinity if
-	// unreachable).
-	Distance(u, v graph.NodeID) graph.Weight
-	// SpaceBytes returns the size of the query structure (excluding the
-	// input graph unless the oracle retains it).
-	SpaceBytes() int64
-	// Name identifies the oracle for reports.
-	Name() string
-}
+// Oracle answers exact distance queries over a fixed graph. It is the
+// index.Index interface under the paper's name.
+type Oracle = index.Index
 
-// Matrix is the S = n² endpoint: the full distance matrix.
-type Matrix struct {
-	dist [][]graph.Weight
-}
-
-var _ Oracle = (*Matrix)(nil)
+// The three tradeoff endpoints, now index backends.
+type (
+	// Matrix is the S = n² endpoint: the full distance matrix.
+	Matrix = index.Matrix
+	// Labels is the hub labeling point of the tradeoff.
+	Labels = index.HubLabels
+	// Search is the S = O(m) endpoint: search the stored graph per query.
+	Search = index.Search
+)
 
 // maxMatrixVertices caps matrix oracles at ~1 GiB.
-const maxMatrixVertices = 16384
+const maxMatrixVertices = index.MaxMatrixVertices
 
 // NewMatrix precomputes all pairwise distances.
-func NewMatrix(g *graph.Graph) (*Matrix, error) {
-	if g.NumNodes() > maxMatrixVertices {
-		return nil, fmt.Errorf("%w: %d vertices for a distance matrix", ErrTooLarge, g.NumNodes())
-	}
-	return &Matrix{dist: sssp.AllPairs(g)}, nil
-}
-
-// Distance looks up the precomputed entry.
-func (m *Matrix) Distance(u, v graph.NodeID) graph.Weight { return m.dist[u][v] }
-
-// SpaceBytes counts 4 bytes per matrix entry.
-func (m *Matrix) SpaceBytes() int64 {
-	n := int64(len(m.dist))
-	return n * n * 4
-}
-
-// Name implements Oracle.
-func (m *Matrix) Name() string { return "matrix" }
-
-// Labels is the hub labeling point of the tradeoff. Queries run on the
-// frozen flat CSR form, so each Distance call is a zero-allocation merge.
-type Labels struct {
-	l *hub.Labeling
-	f *hub.FlatLabeling
-}
-
-var _ Oracle = (*Labels)(nil)
+func NewMatrix(g *graph.Graph) (*Matrix, error) { return index.NewMatrix(g) }
 
 // NewLabels builds a PLL-backed oracle.
-func NewLabels(g *graph.Graph) (*Labels, error) {
-	l, err := pll.Build(g, pll.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return NewLabelsFrom(l), nil
-}
+func NewLabels(g *graph.Graph) (*Labels, error) { return index.NewHubLabels(g) }
 
 // NewLabelsFrom wraps an existing labeling, freezing it if necessary.
-func NewLabelsFrom(l *hub.Labeling) *Labels { return &Labels{l: l, f: l.Freeze()} }
-
-// Distance decodes from the two labels.
-func (o *Labels) Distance(u, v graph.NodeID) graph.Weight {
-	d, ok := o.f.Query(u, v)
-	if !ok {
-		return graph.Infinity
-	}
-	return d
-}
-
-// SpaceBytes counts the flat storage exactly: 4 bytes per CSR offset plus
-// 8 bytes per slot (hub id + distance), sentinels included.
-func (o *Labels) SpaceBytes() int64 {
-	return o.f.SpaceBytes()
-}
-
-// Name implements Oracle.
-func (o *Labels) Name() string { return "hub-labels" }
-
-// Labeling exposes the underlying labeling.
-func (o *Labels) Labeling() *hub.Labeling { return o.l }
-
-// Search is the S = O(m) endpoint: store only the graph, search per query.
-type Search struct {
-	g *graph.Graph
-}
-
-var _ Oracle = (*Search)(nil)
+func NewLabelsFrom(l *hub.Labeling) *Labels { return index.NewHubLabelsFrom(l) }
 
 // NewSearch wraps the graph.
-func NewSearch(g *graph.Graph) *Search { return &Search{g: g} }
-
-// Distance runs a bidirectional search.
-func (o *Search) Distance(u, v graph.NodeID) graph.Weight {
-	return sssp.Distance(o.g, u, v)
-}
-
-// SpaceBytes counts the CSR arrays: 8 bytes per directed edge entry plus
-// 4 per offset.
-func (o *Search) SpaceBytes() int64 {
-	return int64(o.g.NumEdges())*2*8 + int64(o.g.NumNodes()+1)*4
-}
-
-// Name implements Oracle.
-func (o *Search) Name() string { return "search" }
+func NewSearch(g *graph.Graph) *Search { return index.NewSearch(g) }
 
 // TradeoffPoint is one row of the S·T table.
 type TradeoffPoint struct {
@@ -140,43 +60,46 @@ type TradeoffPoint struct {
 	SpaceTimeProduct float64
 }
 
-// Tradeoff builds all three oracles, cross-checks them against each other
-// on sample pairs, and returns the S·T table.
+// tradeoffKinds fixes the table order: densest to sparsest storage.
+var tradeoffKinds = []string{index.KindMatrix, index.KindHubLabels, index.KindSearch}
+
+// Tradeoff builds all three registered oracle backends, cross-checks them
+// against each other on sample pairs, and returns the S·T table.
 func Tradeoff(g *graph.Graph, samplePairs int) ([]TradeoffPoint, error) {
-	matrix, err := NewMatrix(g)
-	if err != nil {
-		return nil, err
-	}
-	labels, err := NewLabels(g)
-	if err != nil {
-		return nil, err
-	}
-	search := NewSearch(g)
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("oracle: empty graph")
 	}
-	// Cross-check: all three oracles must agree.
+	oracles := make([]Oracle, len(tradeoffKinds))
+	for i, kind := range tradeoffKinds {
+		o, err := index.Build(kind, g, index.Options{})
+		if err != nil {
+			return nil, err
+		}
+		oracles[i] = o
+	}
+	// Cross-check: all backends must agree with the matrix ground truth.
+	truth := oracles[0]
 	step := n*n/samplePairs + 1
 	for idx := 0; idx < n*n; idx += step {
 		u, v := graph.NodeID(idx/n), graph.NodeID(idx%n)
-		dm := matrix.Distance(u, v)
-		if dl := labels.Distance(u, v); dl != dm {
-			return nil, fmt.Errorf("oracle: labels disagree with matrix on (%d,%d): %d vs %d", u, v, dl, dm)
-		}
-		if ds := search.Distance(u, v); ds != dm {
-			return nil, fmt.Errorf("oracle: search disagrees with matrix on (%d,%d): %d vs %d", u, v, ds, dm)
+		want := truth.Distance(u, v)
+		for _, o := range oracles[1:] {
+			if got := o.Distance(u, v); got != want {
+				return nil, fmt.Errorf("oracle: %s disagrees with %s on (%d,%d): %d vs %d",
+					o.Name(), truth.Name(), u, v, got, want)
+			}
 		}
 	}
-	stats := labels.f.ComputeStats()
-	points := []TradeoffPoint{
-		{Name: matrix.Name(), SpaceBytes: matrix.SpaceBytes(), AvgQueryOps: 1},
-		{Name: labels.Name(), SpaceBytes: labels.SpaceBytes(), AvgQueryOps: 2 * stats.Avg},
-		{Name: search.Name(), SpaceBytes: search.SpaceBytes(),
-			AvgQueryOps: float64(2 * g.NumEdges())},
-	}
-	for i := range points {
-		points[i].SpaceTimeProduct = float64(points[i].SpaceBytes) * points[i].AvgQueryOps
+	points := make([]TradeoffPoint, len(oracles))
+	for i, o := range oracles {
+		meta := o.Meta()
+		points[i] = TradeoffPoint{
+			Name:             o.Name(),
+			SpaceBytes:       o.SpaceBytes(),
+			AvgQueryOps:      meta.QueryOps,
+			SpaceTimeProduct: float64(o.SpaceBytes()) * meta.QueryOps,
+		}
 	}
 	return points, nil
 }

@@ -1,0 +1,241 @@
+// Package server is the in-process concurrent query service over an
+// index.Index: client goroutines submit (u,v) pairs, the server shards
+// them across worker goroutines, and each worker coalesces adjacent
+// requests into groups of three to feed the interleaved merge of the
+// hub-label batch path. The served index is held behind an atomic
+// snapshot pointer, so a rebuilt or freshly loaded index can be swapped
+// in under live traffic without pausing queries.
+//
+// The per-query hot path performs zero allocations in steady state:
+// request envelopes (including their reply channels) are pooled, shard
+// routing is a single atomic round-robin tick, and every worker reuses
+// its batch buffers across groups.
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hublab/internal/graph"
+	"hublab/internal/index"
+	"hublab/internal/par"
+)
+
+// batchSize is how many adjacent requests a shard coalesces into one
+// DistanceBatch call. Three matches the stream count of the interleaved
+// merge in hub.QueryBatch — more would queue behind the merge, fewer
+// wastes pipeline overlap.
+const batchSize = 3
+
+// Options configures a Server.
+type Options struct {
+	// Shards is the number of worker goroutines (and request queues).
+	// 0 means the par worker bound (runtime.NumCPU(), or the par.SetWorkers
+	// override — so pinning the pool pins the server too).
+	Shards int
+	// QueueDepth is the per-shard request buffer (default 64).
+	QueueDepth int
+}
+
+// Server shards query streams over worker goroutines against an
+// atomically swappable index snapshot.
+type Server struct {
+	snap    atomic.Pointer[snapshot]
+	shards  []*shard
+	rr      atomic.Uint64
+	pool    sync.Pool
+	wg      sync.WaitGroup
+	closing atomic.Bool
+}
+
+// snapshot pairs an index with its (possibly nil) batch fast path so one
+// atomic load fetches both.
+type snapshot struct {
+	idx   index.Index
+	batch index.Batcher
+}
+
+type request struct {
+	u, v graph.NodeID
+	d    graph.Weight
+	done chan struct{}
+}
+
+type shard struct {
+	ch chan *request
+	// Reusable per-shard batch buffers: the worker is the only goroutine
+	// touching them, so groups recycle the same storage forever.
+	reqs    [batchSize]*request
+	pairs   [batchSize][2]graph.NodeID
+	out     [batchSize]graph.Weight
+	served  atomic.Uint64
+	batches atomic.Uint64
+}
+
+// New starts a server over idx. Callers must Close it to release the
+// worker goroutines.
+func New(idx index.Index, opts Options) *Server {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = par.Workers(math.MaxInt32)
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	s := &Server{shards: make([]*shard, shards)}
+	s.snap.Store(newSnapshot(idx))
+	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
+	for i := range s.shards {
+		sh := &shard{ch: make(chan *request, depth)}
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go s.run(sh)
+	}
+	return s
+}
+
+func newSnapshot(idx index.Index) *snapshot {
+	ns := &snapshot{idx: idx}
+	if b, ok := idx.(index.Batcher); ok {
+		ns.batch = b
+	}
+	return ns
+}
+
+// Query answers one exact distance query, blocking until a shard worker
+// serves it. It is safe for any number of concurrent callers and
+// allocates nothing in steady state. Query must not be called after (or
+// concurrently with) Close.
+func (s *Server) Query(u, v graph.NodeID) graph.Weight {
+	r := s.pool.Get().(*request)
+	r.u, r.v = u, v
+	sh := s.shards[s.rr.Add(1)%uint64(len(s.shards))]
+	sh.ch <- r
+	<-r.done
+	d := r.d
+	s.pool.Put(r)
+	return d
+}
+
+// QueryBatch answers pairs[k] into out[k] directly on the current
+// snapshot, bypassing the shard queues — the batch is already a group, so
+// it goes straight to the index's interleaved merge (or a scalar loop for
+// backends without one). Zero allocations.
+func (s *Server) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
+	snap := s.snap.Load()
+	if snap.batch != nil {
+		snap.batch.DistanceBatch(pairs, out)
+		return
+	}
+	for i, p := range pairs {
+		out[i] = snap.idx.Distance(p[0], p[1])
+	}
+}
+
+// Index returns the currently served index snapshot.
+func (s *Server) Index() index.Index { return s.snap.Load().idx }
+
+// Swap atomically replaces the served index and returns the previous one.
+// In-flight groups finish on the snapshot they started with; every
+// request picked up afterwards is served by next. The two indexes may
+// cover different graphs — callers own that transition.
+func (s *Server) Swap(next index.Index) index.Index {
+	old := s.snap.Swap(newSnapshot(next))
+	return old.idx
+}
+
+// Stats is a point-in-time view of served traffic.
+type Stats struct {
+	// Shards is the worker count.
+	Shards int
+	// Served is the total number of requests answered.
+	Served uint64
+	// Batches is the number of DistanceBatch groups issued; Served /
+	// Batches approximates the achieved coalescing factor (≤ 3).
+	Batches uint64
+	// PerShard is the served count of each shard.
+	PerShard []uint64
+}
+
+// Stats returns a snapshot of the served-traffic counters.
+func (s *Server) Stats() Stats {
+	st := Stats{Shards: len(s.shards), PerShard: make([]uint64, len(s.shards))}
+	for i, sh := range s.shards {
+		n := sh.served.Load()
+		st.PerShard[i] = n
+		st.Served += n
+		st.Batches += sh.batches.Load()
+	}
+	return st
+}
+
+// Close stops the workers and waits for them to drain. No Query may be
+// in flight or issued afterwards.
+func (s *Server) Close() {
+	if s.closing.Swap(true) {
+		return
+	}
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.wg.Wait()
+}
+
+// run is the shard worker loop: block for one request, opportunistically
+// coalesce up to batchSize-1 more that are already queued, answer the
+// group on one snapshot, reply.
+func (s *Server) run(sh *shard) {
+	defer s.wg.Done()
+	for {
+		r, ok := <-sh.ch
+		if !ok {
+			return
+		}
+		sh.reqs[0] = r
+		n := 1
+	coalesce:
+		for n < batchSize {
+			select {
+			case r2, ok2 := <-sh.ch:
+				if !ok2 {
+					break coalesce
+				}
+				sh.reqs[n] = r2
+				n++
+			default:
+				break coalesce
+			}
+		}
+		snap := s.snap.Load()
+		if snap.batch != nil && n > 1 {
+			for i := 0; i < n; i++ {
+				sh.pairs[i] = [2]graph.NodeID{sh.reqs[i].u, sh.reqs[i].v}
+			}
+			snap.batch.DistanceBatch(sh.pairs[:n], sh.out[:n])
+			for i := 0; i < n; i++ {
+				sh.reqs[i].d = sh.out[i]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				sh.reqs[i].d = snap.idx.Distance(sh.reqs[i].u, sh.reqs[i].v)
+			}
+		}
+		for i := 0; i < n; i++ {
+			sh.reqs[i].done <- struct{}{}
+			sh.reqs[i] = nil
+		}
+		sh.served.Add(uint64(n))
+		sh.batches.Add(1)
+	}
+}
+
+// String summarizes the server for logs.
+func (s *Server) String() string {
+	st := s.Stats()
+	meta := s.Index().Meta()
+	return fmt.Sprintf("server{%s n=%d shards=%d served=%d batches=%d}",
+		meta.Kind, meta.Vertices, st.Shards, st.Served, st.Batches)
+}

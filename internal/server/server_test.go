@@ -1,0 +1,204 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/index"
+	"hublab/internal/sssp"
+)
+
+func buildIndex(t testing.TB, n, m int, seed int64) (*graph.Graph, *index.HubLabels) {
+	t.Helper()
+	g, err := gen.Gnm(n, m, seed)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	idx, err := index.NewHubLabels(g)
+	if err != nil {
+		t.Fatalf("NewHubLabels: %v", err)
+	}
+	return g, idx
+}
+
+// TestServerMatchesBFS pushes concurrent query streams through the server
+// and checks every answer against ground-truth BFS distances.
+func TestServerMatchesBFS(t *testing.T) {
+	g, idx := buildIndex(t, 300, 540, 3)
+	truth := sssp.AllPairs(g)
+	srv := New(idx, Options{Shards: 4})
+	defer srv.Close()
+	const clients = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < 600; k++ {
+				u := graph.NodeID((c*131 + k*17) % 300)
+				v := graph.NodeID((c*37 + k*101) % 300)
+				if got := srv.Query(u, v); got != truth[u][v] {
+					select {
+					case errCh <- &mismatch{u, v, got, truth[u][v]}:
+					default:
+					}
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	st := srv.Stats()
+	if st.Served != clients*600 {
+		t.Errorf("served %d requests, want %d", st.Served, clients*600)
+	}
+	if st.Batches == 0 || st.Batches > st.Served {
+		t.Errorf("implausible batch count %d for %d served", st.Batches, st.Served)
+	}
+}
+
+type mismatch struct {
+	u, v      graph.NodeID
+	got, want graph.Weight
+}
+
+func (m *mismatch) Error() string {
+	return "server mismatch"
+}
+
+// TestServerQueryBatch checks the direct batch path against the scalar
+// path on both batch-capable and scalar-only backends.
+func TestServerQueryBatch(t *testing.T) {
+	g, idx := buildIndex(t, 200, 360, 7)
+	for _, backend := range []index.Index{idx, index.NewSearch(g)} {
+		srv := New(backend, Options{Shards: 2})
+		pairs := make([][2]graph.NodeID, 40)
+		for i := range pairs {
+			pairs[i] = [2]graph.NodeID{graph.NodeID(i * 5 % 200), graph.NodeID(i * 13 % 200)}
+		}
+		out := make([]graph.Weight, len(pairs))
+		srv.QueryBatch(pairs, out)
+		for i, p := range pairs {
+			if want := backend.Distance(p[0], p[1]); out[i] != want {
+				t.Fatalf("%s: batch[%d] = %d, want %d", backend.Name(), i, out[i], want)
+			}
+		}
+		srv.Close()
+	}
+}
+
+// TestServerSwapUnderTraffic rebuilds the index while clients hammer the
+// server; every response must be correct under either snapshot (both
+// indexes cover the same graph), and after the swap new queries must hit
+// the new index.
+func TestServerSwapUnderTraffic(t *testing.T) {
+	g, idx := buildIndex(t, 250, 450, 9)
+	truth := sssp.AllPairs(g)
+	srv := New(idx, Options{Shards: 3})
+	defer srv.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	fail := make(chan struct{}, 1)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := graph.NodeID((c*19 + k*7) % 250)
+				v := graph.NodeID((c*3 + k*23) % 250)
+				if got := srv.Query(u, v); got != truth[u][v] {
+					select {
+					case fail <- struct{}{}:
+					default:
+					}
+					return
+				}
+			}
+		}(c)
+	}
+	// Swap in freshly built replacements (and one container round-trip
+	// style FromFlat wrap) while traffic flows.
+	for i := 0; i < 5; i++ {
+		replacement, err := index.NewHubLabels(g)
+		if err != nil {
+			t.Fatalf("rebuild: %v", err)
+		}
+		old := srv.Swap(index.FromFlat(replacement.Flat()))
+		if old == nil {
+			t.Fatal("Swap returned nil previous index")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case <-fail:
+		t.Fatal("query mismatch during snapshot swaps")
+	default:
+	}
+	if srv.Index().Meta().Kind != index.KindHubLabels {
+		t.Errorf("served index kind = %q", srv.Index().Meta().Kind)
+	}
+}
+
+// TestServerScalarBackend runs the server over a backend without a batch
+// path (bidirectional search) to exercise the scalar group branch.
+func TestServerScalarBackend(t *testing.T) {
+	g, _ := buildIndex(t, 120, 210, 5)
+	truth := sssp.AllPairs(g)
+	srv := New(index.NewSearch(g), Options{Shards: 2, QueueDepth: 4})
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < 150; k++ {
+				u := graph.NodeID((c + k*11) % 120)
+				v := graph.NodeID((c*29 + k) % 120)
+				if got := srv.Query(u, v); got != truth[u][v] {
+					t.Errorf("search backend (%d,%d) = %d, want %d", u, v, got, truth[u][v])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	_, idx := buildIndex(t, 50, 90, 1)
+	srv := New(idx, Options{})
+	srv.Close()
+	srv.Close()
+}
+
+// TestServerZeroAllocQuery asserts the steady-state per-query hot path
+// does not allocate.
+func TestServerZeroAllocQuery(t *testing.T) {
+	_, idx := buildIndex(t, 200, 360, 13)
+	srv := New(idx, Options{Shards: 1})
+	defer srv.Close()
+	// Warm the request pool.
+	for i := 0; i < 100; i++ {
+		srv.Query(graph.NodeID(i%200), graph.NodeID((i*7)%200))
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		srv.Query(3, 177)
+	})
+	if avg > 0.05 {
+		t.Errorf("Query allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -1,14 +1,17 @@
 #!/bin/sh
-# bench_json.sh [PR_NUMBER] [BENCH_REGEX]
+# bench_json.sh PR_NUMBER [BENCH_REGEX]
 #
 # Runs the E-series benchmarks and emits BENCH_pr<N>.json in the repo
 # root: one JSON object per benchmark with name, iterations, ns/op and
-# (where reported) B/op and allocs/op. Starts the performance trajectory
-# that EXPERIMENTS.md tracks across PRs.
+# (where reported) B/op and allocs/op. The PR number is required so each
+# PR appends its own point to the performance trajectory that
+# EXPERIMENTS.md tracks (BENCH_pr1.json, BENCH_pr2.json, ...). The
+# default regex covers the query-path benchmarks plus the container-load
+# (E17) and serving-throughput (E18) series.
 set -eu
 
-PR="${1:-1}"
-REGEX="${2:-BenchmarkE10Query.*}"
+PR="${1:?usage: bench_json.sh PR_NUMBER [BENCH_REGEX]}"
+REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*}"
 OUT="BENCH_pr${PR}.json"
 cd "$(dirname "$0")/.."
 
