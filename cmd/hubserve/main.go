@@ -25,19 +25,19 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"hublab/internal/graph"
 	"hublab/internal/index"
 	"hublab/internal/server"
-	"hublab/internal/sssp"
 )
 
 func main() {
@@ -89,13 +89,8 @@ func run() error {
 		if g == nil {
 			return fmt.Errorf("hubserve: -selfcheck needs -graph")
 		}
-		rng := rand.New(rand.NewSource(1))
-		for i := 0; i < *selfcheck; i++ {
-			u := graph.NodeID(rng.Intn(meta.Vertices))
-			v := graph.NodeID(rng.Intn(meta.Vertices))
-			if got, want := srv.Query(u, v), sssp.Distance(g, u, v); got != want {
-				return fmt.Errorf("hubserve: selfcheck (%d,%d): index %d, graph %d", u, v, got, want)
-			}
+		if err := index.VerifySampled(idx, g, *selfcheck, 1); err != nil {
+			return fmt.Errorf("hubserve: selfcheck: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "selfcheck: %d random queries match graph search\n", *selfcheck)
 	}
@@ -107,6 +102,8 @@ func run() error {
 }
 
 // serveLines answers "u v" query lines from stdin until EOF or "quit".
+// Each response is flushed immediately so interactive clients that wait
+// for an answer before the next query don't deadlock on the buffer.
 func serveLines(srv *server.Server, n int) error {
 	sc := bufio.NewScanner(os.Stdin)
 	w := bufio.NewWriter(os.Stdout)
@@ -119,20 +116,33 @@ func serveLines(srv *server.Server, n int) error {
 		if line == "quit" {
 			break
 		}
+		// Require exactly two integer fields — Sscanf would silently
+		// ignore trailing garbage ("1 2 3", "1 2.5") and answer a
+		// different query than the client sent.
 		var u, v int
-		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+		fields := strings.Fields(line)
+		bad := len(fields) != 2
+		if !bad {
+			var errU, errV error
+			u, errU = strconv.Atoi(fields[0])
+			v, errV = strconv.Atoi(fields[1])
+			bad = errU != nil || errV != nil
+		}
+		switch {
+		case bad:
 			fmt.Fprintf(w, "error: bad query %q (want: u v)\n", line)
-			continue
-		}
-		if u < 0 || u >= n || v < 0 || v >= n {
+		case u < 0 || u >= n || v < 0 || v >= n:
 			fmt.Fprintf(w, "error: vertex out of range [0,%d)\n", n)
-			continue
+		default:
+			d := srv.Query(graph.NodeID(u), graph.NodeID(v))
+			if d >= graph.Infinity {
+				fmt.Fprintf(w, "%d %d inf\n", u, v)
+			} else {
+				fmt.Fprintf(w, "%d %d %d\n", u, v, d)
+			}
 		}
-		d := srv.Query(graph.NodeID(u), graph.NodeID(v))
-		if d >= graph.Infinity {
-			fmt.Fprintf(w, "%d %d inf\n", u, v)
-		} else {
-			fmt.Fprintf(w, "%d %d %d\n", u, v, d)
+		if err := w.Flush(); err != nil {
+			return err
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -156,6 +166,7 @@ func serveHTTP(srv *server.Server, n int, addr string) error {
 			return
 		}
 		d := srv.Query(graph.NodeID(u), graph.NodeID(v))
+		w.Header().Set("Content-Type", "application/json")
 		if d >= graph.Infinity {
 			fmt.Fprintf(w, `{"u":%d,"v":%d,"distance":null}`+"\n", u, v)
 			return
@@ -164,11 +175,27 @@ func serveHTTP(srv *server.Server, n int, addr string) error {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := srv.Stats()
+		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"shards":%d,"served":%d,"batches":%d}`+"\n", st.Shards, st.Served, st.Batches)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	fmt.Fprintf(os.Stderr, "serving HTTP on %s\n", addr)
-	return http.ListenAndServe(addr, mux)
+	hs := &http.Server{Addr: addr, Handler: mux}
+	err := hs.ListenAndServe()
+	// ListenAndServe returns on a fatal listener error while handler
+	// goroutines may still be inside srv.Query; drain them before the
+	// deferred srv.Close so its no-query-in-flight contract holds. The
+	// drain is bounded — a stalled client must not wedge the exit.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if serr := hs.Shutdown(ctx); serr != nil {
+		// A handler survived the drain window, so the normal exit path
+		// would run srv.Close under live queries; report and exit hard
+		// instead (deferred cleanup is skipped deliberately).
+		log.Printf("hubserve: %v (drain failed: %v)", err, serr)
+		os.Exit(1)
+	}
+	return err
 }

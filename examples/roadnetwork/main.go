@@ -105,9 +105,11 @@ func cachedLabels(key string, g *hublab.Graph, opts hublab.PLLOptions) (*hublab.
 	}
 	dir = filepath.Join(dir, "hublab-roadnetwork")
 	path := filepath.Join(dir, sanitize(key)+".hli")
-	if idx, err := hublab.LoadIndex(path); err == nil && idx.Meta().Vertices == g.NumNodes() {
+	if idx, err := hublab.LoadIndex(path); err == nil && hublab.VerifySampledIndex(idx, g, 32, 41) == nil {
 		return idx, true, nil
 	}
+	// Missing, unreadable or stale (the instance changed across versions
+	// while n stayed the same): rebuild and save over the old file.
 	labels, err := hublab.BuildPLL(g, opts)
 	if err != nil {
 		return nil, false, err

@@ -278,6 +278,14 @@ func SaveIndex(path string, idx Index, opts ContainerOptions) error {
 // the mutable labeling form.
 func LoadIndex(path string) (*HubLabelsIndex, error) { return index.Load(path) }
 
+// VerifySampledIndex spot-checks idx against graph search on pairs random
+// vertex pairs — the guard for serving a loaded container, whose graph
+// identity the format does not record (a stale cache can match on vertex
+// count alone).
+func VerifySampledIndex(idx Index, g *Graph, pairs int, seed int64) error {
+	return index.VerifySampled(idx, g, pairs, seed)
+}
+
 // WriteContainer serializes a frozen labeling as an index container.
 func WriteContainer(w io.Writer, f *FlatLabeling, opts ContainerOptions) (int64, error) {
 	return f.WriteContainer(w, opts)

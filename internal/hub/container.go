@@ -312,10 +312,13 @@ func decodeGamma(stream []byte, n, slots int) (*FlatLabeling, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: vertex %d size: %v", ErrContainer, v, err)
 		}
-		sz := int(szPlus - 1)
-		if sz < 0 || pos+sz+1 > slots {
+		// szPlus-1 hubs plus one sentinel need szPlus slots. Compare in
+		// uint64: a 2^63-scale size code converted to int first would wrap
+		// pos+sz+1 negative and slip past the bound check.
+		if szPlus > uint64(slots-pos) {
 			return nil, fmt.Errorf("%w: vertex %d overflows %d slots", ErrContainer, v, slots)
 		}
+		sz := int(szPlus - 1)
 		prev := int64(-1)
 		for i := 0; i < sz; i++ {
 			gap, err := r.ReadGamma()
@@ -326,10 +329,14 @@ func decodeGamma(stream []byte, n, slots int) (*FlatLabeling, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%w: vertex %d hub %d: %v", ErrContainer, v, i, err)
 			}
-			prev += int64(gap)
-			if prev >= int64(flatSentinel) || distPlus-1 > uint64(graph.Infinity) {
+			// Hub ids increase strictly within [0, n); bound the gap in
+			// uint64 like the size code above — a 2^63-scale gap would
+			// wrap prev negative and the int32 conversion could truncate
+			// it back into a valid id, loading attacker-chosen labels.
+			if gap > uint64(int64(n-1)-prev) || distPlus-1 > uint64(graph.Infinity) {
 				return nil, fmt.Errorf("%w: vertex %d hub %d out of range", ErrContainer, v, i)
 			}
+			prev += int64(gap)
 			f.hubIDs[pos] = graph.NodeID(prev)
 			f.dists[pos] = graph.Weight(distPlus - 1)
 			pos++

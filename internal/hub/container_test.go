@@ -2,8 +2,11 @@ package hub
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
+	"hublab/internal/bitio"
 	"hublab/internal/graph"
 )
 
@@ -201,6 +204,9 @@ func TestContainerRejectsInvalidArrays(t *testing.T) {
 		{"distance above infinity", func(f *FlatLabeling) { f.dists[1] = graph.Infinity + 1 }},
 		{"sentinel id in label body", func(f *FlatLabeling) { f.hubIDs[2] = flatSentinel }},
 		{"negative hub id", func(f *FlatLabeling) { f.hubIDs[0] = -1 }},
+		// Sorted after hub 0 and below the sentinel, so only the [0, n)
+		// bound catches it.
+		{"hub id beyond vertex count", func(f *FlatLabeling) { f.hubIDs[1] = 100 }},
 		{"unsorted label", func(f *FlatLabeling) { f.hubIDs[0], f.hubIDs[1] = f.hubIDs[1], f.hubIDs[0] }},
 		{"non-infinite sentinel distance", func(f *FlatLabeling) {
 			f.dists[f.offsets[1]-1] = 7
@@ -226,6 +232,77 @@ func TestContainerRejectsInvalidArrays(t *testing.T) {
 	}
 }
 
+// craftGammaContainer assembles a checksummed gamma container whose
+// header declares n vertices and slots, and whose stream is the gamma
+// codes of values in order. The CRC is valid, so only the decode-time
+// bound checks stand between these streams and the flat arrays.
+func craftGammaContainer(t testing.TB, n, slots uint64, values []uint64) []byte {
+	t.Helper()
+	var bw bitio.Writer
+	for _, v := range values {
+		if err := bw.WriteGamma(v); err != nil {
+			t.Fatalf("WriteGamma(%d): %v", v, err)
+		}
+	}
+	stream := bw.Bytes()
+
+	var buf bytes.Buffer
+	var header [containerHeaderLen]byte
+	copy(header[0:8], containerMagic[:])
+	binary.LittleEndian.PutUint16(header[8:10], ContainerVersion)
+	binary.LittleEndian.PutUint16(header[10:12], containerFlagGamma)
+	binary.LittleEndian.PutUint64(header[16:24], n)
+	binary.LittleEndian.PutUint64(header[24:32], slots)
+	buf.Write(header[:])
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(stream)))
+	buf.Write(lenBuf[:])
+	buf.Write(stream)
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(buf.Bytes(), castagnoli))
+	buf.Write(trailer[:])
+	return buf.Bytes()
+}
+
+// gammaSizeOverflowContainer declares a label size code of 2^63:
+// converting it to a signed int before bound-checking wraps pos+sz+1
+// negative, and the decode loop then writes past the 2-slot arrays. The
+// fuzzer cannot plausibly reach this (63 consecutive zero bits), so the
+// stream is pinned here and seeded into the fuzz corpus.
+func gammaSizeOverflowContainer(t testing.TB) []byte {
+	vals := []uint64{2, 1 << 63} // vertex count n+1=2, then szPlus=2^63
+	for i := 0; i < 16; i++ {    // gap/dist pairs: enough data to overrun 2 slots
+		vals = append(vals, 1)
+	}
+	return craftGammaContainer(t, 1, 2, vals)
+}
+
+// gammaGapOverflowContainer declares one hub whose gap code wraps prev to
+// -2^32: unbounded, the int32 conversion truncates that back to the valid
+// hub id 0 and the container loads with attacker-chosen labels.
+func gammaGapOverflowContainer(t testing.TB) []byte {
+	return craftGammaContainer(t, 1, 2, []uint64{
+		2,                 // vertex count n+1
+		2,                 // szPlus: one hub
+		1<<64 - 1<<32 + 1, // gap: -1 + int64(gap) == -2^32
+		1,                 // distPlus
+	})
+}
+
+// TestContainerGammaOverflowCodes pins the hostile streams above to clean
+// errors: ReadContainer must reject them — never index out of range, and
+// never a successfully loaded forged labeling.
+func TestContainerGammaOverflowCodes(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"size code 2^63": gammaSizeOverflowContainer(t),
+		"gap wraps prev": gammaGapOverflowContainer(t),
+	} {
+		if _, err := ReadContainer(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: hostile container accepted", name)
+		}
+	}
+}
+
 // FuzzReadContainer hammers the parser with arbitrary bytes; the only
 // acceptable outcomes are a clean error or a labeling that passes
 // validation.
@@ -241,6 +318,8 @@ func FuzzReadContainer(f *testing.F) {
 	}
 	f.Add([]byte("HUBLABIX"))
 	f.Add([]byte{})
+	f.Add(gammaSizeOverflowContainer(f))
+	f.Add(gammaGapOverflowContainer(f))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadContainer(bytes.NewReader(data))
 		if err != nil {

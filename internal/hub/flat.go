@@ -345,6 +345,10 @@ func (f *FlatLabeling) ComputeStats() Stats {
 	return s
 }
 
+// NumHubs returns the total number of label entries across all vertices,
+// sentinels excluded, in O(1) — it equals ComputeStats().Total.
+func (f *FlatLabeling) NumHubs() int { return len(f.hubIDs) - f.NumVertices() }
+
 // SpaceBytes returns the exact storage of the flat arrays: 4 bytes per
 // offset plus 8 bytes per slot (hub id + distance), sentinels included.
 func (f *FlatLabeling) SpaceBytes() int64 {
@@ -401,7 +405,11 @@ func (f *FlatLabeling) validate() error {
 			return fmt.Errorf("hub: vertex %d run not sentinel-terminated", v)
 		}
 		for i := lo; i < hi-1; i++ {
-			if f.hubIDs[i] < 0 || f.hubIDs[i] >= flatSentinel {
+			// Hubs are vertices of the same graph, so ids must lie in
+			// [0, n) — merely being below the sentinel still lets a
+			// hostile container smuggle out-of-graph ids that panic any
+			// caller indexing adjacency by hub.
+			if f.hubIDs[i] < 0 || int(f.hubIDs[i]) >= n {
 				return fmt.Errorf("hub: vertex %d hub id out of range at slot %d", v, i)
 			}
 			if i > lo && f.hubIDs[i-1] >= f.hubIDs[i] {

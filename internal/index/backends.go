@@ -116,12 +116,18 @@ func (x *HubLabels) SpaceBytes() int64 { return x.f.SpaceBytes() }
 // Name implements Index.
 func (x *HubLabels) Name() string { return KindHubLabels }
 
-// Meta implements Index.
+// Meta implements Index. It is O(1): the average label size falls out of
+// the flat array lengths, so metadata reads never scan the offsets.
 func (x *HubLabels) Meta() Meta {
+	n := x.f.NumVertices()
+	var avg float64
+	if n > 0 {
+		avg = float64(x.f.NumHubs()) / float64(n)
+	}
 	return Meta{
 		Kind:     KindHubLabels,
-		Vertices: x.f.NumVertices(),
-		QueryOps: 2 * x.f.ComputeStats().Avg,
+		Vertices: n,
+		QueryOps: 2 * avg,
 	}
 }
 

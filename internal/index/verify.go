@@ -1,0 +1,35 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hublab/internal/graph"
+	"hublab/internal/sssp"
+)
+
+// VerifySampled spot-checks idx against bidirectional search on g: pairs
+// random vertex pairs drawn from seed must agree exactly. It is the
+// shared guard for serving loaded containers — a cache file that is
+// stale, foreign, or forged can match on vertex count alone, and a
+// mismatch here means idx does not describe g.
+func VerifySampled(idx Index, g *graph.Graph, pairs int, seed int64) error {
+	if pairs <= 0 {
+		return fmt.Errorf("index: sample size must be positive, got %d", pairs)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return fmt.Errorf("index: graph has no vertices")
+	}
+	if v := idx.Meta().Vertices; v != n {
+		return fmt.Errorf("index: index has %d vertices, graph has %d", v, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < pairs; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if got, want := idx.Distance(u, v), sssp.Distance(g, u, v); got != want {
+			return fmt.Errorf("index: disagrees with graph on (%d,%d): %d vs %d", u, v, got, want)
+		}
+	}
+	return nil
+}

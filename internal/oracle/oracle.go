@@ -70,6 +70,9 @@ func Tradeoff(g *graph.Graph, samplePairs int) ([]TradeoffPoint, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("oracle: empty graph")
 	}
+	if samplePairs <= 0 {
+		return nil, fmt.Errorf("oracle: samplePairs must be positive, got %d", samplePairs)
+	}
 	oracles := make([]Oracle, len(tradeoffKinds))
 	for i, kind := range tradeoffKinds {
 		o, err := index.Build(kind, g, index.Options{})

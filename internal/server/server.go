@@ -48,6 +48,10 @@ type Server struct {
 	pool    sync.Pool
 	wg      sync.WaitGroup
 	closing atomic.Bool
+	// Traffic through the direct QueryBatch door, which bypasses the
+	// shard queues and their per-shard counters.
+	direct        atomic.Uint64
+	directBatches atomic.Uint64
 }
 
 // snapshot pairs an index with its (possibly nil) batch fast path so one
@@ -125,6 +129,11 @@ func (s *Server) Query(u, v graph.NodeID) graph.Weight {
 // it goes straight to the index's interleaved merge (or a scalar loop for
 // backends without one). Zero allocations.
 func (s *Server) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
+	if len(pairs) == 0 {
+		return
+	}
+	s.direct.Add(uint64(len(pairs)))
+	s.directBatches.Add(1)
 	snap := s.snap.Load()
 	if snap.batch != nil {
 		snap.batch.DistanceBatch(pairs, out)
@@ -154,9 +163,12 @@ type Stats struct {
 	// Served is the total number of requests answered.
 	Served uint64
 	// Batches is the number of DistanceBatch groups issued; Served /
-	// Batches approximates the achieved coalescing factor (≤ 3).
+	// Batches approximates the achieved coalescing factor (≤ 3 via the
+	// shard queues; direct QueryBatch calls count as one group each).
 	Batches uint64
-	// PerShard is the served count of each shard.
+	// PerShard is the served count of each shard. Queries answered
+	// through the direct QueryBatch door are counted in Served and
+	// Batches but belong to no shard.
 	PerShard []uint64
 }
 
@@ -169,6 +181,8 @@ func (s *Server) Stats() Stats {
 		st.Served += n
 		st.Batches += sh.batches.Load()
 	}
+	st.Served += s.direct.Load()
+	st.Batches += s.directBatches.Load()
 	return st
 }
 
@@ -223,12 +237,14 @@ func (s *Server) run(sh *shard) {
 				sh.reqs[i].d = snap.idx.Distance(sh.reqs[i].u, sh.reqs[i].v)
 			}
 		}
+		// Count before replying: once done is signaled, callers may observe
+		// the query as served, and Stats() must not lag behind them.
+		sh.served.Add(uint64(n))
+		sh.batches.Add(1)
 		for i := 0; i < n; i++ {
 			sh.reqs[i].done <- struct{}{}
 			sh.reqs[i] = nil
 		}
-		sh.served.Add(uint64(n))
-		sh.batches.Add(1)
 	}
 }
 

@@ -91,6 +91,10 @@ func TestServerQueryBatch(t *testing.T) {
 				t.Fatalf("%s: batch[%d] = %d, want %d", backend.Name(), i, out[i], want)
 			}
 		}
+		if st := srv.Stats(); st.Served != uint64(len(pairs)) || st.Batches != 1 {
+			t.Fatalf("%s: batch-door stats served=%d batches=%d, want %d/1",
+				backend.Name(), st.Served, st.Batches, len(pairs))
+		}
 		srv.Close()
 	}
 }
