@@ -13,6 +13,7 @@ import (
 	"hublab/internal/approx"
 	"hublab/internal/cover"
 	"hublab/internal/dlabel"
+	"hublab/internal/flowctl"
 	"hublab/internal/gen"
 	"hublab/internal/graph"
 	"hublab/internal/hdim"
@@ -659,6 +660,61 @@ func BenchmarkE18ServerBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		srv.QueryBatch(pairs, out)
+	}
+}
+
+// --- E19: admission-control overhead on the serving hot path ------------
+
+// BenchmarkE19TryQueryAdmitted measures the non-blocking door end to end
+// on the Gnm(10k) index with the fair admission controller attached and
+// the client unthrottled — the common-case cost every admitted request
+// pays (gate, Shed coin flip, enqueue, merge, OnServed decay). Must stay
+// 0 allocs/op.
+func BenchmarkE19TryQueryAdmitted(b *testing.B) {
+	flat, _, pairs := benchQueryGraph10k(b)
+	srv := server.New(index.FromFlat(flat), server.Options{Shards: 1,
+		Admission: &flowctl.Options{}})
+	defer srv.Close()
+	for i := 0; i < 256; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := srv.TryQuery("bench-client", p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := srv.TryQuery("bench-client", p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE19ShedDecision measures the controller's admission decision
+// alone for a saturated (always-shed-path) client — the cost of turning
+// a flooder away, which bounds how cheaply overload is absorbed.
+func BenchmarkE19ShedDecision(b *testing.B) {
+	ctl := flowctl.New(flowctl.Options{})
+	for i := 0; i < 100; i++ {
+		ctl.OnQueueFull("flooder")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl.Shed("flooder")
+	}
+}
+
+// BenchmarkE19ControllerFeedback measures one congestion + one decay
+// update — the bucket CAS loops the queue-pressure feedback pays.
+func BenchmarkE19ControllerFeedback(b *testing.B) {
+	ctl := flowctl.New(flowctl.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl.OnQueueFull("client")
+		ctl.OnServed("client")
 	}
 }
 

@@ -1,5 +1,5 @@
 // Command experiments reproduces every experiment in DESIGN.md's
-// per-experiment index (E1–E12 plus the extension experiments E13–E18),
+// per-experiment index (E1–E12 plus the extension experiments E13–E19),
 // printing one table per experiment. The output of `experiments -run all`
 // is the source of EXPERIMENTS.md.
 //
@@ -25,19 +25,23 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hublab/internal/approx"
 	"hublab/internal/cover"
 	"hublab/internal/dlabel"
+	"hublab/internal/flowctl"
 	"hublab/internal/gen"
 	"hublab/internal/graph"
 	"hublab/internal/hdim"
 	"hublab/internal/hhl"
 	"hublab/internal/hub"
 	"hublab/internal/index"
+	"hublab/internal/index/indextest"
 	"hublab/internal/lbound"
 	"hublab/internal/oracle"
 	"hublab/internal/pll"
@@ -78,6 +82,7 @@ var experiments = []struct {
 	{"E16", "Extension: highway dimension estimates (ADF+16)", e16},
 	{"E17", "Serving: container load vs PLL rebuild", e17},
 	{"E18", "Serving: sharded server throughput vs worker count", e18},
+	{"E19", "Serving: fair admission control under overload", e19},
 }
 
 // cacheDir, when non-empty, holds persisted index containers so repeated
@@ -796,5 +801,249 @@ func e18() error {
 			float64(st.Served)/wall.Seconds(), float64(st.Served)/float64(st.Batches))
 	}
 	fmt.Println("  (throughput scales with shard workers; coalesce ≈ requests per merge group)")
+	return nil
+}
+
+// --- E19: fair admission control under overload --------------------------
+
+// e19Index is the capacity-controlled synthetic backend: every query
+// costs a fixed service time, so capacity = shards / serviceTime and
+// overload is cheap to generate. indextest.Fixed implements no batch
+// path, so coalescing cannot hide the per-request cost.
+func e19Index(delay time.Duration) index.Index {
+	return &indextest.Fixed{N: 2, Delay: delay}
+}
+
+// e19Client is one load generator: workers goroutines sharing one client
+// identity, pacing TryQuery calls at interval each.
+type e19Client struct {
+	id       string
+	interval time.Duration
+	workers  int
+	attempts atomic.Uint64
+	served   atomic.Uint64
+}
+
+// offer runs one pacing worker until stop closes. phase delays the
+// worker's first request so a multi-worker client spreads its load
+// evenly instead of firing synchronized bursts every interval.
+func (c *e19Client) offer(srv *server.Server, stop <-chan struct{}, phase time.Duration) {
+	select {
+	case <-stop:
+		return
+	case <-time.After(phase):
+	}
+	next := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		c.attempts.Add(1)
+		if _, err := srv.TryQuery(c.id, 0, 1); err == nil {
+			c.served.Add(1)
+		}
+		next = next.Add(c.interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		} else {
+			next = time.Now() // overloaded pacer: don't accumulate debt
+		}
+	}
+}
+
+// jain computes Jain's fairness index (Σx)²/(n·Σx²) over the values.
+func jain(xs []float64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// maxminShares water-fills capacity over the measured demands: every
+// client is entitled to its full demand unless that exceeds an equal
+// share of what is left, so small flows are satisfied first and the
+// remainder goes to the big ones. Jain's index over served/share then
+// scores max-min fairness: proportional starvation (everyone gets the
+// same fraction while a flood hogs the queue) correctly scores low.
+func maxminShares(demand []float64, capacity float64) []float64 {
+	type flow struct {
+		i int
+		d float64
+	}
+	order := make([]flow, len(demand))
+	for i, d := range demand {
+		order[i] = flow{i, d}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].d < order[b].d })
+	share := make([]float64, len(demand))
+	remaining := capacity
+	for k, f := range order {
+		level := remaining / float64(len(order)-k)
+		s := f.d
+		if s > level {
+			s = level
+		}
+		share[f.i] = s
+		remaining -= s
+	}
+	return share
+}
+
+// e19 measures goodput and per-client fairness under overload, with and
+// without the flowctl admission controller. Workload: 10 polite clients
+// jointly offering half of capacity, plus one unresponsive heavy client
+// offering the rest of 1×/2×/4× total offered load. Satisfaction is
+// served/offered per client; Jain's index is computed over the
+// satisfaction vector.
+func e19() error {
+	const (
+		svc    = 1 * time.Millisecond
+		shards = 2
+		// Deep enough that "queue rarely full" (what the controller
+		// steers toward) does not mean "queue often empty" (lost
+		// goodput): full and busy are decoupled by the buffer.
+		queue  = 32
+		nLight = 10
+		// The heavy client's concurrent connections must exceed the
+		// shards×queue slots it can occupy (or a closed-loop flood
+		// self-limits below queue-full and no overload ever registers),
+		// and by enough that each worker's pacing interval stays above
+		// the worst-case queue wait — otherwise admitted calls blocking
+		// for a full drain eat into the offered rate.
+		heavyW = 250
+		warmup = 400 * time.Millisecond
+		// Long enough to average out the BLUE feedback oscillation and
+		// scheduler noise on a loaded box.
+		measured = 1500 * time.Millisecond
+	)
+	// Calibrate capacity: saturate the same server shape with blocking
+	// clients (sleep-based service time overshoots on a busy box, so the
+	// nominal shards/svc figure would be optimistic).
+	srv := server.New(e19Index(svc), server.Options{Shards: shards, QueueDepth: queue})
+	var calWG sync.WaitGroup
+	calStop := make(chan struct{})
+	for i := 0; i < 2*shards; i++ {
+		calWG.Add(1)
+		go func() {
+			defer calWG.Done()
+			for {
+				select {
+				case <-calStop:
+					return
+				default:
+					srv.Query(0, 1)
+				}
+			}
+		}()
+	}
+	calDur := 400 * time.Millisecond
+	time.Sleep(calDur)
+	capacity := float64(srv.Stats().Served) / calDur.Seconds()
+	close(calStop)
+	calWG.Wait()
+	srv.Close()
+	fmt.Printf("  synthetic backend: %v/query × %d shards -> measured capacity %.0f q/s\n",
+		svc, shards, capacity)
+
+	fmt.Println("  admission  offered/C  goodput/C  light-sat  heavy-sat   jain   hot  shed%")
+	for _, fair := range []bool{false, true} {
+		for _, mult := range []float64{1, 2, 4} {
+			opts := server.Options{Shards: shards, QueueDepth: queue}
+			if fair {
+				opts.Admission = &flowctl.Options{}
+			}
+			srv := server.New(e19Index(svc), opts)
+			clients := make([]*e19Client, 0, nLight+1)
+			for i := 0; i < nLight; i++ {
+				clients = append(clients, &e19Client{
+					id:       fmt.Sprintf("light-%d", i),
+					interval: time.Duration(float64(2*nLight) / capacity * float64(time.Second)),
+					workers:  1,
+				})
+			}
+			heavyRate := (mult - 0.5) * capacity
+			clients = append(clients, &e19Client{
+				id:       "heavy",
+				interval: time.Duration(float64(heavyW) / heavyRate * float64(time.Second)),
+				workers:  heavyW,
+			})
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for _, c := range clients {
+				for w := 0; w < c.workers; w++ {
+					wg.Add(1)
+					go func(c *e19Client, w int) {
+						defer wg.Done()
+						c.offer(srv, stop, c.interval*time.Duration(w)/time.Duration(c.workers))
+					}(c, w)
+				}
+			}
+			// Warm up past the controller's transient, then measure a
+			// steady-state window by snapshotting the counters around it.
+			time.Sleep(warmup)
+			att0 := make([]uint64, len(clients))
+			srv0 := make([]uint64, len(clients))
+			for i, c := range clients {
+				att0[i] = c.attempts.Load()
+				srv0[i] = c.served.Load()
+			}
+			shed0 := srv.Stats().Shed
+			time.Sleep(measured)
+			sat := make([]float64, len(clients))
+			demand := make([]float64, len(clients))
+			got := make([]float64, len(clients))
+			var offered, served float64
+			for i, c := range clients {
+				a := float64(c.attempts.Load() - att0[i])
+				s := float64(c.served.Load() - srv0[i])
+				offered += a
+				served += s
+				demand[i] = a / measured.Seconds()
+				got[i] = s / measured.Seconds()
+				if a > 0 {
+					sat[i] = s / a
+				}
+			}
+			// Fairness: served rate relative to the max-min fair share of
+			// capacity given the measured demands.
+			shares := maxminShares(demand, capacity)
+			norm := make([]float64, len(clients))
+			for i := range norm {
+				if shares[i] > 0 {
+					norm[i] = got[i] / shares[i]
+				}
+			}
+			st := srv.Stats()
+			close(stop)
+			wg.Wait()
+			srv.Close()
+			lightSat := 0.0
+			for _, x := range sat[:nLight] {
+				lightSat += x
+			}
+			lightSat /= nLight
+			shedPct := 0.0
+			if offered > 0 {
+				shedPct = 100 * float64(st.Shed-shed0) / offered
+			}
+			mode := "none"
+			if fair {
+				mode = "fair"
+			}
+			sec := measured.Seconds()
+			fmt.Printf("  %-9s  %8.2fx  %8.2fx  %9.2f  %9.2f  %5.3f  %4d  %5.1f\n",
+				mode, offered/sec/capacity, served/sec/capacity,
+				lightSat, sat[nLight], jain(norm), st.PerClientHot, shedPct)
+		}
+	}
+	fmt.Println("  (fair: goodput stays ≈capacity and polite clients stay satisfied at 4×;")
+	fmt.Println("   none: first-come queue slots go to the flood and polite clients starve)")
 	return nil
 }

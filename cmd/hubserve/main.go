@@ -5,11 +5,21 @@
 // goroutines coalesce adjacent requests into interleaved-merge batches,
 // and the served index sits behind an atomic snapshot.
 //
+// Overload degrades gracefully instead of blocking or crashing: both
+// front ends submit through the server's non-blocking TryQuery door, and
+// (unless -admission=false) a constant-memory fair admission controller
+// (internal/flowctl) sheds load per client, so one flooding client
+// cannot starve the rest.
+//
 // Two front ends:
 //
 //   - line protocol (default): one "u v" pair per stdin line, answered as
-//     "u v dist" ("inf" when unreachable); "quit" stops.
-//   - HTTP (-http addr): GET /distance?u=U&v=V, plus /stats and /healthz.
+//     "u v dist" ("inf" when unreachable); "BUSY" when the request was
+//     shed under overload; "quit" stops.
+//   - HTTP (-http addr): GET /distance?u=U&v=V (429 + Retry-After under
+//     overload, client identity = remote address), plus /stats and
+//     /healthz. The server carries read/write/idle timeouts so a stalled
+//     client cannot hold a handler goroutine forever.
 //
 // With -graph the input graph is loaded too and every served distance is
 // spot-checkable: -selfcheck n verifies n random queries against
@@ -26,15 +36,19 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"hublab/internal/flowctl"
 	"hublab/internal/graph"
 	"hublab/internal/index"
 	"hublab/internal/server"
@@ -51,6 +65,9 @@ func run() error {
 	graphPath := flag.String("graph", "", "optional graph file for self-checking")
 	httpAddr := flag.String("http", "", "serve HTTP on this address instead of the line protocol")
 	workers := flag.Int("workers", 0, "shard/worker count (0 = number of CPUs)")
+	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+	admission := flag.Bool("admission", true, "fair per-client load shedding under overload")
+	simLatency := flag.Duration("simlatency", 0, "artificial per-query service time, for load and overload testing")
 	selfcheck := flag.Int("selfcheck", 0, "verify this many random queries against graph search before serving (needs -graph)")
 	flag.Parse()
 	if *indexPath == "" {
@@ -82,7 +99,15 @@ func run() error {
 		}
 	}
 
-	srv := server.New(idx, server.Options{Shards: *workers})
+	served := index.Index(idx)
+	if *simLatency > 0 {
+		served = &delayIndex{Index: idx, delay: *simLatency}
+	}
+	opts := server.Options{Shards: *workers, QueueDepth: *queue}
+	if *admission {
+		opts.Admission = &flowctl.Options{}
+	}
+	srv := server.New(served, opts)
 	defer srv.Close()
 
 	if *selfcheck > 0 {
@@ -98,15 +123,38 @@ func run() error {
 	if *httpAddr != "" {
 		return serveHTTP(srv, meta.Vertices, *httpAddr)
 	}
-	return serveLines(srv, meta.Vertices)
+	return serveLines(srv, meta.Vertices, os.Stdin, os.Stdout)
 }
 
-// serveLines answers "u v" query lines from stdin until EOF or "quit".
+// delayIndex adds a fixed service time to every query — a deliberately
+// throttled backend for overload and admission-control testing. It does
+// not implement index.Batcher, so every request pays the delay.
+type delayIndex struct {
+	index.Index
+	delay time.Duration
+}
+
+func (d *delayIndex) Distance(u, v graph.NodeID) graph.Weight {
+	time.Sleep(d.delay)
+	return d.Index.Distance(u, v)
+}
+
+// lineClient identifies the line-protocol connection to the admission
+// controller. Each serveLines call is one connection (stdin today), so a
+// fixed id per call is the per-connection identity.
+var lineConnSeq int
+
+// serveLines answers "u v" query lines from in until EOF or "quit".
 // Each response is flushed immediately so interactive clients that wait
 // for an answer before the next query don't deadlock on the buffer.
-func serveLines(srv *server.Server, n int) error {
-	sc := bufio.NewScanner(os.Stdin)
-	w := bufio.NewWriter(os.Stdout)
+// Overloaded requests answer "BUSY" — the line client's analogue of
+// HTTP 429 — and out-of-range or malformed queries answer an error line
+// instead of panicking the process.
+func serveLines(srv *server.Server, n int, in io.Reader, out io.Writer) error {
+	lineConnSeq++
+	client := fmt.Sprintf("conn-%d", lineConnSeq)
+	sc := bufio.NewScanner(in)
+	w := bufio.NewWriter(out)
 	defer w.Flush()
 	for sc.Scan() {
 		line := sc.Text()
@@ -134,10 +182,15 @@ func serveLines(srv *server.Server, n int) error {
 		case u < 0 || u >= n || v < 0 || v >= n:
 			fmt.Fprintf(w, "error: vertex out of range [0,%d)\n", n)
 		default:
-			d := srv.Query(graph.NodeID(u), graph.NodeID(v))
-			if d >= graph.Infinity {
+			d, err := srv.TryQuery(client, graph.NodeID(u), graph.NodeID(v))
+			switch {
+			case errors.Is(err, server.ErrOverloaded):
+				fmt.Fprintf(w, "BUSY\n")
+			case err != nil:
+				fmt.Fprintf(w, "error: %v\n", err)
+			case d >= graph.Infinity:
 				fmt.Fprintf(w, "%d %d inf\n", u, v)
-			} else {
+			default:
 				fmt.Fprintf(w, "%d %d %d\n", u, v, d)
 			}
 		}
@@ -149,13 +202,41 @@ func serveLines(srv *server.Server, n int) error {
 		return err
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "served %d queries in %d groups across %d shards\n",
-		st.Served, st.Batches, st.Shards)
+	fmt.Fprintf(os.Stderr, "served %d queries in %d groups across %d shards (%d rejected, %d shed)\n",
+		st.Served, st.Batches, st.Shards, st.Rejected, st.Shed)
 	return nil
 }
 
-// serveHTTP exposes /distance, /stats and /healthz.
-func serveHTTP(srv *server.Server, n int, addr string) error {
+// httpTimeouts bound how long a client may hold a connection in each
+// phase; without them a single stalled client (slowloris) pins a handler
+// goroutine forever.
+type httpTimeouts struct {
+	readHeader time.Duration
+	read       time.Duration
+	write      time.Duration
+	idle       time.Duration
+}
+
+var defaultHTTPTimeouts = httpTimeouts{
+	readHeader: 5 * time.Second,
+	read:       10 * time.Second,
+	write:      10 * time.Second,
+	idle:       60 * time.Second,
+}
+
+// clientID extracts the admission-control identity of an HTTP request:
+// the remote host without the ephemeral port, so reconnecting does not
+// reset a flooder's buckets.
+func clientID(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// newMux builds the hubserve HTTP surface over srv (n = vertex count).
+func newMux(srv *server.Server, n int) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/distance", func(w http.ResponseWriter, r *http.Request) {
 		u, errU := strconv.Atoi(r.URL.Query().Get("u"))
@@ -165,7 +246,16 @@ func serveHTTP(srv *server.Server, n int, addr string) error {
 				http.StatusBadRequest)
 			return
 		}
-		d := srv.Query(graph.NodeID(u), graph.NodeID(v))
+		d, err := srv.TryQuery(clientID(r), graph.NodeID(u), graph.NodeID(v))
+		switch {
+		case errors.Is(err, server.ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			return
+		case err != nil: // ErrClosed: the process is on its way out
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if d >= graph.Infinity {
 			fmt.Fprintf(w, `{"u":%d,"v":%d,"distance":null}`+"\n", u, v)
@@ -176,16 +266,35 @@ func serveHTTP(srv *server.Server, n int, addr string) error {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := srv.Stats()
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"shards":%d,"served":%d,"batches":%d}`+"\n", st.Shards, st.Served, st.Batches)
+		fmt.Fprintf(w, `{"shards":%d,"served":%d,"batches":%d,"rejected":%d,"shed":%d,"hot_clients":%d}`+"\n",
+			st.Shards, st.Served, st.Batches, st.Rejected, st.Shed, st.PerClientHot)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	return mux
+}
+
+// newHTTPServer assembles the hubserve http.Server: the mux plus the
+// per-phase timeouts.
+func newHTTPServer(srv *server.Server, n int, addr string, to httpTimeouts) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           newMux(srv, n),
+		ReadHeaderTimeout: to.readHeader,
+		ReadTimeout:       to.read,
+		WriteTimeout:      to.write,
+		IdleTimeout:       to.idle,
+	}
+}
+
+// serveHTTP exposes /distance, /stats and /healthz.
+func serveHTTP(srv *server.Server, n int, addr string) error {
 	fmt.Fprintf(os.Stderr, "serving HTTP on %s\n", addr)
-	hs := &http.Server{Addr: addr, Handler: mux}
+	hs := newHTTPServer(srv, n, addr, defaultHTTPTimeouts)
 	err := hs.ListenAndServe()
 	// ListenAndServe returns on a fatal listener error while handler
-	// goroutines may still be inside srv.Query; drain them before the
+	// goroutines may still be inside srv.TryQuery; drain them before the
 	// deferred srv.Close so its no-query-in-flight contract holds. The
 	// drain is bounded — a stalled client must not wedge the exit.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -20,7 +20,9 @@
 //   - the serving pipeline: a unified Index interface with buildable
 //     backends (BuildIndex, IndexKinds), persistent index containers
 //     (SaveIndex, LoadIndex, WriteContainer, ReadContainer), and the
-//     sharded in-process query service (NewServer).
+//     sharded in-process query service (NewServer) with non-blocking
+//     overload-safe admission (Server.TryQuery, AdmissionOptions,
+//     ErrServerOverloaded).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
@@ -32,6 +34,7 @@ import (
 	"hublab/internal/approx"
 	"hublab/internal/cover"
 	"hublab/internal/dlabel"
+	"hublab/internal/flowctl"
 	"hublab/internal/gen"
 	"hublab/internal/graph"
 	"hublab/internal/hdim"
@@ -248,10 +251,33 @@ type (
 	ContainerOptions = hub.ContainerOptions
 	// Server is the in-process sharded query service: worker goroutines
 	// coalesce request streams into interleaved-merge batches over an
-	// atomically swappable index snapshot.
+	// atomically swappable index snapshot. Trusted callers use the
+	// blocking Query; untrusted traffic goes through TryQuery, which
+	// never blocks on a full queue and returns ErrServerOverloaded /
+	// ErrServerClosed instead of panicking.
 	Server = server.Server
-	// ServerOptions configures NewServer (shard/worker count, queue depth).
+	// ServerOptions configures NewServer (shard/worker count, queue
+	// depth, and the optional Admission controller).
 	ServerOptions = server.Options
+	// ServerStats is the served-traffic snapshot (served/batches plus the
+	// overload counters Rejected, Shed and PerClientHot).
+	ServerStats = server.Stats
+	// AdmissionOptions configures the constant-memory fair admission
+	// controller (Stochastic Fair BLUE flavour) attached through
+	// ServerOptions.Admission: multi-level Bloom-style per-client
+	// shedding probabilities that rise on queue-full events and decay on
+	// successful serves.
+	AdmissionOptions = flowctl.Options
+)
+
+// Serving errors returned by Server.TryQuery.
+var (
+	// ErrServerOverloaded reports a request shed by the admission
+	// controller or bounced off a full shard queue; back off and retry.
+	ErrServerOverloaded = server.ErrOverloaded
+	// ErrServerClosed reports a request issued after (or concurrent
+	// with) Server.Close.
+	ErrServerClosed = server.ErrClosed
 )
 
 // BuildIndex constructs a registered index backend ("matrix",

@@ -1,8 +1,48 @@
 package hublab
 
 import (
+	"errors"
 	"testing"
 )
+
+// TestFacadeServing drives the serving surface through the re-exported
+// API: build an index, serve it with fair admission enabled, query
+// through both doors, and check the overload errors and counters are
+// reachable from the facade.
+func TestFacadeServing(t *testing.T) {
+	g, err := GenerateGnm(150, 270, 7)
+	if err != nil {
+		t.Fatalf("GenerateGnm: %v", err)
+	}
+	idx, err := BuildIndex("hub-labels", g, IndexOptions{Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	srv := NewServer(idx, ServerOptions{Shards: 2, Admission: &AdmissionOptions{}})
+	want := ShortestDistance(g, 4, 140)
+	if got := srv.Query(4, 140); got != want {
+		t.Errorf("Query = %d, want %d", got, want)
+	}
+	d, err := srv.TryQuery("facade-client", 4, 140)
+	if err != nil || d != want {
+		t.Errorf("TryQuery = %d, %v, want %d, nil", d, err, want)
+	}
+	// Hostile ids degrade to Infinity through every layer.
+	if d, err := srv.TryQuery("facade-client", -3, 9999); err != nil || d != Infinity {
+		t.Errorf("TryQuery(hostile) = %d, %v, want Infinity, nil", d, err)
+	}
+	var st ServerStats = srv.Stats()
+	if st.Served != 3 || st.Rejected != 0 || st.Shed != 0 {
+		t.Errorf("Stats = %+v, want 3 served and clean overload counters", st)
+	}
+	srv.Close()
+	if _, err := srv.TryQuery("facade-client", 1, 2); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("TryQuery after Close: %v, want ErrServerClosed", err)
+	}
+	if !errors.Is(ErrServerOverloaded, ErrServerOverloaded) {
+		t.Error("ErrServerOverloaded lost identity through the facade")
+	}
+}
 
 // TestFacadeQuickstart exercises the re-exported API end to end the way the
 // README's quickstart does.

@@ -1,0 +1,340 @@
+// Package flowctl is a constant-memory fair admission controller for the
+// serving layer, in the spirit of Stochastic Fair BLUE (Feng et al.):
+// each client identity hashes into one bucket per level across L
+// independent levels of B buckets, and every bucket holds a shedding
+// probability that rises when the client's traffic hits a full queue and
+// decays as its requests are served. A client's drop probability is the
+// MINIMUM over its L buckets: a heavy client saturates all of its
+// buckets, while a light client that shares some buckets with a heavy
+// one keeps at least one uncontended bucket (with probability
+// 1-(1/B)^L per heavy flow) and stays unthrottled.
+//
+// State is L×B fixed-point probabilities regardless of the number of
+// clients — there is no per-client map to grow, evict, or lock. All
+// operations are lock-free (atomic CAS on the buckets) and allocation
+// free, so the controller can sit directly on the per-request serving
+// hot path.
+package flowctl
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// probOne is the fixed-point representation of probability 1.0. Bucket
+// probabilities live in [0, probOne] inside an atomic uint32.
+const probOne = 1 << 24
+
+// Defaults for Options fields left zero.
+const (
+	DefaultLevels  = 3
+	DefaultBuckets = 256
+	DefaultInc     = 0.05
+	DefaultDec     = 0.01
+	DefaultMaxDrop = 0.98
+)
+
+// Options configures a Controller. The zero value selects the defaults,
+// which suit a per-process serving layer with up to a few thousand
+// concurrently active client identities.
+type Options struct {
+	// Levels is the number of independent hash levels (L). More levels
+	// shrink the false-positive probability of a light client sharing
+	// every bucket with heavy ones. Default 3.
+	Levels int
+	// Buckets is the number of buckets per level (B), rounded up to a
+	// power of two. Memory is Levels×Buckets×4 bytes. Default 256.
+	Buckets int
+	// Inc is the probability added to each of a client's buckets when
+	// one of its requests finds every queue slot taken (the congestion
+	// signal). Default 0.05.
+	Inc float64
+	// Dec is the probability subtracted from each of a client's buckets
+	// when one of its requests is served — the decay schedule. Inc should
+	// clearly exceed Dec (the defaults are 5×): throttle quickly when
+	// queues overflow, recover more cautiously to avoid retry storms.
+	// Dec/(Dec+Inc) is also the queue-full fraction the feedback loop
+	// steers toward under sustained overload. Default 0.01.
+	Dec float64
+	// MaxDrop caps every bucket's probability below 1 so a saturated
+	// client keeps a trickle of admitted probes; those successes are what
+	// decays its buckets back down once the overload ends (a bucket
+	// pinned at 1.0 would starve its flows forever). Default 0.98.
+	MaxDrop float64
+	// Freeze, when positive, is BLUE's freeze time applied to the
+	// congestion side: after a bucket is incremented, further increments
+	// to it are ignored for this long, bounding the ramp rate during
+	// event bursts. It is OFF by default and best left off when clients
+	// differ mostly in rate: per-event increments penalize each flow in
+	// proportion to its arrival rate (a flooder overflows queues orders
+	// of magnitude more often than a polite client), and a freeze window
+	// erases exactly that proportionality — within one window the
+	// flooder and a polite client each absorb at most one increment.
+	// Decay is never frozen; it is already bounded by the serve rate.
+	Freeze time.Duration
+	// Seed perturbs the bucket hash so restarts (or controller pairs)
+	// pick different collision patterns. Zero is a valid fixed seed.
+	Seed uint64
+}
+
+// Controller is the shared admission state. All methods are safe for
+// concurrent use and never allocate.
+type Controller struct {
+	levels  int
+	mask    uint32 // buckets-1, buckets a power of two
+	shift   uint   // log2(buckets)
+	inc     uint32
+	dec     uint32
+	maxDrop uint32
+	seed    uint64
+	freeze  int64 // nanoseconds; 0 = disabled
+	// p holds levels runs of buckets fixed-point probabilities.
+	p []atomic.Uint32
+	// lastInc holds, per bucket, the UnixNano time of its last applied
+	// increment (only allocated when the freeze is enabled).
+	lastInc []atomic.Int64
+	// rng is the lock-free state of the admission coin flips.
+	rng atomic.Uint64
+}
+
+// New returns a controller for the given options, applying defaults to
+// zero fields. It panics on nonsensical options (negative rates, rates
+// above one) — controller parameters are programmer-chosen constants,
+// not runtime input.
+func New(opts Options) *Controller {
+	if opts.Levels == 0 {
+		opts.Levels = DefaultLevels
+	}
+	if opts.Buckets == 0 {
+		opts.Buckets = DefaultBuckets
+	}
+	if opts.Inc == 0 {
+		opts.Inc = DefaultInc
+	}
+	if opts.Dec == 0 {
+		opts.Dec = DefaultDec
+	}
+	if opts.MaxDrop == 0 {
+		opts.MaxDrop = DefaultMaxDrop
+	}
+	if opts.Levels < 0 || opts.Buckets < 0 {
+		panic(fmt.Sprintf("flowctl: negative shape %d levels × %d buckets", opts.Levels, opts.Buckets))
+	}
+	if opts.Inc < 0 || opts.Inc > 1 || opts.Dec < 0 || opts.Dec > 1 || opts.MaxDrop < 0 || opts.MaxDrop > 1 {
+		panic(fmt.Sprintf("flowctl: rates out of [0,1]: inc=%v dec=%v maxDrop=%v", opts.Inc, opts.Dec, opts.MaxDrop))
+	}
+	buckets := 1 << bits.Len(uint(opts.Buckets-1)) // round up to power of two
+	if buckets < 1 {
+		buckets = 1
+	}
+	c := &Controller{
+		levels:  opts.Levels,
+		mask:    uint32(buckets - 1),
+		shift:   uint(bits.TrailingZeros(uint(buckets))),
+		inc:     fixed(opts.Inc),
+		dec:     fixed(opts.Dec),
+		maxDrop: fixed(opts.MaxDrop),
+		seed:    opts.Seed,
+		p:       make([]atomic.Uint32, opts.Levels*buckets),
+	}
+	if opts.Freeze > 0 {
+		c.freeze = int64(opts.Freeze)
+		c.lastInc = make([]atomic.Int64, opts.Levels*buckets)
+	}
+	c.rng.Store(opts.Seed ^ 0x9e3779b97f4a7c15)
+	return c
+}
+
+// fixed converts a probability in [0,1] to the fixed-point bucket scale.
+func fixed(p float64) uint32 {
+	v := math.Round(p * probOne)
+	if v > probOne {
+		v = probOne
+	}
+	if v < 0 {
+		v = 0
+	}
+	return uint32(v)
+}
+
+// hash is 64-bit FNV-1a over the client id, folded with the controller
+// seed and passed through a finalizing mixer. Operating directly on the
+// string bytes keeps it allocation free. The mixer matters: the bucket
+// derivation consumes only log2(B) bits from each half of the hash, and
+// raw FNV-1a has no final avalanche, so similar ids (sequential
+// addresses, "conn-1"/"conn-2") would collide across every level far
+// above the ideal rate.
+func (c *Controller) hash(client string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ c.seed
+	for i := 0; i < len(client); i++ {
+		h ^= uint64(client[i])
+		h *= prime64
+	}
+	// splitmix64 finalizer: full avalanche into both 32-bit halves.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// bucket returns the index into c.p of client's bucket at the given
+// level, using the two-hash derivation h_i = h1 + i·h2 (Kirsch &
+// Mitzenmacher) so one 64-bit hash yields all levels. h2 is forced odd
+// so successive levels permute rather than collapse.
+func (c *Controller) bucket(h uint64, level int) int {
+	h1 := uint32(h)
+	h2 := uint32(h>>32) | 1
+	return level<<c.shift + int((h1+uint32(level)*h2)&c.mask)
+}
+
+// probFixed returns the client's current drop probability in fixed
+// point: the minimum over its buckets.
+func (c *Controller) probFixed(h uint64) uint32 {
+	min := uint32(probOne)
+	for l := 0; l < c.levels; l++ {
+		if p := c.p[c.bucket(h, l)].Load(); p < min {
+			min = p
+		}
+	}
+	return min
+}
+
+// Shed reports whether one request from client should be dropped now,
+// flipping a coin against the client's current drop probability. It is
+// the admission decision and performs no bucket updates — congestion
+// and service feedback arrive through OnQueueFull and OnServed.
+func (c *Controller) Shed(client string) bool {
+	p := c.probFixed(c.hash(client))
+	if p == 0 {
+		return false
+	}
+	// splitmix64 on an atomic counter: cheap, lock-free, well mixed.
+	x := c.rng.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint32(x)&(probOne-1) < p
+}
+
+// OnQueueFull records that a request from client found its queue full —
+// the congestion signal. Every one of the client's buckets moves up by
+// Inc (saturating at MaxDrop), so a flow only reaches a high drop
+// probability by overflowing queues from every one of its buckets. With
+// a freeze time configured, a bucket absorbs at most one increment per
+// freeze window regardless of how fast the queue emits full events.
+func (c *Controller) OnQueueFull(client string) {
+	h := c.hash(client)
+	now := int64(0)
+	if c.freeze > 0 {
+		now = time.Now().UnixNano()
+	}
+	for l := 0; l < c.levels; l++ {
+		i := c.bucket(h, l)
+		if c.freeze > 0 {
+			last := c.lastInc[i].Load()
+			if now-last < c.freeze || !c.lastInc[i].CompareAndSwap(last, now) {
+				continue // frozen, or another event just claimed this window
+			}
+		}
+		b := &c.p[i]
+		for {
+			old := b.Load()
+			next := old + c.inc
+			if next > c.maxDrop || next < old { // saturate (and guard wrap)
+				next = c.maxDrop
+			}
+			if old == next || b.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+}
+
+// OnServed records that a request from client was served — the decay
+// signal. Every one of the client's buckets moves down by Dec (flooring
+// at zero), so probabilities relax as soon as the flow's admitted
+// traffic fits the queues again.
+func (c *Controller) OnServed(client string) {
+	h := c.hash(client)
+	for l := 0; l < c.levels; l++ {
+		b := &c.p[c.bucket(h, l)]
+		for {
+			old := b.Load()
+			if old == 0 {
+				break
+			}
+			next := old - c.dec
+			if next > old { // underflow
+				next = 0
+			}
+			if b.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+}
+
+// Probability returns client's current drop probability in [0,1] — the
+// minimum over its buckets. Intended for tests, stats and experiments;
+// the serving path uses Shed.
+func (c *Controller) Probability(client string) float64 {
+	return float64(c.probFixed(c.hash(client))) / probOne
+}
+
+// hotFixed is the bucket probability at and above which a bucket counts
+// as hot in Stats: one half.
+const hotFixed = probOne / 2
+
+// Stats is a point-in-time summary of the controller state.
+type Stats struct {
+	// Levels and Buckets echo the configured shape (buckets after
+	// power-of-two rounding).
+	Levels, Buckets int
+	// HotFlows estimates the number of distinct throttled flows: every
+	// throttled flow holds a bucket at probability ≥ ½ in each level, so
+	// the minimum per-level count of such buckets bounds the estimate
+	// (collisions can only merge hot buckets, never split them).
+	HotFlows int
+	// MaxDrop is the largest drop probability any bucket currently
+	// holds.
+	MaxDrop float64
+}
+
+// Stats scans the buckets (L×B loads) and summarizes them.
+func (c *Controller) Stats() Stats {
+	st := Stats{Levels: c.levels, Buckets: int(c.mask) + 1}
+	var maxP uint32
+	minHot := math.MaxInt
+	for l := 0; l < c.levels; l++ {
+		hot := 0
+		for b := 0; b <= int(c.mask); b++ {
+			p := c.p[l<<c.shift+b].Load()
+			if p > maxP {
+				maxP = p
+			}
+			if p >= hotFixed {
+				hot++
+			}
+		}
+		if hot < minHot {
+			minHot = hot
+		}
+	}
+	if c.levels == 0 {
+		minHot = 0
+	}
+	st.HotFlows = minHot
+	st.MaxDrop = float64(maxP) / probOne
+	return st
+}

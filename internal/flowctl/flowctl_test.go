@@ -1,0 +1,254 @@
+package flowctl
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDefaults checks that the zero Options value selects the documented
+// defaults and a usable controller.
+func TestDefaults(t *testing.T) {
+	c := New(Options{})
+	if c.levels != DefaultLevels {
+		t.Errorf("levels = %d, want %d", c.levels, DefaultLevels)
+	}
+	if got := int(c.mask) + 1; got != DefaultBuckets {
+		t.Errorf("buckets = %d, want %d", got, DefaultBuckets)
+	}
+	if c.Shed("anyone") {
+		t.Error("fresh controller sheds traffic")
+	}
+	if p := c.Probability("anyone"); p != 0 {
+		t.Errorf("fresh probability = %v, want 0", p)
+	}
+}
+
+// TestBucketRounding checks the power-of-two rounding of Buckets.
+func TestBucketRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {200, 256}, {256, 256}, {257, 512},
+	} {
+		c := New(Options{Buckets: tc.in})
+		if got := int(c.mask) + 1; got != tc.want {
+			t.Errorf("Buckets %d rounds to %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestBadOptionsPanic pins the programmer-error panics.
+func TestBadOptionsPanic(t *testing.T) {
+	for _, opts := range []Options{
+		{Inc: -0.5},
+		{Inc: 1.5},
+		{Dec: 2},
+		{MaxDrop: -1},
+		{Levels: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", opts)
+				}
+			}()
+			New(opts)
+		}()
+	}
+}
+
+// TestSaturationAndDecay walks one client through the BLUE feedback
+// cycle: queue-full events saturate its probability at MaxDrop, served
+// requests decay it back to zero.
+func TestSaturationAndDecay(t *testing.T) {
+	c := New(Options{Inc: 0.1, Dec: 0.01, MaxDrop: 0.9})
+	const client = "heavy"
+	for i := 0; i < 100; i++ {
+		c.OnQueueFull(client)
+	}
+	if p := c.Probability(client); p < 0.89 || p > 0.9+1e-9 {
+		t.Fatalf("saturated probability = %v, want ≈0.9", p)
+	}
+	// MaxDrop < 1: the client must keep a trickle of admitted probes.
+	admitted := 0
+	for i := 0; i < 5000; i++ {
+		if !c.Shed(client) {
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		t.Error("saturated client fully starved; MaxDrop cap not applied")
+	}
+	if admitted > 5000/2 {
+		t.Errorf("saturated client admitted %d/5000, want ≈10%%", admitted)
+	}
+	for i := 0; i < 100; i++ {
+		c.OnServed(client)
+	}
+	if p := c.Probability(client); p != 0 {
+		t.Errorf("decayed probability = %v, want 0", p)
+	}
+	if c.Shed(client) {
+		t.Error("decayed client still shed")
+	}
+}
+
+// TestFreezeRateLimitsIncrements checks BLUE's freeze time: a burst of
+// queue-full events lands at most one increment per bucket per window.
+func TestFreezeRateLimitsIncrements(t *testing.T) {
+	c := New(Options{Inc: 0.1, Freeze: time.Hour})
+	for i := 0; i < 50; i++ {
+		c.OnQueueFull("bursty")
+	}
+	if p := c.Probability("bursty"); p < 0.1-1e-6 || p > 0.1+1e-6 {
+		t.Errorf("probability after frozen burst = %v, want exactly one 0.1 increment", p)
+	}
+	// Decay is not frozen.
+	for i := 0; i < 100; i++ {
+		c.OnServed("bursty")
+	}
+	if p := c.Probability("bursty"); p != 0 {
+		t.Errorf("probability after decay = %v, want 0", p)
+	}
+}
+
+// TestMinOverBuckets is the fairness core: a heavy client saturating its
+// buckets must not drag light clients with it unless a light client
+// collides in EVERY level.
+func TestMinOverBuckets(t *testing.T) {
+	c := New(Options{Levels: 3, Buckets: 64})
+	for i := 0; i < 1000; i++ {
+		c.OnQueueFull("attacker")
+	}
+	if p := c.Probability("attacker"); p < 0.9 {
+		t.Fatalf("attacker probability = %v, want ≈MaxDrop", p)
+	}
+	// With 3 levels of 64 buckets, a single heavy flow pollutes one
+	// bucket per level; the chance a given light client collides in all
+	// three is 64^-3 ≈ 4e-6. Spot-check many distinct light ids.
+	throttled := 0
+	for i := 0; i < 500; i++ {
+		if c.Probability(fmt.Sprintf("light-%d", i)) > 0 {
+			throttled++
+		}
+	}
+	if throttled > 0 {
+		t.Errorf("%d/500 light clients inherit the attacker's probability", throttled)
+	}
+}
+
+// TestStatsHotFlows checks the hot-flow estimate: two saturated flows,
+// hundreds of clean ones.
+func TestStatsHotFlows(t *testing.T) {
+	c := New(Options{Levels: 3, Buckets: 128})
+	for i := 0; i < 200; i++ {
+		c.OnQueueFull("hot-a")
+		c.OnQueueFull("hot-b")
+	}
+	for i := 0; i < 300; i++ {
+		c.OnServed(fmt.Sprintf("cold-%d", i))
+	}
+	st := c.Stats()
+	if st.HotFlows < 1 || st.HotFlows > 2 {
+		t.Errorf("HotFlows = %d, want 1..2 (collisions may merge the two)", st.HotFlows)
+	}
+	if st.MaxDrop < 0.9 {
+		t.Errorf("MaxDrop = %v, want ≈0.98", st.MaxDrop)
+	}
+	if st.Levels != 3 || st.Buckets != 128 {
+		t.Errorf("shape = %d×%d, want 3×128", st.Levels, st.Buckets)
+	}
+}
+
+// TestShedFrequency checks the coin flip tracks the bucket probability.
+func TestShedFrequency(t *testing.T) {
+	c := New(Options{Inc: 0.25, MaxDrop: 0.5})
+	c.OnQueueFull("c") // p = 0.25
+	shed := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if c.Shed("c") {
+			shed++
+		}
+	}
+	got := float64(shed) / n
+	if got < 0.22 || got > 0.28 {
+		t.Errorf("shed fraction = %v, want ≈0.25", got)
+	}
+}
+
+// TestConcurrentUpdates hammers all operations from many goroutines; run
+// under -race this pins the lock-free bucket updates.
+func TestConcurrentUpdates(t *testing.T) {
+	c := New(Options{Levels: 2, Buckets: 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("client-%d", g%4)
+			for i := 0; i < 2000; i++ {
+				switch i % 4 {
+				case 0:
+					c.OnQueueFull(id)
+				case 1, 2:
+					c.OnServed(id)
+				default:
+					c.Shed(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.MaxDrop < 0 || st.MaxDrop > 1 {
+		t.Errorf("MaxDrop out of range after concurrent updates: %v", st.MaxDrop)
+	}
+}
+
+// FuzzBucketHash feeds arbitrary client identities and seeds through the
+// bucket derivation and the update cycle: indices must stay in range
+// (the updates would panic otherwise), be deterministic for equal
+// inputs, and the probability invariants must hold for any id —
+// including empty and non-UTF-8 ones.
+func FuzzBucketHash(f *testing.F) {
+	f.Add("", uint64(0))
+	f.Add("10.0.0.1", uint64(1))
+	f.Add("conn-42", uint64(0xdeadbeef))
+	f.Add(string([]byte{0xff, 0x00, 0xfe}), uint64(7))
+	f.Fuzz(func(t *testing.T, client string, seed uint64) {
+		c := New(Options{Levels: 4, Buckets: 32, Seed: seed})
+		h := c.hash(client)
+		if h != c.hash(client) {
+			t.Fatal("hash not deterministic")
+		}
+		for l := 0; l < c.levels; l++ {
+			idx := c.bucket(h, l)
+			lo, hi := l*(int(c.mask)+1), (l+1)*(int(c.mask)+1)
+			if idx < lo || idx >= hi {
+				t.Fatalf("level %d bucket %d outside its level range [%d,%d)", l, idx, lo, hi)
+			}
+			if idx != c.bucket(h, l) {
+				t.Fatalf("level %d bucket not deterministic", l)
+			}
+		}
+		c.OnQueueFull(client)
+		p1 := c.Probability(client)
+		if p1 <= 0 || p1 > 1 {
+			t.Fatalf("probability after one congestion event = %v, want (0,1]", p1)
+		}
+		for i := 0; i < 200; i++ {
+			c.OnQueueFull(client)
+		}
+		if p := c.Probability(client); p > float64(c.maxDrop)/probOne+1e-9 {
+			t.Fatalf("probability %v exceeds MaxDrop", p)
+		}
+		for i := 0; i < 10000; i++ {
+			c.OnServed(client)
+		}
+		if p := c.Probability(client); p != 0 {
+			t.Fatalf("probability after full decay = %v, want 0", p)
+		}
+		c.Shed(client) // must not panic for any id
+	})
+}

@@ -48,8 +48,21 @@ func NewMatrix(g *graph.Graph) (*Matrix, error) {
 	return &Matrix{dist: sssp.AllPairs(g)}, nil
 }
 
-// Distance looks up the precomputed entry.
-func (m *Matrix) Distance(u, v graph.NodeID) graph.Weight { return m.dist[u][v] }
+// Distance looks up the precomputed entry. Out-of-range ids return
+// Infinity: the serving doors pass client-supplied ids straight through,
+// and a hostile id must degrade to "unreachable", never panic the
+// process.
+func (m *Matrix) Distance(u, v graph.NodeID) graph.Weight {
+	if !inRange(u, v, len(m.dist)) {
+		return graph.Infinity
+	}
+	return m.dist[u][v]
+}
+
+// inRange reports whether both ids name vertices of an n-vertex index.
+func inRange(u, v graph.NodeID, n int) bool {
+	return u >= 0 && int(u) < n && v >= 0 && int(v) < n
+}
 
 // SpaceBytes counts 4 bytes per matrix entry.
 func (m *Matrix) SpaceBytes() int64 {
@@ -95,8 +108,12 @@ func NewHubLabelsFrom(l *hub.Labeling) *HubLabels { return &HubLabels{l: l, f: l
 // container) without ever materializing the mutable form.
 func FromFlat(f *hub.FlatLabeling) *HubLabels { return &HubLabels{f: f} }
 
-// Distance decodes from the two labels.
+// Distance decodes from the two labels. Out-of-range ids return
+// Infinity rather than indexing outside the flat offsets array.
 func (x *HubLabels) Distance(u, v graph.NodeID) graph.Weight {
+	if !inRange(u, v, x.f.NumVertices()) {
+		return graph.Infinity
+	}
 	d, ok := x.f.Query(u, v)
 	if !ok {
 		return graph.Infinity
@@ -105,7 +122,18 @@ func (x *HubLabels) Distance(u, v graph.NodeID) graph.Weight {
 }
 
 // DistanceBatch answers pairs[k] into out[k] with the interleaved merge.
+// A batch containing out-of-range ids falls back to the bounds-checked
+// scalar path (the common all-valid case pays one cheap scan).
 func (x *HubLabels) DistanceBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
+	n := x.f.NumVertices()
+	for _, p := range pairs {
+		if !inRange(p[0], p[1], n) {
+			for i, q := range pairs {
+				out[i] = x.Distance(q[0], q[1])
+			}
+			return
+		}
+	}
 	x.f.QueryBatch(pairs, out)
 }
 
@@ -148,8 +176,12 @@ var _ Index = (*Search)(nil)
 // NewSearch wraps the graph.
 func NewSearch(g *graph.Graph) *Search { return &Search{g: g} }
 
-// Distance runs a bidirectional search.
+// Distance runs a bidirectional search. Out-of-range ids return
+// Infinity, matching the other backends.
 func (x *Search) Distance(u, v graph.NodeID) graph.Weight {
+	if !inRange(u, v, x.g.NumNodes()) {
+		return graph.Infinity
+	}
 	return sssp.Distance(x.g, u, v)
 }
 

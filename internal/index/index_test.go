@@ -93,6 +93,49 @@ func TestHubLabelsBatchMatchesScalar(t *testing.T) {
 	}
 }
 
+// TestDistanceOutOfRange pins the serving-door hardening: every backend
+// must answer Infinity for ids outside [0, n) — hubserve passes
+// client-supplied ids through, and before this guard a negative or ≥n id
+// panicked inside Matrix.dist[u][v] / the flat-label offsets.
+func TestDistanceOutOfRange(t *testing.T) {
+	g, err := gen.Gnm(60, 110, 9)
+	if err != nil {
+		t.Fatalf("Gnm: %v", err)
+	}
+	n := graph.NodeID(g.NumNodes())
+	hostile := [][2]graph.NodeID{
+		{-1, 0}, {0, -1}, {n, 0}, {0, n}, {n + 100, n + 100},
+		{-1 << 30, 3}, {3, 1<<31 - 1},
+	}
+	for _, kind := range Kinds() {
+		idx, err := Build(kind, g, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", kind, err)
+		}
+		for _, p := range hostile {
+			if got := idx.Distance(p[0], p[1]); got != graph.Infinity {
+				t.Errorf("%s.Distance(%d,%d) = %d, want Infinity", kind, p[0], p[1], got)
+			}
+		}
+		// In-range queries must be unaffected by the guard.
+		if got, want := idx.Distance(0, 0), graph.Weight(0); got != want {
+			t.Errorf("%s.Distance(0,0) = %d, want %d", kind, got, want)
+		}
+		if b, ok := idx.(Batcher); ok {
+			// A batch mixing hostile and valid pairs must answer both.
+			pairs := [][2]graph.NodeID{{0, 1}, {-5, n + 7}, {2, 3}}
+			out := make([]graph.Weight, len(pairs))
+			b.DistanceBatch(pairs, out)
+			if out[1] != graph.Infinity {
+				t.Errorf("%s batch hostile pair = %d, want Infinity", kind, out[1])
+			}
+			if out[0] != idx.Distance(0, 1) || out[2] != idx.Distance(2, 3) {
+				t.Errorf("%s batch valid pairs disturbed by hostile neighbor", kind)
+			}
+		}
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	g, err := gen.Gnm(150, 270, 5)
 	if err != nil {

@@ -1,0 +1,62 @@
+// Package indextest provides a tiny synthetic index.Index for tests,
+// benchmarks and load experiments: deterministic answers with an exactly
+// controllable service time, so serving-layer behavior (queueing,
+// overload, admission control) can be exercised without building a real
+// labeling.
+package indextest
+
+import (
+	"sync/atomic"
+	"time"
+
+	"hublab/internal/graph"
+	"hublab/internal/index"
+)
+
+// Fixed answers Distance(u, v) = |u-v| over N vertices (Infinity for
+// out-of-range ids). It deliberately implements no batch path, so every
+// request through a server pays the full per-query cost.
+//
+// Two optional controls shape the service time: Delay adds a fixed
+// sleep per query (a capacity-controlled backend: capacity =
+// workers/Delay), and Gate, when non-nil, blocks every query until the
+// channel is closed (a backend the test holds shut for as long as it
+// needs the serving queues saturated). Started counts queries that have
+// entered Distance, so tests can wait until a worker is verifiably busy.
+type Fixed struct {
+	N       int
+	Delay   time.Duration
+	Gate    <-chan struct{}
+	Started atomic.Uint64
+}
+
+var _ index.Index = (*Fixed)(nil)
+
+// Distance implements index.Index.
+func (f *Fixed) Distance(u, v graph.NodeID) graph.Weight {
+	f.Started.Add(1)
+	if f.Gate != nil {
+		<-f.Gate
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if u < 0 || int(u) >= f.N || v < 0 || int(v) >= f.N {
+		return graph.Infinity
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return graph.Weight(v - u)
+}
+
+// SpaceBytes implements index.Index.
+func (f *Fixed) SpaceBytes() int64 { return 0 }
+
+// Name implements index.Index.
+func (f *Fixed) Name() string { return "fixed" }
+
+// Meta implements index.Index.
+func (f *Fixed) Meta() index.Meta {
+	return index.Meta{Kind: "fixed", Vertices: f.N, QueryOps: 1}
+}

@@ -10,18 +10,36 @@
 // request envelopes (including their reply channels) are pooled, shard
 // routing is a single atomic round-robin tick, and every worker reuses
 // its batch buffers across groups.
+//
+// Two doors exist. Query blocks until served and is for trusted
+// in-process callers; TryQuery never blocks on a full queue and never
+// panics — it returns ErrOverloaded/ErrClosed — and, with
+// Options.Admission set, consults a constant-memory fair admission
+// controller (internal/flowctl) so overload is shed per-client instead
+// of starving whoever queues last.
 package server
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
+	"hublab/internal/flowctl"
 	"hublab/internal/graph"
 	"hublab/internal/index"
 	"hublab/internal/par"
 )
+
+// ErrOverloaded reports that a request was not admitted: either its
+// shard queue was full, or the admission controller shed it to protect
+// the queues. Callers should back off (HTTP front ends translate it to
+// 429 + Retry-After).
+var ErrOverloaded = errors.New("server: overloaded")
+
+// ErrClosed reports a request issued after (or concurrent with) Close.
+var ErrClosed = errors.New("server: closed")
 
 // batchSize is how many adjacent requests a shard coalesces into one
 // DistanceBatch call. Three matches the stream count of the interleaved
@@ -37,6 +55,12 @@ type Options struct {
 	Shards int
 	// QueueDepth is the per-shard request buffer (default 64).
 	QueueDepth int
+	// Admission, when non-nil, attaches a flowctl fair admission
+	// controller to the TryQuery door: clients whose traffic overflows
+	// the shard queues are probabilistically shed at the door (counted in
+	// Stats.Shed) instead of racing everyone else for queue slots.
+	// Blocking Query calls bypass the controller.
+	Admission *flowctl.Options
 }
 
 // Server shards query streams over worker goroutines against an
@@ -48,6 +72,15 @@ type Server struct {
 	pool    sync.Pool
 	wg      sync.WaitGroup
 	closing atomic.Bool
+	// active counts submissions between acquire and release; Close waits
+	// for it to drain before closing the shard channels, so a submit can
+	// never race a channel close (drained carries the wake-up signal).
+	active  atomic.Int64
+	drained chan struct{}
+	// ctl is the optional fair admission controller of the TryQuery door.
+	ctl      *flowctl.Controller
+	rejected atomic.Uint64
+	shed     atomic.Uint64
 	// Traffic through the direct QueryBatch door, which bypasses the
 	// shard queues and their per-shard counters.
 	direct        atomic.Uint64
@@ -89,7 +122,10 @@ func New(idx index.Index, opts Options) *Server {
 	if depth <= 0 {
 		depth = 64
 	}
-	s := &Server{shards: make([]*shard, shards)}
+	s := &Server{shards: make([]*shard, shards), drained: make(chan struct{}, 1)}
+	if opts.Admission != nil {
+		s.ctl = flowctl.New(*opts.Admission)
+	}
 	s.snap.Store(newSnapshot(idx))
 	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	for i := range s.shards {
@@ -109,25 +145,102 @@ func newSnapshot(idx index.Index) *snapshot {
 	return ns
 }
 
+// acquire registers a submission against the close gate. It returns
+// false when the server is closing: after closing flips, every acquire
+// backs out, so once active drains to zero no submission can ever touch
+// the shard channels again and Close may close them safely.
+func (s *Server) acquire() bool {
+	if s.closing.Load() {
+		return false
+	}
+	s.active.Add(1)
+	if s.closing.Load() { // re-check: Close may have begun between the two
+		s.release()
+		return false
+	}
+	return true
+}
+
+// release undoes acquire and wakes a draining Close when the last
+// in-flight submission leaves.
+func (s *Server) release() {
+	if s.active.Add(-1) == 0 && s.closing.Load() {
+		select {
+		case s.drained <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // Query answers one exact distance query, blocking until a shard worker
-// serves it. It is safe for any number of concurrent callers and
-// allocates nothing in steady state. Query must not be called after (or
-// concurrently with) Close.
+// serves it — even when that means waiting for a queue slot. It is safe
+// for any number of concurrent callers and allocates nothing in steady
+// state. Calling Query after (or concurrent with) Close is a programmer
+// error and panics with a descriptive message; servers exposed to
+// traffic they do not control should use TryQuery, which returns
+// ErrClosed instead.
 func (s *Server) Query(u, v graph.NodeID) graph.Weight {
+	d, err := s.submit("", u, v, true)
+	if err != nil {
+		panic("server: Query called after Close (use TryQuery for a graceful ErrClosed)")
+	}
+	return d
+}
+
+// TryQuery is the non-blocking admission door for untrusted traffic: it
+// never waits for a queue slot and never panics. client identifies the
+// caller for fair load shedding (remote address, connection id, tenant —
+// any stable string). It returns ErrOverloaded when the request was shed
+// by the admission controller or found its shard queue full, and
+// ErrClosed after Close; an admitted request still blocks until its
+// answer is computed. Zero allocations in steady state.
+func (s *Server) TryQuery(client string, u, v graph.NodeID) (graph.Weight, error) {
+	return s.submit(client, u, v, false)
+}
+
+// submit is the common door: gate against Close, optionally consult the
+// admission controller, enqueue (blocking or not), await the answer.
+func (s *Server) submit(client string, u, v graph.NodeID, block bool) (graph.Weight, error) {
+	if !s.acquire() {
+		return graph.Infinity, ErrClosed
+	}
+	defer s.release()
+	if !block && s.ctl != nil && s.ctl.Shed(client) {
+		s.shed.Add(1)
+		return graph.Infinity, ErrOverloaded
+	}
 	r := s.pool.Get().(*request)
 	r.u, r.v = u, v
 	sh := s.shards[s.rr.Add(1)%uint64(len(s.shards))]
-	sh.ch <- r
+	if block {
+		sh.ch <- r
+	} else {
+		select {
+		case sh.ch <- r:
+		default:
+			s.pool.Put(r)
+			s.rejected.Add(1)
+			if s.ctl != nil {
+				s.ctl.OnQueueFull(client)
+			}
+			return graph.Infinity, ErrOverloaded
+		}
+	}
 	<-r.done
 	d := r.d
 	s.pool.Put(r)
-	return d
+	if !block && s.ctl != nil {
+		s.ctl.OnServed(client)
+	}
+	return d, nil
 }
 
 // QueryBatch answers pairs[k] into out[k] directly on the current
 // snapshot, bypassing the shard queues — the batch is already a group, so
 // it goes straight to the index's interleaved merge (or a scalar loop for
-// backends without one). Zero allocations.
+// backends without one). Zero allocations. It never touches the shard
+// channels, so unlike Query it stays safe (and keeps answering on the
+// final snapshot) during and after Close.
 func (s *Server) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
 	if len(pairs) == 0 {
 		return
@@ -166,13 +279,29 @@ type Stats struct {
 	// Batches approximates the achieved coalescing factor (≤ 3 via the
 	// shard queues; direct QueryBatch calls count as one group each).
 	Batches uint64
+	// Rejected counts TryQuery requests turned away because their shard
+	// queue was full at arrival.
+	Rejected uint64
+	// Shed counts TryQuery requests dropped at the door by the fair
+	// admission controller (always 0 without Options.Admission).
+	Shed uint64
+	// PerClientHot estimates the number of distinct client flows the
+	// admission controller is currently throttling (0 without a
+	// controller).
+	PerClientHot int
+	// Queued is the instantaneous number of admitted requests waiting in
+	// the shard queues (a pressure gauge, not a counter).
+	Queued int
 	// PerShard is the served count of each shard. Queries answered
 	// through the direct QueryBatch door are counted in Served and
 	// Batches but belong to no shard.
 	PerShard []uint64
 }
 
-// Stats returns a snapshot of the served-traffic counters.
+// Stats returns a snapshot of the served-traffic counters. A request's
+// outcome is visible here no later than its reply: every TryQuery has
+// been counted exactly once across Served/Rejected/Shed by the time it
+// returns without error or with ErrOverloaded.
 func (s *Server) Stats() Stats {
 	st := Stats{Shards: len(s.shards), PerShard: make([]uint64, len(s.shards))}
 	for i, sh := range s.shards {
@@ -180,17 +309,32 @@ func (s *Server) Stats() Stats {
 		st.PerShard[i] = n
 		st.Served += n
 		st.Batches += sh.batches.Load()
+		st.Queued += len(sh.ch)
 	}
 	st.Served += s.direct.Load()
 	st.Batches += s.directBatches.Load()
+	st.Rejected = s.rejected.Load()
+	st.Shed = s.shed.Load()
+	if s.ctl != nil {
+		st.PerClientHot = s.ctl.Stats().HotFlows
+	}
 	return st
 }
 
-// Close stops the workers and waits for them to drain. No Query may be
-// in flight or issued afterwards.
+// Close stops the workers and waits for them to drain. It is safe to
+// call concurrently with TryQuery (submissions that lose the race get
+// ErrClosed) and with in-flight Query calls, which are answered before
+// the workers exit; only the first caller performs the drain, later
+// calls return immediately. Stats and QueryBatch remain usable on the
+// final snapshot after Close.
 func (s *Server) Close() {
 	if s.closing.Swap(true) {
 		return
+	}
+	// Wait for every submission that passed the gate to leave before
+	// closing the channels — a send can then never hit a closed channel.
+	for s.active.Load() != 0 {
+		<-s.drained
 	}
 	for _, sh := range s.shards {
 		close(sh.ch)
