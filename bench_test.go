@@ -718,6 +718,121 @@ func BenchmarkE19ControllerFeedback(b *testing.B) {
 	}
 }
 
+// --- E20: path unpacking and eccentricity queries ------------------------
+
+// benchPathPairs collects pairs of the Gnm(10k) instance whose unpacked
+// path length falls in [minHops, maxHops].
+func benchPathPairs(b *testing.B, minHops, maxHops int) [][2]graph.NodeID {
+	b.Helper()
+	flat, _, _ := benchQueryGraph10k(b)
+	rng := rand.New(rand.NewSource(23))
+	var buf []graph.NodeID
+	var err error
+	pairs := make([][2]graph.NodeID, 0, 256)
+	for tries := 0; len(pairs) < 256 && tries < 200000; tries++ {
+		u := graph.NodeID(rng.Intn(10000))
+		v := graph.NodeID(rng.Intn(10000))
+		buf, err = flat.AppendPath(buf[:0], u, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hops := len(buf) - 1; hops >= minHops && hops <= maxHops {
+			pairs = append(pairs, [2]graph.NodeID{u, v})
+		}
+	}
+	if len(pairs) == 0 {
+		b.Fatalf("no pairs with path length in [%d,%d]", minHops, maxHops)
+	}
+	return pairs
+}
+
+// benchPathUnpack measures AppendPath with a reused destination buffer —
+// the configuration the ≤ 2 allocs/query acceptance bound speaks to
+// (steady state is 0 allocs/op).
+func benchPathUnpack(b *testing.B, minHops, maxHops int) {
+	flat, _, _ := benchQueryGraph10k(b)
+	pairs := benchPathPairs(b, minHops, maxHops)
+	buf := make([]graph.NodeID, 0, 128)
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		buf, err = flat.AppendPath(buf[:0], p[0], p[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE20PathUnpackShort/Medium/Long chart path-unpack cost against
+// path length on the 10k serving instance.
+func BenchmarkE20PathUnpackShort(b *testing.B)  { benchPathUnpack(b, 1, 4) }
+func BenchmarkE20PathUnpackMedium(b *testing.B) { benchPathUnpack(b, 5, 8) }
+func BenchmarkE20PathUnpackLong(b *testing.B)   { benchPathUnpack(b, 9, 1<<30) }
+
+// benchEcc measures exact eccentricity queries over a prebuilt inverted
+// hub index.
+func benchEcc(b *testing.B, f *hub.FlatLabeling) {
+	e := hub.NewEccIndex(f)
+	n := f.NumVertices()
+	rng := rand.New(rand.NewSource(31))
+	order := make([]graph.NodeID, 512)
+	for i := range order {
+		order[i] = graph.NodeID(rng.Intn(n))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Eccentricity(order[i%len(order)])
+	}
+}
+
+// BenchmarkE20EccGnm10k is the worst-case regime: loose expander bounds
+// push queries into the budgeted batched-scan fallback.
+func BenchmarkE20EccGnm10k(b *testing.B) {
+	flat, _, _ := benchQueryGraph10k(b)
+	benchEcc(b, flat)
+}
+
+// BenchmarkE20EccRoad1k / BenchmarkE20EccTree4k are the structured
+// instances where hub bounds are tight and refinement stays sublinear.
+func BenchmarkE20EccRoad1k(b *testing.B) {
+	g, err := gen.RoadLike(32, 32, 8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEcc(b, labels.Freeze())
+}
+
+func BenchmarkE20EccTree4k(b *testing.B) {
+	g, err := gen.RandomTree(4095, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEcc(b, labels.Freeze())
+}
+
+// BenchmarkE20EccUpperBound10k is the one-scan bound alone — the O(|S(v)|)
+// floor the exact query refines from.
+func BenchmarkE20EccUpperBound10k(b *testing.B) {
+	flat, _, _ := benchQueryGraph10k(b)
+	e := hub.NewEccIndex(flat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EccentricityUpperBound(graph.NodeID(i % 10000))
+	}
+}
+
 // BenchmarkE16HighwayDim runs the highway-dimension estimator on the
 // road-like network.
 func BenchmarkE16HighwayDim(b *testing.B) {

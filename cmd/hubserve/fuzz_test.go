@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hublab/internal/gen"
+	"hublab/internal/index"
+	"hublab/internal/server"
+)
+
+// fuzzServer lazily builds one shared serving stack for the fuzzer: a
+// small real hub-labels index (so PATH/ECC verbs hit live code paths)
+// behind a server without admission control, so sequential line traffic
+// is served deterministically (nothing can fill a depth-64 queue one
+// request at a time).
+var fuzzSrv struct {
+	once sync.Once
+	srv  *server.Server
+	n    int
+}
+
+func fuzzServing(tb testing.TB) (*server.Server, int) {
+	fuzzSrv.once.Do(func() {
+		g, err := gen.Gnm(60, 110, 13)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		idx, err := index.Build(index.KindHubLabels, g, index.Options{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		fuzzSrv.srv = server.New(idx, server.Options{Shards: 1})
+		fuzzSrv.n = g.NumNodes()
+	})
+	return fuzzSrv.srv, fuzzSrv.n
+}
+
+// FuzzLineProtocol hammers the line door with arbitrary bytes: the server
+// must never panic, must answer every well-formed line, and must be
+// deterministic — the same input replayed twice yields byte-identical
+// output (admission is off, so no probabilistic shedding).
+func FuzzLineProtocol(f *testing.F) {
+	for _, seed := range []string{
+		"0 1\n",
+		"3 17\n59 0\nquit\n",
+		"PATH 0 59\n",
+		"PATH 5 5\nPATH 0 1\n",
+		"ECC 3\nECC 0\n",
+		"PATH 0\nPATH x y\nECC\nECC zz\n",
+		"PATH -1 2\nECC 999\n",
+		"1 2 3\n-5 7\nbad line\n\n\n",
+		"quit\nPATH 0 1\n",
+		"PATH 0 1 2\nECC 1 2\n",
+		"\x00\x01\xff\n",
+		strings.Repeat("0 1\n", 50),
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv, n := fuzzServing(t)
+		var out1, out2 strings.Builder
+		err1 := serveLines(srv, n, strings.NewReader(string(data)), &out1)
+		err2 := serveLines(srv, n, strings.NewReader(string(data)), &out2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
+		}
+		if out1.String() != out2.String() {
+			t.Fatalf("nondeterministic output:\n%q\nvs\n%q", out1.String(), out2.String())
+		}
+	})
+}

@@ -14,10 +14,14 @@
 // Two front ends:
 //
 //   - line protocol (default): one "u v" pair per stdin line, answered as
-//     "u v dist" ("inf" when unreachable); "BUSY" when the request was
-//     shed under overload; "quit" stops.
-//   - HTTP (-http addr): GET /distance?u=U&v=V (429 + Retry-After under
-//     overload, client identity = remote address), plus /stats and
+//     "u v dist" ("inf" when unreachable); "PATH u v" answers "path u v
+//     v0 v1 ... vk" (one shortest path, "path u v inf" when unreachable);
+//     "ECC v" answers "ecc v <eccentricity> <farthest-vertex>"; "BUSY"
+//     when the request was shed under overload; "quit" stops.
+//   - HTTP (-http addr): GET /distance?u=U&v=V, /path?u=U&v=V and /ecc?v=V
+//     (429 + Retry-After under overload, client identity = remote
+//     address; 501 when the served index lacks the capability, e.g. a
+//     version-1 container without the parent column), plus /stats and
 //     /healthz. The server carries read/write/idle timeouts so a stalled
 //     client cannot hold a handler goroutine forever.
 //
@@ -46,10 +50,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"hublab/internal/flowctl"
 	"hublab/internal/graph"
+	"hublab/internal/hub"
 	"hublab/internal/index"
 	"hublab/internal/server"
 )
@@ -144,18 +150,32 @@ func (d *delayIndex) Distance(u, v graph.NodeID) graph.Weight {
 // fixed id per call is the per-connection identity.
 var lineConnSeq int
 
-// serveLines answers "u v" query lines from in until EOF or "quit".
-// Each response is flushed immediately so interactive clients that wait
-// for an answer before the next query don't deadlock on the buffer.
-// Overloaded requests answer "BUSY" — the line client's analogue of
-// HTTP 429 — and out-of-range or malformed queries answer an error line
-// instead of panicking the process.
+// pathBufs pools path destination buffers across HTTP handler
+// goroutines, so steady-state /path traffic reuses storage instead of
+// allocating per request.
+var pathBufs = sync.Pool{New: func() any { return new([]graph.NodeID) }}
+
+// unsupported reports whether a query failed because the served index
+// lacks the capability (no PathReporter/EccentricityReporter, or a
+// hub-label index loaded from a version-1 container without parents).
+func unsupported(err error) bool {
+	return errors.Is(err, server.ErrUnsupported) || errors.Is(err, hub.ErrNoParents)
+}
+
+// serveLines answers query lines from in until EOF or "quit": "u v" for a
+// distance, "PATH u v" for one shortest path, "ECC v" for eccentricity
+// plus a farthest vertex. Each response is flushed immediately so
+// interactive clients that wait for an answer before the next query don't
+// deadlock on the buffer. Overloaded requests answer "BUSY" — the line
+// client's analogue of HTTP 429 — and out-of-range or malformed queries
+// answer an error line instead of panicking the process.
 func serveLines(srv *server.Server, n int, in io.Reader, out io.Writer) error {
 	lineConnSeq++
 	client := fmt.Sprintf("conn-%d", lineConnSeq)
 	sc := bufio.NewScanner(in)
 	w := bufio.NewWriter(out)
 	defer w.Flush()
+	var pathBuf []graph.NodeID
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "" {
@@ -164,36 +184,7 @@ func serveLines(srv *server.Server, n int, in io.Reader, out io.Writer) error {
 		if line == "quit" {
 			break
 		}
-		// Require exactly two integer fields — Sscanf would silently
-		// ignore trailing garbage ("1 2 3", "1 2.5") and answer a
-		// different query than the client sent.
-		var u, v int
-		fields := strings.Fields(line)
-		bad := len(fields) != 2
-		if !bad {
-			var errU, errV error
-			u, errU = strconv.Atoi(fields[0])
-			v, errV = strconv.Atoi(fields[1])
-			bad = errU != nil || errV != nil
-		}
-		switch {
-		case bad:
-			fmt.Fprintf(w, "error: bad query %q (want: u v)\n", line)
-		case u < 0 || u >= n || v < 0 || v >= n:
-			fmt.Fprintf(w, "error: vertex out of range [0,%d)\n", n)
-		default:
-			d, err := srv.TryQuery(client, graph.NodeID(u), graph.NodeID(v))
-			switch {
-			case errors.Is(err, server.ErrOverloaded):
-				fmt.Fprintf(w, "BUSY\n")
-			case err != nil:
-				fmt.Fprintf(w, "error: %v\n", err)
-			case d >= graph.Infinity:
-				fmt.Fprintf(w, "%d %d inf\n", u, v)
-			default:
-				fmt.Fprintf(w, "%d %d %d\n", u, v, d)
-			}
-		}
+		serveLine(srv, client, n, line, &pathBuf, w)
 		if err := w.Flush(); err != nil {
 			return err
 		}
@@ -205,6 +196,109 @@ func serveLines(srv *server.Server, n int, in io.Reader, out io.Writer) error {
 	fmt.Fprintf(os.Stderr, "served %d queries in %d groups across %d shards (%d rejected, %d shed)\n",
 		st.Served, st.Batches, st.Shards, st.Rejected, st.Shed)
 	return nil
+}
+
+// serveLine parses and answers one protocol line. Field counts are
+// strict — Sscanf would silently ignore trailing garbage ("1 2 3",
+// "1 2.5") and answer a different query than the client sent.
+func serveLine(srv *server.Server, client string, n int, line string, pathBuf *[]graph.NodeID, w io.Writer) {
+	fields := strings.Fields(line)
+	atoi := func(s string) (int, bool) {
+		x, err := strconv.Atoi(s)
+		return x, err == nil
+	}
+	inRange := func(xs ...int) bool {
+		for _, x := range xs {
+			if x < 0 || x >= n {
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case len(fields) > 0 && fields[0] == "PATH":
+		var u, v int
+		okU, okV := false, false
+		if len(fields) == 3 {
+			u, okU = atoi(fields[1])
+			v, okV = atoi(fields[2])
+		}
+		if !okU || !okV {
+			fmt.Fprintf(w, "error: bad query %q (want: PATH u v)\n", line)
+			return
+		}
+		if !inRange(u, v) {
+			fmt.Fprintf(w, "error: vertex out of range [0,%d)\n", n)
+			return
+		}
+		path, err := srv.TryPath(client, graph.NodeID(u), graph.NodeID(v), (*pathBuf)[:0])
+		*pathBuf = path
+		switch {
+		case errors.Is(err, server.ErrOverloaded):
+			fmt.Fprintf(w, "BUSY\n")
+		case unsupported(err):
+			fmt.Fprintf(w, "error: path queries unsupported by this index\n")
+		case err != nil:
+			fmt.Fprintf(w, "error: %v\n", err)
+		case len(path) == 0:
+			fmt.Fprintf(w, "path %d %d inf\n", u, v)
+		default:
+			fmt.Fprintf(w, "path %d %d", u, v)
+			for _, x := range path {
+				fmt.Fprintf(w, " %d", x)
+			}
+			fmt.Fprintf(w, "\n")
+		}
+	case len(fields) > 0 && fields[0] == "ECC":
+		var v int
+		okV := false
+		if len(fields) == 2 {
+			v, okV = atoi(fields[1])
+		}
+		if !okV {
+			fmt.Fprintf(w, "error: bad query %q (want: ECC v)\n", line)
+			return
+		}
+		if !inRange(v) {
+			fmt.Fprintf(w, "error: vertex out of range [0,%d)\n", n)
+			return
+		}
+		far, ecc, err := srv.TryFarthest(client, graph.NodeID(v))
+		switch {
+		case errors.Is(err, server.ErrOverloaded):
+			fmt.Fprintf(w, "BUSY\n")
+		case unsupported(err):
+			fmt.Fprintf(w, "error: eccentricity queries unsupported by this index\n")
+		case err != nil:
+			fmt.Fprintf(w, "error: %v\n", err)
+		default:
+			fmt.Fprintf(w, "ecc %d %d %d\n", v, ecc, far)
+		}
+	case len(fields) == 2:
+		u, okU := atoi(fields[0])
+		v, okV := atoi(fields[1])
+		if !okU || !okV {
+			fmt.Fprintf(w, "error: bad query %q (want: u v)\n", line)
+			return
+		}
+		if !inRange(u, v) {
+			fmt.Fprintf(w, "error: vertex out of range [0,%d)\n", n)
+			return
+		}
+		d, err := srv.TryQuery(client, graph.NodeID(u), graph.NodeID(v))
+		switch {
+		case errors.Is(err, server.ErrOverloaded):
+			fmt.Fprintf(w, "BUSY\n")
+		case err != nil:
+			fmt.Fprintf(w, "error: %v\n", err)
+		case d >= graph.Infinity:
+			fmt.Fprintf(w, "%d %d inf\n", u, v)
+		default:
+			fmt.Fprintf(w, "%d %d %d\n", u, v, d)
+		}
+	default:
+		fmt.Fprintf(w, "error: bad query %q (want: u v | PATH u v | ECC v)\n", line)
+	}
 }
 
 // httpTimeouts bound how long a client may hold a connection in each
@@ -262,6 +356,77 @@ func newMux(srv *server.Server, n int) *http.ServeMux {
 			return
 		}
 		fmt.Fprintf(w, `{"u":%d,"v":%d,"distance":%d}`+"\n", u, v, d)
+	})
+	mux.HandleFunc("/path", func(w http.ResponseWriter, r *http.Request) {
+		u, errU := strconv.Atoi(r.URL.Query().Get("u"))
+		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
+		if errU != nil || errV != nil || u < 0 || u >= n || v < 0 || v >= n {
+			http.Error(w, fmt.Sprintf("want /path?u=U&v=V with vertices in [0,%d)", n),
+				http.StatusBadRequest)
+			return
+		}
+		bp := pathBufs.Get().(*[]graph.NodeID)
+		path, err := srv.TryPath(clientID(r), graph.NodeID(u), graph.NodeID(v), (*bp)[:0])
+		*bp = path
+		defer pathBufs.Put(bp)
+		switch {
+		case errors.Is(err, server.ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			return
+		case unsupported(err):
+			http.Error(w, "path reporting unavailable (index has no parent column)",
+				http.StatusNotImplemented)
+			return
+		case errors.Is(err, server.ErrClosed):
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			// A persistent query error (e.g. an inconsistent parent column
+			// that fails to unpack) — not a shutdown: report it as such so
+			// clients and load balancers do not retry forever.
+			http.Error(w, "path query failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if len(path) == 0 {
+			fmt.Fprintf(w, `{"u":%d,"v":%d,"path":null}`+"\n", u, v)
+			return
+		}
+		fmt.Fprintf(w, `{"u":%d,"v":%d,"hops":%d,"path":[`, u, v, len(path)-1)
+		for i, x := range path {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%d", x)
+		}
+		io.WriteString(w, "]}\n")
+	})
+	mux.HandleFunc("/ecc", func(w http.ResponseWriter, r *http.Request) {
+		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
+		if errV != nil || v < 0 || v >= n {
+			http.Error(w, fmt.Sprintf("want /ecc?v=V with a vertex in [0,%d)", n),
+				http.StatusBadRequest)
+			return
+		}
+		far, ecc, err := srv.TryFarthest(clientID(r), graph.NodeID(v))
+		switch {
+		case errors.Is(err, server.ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			return
+		case unsupported(err):
+			http.Error(w, "eccentricity reporting unavailable", http.StatusNotImplemented)
+			return
+		case errors.Is(err, server.ErrClosed):
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, "eccentricity query failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"v":%d,"eccentricity":%d,"farthest":%d}`+"\n", v, ecc, far)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := srv.Stats()

@@ -1,0 +1,86 @@
+// Command pathquery tours the path-reporting and eccentricity query
+// surface: build a road-like weighted network, construct hub labels
+// (whose shortest-path searches record a parent column for free), persist
+// and reload them as a version-2 container, then answer witness-path and
+// farthest-point queries from the labels alone — the same queries
+// `hubserve` exposes as the PATH/ECC line verbs and the /path and /ecc
+// HTTP endpoints:
+//
+//	hubgen -gen road -n 1024 -algo pll -out labels.hli
+//	printf 'PATH 0 1023\nECC 0\nquit\n' | hubserve -index labels.hli
+//	hubserve -index labels.hli -http :8080 &
+//	curl 'localhost:8080/path?u=0&v=1023'
+//	curl 'localhost:8080/ecc?v=0'
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hublab"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A weighted road-like grid: local streets plus fast highway rows.
+	g, err := hublab.GenerateRoadLike(24, 24, 6, 11)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d weighted=%v\n", g.NumNodes(), g.NumEdges(), g.Weighted())
+
+	labels, err := hublab.BuildPLL(g, hublab.PLLOptions{})
+	if err != nil {
+		return err
+	}
+
+	// Persist → reload: the parent column rides in the version-2 container,
+	// so a serving process reports paths without ever seeing the graph.
+	dir, err := os.MkdirTemp("", "hublab-pathquery-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "labels.hli")
+	if err := hublab.SaveIndex(path, hublab.NewHubLabelsIndex(labels), hublab.ContainerOptions{}); err != nil {
+		return err
+	}
+	idx, err := hublab.LoadIndex(path)
+	if err != nil {
+		return err
+	}
+	if !idx.Flat().HasParents() {
+		return fmt.Errorf("loaded container lost the parent column")
+	}
+
+	// A witness path: not just how far, but which way.
+	u, v := hublab.NodeID(0), hublab.NodeID(g.NumNodes()-1)
+	route, err := idx.AppendPath(nil, u, v)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dist(%d,%d) = %d over %d hops\n", u, v, idx.Distance(u, v), len(route)-1)
+	fmt.Printf("route: %d", route[0])
+	for _, x := range route[1:] {
+		fmt.Printf(" -> %d", x)
+	}
+	fmt.Println()
+
+	// Farthest-point queries from the same labels: the eccentricity of a
+	// corner and of a center vertex of the grid.
+	for _, w := range []hublab.NodeID{0, hublab.NodeID(12*24 + 12)} {
+		far, ecc, err := idx.Farthest(w)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ecc(%d) = %d, attained at vertex %d\n", w, ecc, far)
+	}
+	return nil
+}

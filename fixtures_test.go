@@ -1,0 +1,67 @@
+package hublab
+
+// Shared test fixtures: the expensive objects several root-level tests
+// need (a PLL labeling of a mid-size random graph, the paper's H_{2,2}
+// hardness instance) are built once per `go test` process and shared,
+// instead of every test paying its own construction. TestMain owns the
+// process lifecycle; the fixtures themselves are lazy so `go test -run X`
+// only builds what X touches.
+
+import (
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}
+
+var gnmFixture struct {
+	once   sync.Once
+	g      *Graph
+	labels *Labeling
+	err    error
+}
+
+// sharedGnmPLL returns the process-wide Gnm(400, 720) graph and its PLL
+// labeling. Tests must treat both as read-only.
+func sharedGnmPLL(t testing.TB) (*Graph, *Labeling) {
+	t.Helper()
+	gnmFixture.once.Do(func() {
+		g, err := GenerateGnm(400, 720, 21)
+		if err != nil {
+			gnmFixture.err = err
+			return
+		}
+		labels, err := BuildPLL(g, PLLOptions{})
+		if err != nil {
+			gnmFixture.err = err
+			return
+		}
+		gnmFixture.g, gnmFixture.labels = g, labels
+	})
+	if gnmFixture.err != nil {
+		t.Fatalf("shared Gnm/PLL fixture: %v", gnmFixture.err)
+	}
+	return gnmFixture.g, gnmFixture.labels
+}
+
+var layeredFixture struct {
+	once sync.Once
+	h    *LayeredGraph
+	err  error
+}
+
+// sharedLayered22 returns the process-wide H_{2,2} hardness instance.
+// Tests must treat it as read-only.
+func sharedLayered22(t testing.TB) *LayeredGraph {
+	t.Helper()
+	layeredFixture.once.Do(func() {
+		layeredFixture.h, layeredFixture.err = BuildLayered(LayeredParams{B: 2, L: 2})
+	})
+	if layeredFixture.err != nil {
+		t.Fatalf("shared H_{2,2} fixture: %v", layeredFixture.err)
+	}
+	return layeredFixture.h
+}

@@ -86,16 +86,10 @@ func TestFlatSliceEquivalenceAcrossBuilders(t *testing.T) {
 }
 
 // TestFrozenQueryMatchesGraphDistances spot-checks that frozen queries
-// agree with true graph distances end to end for the PLL path.
+// agree with true graph distances end to end for the PLL path, over the
+// shared process-wide fixture.
 func TestFrozenQueryMatchesGraphDistances(t *testing.T) {
-	g, err := GenerateGnm(400, 720, 21)
-	if err != nil {
-		t.Fatalf("GenerateGnm: %v", err)
-	}
-	l, err := BuildPLL(g, PLLOptions{})
-	if err != nil {
-		t.Fatalf("BuildPLL: %v", err)
-	}
+	g, l := sharedGnmPLL(t)
 	if err := l.VerifyCover(g); err != nil {
 		t.Fatalf("VerifyCover: %v", err)
 	}

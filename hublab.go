@@ -22,7 +22,12 @@
 //     (SaveIndex, LoadIndex, WriteContainer, ReadContainer), and the
 //     sharded in-process query service (NewServer) with non-blocking
 //     overload-safe admission (Server.TryQuery, AdmissionOptions,
-//     ErrServerOverloaded).
+//     ErrServerOverloaded);
+//   - the path-reporting and farthest-point query surface: witness-path
+//     unpacking from the labels' parent column (FlatLabeling.AppendPath,
+//     IndexPathReporter, Server.TryPath) and exact eccentricities
+//     (NewEccIndex, IndexEccentricityReporter, Server.TryEccentricity /
+//     TryFarthest).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
@@ -238,6 +243,20 @@ type (
 	// queries plus space accounting and metadata. The distance matrix, hub
 	// labels and bidirectional search are registered backends.
 	Index = index.Index
+	// IndexPathReporter is the optional witness-path capability of an
+	// Index: AppendPath reconstructs one shortest u–v path (all three
+	// built-in backends implement it; hub labels require the parent
+	// column, present in every freshly built labeling and in version-2
+	// containers).
+	IndexPathReporter = index.PathReporter
+	// IndexEccentricityReporter is the optional farthest-point capability
+	// of an Index: exact eccentricities and a vertex attaining them.
+	IndexEccentricityReporter = index.EccentricityReporter
+	// EccIndex answers exact eccentricity/farthest queries from a frozen
+	// labeling via farthest-first inverted hub lists with best-first
+	// refinement (budgeted, with a batched-scan fallback on loose hub
+	// geometries).
+	EccIndex = hub.EccIndex
 	// IndexMeta describes an index (backend kind, vertex count, and the
 	// query-operation estimate used for the S·T table).
 	IndexMeta = index.Meta
@@ -270,7 +289,7 @@ type (
 	AdmissionOptions = flowctl.Options
 )
 
-// Serving errors returned by Server.TryQuery.
+// Serving errors returned by the Server.Try* doors.
 var (
 	// ErrServerOverloaded reports a request shed by the admission
 	// controller or bounced off a full shard queue; back off and retry.
@@ -278,6 +297,12 @@ var (
 	// ErrServerClosed reports a request issued after (or concurrent
 	// with) Server.Close.
 	ErrServerClosed = server.ErrClosed
+	// ErrServerUnsupported reports a path/eccentricity query against an
+	// index without that capability.
+	ErrServerUnsupported = server.ErrUnsupported
+	// ErrNoParents reports a path query against a labeling without a
+	// parent column (e.g. one loaded from a version-1 container).
+	ErrNoParents = hub.ErrNoParents
 )
 
 // BuildIndex constructs a registered index backend ("matrix",
@@ -325,6 +350,10 @@ func ReadContainer(r io.Reader) (*FlatLabeling, error) { return hub.ReadContaine
 // NewServer starts the sharded query service over idx. Close it to
 // release the workers; Swap replaces the served index under live traffic.
 func NewServer(idx Index, opts ServerOptions) *Server { return server.New(idx, opts) }
+
+// NewEccIndex inverts a frozen labeling into the farthest-first per-hub
+// lists that answer exact eccentricity and farthest-vertex queries.
+func NewEccIndex(f *FlatLabeling) *EccIndex { return hub.NewEccIndex(f) }
 
 // EstimateHighwayDimension returns greedy shortest-path-cover sizes per
 // doubling scale (the ADF+16 highway-dimension proxy).

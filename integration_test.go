@@ -100,12 +100,9 @@ func TestIntegrationSerializeLiveLabeling(t *testing.T) {
 }
 
 // TestIntegrationOracleOnHardInstance runs the oracle tradeoff over the
-// paper's weighted hardness graph H_{2,2}.
+// paper's weighted hardness graph H_{2,2} (the shared fixture).
 func TestIntegrationOracleOnHardInstance(t *testing.T) {
-	h, err := BuildLayered(LayeredParams{B: 2, L: 2})
-	if err != nil {
-		t.Fatalf("BuildLayered: %v", err)
-	}
+	h := sharedLayered22(t)
 	points, err := OracleTradeoff(h.G, 200)
 	if err != nil {
 		t.Fatalf("OracleTradeoff: %v", err)
@@ -207,16 +204,10 @@ func TestIntegrationLemma22SurvivesDeletion(t *testing.T) {
 }
 
 // TestIntegrationDistanceLabelSchemesAgree: three independent label schemes
-// must decode identical distances on the same graph.
+// must decode identical distances on the same graph (the shared Gnm/PLL
+// fixture, so the labeling is built once per process).
 func TestIntegrationDistanceLabelSchemesAgree(t *testing.T) {
-	g, err := GenerateGnm(120, 220, 13)
-	if err != nil {
-		t.Fatalf("GenerateGnm: %v", err)
-	}
-	pllLabels, err := BuildPLL(g, PLLOptions{})
-	if err != nil {
-		t.Fatalf("BuildPLL: %v", err)
-	}
+	g, pllLabels := sharedGnmPLL(t)
 	hubBits, err := HubDistanceLabels(pllLabels)
 	if err != nil {
 		t.Fatalf("HubDistanceLabels: %v", err)
@@ -227,8 +218,8 @@ func TestIntegrationDistanceLabelSchemesAgree(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 300; i++ {
-		u := NodeID(rng.Intn(120))
-		v := NodeID(rng.Intn(120))
+		u := NodeID(rng.Intn(g.NumNodes()))
+		v := NodeID(rng.Intn(g.NumNodes()))
 		a, err := hubBits.Decode(u, v)
 		if err != nil {
 			t.Fatalf("hub decode: %v", err)

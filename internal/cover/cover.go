@@ -104,6 +104,9 @@ func Greedy(g *graph.Graph) (*hub.Labeling, error) {
 		uncovered = next
 	}
 	l.Canonicalize()
+	if err := l.ComputeParents(g); err != nil {
+		return nil, err
+	}
 	l.Freeze()
 	return l, nil
 }

@@ -345,6 +345,13 @@ func Centroid(g *graph.Graph) (*hub.Labeling, error) {
 	}
 	decompose(0)
 	l.Canonicalize()
+	// In a tree, the path from any vertex to its centroid ancestor stays
+	// inside the component the centroid was chosen for, so the stored
+	// restricted-BFS distances are the true tree distances and the parent
+	// column attaches cleanly.
+	if err := l.ComputeParents(g); err != nil {
+		return nil, err
+	}
 	l.Freeze()
 	return l, nil
 }

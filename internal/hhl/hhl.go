@@ -51,11 +51,15 @@ func Canonical(g *graph.Graph, order []graph.NodeID) (*hub.Labeling, error) {
 	dist := sssp.AllPairs(g)
 	// Per-vertex hub selection is independent; fan it out over the worker
 	// pool with each vertex writing its own label slot, then emit the
-	// canonical frozen labeling in one pass.
+	// canonical frozen labeling in one pass. The distance matrix also
+	// yields each entry's parent: the smallest neighbor of v on a tight
+	// edge toward the hub (deterministic, and always a shortest-path hop).
 	labels := make([][]hub.Hub, n)
+	parents := make([][]graph.NodeID, n)
 	par.For(n, func(i int) {
 		v := graph.NodeID(i)
 		var hubs []hub.Hub
+		var pars []graph.NodeID
 		for h := graph.NodeID(0); int(h) < n; h++ {
 			dhv := dist[h][v]
 			if dhv == graph.Infinity {
@@ -72,11 +76,33 @@ func Canonical(g *graph.Graph, order []graph.NodeID) (*hub.Labeling, error) {
 			}
 			if important {
 				hubs = append(hubs, hub.Hub{Node: h, Dist: dhv})
+				pars = append(pars, nextHop(g, dist, v, h))
 			}
 		}
 		labels[i] = hubs
+		parents[i] = pars
 	})
-	return hub.FromSlices(labels), nil
+	return hub.FromSlicesParents(labels, parents), nil
+}
+
+// nextHop returns the first vertex after v on one shortest v–h path: the
+// smallest neighbor x with w(v,x) + dist(x,h) = dist(v,h), or -1 when
+// v == h.
+func nextHop(g *graph.Graph, dist [][]graph.Weight, v, h graph.NodeID) graph.NodeID {
+	if v == h {
+		return -1
+	}
+	ws := g.NeighborWeights(v)
+	for i, x := range g.Neighbors(v) {
+		w := graph.Weight(1)
+		if ws != nil {
+			w = ws[i]
+		}
+		if w+dist[h][x] == dist[h][v] {
+			return x
+		}
+	}
+	return -1
 }
 
 // IsHierarchical reports whether the labeling respects the order in the

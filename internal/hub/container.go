@@ -18,8 +18,9 @@ import (
 //
 //	header (32 bytes)
 //	  [ 0: 8)  magic  "HUBLABIX"
-//	  [ 8:10)  format version (currently 1)
-//	  [10:12)  flags (bit 0: payload is Elias-gamma compressed)
+//	  [ 8:10)  format version (1 or 2)
+//	  [10:12)  flags (bit 0: payload is Elias-gamma compressed;
+//	           bit 1, version ≥ 2 only: a parent column follows the payload)
 //	  [12:16)  reserved (must be zero)
 //	  [16:24)  n      — vertex count
 //	  [24:32)  slots  — len of the hub-id/distance columns, sentinels included
@@ -31,24 +32,38 @@ import (
 //	         of Labeling.Encode (vertex count, then per vertex the label
 //	         size and gap/distance pairs, all Elias gamma), preceded by its
 //	         byte length as uint64
+//	parent column (only when flag bit 1 is set)
+//	  parents slots·int32 — the next-hop column verbatim (-1 on self
+//	  entries and sentinel slots), raw even in gamma containers: parents
+//	  are near-incompressible neighbor ids, and keeping them columnar
+//	  preserves the near-memcpy load
 //	trailer (4 bytes)
-//	  crc32 (Castagnoli) of header + payload
+//	  crc32 (Castagnoli) of header + payload (+ parent column)
+//
+// The writer emits version 1 — byte-identical to the historical format —
+// whenever the labeling carries no parent column, and version 2 with flag
+// bit 1 when it does, so old files load unchanged and new files without
+// parents stay readable by old code. A version-1 file loads with no
+// parent column; Path queries on it report ErrNoParents.
 //
 // Both the writer and the reader work directly on the flat arrays: the
 // slice-of-slices Labeling form is never materialized, and the raw path in
 // particular loads near-memcpy. All multi-byte fields are little-endian
 // regardless of host order.
 
-// ContainerVersion is the current container format version.
-const ContainerVersion = 1
+// ContainerVersion is the newest container format version this package
+// writes and reads. Version 1 files (no parent column) remain readable.
+const ContainerVersion = 2
 
 // containerMagic identifies hub-labeling index containers.
 var containerMagic = [8]byte{'H', 'U', 'B', 'L', 'A', 'B', 'I', 'X'}
 
 const (
-	containerHeaderLen  = 32
-	containerFlagGamma  = 1 << 0
-	containerKnownFlags = containerFlagGamma
+	containerHeaderLen    = 32
+	containerFlagGamma    = 1 << 0
+	containerFlagParents  = 1 << 1
+	containerKnownFlagsV1 = containerFlagGamma
+	containerKnownFlagsV2 = containerFlagGamma | containerFlagParents
 )
 
 // ErrContainer reports a malformed or corrupt index container.
@@ -74,11 +89,16 @@ func (f *FlatLabeling) WriteTo(w io.Writer) (int64, error) {
 func (f *FlatLabeling) WriteContainer(w io.Writer, opts ContainerOptions) (int64, error) {
 	var header [containerHeaderLen]byte
 	copy(header[0:8], containerMagic[:])
-	binary.LittleEndian.PutUint16(header[8:10], ContainerVersion)
+	version := uint16(1)
 	flags := uint16(0)
 	if opts.Compress {
 		flags |= containerFlagGamma
 	}
+	if f.parents != nil {
+		version = ContainerVersion
+		flags |= containerFlagParents
+	}
+	binary.LittleEndian.PutUint16(header[8:10], version)
 	binary.LittleEndian.PutUint16(header[10:12], flags)
 	binary.LittleEndian.PutUint64(header[16:24], uint64(f.NumVertices()))
 	binary.LittleEndian.PutUint64(header[24:32], uint64(len(f.hubIDs)))
@@ -102,22 +122,15 @@ func (f *FlatLabeling) WriteContainer(w io.Writer, opts ContainerOptions) (int64
 		if _, err := body.Write(stream); err != nil {
 			return cw.n, err
 		}
+		if err := writeColumns(body, [][]int32{f.parents}); err != nil {
+			return cw.n, err
+		}
 	} else {
 		// Stream the columns through one reused chunk buffer instead of
-		// materializing a second full copy of the arrays.
-		chunk := make([]byte, 4<<20)
-		for _, col := range [][]int32{f.offsets, f.hubIDs, f.dists} {
-			for len(col) > 0 {
-				n := len(col)
-				if n > len(chunk)/4 {
-					n = len(chunk) / 4
-				}
-				putInt32s(chunk, 0, col[:n])
-				if _, err := body.Write(chunk[:4*n]); err != nil {
-					return cw.n, err
-				}
-				col = col[n:]
-			}
+		// materializing a second full copy of the arrays. A nil parents
+		// column simply contributes nothing.
+		if err := writeColumns(body, [][]int32{f.offsets, f.hubIDs, f.dists, f.parents}); err != nil {
+			return cw.n, err
 		}
 	}
 	var trailer [4]byte
@@ -126,6 +139,26 @@ func (f *FlatLabeling) WriteContainer(w io.Writer, opts ContainerOptions) (int64
 		return cw.n, err
 	}
 	return cw.n, nil
+}
+
+// writeColumns streams int32 columns little-endian through one reused
+// chunk buffer instead of materializing a full byte copy of the arrays.
+func writeColumns(w io.Writer, cols [][]int32) error {
+	chunk := make([]byte, 4<<20)
+	for _, col := range cols {
+		for len(col) > 0 {
+			n := len(col)
+			if n > len(chunk)/4 {
+				n = len(chunk) / 4
+			}
+			putInt32s(chunk, 0, col[:n])
+			if _, err := w.Write(chunk[:4*n]); err != nil {
+				return err
+			}
+			col = col[n:]
+		}
+	}
+	return nil
 }
 
 // countingWriter tracks bytes written to the underlying writer.
@@ -171,12 +204,17 @@ func readContainer(r io.Reader) (*FlatLabeling, int64, error) {
 	if [8]byte(header[0:8]) != containerMagic {
 		return nil, read, fmt.Errorf("%w: bad magic %q", ErrContainer, header[0:8])
 	}
-	if v := binary.LittleEndian.Uint16(header[8:10]); v != ContainerVersion {
-		return nil, read, fmt.Errorf("%w: unsupported version %d", ErrContainer, v)
+	version := binary.LittleEndian.Uint16(header[8:10])
+	if version < 1 || version > ContainerVersion {
+		return nil, read, fmt.Errorf("%w: unsupported version %d", ErrContainer, version)
+	}
+	known := uint16(containerKnownFlagsV1)
+	if version >= 2 {
+		known = containerKnownFlagsV2
 	}
 	flags := binary.LittleEndian.Uint16(header[10:12])
-	if flags&^uint16(containerKnownFlags) != 0 {
-		return nil, read, fmt.Errorf("%w: unknown flags %#x", ErrContainer, flags)
+	if flags&^known != 0 {
+		return nil, read, fmt.Errorf("%w: unknown flags %#x for version %d", ErrContainer, flags, version)
 	}
 	if rsv := binary.LittleEndian.Uint32(header[12:16]); rsv != 0 {
 		return nil, read, fmt.Errorf("%w: nonzero reserved field", ErrContainer)
@@ -240,6 +278,14 @@ func readContainer(r io.Reader) (*FlatLabeling, int64, error) {
 			hubIDs:  getInt32s(payload, 4*(n+1), slots),
 			dists:   getInt32s(payload, 4*(n+1+slots), slots),
 		}
+	}
+	if flags&containerFlagParents != 0 {
+		col, err := readExact(body, 4*int64(slots))
+		read += int64(len(col))
+		if err != nil {
+			return nil, read, fmt.Errorf("%w: parent column: %v", ErrContainer, err)
+		}
+		f.parents = getInt32s(col, 0, slots)
 	}
 
 	var trailer [4]byte

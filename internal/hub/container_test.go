@@ -320,6 +320,16 @@ func FuzzReadContainer(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(gammaSizeOverflowContainer(f))
 	f.Add(gammaGapOverflowContainer(f))
+	// Version-2 seeds: parent column present, whole and truncated.
+	_, withParents := parentFixture(f)
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if _, err := withParents.WriteContainer(&buf, ContainerOptions{Compress: compress}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()-8])
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadContainer(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,191 @@
+package hub
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"hublab/internal/graph"
+)
+
+// parentFixture builds a star labeling ({v, center} hub sets — an exact
+// cover on a star) whose parent column comes from real search trees.
+func parentFixture(t testing.TB) (*graph.Graph, *FlatLabeling) {
+	t.Helper()
+	b := graph.NewBuilder(6, 5)
+	for v := graph.NodeID(1); v < 6; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.MustBuild()
+	sets := make([][]graph.NodeID, 6)
+	for v := range sets {
+		sets[v] = []graph.NodeID{graph.NodeID(v), 0}
+	}
+	l, err := FromSets(g, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := l.Freeze()
+	if !f.HasParents() {
+		t.Fatal("fixture has no parent column")
+	}
+	return g, f
+}
+
+// TestContainerParentsRoundTrip round-trips the parent column through both
+// payload kinds and checks paths unpack identically after the reload.
+func TestContainerParentsRoundTrip(t *testing.T) {
+	_, f := parentFixture(t)
+	for _, tc := range []struct {
+		name string
+		opts ContainerOptions
+	}{
+		{"raw", ContainerOptions{}},
+		{"gamma", ContainerOptions{Compress: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if _, err := f.WriteContainer(&buf, tc.opts); err != nil {
+				t.Fatalf("WriteContainer: %v", err)
+			}
+			if v := binary.LittleEndian.Uint16(buf.Bytes()[8:10]); v != 2 {
+				t.Fatalf("container with parents has version %d, want 2", v)
+			}
+			got, err := ReadContainer(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadContainer: %v", err)
+			}
+			if !got.HasParents() {
+				t.Fatal("parent column lost in round trip")
+			}
+			if !flatEqual(f, got) {
+				t.Fatal("round trip changed the labeling")
+			}
+			for i := range f.parents {
+				if f.parents[i] != got.parents[i] {
+					t.Fatalf("parent slot %d: %d vs %d", i, f.parents[i], got.parents[i])
+				}
+			}
+			want, err1 := f.Path(1, 5)
+			back, err2 := got.Path(1, 5)
+			if err1 != nil || err2 != nil || len(want) != 3 || len(back) != 3 {
+				t.Fatalf("paths diverge after reload: %v/%v vs %v/%v", want, err1, back, err2)
+			}
+		})
+	}
+}
+
+// TestContainerV1ReadByV2Code: a labeling without parents writes the
+// historical version-1 bytes, loads cleanly, and Path reports the
+// documented ErrNoParents.
+func TestContainerV1ReadByV2Code(t *testing.T) {
+	f := containerFixture(t) // Add-built: no parent column
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if _, err := f.WriteContainer(&buf, ContainerOptions{Compress: compress}); err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.LittleEndian.Uint16(buf.Bytes()[8:10]); v != 1 {
+			t.Fatalf("parentless container has version %d, want 1 (compress=%v)", v, compress)
+		}
+		got, err := ReadContainer(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadContainer(v1, compress=%v): %v", compress, err)
+		}
+		if got.HasParents() {
+			t.Fatal("v1 container grew a parent column")
+		}
+		if _, err := got.Path(0, 3); !errors.Is(err, ErrNoParents) {
+			t.Errorf("Path on v1 load = %v, want ErrNoParents", err)
+		}
+	}
+}
+
+// rewriteContainer re-serializes a (possibly invalid) flat labeling with a
+// freshly computed, valid checksum — the hostile-writer scenario where
+// only structural validation stands between the bytes and the query path.
+func rewriteContainer(t testing.TB, f *FlatLabeling, opts ContainerOptions) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := f.WriteContainer(&buf, opts); err != nil {
+		t.Fatalf("WriteContainer: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestContainerRejectsInvalidParents: checksum-valid containers whose
+// parent column violates the invariants must be rejected, not served.
+func TestContainerRejectsInvalidParents(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(f *FlatLabeling)
+	}{
+		{"parent out of range", func(f *FlatLabeling) { f.parents[1] = 100 }},
+		{"parent below -1", func(f *FlatLabeling) { f.parents[1] = -7 }},
+		{"self entry with parent", func(f *FlatLabeling) {
+			// Slot offsets[1] is vertex 1's self entry (hub 0 sorts first
+			// only for vertex 0); locate the self entry of vertex 2.
+			for i := f.offsets[2]; i < f.offsets[3]-1; i++ {
+				if f.hubIDs[i] == 2 {
+					f.parents[i] = 0
+				}
+			}
+		}},
+		{"hop to itself", func(f *FlatLabeling) {
+			// A non-self entry whose stored hop is the vertex itself would
+			// loop the unpacking walk forever.
+			for i := f.offsets[1]; i < f.offsets[2]-1; i++ {
+				if f.hubIDs[i] != 1 {
+					f.parents[i] = 1
+				}
+			}
+		}},
+		{"parent on sentinel slot", func(f *FlatLabeling) { f.parents[f.offsets[1]-1] = 3 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			_, f := parentFixture(t)
+			cp := &FlatLabeling{
+				offsets: append([]int32(nil), f.offsets...),
+				hubIDs:  append([]graph.NodeID(nil), f.hubIDs...),
+				dists:   append([]graph.Weight(nil), f.dists...),
+				parents: append([]graph.NodeID(nil), f.parents...),
+			}
+			m.mutate(cp)
+			if _, err := ReadContainer(bytes.NewReader(rewriteContainer(t, cp, ContainerOptions{}))); err == nil {
+				t.Fatal("container with invalid parent column accepted")
+			}
+		})
+	}
+}
+
+// TestContainerParentsTruncated: cutting the stream inside or right before
+// the parent column must error, never load a half-filled column.
+func TestContainerParentsTruncated(t *testing.T) {
+	_, f := parentFixture(t)
+	for _, compress := range []bool{false, true} {
+		data := rewriteContainer(t, f, ContainerOptions{Compress: compress})
+		for _, cut := range []int{4, 1 + 4*len(f.parents)/2, 4 * len(f.parents)} {
+			trunc := data[:len(data)-4-cut] // drop the trailer and cut into parents
+			if _, err := ReadContainer(bytes.NewReader(trunc)); err == nil {
+				t.Fatalf("compress=%v cut=%d: truncated parent column accepted", compress, cut)
+			}
+		}
+	}
+}
+
+// TestContainerParentsFlagWithoutVersion2: flag bit 1 on a version-1
+// header must be rejected — v1 readers never defined it.
+func TestContainerParentsFlagWithoutVersion2(t *testing.T) {
+	_, f := parentFixture(t)
+	data := rewriteContainer(t, f, ContainerOptions{})
+	data[8] = 1 // version 2 → 1, parents flag now unknown
+	// Fix the checksum so only the flag check can reject.
+	crc := crc32.Checksum(data[:len(data)-4], castagnoli)
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc)
+	if _, err := ReadContainer(bytes.NewReader(data)); err == nil {
+		t.Fatal("version-1 container with parents flag accepted")
+	}
+}

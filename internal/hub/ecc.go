@@ -1,0 +1,271 @@
+package hub
+
+import (
+	"sort"
+	"sync"
+
+	"hublab/internal/graph"
+	"hublab/internal/par"
+)
+
+// EccIndex answers exact eccentricity and farthest-vertex queries from a
+// hub labeling, in the spirit of Ducoffe's "Eccentricity queries and
+// beyond using Hub Labels": every hub w stores the vertices that carry it,
+// sorted by their distance to w descending, so
+//
+//	ecc(v) ≤ max_{w ∈ S(v)} ( d(v,w) + max_{u: w ∈ S(u)} d(w,u) )
+//
+// is a one-scan upper bound (EccentricityUpperBound). The scan alone can
+// overshoot — d(v,w) + d(w,u) is only an upper bound on d(v,u) when w is
+// off the shortest v–u path — so exact queries refine it: candidates are
+// drawn best-first from the per-hub lists and their true distances decoded
+// with the label merge until the best exact distance found dominates every
+// remaining candidate's bound. Because every reachable u appears under its
+// meeting hub with a tight bound, the refinement always terminates at the
+// exact eccentricity; the number of candidates inspected adapts to how
+// tight the hub geometry is instead of scanning all n vertices.
+//
+// On hub geometries where the bounds are loose — expander-like random
+// graphs, where distances concentrate and nearly every candidate's bound
+// exceeds the true eccentricity (the same regime this paper's hardness
+// results live in) — best-first refinement degenerates toward scanning
+// the whole inverted index. The query therefore carries a pop budget:
+// once refinement has consumed it, the remaining unseen vertices are
+// finished off with one batched label scan, bounding every query at
+// O(n · merge) while structured instances (roads, trees, grids) stay far
+// below it.
+//
+// The inverted lists reuse the labeling's own entries (one id and one
+// distance per label entry), matching the compact per-hub auxiliary data
+// that sublinear-space labeling schemes argue for.
+//
+// An EccIndex is immutable and safe for concurrent queries (per-query
+// scratch is pooled).
+type EccIndex struct {
+	f *FlatLabeling
+	// CSR over hubs: users of hub w sit at [start[w], start[w+1]) in the
+	// id/dist arrays, sorted by distance descending (ties: id ascending).
+	start     []int32
+	userIDs   []graph.NodeID
+	userDists []graph.Weight
+	// scratch pools per-query state (seen bitmap, heap, batch buffers) so
+	// concurrent queries allocate nothing in steady state.
+	scratch sync.Pool
+}
+
+// eccScratch is the reusable per-query state.
+type eccScratch struct {
+	seen  []bool
+	heap  []eccCand
+	pairs [][2]graph.NodeID
+	out   []graph.Weight
+}
+
+// NewEccIndex inverts the labeling into per-hub farthest-first user lists.
+// Build cost is O(total · log) time and O(total) space.
+func NewEccIndex(f *FlatLabeling) *EccIndex {
+	n := f.NumVertices()
+	total := f.NumHubs()
+	e := &EccIndex{
+		f:         f,
+		start:     make([]int32, n+1),
+		userIDs:   make([]graph.NodeID, total),
+		userDists: make([]graph.Weight, total),
+	}
+	for v := 0; v < n; v++ {
+		for _, h := range f.LabelIDs(graph.NodeID(v)) {
+			e.start[h+1]++
+		}
+	}
+	for w := 0; w < n; w++ {
+		e.start[w+1] += e.start[w]
+	}
+	next := make([]int32, n)
+	copy(next, e.start[:n])
+	for v := 0; v < n; v++ {
+		ids, ds := f.LabelIDs(graph.NodeID(v)), f.LabelDists(graph.NodeID(v))
+		for i, h := range ids {
+			e.userIDs[next[h]] = graph.NodeID(v)
+			e.userDists[next[h]] = ds[i]
+			next[h]++
+		}
+	}
+	par.For(n, func(w int) {
+		lo, hi := e.start[w], e.start[w+1]
+		sort.Sort(&userSorter{ids: e.userIDs[lo:hi], ds: e.userDists[lo:hi]})
+	})
+	return e
+}
+
+type userSorter struct {
+	ids []graph.NodeID
+	ds  []graph.Weight
+}
+
+func (s *userSorter) Len() int { return len(s.ids) }
+func (s *userSorter) Less(i, j int) bool {
+	if s.ds[i] != s.ds[j] {
+		return s.ds[i] > s.ds[j]
+	}
+	return s.ids[i] < s.ids[j]
+}
+func (s *userSorter) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.ds[i], s.ds[j] = s.ds[j], s.ds[i]
+}
+
+// EccentricityUpperBound returns the one-scan hub bound on ecc(v) — the
+// quantity the exact query refines. It never underestimates.
+func (e *EccIndex) EccentricityUpperBound(v graph.NodeID) graph.Weight {
+	ids, ds := e.f.LabelIDs(v), e.f.LabelDists(v)
+	var ub graph.Weight
+	for i, w := range ids {
+		if lo := e.start[w]; lo < e.start[w+1] {
+			if b := ds[i] + e.userDists[lo]; b > ub {
+				ub = b
+			}
+		}
+	}
+	return ub
+}
+
+// eccCand is one in-flight per-hub cursor of the best-first refinement:
+// the next candidate of hub run [pos, end) with bound key = d(v,hub) +
+// d(hub, userIDs[pos]).
+type eccCand struct {
+	key      graph.Weight
+	pos, end int32
+	dw       graph.Weight
+}
+
+// Eccentricity returns the exact eccentricity of v — the maximum distance
+// from v over all reachable vertices — together with a vertex attaining
+// it (v itself when v reaches nothing else). v must be in range.
+func (e *EccIndex) Eccentricity(v graph.NodeID) (graph.Weight, graph.NodeID) {
+	n := e.f.NumVertices()
+	sc, _ := e.scratch.Get().(*eccScratch)
+	if sc == nil || len(sc.seen) < n {
+		sc = &eccScratch{seen: make([]bool, n)}
+	}
+	defer func() {
+		clear(sc.seen)
+		e.scratch.Put(sc)
+	}()
+
+	ids, ds := e.f.LabelIDs(v), e.f.LabelDists(v)
+	heap := sc.heap[:0]
+	for i, w := range ids {
+		if lo := e.start[w]; lo < e.start[w+1] {
+			heap = append(heap, eccCand{key: ds[i] + e.userDists[lo], pos: lo, end: e.start[w+1], dw: ds[i]})
+		}
+	}
+	sc.heap = heap
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(heap, i)
+	}
+	best, bestU := graph.Weight(0), v
+	sc.seen[v] = true
+	// Each heap pop is cheap, but on loose hub geometries the number of
+	// candidates with bound > ecc can approach the inverted-index size;
+	// past the budget a single batched scan of the unseen vertices is
+	// strictly cheaper and settles the query exactly.
+	budget := 2*n + 16*len(heap) + 64
+	for len(heap) > 0 && heap[0].key > best {
+		if budget--; budget < 0 {
+			best, bestU = e.scanRemaining(v, sc, best, bestU)
+			return best, bestU
+		}
+		c := heap[0]
+		u := e.userIDs[c.pos]
+		if !sc.seen[u] {
+			sc.seen[u] = true
+			// The exact distance: u shares a hub with v, so the merge is
+			// always finite and ≤ the candidate's bound.
+			if d, ok := e.f.Query(v, u); ok && d > best {
+				best, bestU = d, u
+			}
+		}
+		if c.pos+1 < c.end {
+			heap[0] = eccCand{key: c.dw + e.userDists[c.pos+1], pos: c.pos + 1, end: c.end, dw: c.dw}
+			siftDown(heap, 0)
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+			if len(heap) > 0 {
+				siftDown(heap, 0)
+			}
+		}
+	}
+	return best, bestU
+}
+
+// scanRemaining settles an over-budget query: every vertex not yet seen
+// gets one exact merge, batched through the interleaved QueryBatch path.
+// Ties keep the earlier (refinement or lower-id) vertex, so the result
+// stays deterministic.
+func (e *EccIndex) scanRemaining(v graph.NodeID, sc *eccScratch, best graph.Weight, bestU graph.NodeID) (graph.Weight, graph.NodeID) {
+	const chunk = 512
+	if cap(sc.pairs) < chunk {
+		sc.pairs = make([][2]graph.NodeID, chunk)
+		sc.out = make([]graph.Weight, chunk)
+	}
+	pairs, out := sc.pairs[:0], sc.out[:chunk]
+	n := e.f.NumVertices()
+	flush := func() {
+		e.f.QueryBatch(pairs, out)
+		for i := range pairs {
+			if d := out[i]; d < graph.Infinity && d > best {
+				best, bestU = d, pairs[i][1]
+			}
+		}
+		pairs = pairs[:0]
+	}
+	for u := 0; u < n; u++ {
+		if sc.seen[u] {
+			continue
+		}
+		pairs = append(pairs, [2]graph.NodeID{v, graph.NodeID(u)})
+		if len(pairs) == chunk {
+			flush()
+		}
+	}
+	if len(pairs) > 0 {
+		flush()
+	}
+	sc.pairs = pairs[:0]
+	return best, bestU
+}
+
+// Farthest returns a vertex at maximum distance from v and that distance.
+func (e *EccIndex) Farthest(v graph.NodeID) (graph.NodeID, graph.Weight) {
+	d, u := e.Eccentricity(v)
+	return u, d
+}
+
+// siftDown restores the max-heap property (by key; ties broken by lower
+// position for determinism) at index i.
+func siftDown(h []eccCand, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && candLess(h[m], h[l]) {
+			m = l
+		}
+		if r < len(h) && candLess(h[m], h[r]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// candLess orders a strictly below b in the max-heap.
+func candLess(a, b eccCand) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.pos > b.pos
+}

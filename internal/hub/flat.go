@@ -29,6 +29,10 @@ type FlatLabeling struct {
 	offsets []int32        // len n+1; label of v occupies [offsets[v], offsets[v+1]-1), sentinel at offsets[v+1]-1
 	hubIDs  []graph.NodeID // len Total + n, sentinel-terminated runs
 	dists   []graph.Weight // parallel to hubIDs (sentinel slots hold Infinity)
+	// parents, when non-nil, parallels hubIDs: the next hop from the
+	// vertex toward each hub on one shortest path (-1 for self entries and
+	// sentinel slots). It is what AppendPath unpacks witness paths from.
+	parents []graph.NodeID
 }
 
 // Freeze builds the flat CSR/SoA form of the labeling and caches it, so
@@ -62,16 +66,25 @@ func (l *Labeling) buildFlat() *FlatLabeling {
 		hubIDs:  make([]graph.NodeID, total+n),
 		dists:   make([]graph.Weight, total+n),
 	}
+	if l.parents != nil {
+		f.parents = make([]graph.NodeID, total+n)
+	}
 	pos := int32(0)
 	for v, hubs := range l.labels {
 		f.offsets[v] = pos
-		for _, h := range hubs {
+		for i, h := range hubs {
 			f.hubIDs[pos] = h.Node
 			f.dists[pos] = h.Dist
+			if f.parents != nil {
+				f.parents[pos] = l.parents[v][i]
+			}
 			pos++
 		}
 		f.hubIDs[pos] = flatSentinel
 		f.dists[pos] = graph.Infinity
+		if f.parents != nil {
+			f.parents[pos] = -1
+		}
 		pos++
 	}
 	f.offsets[n] = pos
@@ -94,10 +107,14 @@ func (l *Labeling) canonical() bool {
 	return true
 }
 
-// Thaw materializes a mutable Labeling holding a copy of the flat labels.
+// Thaw materializes a mutable Labeling holding a copy of the flat labels
+// (including the parent column, when present).
 func (f *FlatLabeling) Thaw() *Labeling {
 	n := f.NumVertices()
 	l := NewLabeling(n)
+	if f.parents != nil {
+		l.parents = make([][]graph.NodeID, n)
+	}
 	for v := 0; v < n; v++ {
 		lo, hi := f.offsets[v], f.offsets[v+1]-1
 		hubs := make([]Hub, hi-lo)
@@ -105,9 +122,16 @@ func (f *FlatLabeling) Thaw() *Labeling {
 			hubs[i-lo] = Hub{Node: f.hubIDs[i], Dist: f.dists[i]}
 		}
 		l.labels[v] = hubs
+		if f.parents != nil {
+			l.parents[v] = append([]graph.NodeID(nil), f.parents[lo:hi]...)
+		}
 	}
 	return l
 }
+
+// HasParents reports whether the labeling carries the parent column that
+// path unpacking (AppendPath) requires.
+func (f *FlatLabeling) HasParents() bool { return f.parents != nil }
 
 // NumVertices returns the number of vertices the labeling covers.
 func (f *FlatLabeling) NumVertices() int { return len(f.offsets) - 1 }
@@ -350,18 +374,38 @@ func (f *FlatLabeling) ComputeStats() Stats {
 func (f *FlatLabeling) NumHubs() int { return len(f.hubIDs) - f.NumVertices() }
 
 // SpaceBytes returns the exact storage of the flat arrays: 4 bytes per
-// offset plus 8 bytes per slot (hub id + distance), sentinels included.
+// offset plus 8 bytes per slot (hub id + distance), sentinels included,
+// plus 4 more per slot when the parent column is present.
 func (f *FlatLabeling) SpaceBytes() int64 {
-	return int64(len(f.offsets))*4 + int64(len(f.hubIDs))*4 + int64(len(f.dists))*4
+	return int64(len(f.offsets))*4 + int64(len(f.hubIDs))*4 + int64(len(f.dists))*4 +
+		int64(len(f.parents))*4
 }
 
 // FromSlices builds a canonical, frozen Labeling directly from raw
 // per-vertex hub slices, taking ownership of them. It is the emit path the
-// construction algorithms (PLL, canonical HHL, monotone closure) use so
-// their output carries the flat representation without an extra copy of
-// the mutable form.
+// construction algorithms use so their output carries the flat
+// representation without an extra copy of the mutable form.
 func FromSlices(labels [][]Hub) *Labeling {
 	l := &Labeling{labels: labels}
+	l.Canonicalize()
+	l.Freeze()
+	return l
+}
+
+// FromSlicesParents is FromSlices for builders that also recorded the
+// parent column during their shortest-path passes: parents[v][i] is the
+// next hop from v toward labels[v][i] (-1 for self entries). Both slices
+// are owned by the result and canonicalized in lockstep.
+func FromSlicesParents(labels [][]Hub, parents [][]graph.NodeID) *Labeling {
+	if len(parents) != len(labels) {
+		panic("hub: parent column does not parallel the labels")
+	}
+	for v := range labels {
+		if len(parents[v]) != len(labels[v]) {
+			panic(fmt.Sprintf("hub: vertex %d has %d parents for %d hubs", v, len(parents[v]), len(labels[v])))
+		}
+	}
+	l := &Labeling{labels: labels, parents: parents}
 	l.Canonicalize()
 	l.Freeze()
 	return l
@@ -378,6 +422,28 @@ func sortHubs(hubs []Hub) {
 	})
 }
 
+// sortHubsParents is sortHubs with the parent column permuted in lockstep.
+func sortHubsParents(hubs []Hub, parents []graph.NodeID) {
+	sort.Sort(&hubParentSorter{h: hubs, p: parents})
+}
+
+type hubParentSorter struct {
+	h []Hub
+	p []graph.NodeID
+}
+
+func (s *hubParentSorter) Len() int { return len(s.h) }
+func (s *hubParentSorter) Less(i, j int) bool {
+	if s.h[i].Node != s.h[j].Node {
+		return s.h[i].Node < s.h[j].Node
+	}
+	return s.h[i].Dist < s.h[j].Dist
+}
+func (s *hubParentSorter) Swap(i, j int) {
+	s.h[i], s.h[j] = s.h[j], s.h[i]
+	s.p[i], s.p[j] = s.p[j], s.p[i]
+}
+
 // validate asserts the structural invariants of the flat arrays. It must
 // stay fully defensive — ReadContainer runs it on untrusted input after
 // the checksum passes, so every index derived from the data is bounds-
@@ -389,6 +455,9 @@ func (f *FlatLabeling) validate() error {
 	}
 	if len(f.hubIDs) != len(f.dists) {
 		return fmt.Errorf("hub: flat arrays disagree: %d ids, %d dists", len(f.hubIDs), len(f.dists))
+	}
+	if f.parents != nil && len(f.parents) != len(f.hubIDs) {
+		return fmt.Errorf("hub: parent column has %d slots, labels have %d", len(f.parents), len(f.hubIDs))
 	}
 	if f.offsets[0] != 0 {
 		return fmt.Errorf("hub: first offset is %d, want 0", f.offsets[0])
@@ -403,6 +472,9 @@ func (f *FlatLabeling) validate() error {
 		}
 		if f.hubIDs[hi-1] != flatSentinel || f.dists[hi-1] != graph.Infinity {
 			return fmt.Errorf("hub: vertex %d run not sentinel-terminated", v)
+		}
+		if f.parents != nil && f.parents[hi-1] != -1 {
+			return fmt.Errorf("hub: vertex %d sentinel slot carries parent %d", v, f.parents[hi-1])
 		}
 		for i := lo; i < hi-1; i++ {
 			// Hubs are vertices of the same graph, so ids must lie in
@@ -420,6 +492,21 @@ func (f *FlatLabeling) validate() error {
 			// allowed (and overflow-safe by its choice of value).
 			if f.dists[i] < 0 || f.dists[i] > graph.Infinity {
 				return fmt.Errorf("hub: vertex %d distance out of range at slot %d", v, i)
+			}
+			if f.parents != nil {
+				// A self entry (hub == vertex) has no hop and must store -1;
+				// every other entry names a real next-hop vertex distinct
+				// from v — AppendPath indexes labels by it, so a hostile
+				// container must not smuggle ids that escape [0, n) or
+				// self-loop the walk.
+				p := f.parents[i]
+				if f.hubIDs[i] == graph.NodeID(v) {
+					if p != -1 {
+						return fmt.Errorf("hub: vertex %d self entry carries parent %d", v, p)
+					}
+				} else if p < 0 || int(p) >= n || p == graph.NodeID(v) {
+					return fmt.Errorf("hub: vertex %d parent out of range at slot %d", v, i)
+				}
 			}
 		}
 	}

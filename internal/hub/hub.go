@@ -44,9 +44,18 @@ type Hub struct {
 // Labeling holds one hub set per vertex, each sorted by hub id, enabling
 // O(|S(u)|+|S(v)|) merge queries. A frozen flat form (see Freeze) is
 // cached after construction and used transparently by the query methods.
+//
+// A labeling may additionally carry a parent column: for every label entry
+// (v, h, d), the next hop from v toward h on one shortest v–h path (-1 for
+// the self entry h = v). Builders that run shortest-path searches record it
+// for free (PLL, FromSets, canonical HHL); Add-based builders attach it
+// after the fact with ComputeParents. The column is what powers
+// FlatLabeling.AppendPath; any mutation (Add, SetLabel) discards it along
+// with the frozen form.
 type Labeling struct {
-	labels [][]Hub
-	flat   *FlatLabeling // non-nil iff frozen; invalidated by any mutation
+	labels  [][]Hub
+	parents [][]graph.NodeID // nil when absent; parents[v] parallels labels[v]
+	flat    *FlatLabeling    // non-nil iff frozen; invalidated by any mutation
 }
 
 // ErrNotCover reports that a labeling fails to cover some pair.
@@ -75,9 +84,11 @@ func (l *Labeling) NumVertices() int { return len(l.labels) }
 
 // Add inserts hub h at distance d into S(v). Call Canonicalize after a
 // batch of Adds to restore sorted, deduplicated labels. Adding discards
-// any frozen flat form.
+// any frozen flat form and any parent column (re-attach one with
+// ComputeParents).
 func (l *Labeling) Add(v graph.NodeID, h graph.NodeID, d graph.Weight) {
 	l.flat = nil
+	l.parents = nil
 	l.labels[v] = append(l.labels[v], Hub{Node: h, Dist: d})
 }
 
@@ -85,27 +96,41 @@ func (l *Labeling) Add(v graph.NodeID, h graph.NodeID, d graph.Weight) {
 func (l *Labeling) Label(v graph.NodeID) []Hub { return l.labels[v] }
 
 // SetLabel replaces S(v) wholesale (taking ownership of hubs) and discards
-// any frozen flat form.
+// any frozen flat form and any parent column.
 func (l *Labeling) SetLabel(v graph.NodeID, hubs []Hub) {
 	l.flat = nil
+	l.parents = nil
 	l.labels[v] = hubs
 }
 
 // Canonicalize sorts every label by hub id and merges duplicates keeping
 // the minimum distance. It discards any frozen flat form (Freeze again
-// afterwards to restore it).
+// afterwards to restore it). A parent column, when present, is permuted
+// and deduplicated in lockstep so it stays parallel to the labels.
 func (l *Labeling) Canonicalize() {
 	l.flat = nil
 	for v := range l.labels {
 		hubs := l.labels[v]
-		sortHubs(hubs)
+		if l.parents != nil {
+			sortHubsParents(hubs, l.parents[v])
+		} else {
+			sortHubs(hubs)
+		}
 		out := hubs[:0]
+		keep := 0
 		for i, h := range hubs {
 			if i == 0 || h.Node != hubs[i-1].Node {
+				if l.parents != nil {
+					l.parents[v][keep] = l.parents[v][i]
+				}
 				out = append(out, h)
+				keep++
 			}
 		}
 		l.labels[v] = out
+		if l.parents != nil {
+			l.parents[v] = l.parents[v][:keep]
+		}
 	}
 }
 
@@ -281,10 +306,13 @@ func FromSets(g *graph.Graph, sets [][]graph.NodeID) (*Labeling, error) {
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	// One search per distinct hub, in parallel; entry lists land in the
-	// slot of their hub's rank, so assembly order is deterministic.
+	// slot of their hub's rank, so assembly order is deterministic. The
+	// search tree also yields the parent column for free: Parent[v] in the
+	// tree rooted at h is the next hop from v toward h.
 	type entry struct {
-		v graph.NodeID
-		d graph.Weight
+		v   graph.NodeID
+		d   graph.Weight
+		par graph.NodeID
 	}
 	perHub := make([][]entry, len(order))
 	par.For(len(order), func(i int) {
@@ -294,20 +322,83 @@ func FromSets(g *graph.Graph, sets [][]graph.NodeID) (*Labeling, error) {
 		list := make([]entry, 0, len(vs))
 		for _, v := range vs {
 			if r.Dist[v] < graph.Infinity {
-				list = append(list, entry{v, r.Dist[v]})
+				list = append(list, entry{v, r.Dist[v], r.Parent[v]})
 			}
 		}
 		perHub[i] = list
 	})
-	l := NewLabeling(g.NumNodes())
+	n := g.NumNodes()
+	labels := make([][]Hub, n)
+	parents := make([][]graph.NodeID, n)
 	for i, h := range order {
 		for _, e := range perHub[i] {
-			l.Add(e.v, h, e.d)
+			labels[e.v] = append(labels[e.v], Hub{Node: h, Dist: e.d})
+			parents[e.v] = append(parents[e.v], e.par)
 		}
 	}
-	l.Canonicalize()
-	l.Freeze()
-	return l, nil
+	return FromSlicesParents(labels, parents), nil
+}
+
+// ComputeParents attaches a parent column to an existing labeling by
+// running one shortest-path search per distinct hub: for every entry
+// (v, h, d) the recorded parent is the next hop from v toward h along the
+// search tree rooted at h. It is the retrofit path for Add-based builders
+// (greedy cover, centroid labels, monotone closure); construction
+// algorithms that already run per-hub searches record parents inline
+// instead. The labeling's stored distances must be the exact graph
+// distances — a mismatch is reported as an error and leaves l without a
+// parent column. The labeling is re-frozen if it was frozen before.
+func (l *Labeling) ComputeParents(g *graph.Graph) error {
+	if l.NumVertices() != g.NumNodes() {
+		return fmt.Errorf("hub: labeling has %d vertices, graph has %d", l.NumVertices(), g.NumNodes())
+	}
+	if !l.canonical() {
+		l.Canonicalize()
+	}
+	// users[h] = positions (v, slot) that carry h.
+	users := make(map[graph.NodeID][]graph.NodeID)
+	for v, hubs := range l.labels {
+		for _, h := range hubs {
+			users[h.Node] = append(users[h.Node], graph.NodeID(v))
+		}
+	}
+	order := make([]graph.NodeID, 0, len(users))
+	for h := range users {
+		order = append(order, h)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	parents := make([][]graph.NodeID, len(l.labels))
+	for v, hubs := range l.labels {
+		parents[v] = make([]graph.NodeID, len(hubs))
+	}
+	err := par.FirstError(len(order), func(i int) error {
+		h := order[i]
+		r := sssp.Search(g, h)
+		for _, v := range users[h] {
+			slot := sort.Search(len(l.labels[v]), func(k int) bool { return l.labels[v][k].Node >= h })
+			e := l.labels[v][slot]
+			if r.Dist[v] != e.Dist {
+				return fmt.Errorf("hub: entry (%d,%d) stores distance %d, graph says %d",
+					v, h, e.Dist, r.Dist[v])
+			}
+			if v == h {
+				parents[v][slot] = -1
+			} else {
+				parents[v][slot] = r.Parent[v]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	wasFrozen := l.flat != nil
+	l.flat = nil
+	l.parents = parents
+	if wasFrozen {
+		l.Freeze()
+	}
+	return nil
 }
 
 // MonotoneClosure returns the monotone labeling {S*(v)}: for every hub
@@ -340,5 +431,9 @@ func MonotoneClosure(g *graph.Graph, l *Labeling) (*Labeling, error) {
 		}
 		outLabels[i] = hubs
 	})
-	return FromSlices(outLabels), nil
+	out := FromSlices(outLabels)
+	if err := out.ComputeParents(g); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

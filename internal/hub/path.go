@@ -1,0 +1,168 @@
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hublab/internal/graph"
+)
+
+// Path reporting on the flat labeling.
+//
+// A label entry (v, h, d) with a parent column stores the next hop from v
+// toward h on one shortest v–h path. Unpacking a full u–v path walks both
+// endpoints toward each other: each step queries the meeting hub of the
+// current endpoints and advances whichever endpoint has a stored hop
+// toward it. Advancing x by the hop p of entry (x, w) is always a step on
+// a shortest x–y path when d(x,y) = d(x,w) + d(w,y): by the triangle
+// inequality d(p,y) ≤ d(p,w) + d(w,y) = d(x,y) − w(x,p) and the reverse
+// inequality is immediate, so the walk never leaves the set of shortest
+// u–v paths. For hierarchical labelings (PLL, canonical HHL) the meeting
+// hub stays in the advanced endpoint's label the whole way down, so the
+// walk is pure parent-chasing; for arbitrary covers (FromSets, greedy
+// cover) a step may need a fresh meeting-hub query, which the loop issues
+// on demand.
+//
+// The contract assumes the labeling is a shortest-path cover — the
+// paper's object, and what every builder in this module produces. On a
+// non-cover labeling the decoded distances are only upper bounds and the
+// unpacked walk (when one exists) realizes the decoded value, not the
+// true distance.
+
+// ErrNoParents reports a path query against a labeling without a parent
+// column (built by a construction that does not record next hops, or
+// loaded from a version-1 container).
+var ErrNoParents = errors.New("hub: labeling carries no parent column for path reporting")
+
+// ErrPathUnpack reports that path unpacking could not make progress
+// within its step budget. This happens when the parent column is
+// inconsistent with the labels (a corrupt container whose structural
+// checks passed but whose hops do not descend toward their hubs) — and,
+// as a documented limitation, it can also happen on graphs with
+// zero-weight edges: a zero-weight hop does not strictly decrease the
+// endpoint distance, so the two-ended walk may oscillate between
+// endpoints instead of converging. Every generator and serving pipeline
+// in this module uses strictly positive weights, where each hop makes
+// strict progress and unpacking always succeeds on a valid cover.
+var ErrPathUnpack = errors.New("hub: parent column does not unpack a shortest path")
+
+// backBufs pools the reversed-tail scratch of AppendPath so steady-state
+// path unpacking allocates nothing beyond growth of the caller's slice.
+var backBufs = sync.Pool{New: func() any { return new([]graph.NodeID) }}
+
+// NextHop returns the stored next hop from v toward hub h, looked up by
+// binary search in S(v). ok is false when h ∉ S(v) or the labeling has no
+// parent column; the hop is -1 for the self entry h == v.
+func (f *FlatLabeling) NextHop(v, h graph.NodeID) (graph.NodeID, bool) {
+	if f.parents == nil {
+		return -1, false
+	}
+	return f.nextHop(v, h)
+}
+
+func (f *FlatLabeling) nextHop(v, h graph.NodeID) (graph.NodeID, bool) {
+	ids := f.hubIDs[f.offsets[v] : f.offsets[v+1]-1]
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= h })
+	if i == len(ids) || ids[i] != h {
+		return -1, false
+	}
+	return f.parents[int(f.offsets[v])+i], true
+}
+
+// Path returns one shortest u–v path as a fresh slice. See AppendPath for
+// the contract.
+func (f *FlatLabeling) Path(u, v graph.NodeID) ([]graph.NodeID, error) {
+	return f.AppendPath(nil, u, v)
+}
+
+// AppendPath appends the vertices of one shortest u–v path (inclusive of
+// both endpoints, in order from u to v) to dst and returns the extended
+// slice. When v is unreachable from u nothing is appended. It returns
+// ErrNoParents when the labeling has no parent column and ErrPathUnpack
+// when the column is inconsistent; on error dst is returned unchanged.
+//
+// Reusing dst across calls keeps the amortized cost at ≤ 2 allocations
+// per query (the tail scratch is pooled, so steady state is
+// allocation-free apart from growth of dst itself).
+//
+// Unpacking requires strictly positive edge weights to guarantee
+// progress; on graphs with zero-weight edges a query may answer
+// ErrPathUnpack (see that error's documentation) — it never returns a
+// wrong path.
+func (f *FlatLabeling) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]graph.NodeID, error) {
+	if f.parents == nil {
+		return dst, ErrNoParents
+	}
+	n := graph.NodeID(f.NumVertices())
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return dst, fmt.Errorf("%w: (%d,%d) outside [0,%d)", graph.ErrVertexRange, u, v, n)
+	}
+	if u == v {
+		return append(dst, u), nil
+	}
+	base := len(dst)
+	bp := backBufs.Get().(*[]graph.NodeID)
+	back := (*bp)[:0]
+	x, y := u, v
+	// Any simple shortest path has at most n vertices; a walk that takes
+	// more steps is cycling on an inconsistent parent column (possible
+	// only past the container's structural checks, e.g. along forged
+	// zero-weight hops) and must error out rather than spin.
+	for steps := 0; x != y; steps++ {
+		if steps > 2*int(n) {
+			*bp = back
+			backBufs.Put(bp)
+			return dst[:base], ErrPathUnpack
+		}
+		// Fast paths: one endpoint is a hub of the other, so the stored
+		// hop advances without a merge query.
+		if p, ok := f.nextHop(x, y); ok {
+			if p < 0 {
+				*bp = back
+				backBufs.Put(bp)
+				return dst[:base], ErrPathUnpack
+			}
+			dst = append(dst, x)
+			x = p
+			continue
+		}
+		if p, ok := f.nextHop(y, x); ok {
+			if p < 0 {
+				*bp = back
+				backBufs.Put(bp)
+				return dst[:base], ErrPathUnpack
+			}
+			back = append(back, y)
+			y = p
+			continue
+		}
+		// General step: find the meeting hub. Both fast paths missed, so
+		// w ∉ {x, y} and the hop entry (x, w) exists with a real parent.
+		_, w, ok := f.QueryVia(x, y)
+		if !ok {
+			*bp = back
+			backBufs.Put(bp)
+			if steps == 0 {
+				return dst[:base], nil // unreachable: report the empty path
+			}
+			return dst[:base], ErrPathUnpack
+		}
+		p, ok := f.nextHop(x, w)
+		if !ok || p < 0 {
+			*bp = back
+			backBufs.Put(bp)
+			return dst[:base], ErrPathUnpack
+		}
+		dst = append(dst, x)
+		x = p
+	}
+	dst = append(dst, x)
+	for i := len(back) - 1; i >= 0; i-- {
+		dst = append(dst, back[i])
+	}
+	*bp = back
+	backBufs.Put(bp)
+	return dst, nil
+}

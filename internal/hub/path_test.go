@@ -1,0 +1,269 @@
+package hub_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hublab/internal/cover"
+	"hublab/internal/dlabel"
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/hhl"
+	"hublab/internal/hub"
+	"hublab/internal/pll"
+	"hublab/internal/sssp"
+)
+
+// checkPathValid asserts path is an edge-valid shortest u–v path: correct
+// endpoints, every consecutive pair an edge of g, and weights summing to
+// the true distance.
+func checkPathValid(t *testing.T, g *graph.Graph, u, v graph.NodeID, path []graph.NodeID, want graph.Weight) {
+	t.Helper()
+	if want == graph.Infinity {
+		if len(path) != 0 {
+			t.Fatalf("pair (%d,%d) unreachable but got path %v", u, v, path)
+		}
+		return
+	}
+	if len(path) == 0 {
+		t.Fatalf("pair (%d,%d) reachable (d=%d) but got empty path", u, v, want)
+	}
+	if path[0] != u || path[len(path)-1] != v {
+		t.Fatalf("pair (%d,%d): path endpoints %d..%d", u, v, path[0], path[len(path)-1])
+	}
+	var sum graph.Weight
+	for i := 1; i < len(path); i++ {
+		w, ok := g.EdgeWeight(path[i-1], path[i])
+		if !ok {
+			t.Fatalf("pair (%d,%d): path step %d–%d is not an edge", u, v, path[i-1], path[i])
+		}
+		sum += w
+	}
+	if sum != want {
+		t.Fatalf("pair (%d,%d): path weighs %d, distance is %d (path %v)", u, v, sum, want, path)
+	}
+}
+
+// pllSetsPlusNoise converts a PLL labeling into bare hub sets with extra
+// random hubs mixed in: still a shortest-path cover (supersets of a cover
+// with exact distances stay exact) but no longer hierarchical, so the
+// unpacking loop's re-query fallback is exercised.
+func pllSetsPlusNoise(t *testing.T, g *graph.Graph, seed int64) [][]graph.NodeID {
+	t.Helper()
+	l, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	sets := make([][]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		for _, h := range l.Label(graph.NodeID(v)) {
+			sets[v] = append(sets[v], h.Node)
+		}
+		for k := 0; k < 3; k++ {
+			sets[v] = append(sets[v], graph.NodeID(rng.Intn(n)))
+		}
+	}
+	return sets
+}
+
+// TestAppendPathAcrossBuilders unpacks sampled paths from every
+// parent-recording construction on several graph families and checks them
+// edge by edge against true distances.
+func TestAppendPathAcrossBuilders(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    func() (*graph.Graph, error)
+	}{
+		{"gnm", func() (*graph.Graph, error) { return gen.Gnm(150, 270, 7) }},
+		{"grid", func() (*graph.Graph, error) { return gen.Grid(9, 10) }},
+		{"tree", func() (*graph.Graph, error) { return gen.RandomTree(120, 3) }},
+		{"road", func() (*graph.Graph, error) { return gen.RoadLike(8, 8, 4, 5) }},
+	}
+	for _, gc := range graphs {
+		g, err := gc.g()
+		if err != nil {
+			t.Fatalf("%s: %v", gc.name, err)
+		}
+		n := g.NumNodes()
+		order := make([]graph.NodeID, n)
+		for i := range order {
+			order[i] = graph.NodeID(i)
+		}
+		builders := []struct {
+			name string
+			skip bool
+			b    func() (*hub.Labeling, error)
+		}{
+			{"pll", false, func() (*hub.Labeling, error) { return pll.Build(g, pll.Options{}) }},
+			{"hhl", false, func() (*hub.Labeling, error) { return hhl.Canonical(g, order) }},
+			{"greedy-cover", g.Weighted(), func() (*hub.Labeling, error) { return cover.Greedy(g) }},
+			{"fromsets-noisy", false, func() (*hub.Labeling, error) {
+				return hub.FromSets(g, pllSetsPlusNoise(t, g, 11))
+			}},
+			{"monotone", false, func() (*hub.Labeling, error) {
+				base, err := pll.Build(g, pll.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return hub.MonotoneClosure(g, base)
+			}},
+			{"centroid", gc.name != "tree", func() (*hub.Labeling, error) { return dlabel.Centroid(g) }},
+		}
+		for _, bc := range builders {
+			if bc.skip {
+				continue
+			}
+			t.Run(gc.name+"/"+bc.name, func(t *testing.T) {
+				l, err := bc.b()
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				f := l.Freeze()
+				if !f.HasParents() {
+					t.Fatal("builder did not record a parent column")
+				}
+				rng := rand.New(rand.NewSource(21))
+				var buf []graph.NodeID
+				for k := 0; k < 400; k++ {
+					u := graph.NodeID(rng.Intn(n))
+					v := graph.NodeID(rng.Intn(n))
+					want := sssp.Distance(g, u, v)
+					if got, ok := f.Query(u, v); (want == graph.Infinity) == ok || (ok && got != want) {
+						t.Fatalf("labels are not a cover at (%d,%d)", u, v)
+					}
+					buf = buf[:0]
+					buf, err = f.AppendPath(buf, u, v)
+					if err != nil {
+						t.Fatalf("AppendPath(%d,%d): %v", u, v, err)
+					}
+					checkPathValid(t, g, u, v, buf, want)
+				}
+			})
+		}
+	}
+}
+
+// TestAppendPathEdgeCases pins the corner contracts: self paths, the
+// unreachable empty path, missing parents, and out-of-range ids.
+func TestAppendPathEdgeCases(t *testing.T) {
+	// Two components: 0–1–2 and 3–4.
+	b := graph.NewBuilder(5, 3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.MustBuild()
+	l, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := l.Freeze()
+
+	if p, err := f.Path(2, 2); err != nil || len(p) != 1 || p[0] != 2 {
+		t.Errorf("self path = %v, %v", p, err)
+	}
+	if p, err := f.Path(0, 3); err != nil || len(p) != 0 {
+		t.Errorf("cross-component path = %v, %v (want empty, nil)", p, err)
+	}
+	if p, err := f.Path(0, 2); err != nil || len(p) != 3 {
+		t.Errorf("path(0,2) = %v, %v", p, err)
+	}
+	if _, err := f.Path(-1, 2); !errors.Is(err, graph.ErrVertexRange) {
+		t.Errorf("negative id error = %v", err)
+	}
+	if _, err := f.Path(0, 99); !errors.Is(err, graph.ErrVertexRange) {
+		t.Errorf("big id error = %v", err)
+	}
+
+	// A labeling without parents must refuse with the documented sentinel.
+	bare := hub.NewLabeling(2)
+	bare.Add(0, 0, 0)
+	bare.Add(1, 0, 1)
+	bare.Add(1, 1, 0)
+	bare.Canonicalize()
+	if _, err := bare.Freeze().Path(0, 1); !errors.Is(err, hub.ErrNoParents) {
+		t.Errorf("parentless path error = %v, want ErrNoParents", err)
+	}
+}
+
+// TestAppendPathAllocs pins the amortized allocation bound of the
+// acceptance criteria: with a reused destination buffer, path unpacking
+// performs at most 2 allocations per query (steady state is 0).
+func TestAppendPathAllocs(t *testing.T) {
+	g, err := gen.Gnm(400, 720, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := l.Freeze()
+	buf := make([]graph.NodeID, 0, 512)
+	rng := rand.New(rand.NewSource(9))
+	pairs := make([][2]graph.NodeID, 64)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(400)), graph.NodeID(rng.Intn(400))}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(500, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		var err error
+		buf, err = f.AppendPath(buf[:0], p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 2 {
+		t.Errorf("AppendPath allocates %.2f/query, want ≤ 2 amortized", avg)
+	}
+}
+
+// TestThawCarriesParents: flat → mutable → flat keeps the parent column.
+func TestThawCarriesParents(t *testing.T) {
+	g, err := gen.Grid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := l.Freeze()
+	back := f.Thaw().Freeze()
+	if !back.HasParents() {
+		t.Fatal("Thaw dropped the parent column")
+	}
+	p1, err1 := f.Path(0, 15)
+	p2, err2 := back.Path(0, 15)
+	if err1 != nil || err2 != nil || len(p1) != len(p2) {
+		t.Fatalf("paths diverge after thaw: %v/%v %v/%v", p1, err1, p2, err2)
+	}
+}
+
+// TestMutationDropsParents: Add and SetLabel invalidate the column rather
+// than leaving it silently out of sync, and ComputeParents re-attaches it.
+func TestMutationDropsParents(t *testing.T) {
+	g, err := gen.Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Add(0, 8, 4) // redundant exact entry: cover stays intact
+	l.Canonicalize()
+	if _, err := l.Freeze().Path(0, 8); !errors.Is(err, hub.ErrNoParents) {
+		t.Errorf("path after Add = %v, want ErrNoParents", err)
+	}
+	if err := l.ComputeParents(g); err != nil {
+		t.Fatalf("ComputeParents: %v", err)
+	}
+	if p, err := l.Freeze().Path(0, 8); err != nil || len(p) != 5 {
+		t.Errorf("path after ComputeParents = %v, %v", p, err)
+	}
+}

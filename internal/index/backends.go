@@ -2,9 +2,12 @@ package index
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"hublab/internal/graph"
 	"hublab/internal/hub"
+	"hublab/internal/par"
 	"hublab/internal/pll"
 	"hublab/internal/sssp"
 )
@@ -30,12 +33,27 @@ const (
 	KindSearch    = "search"
 )
 
-// Matrix is the S = n² endpoint: the full distance matrix.
+// Matrix is the S = n² endpoint: the full distance matrix. It retains the
+// input graph so the path capability can materialize a next-hop matrix
+// lazily on the first Path query (doubling the stored bytes only for
+// deployments that actually report paths).
 type Matrix struct {
 	dist [][]graph.Weight
+	g    *graph.Graph
+	// nh[s][x] is the next hop from x toward s (the parent of x in the
+	// shortest-path tree rooted at s), built once on demand. The atomic
+	// pointer lets SpaceBytes observe the materialization without racing
+	// a concurrent first path query.
+	nhOnce sync.Once
+	nh     atomic.Pointer[[][]graph.NodeID]
 }
 
-var _ Index = (*Matrix)(nil)
+var (
+	_ Index                = (*Matrix)(nil)
+	_ PathReporter         = (*Matrix)(nil)
+	_ EccentricityReporter = (*Matrix)(nil)
+	_ CapabilityWarmer     = (*Matrix)(nil)
+)
 
 // MaxMatrixVertices caps matrix indexes at ~1 GiB.
 const MaxMatrixVertices = 16384
@@ -45,7 +63,7 @@ func NewMatrix(g *graph.Graph) (*Matrix, error) {
 	if g.NumNodes() > MaxMatrixVertices {
 		return nil, fmt.Errorf("%w: %d vertices for a distance matrix", ErrTooLarge, g.NumNodes())
 	}
-	return &Matrix{dist: sssp.AllPairs(g)}, nil
+	return &Matrix{dist: sssp.AllPairs(g), g: g}, nil
 }
 
 // Distance looks up the precomputed entry. Out-of-range ids return
@@ -64,10 +82,80 @@ func inRange(u, v graph.NodeID, n int) bool {
 	return u >= 0 && int(u) < n && v >= 0 && int(v) < n
 }
 
-// SpaceBytes counts 4 bytes per matrix entry.
+// SpaceBytes counts 4 bytes per matrix entry, doubled once the lazy
+// next-hop matrix has been materialized by a path query.
 func (m *Matrix) SpaceBytes() int64 {
 	n := int64(len(m.dist))
-	return n * n * 4
+	s := n * n * 4
+	if m.nh.Load() != nil {
+		s *= 2
+	}
+	return s
+}
+
+// nextHops materializes the next-hop matrix on first use: one search per
+// source across the worker pool, reusing each tree's parent array.
+func (m *Matrix) nextHops() [][]graph.NodeID {
+	m.nhOnce.Do(func() {
+		nh := make([][]graph.NodeID, len(m.dist))
+		par.For(len(m.dist), func(s int) {
+			nh[s] = sssp.Search(m.g, graph.NodeID(s)).Parent
+		})
+		m.nh.Store(&nh)
+	})
+	return *m.nh.Load()
+}
+
+// WarmPaths implements CapabilityWarmer: it materializes the next-hop
+// matrix so the first path query served from a shared worker pays
+// nothing.
+func (m *Matrix) WarmPaths() { m.nextHops() }
+
+// WarmEccentricity implements CapabilityWarmer (row scans need no
+// auxiliary state).
+func (m *Matrix) WarmEccentricity() {}
+
+// AppendPath implements PathReporter by chasing next hops toward v.
+func (m *Matrix) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]graph.NodeID, error) {
+	if !inRange(u, v, len(m.dist)) {
+		return dst, fmt.Errorf("%w: (%d,%d) outside [0,%d)", graph.ErrVertexRange, u, v, len(m.dist))
+	}
+	if m.dist[u][v] >= graph.Infinity {
+		return dst, nil
+	}
+	row := m.nextHops()[v]
+	for x := u; ; x = row[x] {
+		dst = append(dst, x)
+		if x == v {
+			return dst, nil
+		}
+	}
+}
+
+// Eccentricity implements EccentricityReporter with a row scan.
+func (m *Matrix) Eccentricity(v graph.NodeID) (graph.Weight, error) {
+	_, d, err := m.farthest(v)
+	return d, err
+}
+
+// Farthest implements EccentricityReporter: the smallest-id vertex at
+// maximum finite distance from v (v itself when nothing else is
+// reachable).
+func (m *Matrix) Farthest(v graph.NodeID) (graph.NodeID, graph.Weight, error) {
+	return m.farthest(v)
+}
+
+func (m *Matrix) farthest(v graph.NodeID) (graph.NodeID, graph.Weight, error) {
+	if !inRange(v, v, len(m.dist)) {
+		return -1, 0, fmt.Errorf("%w: %d outside [0,%d)", graph.ErrVertexRange, v, len(m.dist))
+	}
+	far, ecc := v, graph.Weight(0)
+	for u, d := range m.dist[v] {
+		if d < graph.Infinity && d > ecc {
+			far, ecc = graph.NodeID(u), d
+		}
+	}
+	return far, ecc, nil
 }
 
 // Name implements Index.
@@ -85,11 +173,19 @@ func (m *Matrix) Meta() Meta {
 type HubLabels struct {
 	l *hub.Labeling // nil when loaded from a container
 	f *hub.FlatLabeling
+	// ecc is the inverted farthest-first hub index, built lazily on the
+	// first eccentricity query (it costs one pass over the labels and is
+	// dead weight for distance-only serving).
+	eccOnce sync.Once
+	ecc     *hub.EccIndex
 }
 
 var (
-	_ Index   = (*HubLabels)(nil)
-	_ Batcher = (*HubLabels)(nil)
+	_ Index                = (*HubLabels)(nil)
+	_ Batcher              = (*HubLabels)(nil)
+	_ PathReporter         = (*HubLabels)(nil)
+	_ EccentricityReporter = (*HubLabels)(nil)
+	_ CapabilityWarmer     = (*HubLabels)(nil)
 )
 
 // NewHubLabels builds a PLL-backed hub-label index.
@@ -137,8 +233,49 @@ func (x *HubLabels) DistanceBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
 	x.f.QueryBatch(pairs, out)
 }
 
+// AppendPath implements PathReporter by unpacking the meeting hub through
+// the labeling's parent column. Indexes loaded from version-1 containers
+// (no parent column) report hub.ErrNoParents.
+func (x *HubLabels) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]graph.NodeID, error) {
+	return x.f.AppendPath(dst, u, v)
+}
+
+// eccIndex builds the farthest-first inverted index once.
+func (x *HubLabels) eccIndex() *hub.EccIndex {
+	x.eccOnce.Do(func() { x.ecc = hub.NewEccIndex(x.f) })
+	return x.ecc
+}
+
+// WarmPaths implements CapabilityWarmer (the parent column needs no
+// materialization).
+func (x *HubLabels) WarmPaths() {}
+
+// WarmEccentricity implements CapabilityWarmer: it builds the inverted
+// eccentricity index up front.
+func (x *HubLabels) WarmEccentricity() { x.eccIndex() }
+
+// Eccentricity implements EccentricityReporter via the best-first refined
+// hub scan (exact on any shortest-path cover).
+func (x *HubLabels) Eccentricity(v graph.NodeID) (graph.Weight, error) {
+	if !inRange(v, v, x.f.NumVertices()) {
+		return 0, fmt.Errorf("%w: %d outside [0,%d)", graph.ErrVertexRange, v, x.f.NumVertices())
+	}
+	d, _ := x.eccIndex().Eccentricity(v)
+	return d, nil
+}
+
+// Farthest implements EccentricityReporter.
+func (x *HubLabels) Farthest(v graph.NodeID) (graph.NodeID, graph.Weight, error) {
+	if !inRange(v, v, x.f.NumVertices()) {
+		return -1, 0, fmt.Errorf("%w: %d outside [0,%d)", graph.ErrVertexRange, v, x.f.NumVertices())
+	}
+	d, far := x.eccIndex().Eccentricity(v)
+	return far, d, nil
+}
+
 // SpaceBytes counts the flat storage exactly: 4 bytes per CSR offset plus
-// 8 bytes per slot (hub id + distance), sentinels included.
+// 8 bytes per slot (hub id + distance), sentinels included, plus the
+// parent column when present.
 func (x *HubLabels) SpaceBytes() int64 { return x.f.SpaceBytes() }
 
 // Name implements Index.
@@ -171,7 +308,11 @@ type Search struct {
 	g *graph.Graph
 }
 
-var _ Index = (*Search)(nil)
+var (
+	_ Index                = (*Search)(nil)
+	_ PathReporter         = (*Search)(nil)
+	_ EccentricityReporter = (*Search)(nil)
+)
 
 // NewSearch wraps the graph.
 func NewSearch(g *graph.Graph) *Search { return &Search{g: g} }
@@ -183,6 +324,47 @@ func (x *Search) Distance(u, v graph.NodeID) graph.Weight {
 		return graph.Infinity
 	}
 	return sssp.Distance(x.g, u, v)
+}
+
+// AppendPath implements PathReporter with its own traversal: one search
+// rooted at v, whose parent pointers are next hops toward v, walked
+// forward from u (so the path lands in dst already in u→v order).
+func (x *Search) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]graph.NodeID, error) {
+	if !inRange(u, v, x.g.NumNodes()) {
+		return dst, fmt.Errorf("%w: (%d,%d) outside [0,%d)", graph.ErrVertexRange, u, v, x.g.NumNodes())
+	}
+	r := sssp.Search(x.g, v)
+	if r.Dist[u] >= graph.Infinity {
+		return dst, nil
+	}
+	for w := u; ; w = r.Parent[w] {
+		dst = append(dst, w)
+		if w == v {
+			return dst, nil
+		}
+	}
+}
+
+// Eccentricity implements EccentricityReporter with one search.
+func (x *Search) Eccentricity(v graph.NodeID) (graph.Weight, error) {
+	_, d, err := x.Farthest(v)
+	return d, err
+}
+
+// Farthest implements EccentricityReporter: the smallest-id vertex at
+// maximum finite distance from v.
+func (x *Search) Farthest(v graph.NodeID) (graph.NodeID, graph.Weight, error) {
+	if !inRange(v, v, x.g.NumNodes()) {
+		return -1, 0, fmt.Errorf("%w: %d outside [0,%d)", graph.ErrVertexRange, v, x.g.NumNodes())
+	}
+	r := sssp.Search(x.g, v)
+	far, ecc := v, graph.Weight(0)
+	for u, d := range r.Dist {
+		if d < graph.Infinity && d > ecc {
+			far, ecc = graph.NodeID(u), d
+		}
+	}
+	return far, ecc, nil
 }
 
 // SpaceBytes counts the CSR arrays: 8 bytes per directed edge entry plus

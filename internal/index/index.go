@@ -56,6 +56,41 @@ type Batcher interface {
 	DistanceBatch(pairs [][2]graph.NodeID, out []graph.Weight)
 }
 
+// PathReporter is the optional witness-path capability: backends that can
+// reconstruct an actual shortest path (not just its length) implement it.
+// AppendPath appends the vertices of one shortest u–v path — inclusive of
+// both endpoints, in u→v order — to dst and returns the extended slice;
+// nothing is appended when v is unreachable from u. Reusing dst across
+// calls keeps queries allocation-free in steady state. Out-of-range ids
+// and structurally unsupported queries (e.g. a hub-label index loaded
+// from a version-1 container, which carries no parent column) are
+// reported as errors, never panics.
+type PathReporter interface {
+	AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]graph.NodeID, error)
+}
+
+// EccentricityReporter is the optional farthest-point capability:
+// Eccentricity returns max_u dist(v,u) over the vertices reachable from v
+// (0 when v reaches nothing), and Farthest additionally names a vertex
+// attaining it (v itself when the eccentricity is 0). Out-of-range ids
+// are reported as errors.
+type EccentricityReporter interface {
+	Eccentricity(v graph.NodeID) (graph.Weight, error)
+	Farthest(v graph.NodeID) (graph.NodeID, graph.Weight, error)
+}
+
+// CapabilityWarmer is implemented by backends whose optional capability
+// state materializes lazily on first use — the matrix's next-hop table
+// (n searches), the hub-label index's inverted eccentricity lists. Both
+// methods are idempotent, safe for concurrent callers, and cheap once
+// the state exists; serving layers call them in the submitting
+// goroutine so a one-time build never head-of-line blocks a shared
+// worker.
+type CapabilityWarmer interface {
+	WarmPaths()
+	WarmEccentricity()
+}
+
 // Options parameterizes backend construction.
 type Options struct {
 	// Seed drives any randomized choices of the builder.

@@ -184,3 +184,34 @@ func TestLoadReaderRejectsGarbage(t *testing.T) {
 		t.Errorf("LoadReader(garbage) err = %v, want ErrContainer", err)
 	}
 }
+
+// TestCapabilityWarming: warming materializes the lazy state up front —
+// observable for the matrix backend through its space accounting, and
+// idempotent for both warmers.
+func TestCapabilityWarming(t *testing.T) {
+	g, err := gen.Gnm(60, 110, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMatrix(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.SpaceBytes()
+	m.WarmPaths()
+	if got := m.SpaceBytes(); got != 2*base {
+		t.Errorf("space after WarmPaths = %d, want %d", got, 2*base)
+	}
+	m.WarmPaths() // idempotent
+	m.WarmEccentricity()
+
+	hl, err := NewHubLabels(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl.WarmPaths()
+	hl.WarmEccentricity()
+	if d, err := hl.Eccentricity(0); err != nil || d <= 0 {
+		t.Errorf("ecc after warming = %d, %v", d, err)
+	}
+}

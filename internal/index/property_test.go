@@ -1,0 +1,52 @@
+package index_test
+
+import (
+	"testing"
+
+	"hublab/internal/index"
+	"hublab/internal/index/indextest"
+)
+
+// TestPropertyBackends runs the randomized cross-backend property harness
+// over every registered backend and every harness graph family: distance
+// exactness and symmetry, the triangle inequality on sampled triples,
+// batch/scalar agreement, edge-valid witness paths summing to the
+// reported distance, and eccentricities matching brute-force search.
+//
+// CI runs this with -race and -count=2 as its own shard, so a backend
+// registered later is property-checked with zero new test code.
+func TestPropertyBackends(t *testing.T) {
+	for _, kind := range index.Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			for _, pg := range indextest.PropertyGraphs(t, 42) {
+				t.Run(pg.Name, func(t *testing.T) {
+					idx, err := index.Build(kind, pg.G, index.Options{Seed: 7})
+					if err != nil {
+						t.Fatalf("build %s over %s: %v", kind, pg.Name, err)
+					}
+					indextest.RunProperties(t, pg.G, idx, 1234)
+				})
+			}
+		})
+	}
+}
+
+// TestPropertyCapabilityCoverage pins that the capability interfaces are
+// actually exercised: all three built-in backends must report paths and
+// eccentricities (a silent type-assertion miss in the harness would
+// otherwise pass vacuously).
+func TestPropertyCapabilityCoverage(t *testing.T) {
+	pg := indextest.PropertyGraphs(t, 42)[0]
+	for _, kind := range []string{index.KindMatrix, index.KindHubLabels, index.KindSearch} {
+		idx, err := index.Build(kind, pg.G, index.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := idx.(index.PathReporter); !ok {
+			t.Errorf("%s does not implement PathReporter", kind)
+		}
+		if _, ok := idx.(index.EccentricityReporter); !ok {
+			t.Errorf("%s does not implement EccentricityReporter", kind)
+		}
+	}
+}

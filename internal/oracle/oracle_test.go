@@ -52,10 +52,11 @@ func TestOracleSpaceAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewLabels: %v", err)
 	}
-	// Exact flat CSR accounting: 8 bytes per slot (hub entries plus one
-	// sentinel per vertex) and 4 bytes per offset.
+	// Exact flat CSR accounting: 12 bytes per slot (hub id, distance and
+	// next-hop parent; hub entries plus one sentinel per vertex) and 4
+	// bytes per offset.
 	stats := labels.Labeling().ComputeStats()
-	if want := int64(stats.Total+100)*8 + int64(100+1)*4; labels.SpaceBytes() != want {
+	if want := int64(stats.Total+100)*12 + int64(100+1)*4; labels.SpaceBytes() != want {
 		t.Errorf("labels space = %d, want %d", labels.SpaceBytes(), want)
 	}
 	search := NewSearch(g)

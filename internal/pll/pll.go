@@ -93,9 +93,16 @@ func buildOrder(g *graph.Graph, opts Options) ([]graph.NodeID, error) {
 // Labels are accumulated in root-rank order; since pruning only ever
 // consults labels of already-ranked roots, a temporary array holding the
 // current root's distances makes each prune check O(|label|).
+//
+// The BFS tree predecessor of each labeled vertex is recorded as the
+// entry's parent (the next hop toward the root). Every vertex on the tree
+// path from the root to a labeled vertex is itself labeled — a pruned
+// vertex never expands, so it can never be an interior tree vertex — which
+// is what makes the recorded hops unpackable into full paths.
 func buildUnweighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 	n := g.NumNodes()
 	labels := make([][]hub.Hub, n)
+	parents := make([][]graph.NodeID, n)
 	rootDist := make([]graph.Weight, n) // distances from current root's label
 	for i := range rootDist {
 		rootDist[i] = graph.Infinity
@@ -104,6 +111,7 @@ func buildUnweighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 	for i := range dist {
 		dist[i] = graph.Infinity
 	}
+	pred := make([]graph.NodeID, n)
 	queue := make([]graph.NodeID, 0, n)
 	visited := make([]graph.NodeID, 0, n)
 
@@ -113,6 +121,7 @@ func buildUnweighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 			rootDist[h.Node] = h.Dist
 		}
 		dist[root] = 0
+		pred[root] = -1
 		queue = append(queue[:0], root)
 		visited = append(visited[:0], root)
 		for qi := 0; qi < len(queue); qi++ {
@@ -130,9 +139,11 @@ func buildUnweighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 				continue
 			}
 			labels[u] = append(labels[u], hub.Hub{Node: root, Dist: du})
+			parents[u] = append(parents[u], pred[u])
 			for _, v := range g.Neighbors(u) {
 				if dist[v] == graph.Infinity {
 					dist[v] = du + 1
+					pred[v] = u
 					queue = append(queue, v)
 					visited = append(visited, v)
 				}
@@ -145,7 +156,7 @@ func buildUnweighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 			dist[v] = graph.Infinity
 		}
 	}
-	return hub.FromSlices(labels)
+	return hub.FromSlicesParents(labels, parents)
 }
 
 // buildWeighted is the pruned Dijkstra variant (handles any non-negative
@@ -154,6 +165,7 @@ func buildUnweighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 func buildWeighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 	n := g.NumNodes()
 	labels := make([][]hub.Hub, n)
+	parents := make([][]graph.NodeID, n)
 	rootDist := make([]graph.Weight, n)
 	for i := range rootDist {
 		rootDist[i] = graph.Infinity
@@ -162,6 +174,7 @@ func buildWeighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 	for i := range dist {
 		dist[i] = graph.Infinity
 	}
+	pred := make([]graph.NodeID, n)
 	h := pqueue.New(n)
 	visited := make([]graph.NodeID, 0, n)
 
@@ -170,6 +183,7 @@ func buildWeighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 			rootDist[e.Node] = e.Dist
 		}
 		dist[root] = 0
+		pred[root] = -1
 		h.Reset()
 		h.Push(root, 0)
 		visited = append(visited[:0], root)
@@ -189,6 +203,7 @@ func buildWeighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 				continue
 			}
 			labels[u] = append(labels[u], hub.Hub{Node: root, Dist: du})
+			parents[u] = append(parents[u], pred[u])
 			ws := g.NeighborWeights(u)
 			for i, v := range g.Neighbors(u) {
 				w := graph.Weight(1)
@@ -200,6 +215,7 @@ func buildWeighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 						visited = append(visited, v)
 					}
 					dist[v] = nd
+					pred[v] = u
 					h.Push(v, nd)
 				}
 			}
@@ -211,5 +227,5 @@ func buildWeighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 			dist[v] = graph.Infinity
 		}
 	}
-	return hub.FromSlices(labels)
+	return hub.FromSlicesParents(labels, parents)
 }

@@ -17,6 +17,14 @@
 // Options.Admission set, consults a constant-memory fair admission
 // controller (internal/flowctl) so overload is shed per-client instead
 // of starving whoever queues last.
+//
+// Beyond scalar distances, witness-path and eccentricity queries flow
+// through the same queues and the same admission door (TryPath,
+// TryEccentricity, TryFarthest): a worker group may mix kinds, with the
+// all-distance common case still taking the interleaved-merge batch
+// path. Capabilities are resolved per snapshot, so swapping in an index
+// without path support degrades those requests to ErrUnsupported rather
+// than breaking the server.
 package server
 
 import (
@@ -40,6 +48,12 @@ var ErrOverloaded = errors.New("server: overloaded")
 
 // ErrClosed reports a request issued after (or concurrent with) Close.
 var ErrClosed = errors.New("server: closed")
+
+// ErrUnsupported reports a query kind (path, eccentricity) the currently
+// served index does not implement. The capability is re-checked per
+// snapshot, so a Swap to a capable index clears the condition without a
+// restart.
+var ErrUnsupported = errors.New("server: query kind not supported by the served index")
 
 // batchSize is how many adjacent requests a shard coalesces into one
 // DistanceBatch call. Three matches the stream count of the interleaved
@@ -87,16 +101,38 @@ type Server struct {
 	directBatches atomic.Uint64
 }
 
-// snapshot pairs an index with its (possibly nil) batch fast path so one
-// atomic load fetches both.
+// snapshot pairs an index with its (possibly nil) capability fast paths
+// so one atomic load fetches all of them.
 type snapshot struct {
 	idx   index.Index
 	batch index.Batcher
+	paths index.PathReporter
+	ecc   index.EccentricityReporter
+	warm  index.CapabilityWarmer
 }
 
+// Request kinds flowing through the shard queues. Distance requests keep
+// the interleaved-merge batch path; path and eccentricity requests share
+// the same queues, workers and admission door but are answered one by
+// one.
+const (
+	opDistance = iota
+	opPath
+	opEcc
+	opFarthest
+)
+
 type request struct {
+	op   uint8
 	u, v graph.NodeID
 	d    graph.Weight
+	// path carries the caller's destination buffer in and the appended
+	// path out (opPath only); the envelope drops the reference before
+	// returning to the pool, so the buffer's ownership stays with the
+	// caller.
+	path []graph.NodeID
+	far  graph.NodeID
+	err  error
 	done chan struct{}
 }
 
@@ -142,6 +178,15 @@ func newSnapshot(idx index.Index) *snapshot {
 	if b, ok := idx.(index.Batcher); ok {
 		ns.batch = b
 	}
+	if p, ok := idx.(index.PathReporter); ok {
+		ns.paths = p
+	}
+	if e, ok := idx.(index.EccentricityReporter); ok {
+		ns.ecc = e
+	}
+	if w, ok := idx.(index.CapabilityWarmer); ok {
+		ns.warm = w
+	}
 	return ns
 }
 
@@ -180,10 +225,12 @@ func (s *Server) release() {
 // traffic they do not control should use TryQuery, which returns
 // ErrClosed instead.
 func (s *Server) Query(u, v graph.NodeID) graph.Weight {
-	d, err := s.submit("", u, v, true)
+	r, err := s.submit("", opDistance, u, v, nil, true)
 	if err != nil {
 		panic("server: Query called after Close (use TryQuery for a graceful ErrClosed)")
 	}
+	d := r.d
+	s.putRequest(r)
 	return d
 }
 
@@ -195,22 +242,93 @@ func (s *Server) Query(u, v graph.NodeID) graph.Weight {
 // ErrClosed after Close; an admitted request still blocks until its
 // answer is computed. Zero allocations in steady state.
 func (s *Server) TryQuery(client string, u, v graph.NodeID) (graph.Weight, error) {
-	return s.submit(client, u, v, false)
+	r, err := s.submit(client, opDistance, u, v, nil, false)
+	if err != nil {
+		return graph.Infinity, err
+	}
+	d := r.d
+	s.putRequest(r)
+	return d, nil
+}
+
+// TryPath answers one witness-path query through the same shard queues
+// and admission door as TryQuery: the path vertices (u→v inclusive) are
+// appended to dst, whose ownership stays with the caller — reusing it
+// keeps the door allocation-free apart from the path storage itself.
+// Nothing is appended for unreachable pairs. Backends without the path
+// capability answer ErrUnsupported; a hub-label index served from a
+// version-1 container reports hub.ErrNoParents.
+func (s *Server) TryPath(client string, u, v graph.NodeID, dst []graph.NodeID) ([]graph.NodeID, error) {
+	r, err := s.submit(client, opPath, u, v, dst, false)
+	if err != nil {
+		return dst, err
+	}
+	path, qerr := r.path, r.err
+	s.putRequest(r)
+	return path, qerr
+}
+
+// TryEccentricity answers one eccentricity query under the admission
+// door. Backends without the capability answer ErrUnsupported.
+func (s *Server) TryEccentricity(client string, v graph.NodeID) (graph.Weight, error) {
+	r, err := s.submit(client, opEcc, v, v, nil, false)
+	if err != nil {
+		return graph.Infinity, err
+	}
+	d, qerr := r.d, r.err
+	s.putRequest(r)
+	return d, qerr
+}
+
+// TryFarthest answers one farthest-vertex query (the vertex attaining
+// Eccentricity(v), and that distance) under the admission door.
+func (s *Server) TryFarthest(client string, v graph.NodeID) (graph.NodeID, graph.Weight, error) {
+	r, err := s.submit(client, opFarthest, v, v, nil, false)
+	if err != nil {
+		return -1, graph.Infinity, err
+	}
+	far, d, qerr := r.far, r.d, r.err
+	s.putRequest(r)
+	return far, d, qerr
+}
+
+// putRequest scrubs an answered envelope and returns it to the pool. The
+// path buffer belongs to the caller, so the reference must not survive
+// into the pool.
+func (s *Server) putRequest(r *request) {
+	r.path = nil
+	r.err = nil
+	s.pool.Put(r)
 }
 
 // submit is the common door: gate against Close, optionally consult the
-// admission controller, enqueue (blocking or not), await the answer.
-func (s *Server) submit(client string, u, v graph.NodeID, block bool) (graph.Weight, error) {
+// admission controller, enqueue (blocking or not), await the answer. On
+// success the caller owns the returned envelope and must release it with
+// putRequest after copying the answer out.
+func (s *Server) submit(client string, op uint8, u, v graph.NodeID, dst []graph.NodeID, block bool) (*request, error) {
 	if !s.acquire() {
-		return graph.Infinity, ErrClosed
+		return nil, ErrClosed
 	}
 	defer s.release()
 	if !block && s.ctl != nil && s.ctl.Shed(client) {
 		s.shed.Add(1)
-		return graph.Infinity, ErrOverloaded
+		return nil, ErrOverloaded
+	}
+	// Lazily materialized capability state (the matrix next-hop table,
+	// the inverted eccentricity lists) is warmed here, in the submitting
+	// goroutine: the one-time build blocks only this caller, never a
+	// shard worker with other clients' requests queued behind it. Once
+	// built these are sync.Once fast paths.
+	if snap := s.snap.Load(); snap.warm != nil {
+		switch op {
+		case opPath:
+			snap.warm.WarmPaths()
+		case opEcc, opFarthest:
+			snap.warm.WarmEccentricity()
+		}
 	}
 	r := s.pool.Get().(*request)
-	r.u, r.v = u, v
+	r.op, r.u, r.v, r.path = op, u, v, dst
 	sh := s.shards[s.rr.Add(1)%uint64(len(s.shards))]
 	if block {
 		sh.ch <- r
@@ -218,21 +336,19 @@ func (s *Server) submit(client string, u, v graph.NodeID, block bool) (graph.Wei
 		select {
 		case sh.ch <- r:
 		default:
-			s.pool.Put(r)
+			s.putRequest(r)
 			s.rejected.Add(1)
 			if s.ctl != nil {
 				s.ctl.OnQueueFull(client)
 			}
-			return graph.Infinity, ErrOverloaded
+			return nil, ErrOverloaded
 		}
 	}
 	<-r.done
-	d := r.d
-	s.pool.Put(r)
 	if !block && s.ctl != nil {
 		s.ctl.OnServed(client)
 	}
-	return d, nil
+	return r, nil
 }
 
 // QueryBatch answers pairs[k] into out[k] directly on the current
@@ -368,7 +484,14 @@ func (s *Server) run(sh *shard) {
 			}
 		}
 		snap := s.snap.Load()
-		if snap.batch != nil && n > 1 {
+		allDist := true
+		for i := 0; i < n; i++ {
+			if sh.reqs[i].op != opDistance {
+				allDist = false
+				break
+			}
+		}
+		if snap.batch != nil && n > 1 && allDist {
 			for i := 0; i < n; i++ {
 				sh.pairs[i] = [2]graph.NodeID{sh.reqs[i].u, sh.reqs[i].v}
 			}
@@ -378,7 +501,7 @@ func (s *Server) run(sh *shard) {
 			}
 		} else {
 			for i := 0; i < n; i++ {
-				sh.reqs[i].d = snap.idx.Distance(sh.reqs[i].u, sh.reqs[i].v)
+				serveOne(snap, sh.reqs[i])
 			}
 		}
 		// Count before replying: once done is signaled, callers may observe
@@ -389,6 +512,35 @@ func (s *Server) run(sh *shard) {
 			sh.reqs[i].done <- struct{}{}
 			sh.reqs[i] = nil
 		}
+	}
+}
+
+// serveOne answers a single request of any kind on one snapshot. Requests
+// against capabilities the snapshot lacks degrade to ErrUnsupported —
+// never a panic, and re-evaluated per snapshot so Swap can add or remove
+// capabilities under live traffic.
+func serveOne(snap *snapshot, r *request) {
+	switch r.op {
+	case opPath:
+		if snap.paths == nil {
+			r.err = ErrUnsupported
+			return
+		}
+		r.path, r.err = snap.paths.AppendPath(r.path, r.u, r.v)
+	case opEcc:
+		if snap.ecc == nil {
+			r.err = ErrUnsupported
+			return
+		}
+		r.d, r.err = snap.ecc.Eccentricity(r.u)
+	case opFarthest:
+		if snap.ecc == nil {
+			r.err = ErrUnsupported
+			return
+		}
+		r.far, r.d, r.err = snap.ecc.Farthest(r.u)
+	default:
+		r.d = snap.idx.Distance(r.u, r.v)
 	}
 }
 
