@@ -7,6 +7,8 @@ package hublab
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -845,5 +847,120 @@ func BenchmarkE16HighwayDim(b *testing.B) {
 		if _, err := hdim.Estimate(g); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- E21: zero-copy mmap serving — open latency and view query parity --
+
+// benchAligned10k holds the on-disk aligned container of the 10k
+// instance, written once per process.
+var benchAligned10k struct {
+	once sync.Once
+	path string
+	err  error
+}
+
+// benchAlignedContainer10k writes (once) the Gnm(10k) labeling as an
+// aligned v3 container and returns its path. The file lives in the
+// process temp dir; benchmarks only read it.
+func benchAlignedContainer10k(b *testing.B) string {
+	flat, _, _ := benchQueryGraph10k(b)
+	benchAligned10k.once.Do(func() {
+		dir, err := os.MkdirTemp("", "hublab-e21-")
+		if err != nil {
+			benchAligned10k.err = err
+			return
+		}
+		path := filepath.Join(dir, "aligned.hli")
+		f, err := os.Create(path)
+		if err != nil {
+			benchAligned10k.err = err
+			return
+		}
+		if _, err := flat.WriteContainer(f, hub.ContainerOptions{Aligned: true}); err != nil {
+			benchAligned10k.err = err
+			return
+		}
+		benchAligned10k.err = f.Close()
+		benchAligned10k.path = path
+	})
+	if benchAligned10k.err != nil {
+		b.Fatal(benchAligned10k.err)
+	}
+	return benchAligned10k.path
+}
+
+// BenchmarkE21OpenDecode is the decode baseline over the identical v3
+// file: full read, column conversion and structural audit per iteration.
+func BenchmarkE21OpenDecode(b *testing.B) {
+	path := benchAlignedContainer10k(b)
+	info, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(info.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := index.Load(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE21OpenMmap opens the same container zero-copy per iteration:
+// header + whole-file CRC + O(n) run checks, columns pointed at the map.
+// The acceptance bar for PR 5 is ≥ 50× faster than BenchmarkE21OpenDecode.
+func BenchmarkE21OpenMmap(b *testing.B) {
+	path := benchAlignedContainer10k(b)
+	info, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(info.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, err := index.LoadMmap(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x.Release()
+	}
+}
+
+// BenchmarkE21OpenMmapFirstQuery adds the first query to each open — the
+// page-fault-inclusive "time to first answer" a cold serving process
+// pays.
+func BenchmarkE21OpenMmapFirstQuery(b *testing.B) {
+	path := benchAlignedContainer10k(b)
+	_, _, pairs := benchQueryGraph10k(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, err := index.LoadMmap(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := pairs[i%len(pairs)]
+		x.Distance(p[0], p[1])
+		x.Release()
+	}
+}
+
+// BenchmarkE21QueryMmapSteady pins view-query parity: the merge on
+// mapped columns must match the owned-array numbers of
+// BenchmarkE10QueryFlat10k (same layout, different backing store), at 0
+// allocs/op.
+func BenchmarkE21QueryMmapSteady(b *testing.B) {
+	path := benchAlignedContainer10k(b)
+	_, _, pairs := benchQueryGraph10k(b)
+	x, err := index.LoadMmap(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer x.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		x.Distance(p[0], p[1])
 	}
 }

@@ -1,5 +1,5 @@
 // Command experiments reproduces every experiment in DESIGN.md's
-// per-experiment index (E1–E12 plus the extension experiments E13–E19),
+// per-experiment index (E1–E12 plus the extension experiments E13–E21),
 // printing one table per experiment. The output of `experiments -run all`
 // is the source of EXPERIMENTS.md.
 //
@@ -18,14 +18,18 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -84,6 +88,7 @@ var experiments = []struct {
 	{"E18", "Serving: sharded server throughput vs worker count", e18},
 	{"E19", "Serving: fair admission control under overload", e19},
 	{"E20", "Serving: path unpacking and eccentricity query cost", e20},
+	{"E21", "Serving: zero-copy mmap open, first-touch cost, shared memory", e21},
 }
 
 // cacheDir, when non-empty, holds persisted index containers so repeated
@@ -93,7 +98,12 @@ var cacheDir string
 func run() error {
 	sel := flag.String("run", "all", "comma-separated experiment ids or 'all'")
 	flag.StringVar(&cacheDir, "cache", "", "directory for cached index containers (empty = rebuild every run)")
+	holdMode := flag.String("hold", "", "internal (E21 child): load -holdindex ('mmap' or 'decode'), report memory, wait for stdin EOF")
+	holdIndex := flag.String("holdindex", "", "internal (E21 child): container path for -hold")
 	flag.Parse()
+	if *holdMode != "" {
+		return runHold(*holdMode, *holdIndex)
+	}
 	want := map[string]bool{}
 	all := *sel == "all"
 	for _, id := range strings.Split(*sel, ",") {
@@ -1170,4 +1180,261 @@ func e20() error {
 	fmt.Println("   cheapest where hub bounds are tight and falls back to one budgeted batched")
 	fmt.Println("   label scan on expander-like instances — the paper's hard regime)")
 	return nil
+}
+
+// e21: the zero-copy serving path. Three measurements on the shared
+// Gnm(10k) instance written as an aligned (v3) container: (1) open
+// latency, decode vs mmap, with a byte-identical answer check; (2) the
+// first-touch cost an mmap process pays lazily — page faults and time of
+// the first query sweep vs the steady state; (3) resident memory of 1
+// vs 3 concurrent serving processes over the same container, decode vs
+// mmap (child processes of this binary in -hold mode report their
+// RSS/PSS) — the page-cache sharing that makes multi-process mmap
+// serving pay for the index once.
+func e21() error {
+	idx, _, _, err := servingIndex()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "hublab-e21-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "aligned.hli")
+	if err := index.Save(path, idx, hub.ContainerOptions{Aligned: true}); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  instance: Gnm(10000, 18000), aligned container %d bytes\n", info.Size())
+
+	// (1) Open latency: best of reps, page cache warm in both cases.
+	const reps = 9
+	var decodeOpen, mmapOpen time.Duration = time.Hour, time.Hour
+	var decoded *index.HubLabels
+	for i := 0; i < reps; i++ {
+		s := time.Now()
+		x, err := index.Load(path)
+		if err != nil {
+			return err
+		}
+		if d := time.Since(s); d < decodeOpen {
+			decodeOpen = d
+		}
+		decoded = x
+	}
+	for i := 0; i < reps; i++ {
+		s := time.Now()
+		x, err := index.LoadMmap(path)
+		if err != nil {
+			return err
+		}
+		if d := time.Since(s); d < mmapOpen {
+			mmapOpen = d
+		}
+		x.Release()
+	}
+	fmt.Printf("  open: decode %v, mmap %v — %.0fx faster (O(1) in index size)\n",
+		decodeOpen.Round(time.Microsecond), mmapOpen.Round(time.Microsecond),
+		float64(decodeOpen)/float64(mmapOpen))
+
+	// Byte-identical answers across the two doors.
+	view, err := index.LoadMmap(path)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(21))
+	for k := 0; k < 5000; k++ {
+		u := graph.NodeID(rng.Intn(10000))
+		v := graph.NodeID(rng.Intn(10000))
+		if a, b := decoded.Distance(u, v), view.Distance(u, v); a != b {
+			view.Release()
+			return fmt.Errorf("e21: decode and mmap disagree on (%d,%d): %d vs %d", u, v, a, b)
+		}
+	}
+	fmt.Println("  answers: 5000 sampled queries byte-identical across decode and mmap")
+	view.Release()
+
+	// (2) First-touch cost: a fresh mapping faults its pages in on the
+	// queries that touch them; the sweep price amortizes away.
+	fresh, err := index.LoadMmap(path)
+	if err != nil {
+		return err
+	}
+	pairs := make([][2]graph.NodeID, 20000)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(10000)), graph.NodeID(rng.Intn(10000))}
+	}
+	f0 := minorFaults()
+	s := time.Now()
+	for _, p := range pairs {
+		fresh.Distance(p[0], p[1])
+	}
+	cold := time.Since(s)
+	coldFaults := minorFaults() - f0
+	f0 = minorFaults()
+	s = time.Now()
+	for _, p := range pairs {
+		fresh.Distance(p[0], p[1])
+	}
+	warm := time.Since(s)
+	warmFaults := minorFaults() - f0
+	fmt.Printf("  first-touch: first %d queries %v (%d soft faults), steady %v (%d) — %.0fns → %.0fns/query\n",
+		len(pairs), cold.Round(time.Microsecond), coldFaults, warm.Round(time.Microsecond), warmFaults,
+		float64(cold.Nanoseconds())/float64(len(pairs)), float64(warm.Nanoseconds())/float64(len(pairs)))
+	fresh.Release()
+
+	// (3) Shared memory across processes.
+	fmt.Println("  procs  mode    sum RSS (MB)  sum PSS (MB)")
+	for _, mode := range []string{"decode", "mmap"} {
+		for _, procs := range []int{1, 3} {
+			rss, pss, err := holdChildren(mode, path, procs)
+			if err != nil {
+				fmt.Printf("  (%d×%s skipped: %v)\n", procs, mode, err)
+				continue
+			}
+			fmt.Printf("  %5d  %-6s  %12.1f  %12.1f\n",
+				procs, mode, float64(rss)/1024, float64(pss)/1024)
+		}
+	}
+	fmt.Println("  (PSS divides shared pages among sharers: 3 mmap processes cost ~1 index,")
+	fmt.Println("   3 decode processes cost 3 — the kernel page cache is the only copy)")
+	return nil
+}
+
+// minorFaults reads this process's cumulative soft page faults
+// (/proc/self/stat field minflt); 0 when unavailable.
+func minorFaults() int64 {
+	data, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0
+	}
+	// comm may contain spaces: fields restart after the closing paren.
+	i := strings.LastIndexByte(string(data), ')')
+	if i < 0 {
+		return 0
+	}
+	fields := strings.Fields(string(data[i+1:]))
+	if len(fields) < 8 {
+		return 0
+	}
+	n, _ := strconv.ParseInt(fields[7], 10, 64)
+	return n
+}
+
+// selfMem reads this process's resident and proportional set sizes in
+// kB. PSS (shared pages divided among sharers) needs smaps_rollup; when
+// only VmRSS is available, PSS is reported equal to RSS.
+func selfMem() (rssKB, pssKB int64, err error) {
+	parse := func(path, key string) (int64, bool) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0, false
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, key) {
+				f := strings.Fields(line)
+				if len(f) >= 2 {
+					n, err := strconv.ParseInt(f[1], 10, 64)
+					return n, err == nil
+				}
+			}
+		}
+		return 0, false
+	}
+	rss, ok := parse("/proc/self/status", "VmRSS:")
+	if !ok {
+		return 0, 0, fmt.Errorf("no /proc/self/status VmRSS")
+	}
+	if pss, ok := parse("/proc/self/smaps_rollup", "Pss:"); ok {
+		return rss, pss, nil
+	}
+	return rss, rss, nil
+}
+
+// runHold is the E21 child: load the container, touch every label page
+// with a query sweep, report memory, and hold the index until the parent
+// closes stdin.
+func runHold(mode, path string) error {
+	var idx *index.HubLabels
+	var err error
+	switch mode {
+	case "mmap":
+		idx, err = index.LoadMmap(path)
+	case "decode":
+		idx, err = index.Load(path)
+	default:
+		return fmt.Errorf("unknown -hold mode %q", mode)
+	}
+	if err != nil {
+		return err
+	}
+	defer idx.Release()
+	n := idx.Meta().Vertices
+	for v := 0; v < n; v++ {
+		idx.Distance(graph.NodeID(v), graph.NodeID((v+7)%n))
+	}
+	rss, pss, err := selfMem()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("HOLD rss_kb=%d pss_kb=%d\n", rss, pss)
+	io.Copy(io.Discard, os.Stdin)
+	return nil
+}
+
+// holdChildren spawns procs children of this binary in -hold mode over
+// the same container, collects their memory reports while all are alive
+// simultaneously (so PSS reflects real sharing), then releases them.
+func holdChildren(mode, path string, procs int) (sumRSSKB, sumPSSKB int64, err error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return 0, 0, err
+	}
+	type child struct {
+		cmd   *exec.Cmd
+		stdin io.WriteCloser
+		out   *bufio.Reader
+	}
+	children := make([]child, 0, procs)
+	defer func() {
+		for _, c := range children {
+			c.stdin.Close()
+			c.cmd.Wait()
+		}
+	}()
+	for i := 0; i < procs; i++ {
+		cmd := exec.Command(exe, "-hold", mode, "-holdindex", path)
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return 0, 0, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return 0, 0, err
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return 0, 0, err
+		}
+		children = append(children, child{cmd: cmd, stdin: stdin, out: bufio.NewReader(stdout)})
+	}
+	// Every child holds its index mapped until we close stdin below, so
+	// the reports are taken while all mappings coexist.
+	for i := range children {
+		line, err := children[i].out.ReadString('\n')
+		if err != nil {
+			return 0, 0, fmt.Errorf("child %d: %v", i, err)
+		}
+		var rss, pss int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(line), "HOLD rss_kb=%d pss_kb=%d", &rss, &pss); err != nil {
+			return 0, 0, fmt.Errorf("child %d report %q: %v", i, line, err)
+		}
+		sumRSSKB += rss
+		sumPSSKB += pss
+	}
+	return sumRSSKB, sumPSSKB, nil
 }

@@ -50,6 +50,7 @@ func run() error {
 	verify := flag.Bool("verify", true, "verify the labeling (exhaustive ≤ 1000 vertices, sampled beyond)")
 	out := flag.String("out", "", "write the labeling as an index container (.hli)")
 	compress := flag.Bool("compress", false, "use the Elias-gamma container payload for -out")
+	aligned := flag.Bool("aligned", false, "write the 64-byte-aligned v3 container for -out (servable zero-copy: hubserve -mmap)")
 	graphOut := flag.String("graphout", "", "write the graph in the text format hubgen/hubserve read")
 	flag.Parse()
 
@@ -140,15 +141,19 @@ func run() error {
 	}
 	if *out != "" {
 		idx := index.NewHubLabelsFrom(labeling)
-		if err := index.Save(*out, idx, hub.ContainerOptions{Compress: *compress}); err != nil {
+		if err := index.Save(*out, idx, hub.ContainerOptions{Compress: *compress, Aligned: *aligned}); err != nil {
 			return err
 		}
 		info, err := os.Stat(*out)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("wrote container: %s (%d bytes, compress=%v; serve with: hubserve -index %s)\n",
-			*out, info.Size(), *compress, *out)
+		serveHint := fmt.Sprintf("hubserve -index %s", *out)
+		if *aligned {
+			serveHint = fmt.Sprintf("hubserve -mmap -index %s", *out)
+		}
+		fmt.Printf("wrote container: %s (%d bytes, compress=%v aligned=%v; serve with: %s)\n",
+			*out, info.Size(), *compress, *aligned, serveHint)
 	}
 	return nil
 }

@@ -59,10 +59,10 @@ func FuzzLineProtocol(f *testing.F) {
 		f.Add([]byte(seed))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		srv, n := fuzzServing(t)
+		srv, _ := fuzzServing(t)
 		var out1, out2 strings.Builder
-		err1 := serveLines(srv, n, strings.NewReader(string(data)), &out1)
-		err2 := serveLines(srv, n, strings.NewReader(string(data)), &out2)
+		err1 := serveLines(srv, strings.NewReader(string(data)), &out1)
+		err2 := serveLines(srv, strings.NewReader(string(data)), &out2)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
 		}

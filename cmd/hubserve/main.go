@@ -5,6 +5,20 @@
 // goroutines coalesce adjacent requests into interleaved-merge batches,
 // and the served index sits behind an atomic snapshot.
 //
+// With -mmap the container is served zero-copy: the index's CSR columns
+// are typed views of the memory-mapped file (aligned/v3 containers;
+// older formats fall back to a decoded load), so startup is O(n) plus
+// one checksum pass, no second copy of the index exists in anonymous
+// memory, and multiple hubserve processes serving the same file share
+// its physical pages. The served container can be replaced without
+// restarting: SIGHUP — or the /reload HTTP endpoint — re-opens the
+// -index path and hot-swaps the new index under live traffic with zero
+// dropped queries (in-flight queries finish on the old mapping, which is
+// unmapped when the last of them drains). Replace the file by atomic
+// rename (mv new.hli labels.hli), never by in-place overwrite: a rename
+// leaves the mapped inode intact, an overwrite rewrites live pages under
+// running queries.
+//
 // Overload degrades gracefully instead of blocking or crashing: both
 // front ends submit through the server's non-blocking TryQuery door, and
 // (unless -admission=false) a constant-memory fair admission controller
@@ -21,20 +35,23 @@
 //   - HTTP (-http addr): GET /distance?u=U&v=V, /path?u=U&v=V and /ecc?v=V
 //     (429 + Retry-After under overload, client identity = remote
 //     address; 501 when the served index lacks the capability, e.g. a
-//     version-1 container without the parent column), plus /stats and
-//     /healthz. The server carries read/write/idle timeouts so a stalled
-//     client cannot hold a handler goroutine forever.
+//     version-1 container without the parent column), plus /stats,
+//     /healthz and POST /reload (hot-swap to the current contents of the
+//     -index path; on failure the previous index keeps serving). The
+//     server carries read/write/idle timeouts so a stalled client cannot
+//     hold a handler goroutine forever.
 //
 // With -graph the input graph is loaded too and every served distance is
 // spot-checkable: -selfcheck n verifies n random queries against
-// bidirectional search before serving.
+// bidirectional search before serving, and again on every reload before
+// the swap — a bad replacement container is rejected, not served.
 //
 // Usage:
 //
-//	hubgen -gen gnm -n 10000 -algo pll -out labels.hli -graphout g.gr
+//	hubgen -gen gnm -n 10000 -algo pll -aligned -out labels.hli -graphout g.gr
 //	echo "0 17" | hubserve -index labels.hli
 //	hubserve -index labels.hli -graph g.gr -selfcheck 200
-//	hubserve -index labels.hli -http :8080
+//	hubserve -index labels.hli -http :8080 -mmap
 package main
 
 import (
@@ -48,9 +65,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"hublab/internal/flowctl"
@@ -73,21 +92,29 @@ func run() error {
 	workers := flag.Int("workers", 0, "shard/worker count (0 = number of CPUs)")
 	queue := flag.Int("queue", 0, "per-shard queue depth (0 = default)")
 	admission := flag.Bool("admission", true, "fair per-client load shedding under overload")
+	useMmap := flag.Bool("mmap", false, "serve the container zero-copy via mmap (aligned/v3 containers; older formats fall back to a decoded load)")
 	simLatency := flag.Duration("simlatency", 0, "artificial per-query service time, for load and overload testing")
-	selfcheck := flag.Int("selfcheck", 0, "verify this many random queries against graph search before serving (needs -graph)")
+	selfcheck := flag.Int("selfcheck", 0, "verify this many random queries against graph search before serving and on reload (needs -graph)")
 	flag.Parse()
 	if *indexPath == "" {
 		return fmt.Errorf("hubserve: -index is required")
 	}
 
+	load := func() (*index.HubLabels, error) {
+		if *useMmap {
+			return index.LoadMmap(*indexPath)
+		}
+		return index.Load(*indexPath)
+	}
 	start := time.Now()
-	idx, err := index.Load(*indexPath)
+	idx, err := load()
 	if err != nil {
 		return err
 	}
 	meta := idx.Meta()
-	fmt.Fprintf(os.Stderr, "loaded %s: %s n=%d space=%d bytes in %v\n",
-		*indexPath, meta.Kind, meta.Vertices, idx.SpaceBytes(), time.Since(start).Round(time.Microsecond))
+	fmt.Fprintf(os.Stderr, "loaded %s: %s n=%d space=%d bytes in %v (mmap view: %v)\n",
+		*indexPath, meta.Kind, meta.Vertices, idx.SpaceBytes(),
+		time.Since(start).Round(time.Microsecond), !idx.Owned())
 
 	var g *graph.Graph
 	if *graphPath != "" {
@@ -109,7 +136,10 @@ func run() error {
 	if *simLatency > 0 {
 		served = &delayIndex{Index: idx, delay: *simLatency}
 	}
-	opts := server.Options{Shards: *workers, QueueDepth: *queue}
+	// The server owns every served index (the initial one here, reloaded
+	// ones via SwapRetire): a retired mmap view is unmapped after its
+	// last in-flight query drains, and Close releases the final one.
+	opts := server.Options{Shards: *workers, QueueDepth: *queue, OwnIndex: true}
 	if *admission {
 		opts.Admission = &flowctl.Options{}
 	}
@@ -126,10 +156,103 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "selfcheck: %d random queries match graph search\n", *selfcheck)
 	}
 
+	rl := &reloader{load: load, srv: srv, g: g, selfcheck: *selfcheck, sim: *simLatency, cooldown: reloadCooldown}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGHUP)
+	go func() {
+		for range sig {
+			if m, err := rl.reload(); err != nil {
+				log.Printf("hubserve: SIGHUP reload failed, previous index keeps serving: %v", err)
+			} else {
+				log.Printf("hubserve: reloaded %s: n=%d", *indexPath, m.Vertices)
+			}
+		}
+	}()
+
 	if *httpAddr != "" {
-		return serveHTTP(srv, meta.Vertices, *httpAddr)
+		return serveHTTP(srv, rl, *httpAddr)
 	}
-	return serveLines(srv, meta.Vertices, os.Stdin, os.Stdout)
+	return serveLines(srv, os.Stdin, os.Stdout)
+}
+
+// reloader hot-swaps the served index from the container path. Reloads
+// are serialized; a failed load, vertex-count mismatch or failed
+// selfcheck rejects the replacement (releasing whatever was opened) and
+// leaves the previous index serving.
+type reloader struct {
+	mu        sync.Mutex
+	load      func() (*index.HubLabels, error)
+	srv       *server.Server
+	g         *graph.Graph
+	selfcheck int
+	sim       time.Duration
+	// cooldown is the minimum interval the HTTP /reload door enforces
+	// between reload attempts (0 disables). A reload is deliberately
+	// expensive — a container open plus the optional selfcheck — and,
+	// unlike queries, cannot ride the admission controller, so without a
+	// cooldown any client reaching the HTTP port could loop POST /reload
+	// as a cheap denial-of-service lever. SIGHUP (process-owner
+	// privilege) bypasses the cooldown but still arms it.
+	cooldown time.Duration
+	last     time.Time
+}
+
+// reloadCooldown is the production /reload rate limit.
+const reloadCooldown = time.Second
+
+// errReloadThrottled reports a /reload attempt inside the cooldown
+// window; the HTTP door answers 429 + Retry-After.
+var errReloadThrottled = errors.New("hubserve: reload cooldown in effect, retry later")
+
+// reload opens the container path again and swaps the result in under
+// live traffic — the SIGHUP door, exempt from the cooldown. In-flight
+// queries finish on the old snapshot; once the last of them drains the
+// old index is released (for an mmap view, the munmap). It returns the
+// new index's metadata.
+func (rl *reloader) reload() (index.Meta, error) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.reloadLocked()
+}
+
+// tryReload is the HTTP /reload door: reload, but refused inside the
+// cooldown window.
+func (rl *reloader) tryReload() (index.Meta, error) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if rl.cooldown > 0 && time.Since(rl.last) < rl.cooldown {
+		return index.Meta{}, errReloadThrottled
+	}
+	return rl.reloadLocked()
+}
+
+func (rl *reloader) reloadLocked() (index.Meta, error) {
+	// Arm the cooldown at attempt start: failed attempts (the expensive
+	// full-open-then-reject path) must count against the rate limit too.
+	rl.last = time.Now()
+	idx, err := rl.load()
+	if err != nil {
+		return index.Meta{}, err
+	}
+	if rl.g != nil {
+		if idx.Meta().Vertices != rl.g.NumNodes() {
+			n := idx.Meta().Vertices
+			idx.Release()
+			return index.Meta{}, fmt.Errorf("hubserve: replacement index has %d vertices, graph has %d", n, rl.g.NumNodes())
+		}
+		if rl.selfcheck > 0 {
+			if err := index.VerifySampled(idx, rl.g, rl.selfcheck, 1); err != nil {
+				idx.Release()
+				return index.Meta{}, fmt.Errorf("hubserve: reload selfcheck: %w", err)
+			}
+		}
+	}
+	served := index.Index(idx)
+	if rl.sim > 0 {
+		served = &delayIndex{Index: idx, delay: rl.sim}
+	}
+	rl.srv.SwapRetire(served)
+	return idx.Meta(), nil // Meta reads only array lengths: safe past the swap
 }
 
 // delayIndex adds a fixed service time to every query — a deliberately
@@ -143,6 +266,15 @@ type delayIndex struct {
 func (d *delayIndex) Distance(u, v graph.NodeID) graph.Weight {
 	time.Sleep(d.delay)
 	return d.Index.Distance(u, v)
+}
+
+// Release forwards to the wrapped index so a throttled mmap view is
+// still unmapped when the serving layer retires it.
+func (d *delayIndex) Release() error {
+	if r, ok := d.Index.(index.Releaser); ok {
+		return r.Release()
+	}
+	return nil
 }
 
 // lineClient identifies the line-protocol connection to the admission
@@ -168,8 +300,10 @@ func unsupported(err error) bool {
 // interactive clients that wait for an answer before the next query don't
 // deadlock on the buffer. Overloaded requests answer "BUSY" — the line
 // client's analogue of HTTP 429 — and out-of-range or malformed queries
-// answer an error line instead of panicking the process.
-func serveLines(srv *server.Server, n int, in io.Reader, out io.Writer) error {
+// answer an error line instead of panicking the process. The vertex
+// bound is read per line from the served snapshot, so a SIGHUP reload to
+// a different-size index re-validates correctly mid-stream.
+func serveLines(srv *server.Server, in io.Reader, out io.Writer) error {
 	lineConnSeq++
 	client := fmt.Sprintf("conn-%d", lineConnSeq)
 	sc := bufio.NewScanner(in)
@@ -184,7 +318,7 @@ func serveLines(srv *server.Server, n int, in io.Reader, out io.Writer) error {
 		if line == "quit" {
 			break
 		}
-		serveLine(srv, client, n, line, &pathBuf, w)
+		serveLine(srv, client, srv.Meta().Vertices, line, &pathBuf, w)
 		if err := w.Flush(); err != nil {
 			return err
 		}
@@ -329,10 +463,14 @@ func clientID(r *http.Request) string {
 	return host
 }
 
-// newMux builds the hubserve HTTP surface over srv (n = vertex count).
-func newMux(srv *server.Server, n int) *http.ServeMux {
+// newMux builds the hubserve HTTP surface over srv. The vertex count is
+// read per request from the served snapshot (it is O(1) there), so a
+// /reload to a different-size index re-validates ids correctly without a
+// restart. rl may be nil, in which case /reload answers 501.
+func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/distance", func(w http.ResponseWriter, r *http.Request) {
+		n := srv.Meta().Vertices
 		u, errU := strconv.Atoi(r.URL.Query().Get("u"))
 		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
 		if errU != nil || errV != nil || u < 0 || u >= n || v < 0 || v >= n {
@@ -358,6 +496,7 @@ func newMux(srv *server.Server, n int) *http.ServeMux {
 		fmt.Fprintf(w, `{"u":%d,"v":%d,"distance":%d}`+"\n", u, v, d)
 	})
 	mux.HandleFunc("/path", func(w http.ResponseWriter, r *http.Request) {
+		n := srv.Meta().Vertices
 		u, errU := strconv.Atoi(r.URL.Query().Get("u"))
 		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
 		if errU != nil || errV != nil || u < 0 || u >= n || v < 0 || v >= n {
@@ -403,6 +542,7 @@ func newMux(srv *server.Server, n int) *http.ServeMux {
 		io.WriteString(w, "]}\n")
 	})
 	mux.HandleFunc("/ecc", func(w http.ResponseWriter, r *http.Request) {
+		n := srv.Meta().Vertices
 		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
 		if errV != nil || v < 0 || v >= n {
 			http.Error(w, fmt.Sprintf("want /ecc?v=V with a vertex in [0,%d)", n),
@@ -428,6 +568,30 @@ func newMux(srv *server.Server, n int) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"v":%d,"eccentricity":%d,"farthest":%d}`+"\n", v, ecc, far)
 	})
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
+		if rl == nil {
+			http.Error(w, "reload not configured", http.StatusNotImplemented)
+			return
+		}
+		if r.Method != http.MethodPost {
+			http.Error(w, "use POST /reload", http.StatusMethodNotAllowed)
+			return
+		}
+		meta, err := rl.tryReload()
+		switch {
+		case errors.Is(err, errReloadThrottled):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case err != nil:
+			// The previous index keeps serving; the client learns why the
+			// replacement was rejected.
+			http.Error(w, "reload failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"reloaded":true,"kind":%q,"n":%d}`+"\n", meta.Kind, meta.Vertices)
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := srv.Stats()
 		w.Header().Set("Content-Type", "application/json")
@@ -442,10 +606,10 @@ func newMux(srv *server.Server, n int) *http.ServeMux {
 
 // newHTTPServer assembles the hubserve http.Server: the mux plus the
 // per-phase timeouts.
-func newHTTPServer(srv *server.Server, n int, addr string, to httpTimeouts) *http.Server {
+func newHTTPServer(srv *server.Server, rl *reloader, addr string, to httpTimeouts) *http.Server {
 	return &http.Server{
 		Addr:              addr,
-		Handler:           newMux(srv, n),
+		Handler:           newMux(srv, rl),
 		ReadHeaderTimeout: to.readHeader,
 		ReadTimeout:       to.read,
 		WriteTimeout:      to.write,
@@ -453,10 +617,10 @@ func newHTTPServer(srv *server.Server, n int, addr string, to httpTimeouts) *htt
 	}
 }
 
-// serveHTTP exposes /distance, /stats and /healthz.
-func serveHTTP(srv *server.Server, n int, addr string) error {
+// serveHTTP exposes /distance, /path, /ecc, /reload, /stats and /healthz.
+func serveHTTP(srv *server.Server, rl *reloader, addr string) error {
 	fmt.Fprintf(os.Stderr, "serving HTTP on %s\n", addr)
-	hs := newHTTPServer(srv, n, addr, defaultHTTPTimeouts)
+	hs := newHTTPServer(srv, rl, addr, defaultHTTPTimeouts)
 	err := hs.ListenAndServe()
 	// ListenAndServe returns on a fatal listener error while handler
 	// goroutines may still be inside srv.TryQuery; drain them before the

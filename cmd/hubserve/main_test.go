@@ -22,7 +22,7 @@ import (
 func TestHTTPDistanceAndValidation(t *testing.T) {
 	srv := server.New(&indextest.Fixed{N: 100}, server.Options{Shards: 1})
 	defer srv.Close()
-	mux := newMux(srv, 100)
+	mux := newMux(srv, nil)
 	for _, tc := range []struct {
 		url  string
 		code int
@@ -57,7 +57,7 @@ func TestHTTPOverloadAnswers429(t *testing.T) {
 	release := make(chan struct{})
 	srv := server.New(&indextest.Fixed{N: 100, Gate: release}, server.Options{Shards: 1, QueueDepth: 1})
 	defer srv.Close()
-	mux := newMux(srv, 100)
+	mux := newMux(srv, nil)
 	const attempts = 12
 	codes := make(chan int, attempts)
 	var retryAfter atomic.Uint64
@@ -128,7 +128,7 @@ func TestHTTPSlowlorisDoesNotBlockHealthz(t *testing.T) {
 		write:      500 * time.Millisecond,
 		idle:       500 * time.Millisecond,
 	}
-	hs := newHTTPServer(srv, 100, "127.0.0.1:0", to)
+	hs := newHTTPServer(srv, nil, "127.0.0.1:0", to)
 	ln, err := net.Listen("tcp", hs.Addr)
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +174,7 @@ func TestHTTPSlowlorisDoesNotBlockHealthz(t *testing.T) {
 func TestDefaultTimeoutsConfigured(t *testing.T) {
 	srv := server.New(&indextest.Fixed{N: 10}, server.Options{Shards: 1})
 	defer srv.Close()
-	hs := newHTTPServer(srv, 10, ":0", defaultHTTPTimeouts)
+	hs := newHTTPServer(srv, nil, ":0", defaultHTTPTimeouts)
 	if hs.ReadHeaderTimeout <= 0 || hs.ReadTimeout <= 0 || hs.WriteTimeout <= 0 || hs.IdleTimeout <= 0 {
 		t.Fatalf("missing timeouts: header=%v read=%v write=%v idle=%v",
 			hs.ReadHeaderTimeout, hs.ReadTimeout, hs.WriteTimeout, hs.IdleTimeout)
@@ -189,7 +189,7 @@ func TestServeLines(t *testing.T) {
 	defer srv.Close()
 	in := strings.NewReader("3 17\n\nbad line\n1 2 3\n-1 5\n5 50\n0 0\nquit\n9 9\n")
 	var out strings.Builder
-	if err := serveLines(srv, 50, in, &out); err != nil {
+	if err := serveLines(srv, in, &out); err != nil {
 		t.Fatalf("serveLines: %v", err)
 	}
 	want := []string{
@@ -247,7 +247,7 @@ func TestServeLinesBusy(t *testing.T) {
 
 	in := strings.NewReader("1 2\n3 4\n5 6\nquit\n")
 	var out strings.Builder
-	if err := serveLines(srv, 10, in, &out); err != nil {
+	if err := serveLines(srv, in, &out); err != nil {
 		t.Fatalf("serveLines: %v", err)
 	}
 	close(release)

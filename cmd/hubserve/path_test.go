@@ -38,7 +38,7 @@ func TestServeLinesPathAndEcc(t *testing.T) {
 	g, srv := pathTestServer(t)
 	in := strings.NewReader("PATH 0 7\nECC 3\nPATH 0\nPATH x 7\nECC -1\nPATH 0 99\nECC\nquit\n")
 	var out strings.Builder
-	if err := serveLines(srv, g.NumNodes(), in, &out); err != nil {
+	if err := serveLines(srv, in, &out); err != nil {
 		t.Fatalf("serveLines: %v", err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -95,7 +95,7 @@ func TestServeLinesUnsupportedVerbs(t *testing.T) {
 	defer srv.Close()
 	in := strings.NewReader("PATH 0 5\nECC 2\nquit\n")
 	var out strings.Builder
-	if err := serveLines(srv, 10, in, &out); err != nil {
+	if err := serveLines(srv, in, &out); err != nil {
 		t.Fatalf("serveLines: %v", err)
 	}
 	got := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -111,8 +111,8 @@ func TestServeLinesUnsupportedVerbs(t *testing.T) {
 // TestHTTPPathAndEcc exercises the new endpoints: valid answers,
 // validation failures, and 501 on capability-less indexes.
 func TestHTTPPathAndEcc(t *testing.T) {
-	g, srv := pathTestServer(t)
-	mux := newMux(srv, g.NumNodes())
+	_, srv := pathTestServer(t)
+	mux := newMux(srv, nil)
 	do := func(url string) *httptest.ResponseRecorder {
 		req := httptest.NewRequest("GET", url, nil)
 		req.RemoteAddr = "10.0.0.9:1234"
@@ -141,7 +141,7 @@ func TestHTTPPathAndEcc(t *testing.T) {
 
 	fixed := server.New(&indextest.Fixed{N: 10}, server.Options{Shards: 1})
 	defer fixed.Close()
-	muxFixed := newMux(fixed, 10)
+	muxFixed := newMux(fixed, nil)
 	for _, url := range []string{"/path?u=0&v=5", "/ecc?v=2"} {
 		req := httptest.NewRequest("GET", url, nil)
 		req.RemoteAddr = "10.0.0.9:1234"
@@ -168,7 +168,7 @@ func (b *brokenPaths) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]graph
 func TestHTTPPathErrorIsNot503(t *testing.T) {
 	srv := server.New(&brokenPaths{indextest.Fixed{N: 10}}, server.Options{Shards: 1})
 	defer srv.Close()
-	mux := newMux(srv, 10)
+	mux := newMux(srv, nil)
 	req := httptest.NewRequest("GET", "/path?u=0&v=5", nil)
 	req.RemoteAddr = "10.0.0.9:1234"
 	rec := httptest.NewRecorder()

@@ -266,8 +266,14 @@ type (
 	// persistent container form.
 	HubLabelsIndex = index.HubLabels
 	// ContainerOptions configures WriteContainer/SaveIndex (raw columns
-	// vs Elias-gamma compressed payload).
+	// vs Elias-gamma compressed payload; Aligned selects the 64-byte
+	// aligned v3 layout servable zero-copy via LoadIndexMmap).
 	ContainerOptions = hub.ContainerOptions
+	// IndexReleaser is implemented by indexes holding resources the
+	// garbage collector cannot reclaim — today the mmap views of
+	// LoadIndexMmap. Serving layers that own an index release it after
+	// the last in-flight query drains.
+	IndexReleaser = index.Releaser
 	// Server is the in-process sharded query service: worker goroutines
 	// coalesce request streams into interleaved-merge batches over an
 	// atomically swappable index snapshot. Trusted callers use the
@@ -303,6 +309,9 @@ var (
 	// ErrNoParents reports a path query against a labeling without a
 	// parent column (e.g. one loaded from a version-1 container).
 	ErrNoParents = hub.ErrNoParents
+	// ErrLabelingViewImmutable reports an in-place mutation attempted on
+	// a view-backed (mmap) labeling; CopyOwned first.
+	ErrLabelingViewImmutable = hub.ErrViewImmutable
 )
 
 // BuildIndex constructs a registered index backend ("matrix",
@@ -329,6 +338,14 @@ func SaveIndex(path string, idx Index, opts ContainerOptions) error {
 // the mutable labeling form.
 func LoadIndex(path string) (*HubLabelsIndex, error) { return index.Load(path) }
 
+// LoadIndexMmap opens a container zero-copy: for aligned (v3) files the
+// index's columns are typed views of the memory-mapped region — O(1)
+// open, no second copy in anonymous memory, physical pages shared
+// between processes serving the same file. The view must be Released
+// after its last query (or owned by a Server via OwnIndex/SwapRetire);
+// older or compressed containers fall back to the decoded load.
+func LoadIndexMmap(path string) (*HubLabelsIndex, error) { return index.LoadMmap(path) }
+
 // VerifySampledIndex spot-checks idx against graph search on pairs random
 // vertex pairs — the guard for serving a loaded container, whose graph
 // identity the format does not record (a stale cache can match on vertex
@@ -346,6 +363,12 @@ func WriteContainer(w io.Writer, f *FlatLabeling, opts ContainerOptions) (int64,
 // Corrupt input returns an error (wrapping hub.ErrContainer), never a
 // panic.
 func ReadContainer(r io.Reader) (*FlatLabeling, error) { return hub.ReadContainer(r) }
+
+// OpenContainerMmap opens an aligned (v3) container file as a
+// view-backed FlatLabeling whose columns alias the memory-mapped file.
+// See hub.OpenContainerMmap for the lifetime (Release) and validation
+// contract.
+func OpenContainerMmap(path string) (*FlatLabeling, error) { return hub.OpenContainerMmap(path) }
 
 // NewServer starts the sharded query service over idx. Close it to
 // release the workers; Swap replaces the served index under live traffic.

@@ -18,13 +18,13 @@ import (
 //
 //	header (32 bytes)
 //	  [ 0: 8)  magic  "HUBLABIX"
-//	  [ 8:10)  format version (1 or 2)
-//	  [10:12)  flags (bit 0: payload is Elias-gamma compressed;
+//	  [ 8:10)  format version (1, 2 or 3)
+//	  [10:12)  flags (bit 0: payload is Elias-gamma compressed, version ≤ 2;
 //	           bit 1, version ≥ 2 only: a parent column follows the payload)
 //	  [12:16)  reserved (must be zero)
 //	  [16:24)  n      — vertex count
 //	  [24:32)  slots  — len of the hub-id/distance columns, sentinels included
-//	payload
+//	payload (version 1 and 2)
 //	  raw    flag clear: offsets (n+1)·int32, hubIDs slots·int32,
 //	         dists slots·int32 — the flat arrays verbatim, so loading is a
 //	         sequential read plus one pass of byte→int32 conversion
@@ -32,28 +32,50 @@ import (
 //	         of Labeling.Encode (vertex count, then per vertex the label
 //	         size and gap/distance pairs, all Elias gamma), preceded by its
 //	         byte length as uint64
-//	parent column (only when flag bit 1 is set)
+//	parent column (version 2, only when flag bit 1 is set)
 //	  parents slots·int32 — the next-hop column verbatim (-1 on self
 //	  entries and sentinel slots), raw even in gamma containers: parents
 //	  are near-incompressible neighbor ids, and keeping them columnar
 //	  preserves the near-memcpy load
+//	payload (version 3 — the aligned, mmap-servable layout)
+//	  [32:40)  section count (3, or 4 with the parent flag)
+//	  then per section {file offset u64, byte length u64}: the table for
+//	  the offsets, hubIDs, dists (and parents) columns in that fixed
+//	  order, followed by a crc32 (Castagnoli) of everything before it —
+//	  the header checksum, which lets the zero-copy open authenticate the
+//	  layout in O(1) without streaming the (possibly multi-GB) columns
+//	  through the CPU. Every section starts at the next 64-byte file
+//	  boundary after its predecessor (so each column is cache-line
+//	  aligned both in the file and, since mappings are page-aligned, in
+//	  memory), its length is exactly the column's raw size, and every
+//	  padding byte between sections is zero. The table is deliberately
+//	  redundant — the reader recomputes the canonical layout and rejects
+//	  any deviation (misaligned offsets, over- or undersized lengths,
+//	  nonzero padding), so a hostile writer cannot smuggle unchecked
+//	  bytes or force out-of-map column views. The gamma flag is invalid
+//	  in version 3: a compressed payload cannot be pointed at zero-copy.
 //	trailer (4 bytes)
-//	  crc32 (Castagnoli) of header + payload (+ parent column)
+//	  crc32 (Castagnoli) of everything before it
 //
 // The writer emits version 1 — byte-identical to the historical format —
-// whenever the labeling carries no parent column, and version 2 with flag
-// bit 1 when it does, so old files load unchanged and new files without
-// parents stay readable by old code. A version-1 file loads with no
-// parent column; Path queries on it report ErrNoParents.
+// whenever the labeling carries no parent column, version 2 with flag
+// bit 1 when it does, and version 3 only when ContainerOptions.Aligned
+// asks for it, so old files load unchanged, new files without parents
+// stay readable by old code, and no format drift happens silently. A
+// version-1 file loads with no parent column; Path queries on it report
+// ErrNoParents.
 //
 // Both the writer and the reader work directly on the flat arrays: the
 // slice-of-slices Labeling form is never materialized, and the raw path in
-// particular loads near-memcpy. All multi-byte fields are little-endian
+// particular loads near-memcpy. Version-3 containers additionally support
+// OpenContainerMmap, which skips even the memcpy: the columns are typed
+// views of the mapped file. All multi-byte fields are little-endian
 // regardless of host order.
 
 // ContainerVersion is the newest container format version this package
-// writes and reads. Version 1 files (no parent column) remain readable.
-const ContainerVersion = 2
+// writes and reads. Version 1 (no parent column) and version 2 files
+// remain readable; version 3 is only written on request (Aligned).
+const ContainerVersion = 3
 
 // containerMagic identifies hub-labeling index containers.
 var containerMagic = [8]byte{'H', 'U', 'B', 'L', 'A', 'B', 'I', 'X'}
@@ -64,7 +86,20 @@ const (
 	containerFlagParents  = 1 << 1
 	containerKnownFlagsV1 = containerFlagGamma
 	containerKnownFlagsV2 = containerFlagGamma | containerFlagParents
+	containerKnownFlagsV3 = containerFlagParents
+	// containerVersionParents is the version emitted for labelings with a
+	// parent column when no alignment is requested.
+	containerVersionParents = 2
+	// containerAlign is the file-offset alignment of every version-3
+	// section: one cache line, which page-aligned mappings carry through
+	// to memory addresses.
+	containerAlign = 64
 )
+
+// alignUp rounds n up to the next containerAlign boundary.
+func alignUp(n int64) int64 {
+	return (n + containerAlign - 1) &^ (containerAlign - 1)
+}
 
 // ErrContainer reports a malformed or corrupt index container.
 var ErrContainer = errors.New("hub: corrupt index container")
@@ -74,6 +109,11 @@ type ContainerOptions struct {
 	// Compress selects the Elias-gamma payload (smaller, slower to load)
 	// over the raw column payload (larger, near-memcpy to load).
 	Compress bool
+	// Aligned selects the version-3 layout: every column 64-byte aligned
+	// with explicit zero padding, servable zero-copy via
+	// OpenContainerMmap. Without it the writer emits the historical
+	// version 1/2 stream byte-identically. Incompatible with Compress.
+	Aligned bool
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -87,6 +127,12 @@ func (f *FlatLabeling) WriteTo(w io.Writer) (int64, error) {
 // WriteContainer serializes f in the container format described above and
 // returns the number of bytes written.
 func (f *FlatLabeling) WriteContainer(w io.Writer, opts ContainerOptions) (int64, error) {
+	if opts.Aligned {
+		if opts.Compress {
+			return 0, fmt.Errorf("hub: aligned containers cannot use the gamma payload")
+		}
+		return f.writeAligned(w)
+	}
 	var header [containerHeaderLen]byte
 	copy(header[0:8], containerMagic[:])
 	version := uint16(1)
@@ -95,7 +141,7 @@ func (f *FlatLabeling) WriteContainer(w io.Writer, opts ContainerOptions) (int64
 		flags |= containerFlagGamma
 	}
 	if f.parents != nil {
-		version = ContainerVersion
+		version = containerVersionParents
 		flags |= containerFlagParents
 	}
 	binary.LittleEndian.PutUint16(header[8:10], version)
@@ -161,6 +207,92 @@ func writeColumns(w io.Writer, cols [][]int32) error {
 	return nil
 }
 
+// containerSection is one column's place in a version-3 container.
+type containerSection struct {
+	off, length int64
+}
+
+// alignedHeaderLen is the byte length of the version-3 extended header:
+// base header, section count, k table entries, header crc32.
+func alignedHeaderLen(k int) int64 {
+	return containerHeaderLen + 8 + 16*int64(k) + 4
+}
+
+// containerSections computes the canonical version-3 layout for n
+// vertices and slots label slots: each column's file offset and byte
+// length in fixed order (offsets, hubIDs, dists, then parents when
+// present), plus the position of the crc trailer. Every section starts
+// at the first 64-byte boundary at or after its predecessor's end; the
+// reader rejects any file that deviates from exactly this layout.
+func containerSections(n, slots int64, parents bool) (secs []containerSection, end int64) {
+	k := 3
+	if parents {
+		k = 4
+	}
+	lengths := []int64{4 * (n + 1), 4 * slots, 4 * slots, 4 * slots}[:k]
+	pos := alignedHeaderLen(k)
+	secs = make([]containerSection, k)
+	for i, l := range lengths {
+		pos = alignUp(pos)
+		secs[i] = containerSection{off: pos, length: l}
+		pos += l
+	}
+	return secs, pos
+}
+
+// writeAligned emits the version-3 aligned container.
+func (f *FlatLabeling) writeAligned(w io.Writer) (int64, error) {
+	n, slots := int64(f.NumVertices()), int64(len(f.hubIDs))
+	secs, _ := containerSections(n, slots, f.parents != nil)
+	hdr := make([]byte, alignedHeaderLen(len(secs)))
+	copy(hdr[0:8], containerMagic[:])
+	binary.LittleEndian.PutUint16(hdr[8:10], ContainerVersion)
+	flags := uint16(0)
+	if f.parents != nil {
+		flags |= containerFlagParents
+	}
+	binary.LittleEndian.PutUint16(hdr[10:12], flags)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(n))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(slots))
+	binary.LittleEndian.PutUint64(hdr[32:40], uint64(len(secs)))
+	for i, s := range secs {
+		binary.LittleEndian.PutUint64(hdr[40+16*i:], uint64(s.off))
+		binary.LittleEndian.PutUint64(hdr[48+16*i:], uint64(s.length))
+	}
+	binary.LittleEndian.PutUint32(hdr[len(hdr)-4:], crc32.Checksum(hdr[:len(hdr)-4], castagnoli))
+
+	crc := crc32.New(castagnoli)
+	cw := &countingWriter{w: w}
+	body := io.MultiWriter(cw, crc)
+	if _, err := body.Write(hdr); err != nil {
+		return cw.n, err
+	}
+	var pad [containerAlign]byte
+	pos := int64(len(hdr))
+	cols := [][]int32{f.offsets, f.hubIDs, f.dists, f.parents}
+	sec := 0
+	for _, col := range cols {
+		if col == nil {
+			continue
+		}
+		s := secs[sec]
+		sec++
+		if _, err := body.Write(pad[:s.off-pos]); err != nil {
+			return cw.n, err
+		}
+		if err := writeColumns(body, [][]int32{col}); err != nil {
+			return cw.n, err
+		}
+		pos = s.off + s.length
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	if _, err := cw.Write(trailer[:]); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
 // countingWriter tracks bytes written to the underlying writer.
 type countingWriter struct {
 	w io.Writer
@@ -177,8 +309,14 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // implementing io.ReaderFrom. Malformed input of any kind — bad magic,
 // an unknown version or flag, truncated sections, checksum mismatch, or
 // structurally invalid arrays — is reported as an error wrapping
-// ErrContainer; parsing never panics on hostile input.
+// ErrContainer; parsing never panics on hostile input. Loading into a
+// view-backed labeling is a programmer error and panics: overwriting the
+// struct would orphan the mapping with live column views outstanding —
+// Release the view and load into a fresh FlatLabeling instead.
 func (f *FlatLabeling) ReadFrom(r io.Reader) (int64, error) {
+	if !f.Owned() {
+		panic("hub: ReadFrom into a view-backed FlatLabeling would orphan its mapping (Release it and load into a fresh labeling)")
+	}
 	loaded, n, err := readContainer(r)
 	if err != nil {
 		return n, err
@@ -195,43 +333,78 @@ func ReadContainer(r io.Reader) (*FlatLabeling, error) {
 	return f, err
 }
 
+// parseContainerHeader validates the fixed 32-byte header shared by all
+// container versions — magic, version, the version-appropriate flag
+// mask, the reserved field, and the n/slots plausibility bounds that
+// cap hostile allocations before any buffer is reserved (the flat
+// offsets are int32, so slots — and a fortiori n — must fit). Both the
+// streaming reader and the mmap opener go through here, so a hardening
+// fix lands in every door at once.
+func parseContainerHeader(header []byte) (version, flags uint16, n64, slots64 uint64, err error) {
+	if [8]byte(header[0:8]) != containerMagic {
+		return 0, 0, 0, 0, fmt.Errorf("%w: bad magic %q", ErrContainer, header[0:8])
+	}
+	version = binary.LittleEndian.Uint16(header[8:10])
+	if version < 1 || version > ContainerVersion {
+		return 0, 0, 0, 0, fmt.Errorf("%w: unsupported version %d", ErrContainer, version)
+	}
+	known := uint16(containerKnownFlagsV1)
+	switch {
+	case version >= 3:
+		known = containerKnownFlagsV3
+	case version == 2:
+		known = containerKnownFlagsV2
+	}
+	flags = binary.LittleEndian.Uint16(header[10:12])
+	if flags&^known != 0 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: unknown flags %#x for version %d", ErrContainer, flags, version)
+	}
+	if rsv := binary.LittleEndian.Uint32(header[12:16]); rsv != 0 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: nonzero reserved field", ErrContainer)
+	}
+	n64 = binary.LittleEndian.Uint64(header[16:24])
+	slots64 = binary.LittleEndian.Uint64(header[24:32])
+	if slots64 > math.MaxInt32 || n64 > slots64 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: implausible sizes n=%d slots=%d", ErrContainer, n64, slots64)
+	}
+	return version, flags, n64, slots64, nil
+}
+
 func readContainer(r io.Reader) (*FlatLabeling, int64, error) {
 	var header [containerHeaderLen]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return nil, 0, fmt.Errorf("%w: header: %v", ErrContainer, err)
 	}
 	read := int64(containerHeaderLen)
-	if [8]byte(header[0:8]) != containerMagic {
-		return nil, read, fmt.Errorf("%w: bad magic %q", ErrContainer, header[0:8])
-	}
-	version := binary.LittleEndian.Uint16(header[8:10])
-	if version < 1 || version > ContainerVersion {
-		return nil, read, fmt.Errorf("%w: unsupported version %d", ErrContainer, version)
-	}
-	known := uint16(containerKnownFlagsV1)
-	if version >= 2 {
-		known = containerKnownFlagsV2
-	}
-	flags := binary.LittleEndian.Uint16(header[10:12])
-	if flags&^known != 0 {
-		return nil, read, fmt.Errorf("%w: unknown flags %#x for version %d", ErrContainer, flags, version)
-	}
-	if rsv := binary.LittleEndian.Uint32(header[12:16]); rsv != 0 {
-		return nil, read, fmt.Errorf("%w: nonzero reserved field", ErrContainer)
-	}
-	n64 := binary.LittleEndian.Uint64(header[16:24])
-	slots64 := binary.LittleEndian.Uint64(header[24:32])
-	// The flat offsets are int32, so total slots (and a fortiori n) must
-	// fit; this also bounds allocations on hostile headers before any
-	// large buffer is reserved.
-	if slots64 > math.MaxInt32 || n64 > slots64 {
-		return nil, read, fmt.Errorf("%w: implausible sizes n=%d slots=%d", ErrContainer, n64, slots64)
+	version, flags, n64, slots64, err := parseContainerHeader(header[:])
+	if err != nil {
+		return nil, read, err
 	}
 	n, slots := int(n64), int(slots64)
 
 	crc := crc32.New(castagnoli)
 	crc.Write(header[:])
 	body := io.TeeReader(r, crc)
+
+	if version >= 3 {
+		f, sread, err := readAlignedSections(header[:], body, n, slots, flags&containerFlagParents != 0)
+		read += sread
+		if err != nil {
+			return nil, read, err
+		}
+		var trailer [4]byte
+		if _, err := io.ReadFull(r, trailer[:]); err != nil {
+			return nil, read, fmt.Errorf("%w: checksum: %v", ErrContainer, err)
+		}
+		read += 4
+		if got, want := crc.Sum32(), binary.LittleEndian.Uint32(trailer[:]); got != want {
+			return nil, read, fmt.Errorf("%w: checksum mismatch (computed %#x, stored %#x)", ErrContainer, got, want)
+		}
+		if err := f.validate(); err != nil {
+			return nil, read, fmt.Errorf("%w: %v", ErrContainer, err)
+		}
+		return f, read, nil
+	}
 
 	var f *FlatLabeling
 	if flags&containerFlagGamma != 0 {
@@ -298,6 +471,92 @@ func readContainer(r io.Reader) (*FlatLabeling, int64, error) {
 	}
 	if err := f.validate(); err != nil {
 		return nil, read, fmt.Errorf("%w: %v", ErrContainer, err)
+	}
+	return f, read, nil
+}
+
+// parseSectionTable validates a version-3 section table against the
+// canonical layout for the header's n/slots/parents. Any deviation —
+// a misaligned offset, an over- or undersized length, reordered or
+// overlapping sections — is rejected: the table is redundant by design,
+// so nothing an attacker writes into it can move or grow a column view.
+func parseSectionTable(table []byte, want []containerSection) ([]containerSection, error) {
+	for i := range want {
+		off := binary.LittleEndian.Uint64(table[16*i:])
+		length := binary.LittleEndian.Uint64(table[16*i+8:])
+		if off%containerAlign != 0 {
+			return nil, fmt.Errorf("%w: section %d misaligned at offset %d", ErrContainer, i, off)
+		}
+		if off != uint64(want[i].off) || length != uint64(want[i].length) {
+			return nil, fmt.Errorf("%w: section %d at (%d,%d) deviates from the canonical layout (%d,%d)",
+				ErrContainer, i, off, length, want[i].off, want[i].length)
+		}
+	}
+	return want, nil
+}
+
+// validateAlignedExt validates a version-3 extended header — section
+// count, canonical table, header checksum — given the 32-byte base
+// header and the alignedHeaderLen-32 bytes after it. Shared by the
+// streaming reader and the mmap opener, so the authentication and
+// layout rules cannot drift between the two doors.
+func validateAlignedExt(base, ext []byte, want []containerSection) ([]containerSection, error) {
+	if got := binary.LittleEndian.Uint64(ext[0:8]); got != uint64(len(want)) {
+		return nil, fmt.Errorf("%w: %d sections, layout has %d", ErrContainer, got, len(want))
+	}
+	hcrc := crc32.Checksum(base, castagnoli)
+	hcrc = crc32.Update(hcrc, castagnoli, ext[:len(ext)-4])
+	if stored := binary.LittleEndian.Uint32(ext[len(ext)-4:]); hcrc != stored {
+		return nil, fmt.Errorf("%w: header checksum mismatch (computed %#x, stored %#x)", ErrContainer, hcrc, stored)
+	}
+	return parseSectionTable(ext[8:len(ext)-4], want)
+}
+
+// readAlignedSections streams the version-3 payload: section count,
+// table, header checksum, and the zero-padded aligned columns. It
+// returns the decoded (owned) labeling; structural validation and the
+// trailer checksum stay with the caller.
+func readAlignedSections(header []byte, body io.Reader, n, slots int, parents bool) (*FlatLabeling, int64, error) {
+	want, _ := containerSections(int64(n), int64(slots), parents)
+	var read int64
+	ext, err := readExact(body, alignedHeaderLen(len(want))-containerHeaderLen)
+	read += int64(len(ext))
+	if err != nil {
+		return nil, read, fmt.Errorf("%w: extended header: %v", ErrContainer, err)
+	}
+	secs, err := validateAlignedExt(header, ext, want)
+	if err != nil {
+		return nil, read, err
+	}
+
+	pos := alignedHeaderLen(len(secs))
+	counts := []int{n + 1, slots, slots, slots}
+	cols := make([][]int32, len(secs))
+	for i, s := range secs {
+		pad, err := readExact(body, s.off-pos)
+		read += int64(len(pad))
+		if err != nil {
+			return nil, read, fmt.Errorf("%w: section %d padding: %v", ErrContainer, i, err)
+		}
+		for _, b := range pad {
+			if b != 0 {
+				return nil, read, fmt.Errorf("%w: nonzero padding before section %d", ErrContainer, i)
+			}
+		}
+		if s.length > math.MaxInt-containerHeaderLen {
+			return nil, read, fmt.Errorf("%w: %d-byte section exceeds address space", ErrContainer, s.length)
+		}
+		raw, err := readExact(body, s.length)
+		read += int64(len(raw))
+		if err != nil {
+			return nil, read, fmt.Errorf("%w: section %d: %v", ErrContainer, i, err)
+		}
+		cols[i] = getInt32s(raw, 0, counts[i])
+		pos = s.off + s.length
+	}
+	f := &FlatLabeling{offsets: cols[0], hubIDs: cols[1], dists: cols[2]}
+	if parents {
+		f.parents = cols[3]
 	}
 	return f, read, nil
 }

@@ -330,6 +330,10 @@ func FuzzReadContainer(f *testing.F) {
 		f.Add(buf.Bytes())
 		f.Add(buf.Bytes()[:buf.Len()-8])
 	}
+	// Version-3 seeds: the aligned layout, whole and hostile.
+	for _, seed := range hostileV3Seeds(f) {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadContainer(bytes.NewReader(data))
 		if err != nil {

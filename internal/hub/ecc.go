@@ -72,9 +72,15 @@ func NewEccIndex(f *FlatLabeling) *EccIndex {
 		userIDs:   make([]graph.NodeID, total),
 		userDists: make([]graph.Weight, total),
 	}
+	// Hub ids outside [0, n) are skipped rather than indexed: a quick-
+	// validated mmap view may carry forged interior ids, and the
+	// inversion must stay in bounds on them (on validated labelings the
+	// branch never fires).
 	for v := 0; v < n; v++ {
 		for _, h := range f.LabelIDs(graph.NodeID(v)) {
-			e.start[h+1]++
+			if h >= 0 && int(h) < n {
+				e.start[h+1]++
+			}
 		}
 	}
 	for w := 0; w < n; w++ {
@@ -85,6 +91,9 @@ func NewEccIndex(f *FlatLabeling) *EccIndex {
 	for v := 0; v < n; v++ {
 		ids, ds := f.LabelIDs(graph.NodeID(v)), f.LabelDists(graph.NodeID(v))
 		for i, h := range ids {
+			if h < 0 || int(h) >= n {
+				continue
+			}
 			e.userIDs[next[h]] = graph.NodeID(v)
 			e.userDists[next[h]] = ds[i]
 			next[h]++
@@ -118,8 +127,12 @@ func (s *userSorter) Swap(i, j int) {
 // quantity the exact query refines. It never underestimates.
 func (e *EccIndex) EccentricityUpperBound(v graph.NodeID) graph.Weight {
 	ids, ds := e.f.LabelIDs(v), e.f.LabelDists(v)
+	n := e.f.NumVertices()
 	var ub graph.Weight
 	for i, w := range ids {
+		if w < 0 || int(w) >= n {
+			continue // forged id on a quick-validated view: not inverted
+		}
 		if lo := e.start[w]; lo < e.start[w+1] {
 			if b := ds[i] + e.userDists[lo]; b > ub {
 				ub = b
@@ -155,6 +168,9 @@ func (e *EccIndex) Eccentricity(v graph.NodeID) (graph.Weight, graph.NodeID) {
 	ids, ds := e.f.LabelIDs(v), e.f.LabelDists(v)
 	heap := sc.heap[:0]
 	for i, w := range ids {
+		if w < 0 || int(w) >= n {
+			continue // forged id on a quick-validated view: not inverted
+		}
 		if lo := e.start[w]; lo < e.start[w+1] {
 			heap = append(heap, eccCand{key: ds[i] + e.userDists[lo], pos: lo, end: e.start[w+1], dw: ds[i]})
 		}

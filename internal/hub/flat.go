@@ -1,11 +1,15 @@
 package hub
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"hublab/internal/graph"
+	"hublab/internal/mmapio"
+	"hublab/internal/par"
+	"hublab/internal/sssp"
 )
 
 // flatSentinel terminates every per-vertex run in the flat arrays. It
@@ -25,6 +29,15 @@ const flatSentinel = graph.NodeID(math.MaxInt32)
 // back to the mutable builder form with Thaw. Labels must be canonical
 // (sorted by hub id, no duplicates); Freeze canonicalizes first when
 // needed.
+//
+// A FlatLabeling is either owned — its arrays live on the Go heap — or a
+// view, whose arrays point directly into a memory-mapped container (see
+// OpenContainerMmap). Views answer queries identically but add a
+// lifetime contract: Release must not run before the last query on the
+// view finishes, Thaw always deep-copies (the mutable form never aliases
+// the mapping), and the in-place mutations owned labelings allow
+// (ComputeParents, ReadFrom) are refused — copy-on-write via CopyOwned
+// instead. See Owned, Release.
 type FlatLabeling struct {
 	offsets []int32        // len n+1; label of v occupies [offsets[v], offsets[v+1]-1), sentinel at offsets[v+1]-1
 	hubIDs  []graph.NodeID // len Total + n, sentinel-terminated runs
@@ -33,7 +46,48 @@ type FlatLabeling struct {
 	// vertex toward each hub on one shortest path (-1 for self entries and
 	// sentinel slots). It is what AppendPath unpacks witness paths from.
 	parents []graph.NodeID
+	// ref, when non-nil, is the mapped container at least one of the
+	// columns above aliases; the labeling is then a view (see Owned).
+	ref *mmapio.Mapping
 }
+
+// Owned reports whether the labeling's arrays are heap-owned. A view
+// (Owned() == false) aliases a mapped container: it is immutable shared
+// memory with an explicit lifetime — see Release.
+func (f *FlatLabeling) Owned() bool { return f.ref == nil }
+
+// Release ends a view's lifetime and unmaps its container. The caller
+// owns the contract that no query (and no slice obtained from LabelIDs,
+// LabelDists or Thaw-free accessors) is in flight or used afterwards —
+// the serving layer enforces it by refcounting snapshots and releasing
+// only after the last in-flight query drains. Release on an owned
+// labeling, and any call after the first, is a no-op returning nil.
+func (f *FlatLabeling) Release() error {
+	if f.ref == nil {
+		return nil
+	}
+	return f.ref.Close()
+}
+
+// CopyOwned returns a deep, heap-owned copy of f — the copy-on-write
+// escape hatch for views: the copy answers identically, allows the
+// in-place mutations views refuse, and survives Release of the original.
+func (f *FlatLabeling) CopyOwned() *FlatLabeling {
+	c := &FlatLabeling{
+		offsets: append([]int32(nil), f.offsets...),
+		hubIDs:  append([]graph.NodeID(nil), f.hubIDs...),
+		dists:   append([]graph.Weight(nil), f.dists...),
+	}
+	if f.parents != nil {
+		c.parents = append([]graph.NodeID(nil), f.parents...)
+	}
+	return c
+}
+
+// ErrViewImmutable reports an in-place mutation attempted on a
+// view-backed labeling. The mapped container may be shared with other
+// processes and is read-only; CopyOwned first, then mutate the copy.
+var ErrViewImmutable = errors.New("hub: labeling is a read-only mmap view (CopyOwned first)")
 
 // Freeze builds the flat CSR/SoA form of the labeling and caches it, so
 // subsequent Query/QueryVia calls on l run on the flat representation.
@@ -108,7 +162,10 @@ func (l *Labeling) canonical() bool {
 }
 
 // Thaw materializes a mutable Labeling holding a copy of the flat labels
-// (including the parent column, when present).
+// (including the parent column, when present). The copy is always deep —
+// in particular, thawing a view never aliases the mapped container, so
+// the result (and anything computed from it, e.g. ComputeParents) stays
+// valid after Release and never writes through the shared mapping.
 func (f *FlatLabeling) Thaw() *Labeling {
 	n := f.NumVertices()
 	l := NewLabeling(n)
@@ -132,6 +189,63 @@ func (f *FlatLabeling) Thaw() *Labeling {
 // HasParents reports whether the labeling carries the parent column that
 // path unpacking (AppendPath) requires.
 func (f *FlatLabeling) HasParents() bool { return f.parents != nil }
+
+// ComputeParents attaches a parent column in place by one shortest-path
+// search per distinct hub — the retrofit for labelings loaded from
+// parentless (version-1) containers, without a Thaw round-trip through
+// the mutable form. The stored distances must be the exact graph
+// distances; a mismatch is reported and leaves f unchanged.
+//
+// A view-backed labeling (Owned() == false) is immutable shared memory:
+// the call returns ErrViewImmutable instead of writing anywhere near the
+// mapping. Copy-on-write callers do f.CopyOwned().ComputeParents(g).
+func (f *FlatLabeling) ComputeParents(g *graph.Graph) error {
+	if !f.Owned() {
+		return ErrViewImmutable
+	}
+	n := f.NumVertices()
+	if n != g.NumNodes() {
+		return fmt.Errorf("hub: labeling has %d vertices, graph has %d", n, g.NumNodes())
+	}
+	// users[h] = vertices whose label carries hub h.
+	users := make(map[graph.NodeID][]graph.NodeID)
+	for v := 0; v < n; v++ {
+		for _, h := range f.LabelIDs(graph.NodeID(v)) {
+			users[h] = append(users[h], graph.NodeID(v))
+		}
+	}
+	order := make([]graph.NodeID, 0, len(users))
+	for h := range users {
+		order = append(order, h)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	col := make([]graph.NodeID, len(f.hubIDs))
+	for i := range col {
+		col[i] = -1 // sentinel and self slots stay -1
+	}
+	err := par.FirstError(len(order), func(i int) error {
+		h := order[i]
+		r := sssp.Search(g, h)
+		for _, v := range users[h] {
+			ids := f.LabelIDs(v)
+			slot := sort.Search(len(ids), func(k int) bool { return ids[k] >= h })
+			pos := int(f.offsets[v]) + slot
+			if r.Dist[v] != f.dists[pos] {
+				return fmt.Errorf("hub: entry (%d,%d) stores distance %d, graph says %d",
+					v, h, f.dists[pos], r.Dist[v])
+			}
+			if v != h {
+				col[pos] = r.Parent[v]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	f.parents = col
+	return nil
+}
 
 // NumVertices returns the number of vertices the labeling covers.
 func (f *FlatLabeling) NumVertices() int { return len(f.offsets) - 1 }
@@ -181,8 +295,13 @@ func (f *FlatLabeling) Query(u, v graph.NodeID) (graph.Weight, bool) {
 			j++
 			continue
 		}
-		// a-b cannot overflow: ids are in [0, MaxInt32]. lt = 1 iff a < b.
-		lt := int(uint32(a-b) >> 31)
+		// lt = 1 iff a < b. The subtraction is widened to int64 so it can
+		// never overflow — not an idle precaution: the sentinel is the
+		// maximum *signed* id, so on a quick-validated mmap view whose
+		// interior a hostile writer controls, overflow-correct ordering is
+		// exactly what pins every cursor at or before its final sentinel
+		// slot (see validateOffsets for the termination argument).
+		lt := int(uint64(int64(a)-int64(b)) >> 63)
 		i += lt
 		j += 1 - lt
 	}
@@ -209,7 +328,7 @@ func (f *FlatLabeling) QueryVia(u, v graph.NodeID) (graph.Weight, graph.NodeID, 
 			j++
 			continue
 		}
-		lt := int(uint32(a-b) >> 31)
+		lt := int(uint64(int64(a)-int64(b)) >> 63)
 		i += lt
 		j += 1 - lt
 	}
@@ -275,7 +394,7 @@ func (f *FlatLabeling) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
 				i0++
 				j0++
 			} else {
-				lt := int(uint32(a0-c0) >> 31)
+				lt := int(uint64(int64(a0)-int64(c0)) >> 63)
 				i0 += lt
 				j0 += 1 - lt
 			}
@@ -290,7 +409,7 @@ func (f *FlatLabeling) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
 				i1++
 				j1++
 			} else {
-				lt := int(uint32(a1-c1) >> 31)
+				lt := int(uint64(int64(a1)-int64(c1)) >> 63)
 				i1 += lt
 				j1 += 1 - lt
 			}
@@ -305,7 +424,7 @@ func (f *FlatLabeling) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
 				i2++
 				j2++
 			} else {
-				lt := int(uint32(a2-c2) >> 31)
+				lt := int(uint64(int64(a2)-int64(c2)) >> 63)
 				i2 += lt
 				j2 += 1 - lt
 			}
@@ -346,7 +465,7 @@ func (f *FlatLabeling) mergeRest(i, j int, best graph.Weight) graph.Weight {
 			j++
 			continue
 		}
-		lt := int(uint32(a-b) >> 31)
+		lt := int(uint64(int64(a)-int64(b)) >> 63)
 		i += lt
 		j += 1 - lt
 	}
@@ -444,11 +563,50 @@ func (s *hubParentSorter) Swap(i, j int) {
 	s.p[i], s.p[j] = s.p[j], s.p[i]
 }
 
-// validate asserts the structural invariants of the flat arrays. It must
-// stay fully defensive — ReadContainer runs it on untrusted input after
-// the checksum passes, so every index derived from the data is bounds-
-// checked before use.
+// validate asserts the full structural invariants of the flat arrays. It
+// must stay fully defensive — ReadContainer runs it on untrusted input
+// after the checksum passes, so every index derived from the data is
+// bounds-checked before use. It is validateRuns plus validateEntries;
+// the split exists for the mmap open path, which runs only the O(n) run
+// checks (see OpenContainerMmap for why that suffices for memory
+// safety) and leaves the O(slots) entry scan to Validate callers.
 func (f *FlatLabeling) validate() error {
+	if err := f.validateRuns(); err != nil {
+		return err
+	}
+	return f.validateEntries()
+}
+
+// Validate checks every structural invariant of the labeling — the runs
+// and every interior entry. Decoded containers are always validated on
+// load; for mmap views, which are opened with only the cheap run checks,
+// Validate is the opt-in full audit.
+func (f *FlatLabeling) Validate() error { return f.validate() }
+
+// validateOffsets asserts the invariants that make every query path
+// memory-safe on arbitrary column data, touching only the offsets column
+// (a few KB) plus one final slot — never the label pages themselves.
+// This is the whole validation budget of the zero-copy open, so the
+// safety argument is spelled out:
+//
+//   - lengths agree and offsets form a monotone, in-bounds cover with
+//     non-empty runs, so every slice a query takes (LabelIDs, LabelDists,
+//     nextHop, Thaw) is within the arrays;
+//   - the very last slot holds the sentinel, the maximum signed int32.
+//     A merge cursor advances only while strictly below the other
+//     cursor's value under overflow-safe signed comparison (the widened
+//     advance in Query and friends — a hostile negative id must order
+//     below the sentinel, not wrap past it), or on an equal non-sentinel
+//     match; a cursor sitting on the final slot therefore carries the
+//     maximum value and can never advance again, and two cursors meeting
+//     there terminate the scan. No interior sentinel is needed for
+//     safety — interior checks exist for integrity, in validateRuns and
+//     validateEntries.
+//
+// Hostile interiors past these checks can only produce wrong answers
+// (the quick-open trust model, see OpenContainerMmap), never an
+// out-of-bounds access.
+func (f *FlatLabeling) validateOffsets() error {
 	n := f.NumVertices()
 	if n < 0 {
 		return fmt.Errorf("hub: flat labeling missing offsets array")
@@ -470,12 +628,40 @@ func (f *FlatLabeling) validate() error {
 		if hi <= lo || lo < 0 || int(hi) > len(f.hubIDs) {
 			return fmt.Errorf("hub: vertex %d has invalid run [%d,%d)", v, lo, hi)
 		}
+	}
+	if last := len(f.hubIDs) - 1; last >= 0 && f.hubIDs[last] != flatSentinel {
+		return fmt.Errorf("hub: final slot holds %d, not the sentinel", f.hubIDs[last])
+	}
+	return nil
+}
+
+// validateRuns asserts the O(n) shape invariants: validateOffsets plus
+// every per-vertex run sentinel-terminated (with Infinity, and -1 in the
+// parent column).
+func (f *FlatLabeling) validateRuns() error {
+	if err := f.validateOffsets(); err != nil {
+		return err
+	}
+	n := f.NumVertices()
+	for v := 0; v < n; v++ {
+		hi := f.offsets[v+1]
 		if f.hubIDs[hi-1] != flatSentinel || f.dists[hi-1] != graph.Infinity {
 			return fmt.Errorf("hub: vertex %d run not sentinel-terminated", v)
 		}
 		if f.parents != nil && f.parents[hi-1] != -1 {
 			return fmt.Errorf("hub: vertex %d sentinel slot carries parent %d", v, f.parents[hi-1])
 		}
+	}
+	return nil
+}
+
+// validateEntries asserts the O(slots) interior invariants (ids sorted
+// and in range, distances in range, parents in range). It assumes
+// validateRuns already passed.
+func (f *FlatLabeling) validateEntries() error {
+	n := f.NumVertices()
+	for v := 0; v < n; v++ {
+		lo, hi := f.offsets[v], f.offsets[v+1]
 		for i := lo; i < hi-1; i++ {
 			// Hubs are vertices of the same graph, so ids must lie in
 			// [0, n) — merely being below the sentinel still lets a

@@ -1,0 +1,136 @@
+package hub
+
+import (
+	"bytes"
+	"fmt"
+
+	"hublab/internal/graph"
+	"hublab/internal/mmapio"
+)
+
+// OpenContainerMmap opens a container file as a memory-mapped
+// FlatLabeling. For version-3 (aligned) raw containers the load is
+// zero-copy: after the header, checksum and run-structure checks pass,
+// the CSR columns are typed views of the mapped region — no decode, no
+// second copy of the index in anonymous memory, and the kernel page
+// cache shares the physical pages between every process serving the same
+// file. Version-1/2 and gamma containers have no alignment guarantees to
+// point at, so they fall back to the ordinary decoded load and return an
+// owned labeling; callers can branch on Owned() when the distinction
+// matters.
+//
+// The returned view is immutable shared memory with an explicit
+// lifetime: Release unmaps it, and must not run before the last query
+// finishes (the serving layer refcounts snapshots for exactly this).
+// Replace a served container file by atomic rename, never by in-place
+// overwrite — a rename leaves the mapped inode untouched, an overwrite
+// rewrites the live pages under running queries.
+//
+// Validation and the trust model: open verifies the header and its
+// crc32 (which covers the section table, so the layout is
+// authenticated), the canonical section placement (alignment, exact
+// lengths, zero padding, exact file size) and the offsets-column
+// invariants — everything it reads is O(n) metadata; the label columns
+// themselves are never streamed through the CPU, which is what makes
+// open O(1) in the index size and lets first-touch cost land lazily on
+// the queries that actually fault each page in. The trade, relative to
+// the decoding reader: the whole-file trailer crc32 and the interior
+// entries are not audited at open. That is sound because every query
+// path is memory-safe without interior trust — the merge cursors cannot
+// escape the validated offsets cover (see validateOffsets for the
+// termination argument), path unpacking bounds-checks each stored hop
+// and answers ErrPathUnpack on escape, and the eccentricity index skips
+// out-of-range ids. A corrupted or forged file can therefore produce
+// wrong answers but never a panic or an out-of-map read; use index.Load
+// (which audits everything including the trailer checksum) or run
+// Validate when loading files of unknown provenance, and hubserve
+// -selfcheck to spot-check served answers against the graph.
+func OpenContainerMmap(path string) (*FlatLabeling, error) {
+	m, err := mmapio.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := openMapped(m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	if f.Owned() {
+		// Decode fallback (old version, gamma payload, or every column
+		// copied by the cast guards): the labeling no longer needs the
+		// mapping.
+		m.Close()
+	}
+	return f, nil
+}
+
+// openMapped builds a labeling over an established mapping. On success
+// the result either aliases the mapping (f.ref == m) or is fully owned;
+// the caller closes the mapping in the latter case and on error.
+func openMapped(m *mmapio.Mapping) (*FlatLabeling, error) {
+	data := m.Bytes()
+	if len(data) < containerHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than a header", ErrContainer, len(data))
+	}
+	version, flags, n64, slots64, err := parseContainerHeader(data[:containerHeaderLen])
+	if err != nil {
+		return nil, err
+	}
+	if version < 3 {
+		// No alignment guarantees to point at: decode the old format.
+		return ReadContainer(bytes.NewReader(data))
+	}
+	parents := flags&containerFlagParents != 0
+
+	// The canonical layout pins the exact file size before anything else
+	// is trusted: a table entry can then never name bytes outside the
+	// map, and an oversized length is caught even when the file's
+	// checksums are internally consistent.
+	want, end := containerSections(int64(n64), int64(slots64), parents)
+	if int64(len(data)) != end+4 {
+		return nil, fmt.Errorf("%w: %d bytes, canonical layout needs %d", ErrContainer, len(data), end+4)
+	}
+	headerEnd := alignedHeaderLen(len(want))
+	secs, err := validateAlignedExt(data[:containerHeaderLen], data[containerHeaderLen:headerEnd], want)
+	if err != nil {
+		return nil, err
+	}
+	pos := headerEnd
+	for i, s := range secs {
+		for _, b := range data[pos:s.off] {
+			if b != 0 {
+				return nil, fmt.Errorf("%w: nonzero padding before section %d", ErrContainer, i)
+			}
+		}
+		pos = s.off + s.length
+	}
+
+	f := &FlatLabeling{}
+	aliased := false
+	view := func(s containerSection) []int32 {
+		col, a := mmapio.View[int32](data[s.off : s.off+s.length])
+		aliased = aliased || a
+		return col
+	}
+	f.offsets = view(secs[0])
+	f.hubIDs = view(secs[1])
+	f.dists = view(secs[2])
+	if parents {
+		f.parents = view(secs[3])
+	}
+	if aliased {
+		f.ref = m
+	}
+	if err := f.validateOffsets(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrContainer, err)
+	}
+	return f, nil
+}
+
+// ensure the alias types the casts rely on hold at compile time: the
+// graph ids and weights must be exactly int32 for a column view to be
+// well-typed.
+var (
+	_ []int32 = []graph.NodeID(nil)
+	_ []int32 = []graph.Weight(nil)
+)

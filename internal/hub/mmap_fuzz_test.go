@@ -1,0 +1,103 @@
+package hub
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"hublab/internal/graph"
+)
+
+// hostileV3Seeds crafts the corpus of a hostile container writer: every
+// class of forgery the mmap opener must refuse (or, for run-valid
+// interior forgeries, accept without ever becoming unsafe). The helpers
+// mirror TestOpenContainerMmapHostile so the fuzzer starts from inputs
+// that already reach deep into the parser.
+func hostileV3Seeds(tb testing.TB) [][]byte {
+	_, fixture := parentFixture(tb)
+	base := alignedBytes(tb, fixture)
+	tamper := func(fn func([]byte) []byte) []byte {
+		return fn(append([]byte(nil), base...))
+	}
+	return [][]byte{
+		base,
+		alignedBytes(tb, containerFixture(tb)),
+		alignedBytes(tb, NewLabeling(0).Freeze()),
+		tamper(func(d []byte) []byte { return d[:len(d)/2] }),
+		tamper(func(d []byte) []byte { return refreshCRC(append(d, 1, 2, 3)) }),
+		tamper(func(d []byte) []byte {
+			off := binary.LittleEndian.Uint64(d[40:48])
+			binary.LittleEndian.PutUint64(d[40:48], off+4) // misaligned column offset
+			return refreshCRC(refreshHeaderCRC(d))
+		}),
+		tamper(func(d []byte) []byte {
+			l := binary.LittleEndian.Uint64(d[48:56])
+			binary.LittleEndian.PutUint64(d[48:56], l+64) // CRC-valid oversized length
+			return refreshCRC(refreshHeaderCRC(d))
+		}),
+		tamper(func(d []byte) []byte {
+			k := int(binary.LittleEndian.Uint64(d[32:40]))
+			d[44+16*k] = 0xAB // forged padding
+			return refreshCRC(d)
+		}),
+		tamper(func(d []byte) []byte {
+			off := binary.LittleEndian.Uint64(d[40+16:])
+			binary.LittleEndian.PutUint32(d[off:], 1<<20) // run-valid interior forgery
+			return refreshCRC(d)
+		}),
+		tamper(func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[24:32], 1<<40) // huge slots
+			return refreshCRC(d)
+		}),
+	}
+}
+
+// FuzzOpenContainerMmap hammers the zero-copy open path with arbitrary
+// bytes. The invariants: opening never panics and never reads outside
+// the buffer (the heap Mapping puts the Go bounds checker directly on
+// the map boundary); whatever opens successfully must answer queries,
+// batched queries, paths and eccentricities without panicking; and a
+// successful open must agree with the decoding reader whenever the
+// decoder also accepts (the decoder is strictly stricter — it audits
+// interior entries — so the reverse need not hold).
+func FuzzOpenContainerMmap(f *testing.F) {
+	for _, seed := range hostileV3Seeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl, err := openBytes(data)
+		if err != nil {
+			return
+		}
+		defer fl.Release()
+		if err := fl.validateOffsets(); err != nil {
+			t.Fatalf("accepted labeling fails offsets validation: %v", err)
+		}
+		n := graph.NodeID(fl.NumVertices())
+		if dec, derr := ReadContainer(bytes.NewReader(data)); derr == nil {
+			if !flatEqual(dec, fl) {
+				t.Fatal("mmap open and decode disagree on the same bytes")
+			}
+		}
+		if n == 0 {
+			return
+		}
+		// Query the corners and a stripe; answers may be garbage on forged
+		// interiors, panics and out-of-bounds reads are the failure.
+		probes := [][2]graph.NodeID{{0, 0}, {0, n - 1}, {n - 1, 0}, {n / 2, n / 2}, {0, n / 2}}
+		out := make([]graph.Weight, len(probes))
+		for _, p := range probes {
+			fl.Query(p[0], p[1])
+			fl.QueryVia(p[0], p[1])
+			if fl.HasParents() {
+				if _, err := fl.Path(p[0], p[1]); err != nil {
+					_ = err // forged hops must error, not panic
+				}
+			}
+		}
+		fl.QueryBatch(probes, out)
+		e := NewEccIndex(fl)
+		e.Eccentricity(0)
+		e.EccentricityUpperBound(n - 1)
+	})
+}

@@ -117,9 +117,12 @@ func (f *FlatLabeling) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]grap
 			return dst[:base], ErrPathUnpack
 		}
 		// Fast paths: one endpoint is a hub of the other, so the stored
-		// hop advances without a merge query.
+		// hop advances without a merge query. Every hop is bounds-checked
+		// before it becomes a cursor: a quick-validated mmap view may
+		// carry a forged parent column, and an escaped id must degrade to
+		// ErrPathUnpack, never index outside the arrays.
 		if p, ok := f.nextHop(x, y); ok {
-			if p < 0 {
+			if p < 0 || p >= n {
 				*bp = back
 				backBufs.Put(bp)
 				return dst[:base], ErrPathUnpack
@@ -129,7 +132,7 @@ func (f *FlatLabeling) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]grap
 			continue
 		}
 		if p, ok := f.nextHop(y, x); ok {
-			if p < 0 {
+			if p < 0 || p >= n {
 				*bp = back
 				backBufs.Put(bp)
 				return dst[:base], ErrPathUnpack
@@ -150,7 +153,7 @@ func (f *FlatLabeling) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]grap
 			return dst[:base], ErrPathUnpack
 		}
 		p, ok := f.nextHop(x, w)
-		if !ok || p < 0 {
+		if !ok || p < 0 || p >= n {
 			*bp = back
 			backBufs.Put(bp)
 			return dst[:base], ErrPathUnpack

@@ -186,6 +186,7 @@ var (
 	_ PathReporter         = (*HubLabels)(nil)
 	_ EccentricityReporter = (*HubLabels)(nil)
 	_ CapabilityWarmer     = (*HubLabels)(nil)
+	_ Releaser             = (*HubLabels)(nil)
 )
 
 // NewHubLabels builds a PLL-backed hub-label index.
@@ -295,6 +296,18 @@ func (x *HubLabels) Meta() Meta {
 		QueryOps: 2 * avg,
 	}
 }
+
+// Owned reports whether the index's label storage is heap-owned. A
+// mmap-loaded index (LoadMmap over an aligned container) returns false:
+// its columns alias the mapped file and carry the Release lifetime.
+func (x *HubLabels) Owned() bool { return x.f.Owned() }
+
+// Release implements Releaser: it unmaps a view-backed index's container
+// (a no-op for heap-owned indexes). The caller owns the contract that no
+// query is in flight or issued afterwards; serving layers enforce it by
+// refcounting snapshots and releasing only after the last in-flight
+// query drains.
+func (x *HubLabels) Release() error { return x.f.Release() }
 
 // Labeling exposes the underlying mutable labeling; it is nil for indexes
 // loaded from a container (use Flat instead).

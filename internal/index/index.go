@@ -91,6 +91,17 @@ type CapabilityWarmer interface {
 	WarmEccentricity()
 }
 
+// Releaser is implemented by indexes holding resources the garbage
+// collector cannot reclaim — today the hub-label views over a
+// memory-mapped container (LoadMmap). Release frees them; the index must
+// not answer queries afterwards. Serving layers that take ownership of
+// an index (server.Options.OwnIndex, Server.SwapRetire) call Release
+// exactly once, after the last in-flight query on the index drains.
+// Indexes without such resources may implement it as a no-op.
+type Releaser interface {
+	Release() error
+}
+
 // Options parameterizes backend construction.
 type Options struct {
 	// Seed drives any randomized choices of the builder.

@@ -3,10 +3,12 @@ package indextest
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"hublab/internal/gen"
 	"hublab/internal/graph"
+	"hublab/internal/hub"
 	"hublab/internal/index"
 	"hublab/internal/sssp"
 )
@@ -39,8 +41,10 @@ type PropertyGraph struct {
 
 // PropertyGraphs returns the harness families, deterministically derived
 // from seed: a connected sparse Gnm, a grid, a random tree, a weighted
-// road-like grid, and a disconnected multi-component graph with an
-// isolated vertex.
+// road-like grid, a weighted random graph (uniform weights with no
+// highway structure — shortest paths there rarely follow hop counts, the
+// classic trap for backends that quietly assume unit weights), and a
+// disconnected multi-component graph with an isolated vertex.
 func PropertyGraphs(tb testing.TB, seed int64) []PropertyGraph {
 	tb.Helper()
 	must := func(g *graph.Graph, err error) *graph.Graph {
@@ -49,6 +53,19 @@ func PropertyGraphs(tb testing.TB, seed int64) []PropertyGraph {
 			tb.Fatalf("property graph: %v", err)
 		}
 		return g
+	}
+	weightedGnm := func() (*graph.Graph, error) {
+		// Re-weight a Gnm topology with uniform random weights in [1,9].
+		ga, err := gen.Gnm(80, 150, seed+4)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + 5))
+		b := graph.NewBuilder(ga.NumNodes(), ga.NumEdges())
+		for _, e := range ga.Edges() {
+			b.AddWeightedEdge(e.U, e.V, 1+graph.Weight(rng.Intn(9)))
+		}
+		return b.Build()
 	}
 	disconnected := func() (*graph.Graph, error) {
 		// Component A: Gnm on [0,40); component B: a cycle on [40,60);
@@ -76,6 +93,7 @@ func PropertyGraphs(tb testing.TB, seed int64) []PropertyGraph {
 		{"grid", must(gen.Grid(8, 9))},
 		{"tree", must(gen.RandomTree(70, seed+1))},
 		{"road", must(gen.RoadLike(7, 8, 3, seed+2))},
+		{"wgnm", must(weightedGnm())},
 		{"disconnected", must(disconnected())},
 	}
 }
@@ -173,6 +191,78 @@ func RunProperties(t *testing.T, g *graph.Graph, idx index.Index, seed int64) {
 				t.Fatalf("farthest(%d) = (%d,%d), ecc is %d (true d=%d)",
 					v, far, fd, want, truth[v][far])
 			}
+		}
+	}
+}
+
+// RunContainerLoadEquivalence pins the zero-copy serving path against
+// the decode path: it builds a hub-label index over g, persists it as an
+// aligned (v3) container, loads it back through both doors — the
+// decoding reader and the mmap view — and asserts that each satisfies
+// the full property set and that the two agree answer-for-answer on
+// distances, witness paths and eccentricities. Both loads come from the
+// same container bytes, so even the path walks (deterministic given the
+// labels) must be identical vertex-for-vertex.
+func RunContainerLoadEquivalence(t *testing.T, g *graph.Graph, seed int64) {
+	t.Helper()
+	built, err := index.Build(index.KindHubLabels, g, index.Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "prop.hli")
+	if err := index.Save(path, built, hub.ContainerOptions{Aligned: true}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	dec, err := index.Load(path)
+	if err != nil {
+		t.Fatalf("decode load: %v", err)
+	}
+	view, err := index.LoadMmap(path)
+	if err != nil {
+		t.Fatalf("mmap load: %v", err)
+	}
+	defer view.Release()
+	if view.Owned() {
+		t.Fatal("mmap load of an aligned container did not produce a view")
+	}
+
+	// Each backend independently satisfies every property…
+	t.Run("decode", func(t *testing.T) { RunProperties(t, g, dec, seed) })
+	t.Run("mmap", func(t *testing.T) { RunProperties(t, g, view, seed) })
+
+	// …and the two doors agree byte-for-byte.
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(seed + 99))
+	var pd, pv []graph.NodeID
+	for k := 0; k < 200; k++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if a, b := dec.Distance(u, v), view.Distance(u, v); a != b {
+			t.Fatalf("distance(%d,%d): decode %d, mmap %d", u, v, a, b)
+		}
+		var errD, errV error
+		pd, errD = dec.AppendPath(pd[:0], u, v)
+		pv, errV = view.AppendPath(pv[:0], u, v)
+		if (errD == nil) != (errV == nil) {
+			t.Fatalf("path(%d,%d): decode err %v, mmap err %v", u, v, errD, errV)
+		}
+		if len(pd) != len(pv) {
+			t.Fatalf("path(%d,%d): decode %v, mmap %v", u, v, pd, pv)
+		}
+		for i := range pd {
+			if pd[i] != pv[i] {
+				t.Fatalf("path(%d,%d) diverges at hop %d: decode %v, mmap %v", u, v, i, pd, pv)
+			}
+		}
+		ed, errD := dec.Eccentricity(v)
+		ev, errV := view.Eccentricity(v)
+		if errD != nil || errV != nil || ed != ev {
+			t.Fatalf("ecc(%d): decode (%d,%v), mmap (%d,%v)", v, ed, errD, ev, errV)
+		}
+		fd, fdd, _ := dec.Farthest(v)
+		fv, fvd, _ := view.Farthest(v)
+		if fd != fv || fdd != fvd {
+			t.Fatalf("farthest(%d): decode (%d,%d), mmap (%d,%d)", v, fd, fdd, fv, fvd)
 		}
 	}
 }

@@ -60,3 +60,21 @@ func LoadReader(r io.Reader) (*HubLabels, error) {
 	}
 	return FromFlat(flat), nil
 }
+
+// LoadMmap opens a container zero-copy: for version-3 (aligned) files
+// the index's CSR columns are typed views of the memory-mapped region,
+// so the open is O(n) plus one checksum pass instead of a full decode,
+// no second copy of the index exists in anonymous memory, and processes
+// serving the same file share its physical pages. Old or compressed
+// containers fall back to the decoded load transparently.
+//
+// A view-backed index must be released (Release, or a serving layer that
+// owns it — server.Options.OwnIndex / SwapRetire) after its last query;
+// see hub.OpenContainerMmap for the lifetime and validation contract.
+func LoadMmap(path string) (*HubLabels, error) {
+	flat, err := hub.OpenContainerMmap(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromFlat(flat), nil
+}

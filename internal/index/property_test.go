@@ -31,6 +31,20 @@ func TestPropertyBackends(t *testing.T) {
 	}
 }
 
+// TestPropertyContainerLoads runs the dual-load equivalence harness over
+// every graph family: the decode-loaded and mmap-loaded hub-label
+// backends must each satisfy the full property set and agree
+// answer-for-answer on distances, witness paths and eccentricities.
+// This is what pins "byte-identical query answers" for the zero-copy
+// serving path; CI runs it inside the -race -count=2 property shard.
+func TestPropertyContainerLoads(t *testing.T) {
+	for _, pg := range indextest.PropertyGraphs(t, 42) {
+		t.Run(pg.Name, func(t *testing.T) {
+			indextest.RunContainerLoadEquivalence(t, pg.G, 1234)
+		})
+	}
+}
+
 // TestPropertyCapabilityCoverage pins that the capability interfaces are
 // actually exercised: all three built-in backends must report paths and
 // eccentricities (a silent type-assertion miss in the harness would

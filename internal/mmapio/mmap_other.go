@@ -1,0 +1,18 @@
+//go:build !unix
+
+package mmapio
+
+import "os"
+
+// Open reads path into a heap buffer on hosts without mmap support. The
+// zero-copy column casts still apply; only cross-process page sharing is
+// forfeited.
+func Open(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromBytes(data), nil
+}
+
+func munmap([]byte) error { return nil }

@@ -1,0 +1,44 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Open maps path read-only. The file descriptor is closed before
+// returning — the mapping keeps the pages alive on its own — so an Open
+// never pins an fd for the lifetime of an index. Mapping is MAP_SHARED:
+// every process mapping the same container shares one set of physical
+// pages through the page cache. An empty file yields an empty heap
+// mapping (mmap rejects zero-length maps; callers fail on the header
+// instead).
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return FromBytes(nil), nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapio: %s: %d bytes exceed the address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: mmap %s: %w", path, err)
+	}
+	m := &Mapping{data: data}
+	m.live.Store(true)
+	return m, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

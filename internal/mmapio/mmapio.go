@@ -1,0 +1,125 @@
+// Package mmapio provides read-only memory mappings of files and the
+// safe reinterpretation of mapped bytes as typed column slices. It is
+// the foundation of the zero-copy container serving path: a container
+// file is mapped once, its little-endian int32 columns are pointed at
+// directly (no decode, no second copy in anonymous memory), and the
+// kernel page cache shares the physical pages between every process
+// serving the same index.
+//
+// Two backing stores exist behind one Mapping type: a real mmap on unix
+// hosts, and a plain heap buffer everywhere else (and for byte-slice
+// inputs such as fuzzers). Callers never branch on which they got — the
+// heap fallback simply forfeits page sharing, not correctness.
+//
+// Reinterpretation is strictly guarded: Int32s refuses (ok=false) when
+// the host is big-endian, the base pointer is not 4-byte aligned, or the
+// length is not a whole number of elements — the pure-copy CopyInt32s is
+// the fallback for those hostile or exotic layouts. View composes the
+// two, so column loading is zero-copy exactly when it is safe to be.
+package mmapio
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether multi-byte loads on this host read
+// little-endian byte order — the container wire order, and the
+// precondition for pointing typed slices at raw file bytes.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Mapping is a read-only byte view of a file (or of a caller-provided
+// buffer). The bytes must be treated as immutable shared memory: they
+// may be visible to other processes through the page cache, and writing
+// through a real mapping faults (PROT_READ).
+//
+// Close unmaps; it is idempotent and safe for concurrent use, but the
+// caller owns the harder contract that no slice derived from Bytes is
+// touched afterwards — a labeling view enforces it with reference
+// counting above this package.
+type Mapping struct {
+	data []byte
+	live atomic.Bool
+	heap bool // heap-backed: Close only drops the reference
+}
+
+// FromBytes wraps an in-memory buffer as a Mapping. It backs the
+// non-unix fallback and lets parsers and fuzzers run the exact mapped
+// code path without a file. The Mapping aliases b; the caller must not
+// mutate it while the Mapping lives.
+func FromBytes(b []byte) *Mapping {
+	m := &Mapping{data: b, heap: true}
+	m.live.Store(true)
+	return m
+}
+
+// Bytes returns the mapped region, or nil after Close.
+func (m *Mapping) Bytes() []byte {
+	if !m.live.Load() {
+		return nil
+	}
+	return m.data
+}
+
+// Len returns the mapped size in bytes (0 after Close).
+func (m *Mapping) Len() int { return len(m.Bytes()) }
+
+// Live reports whether the mapping is still established. Test harnesses
+// use it to assert that no query ever observes an unmapped snapshot.
+func (m *Mapping) Live() bool { return m.live.Load() }
+
+// Close releases the mapping. Only the first call unmaps; later calls
+// return nil. After Close every slice previously derived from Bytes is
+// invalid — for real mappings, touching one faults the process.
+func (m *Mapping) Close() error {
+	if !m.live.CompareAndSwap(true, false) {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	if m.heap {
+		return nil
+	}
+	return munmap(data)
+}
+
+// Int32s reinterprets b as a little-endian []T without copying. ok is
+// false — and the caller must use CopyInt32s instead — when the host is
+// big-endian, b's base pointer is not 4-byte aligned, or len(b) is not a
+// multiple of 4. The returned slice aliases b and inherits its lifetime.
+func Int32s[T ~int32](b []byte) ([]T, bool) {
+	if len(b)%4 != 0 || !hostLittleEndian {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return []T{}, true
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(T(0)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/4), true
+}
+
+// CopyInt32s decodes b (little-endian, len(b) must be a multiple of 4)
+// into a freshly allocated []T — the pure-copy fallback for layouts
+// Int32s refuses.
+func CopyInt32s[T ~int32](b []byte) []T {
+	out := make([]T, len(b)/4)
+	for i := range out {
+		out[i] = T(int32(uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24))
+	}
+	return out
+}
+
+// View returns b as a []T, zero-copy when Int32s allows it and by copy
+// otherwise, along with whether the result aliases b. len(b) must be a
+// multiple of 4.
+func View[T ~int32](b []byte) (col []T, aliased bool) {
+	if col, ok := Int32s[T](b); ok {
+		return col, true
+	}
+	return CopyInt32s[T](b), false
+}

@@ -1,0 +1,147 @@
+package mmapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"unsafe"
+)
+
+func tempFile(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOpenAndClose maps a real file, checks the bytes, and pins the
+// Close semantics: idempotent, Live flips once, Bytes goes nil.
+func TestOpenAndClose(t *testing.T) {
+	want := []byte("HUBLABIX mapping test payload 0123456789")
+	m, err := Open(tempFile(t, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Live() {
+		t.Fatal("fresh mapping not live")
+	}
+	if !bytes.Equal(m.Bytes(), want) {
+		t.Fatalf("mapped %q, want %q", m.Bytes(), want)
+	}
+	if m.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(want))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if m.Live() || m.Bytes() != nil || m.Len() != 0 {
+		t.Fatal("closed mapping still presents data")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestOpenEmptyFile: a zero-length file cannot be mmapped; it must
+// degrade to an empty heap mapping, not an error.
+func TestOpenEmptyFile(t *testing.T) {
+	m, err := Open(tempFile(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 0 {
+		t.Fatalf("empty file mapped to %d bytes", m.Len())
+	}
+}
+
+// TestOpenMissing pins the error path.
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Open of a missing file succeeded")
+	}
+}
+
+// TestInt32sAliasing: the zero-copy cast must read the little-endian
+// values and alias the input (same backing memory).
+func TestInt32sAliasing(t *testing.T) {
+	buf := make([]byte, 16)
+	vals := []int32{1, -2, 1 << 30, -(1 << 30)}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	got, ok := Int32s[int32](buf)
+	if !ok {
+		t.Skip("host refuses the zero-copy cast (big-endian or unaligned heap)")
+	}
+	for i, v := range vals {
+		if got[i] != v {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], v)
+		}
+	}
+	// Aliasing: a write through the byte view must surface in the cast.
+	binary.LittleEndian.PutUint32(buf[0:], 42)
+	if got[0] != 42 {
+		t.Fatal("Int32s copied instead of aliasing")
+	}
+}
+
+// TestInt32sRefusals: misaligned bases, ragged lengths and empty input.
+// (Go's tiny allocator hands byte buffers out at arbitrary alignment, so
+// the misaligned window is found by inspection, not assumed.)
+func TestInt32sRefusals(t *testing.T) {
+	buf := make([]byte, 33)
+	if _, ok := Int32s[int32](buf); ok {
+		t.Fatal("accepted a length that is not a multiple of 4")
+	}
+	off := 0
+	for uintptr(unsafe.Pointer(&buf[off]))%4 == 0 {
+		off++
+	}
+	if _, ok := Int32s[int32](buf[off : off+12]); ok {
+		t.Fatal("accepted a misaligned base pointer")
+	}
+	if col, ok := Int32s[int32](nil); !ok || len(col) != 0 {
+		t.Fatalf("empty input: (%v, %v), want ([], true)", col, ok)
+	}
+}
+
+// TestCopyInt32sAndView: the copy fallback decodes identically and View
+// always returns correct values whichever branch it takes.
+func TestCopyInt32sAndView(t *testing.T) {
+	raw := make([]byte, 21)
+	for i := range raw {
+		raw[i] = byte(i * 7)
+	}
+	// A deliberately misaligned, 4-multiple window.
+	b := raw[1:17]
+	want := CopyInt32s[int32](b)
+	got, aliased := View[int32](b)
+	if len(got) != len(want) {
+		t.Fatalf("View returned %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("View[%d] = %d, copy says %d (aliased=%v)", i, got[i], want[i], aliased)
+		}
+	}
+}
+
+// TestFromBytes pins the heap-backed mapping used by fallbacks and
+// fuzzers.
+func TestFromBytes(t *testing.T) {
+	m := FromBytes([]byte{1, 2, 3})
+	if !m.Live() || m.Len() != 3 {
+		t.Fatal("heap mapping broken")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Live() {
+		t.Fatal("heap mapping live after Close")
+	}
+}

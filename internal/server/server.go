@@ -25,6 +25,16 @@
 // path. Capabilities are resolved per snapshot, so swapping in an index
 // without path support degrades those requests to ErrUnsupported rather
 // than breaking the server.
+//
+// Snapshots are reference-counted, which is what makes serving
+// view-backed (mmap-loaded) indexes safe: every use — a worker group, a
+// direct QueryBatch, a capability warm — pins the snapshot it runs on,
+// and an index installed as owned (Options.OwnIndex, SwapRetire) is
+// released (for a view, unmapped) only when the retired snapshot's last
+// pin drops. Hot reload is therefore one SwapRetire: new queries land on
+// the new mapping immediately, in-flight queries finish on the old one,
+// and the old container unmaps the instant the last of them drains —
+// zero dropped queries, zero stop-the-world.
 package server
 
 import (
@@ -75,6 +85,13 @@ type Options struct {
 	// Stats.Shed) instead of racing everyone else for queue slots.
 	// Blocking Query calls bypass the controller.
 	Admission *flowctl.Options
+	// OwnIndex transfers ownership of the initial index to the server:
+	// when the snapshot retires (replaced by SwapRetire, removed by Swap,
+	// or at Close), its resources are released (index.Releaser) once the
+	// last in-flight query drains. Required for view-backed (mmap)
+	// indexes the caller will not release manually; harmless for
+	// heap-owned ones, whose Release is a no-op.
+	OwnIndex bool
 }
 
 // Server shards query streams over worker goroutines against an
@@ -102,13 +119,72 @@ type Server struct {
 }
 
 // snapshot pairs an index with its (possibly nil) capability fast paths
-// so one atomic load fetches all of them.
+// so one atomic load fetches all of them, plus the reference count that
+// makes retiring a snapshot safe under live traffic.
+//
+// refs starts at 1 — the "installed" reference the Server itself holds —
+// and every use (a worker group, a direct QueryBatch, a capability warm)
+// pins it for the duration of the touch. Retiring drops the installed
+// reference; whoever drops refs to zero runs the release, so a
+// view-backed (mmap) index is unmapped exactly once, strictly after the
+// last in-flight query on it finishes, without any stop-the-world drain.
 type snapshot struct {
 	idx   index.Index
 	batch index.Batcher
 	paths index.PathReporter
 	ecc   index.EccentricityReporter
 	warm  index.CapabilityWarmer
+	refs  atomic.Int64
+	// owned records that the server must release the index's resources
+	// (index.Releaser) when the snapshot retires — set by Options.OwnIndex
+	// and SwapRetire, never by plain Swap, whose caller keeps the old
+	// index.
+	owned bool
+}
+
+// pin acquires a reference on the current snapshot, retrying against
+// concurrent swaps. The CAS-from-nonzero loop closes the classic race:
+// between loading the pointer and incrementing, the snapshot may retire
+// and drop to zero — a dead snapshot is never resurrected, the loop
+// simply reloads the (by then replaced) pointer. It returns nil only
+// when the server is closed and its final snapshot already retired.
+func (s *Server) pin() *snapshot {
+	for {
+		snap := s.snap.Load()
+		n := snap.refs.Load()
+		if n <= 0 {
+			if s.closing.Load() && s.snap.Load() == snap {
+				return nil
+			}
+			continue
+		}
+		if snap.refs.CompareAndSwap(n, n+1) {
+			return snap
+		}
+	}
+}
+
+// unpin releases a pin; the dropper of the last reference releases the
+// snapshot's resources.
+func (snap *snapshot) unpin() {
+	if snap.refs.Add(-1) == 0 {
+		snap.release()
+	}
+}
+
+// retire drops the installed reference a snapshot was created with.
+func (snap *snapshot) retire() { snap.unpin() }
+
+// release frees an owned snapshot's resources (the munmap of a
+// view-backed index). It runs exactly once, on whichever goroutine
+// dropped the last reference.
+func (snap *snapshot) release() {
+	if !snap.owned {
+		return
+	}
+	if r, ok := snap.idx.(index.Releaser); ok {
+		r.Release() // serving cannot surface this; Release errors are terminal for the mapping only
+	}
 }
 
 // Request kinds flowing through the shard queues. Distance requests keep
@@ -162,7 +238,7 @@ func New(idx index.Index, opts Options) *Server {
 	if opts.Admission != nil {
 		s.ctl = flowctl.New(*opts.Admission)
 	}
-	s.snap.Store(newSnapshot(idx))
+	s.snap.Store(newSnapshot(idx, opts.OwnIndex))
 	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	for i := range s.shards {
 		sh := &shard{ch: make(chan *request, depth)}
@@ -173,8 +249,9 @@ func New(idx index.Index, opts Options) *Server {
 	return s
 }
 
-func newSnapshot(idx index.Index) *snapshot {
-	ns := &snapshot{idx: idx}
+func newSnapshot(idx index.Index, owned bool) *snapshot {
+	ns := &snapshot{idx: idx, owned: owned}
+	ns.refs.Store(1)
 	if b, ok := idx.(index.Batcher); ok {
 		ns.batch = b
 	}
@@ -318,13 +395,19 @@ func (s *Server) submit(client string, op uint8, u, v graph.NodeID, dst []graph.
 	// the inverted eccentricity lists) is warmed here, in the submitting
 	// goroutine: the one-time build blocks only this caller, never a
 	// shard worker with other clients' requests queued behind it. Once
-	// built these are sync.Once fast paths.
-	if snap := s.snap.Load(); snap.warm != nil {
-		switch op {
-		case opPath:
-			snap.warm.WarmPaths()
-		case opEcc, opFarthest:
-			snap.warm.WarmEccentricity()
+	// built these are sync.Once fast paths. The warm touches the index,
+	// so it pins the snapshot like any other use.
+	if op != opDistance {
+		if snap := s.pin(); snap != nil {
+			if snap.warm != nil {
+				switch op {
+				case opPath:
+					snap.warm.WarmPaths()
+				case opEcc, opFarthest:
+					snap.warm.WarmEccentricity()
+				}
+			}
+			snap.unpin()
 		}
 	}
 	r := s.pool.Get().(*request)
@@ -356,14 +439,23 @@ func (s *Server) submit(client string, op uint8, u, v graph.NodeID, dst []graph.
 // it goes straight to the index's interleaved merge (or a scalar loop for
 // backends without one). Zero allocations. It never touches the shard
 // channels, so unlike Query it stays safe (and keeps answering on the
-// final snapshot) during and after Close.
+// final snapshot) during and after Close — except when that final
+// snapshot was owned (Options.OwnIndex, SwapRetire) and has therefore
+// been released by Close, in which case every pair answers Infinity.
 func (s *Server) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
 	if len(pairs) == 0 {
 		return
 	}
 	s.direct.Add(uint64(len(pairs)))
 	s.directBatches.Add(1)
-	snap := s.snap.Load()
+	snap := s.pin()
+	if snap == nil {
+		for i := range pairs {
+			out[i] = graph.Infinity
+		}
+		return
+	}
+	defer snap.unpin()
 	if snap.batch != nil {
 		snap.batch.DistanceBatch(pairs, out)
 		return
@@ -373,16 +465,51 @@ func (s *Server) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
 	}
 }
 
-// Index returns the currently served index snapshot.
+// Index returns the currently served index snapshot. The reference is
+// unpinned: an index installed as owned (OwnIndex, SwapRetire) may be
+// released as soon as a reload retires it, so callers must not retain
+// the return value across swaps — use Meta for per-request metadata.
 func (s *Server) Index() index.Index { return s.snap.Load().idx }
+
+// Meta returns the currently served index's metadata under a snapshot
+// pin, so it stays safe against a concurrent retire of a view-backed
+// index. After Close of an owned final snapshot it returns the zero
+// Meta.
+func (s *Server) Meta() index.Meta {
+	snap := s.pin()
+	if snap == nil {
+		return index.Meta{}
+	}
+	defer snap.unpin()
+	return snap.idx.Meta()
+}
 
 // Swap atomically replaces the served index and returns the previous one.
 // In-flight groups finish on the snapshot they started with; every
 // request picked up afterwards is served by next. The two indexes may
-// cover different graphs — callers own that transition.
+// cover different graphs — callers own that transition, and the caller
+// keeps the returned index: Swap never takes ownership of next and never
+// releases the old index on its own. (If the old index was installed as
+// owned — OwnIndex or SwapRetire — that standing obligation still fires
+// once in-flight queries drain; the returned value is then only good
+// until that moment. Don't mix the two styles on the same index.)
 func (s *Server) Swap(next index.Index) index.Index {
-	old := s.snap.Swap(newSnapshot(next))
-	return old.idx
+	old := s.snap.Swap(newSnapshot(next, false))
+	idx := old.idx
+	old.retire()
+	return idx
+}
+
+// SwapRetire atomically replaces the served index with next, taking
+// ownership of it, and retires the previous snapshot: once the last
+// in-flight query on it drains, its resources are released
+// (index.Releaser — for a view-backed index, the munmap). No query is
+// ever dropped or served from unmapped memory: in-flight groups hold
+// pins, and the release runs on whichever goroutine drops the last one.
+// This is the hot-reload door (hubserve /reload, SIGHUP).
+func (s *Server) SwapRetire(next index.Index) {
+	old := s.snap.Swap(newSnapshot(next, true))
+	old.retire()
 }
 
 // Stats is a point-in-time view of served traffic.
@@ -441,8 +568,11 @@ func (s *Server) Stats() Stats {
 // call concurrently with TryQuery (submissions that lose the race get
 // ErrClosed) and with in-flight Query calls, which are answered before
 // the workers exit; only the first caller performs the drain, later
-// calls return immediately. Stats and QueryBatch remain usable on the
-// final snapshot after Close.
+// calls return immediately. Stats remains usable after Close, and so
+// does QueryBatch on the final snapshot — unless that snapshot was owned
+// (Options.OwnIndex, SwapRetire), in which case Close retires it too,
+// releasing its resources after the workers drain so an owned mapping
+// can never outlive the server.
 func (s *Server) Close() {
 	if s.closing.Swap(true) {
 		return
@@ -456,6 +586,14 @@ func (s *Server) Close() {
 		close(sh.ch)
 	}
 	s.wg.Wait()
+	// Workers are gone and no submission can pass the gate: retiring the
+	// final snapshot now releases an owned index with nothing in flight.
+	// Un-owned snapshots keep their installed reference so QueryBatch
+	// stays answerable forever (release would be a no-op anyway, but the
+	// pin must keep succeeding).
+	if snap := s.snap.Load(); snap.owned {
+		snap.retire()
+	}
 }
 
 // run is the shard worker loop: block for one request, opportunistically
@@ -483,7 +621,13 @@ func (s *Server) run(sh *shard) {
 				break coalesce
 			}
 		}
-		snap := s.snap.Load()
+		// Pin the snapshot for the whole group: a concurrent SwapRetire
+		// can replace the pointer at any time, but the old index is only
+		// released once this pin (and every other) is dropped — the group
+		// always finishes on mapped memory. pin cannot return nil here:
+		// the submitters of these requests hold the close gate, so the
+		// final snapshot cannot have retired yet.
+		snap := s.pin()
 		allDist := true
 		for i := 0; i < n; i++ {
 			if sh.reqs[i].op != opDistance {
@@ -504,6 +648,7 @@ func (s *Server) run(sh *shard) {
 				serveOne(snap, sh.reqs[i])
 			}
 		}
+		snap.unpin()
 		// Count before replying: once done is signaled, callers may observe
 		// the query as served, and Stats() must not lag behind them.
 		sh.served.Add(uint64(n))
@@ -547,7 +692,7 @@ func serveOne(snap *snapshot, r *request) {
 // String summarizes the server for logs.
 func (s *Server) String() string {
 	st := s.Stats()
-	meta := s.Index().Meta()
+	meta := s.Meta()
 	return fmt.Sprintf("server{%s n=%d shards=%d served=%d batches=%d}",
 		meta.Kind, meta.Vertices, st.Shards, st.Served, st.Batches)
 }

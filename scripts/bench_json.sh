@@ -7,12 +7,12 @@
 # PR appends its own point to the performance trajectory that
 # EXPERIMENTS.md tracks (BENCH_pr1.json, BENCH_pr2.json, ...). The
 # default regex covers the query-path benchmarks plus the container-load
-# (E17), serving-throughput (E18), admission-control (E19) and
-# path/eccentricity (E20) series.
+# (E17), serving-throughput (E18), admission-control (E19),
+# path/eccentricity (E20) and zero-copy mmap (E21) series.
 set -eu
 
 PR="${1:?usage: bench_json.sh PR_NUMBER [BENCH_REGEX]}"
-REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*}"
+REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*|BenchmarkE21.*}"
 OUT="BENCH_pr${PR}.json"
 cd "$(dirname "$0")/.."
 
