@@ -15,6 +15,7 @@ import (
 	"hublab/internal/approx"
 	"hublab/internal/cover"
 	"hublab/internal/dlabel"
+	"hublab/internal/faultinject"
 	"hublab/internal/flowctl"
 	"hublab/internal/gen"
 	"hublab/internal/graph"
@@ -963,4 +964,48 @@ func BenchmarkE21QueryMmapSteady(b *testing.B) {
 		p := pairs[i%len(pairs)]
 		x.Distance(p[0], p[1])
 	}
+}
+
+// --- E22: fault-injection overhead when disabled -------------------------
+
+// BenchmarkE22FireDisabled pins the zero-cost-when-disabled contract of
+// the fault-injection registry: with no faults armed, every hook on the
+// serving hot path (worker dispatch, warm, load, save) costs one atomic
+// load and no allocations. This is the number that justifies leaving
+// the hooks compiled into production binaries.
+func BenchmarkE22FireDisabled(b *testing.B) {
+	faultinject.Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := faultinject.Fire(faultinject.PointServerWorker); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE22TryQueryFaultsOff measures the full TryQuery door with the
+// fault machinery present but disarmed — panic-recovery defer, request
+// state arbitration, health tracker — for comparison against the
+// pre-chaos E18 serving numbers: the containment layer must be noise.
+func BenchmarkE22TryQueryFaultsOff(b *testing.B) {
+	faultinject.Disable()
+	flat, _, pairs := benchQueryGraph10k(b)
+	srv := server.New(index.FromFlat(flat), server.Options{Shards: 4})
+	defer srv.Close()
+	for i := 0; i < 256; i++ {
+		p := pairs[i%len(pairs)]
+		srv.Query(p[0], p[1])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		k := 0
+		for pb.Next() {
+			p := pairs[k%len(pairs)]
+			k++
+			if _, err := srv.TryQuery("bench", p[0], p[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

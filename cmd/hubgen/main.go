@@ -21,8 +21,10 @@ import (
 	"log"
 	"math"
 	"os"
+	"path/filepath"
 
 	"hublab/internal/cover"
+	"hublab/internal/faultinject"
 	"hublab/internal/gen"
 	"hublab/internal/graph"
 	"hublab/internal/hub"
@@ -53,6 +55,21 @@ func run() error {
 	aligned := flag.Bool("aligned", false, "write the 64-byte-aligned v3 container for -out (servable zero-copy: hubserve -mmap)")
 	graphOut := flag.String("graphout", "", "write the graph in the text format hubgen/hubserve read")
 	flag.Parse()
+
+	if spec, on, err := faultinject.EnableFromEnv(); err != nil {
+		return fmt.Errorf("hubgen: %w", err)
+	} else if on {
+		log.Printf("hubgen: FAULT INJECTION ACTIVE (HUBLAB_FAULTS=%q) — this process will misbehave on purpose", spec)
+	}
+	// A previous hubgen that crashed mid-Save can leave ".hli-*" temp
+	// siblings next to the output; they are never valid containers.
+	if *out != "" {
+		if removed, err := index.CleanPartials(filepath.Dir(*out)); err != nil {
+			log.Printf("hubgen: cleaning partial containers: %v", err)
+		} else if len(removed) > 0 {
+			log.Printf("hubgen: removed %d partial container file(s): %v", len(removed), removed)
+		}
+	}
 
 	g, err := loadGraph(*in, *genName, *n, *m, *seed)
 	if err != nil {

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hublab/internal/faultinject"
+	"hublab/internal/index"
+	"hublab/internal/index/indextest"
+	"hublab/internal/server"
+)
+
+// syncBuffer is a strings.Builder safe to poll from the test while the
+// serve goroutine is still writing to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Len()
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeLinesGracefulDrain pins the SIGTERM/SIGINT happy path for
+// the line protocol: with the client idle (reader blocked on a pipe),
+// closing the stop channel ends serveLinesMain promptly and cleanly.
+func TestServeLinesGracefulDrain(t *testing.T) {
+	srv := server.New(&indextest.Fixed{N: 10}, server.Options{Shards: 1})
+	defer srv.Close()
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	var out syncBuffer
+	go func() { done <- serveLinesMain(srv, pr, &out, stop) }()
+	// Serve one real query first so the drain happens mid-session.
+	if _, err := io.WriteString(pw, "1 4\n"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for out.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful drain returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveLinesMain did not return after stop")
+	}
+	if got := out.String(); !strings.Contains(got, "1 4 3\n") {
+		t.Fatalf("pre-drain query unanswered: %q", got)
+	}
+}
+
+// TestServeLinesDrainTimeout pins the wedged-drain path: a query stuck
+// in a gated backend outlives the drain window, and the process exits
+// non-zero (osExit observed via stub) instead of hanging or running
+// Close under a live query.
+func TestServeLinesDrainTimeout(t *testing.T) {
+	oldTimeout, oldExit := lineDrainTimeout, osExit
+	lineDrainTimeout = 50 * time.Millisecond
+	var exitCode atomic.Int64
+	exitCode.Store(-1)
+	osExit = func(code int) { exitCode.Store(int64(code)) }
+	t.Cleanup(func() { lineDrainTimeout, osExit = oldTimeout, oldExit })
+
+	release := make(chan struct{})
+	gate := &indextest.Fixed{N: 10, Gate: release}
+	srv := server.New(gate, server.Options{Shards: 1})
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	var out syncBuffer
+	go func() { done <- serveLinesMain(srv, strings.NewReader("1 4\n"), &out, stop) }()
+	// Wait until the query is actually inside the backend, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for gate.Started.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	select {
+	case err := <-done:
+		if !errors.Is(err, errDrainTimeout) {
+			t.Fatalf("wedged drain returned %v, want errDrainTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not time out")
+	}
+	if exitCode.Load() != 1 {
+		t.Fatalf("exit code %d, want 1", exitCode.Load())
+	}
+	// Unwedge and shut down for real so nothing leaks into other tests.
+	close(release)
+	srv.Close()
+}
+
+// TestHealthzAndStatsUnderFaults pins the HTTP fault surface: an
+// injected worker panic answers 500 on the query, flips /healthz to 503
+// with a reason, and shows up in the new /stats fields; an injected
+// stall past -querytimeout answers 504 and is counted too.
+func TestHealthzAndStatsUnderFaults(t *testing.T) {
+	if err := faultinject.Enable("server.worker:panic:times=1", 3); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Disable)
+	release := make(chan struct{})
+	gate := &indextest.Fixed{N: 100, Gate: release}
+	srv := server.New(gate, server.Options{Shards: 1, QueryTimeout: 50 * time.Millisecond})
+	// LIFO: the gate must open before Close waits for the worker.
+	defer srv.Close()
+	defer close(release)
+	mux := newMux(srv, nil)
+
+	get := func(url string) (int, string) {
+		req := httptest.NewRequest("GET", url, nil)
+		req.RemoteAddr = "10.0.0.9:1234"
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	// The panic fires before the gate matters: the worker dies on entry.
+	if code, body := get("/distance?u=3&v=17"); code != 500 {
+		t.Fatalf("faulted query: %d %q, want 500", code, body)
+	}
+	if code, body := get("/healthz"); code != 503 || !strings.Contains(body, "degraded") {
+		t.Fatalf("healthz after panic: %d %q, want 503 degraded", code, body)
+	}
+	// times=1 spent: the next query reaches the gated backend and times
+	// out at the deadline instead.
+	if code, body := get("/distance?u=3&v=17"); code != 504 {
+		t.Fatalf("stalled query: %d %q, want 504", code, body)
+	}
+	code, body := get("/stats")
+	if code != 200 {
+		t.Fatalf("/stats: %d", code)
+	}
+	for _, want := range []string{`"panics":1`, `"faulted":1`, `"timeouts":1`, `"health":"degraded"`, `"health_reason":`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/stats %q missing %q", body, want)
+		}
+	}
+}
+
+// TestReloadQuarantinesCorrupt pins the corrupt-replacement flow: a torn
+// container renamed over the serving path (the atomic-rename discipline,
+// so the live mmap is untouched) fails the reload with a quarantine
+// message, moves the bad file aside, and the previous index keeps
+// serving exact answers.
+func TestReloadQuarantinesCorrupt(t *testing.T) {
+	servingPath, _, g := reloadFixture(t)
+	load := func() (*index.HubLabels, error) { return index.LoadMmap(servingPath) }
+	idx, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(idx, server.Options{Shards: 1, OwnIndex: true})
+	defer srv.Close()
+	rl := &reloader{load: load, srv: srv, g: g, path: servingPath}
+	mux := newMux(srv, rl)
+
+	get := func(method, url string) (int, string) {
+		req := httptest.NewRequest(method, url, nil)
+		req.RemoteAddr = "10.0.0.9:1234"
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+	_, before := get("GET", "/distance?u=0&v=17")
+
+	// Tear the container the way a real torn write looks: half the valid
+	// bytes, renamed into place (never truncated in place — the serving
+	// side has the inode mmapped).
+	good, err := os.ReadFile(servingPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := servingPath + ".next"
+	if err := os.WriteFile(torn, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(torn, servingPath); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get("POST", "/reload")
+	if code != 500 || !strings.Contains(body, "quarantined") {
+		t.Fatalf("corrupt reload: %d %q, want 500 mentioning quarantine", code, body)
+	}
+	if _, err := os.Stat(servingPath); !os.IsNotExist(err) {
+		t.Fatalf("corrupt container still at %s", servingPath)
+	}
+	if _, err := os.Stat(servingPath + ".quarantined"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	// The previous index keeps serving, byte-identically.
+	if code, after := get("GET", "/distance?u=0&v=17"); code != 200 || after != before {
+		t.Fatalf("previous index stopped serving after corrupt reload: %d %q vs %q", code, after, before)
+	}
+	// A second reload now fails on a missing file — and must NOT try to
+	// quarantine again (nothing to move).
+	if code, body := get("POST", "/reload"); code != 500 || strings.Contains(body, "quarantined") {
+		t.Fatalf("missing-file reload: %d %q", code, body)
+	}
+}

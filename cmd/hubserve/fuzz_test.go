@@ -61,8 +61,8 @@ func FuzzLineProtocol(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv, _ := fuzzServing(t)
 		var out1, out2 strings.Builder
-		err1 := serveLines(srv, strings.NewReader(string(data)), &out1)
-		err2 := serveLines(srv, strings.NewReader(string(data)), &out2)
+		err1 := serveLines(srv, strings.NewReader(string(data)), &out1, nil)
+		err2 := serveLines(srv, strings.NewReader(string(data)), &out2, nil)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
 		}

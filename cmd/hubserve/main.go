@@ -25,6 +25,15 @@
 // (internal/flowctl) sheds load per client, so one flooding client
 // cannot starve the rest.
 //
+// Faults degrade gracefully too: a backend panic is contained to the
+// request group that hit it (the worker recovers and keeps serving),
+// -querytimeout bounds every query ("TIMEOUT" / HTTP 504 at the
+// deadline), and /healthz turns 503 with a reason when the recent panic
+// or timeout rate crosses the fault-health thresholds — overload alone
+// never does. SIGTERM/SIGINT drain in-flight queries (bounded) before
+// exiting; a corrupt container is quarantined (renamed aside) at
+// startup and on reload instead of being retried forever.
+//
 // Two front ends:
 //
 //   - line protocol (default): one "u v" pair per stdin line, answered as
@@ -66,18 +75,23 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"hublab/internal/faultinject"
 	"hublab/internal/flowctl"
 	"hublab/internal/graph"
 	"hublab/internal/hub"
 	"hublab/internal/index"
 	"hublab/internal/server"
 )
+
+// osExit is swapped out by tests that pin the drain-timeout exit path.
+var osExit = os.Exit
 
 func main() {
 	if err := run(); err != nil {
@@ -95,9 +109,27 @@ func run() error {
 	useMmap := flag.Bool("mmap", false, "serve the container zero-copy via mmap (aligned/v3 containers; older formats fall back to a decoded load)")
 	simLatency := flag.Duration("simlatency", 0, "artificial per-query service time, for load and overload testing")
 	selfcheck := flag.Int("selfcheck", 0, "verify this many random queries against graph search before serving and on reload (needs -graph)")
+	queryTimeout := flag.Duration("querytimeout", 0, "per-query deadline (0 = none); timed-out queries answer TIMEOUT / HTTP 504")
 	flag.Parse()
 	if *indexPath == "" {
 		return fmt.Errorf("hubserve: -index is required")
+	}
+
+	// Fault injection arms only from the environment, never from a flag:
+	// the chaos harness and CI set HUBLAB_FAULTS, and the loud log line
+	// makes an accidentally inherited spec impossible to miss.
+	if spec, on, err := faultinject.EnableFromEnv(); err != nil {
+		return fmt.Errorf("hubserve: %w", err)
+	} else if on {
+		log.Printf("hubserve: FAULT INJECTION ACTIVE (HUBLAB_FAULTS=%q) — this process will misbehave on purpose", spec)
+	}
+
+	// A crashed hubgen can strand ".hli-*" temp siblings next to the
+	// container; they are never valid, so sweep them before serving.
+	if removed, err := index.CleanPartials(filepath.Dir(*indexPath)); err != nil {
+		log.Printf("hubserve: cleaning partial containers: %v", err)
+	} else if len(removed) > 0 {
+		log.Printf("hubserve: removed %d partial container file(s): %v", len(removed), removed)
 	}
 
 	load := func() (*index.HubLabels, error) {
@@ -109,6 +141,14 @@ func run() error {
 	start := time.Now()
 	idx, err := load()
 	if err != nil {
+		// A torn or bit-rotted container will never load on retry; move it
+		// aside so supervisors restarting the process fail fast on a clear
+		// "no container" instead of spinning on the same corrupt bytes.
+		if index.IsCorrupt(err) {
+			if q, qerr := index.Quarantine(*indexPath); qerr == nil {
+				return fmt.Errorf("hubserve: container is corrupt, quarantined to %s: %w", q, err)
+			}
+		}
 		return err
 	}
 	meta := idx.Meta()
@@ -139,7 +179,7 @@ func run() error {
 	// The server owns every served index (the initial one here, reloaded
 	// ones via SwapRetire): a retired mmap view is unmapped after its
 	// last in-flight query drains, and Close releases the final one.
-	opts := server.Options{Shards: *workers, QueueDepth: *queue, OwnIndex: true}
+	opts := server.Options{Shards: *workers, QueueDepth: *queue, OwnIndex: true, QueryTimeout: *queryTimeout}
 	if *admission {
 		opts.Admission = &flowctl.Options{}
 	}
@@ -156,23 +196,35 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "selfcheck: %d random queries match graph search\n", *selfcheck)
 	}
 
-	rl := &reloader{load: load, srv: srv, g: g, selfcheck: *selfcheck, sim: *simLatency, cooldown: reloadCooldown}
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGHUP)
+	rl := &reloader{load: load, srv: srv, g: g, path: *indexPath, selfcheck: *selfcheck, sim: *simLatency, cooldown: reloadCooldown}
+	// One signal goroutine demuxes the whole repertoire: SIGHUP hot-swaps
+	// the container (and keeps listening), SIGTERM/SIGINT start the
+	// graceful drain exactly once and then reset to the default
+	// disposition, so a second Ctrl-C force-kills a wedged drain.
+	sig := make(chan os.Signal, 4)
+	signal.Notify(sig, syscall.SIGHUP, syscall.SIGTERM, syscall.SIGINT)
+	stop := make(chan struct{})
 	go func() {
-		for range sig {
-			if m, err := rl.reload(); err != nil {
-				log.Printf("hubserve: SIGHUP reload failed, previous index keeps serving: %v", err)
-			} else {
-				log.Printf("hubserve: reloaded %s: n=%d", *indexPath, m.Vertices)
+		for s := range sig {
+			if s == syscall.SIGHUP {
+				if m, err := rl.reload(); err != nil {
+					log.Printf("hubserve: SIGHUP reload failed, previous index keeps serving: %v", err)
+				} else {
+					log.Printf("hubserve: reloaded %s: n=%d", *indexPath, m.Vertices)
+				}
+				continue
 			}
+			log.Printf("hubserve: %v: draining in-flight queries (again to force quit)", s)
+			signal.Reset(syscall.SIGTERM, syscall.SIGINT)
+			close(stop)
+			return
 		}
 	}()
 
 	if *httpAddr != "" {
-		return serveHTTP(srv, rl, *httpAddr)
+		return serveHTTP(srv, rl, *httpAddr, stop)
 	}
-	return serveLines(srv, os.Stdin, os.Stdout)
+	return serveLinesMain(srv, os.Stdin, os.Stdout, stop)
 }
 
 // reloader hot-swaps the served index from the container path. Reloads
@@ -180,10 +232,14 @@ func run() error {
 // selfcheck rejects the replacement (releasing whatever was opened) and
 // leaves the previous index serving.
 type reloader struct {
-	mu        sync.Mutex
-	load      func() (*index.HubLabels, error)
-	srv       *server.Server
-	g         *graph.Graph
+	mu   sync.Mutex
+	load func() (*index.HubLabels, error)
+	srv  *server.Server
+	g    *graph.Graph
+	// path is the container file the loads read; a reload that fails
+	// because the file is corrupt quarantines it (rename aside) so
+	// retries don't spin on known-bad bytes. Empty disables quarantining.
+	path      string
 	selfcheck int
 	sim       time.Duration
 	// cooldown is the minimum interval the HTTP /reload door enforces
@@ -230,8 +286,19 @@ func (rl *reloader) reloadLocked() (index.Meta, error) {
 	// Arm the cooldown at attempt start: failed attempts (the expensive
 	// full-open-then-reject path) must count against the rate limit too.
 	rl.last = time.Now()
+	if err := faultinject.Fire(faultinject.PointReload); err != nil {
+		return index.Meta{}, err
+	}
 	idx, err := rl.load()
 	if err != nil {
+		// A corrupt replacement is quarantined, not just rejected: the
+		// previous index keeps serving either way, but leaving torn bytes
+		// at the path would make every subsequent reload fail identically.
+		if rl.path != "" && index.IsCorrupt(err) {
+			if q, qerr := index.Quarantine(rl.path); qerr == nil {
+				return index.Meta{}, fmt.Errorf("hubserve: replacement container is corrupt, quarantined to %s: %w", q, err)
+			}
+		}
 		return index.Meta{}, err
 	}
 	if rl.g != nil {
@@ -294,41 +361,99 @@ func unsupported(err error) bool {
 	return errors.Is(err, server.ErrUnsupported) || errors.Is(err, hub.ErrNoParents)
 }
 
-// serveLines answers query lines from in until EOF or "quit": "u v" for a
-// distance, "PATH u v" for one shortest path, "ECC v" for eccentricity
-// plus a farthest vertex. Each response is flushed immediately so
-// interactive clients that wait for an answer before the next query don't
-// deadlock on the buffer. Overloaded requests answer "BUSY" — the line
-// client's analogue of HTTP 429 — and out-of-range or malformed queries
-// answer an error line instead of panicking the process. The vertex
-// bound is read per line from the served snapshot, so a SIGHUP reload to
-// a different-size index re-validates correctly mid-stream.
-func serveLines(srv *server.Server, in io.Reader, out io.Writer) error {
+// lineDrainTimeout bounds how long a terminating line-protocol process
+// waits for the in-flight query (there is at most one) to finish. A
+// variable so the drain-timeout test doesn't take 5 real seconds.
+var lineDrainTimeout = 5 * time.Second
+
+// errDrainTimeout reports a graceful shutdown whose in-flight work did
+// not finish inside the drain window.
+var errDrainTimeout = errors.New("hubserve: drain timed out with queries still in flight")
+
+// serveLinesMain runs the line protocol with a bounded graceful drain:
+// when stop fires (SIGTERM/SIGINT), the current query — queries are
+// answered one per line, so there is at most one — gets lineDrainTimeout
+// to finish; a clean drain exits zero through the normal path, a wedged
+// one exits non-zero immediately, deliberately skipping the deferred
+// server Close whose no-query-in-flight contract no longer holds.
+func serveLinesMain(srv *server.Server, in io.Reader, out io.Writer, stop <-chan struct{}) error {
+	done := make(chan error, 1)
+	go func() { done <- serveLines(srv, in, out, stop) }()
+	select {
+	case err := <-done:
+		return err
+	case <-stop:
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(lineDrainTimeout):
+			log.Print(errDrainTimeout)
+			osExit(1)
+			return errDrainTimeout // unreachable outside tests that stub osExit
+		}
+	}
+}
+
+// serveLines answers query lines from in until EOF, "quit" or stop: "u v"
+// for a distance, "PATH u v" for one shortest path, "ECC v" for
+// eccentricity plus a farthest vertex. Each response is flushed
+// immediately so interactive clients that wait for an answer before the
+// next query don't deadlock on the buffer. Overloaded requests answer
+// "BUSY" — the line client's analogue of HTTP 429 — timed-out ones
+// answer "TIMEOUT", and out-of-range or malformed queries answer an
+// error line instead of panicking the process. The vertex bound is read
+// per line from the served snapshot, so a SIGHUP reload to a
+// different-size index re-validates correctly mid-stream.
+func serveLines(srv *server.Server, in io.Reader, out io.Writer, stop <-chan struct{}) error {
 	lineConnSeq++
 	client := fmt.Sprintf("conn-%d", lineConnSeq)
-	sc := bufio.NewScanner(in)
 	w := bufio.NewWriter(out)
 	defer w.Flush()
+	// Lines arrive through a goroutine so the loop can select against
+	// stop; the goroutine itself may stay blocked in a stdin read until
+	// the process exits, which is fine — it holds no server state.
+	lines := make(chan string)
+	scanErr := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(in)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-stop:
+				return
+			}
+		}
+		scanErr <- sc.Err()
+		close(lines)
+	}()
 	var pathBuf []graph.NodeID
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
-			continue
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case line, ok := <-lines:
+			if !ok {
+				if err := <-scanErr; err != nil {
+					return err
+				}
+				break loop
+			}
+			if line == "" {
+				continue
+			}
+			if line == "quit" {
+				break loop
+			}
+			serveLine(srv, client, srv.Meta().Vertices, line, &pathBuf, w)
+			if err := w.Flush(); err != nil {
+				return err
+			}
 		}
-		if line == "quit" {
-			break
-		}
-		serveLine(srv, client, srv.Meta().Vertices, line, &pathBuf, w)
-		if err := w.Flush(); err != nil {
-			return err
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "served %d queries in %d groups across %d shards (%d rejected, %d shed)\n",
-		st.Served, st.Batches, st.Shards, st.Rejected, st.Shed)
+	fmt.Fprintf(os.Stderr, "served %d queries in %d groups across %d shards (%d rejected, %d shed, %d faulted, %d timeouts, health %s)\n",
+		st.Served, st.Batches, st.Shards, st.Rejected, st.Shed, st.Faulted, st.Timeouts, st.Health)
 	return nil
 }
 
@@ -370,6 +495,8 @@ func serveLine(srv *server.Server, client string, n int, line string, pathBuf *[
 		switch {
 		case errors.Is(err, server.ErrOverloaded):
 			fmt.Fprintf(w, "BUSY\n")
+		case errors.Is(err, server.ErrTimeout):
+			fmt.Fprintf(w, "TIMEOUT\n")
 		case unsupported(err):
 			fmt.Fprintf(w, "error: path queries unsupported by this index\n")
 		case err != nil:
@@ -401,6 +528,8 @@ func serveLine(srv *server.Server, client string, n int, line string, pathBuf *[
 		switch {
 		case errors.Is(err, server.ErrOverloaded):
 			fmt.Fprintf(w, "BUSY\n")
+		case errors.Is(err, server.ErrTimeout):
+			fmt.Fprintf(w, "TIMEOUT\n")
 		case unsupported(err):
 			fmt.Fprintf(w, "error: eccentricity queries unsupported by this index\n")
 		case err != nil:
@@ -423,6 +552,8 @@ func serveLine(srv *server.Server, client string, n int, line string, pathBuf *[
 		switch {
 		case errors.Is(err, server.ErrOverloaded):
 			fmt.Fprintf(w, "BUSY\n")
+		case errors.Is(err, server.ErrTimeout):
+			fmt.Fprintf(w, "TIMEOUT\n")
 		case err != nil:
 			fmt.Fprintf(w, "error: %v\n", err)
 		case d >= graph.Infinity:
@@ -484,6 +615,12 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
 			return
+		case errors.Is(err, server.ErrTimeout):
+			http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+			return
+		case errors.Is(err, server.ErrBackendFault):
+			http.Error(w, "backend fault while serving the query", http.StatusInternalServerError)
+			return
 		case err != nil: // ErrClosed: the process is on its way out
 			http.Error(w, "shutting down", http.StatusServiceUnavailable)
 			return
@@ -512,6 +649,9 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 		case errors.Is(err, server.ErrOverloaded):
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			return
+		case errors.Is(err, server.ErrTimeout):
+			http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
 			return
 		case unsupported(err):
 			http.Error(w, "path reporting unavailable (index has no parent column)",
@@ -555,6 +695,9 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
 			return
+		case errors.Is(err, server.ErrTimeout):
+			http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+			return
 		case unsupported(err):
 			http.Error(w, "eccentricity reporting unavailable", http.StatusNotImplemented)
 			return
@@ -595,10 +738,23 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := srv.Stats()
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"shards":%d,"served":%d,"batches":%d,"rejected":%d,"shed":%d,"hot_clients":%d}`+"\n",
-			st.Shards, st.Served, st.Batches, st.Rejected, st.Shed, st.PerClientHot)
+		fmt.Fprintf(w, `{"shards":%d,"served":%d,"batches":%d,"rejected":%d,"shed":%d,"hot_clients":%d,`+
+			`"panics":%d,"faulted":%d,"timeouts":%d,"health":%q,"health_reason":%q}`+"\n",
+			st.Shards, st.Served, st.Batches, st.Rejected, st.Shed, st.PerClientHot,
+			st.Panics, st.Faulted, st.Timeouts, st.Health.String(), st.HealthReason)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Overload is by design NOT a health signal — a saturated server
+		// still answers "ok" here; only backend panics and query timeouts
+		// (the fault-health tracker) flip this to 503, telling the load
+		// balancer to route away while /stats explains why.
+		h, reason := srv.Health()
+		if h != server.Healthy {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"health":%q,"reason":%q}`+"\n", h.String(), reason)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
@@ -617,23 +773,53 @@ func newHTTPServer(srv *server.Server, rl *reloader, addr string, to httpTimeout
 	}
 }
 
-// serveHTTP exposes /distance, /path, /ecc, /reload, /stats and /healthz.
-func serveHTTP(srv *server.Server, rl *reloader, addr string) error {
+// httpDrainTimeout bounds the graceful HTTP drain on shutdown — both
+// the signal-driven one and the one after a fatal listener error.
+var httpDrainTimeout = 5 * time.Second
+
+// serveHTTP exposes /distance, /path, /ecc, /reload, /stats and
+// /healthz, and drains gracefully when stop fires (SIGTERM/SIGINT):
+// in-flight handlers get httpDrainTimeout to finish — symmetric with
+// the SIGHUP reload promise that no accepted query is dropped — after
+// which the process exits non-zero rather than run the deferred server
+// Close under live queries.
+func serveHTTP(srv *server.Server, rl *reloader, addr string, stop <-chan struct{}) error {
 	fmt.Fprintf(os.Stderr, "serving HTTP on %s\n", addr)
 	hs := newHTTPServer(srv, rl, addr, defaultHTTPTimeouts)
+	drained := make(chan error, 1)
+	go func() {
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), httpDrainTimeout)
+		defer cancel()
+		drained <- hs.Shutdown(ctx)
+	}()
 	err := hs.ListenAndServe()
-	// ListenAndServe returns on a fatal listener error while handler
-	// goroutines may still be inside srv.TryQuery; drain them before the
-	// deferred srv.Close so its no-query-in-flight contract holds. The
-	// drain is bounded — a stalled client must not wedge the exit.
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if errors.Is(err, http.ErrServerClosed) {
+		// Signal-driven shutdown: ListenAndServe returned because the
+		// drain goroutine called Shutdown; wait for its verdict.
+		if serr := <-drained; serr != nil {
+			log.Printf("hubserve: %v", errDrainTimeout)
+			hs.Close()
+			osExit(1)
+			return errDrainTimeout // unreachable outside tests that stub osExit
+		}
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr, "drained cleanly: served %d queries (%d rejected, %d shed, %d faulted, %d timeouts)\n",
+			st.Served, st.Rejected, st.Shed, st.Faulted, st.Timeouts)
+		return nil
+	}
+	// Fatal listener error: handler goroutines may still be inside
+	// srv.TryQuery; drain them before the deferred srv.Close so its
+	// no-query-in-flight contract holds. The drain is bounded — a stalled
+	// client must not wedge the exit.
+	ctx, cancel := context.WithTimeout(context.Background(), httpDrainTimeout)
 	defer cancel()
 	if serr := hs.Shutdown(ctx); serr != nil {
 		// A handler survived the drain window, so the normal exit path
 		// would run srv.Close under live queries; report and exit hard
 		// instead (deferred cleanup is skipped deliberately).
 		log.Printf("hubserve: %v (drain failed: %v)", err, serr)
-		os.Exit(1)
+		osExit(1)
 	}
 	return err
 }

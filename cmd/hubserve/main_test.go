@@ -189,7 +189,7 @@ func TestServeLines(t *testing.T) {
 	defer srv.Close()
 	in := strings.NewReader("3 17\n\nbad line\n1 2 3\n-1 5\n5 50\n0 0\nquit\n9 9\n")
 	var out strings.Builder
-	if err := serveLines(srv, in, &out); err != nil {
+	if err := serveLines(srv, in, &out, nil); err != nil {
 		t.Fatalf("serveLines: %v", err)
 	}
 	want := []string{
@@ -247,7 +247,7 @@ func TestServeLinesBusy(t *testing.T) {
 
 	in := strings.NewReader("1 2\n3 4\n5 6\nquit\n")
 	var out strings.Builder
-	if err := serveLines(srv, in, &out); err != nil {
+	if err := serveLines(srv, in, &out, nil); err != nil {
 		t.Fatalf("serveLines: %v", err)
 	}
 	close(release)

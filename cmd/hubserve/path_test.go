@@ -38,7 +38,7 @@ func TestServeLinesPathAndEcc(t *testing.T) {
 	g, srv := pathTestServer(t)
 	in := strings.NewReader("PATH 0 7\nECC 3\nPATH 0\nPATH x 7\nECC -1\nPATH 0 99\nECC\nquit\n")
 	var out strings.Builder
-	if err := serveLines(srv, in, &out); err != nil {
+	if err := serveLines(srv, in, &out, nil); err != nil {
 		t.Fatalf("serveLines: %v", err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -95,7 +95,7 @@ func TestServeLinesUnsupportedVerbs(t *testing.T) {
 	defer srv.Close()
 	in := strings.NewReader("PATH 0 5\nECC 2\nquit\n")
 	var out strings.Builder
-	if err := serveLines(srv, in, &out); err != nil {
+	if err := serveLines(srv, in, &out, nil); err != nil {
 		t.Fatalf("serveLines: %v", err)
 	}
 	got := strings.Split(strings.TrimSpace(out.String()), "\n")

@@ -224,7 +224,7 @@ func TestReloadUnderLineProtocol(t *testing.T) {
 	rl := &reloader{load: load, srv: srv}
 
 	var out1 strings.Builder
-	if err := serveLines(srv, strings.NewReader("0 17\nquit\n"), &out1); err != nil {
+	if err := serveLines(srv, strings.NewReader("0 17\nquit\n"), &out1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.Rename(nextPath, servingPath); err != nil {
@@ -234,7 +234,7 @@ func TestReloadUnderLineProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out2 strings.Builder
-	if err := serveLines(srv, strings.NewReader("0 17\nquit\n"), &out2); err != nil {
+	if err := serveLines(srv, strings.NewReader("0 17\nquit\n"), &out2, nil); err != nil {
 		t.Fatal(err)
 	}
 	if out1.String() != out2.String() {

@@ -284,15 +284,32 @@ type (
 	// ServerOptions configures NewServer (shard/worker count, queue
 	// depth, and the optional Admission controller).
 	ServerOptions = server.Options
-	// ServerStats is the served-traffic snapshot (served/batches plus the
-	// overload counters Rejected, Shed and PerClientHot).
+	// ServerStats is the served-traffic snapshot (served/batches, the
+	// overload counters Rejected, Shed and PerClientHot, and the fault
+	// counters Panics, Faulted and Timeouts plus the derived Health).
 	ServerStats = server.Stats
+	// ServerHealth is the server's fault-health state (ServerHealthy,
+	// ServerDegraded, ServerFailed), derived from recent contained
+	// panics and query timeouts over a sliding window — overload alone
+	// never moves it. Configure the thresholds via
+	// ServerOptions.Health.
+	ServerHealth = server.HealthState
+	// ServerHealthOptions tunes the sliding window and the degraded /
+	// failed thresholds of the fault-health state machine.
+	ServerHealthOptions = server.HealthOptions
 	// AdmissionOptions configures the constant-memory fair admission
 	// controller (Stochastic Fair BLUE flavour) attached through
 	// ServerOptions.Admission: multi-level Bloom-style per-client
 	// shedding probabilities that rise on queue-full events and decay on
 	// successful serves.
 	AdmissionOptions = flowctl.Options
+)
+
+// Server fault-health states (see ServerHealth).
+const (
+	ServerHealthy  = server.Healthy
+	ServerDegraded = server.Degraded
+	ServerFailed   = server.Failed
 )
 
 // Serving errors returned by the Server.Try* doors.
@@ -306,6 +323,14 @@ var (
 	// ErrServerUnsupported reports a path/eccentricity query against an
 	// index without that capability.
 	ErrServerUnsupported = server.ErrUnsupported
+	// ErrServerBackendFault reports a request whose serving group hit a
+	// backend panic (contained by the worker, which keeps serving) or an
+	// injected fault; the answer is unusable but the server is intact.
+	ErrServerBackendFault = server.ErrBackendFault
+	// ErrServerTimeout reports a request abandoned at the
+	// ServerOptions.QueryTimeout deadline; the backend may still
+	// complete it, but the caller has its answer slot back.
+	ErrServerTimeout = server.ErrTimeout
 	// ErrNoParents reports a path query against a labeling without a
 	// parent column (e.g. one loaded from a version-1 container).
 	ErrNoParents = hub.ErrNoParents

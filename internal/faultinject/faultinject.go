@@ -1,0 +1,380 @@
+// Package faultinject is a tiny fault-injection registry for chaos
+// testing the serving and persistence stack: code under test declares
+// named injection points (Fire, WrapWriter) at its liveness- and
+// durability-critical seams, and a test or chaos harness arms triggers
+// against those points — a panic, an added delay, an injected error, or
+// a short write — with deterministic scheduling.
+//
+// The design constraint is the hot path: injection points sit inside
+// the shard-worker dispatch and the container I/O loop, so a disabled
+// registry must cost nothing measurable. Fire first reads one
+// package-level atomic.Bool; until Enable has armed a spec, that load
+// and a predicted branch are the entire cost (sub-nanosecond, pinned by
+// BenchmarkE22FireDisabled). No map lookup, no lock, no allocation
+// happens on the disabled path.
+//
+// Trigger scheduling is deterministic: probabilistic triggers draw from
+// a splitmix64 stream seeded by the global seed XOR a hash of the point
+// name, and count-based triggers (every=N, after=N, times=K) depend
+// only on the visit sequence. Re-arming the same spec with the same
+// seed replays the same fault schedule, which is what makes chaos runs
+// debuggable.
+//
+// Spec grammar (Enable), clauses joined by ';':
+//
+//	point:kind[:key=value[,key=value...]]
+//
+// with kind one of panic | delay | error | shortwrite and keys
+//
+//	p=0.25     fire with probability p per visit (default: every visit)
+//	every=N    fire on every Nth visit (deterministic; combines with after)
+//	after=N    skip the first N visits
+//	times=K    disarm after K fires
+//	d=10ms     delay duration (kind delay)
+//	n=4096     bytes written before the fault (kind shortwrite)
+//
+// Example: "server.worker:panic:every=50;index.save.write:shortwrite:n=100".
+//
+// Processes opt in via HUBLAB_FAULTS / HUBLAB_FAULTS_SEED (EnableFromEnv,
+// called by the CLIs, which log loudly when a spec is armed) or
+// programmatically via Enable. Production builds never arm anything.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical injection-point names. Points are plain strings so packages
+// can mint their own, but the seams the chaos harness relies on are
+// named here in one place.
+const (
+	// PointServerWorker fires in the shard worker before serving a
+	// coalesced group; a panic here exercises worker panic isolation,
+	// a delay exercises query deadlines.
+	PointServerWorker = "server.worker"
+	// PointServerWarm fires inside capability warming (the lazy
+	// next-hop / eccentricity-list builds), the classic stall seam.
+	PointServerWarm = "server.warm"
+	// PointContainerWrite wraps the container writer in index.Save;
+	// shortwrite simulates a crash / disk-full mid-save.
+	PointContainerWrite = "index.save.write"
+	// PointContainerRead fires before a container load (index.Load,
+	// index.LoadMmap).
+	PointContainerRead = "index.load"
+	// PointReload fires in the hubserve reload path before the swap.
+	PointReload = "hubserve.reload"
+)
+
+// ErrInjected is the error returned by error and shortwrite triggers;
+// tests assert on it with errors.Is.
+var ErrInjected = fmt.Errorf("faultinject: injected fault")
+
+// Kind is the fault class a trigger injects.
+type Kind uint8
+
+const (
+	KindPanic Kind = iota
+	KindDelay
+	KindError
+	KindShortWrite
+)
+
+var kindNames = map[string]Kind{
+	"panic":      KindPanic,
+	"delay":      KindDelay,
+	"error":      KindError,
+	"shortwrite": KindShortWrite,
+}
+
+// trigger is one armed clause. Counters are atomic so Fire can run from
+// any number of goroutines without a lock.
+type trigger struct {
+	point string
+	kind  Kind
+	p     float64 // fire probability; 0 means unconditional
+	every int64   // fire on every Nth visit (0 = every visit)
+	after int64   // skip the first N visits
+	times int64   // disarm after K fires (0 = unlimited)
+	delay time.Duration
+	limit int64 // shortwrite byte budget
+
+	visits atomic.Int64
+	fires  atomic.Int64
+	rng    atomic.Uint64 // splitmix64 state
+}
+
+var (
+	enabled atomic.Bool
+	mu      sync.RWMutex
+	points  map[string][]*trigger
+)
+
+// splitmix64 advances the trigger's private deterministic stream.
+func (t *trigger) next() uint64 {
+	for {
+		old := t.rng.Load()
+		z := old + 0x9e3779b97f4a7c15
+		if !t.rng.CompareAndSwap(old, z) {
+			continue
+		}
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+// shouldFire applies the visit-count and probability gates and, when it
+// returns true, has already claimed one of the trigger's fires.
+func (t *trigger) shouldFire() bool {
+	v := t.visits.Add(1)
+	if v <= t.after {
+		return false
+	}
+	if t.every > 1 && (v-t.after)%t.every != 0 {
+		return false
+	}
+	if t.p > 0 && t.p < 1 {
+		// 53-bit uniform in [0,1).
+		if float64(t.next()>>11)/(1<<53) >= t.p {
+			return false
+		}
+	}
+	if t.times > 0 {
+		if t.fires.Add(1) > t.times {
+			return false
+		}
+		return true
+	}
+	t.fires.Add(1)
+	return true
+}
+
+// Enable parses spec and arms the registry, replacing any previous
+// arming. The seed makes probabilistic triggers reproducible. An empty
+// spec disarms (same as Disable).
+func Enable(spec string, seed uint64) error {
+	pts := map[string][]*trigger{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		t, err := parseClause(clause, seed)
+		if err != nil {
+			return err
+		}
+		pts[t.point] = append(pts[t.point], t)
+	}
+	mu.Lock()
+	points = pts
+	mu.Unlock()
+	enabled.Store(len(pts) > 0)
+	return nil
+}
+
+// EnableFromEnv arms the registry from HUBLAB_FAULTS (and
+// HUBLAB_FAULTS_SEED, default 1). It reports whether a spec was armed
+// so callers can log the fact; a malformed spec is an error, not a
+// silently fault-free run.
+func EnableFromEnv() (string, bool, error) {
+	spec := os.Getenv("HUBLAB_FAULTS")
+	if spec == "" {
+		return "", false, nil
+	}
+	seed := uint64(1)
+	if s := os.Getenv("HUBLAB_FAULTS_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return "", false, fmt.Errorf("faultinject: bad HUBLAB_FAULTS_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	if err := Enable(spec, seed); err != nil {
+		return "", false, err
+	}
+	return spec, true, nil
+}
+
+// Disable disarms every trigger; Fire returns to its zero-cost path.
+func Disable() {
+	enabled.Store(false)
+	mu.Lock()
+	points = nil
+	mu.Unlock()
+}
+
+// Enabled reports whether any trigger is armed. Exposed so callers with
+// a non-trivial argument path (building a wrapped writer, say) can skip
+// the work entirely in production.
+func Enabled() bool { return enabled.Load() }
+
+func parseClause(clause string, seed uint64) (*trigger, error) {
+	parts := strings.SplitN(clause, ":", 3)
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("faultinject: clause %q: want point:kind[:params]", clause)
+	}
+	kind, ok := kindNames[parts[1]]
+	if !ok {
+		return nil, fmt.Errorf("faultinject: clause %q: unknown kind %q", clause, parts[1])
+	}
+	t := &trigger{point: parts[0], kind: kind, delay: time.Millisecond, limit: 0}
+	t.rng.Store(seed ^ hashPoint(parts[0]))
+	if len(parts) == 3 {
+		for _, kv := range strings.Split(parts[2], ",") {
+			k, v, found := strings.Cut(kv, "=")
+			if !found {
+				return nil, fmt.Errorf("faultinject: clause %q: bad param %q", clause, kv)
+			}
+			var err error
+			switch k {
+			case "p":
+				t.p, err = strconv.ParseFloat(v, 64)
+				if err == nil && (t.p < 0 || t.p > 1) {
+					err = fmt.Errorf("probability out of [0,1]")
+				}
+			case "every":
+				t.every, err = strconv.ParseInt(v, 10, 64)
+			case "after":
+				t.after, err = strconv.ParseInt(v, 10, 64)
+			case "times":
+				t.times, err = strconv.ParseInt(v, 10, 64)
+			case "d":
+				t.delay, err = time.ParseDuration(v)
+			case "n":
+				t.limit, err = strconv.ParseInt(v, 10, 64)
+			default:
+				err = fmt.Errorf("unknown key")
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: clause %q: param %q: %v", clause, kv, err)
+			}
+		}
+	}
+	return t, nil
+}
+
+// hashPoint is FNV-1a, so per-point streams differ under one seed.
+func hashPoint(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Fire visits an injection point. Disabled (the production state) it is
+// one atomic load. Armed, it applies every trigger on the point in
+// order: a panic trigger panics with a recognizable message, a delay
+// trigger sleeps, an error trigger returns ErrInjected (wrapped with
+// the point name). Shortwrite triggers are inert here — they only act
+// through WrapWriter.
+func Fire(point string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	return fire(point)
+}
+
+func fire(point string) error {
+	mu.RLock()
+	ts := points[point]
+	mu.RUnlock()
+	for _, t := range ts {
+		if t.kind == KindShortWrite || !t.shouldFire() {
+			continue
+		}
+		switch t.kind {
+		case KindPanic:
+			panic(fmt.Sprintf("faultinject: injected panic at %s", point))
+		case KindDelay:
+			time.Sleep(t.delay)
+		case KindError:
+			return fmt.Errorf("%w at %s", ErrInjected, point)
+		}
+	}
+	return nil
+}
+
+// Fired returns how many times any trigger on the point has fired —
+// the assertion hook for chaos tests ("at least N panics were really
+// injected").
+func Fired(point string) int64 {
+	mu.RLock()
+	defer mu.RUnlock()
+	var n int64
+	for _, t := range points[point] {
+		f := t.fires.Load()
+		if t.times > 0 && f > t.times {
+			f = t.times
+		}
+		n += f
+	}
+	return n
+}
+
+// Points returns the armed point names, sorted — for the "faults armed"
+// startup log line.
+func Points() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	var names []string
+	for p := range points {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WrapWriter returns w unless a shortwrite trigger on the point decides
+// to fire, in which case the returned writer passes through limit bytes
+// and then fails with ErrInjected — the observable shape of a crash or
+// a full disk partway through a save. The decision is made once, at
+// wrap time, so a non-firing visit costs nothing downstream.
+func WrapWriter(point string, w io.Writer) io.Writer {
+	if !enabled.Load() {
+		return w
+	}
+	mu.RLock()
+	ts := points[point]
+	mu.RUnlock()
+	for _, t := range ts {
+		if t.kind != KindShortWrite || !t.shouldFire() {
+			continue
+		}
+		return &shortWriter{w: w, left: t.limit, point: point}
+	}
+	return w
+}
+
+// shortWriter forwards up to left bytes, then fails every Write.
+type shortWriter struct {
+	w     io.Writer
+	left  int64
+	point string
+}
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if s.left <= 0 {
+		return 0, fmt.Errorf("%w: short write at %s", ErrInjected, s.point)
+	}
+	if int64(len(p)) <= s.left {
+		n, err := s.w.Write(p)
+		s.left -= int64(n)
+		return n, err
+	}
+	n, err := s.w.Write(p[:s.left])
+	s.left -= int64(n)
+	if err == nil {
+		err = fmt.Errorf("%w: short write at %s", ErrInjected, s.point)
+	}
+	return n, err
+}

@@ -1,19 +1,28 @@
 package index
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"hublab/internal/faultinject"
 	"hublab/internal/hub"
 )
 
 // Save writes idx to path as an index container. Only backends with a
 // persistent form support this; today that is HubLabels (the paper's
 // whole point is that the label structure is the thing worth storing).
-// The file is written to a temporary sibling and renamed into place, so a
-// crashed save never leaves a truncated container behind.
+//
+// The write is crash-safe end to end: the container is written to a
+// temporary sibling, fsynced, and renamed into place, and the parent
+// directory is fsynced after the rename — so a crash (or a full disk, or
+// an injected short write) at any point leaves either the complete old
+// file or the complete new file at path, never a truncated container,
+// and a completed Save survives power loss. This discipline is what the
+// mmap serving path relies on: replacing a live container by anything
+// other than atomic rename can SIGBUS readers of the mapped file.
 func Save(path string, idx Index, opts hub.ContainerOptions) error {
 	x, ok := idx.(*HubLabels)
 	if !ok {
@@ -30,20 +39,93 @@ func Save(path string, idx Index, opts hub.ContainerOptions) error {
 		tmp.Close()
 		return err
 	}
-	if _, err := x.Flat().WriteContainer(tmp, opts); err != nil {
+	// The faultinject wrap is how tests crash a save partway through: a
+	// shortwrite trigger makes the writer fail after n bytes, the exact
+	// observable shape of a torn write.
+	if _, err := x.Flat().WriteContainer(faultinject.WrapWriter(faultinject.PointContainerWrite, tmp), opts); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Flush the temp file to stable storage before it can be renamed
+	// over the destination: rename-before-fsync can leave a zero-length
+	// or partial file at path after a crash, which is precisely the torn
+	// container this function promises not to produce.
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// And make the rename itself durable: the directory entry lives in
+	// the parent directory's data.
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// IsCorrupt reports whether a Load/LoadMmap error means the container
+// file itself is damaged (torn write, truncation, bit rot, hostile
+// edit) rather than missing or unreadable — the signal on which callers
+// quarantine the file instead of retrying it.
+func IsCorrupt(err error) bool { return errors.Is(err, hub.ErrContainer) }
+
+// Quarantine moves a corrupt container aside as path+".quarantined"
+// (replacing any previous quarantine of the same path) so startup and
+// reload never spin on a file known to be garbage, while the bytes are
+// preserved for diagnosis. It returns the quarantine path.
+func Quarantine(path string) (string, error) {
+	q := path + ".quarantined"
+	if err := os.Rename(path, q); err != nil {
+		return "", fmt.Errorf("index: quarantine %s: %w", path, err)
+	}
+	// Best effort: the rename is what matters, durability of it is nice
+	// to have.
+	_ = syncDir(filepath.Dir(path))
+	return q, nil
+}
+
+// CleanPartials removes leftover temporary save files (the ".hli-*"
+// siblings a crashed Save leaves behind) from dir, returning the names
+// it removed. Tools that write containers call it at startup: partial
+// temp files are never valid and only waste space, and removing them by
+// name pattern can never touch a completed (renamed) container.
+func CleanPartials(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, ".hli-*"))
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			return removed, err
+		}
+		removed = append(removed, m)
+	}
+	return removed, nil
 }
 
 // Load reads an index container from path. The raw container path is
 // near-memcpy: the flat arrays are reconstructed without ever touching
 // the slice-of-slices labeling form.
 func Load(path string) (*HubLabels, error) {
+	if err := faultinject.Fire(faultinject.PointContainerRead); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -72,6 +154,9 @@ func LoadReader(r io.Reader) (*HubLabels, error) {
 // owns it — server.Options.OwnIndex / SwapRetire) after its last query;
 // see hub.OpenContainerMmap for the lifetime and validation contract.
 func LoadMmap(path string) (*HubLabels, error) {
+	if err := faultinject.Fire(faultinject.PointContainerRead); err != nil {
+		return nil, err
+	}
 	flat, err := hub.OpenContainerMmap(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,411 @@
+package server
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hublab/internal/faultinject"
+	"hublab/internal/graph"
+	"hublab/internal/index"
+	"hublab/internal/index/indextest"
+)
+
+// goroutineBaseline snapshots the goroutine count and returns a checker
+// that fails the test if the count has not returned to (or below) the
+// baseline shortly after — the leak check for worker restarts, timeout
+// abandonment and warm goroutines.
+func goroutineBaseline(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var now int
+		for time.Now().Before(deadline) {
+			runtime.GC()
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after", before, now)
+	}
+}
+
+// armFaults arms a spec with cleanup.
+func armFaults(t *testing.T, spec string, seed uint64) {
+	t.Helper()
+	if err := faultinject.Enable(spec, seed); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Disable)
+}
+
+// TestWorkerPanicRecoveryAccounting is the core containment pin: under a
+// storm of injected worker panics, (1) no panic escapes to any client
+// goroutine, (2) every submitted request resolves with an answer or a
+// typed error and Served+Rejected+Shed+Faulted+Timeouts equals the
+// submitted count exactly, (3) the same shards keep answering correctly
+// once the faults stop, and (4) no goroutines leak through the
+// panic-recovery restarts.
+func TestWorkerPanicRecoveryAccounting(t *testing.T) {
+	checkLeaks := goroutineBaseline(t)
+	armFaults(t, "server.worker:panic:every=7", 42)
+
+	srv := New(&indextest.Fixed{N: 64}, Options{Shards: 2, QueueDepth: 16})
+	const clients, perClient = 8, 400
+	var ok, faulted, overloaded, escaped atomic.Uint64
+	var wrong atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					escaped.Add(1)
+				}
+			}()
+			for i := 0; i < perClient; i++ {
+				u := graph.NodeID(i % 64)
+				v := graph.NodeID((i * 7) % 64)
+				d, err := srv.TryQuery("client", u, v)
+				switch {
+				case err == nil:
+					ok.Add(1)
+					want := u - v
+					if want < 0 {
+						want = -want
+					}
+					if d != graph.Weight(want) {
+						wrong.Add(1)
+					}
+				case errors.Is(err, ErrBackendFault):
+					faulted.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					overloaded.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if escaped.Load() != 0 {
+		t.Fatalf("%d panics escaped to client goroutines", escaped.Load())
+	}
+	if wrong.Load() != 0 {
+		t.Fatalf("%d served answers were wrong under fault storm", wrong.Load())
+	}
+	st := srv.Stats()
+	submitted := uint64(clients * perClient)
+	if got := st.Served + st.Rejected + st.Shed + st.Faulted + st.Timeouts; got != submitted {
+		t.Fatalf("accounting: served %d + rejected %d + shed %d + faulted %d + timeouts %d = %d, want %d",
+			st.Served, st.Rejected, st.Shed, st.Faulted, st.Timeouts, got, submitted)
+	}
+	// Client-side view must agree bucket by bucket.
+	if st.Served != ok.Load() || st.Faulted != faulted.Load() || st.Rejected+st.Shed != overloaded.Load() {
+		t.Fatalf("client/server bucket mismatch: ok %d vs served %d, fault %d vs %d, overloaded %d vs %d",
+			ok.Load(), st.Served, faulted.Load(), st.Faulted, overloaded.Load(), st.Rejected+st.Shed)
+	}
+	if st.Panics == 0 || st.Faulted == 0 {
+		t.Fatalf("fault storm injected nothing: panics=%d faulted=%d", st.Panics, st.Faulted)
+	}
+	if fired := faultinject.Fired(faultinject.PointServerWorker); uint64(fired) != st.Panics {
+		t.Errorf("injected %d panics, Stats.Panics = %d", fired, st.Panics)
+	}
+
+	// Faults off: the very same workers must still answer exactly.
+	faultinject.Disable()
+	for i := 0; i < 50; i++ {
+		u, v := graph.NodeID(i%64), graph.NodeID((i*3)%64)
+		d, err := srv.TryQuery("after", u, v)
+		if err != nil {
+			t.Fatalf("post-storm query %d: %v", i, err)
+		}
+		want := u - v
+		if want < 0 {
+			want = -want
+		}
+		if d != graph.Weight(want) {
+			t.Fatalf("post-storm answer %d–%d = %d, want %d", u, v, d, want)
+		}
+	}
+
+	srv.Close()
+	checkLeaks()
+}
+
+// TestQueryTimeout pins the deadline door: a request stuck behind a
+// gated backend answers ErrTimeout at the deadline, the abandoned
+// envelope is reclaimed by the worker (a later query reuses the pool
+// without cross-talk), accounting stays exact, and nothing leaks.
+func TestQueryTimeout(t *testing.T) {
+	checkLeaks := goroutineBaseline(t)
+	release := make(chan struct{})
+	gate := &indextest.Fixed{N: 32, Gate: release}
+	srv := New(gate, Options{Shards: 1, QueueDepth: 4, QueryTimeout: 60 * time.Millisecond})
+
+	start := time.Now()
+	d, err := srv.TryQuery("c", 1, 2)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("gated TryQuery = (%v, %v), want ErrTimeout", d, err)
+	}
+	if waited := time.Since(start); waited < 55*time.Millisecond || waited > 3*time.Second {
+		t.Fatalf("deadline fired after %v, want ≈60ms", waited)
+	}
+	if d != graph.Infinity {
+		t.Fatalf("timed-out distance = %v, want Infinity", d)
+	}
+	st := srv.Stats()
+	if st.Timeouts != 1 || st.Served != 0 {
+		t.Fatalf("after timeout: timeouts=%d served=%d", st.Timeouts, st.Served)
+	}
+
+	// Open the gate: the worker finishes the abandoned request, recycles
+	// its envelope, and fresh queries are exact again.
+	close(release)
+	for i := 0; i < 20; i++ {
+		d, err := srv.TryQuery("c", 3, 10)
+		if err != nil || d != 7 {
+			t.Fatalf("post-gate query = (%v, %v), want (7, nil)", d, err)
+		}
+	}
+	st = srv.Stats()
+	total := st.Served + st.Rejected + st.Shed + st.Faulted + st.Timeouts
+	if total != 21 {
+		t.Fatalf("accounting after timeout: %+v sums to %d, want 21", st, total)
+	}
+	// The abandoned request must NOT have been counted served.
+	if st.Served != 20 || st.Timeouts != 1 {
+		t.Fatalf("served=%d timeouts=%d, want 20/1", st.Served, st.Timeouts)
+	}
+	srv.Close()
+	checkLeaks()
+}
+
+// warmable is a capability-bearing fake whose warm can be gated or made
+// to panic, for exercising the bounded-warm machinery.
+type warmable struct {
+	indextest.Fixed
+	warmGate  <-chan struct{}
+	warmPanic bool
+	warms     atomic.Uint64
+}
+
+func (w *warmable) WarmPaths()        { w.doWarm() }
+func (w *warmable) WarmEccentricity() { w.doWarm() }
+func (w *warmable) doWarm() {
+	w.warms.Add(1)
+	if w.warmPanic {
+		panic("warm exploded")
+	}
+	if w.warmGate != nil {
+		<-w.warmGate
+	}
+}
+
+func (w *warmable) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]graph.NodeID, error) {
+	return append(dst, u, v), nil
+}
+
+var _ index.CapabilityWarmer = (*warmable)(nil)
+var _ index.PathReporter = (*warmable)(nil)
+
+// TestWarmTimeoutAndPanic pins that a stalled capability warm no longer
+// blocks callers forever (ErrTimeout at the deadline; the warm finishes
+// in the background and later requests take the warmed fast path), and
+// that a panicking warm is contained as ErrBackendFault.
+func TestWarmTimeoutAndPanic(t *testing.T) {
+	checkLeaks := goroutineBaseline(t)
+	gate := make(chan struct{})
+	w := &warmable{Fixed: indextest.Fixed{N: 16}, warmGate: gate}
+	srv := New(w, Options{Shards: 1, QueryTimeout: 50 * time.Millisecond})
+
+	if _, err := srv.TryPath("c", 1, 2, nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("stalled warm: err = %v, want ErrTimeout", err)
+	}
+	close(gate)
+	// The background warm completes and flips the snapshot's warmed
+	// flag; subsequent path queries are served without a new warm.
+	var path []graph.NodeID
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		path, err = srv.TryPath("c", 1, 2, nil)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil || len(path) != 2 {
+		t.Fatalf("post-warm TryPath = (%v, %v)", path, err)
+	}
+	if w.warms.Load() != 1 {
+		t.Fatalf("warm ran %d times, want once", w.warms.Load())
+	}
+	srv.Close()
+
+	wp := &warmable{Fixed: indextest.Fixed{N: 16}, warmPanic: true}
+	srv2 := New(wp, Options{Shards: 1})
+	if _, err := srv2.TryPath("c", 1, 2, nil); !errors.Is(err, ErrBackendFault) {
+		t.Fatalf("panicking warm: err = %v, want ErrBackendFault", err)
+	}
+	st := srv2.Stats()
+	if st.Panics != 1 || st.Faulted != 1 {
+		t.Fatalf("panicking warm stats: panics=%d faulted=%d, want 1/1", st.Panics, st.Faulted)
+	}
+	srv2.Close()
+	checkLeaks()
+}
+
+// TestHealthStateMachine drives the windowed health: panics degrade then
+// fail, a quiet period recovers, and plain overload never moves it.
+func TestHealthStateMachine(t *testing.T) {
+	opts := Options{Shards: 1, QueueDepth: 2, Health: HealthOptions{
+		Window:           80 * time.Millisecond,
+		DegradedPanics:   1,
+		FailedPanics:     5,
+		DegradedTimeouts: 4,
+		FailedTimeouts:   1 << 30,
+	}}
+	srv := New(&indextest.Fixed{N: 16}, opts)
+	defer srv.Close()
+
+	if h, reason := srv.Health(); h != Healthy {
+		t.Fatalf("fresh server health = %v (%s)", h, reason)
+	}
+
+	// One contained panic → Degraded.
+	armFaults(t, "server.worker:panic:times=1", 1)
+	if _, err := srv.TryQuery("c", 1, 2); !errors.Is(err, ErrBackendFault) {
+		t.Fatalf("injected panic: %v", err)
+	}
+	if h, reason := srv.Health(); h != Degraded {
+		t.Fatalf("after 1 panic: health = %v (%s), want degraded", h, reason)
+	}
+
+	// Four more within the window → Failed.
+	armFaults(t, "server.worker:panic:times=4", 1)
+	for i := 0; i < 4; i++ {
+		if _, err := srv.TryQuery("c", 1, 2); !errors.Is(err, ErrBackendFault) {
+			t.Fatalf("injected panic %d: %v", i, err)
+		}
+	}
+	if h, reason := srv.Health(); h != Failed {
+		t.Fatalf("after 5 panics: health = %v (%s), want failed", h, reason)
+	}
+
+	// Quiet for > 2 windows → Healthy again, no reset call.
+	faultinject.Disable()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if h, _ := srv.Health(); h == Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			h, reason := srv.Health()
+			t.Fatalf("health never recovered: %v (%s)", h, reason)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := srv.Stats(); st.Panics != 5 {
+		t.Fatalf("cumulative panics = %d, want 5 (health recovery must not erase counters)", st.Panics)
+	}
+}
+
+// TestOverloadStaysHealthy pins the design split between shedding and
+// faults: saturating the queues produces Rejected/Shed, and the health
+// state must remain healthy through all of it.
+func TestOverloadStaysHealthy(t *testing.T) {
+	release := make(chan struct{})
+	gate := &indextest.Fixed{N: 16, Gate: release}
+	srv := New(gate, Options{Shards: 1, QueueDepth: 1})
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for gate.Started.Load() == 0 || srv.Stats().Queued < 1 {
+		wg.Add(1)
+		go func() { defer wg.Done(); srv.TryQuery("filler", 0, 1) }()
+		time.Sleep(time.Millisecond)
+	}
+	var rejected int
+	for i := 0; i < 50; i++ {
+		if _, err := srv.TryQuery("c", 1, 2); errors.Is(err, ErrOverloaded) {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("saturation produced no rejections")
+	}
+	if h, reason := srv.Health(); h != Healthy {
+		t.Fatalf("health = %v (%s) under plain overload, want healthy", h, reason)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestChaosStorm is the CI chaos shard: a race-detector-friendly storm
+// mixing worker panics, injected worker latency and query deadlines
+// under concurrent clients and hot swaps, asserting exact accounting
+// and zero escaped panics at the end.
+func TestChaosStorm(t *testing.T) {
+	checkLeaks := goroutineBaseline(t)
+	armFaults(t, "server.worker:panic:every=11;server.worker:delay:p=0.05,d=2ms", 7)
+	srv := New(&indextest.Fixed{N: 128}, Options{
+		Shards: 4, QueueDepth: 8, QueryTimeout: 20 * time.Millisecond,
+	})
+	const clients, perClient = 8, 250
+	var submitted, resolved, escaped atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					escaped.Add(1)
+				}
+			}()
+			for i := 0; i < perClient; i++ {
+				submitted.Add(1)
+				_, err := srv.TryQuery("c", graph.NodeID(i%128), graph.NodeID((i*13)%128))
+				if err == nil || errors.Is(err, ErrBackendFault) || errors.Is(err, ErrOverloaded) || errors.Is(err, ErrTimeout) {
+					resolved.Add(1)
+				}
+			}
+		}()
+	}
+	// Hot swaps during the storm: snapshots must retire cleanly under
+	// faults too.
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		for i := 0; i < 10; i++ {
+			srv.Swap(&indextest.Fixed{N: 128})
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-swapDone
+	if escaped.Load() != 0 {
+		t.Fatalf("%d panics escaped", escaped.Load())
+	}
+	if resolved.Load() != submitted.Load() {
+		t.Fatalf("resolved %d of %d submitted", resolved.Load(), submitted.Load())
+	}
+	st := srv.Stats()
+	if got := st.Served + st.Rejected + st.Shed + st.Faulted + st.Timeouts; got != submitted.Load() {
+		t.Fatalf("accounting: %d buckets vs %d submitted (%+v)", got, submitted.Load(), st)
+	}
+	if st.Panics == 0 {
+		t.Fatal("storm injected no panics")
+	}
+	srv.Close()
+	checkLeaks()
+}

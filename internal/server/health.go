@@ -1,0 +1,164 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// HealthState is the server's fault-health: the answer to "is this
+// process trustworthy to keep in the load-balancer rotation", distinct
+// from overload (which the admission controller handles by design).
+//
+// The state is derived, not stored: recent panic and timeout events are
+// counted over a sliding pair of windows, and the state is recomputed
+// from those counts on every read. Recovery is therefore automatic — a
+// server that stops faulting returns to Healthy within two windows,
+// with no reset call to forget.
+type HealthState int32
+
+const (
+	// Healthy: no recent faults worth acting on.
+	Healthy HealthState = iota
+	// Degraded: the server is still answering, but backend panics or
+	// query timeouts occurred recently — route traffic away if possible
+	// and investigate. hubserve /healthz answers 503 in this state.
+	Degraded
+	// Failed: fault rates high enough that answers can no longer be
+	// considered reliable capacity; the process should be drained and
+	// replaced.
+	Failed
+)
+
+// String returns the lowercase wire form used by /stats and /healthz.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("health(%d)", int32(h))
+}
+
+// HealthOptions tunes the fault-health thresholds. Each threshold is a
+// count of events observed within the sliding window (current plus
+// previous window, so roughly the last 1–2 windows of history). Zero
+// fields take the defaults; thresholds compare with ≥, and panics are
+// deliberately cheaper to trip than timeouts — one contained panic is
+// already a correctness-adjacent event, while a handful of timeouts can
+// be a transient stall.
+type HealthOptions struct {
+	// Window is the sliding-window width (default 10s).
+	Window time.Duration
+	// DegradedPanics / DegradedTimeouts trip Degraded (defaults 1, 8).
+	DegradedPanics   int
+	DegradedTimeouts int
+	// FailedPanics / FailedTimeouts trip Failed (defaults 8, 64).
+	FailedPanics   int
+	FailedTimeouts int
+}
+
+const (
+	defaultHealthWindow     = 10 * time.Second
+	defaultDegradedPanics   = 1
+	defaultDegradedTimeouts = 8
+	defaultFailedPanics     = 8
+	defaultFailedTimeouts   = 64
+)
+
+// healthTracker counts panic and timeout events into per-window epoch
+// buckets, lock-free. Rotation is lazy: whichever recorder or reader
+// first touches a new epoch shifts current → previous. The counts are a
+// gauge feeding a three-state machine, so the benign races around a
+// rotation (an event landing just before or after the shift) move a
+// threshold comparison by at most one event and are accepted.
+type healthTracker struct {
+	window                                     int64 // ns
+	degPanics, degTimeouts, failPan, failTimes uint64
+	epoch                                      atomic.Int64
+	curPanics, prevPanics                      atomic.Uint64
+	curTimeouts, prevTimeouts                  atomic.Uint64
+}
+
+func newHealthTracker(o HealthOptions) *healthTracker {
+	if o.Window <= 0 {
+		o.Window = defaultHealthWindow
+	}
+	if o.DegradedPanics <= 0 {
+		o.DegradedPanics = defaultDegradedPanics
+	}
+	if o.DegradedTimeouts <= 0 {
+		o.DegradedTimeouts = defaultDegradedTimeouts
+	}
+	if o.FailedPanics <= 0 {
+		o.FailedPanics = defaultFailedPanics
+	}
+	if o.FailedTimeouts <= 0 {
+		o.FailedTimeouts = defaultFailedTimeouts
+	}
+	h := &healthTracker{
+		window:      int64(o.Window),
+		degPanics:   uint64(o.DegradedPanics),
+		degTimeouts: uint64(o.DegradedTimeouts),
+		failPan:     uint64(o.FailedPanics),
+		failTimes:   uint64(o.FailedTimeouts),
+	}
+	h.epoch.Store(time.Now().UnixNano() / h.window)
+	return h
+}
+
+// rotate advances the window buckets to the epoch containing now.
+func (h *healthTracker) rotate() {
+	e := time.Now().UnixNano() / h.window
+	for {
+		cur := h.epoch.Load()
+		if cur >= e {
+			return
+		}
+		if !h.epoch.CompareAndSwap(cur, e) {
+			continue
+		}
+		if e == cur+1 {
+			h.prevPanics.Store(h.curPanics.Swap(0))
+			h.prevTimeouts.Store(h.curTimeouts.Swap(0))
+		} else {
+			// More than one quiet window passed: all history expired.
+			h.prevPanics.Store(0)
+			h.curPanics.Store(0)
+			h.prevTimeouts.Store(0)
+			h.curTimeouts.Store(0)
+		}
+		return
+	}
+}
+
+func (h *healthTracker) notePanic() {
+	h.rotate()
+	h.curPanics.Add(1)
+}
+
+func (h *healthTracker) noteTimeout() {
+	h.rotate()
+	h.curTimeouts.Add(1)
+}
+
+// state recomputes the health from the windowed counts.
+func (h *healthTracker) state() (HealthState, string) {
+	h.rotate()
+	panics := h.curPanics.Load() + h.prevPanics.Load()
+	timeouts := h.curTimeouts.Load() + h.prevTimeouts.Load()
+	switch {
+	case panics >= h.failPan:
+		return Failed, fmt.Sprintf("%d backend panics in the last %v", panics, 2*time.Duration(h.window))
+	case timeouts >= h.failTimes:
+		return Failed, fmt.Sprintf("%d query timeouts in the last %v", timeouts, 2*time.Duration(h.window))
+	case panics >= h.degPanics:
+		return Degraded, fmt.Sprintf("%d backend panics in the last %v", panics, 2*time.Duration(h.window))
+	case timeouts >= h.degTimeouts:
+		return Degraded, fmt.Sprintf("%d query timeouts in the last %v", timeouts, 2*time.Duration(h.window))
+	}
+	return Healthy, "ok"
+}

@@ -43,7 +43,9 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hublab/internal/faultinject"
 	"hublab/internal/flowctl"
 	"hublab/internal/graph"
 	"hublab/internal/index"
@@ -64,6 +66,23 @@ var ErrClosed = errors.New("server: closed")
 // snapshot, so a Swap to a capable index clears the condition without a
 // restart.
 var ErrUnsupported = errors.New("server: query kind not supported by the served index")
+
+// ErrBackendFault reports that the backend panicked (or raised an
+// injected fault) while computing this request's group. The panic was
+// contained: the worker recovered, failed the in-flight group with this
+// error, and resumed serving — the process never crashes and completions
+// never hang. Counted in Stats.Faulted (the panic events themselves in
+// Stats.Panics).
+var ErrBackendFault = errors.New("server: backend fault while serving the request")
+
+// ErrTimeout reports a request that outlived Options.QueryTimeout
+// before its answer was delivered — stuck behind a stalled backend, a
+// never-finishing capability warm, or a queue the workers stopped
+// draining. The caller is unblocked and the abandoned envelope is
+// reclaimed by whichever worker eventually touches it; timed-out
+// requests are counted in Stats.Timeouts and drive the health state
+// machine, never Served.
+var ErrTimeout = errors.New("server: query deadline exceeded")
 
 // batchSize is how many adjacent requests a shard coalesces into one
 // DistanceBatch call. Three matches the stream count of the interleaved
@@ -92,6 +111,19 @@ type Options struct {
 	// indexes the caller will not release manually; harmless for
 	// heap-owned ones, whose Release is a no-op.
 	OwnIndex bool
+	// QueryTimeout, when positive, bounds every non-blocking request
+	// (TryQuery, TryPath, TryEccentricity, TryFarthest) end to end —
+	// capability warming, queueing and service. A request that misses the
+	// deadline answers ErrTimeout immediately instead of accumulating
+	// blocked callers behind a stuck backend. Blocking Query calls are
+	// exempt (trusted in-process callers own their own patience).
+	QueryTimeout time.Duration
+	// Health tunes the fault-health state machine (healthy → degraded →
+	// failed, driven by recent panic and timeout counts). The zero value
+	// applies the package defaults; overload (Rejected/Shed) never moves
+	// the health state — shedding is the designed response to load, not a
+	// fault.
+	Health HealthOptions
 }
 
 // Server shards query streams over worker goroutines against an
@@ -116,6 +148,17 @@ type Server struct {
 	// shard queues and their per-shard counters.
 	direct        atomic.Uint64
 	directBatches atomic.Uint64
+	// timeout is Options.QueryTimeout; zero disables deadlines.
+	timeout time.Duration
+	// Fault containment: panics counts recovered worker/warm panics
+	// (events), faulted counts requests failed with ErrBackendFault, and
+	// timeouts counts requests abandoned at their deadline. Every
+	// submitted request lands in exactly one of Served / Rejected / Shed
+	// / Faulted / Timeouts.
+	panics   atomic.Uint64
+	faulted  atomic.Uint64
+	timeouts atomic.Uint64
+	health   *healthTracker
 }
 
 // snapshot pairs an index with its (possibly nil) capability fast paths
@@ -135,6 +178,11 @@ type snapshot struct {
 	ecc   index.EccentricityReporter
 	warm  index.CapabilityWarmer
 	refs  atomic.Int64
+	// pathsWarm / eccWarm single-flight the capability warms, so
+	// steady-state path/ecc requests skip the bounded-warm machinery (one
+	// atomic load) and concurrent cold requests share one warm attempt.
+	pathsWarm warmFlight
+	eccWarm   warmFlight
 	// owned records that the server must release the index's resources
 	// (index.Releaser) when the snapshot retires — set by Options.OwnIndex
 	// and SwapRetire, never by plain Swap, whose caller keeps the old
@@ -198,6 +246,16 @@ const (
 	opFarthest
 )
 
+// Envelope delivery states: exactly one side — the worker delivering an
+// answer, or a waiter abandoning at its deadline — wins the CAS from
+// pending, so a request resolves exactly once and a timed-out envelope
+// is recycled by the worker instead of racing a pooled reuse.
+const (
+	stPending int32 = iota
+	stDelivered
+	stAbandoned
+)
+
 type request struct {
 	op   uint8
 	u, v graph.NodeID
@@ -209,7 +267,10 @@ type request struct {
 	path []graph.NodeID
 	far  graph.NodeID
 	err  error
-	done chan struct{}
+	// state arbitrates delivery against deadline abandonment (see the
+	// st* constants).
+	state atomic.Int32
+	done  chan struct{}
 }
 
 type shard struct {
@@ -235,6 +296,8 @@ func New(idx index.Index, opts Options) *Server {
 		depth = 64
 	}
 	s := &Server{shards: make([]*shard, shards), drained: make(chan struct{}, 1)}
+	s.timeout = opts.QueryTimeout
+	s.health = newHealthTracker(opts.Health)
 	if opts.Admission != nil {
 		s.ctl = flowctl.New(*opts.Admission)
 	}
@@ -300,7 +363,9 @@ func (s *Server) release() {
 // state. Calling Query after (or concurrent with) Close is a programmer
 // error and panics with a descriptive message; servers exposed to
 // traffic they do not control should use TryQuery, which returns
-// ErrClosed instead.
+// ErrClosed instead. If the backend faults mid-group (a contained
+// panic), Query answers Infinity — the blocking door has no error
+// channel; fault-aware callers should use TryQuery.
 func (s *Server) Query(u, v graph.NodeID) graph.Weight {
 	r, err := s.submit("", opDistance, u, v, nil, true)
 	if err != nil {
@@ -315,17 +380,19 @@ func (s *Server) Query(u, v graph.NodeID) graph.Weight {
 // never waits for a queue slot and never panics. client identifies the
 // caller for fair load shedding (remote address, connection id, tenant —
 // any stable string). It returns ErrOverloaded when the request was shed
-// by the admission controller or found its shard queue full, and
-// ErrClosed after Close; an admitted request still blocks until its
-// answer is computed. Zero allocations in steady state.
+// by the admission controller or found its shard queue full, ErrClosed
+// after Close, ErrTimeout past Options.QueryTimeout, and ErrBackendFault
+// when a contained backend panic failed the request's group; an admitted
+// request still blocks until its answer is computed or the deadline
+// fires. Zero allocations in steady state.
 func (s *Server) TryQuery(client string, u, v graph.NodeID) (graph.Weight, error) {
 	r, err := s.submit(client, opDistance, u, v, nil, false)
 	if err != nil {
 		return graph.Infinity, err
 	}
-	d := r.d
+	d, qerr := r.d, r.err
 	s.putRequest(r)
-	return d, nil
+	return d, qerr
 }
 
 // TryPath answers one witness-path query through the same shard queues
@@ -378,10 +445,31 @@ func (s *Server) putRequest(r *request) {
 	s.pool.Put(r)
 }
 
+// timerPool recycles deadline timers across requests so the QueryTimeout
+// path stays allocation-free in steady state.
+var timerPool = sync.Pool{New: func() any { return time.NewTimer(time.Hour) }}
+
+func getTimer(d time.Duration) *time.Timer {
+	t := timerPool.Get().(*time.Timer)
+	t.Reset(d)
+	return t
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 // submit is the common door: gate against Close, optionally consult the
-// admission controller, enqueue (blocking or not), await the answer. On
-// success the caller owns the returned envelope and must release it with
-// putRequest after copying the answer out.
+// admission controller, enqueue (blocking or not), await the answer or
+// the deadline. On success the caller owns the returned envelope and
+// must release it with putRequest after copying the answer out; the
+// envelope's err field carries per-request backend faults.
 func (s *Server) submit(client string, op uint8, u, v graph.NodeID, dst []graph.NodeID, block bool) (*request, error) {
 	if !s.acquire() {
 		return nil, ErrClosed
@@ -391,27 +479,29 @@ func (s *Server) submit(client string, op uint8, u, v graph.NodeID, dst []graph.
 		s.shed.Add(1)
 		return nil, ErrOverloaded
 	}
+	// The deadline timer (if any) is armed before capability warming:
+	// QueryTimeout bounds the request end to end, and a stalled warm is
+	// exactly the kind of hang it exists to shed.
+	var deadline <-chan time.Time
+	if !block && s.timeout > 0 {
+		t := getTimer(s.timeout)
+		defer putTimer(t)
+		deadline = t.C
+	}
 	// Lazily materialized capability state (the matrix next-hop table,
-	// the inverted eccentricity lists) is warmed here, in the submitting
-	// goroutine: the one-time build blocks only this caller, never a
-	// shard worker with other clients' requests queued behind it. Once
-	// built these are sync.Once fast paths. The warm touches the index,
-	// so it pins the snapshot like any other use.
+	// the inverted eccentricity lists) is warmed here, on the submitting
+	// side: the one-time build blocks only this caller, never a shard
+	// worker with other clients' requests queued behind it. The warm is
+	// panic-contained and deadline-bounded (warmFor); once a snapshot is
+	// warmed the check is one atomic load.
 	if op != opDistance {
-		if snap := s.pin(); snap != nil {
-			if snap.warm != nil {
-				switch op {
-				case opPath:
-					snap.warm.WarmPaths()
-				case opEcc, opFarthest:
-					snap.warm.WarmEccentricity()
-				}
-			}
-			snap.unpin()
+		if err := s.warmFor(op, deadline); err != nil {
+			return nil, err
 		}
 	}
 	r := s.pool.Get().(*request)
 	r.op, r.u, r.v, r.path = op, u, v, dst
+	r.state.Store(stPending)
 	sh := s.shards[s.rr.Add(1)%uint64(len(s.shards))]
 	if block {
 		sh.ch <- r
@@ -427,11 +517,142 @@ func (s *Server) submit(client string, op uint8, u, v graph.NodeID, dst []graph.
 			return nil, ErrOverloaded
 		}
 	}
-	<-r.done
+	if deadline == nil {
+		<-r.done
+	} else {
+		select {
+		case <-r.done:
+		case <-deadline:
+			if r.state.CompareAndSwap(stPending, stAbandoned) {
+				// The envelope is now the worker's to reclaim; it must
+				// not return to the pool through this path.
+				s.timeouts.Add(1)
+				s.health.noteTimeout()
+				return nil, ErrTimeout
+			}
+			// Lost the race: the worker delivered concurrently with the
+			// deadline — the answer arrived, consume its signal and
+			// treat the request as served.
+			<-r.done
+		}
+	}
 	if !block && s.ctl != nil {
 		s.ctl.OnServed(client)
 	}
 	return r, nil
+}
+
+// warmFlight single-flights one capability warm per snapshot. The first
+// cold request starts the warm in a goroutine and every concurrent cold
+// request waits on the same broadcast channel, each bounded by its own
+// deadline; a failed attempt resets to cold so the next request retries
+// instead of the failure poisoning the snapshot, while a completed warm
+// flips the fast-path flag for good.
+type warmFlight struct {
+	warmed atomic.Bool
+	mu     sync.Mutex
+	// done broadcasts the in-flight attempt's completion; nil when no
+	// attempt is running. err is the attempt's outcome, written before
+	// the close so waiters read it race-free after the channel fires.
+	done chan struct{}
+	err  error
+}
+
+// warmFor runs the capability warm for op, bounded by the deadline and
+// contained against panics. The common case — the snapshot has already
+// warmed this capability — is one atomic load; cold requests join the
+// snapshot's single warm attempt so their waits can be abandoned at the
+// deadline (the warm itself keeps running and completes the snapshot
+// for everyone behind it).
+func (s *Server) warmFor(op uint8, deadline <-chan time.Time) error {
+	snap := s.pin()
+	if snap == nil {
+		return ErrClosed
+	}
+	if snap.warm == nil {
+		snap.unpin()
+		return nil
+	}
+	w := &snap.eccWarm
+	if op == opPath {
+		w = &snap.pathsWarm
+	}
+	if w.warmed.Load() {
+		snap.unpin()
+		return nil
+	}
+	w.mu.Lock()
+	ch := w.done
+	if ch == nil {
+		if w.warmed.Load() {
+			w.mu.Unlock()
+			snap.unpin()
+			return nil
+		}
+		ch = make(chan struct{})
+		w.done = ch
+		// A second reference for the warm goroutine: the caller's pin
+		// holds refs nonzero, so a plain Add cannot resurrect a retired
+		// snapshot here.
+		snap.refs.Add(1)
+		go s.runWarm(snap, op, w, ch)
+	}
+	w.mu.Unlock()
+	if deadline != nil {
+		select {
+		case <-ch:
+		case <-deadline:
+			snap.unpin()
+			s.timeouts.Add(1)
+			s.health.noteTimeout()
+			return ErrTimeout
+		}
+	} else {
+		<-ch
+	}
+	// Relock to read the outcome: a retry attempt may already be
+	// rewriting err, and the mutex orders that rewrite against this read.
+	w.mu.Lock()
+	err := w.err
+	w.mu.Unlock()
+	snap.unpin()
+	if err != nil {
+		s.faulted.Add(1)
+	}
+	return err
+}
+
+// runWarm executes one capability warm attempt, contained against
+// panics. It owns one snapshot reference and the flight's broadcast
+// channel.
+func (s *Server) runWarm(snap *snapshot, op uint8, w *warmFlight, ch chan struct{}) {
+	defer snap.unpin()
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.health.notePanic()
+				err = ErrBackendFault
+			}
+		}()
+		if ferr := faultinject.Fire(faultinject.PointServerWarm); ferr != nil {
+			return ErrBackendFault
+		}
+		if op == opPath {
+			snap.warm.WarmPaths()
+		} else {
+			snap.warm.WarmEccentricity()
+		}
+		return nil
+	}()
+	w.mu.Lock()
+	w.err = err
+	if err == nil {
+		w.warmed.Store(true)
+	}
+	w.done = nil
+	w.mu.Unlock()
+	close(ch)
 }
 
 // QueryBatch answers pairs[k] into out[k] directly on the current
@@ -535,6 +756,23 @@ type Stats struct {
 	// Queued is the instantaneous number of admitted requests waiting in
 	// the shard queues (a pressure gauge, not a counter).
 	Queued int
+	// Panics counts recovered backend panics (events, not requests): a
+	// worker that panics mid-group recovers, fails the group with
+	// ErrBackendFault, and resumes; a capability warm that panics counts
+	// here too. A nonzero value means the backend misbehaved and the
+	// server contained it.
+	Panics uint64
+	// Faulted counts requests that resolved with ErrBackendFault. One
+	// panic event may fault up to batchSize requests.
+	Faulted uint64
+	// Timeouts counts requests abandoned at Options.QueryTimeout.
+	Timeouts uint64
+	// Health is the fault-health state (healthy / degraded / failed),
+	// derived from recent panic and timeout counts — never from
+	// Rejected/Shed, because shedding under overload is the designed
+	// behavior, not a fault. HealthReason says which threshold tripped.
+	Health       HealthState
+	HealthReason string
 	// PerShard is the served count of each shard. Queries answered
 	// through the direct QueryBatch door are counted in Served and
 	// Batches but belong to no shard.
@@ -543,8 +781,9 @@ type Stats struct {
 
 // Stats returns a snapshot of the served-traffic counters. A request's
 // outcome is visible here no later than its reply: every TryQuery has
-// been counted exactly once across Served/Rejected/Shed by the time it
-// returns without error or with ErrOverloaded.
+// been counted exactly once across Served / Rejected / Shed / Faulted /
+// Timeouts by the time it returns, and those five buckets sum exactly
+// to the submitted-request count.
 func (s *Server) Stats() Stats {
 	st := Stats{Shards: len(s.shards), PerShard: make([]uint64, len(s.shards))}
 	for i, sh := range s.shards {
@@ -558,11 +797,19 @@ func (s *Server) Stats() Stats {
 	st.Batches += s.directBatches.Load()
 	st.Rejected = s.rejected.Load()
 	st.Shed = s.shed.Load()
+	st.Panics = s.panics.Load()
+	st.Faulted = s.faulted.Load()
+	st.Timeouts = s.timeouts.Load()
+	st.Health, st.HealthReason = s.health.state()
 	if s.ctl != nil {
 		st.PerClientHot = s.ctl.Stats().HotFlows
 	}
 	return st
 }
+
+// Health returns the current fault-health state and the reason it is
+// not healthy ("ok" when it is) — the /healthz hook.
+func (s *Server) Health() (HealthState, string) { return s.health.state() }
 
 // Close stops the workers and waits for them to drain. It is safe to
 // call concurrently with TryQuery (submissions that lose the race get
@@ -598,7 +845,9 @@ func (s *Server) Close() {
 
 // run is the shard worker loop: block for one request, opportunistically
 // coalesce up to batchSize-1 more that are already queued, answer the
-// group on one snapshot, reply.
+// group on one snapshot, reply. All computation and delivery happens
+// inside serveGroup, which contains backend panics — a worker survives
+// any number of faults and keeps draining its queue.
 func (s *Server) run(sh *shard) {
 	defer s.wg.Done()
 	for {
@@ -621,43 +870,104 @@ func (s *Server) run(sh *shard) {
 				break coalesce
 			}
 		}
-		// Pin the snapshot for the whole group: a concurrent SwapRetire
-		// can replace the pointer at any time, but the old index is only
-		// released once this pin (and every other) is dropped — the group
-		// always finishes on mapped memory. pin cannot return nil here:
-		// the submitters of these requests hold the close gate, so the
-		// final snapshot cannot have retired yet.
-		snap := s.pin()
-		allDist := true
+		s.serveGroup(sh, n)
 		for i := 0; i < n; i++ {
-			if sh.reqs[i].op != opDistance {
-				allDist = false
-				break
-			}
-		}
-		if snap.batch != nil && n > 1 && allDist {
-			for i := 0; i < n; i++ {
-				sh.pairs[i] = [2]graph.NodeID{sh.reqs[i].u, sh.reqs[i].v}
-			}
-			snap.batch.DistanceBatch(sh.pairs[:n], sh.out[:n])
-			for i := 0; i < n; i++ {
-				sh.reqs[i].d = sh.out[i]
-			}
-		} else {
-			for i := 0; i < n; i++ {
-				serveOne(snap, sh.reqs[i])
-			}
-		}
-		snap.unpin()
-		// Count before replying: once done is signaled, callers may observe
-		// the query as served, and Stats() must not lag behind them.
-		sh.served.Add(uint64(n))
-		sh.batches.Add(1)
-		for i := 0; i < n; i++ {
-			sh.reqs[i].done <- struct{}{}
 			sh.reqs[i] = nil
 		}
 	}
+}
+
+// serveGroup answers one coalesced group on one snapshot. A panic out of
+// the backend — or an injected worker fault — is recovered here: every
+// undelivered request in the group fails with ErrBackendFault (counted
+// in Faulted, the panic event in Panics), completions are still
+// signaled so no caller ever hangs, and the worker loop resumes. The
+// snapshot pin is dropped on every path, so fault containment never
+// leaks a reference that would keep a retired mmap view mapped.
+func (s *Server) serveGroup(sh *shard, n int) {
+	// Pin the snapshot for the whole group: a concurrent SwapRetire
+	// can replace the pointer at any time, but the old index is only
+	// released once this pin (and every other) is dropped — the group
+	// always finishes on mapped memory. pin cannot return nil here:
+	// the submitters of these requests hold the close gate, so the
+	// final snapshot cannot have retired yet.
+	snap := s.pin()
+	defer func() {
+		snap.unpin()
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.health.notePanic()
+			for i := 0; i < n; i++ {
+				if r := sh.reqs[i]; r != nil {
+					s.failRequest(r)
+				}
+			}
+		}
+	}()
+	if err := faultinject.Fire(faultinject.PointServerWorker); err != nil {
+		// An injected non-panic backend error fails the group the same
+		// way a contained panic does, minus the panic accounting.
+		for i := 0; i < n; i++ {
+			s.failRequest(sh.reqs[i])
+		}
+		return
+	}
+	allDist := true
+	for i := 0; i < n; i++ {
+		if sh.reqs[i].op != opDistance {
+			allDist = false
+			break
+		}
+	}
+	if snap.batch != nil && n > 1 && allDist {
+		for i := 0; i < n; i++ {
+			sh.pairs[i] = [2]graph.NodeID{sh.reqs[i].u, sh.reqs[i].v}
+		}
+		snap.batch.DistanceBatch(sh.pairs[:n], sh.out[:n])
+		for i := 0; i < n; i++ {
+			sh.reqs[i].d = sh.out[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			serveOne(snap, sh.reqs[i])
+		}
+	}
+	// Count before replying: once done is signaled, callers may observe
+	// the query as served, and Stats() must not lag behind them.
+	sh.batches.Add(1)
+	for i := 0; i < n; i++ {
+		s.deliver(sh, sh.reqs[i])
+	}
+}
+
+// deliver hands an answered request back to its waiter — unless the
+// waiter abandoned it at the deadline, in which case the worker owns the
+// envelope and recycles it. Exactly one of the two happens (the state
+// CAS arbitrates), so a request is counted exactly once and a pooled
+// envelope can never be signaled twice.
+func (s *Server) deliver(sh *shard, r *request) {
+	if r.state.CompareAndSwap(stPending, stDelivered) {
+		sh.served.Add(1)
+		r.done <- struct{}{}
+		return
+	}
+	s.putRequest(r)
+}
+
+// failRequest resolves a request with ErrBackendFault (or recycles it if
+// its waiter already timed out). The answer fields are forced to the
+// unreachable shape so a pooled envelope's stale values can never leak
+// into a fault reply.
+func (s *Server) failRequest(r *request) {
+	r.err = ErrBackendFault
+	r.d = graph.Infinity
+	r.far = -1
+	if r.state.CompareAndSwap(stPending, stDelivered) {
+		s.faulted.Add(1)
+		r.done <- struct{}{}
+		return
+	}
+	s.putRequest(r)
 }
 
 // serveOne answers a single request of any kind on one snapshot. Requests

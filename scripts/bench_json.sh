@@ -8,11 +8,12 @@
 # EXPERIMENTS.md tracks (BENCH_pr1.json, BENCH_pr2.json, ...). The
 # default regex covers the query-path benchmarks plus the container-load
 # (E17), serving-throughput (E18), admission-control (E19),
-# path/eccentricity (E20) and zero-copy mmap (E21) series.
+# path/eccentricity (E20), zero-copy mmap (E21) and disabled-faultinject
+# overhead (E22) series.
 set -eu
 
 PR="${1:?usage: bench_json.sh PR_NUMBER [BENCH_REGEX]}"
-REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*|BenchmarkE21.*}"
+REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*|BenchmarkE21.*|BenchmarkE22.*}"
 OUT="BENCH_pr${PR}.json"
 cd "$(dirname "$0")/.."
 
