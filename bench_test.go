@@ -1009,3 +1009,101 @@ func BenchmarkE22TryQueryFaultsOff(b *testing.B) {
 		}
 	})
 }
+
+// ---- E23: build-pipeline benchmarks ----
+
+var benchE23 struct {
+	once sync.Once
+	g    *graph.Graph // weighted Gnm(3000)
+	l    *hub.Labeling
+}
+
+func benchE23Setup(b *testing.B) {
+	b.Helper()
+	benchE23.once.Do(func() {
+		ga, err := gen.Gnm(3000, 5400, 23)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(24))
+		bld := graph.NewBuilder(ga.NumNodes(), ga.NumEdges())
+		for _, e := range ga.Edges() {
+			bld.AddWeightedEdge(e.U, e.V, 1+graph.Weight(rng.Intn(9)))
+		}
+		benchE23.g, err = bld.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchE23.l, err = pll.BuildUnfrozen(benchE23.g, pll.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkE23BuildSequential is the reference single-worker PLL build
+// on the weighted 3k graph the parallel benches compare against.
+func BenchmarkE23BuildSequential(b *testing.B) {
+	benchE23Setup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pll.Build(benchE23.g, pll.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE23BuildParallel8 is the batched engine at 8 workers on the
+// same graph (byte-identical output; see E23 for the speedup table).
+func BenchmarkE23BuildParallel8(b *testing.B) {
+	benchE23Setup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pll.Build(benchE23.g, pll.Options{Workers: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE23OrderBetweenness prices the sampled-Brandes sketch order
+// relative to the build it feeds.
+func BenchmarkE23OrderBetweenness(b *testing.B) {
+	benchE23Setup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pll.BetweennessSketchOrder(benchE23.g, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE23SaveStreaming writes the prebuilt unfrozen labeling
+// through the streaming container writer (the ~1×-RSS path).
+func BenchmarkE23SaveStreaming(b *testing.B) {
+	benchE23Setup(b)
+	dir := b.TempDir()
+	path := filepath.Join(dir, "s.hli")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := index.SaveStreaming(path, benchE23.l, hub.ContainerOptions{Aligned: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE23SaveFreeze is the same write through freeze-then-Save
+// (flat copy built first — the ~2×-RSS path streaming replaces).
+func BenchmarkE23SaveFreeze(b *testing.B) {
+	benchE23Setup(b)
+	dir := b.TempDir()
+	path := filepath.Join(dir, "f.hli")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := index.NewHubLabelsFrom(benchE23.l)
+		if err := index.Save(path, idx, hub.ContainerOptions{Aligned: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

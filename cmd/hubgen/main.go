@@ -1,18 +1,23 @@
 // Command hubgen builds hub labelings with any of the library's
 // constructions and reports size statistics and verification results.
 //
-// With -out the frozen labeling is persisted as an index container that
+// With -out the labeling is persisted as an index container that
 // cmd/hubserve, cmd/experiments and the library (index.Load) reload
 // without rebuilding; -graphout writes the (possibly generated) graph so
-// the two tools share inputs.
+// the two tools share inputs. For PLL without -compress the container is
+// emitted through the streaming writer (index.SaveStreaming), so peak
+// memory stays at about one copy of the labeling even at millions of
+// vertices; see cmd/hubserve/README.md for the full build→serve
+// pipeline.
 //
 // Usage:
 //
 //	hubgen -gen gnm -n 500 -m 900 -algo pll
 //	hubgen -gen reg3 -n 300 -algo thm41 -d 3
-//	hubgen -gen road -n 400 -algo pll -order random
-//	hubgen -in graph.gr -algo greedy
-//	hubgen -gen gnm -n 10000 -algo pll -out labels.hli -graphout g.gr
+//	hubgen -gen road -n 400 -algo pll -order betweenness
+//	hubgen -gen rmat -n 1048576 -algo pll -workers 8 -progress -out labels.hli -aligned
+//	hubgen -in USA-road-d.NY.gr.gz -algo pll
+//	hubgen -dataset rome99 -algo pll -out rome.hli
 package main
 
 import (
@@ -22,8 +27,12 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
 
 	"hublab/internal/cover"
+	"hublab/internal/dataset"
 	"hublab/internal/faultinject"
 	"hublab/internal/gen"
 	"hublab/internal/graph"
@@ -41,13 +50,16 @@ func main() {
 }
 
 func run() error {
-	genName := flag.String("gen", "gnm", "generator: gnm|reg3|grid|road|tree")
-	in := flag.String("in", "", "read graph from file instead of generating")
+	genName := flag.String("gen", "gnm", "generator: gnm|reg3|grid|road|tree|btree|rmat")
+	in := flag.String("in", "", "read graph from file (.gr/.gr.gz DIMACS or the hubgen text format)")
+	ds := flag.String("dataset", "", "load a fetched DIMACS dataset: "+strings.Join(dataset.Names(), "|"))
 	n := flag.Int("n", 500, "vertex count")
-	m := flag.Int("m", 0, "edge count for gnm (default 1.8n)")
+	m := flag.Int("m", 0, "edge count for gnm/rmat (default 1.8n)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	algo := flag.String("algo", "pll", "labeling: pll|greedy|sparse|thm41|thm14")
-	order := flag.String("order", "degree", "pll order: degree|random|natural")
+	order := flag.String("order", "degree", "pll landmark order: "+strings.Join(pll.OrderNames(), "|"))
+	workers := flag.Int("workers", 0, "parallel build workers for pll (0 = all cores, 1 = sequential)")
+	progress := flag.Bool("progress", false, "log pll build progress (roots done, labels, peak RSS)")
 	d := flag.Int("d", 0, "threshold D for sparse/thm41/thm14 (0 = auto)")
 	verify := flag.Bool("verify", true, "verify the labeling (exhaustive ≤ 1000 vertices, sampled beyond)")
 	out := flag.String("out", "", "write the labeling as an index container (.hli)")
@@ -71,26 +83,31 @@ func run() error {
 		}
 	}
 
-	g, err := loadGraph(*in, *genName, *n, *m, *seed)
+	g, err := loadGraph(*in, *ds, *genName, *n, *m, *seed)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: n=%d m=%d max-degree=%d avg-degree=%.2f weighted=%v\n",
 		g.NumNodes(), g.NumEdges(), g.MaxDegree(), g.AvgDegree(), g.Weighted())
 
+	// PLL without gamma compression builds unfrozen and streams the
+	// container out; everything else freezes (and gamma needs the flat
+	// form anyway).
+	streaming := *algo == "pll" && *out != "" && !*compress
+
 	var labeling *hub.Labeling
+	buildStart := time.Now()
 	switch *algo {
 	case "pll":
-		opts := pll.Options{Seed: *seed}
-		switch *order {
-		case "random":
-			opts.Order = pll.OrderRandom
-		case "natural":
-			opts.Order = pll.OrderNatural
-		default:
-			opts.Order = pll.OrderDegree
+		opts := pll.Options{Seed: *seed, OrderBy: *order, Workers: *workers}
+		if *progress {
+			opts.Progress = progressLogger(g.NumNodes(), buildStart)
 		}
-		labeling, err = pll.Build(g, opts)
+		if streaming {
+			labeling, err = pll.BuildUnfrozen(g, opts)
+		} else {
+			labeling, err = pll.Build(g, opts)
+		}
 	case "greedy":
 		labeling, err = cover.Greedy(g)
 	case "sparse":
@@ -122,10 +139,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	buildDur := time.Since(buildStart)
 
 	stats := labeling.ComputeStats()
 	fmt.Printf("labeling: avg=%.2f max=%d total=%d avg-bits=%.1f\n",
 		stats.Avg, stats.Max, stats.Total, labeling.AvgBits())
+	if secs := buildDur.Seconds(); secs > 0 {
+		fmt.Printf("build: %.2fs (%.0f labels/sec, workers=%d)\n", secs, float64(stats.Total)/secs, *workers)
+	}
 	fmt.Printf("reference n/log2(n) = %.1f\n", float64(g.NumNodes())/math.Log2(float64(g.NumNodes())+2))
 
 	if *verify {
@@ -157,8 +178,13 @@ func run() error {
 		fmt.Printf("wrote graph: %s\n", *graphOut)
 	}
 	if *out != "" {
-		idx := index.NewHubLabelsFrom(labeling)
-		if err := index.Save(*out, idx, hub.ContainerOptions{Compress: *compress, Aligned: *aligned}); err != nil {
+		copts := hub.ContainerOptions{Compress: *compress, Aligned: *aligned}
+		if streaming {
+			err = index.SaveStreaming(*out, labeling, copts)
+		} else {
+			err = index.Save(*out, index.NewHubLabelsFrom(labeling), copts)
+		}
+		if err != nil {
 			return err
 		}
 		info, err := os.Stat(*out)
@@ -169,14 +195,61 @@ func run() error {
 		if *aligned {
 			serveHint = fmt.Sprintf("hubserve -mmap -index %s", *out)
 		}
-		fmt.Printf("wrote container: %s (%d bytes, compress=%v aligned=%v; serve with: %s)\n",
-			*out, info.Size(), *compress, *aligned, serveHint)
+		fmt.Printf("wrote container: %s (%d bytes, compress=%v aligned=%v streamed=%v; serve with: %s)\n",
+			*out, info.Size(), *compress, *aligned, streaming, serveHint)
 	}
 	return nil
 }
 
-func loadGraph(in, genName string, n, m int, seed int64) (*graph.Graph, error) {
+// progressLogger returns a pll.Progress callback that logs at most once
+// every two seconds: roots done, labels committed, throughput, and the
+// process's peak RSS so far (the number the streaming pipeline exists
+// to keep flat).
+func progressLogger(roots int, start time.Time) func(pll.Progress) {
+	var last time.Time
+	return func(p pll.Progress) {
+		now := time.Now()
+		if p.RootsDone < p.Roots && now.Sub(last) < 2*time.Second {
+			return
+		}
+		last = now
+		secs := now.Sub(start).Seconds()
+		rate := float64(p.Labels)
+		if secs > 0 {
+			rate /= secs
+		}
+		log.Printf("hubgen: pll %d/%d roots, %d labels (%.0f labels/sec), peak RSS %s",
+			p.RootsDone, p.Roots, p.Labels, rate, peakRSS())
+	}
+}
+
+// peakRSS reports the process high-water mark: VmHWM from
+// /proc/self/status where available, else the Go heap's HeapSys as a
+// lower-bound stand-in.
+func peakRSS() string {
+	if data, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, "VmHWM:") {
+				return strings.TrimSpace(strings.TrimPrefix(line, "VmHWM:"))
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return fmt.Sprintf("%d kB (heap)", ms.HeapSys/1024)
+}
+
+func loadGraph(in, ds, genName string, n, m int, seed int64) (*graph.Graph, error) {
+	if in != "" && ds != "" {
+		return nil, fmt.Errorf("hubgen: -in and -dataset are mutually exclusive")
+	}
+	if ds != "" {
+		return dataset.Load(ds)
+	}
 	if in != "" {
+		if strings.HasSuffix(in, ".gr") || strings.HasSuffix(in, ".gr.gz") {
+			return dataset.LoadFile(in)
+		}
 		f, err := os.Open(in)
 		if err != nil {
 			return nil, err
@@ -200,6 +273,21 @@ func loadGraph(in, genName string, n, m int, seed int64) (*graph.Graph, error) {
 		return gen.RoadLike(side, side, 8, seed)
 	case "tree":
 		return gen.RandomTree(n, seed)
+	case "btree":
+		leaves := 1
+		for 2*leaves-1 < n {
+			leaves <<= 1
+		}
+		return gen.BalancedBinaryTree(leaves)
+	case "rmat":
+		scale := 0
+		for 1<<scale < n {
+			scale++
+		}
+		if m == 0 {
+			m = n * 9 / 5
+		}
+		return gen.RMAT(scale, m, seed)
 	default:
 		return nil, fmt.Errorf("unknown generator %q", genName)
 	}

@@ -19,7 +19,9 @@
 //     EulerTourLabels, CentroidTreeLabels);
 //   - the serving pipeline: a unified Index interface with buildable
 //     backends (BuildIndex, IndexKinds), persistent index containers
-//     (SaveIndex, LoadIndex, WriteContainer, ReadContainer), and the
+//     (SaveIndex, LoadIndex, WriteContainer, ReadContainer) with a
+//     constant-extra-memory streaming emission path for large builds
+//     (BuildPLLUnfrozen, SaveIndexStreaming), and the
 //     sharded in-process query service (NewServer) with non-blocking
 //     overload-safe admission (Server.TryQuery, AdmissionOptions,
 //     ErrServerOverloaded);
@@ -83,12 +85,23 @@ func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
 // ReadGraph parses a graph written by WriteGraph.
 func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
 
+// ReadGraphDimacs parses a DIMACS shortest-path ".gr" file (the 9th
+// Implementation Challenge format) into an undirected Graph, merging
+// asymmetric arc pairs at their minimum weight. Malformed input returns
+// an error wrapping ErrDimacsFormat, never a panic.
+func ReadGraphDimacs(r io.Reader) (*Graph, error) { return graph.ReadGr(r) }
+
+// ErrDimacsFormat reports malformed DIMACS .gr input to ReadGraphDimacs.
+var ErrDimacsFormat = graph.ErrGrFormat
+
 // Hub labeling types.
 type (
 	// Labeling is a hub labeling (2-hop cover) with exact distances. It is
 	// the mutable builder form; call Freeze to obtain the immutable flat
 	// CSR form (FlatLabeling) used for zero-allocation merge queries. All
-	// Build* constructors return labelings that are already frozen.
+	// Build* constructors return labelings that are already frozen, except
+	// BuildPLLUnfrozen, which defers freezing so SaveIndexStreaming can
+	// emit the container without a second in-memory copy.
 	Labeling = hub.Labeling
 	// FlatLabeling is the frozen CSR/structure-of-arrays labeling: one
 	// contiguous offsets array over parallel hub-id and distance columns,
@@ -97,8 +110,16 @@ type (
 	FlatLabeling = hub.FlatLabeling
 	// Hub is one label entry.
 	Hub = hub.Hub
-	// PLLOptions configures BuildPLL.
+	// PLLOptions configures BuildPLL (landmark order, worker count,
+	// progress callback).
 	PLLOptions = pll.Options
+	// PLLOrderFunc computes a landmark processing order; register one
+	// under a name with RegisterPLLOrder to make it selectable through
+	// PLLOptions.OrderBy (and hubgen -order).
+	PLLOrderFunc = pll.OrderFunc
+	// PLLProgress is the snapshot passed to PLLOptions.Progress during a
+	// build (roots processed, labels committed).
+	PLLProgress = pll.Progress
 	// SparseHubOptions configures BuildSparseHubs.
 	SparseHubOptions = sparsehub.Options
 	// Theorem41Options configures the upper-bound pipeline.
@@ -108,8 +129,27 @@ type (
 )
 
 // BuildPLL computes a pruned landmark labeling — the standard practical
-// hub labeling construction.
+// hub labeling construction. With PLLOptions.Workers > 1 the batched
+// parallel engine runs; its output is byte-identical to the sequential
+// build (see "Parallel build: the commit-order invariant" in DESIGN.md).
 func BuildPLL(g *Graph, opts PLLOptions) (*Labeling, error) { return pll.Build(g, opts) }
+
+// BuildPLLUnfrozen is BuildPLL without the final Freeze: the returned
+// labeling keeps only the mutable per-vertex form, so SaveIndexStreaming
+// can emit the container while the build's memory is still the only
+// copy. Freeze it (or wrap with NewHubLabelsIndex) before querying at
+// scale.
+func BuildPLLUnfrozen(g *Graph, opts PLLOptions) (*Labeling, error) {
+	return pll.BuildUnfrozen(g, opts)
+}
+
+// RegisterPLLOrder adds a named landmark ordering to the registry
+// consulted by PLLOptions.OrderBy. Built-ins: degree, betweenness,
+// random, natural.
+func RegisterPLLOrder(name string, f PLLOrderFunc) error { return pll.RegisterOrder(name, f) }
+
+// PLLOrderNames lists the registered landmark orderings.
+func PLLOrderNames() []string { return pll.OrderNames() }
 
 // BuildGreedyCover computes a greedy 2-hop cover (small graphs only).
 func BuildGreedyCover(g *Graph) (*Labeling, error) { return cover.Greedy(g) }
@@ -212,6 +252,16 @@ func GenerateRoadLike(rows, cols, period int, seed int64) (*Graph, error) {
 
 // GenerateRandomTree returns a uniform random labelled tree.
 func GenerateRandomTree(n int, seed int64) (*Graph, error) { return gen.RandomTree(n, seed) }
+
+// GenerateBalancedBinaryTree returns the complete binary tree with the
+// given number of leaves (a power of two) — 2·leaves−1 vertices with
+// logarithmic hub labels, the scale-test family for million-vertex
+// builds.
+func GenerateBalancedBinaryTree(leaves int) (*Graph, error) { return gen.BalancedBinaryTree(leaves) }
+
+// GenerateRMAT returns a connected R-MAT graph (Graph500 parameter mix)
+// on 2^scale vertices with a skewed degree distribution.
+func GenerateRMAT(scale, m int, seed int64) (*Graph, error) { return gen.RMAT(scale, m, seed) }
 
 // Shortest paths.
 
@@ -356,6 +406,16 @@ func NewHubLabelsIndex(l *Labeling) *HubLabelsIndex { return index.NewHubLabelsF
 // (checksummed, little-endian, optionally Elias-gamma compressed).
 func SaveIndex(path string, idx Index, opts ContainerOptions) error {
 	return index.Save(path, idx, opts)
+}
+
+// SaveIndexStreaming persists an unfrozen labeling (BuildPLLUnfrozen)
+// at path with the same crash-safety and byte-identical output as
+// SaveIndex, but without materializing the flat form first: label runs
+// stream into the file column by column, so peak memory stays at about
+// one copy of the labeling. Gamma compression cannot stream and is
+// rejected; use SaveIndex for that.
+func SaveIndexStreaming(path string, l *Labeling, opts ContainerOptions) error {
+	return index.SaveStreaming(path, l, opts)
 }
 
 // LoadIndex loads an index container written by SaveIndex (or

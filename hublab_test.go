@@ -1,7 +1,11 @@
 package hublab
 
 import (
+	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -139,5 +143,87 @@ func TestFacadeDistanceLabels(t *testing.T) {
 	set := BehrendSet(100)
 	if len(set) < 5 {
 		t.Errorf("BehrendSet(100) size = %d, unexpectedly small", len(set))
+	}
+}
+
+// TestFacadeBuildPipeline drives the million-vertex build surface at toy
+// scale through the re-exported API: a skewed generator, a registered
+// landmark order, the parallel unfrozen build, and the streaming
+// container emission — whose bytes must match the freeze-then-save path
+// exactly.
+func TestFacadeBuildPipeline(t *testing.T) {
+	g, err := GenerateRMAT(9, 1000, 3)
+	if err != nil {
+		t.Fatalf("GenerateRMAT: %v", err)
+	}
+	names := PLLOrderNames()
+	seen := map[string]bool{}
+	for _, name := range names {
+		seen[name] = true
+	}
+	for _, want := range []string{"degree", "betweenness", "random", "natural"} {
+		if !seen[want] {
+			t.Fatalf("PLLOrderNames() = %v, missing %q", names, want)
+		}
+	}
+	if err := RegisterPLLOrder("degree", nil); err == nil {
+		t.Fatal("RegisterPLLOrder accepted a nil duplicate")
+	}
+
+	unfrozen, err := BuildPLLUnfrozen(g, PLLOptions{OrderBy: "degree", Workers: 4})
+	if err != nil {
+		t.Fatalf("BuildPLLUnfrozen: %v", err)
+	}
+	dir := t.TempDir()
+	streamed := filepath.Join(dir, "streamed.hli")
+	if err := SaveIndexStreaming(streamed, unfrozen, ContainerOptions{}); err != nil {
+		t.Fatalf("SaveIndexStreaming: %v", err)
+	}
+
+	frozen, err := BuildPLL(g, PLLOptions{OrderBy: "degree", Workers: 1})
+	if err != nil {
+		t.Fatalf("BuildPLL: %v", err)
+	}
+	saved := filepath.Join(dir, "saved.hli")
+	if err := SaveIndex(saved, NewHubLabelsIndex(frozen), ContainerOptions{}); err != nil {
+		t.Fatalf("SaveIndex: %v", err)
+	}
+	a, err := os.ReadFile(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("parallel streamed container differs from sequential frozen save")
+	}
+
+	idx, err := LoadIndex(streamed)
+	if err != nil {
+		t.Fatalf("LoadIndex: %v", err)
+	}
+	if err := VerifySampledIndex(idx, g, 200, 5); err != nil {
+		t.Errorf("VerifySampledIndex: %v", err)
+	}
+}
+
+// TestFacadeDimacs parses a tiny DIMACS .gr instance through the facade
+// and checks the hostile-input error is reachable.
+func TestFacadeDimacs(t *testing.T) {
+	const gr = "c tiny\np sp 3 4\na 1 2 5\na 2 1 5\na 2 3 2\na 3 2 2\n"
+	g, err := ReadGraphDimacs(strings.NewReader(gr))
+	if err != nil {
+		t.Fatalf("ReadGraphDimacs: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed n=%d m=%d, want 3, 2", g.NumNodes(), g.NumEdges())
+	}
+	if d := ShortestDistance(g, 0, 2); d != 7 {
+		t.Errorf("distance 0-2 = %d, want 7", d)
+	}
+	if _, err := ReadGraphDimacs(strings.NewReader("p sp 2 1\na 1 9 4\n")); !errors.Is(err, ErrDimacsFormat) {
+		t.Errorf("out-of-range arc: err = %v, want ErrDimacsFormat", err)
 	}
 }

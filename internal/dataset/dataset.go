@@ -1,0 +1,153 @@
+// Package dataset locates and loads the real-world benchmark graphs the
+// experiment suite runs against — today the 9th DIMACS Implementation
+// Challenge road networks, the standard corpus for hub-labeling papers
+// (the source paper's own road-network discussion is calibrated on
+// them).
+//
+// The package never touches the network: scripts/fetch_dimacs.sh
+// downloads instances into the cache directory once, and Load reads
+// them from there (gzip-transparently, so the downloaded .gr.gz files
+// need no unpacking). A missing file is a typed error (ErrNotFetched)
+// with the fetch command in its message, so tests and experiments can
+// skip cleanly on machines that never fetched anything.
+package dataset
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hublab/internal/graph"
+)
+
+// ErrNotFetched reports that a known dataset is not in the local cache.
+var ErrNotFetched = errors.New("dataset: not fetched")
+
+// ErrUnknown reports a name that is not in the catalog.
+var ErrUnknown = errors.New("dataset: unknown dataset")
+
+// Info describes one catalog entry. Vertex/arc counts are the published
+// instance sizes, recorded so tooling can size-gate without opening the
+// file.
+type Info struct {
+	Name     string // catalog key, e.g. "rome99"
+	File     string // filename under Dir(), e.g. "rome99.gr"
+	Vertices int
+	Arcs     int // directed arcs as published (undirected edges ≈ half)
+	Desc     string
+}
+
+// catalog lists the distance-weighted ("d") USA road instances of the
+// 9th DIMACS challenge, smallest first, plus the rome99 warm-up graph.
+// scripts/fetch_dimacs.sh knows how to download exactly these.
+var catalog = map[string]Info{
+	"rome99":  {Name: "rome99", File: "rome99.gr", Vertices: 3353, Arcs: 8870, Desc: "Rome city center, 1999"},
+	"usa-ny":  {Name: "usa-ny", File: "USA-road-d.NY.gr", Vertices: 264346, Arcs: 733846, Desc: "New York City"},
+	"usa-bay": {Name: "usa-bay", File: "USA-road-d.BAY.gr", Vertices: 321270, Arcs: 800172, Desc: "San Francisco Bay Area"},
+	"usa-col": {Name: "usa-col", File: "USA-road-d.COL.gr", Vertices: 435666, Arcs: 1057066, Desc: "Colorado"},
+	"usa-fla": {Name: "usa-fla", File: "USA-road-d.FLA.gr", Vertices: 1070376, Arcs: 2712798, Desc: "Florida"},
+}
+
+// Names returns the catalog keys, sorted by instance size.
+func Names() []string {
+	names := make([]string, 0, len(catalog))
+	for name := range catalog {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return catalog[names[i]].Vertices < catalog[names[j]].Vertices })
+	return names
+}
+
+// Describe returns the catalog entry for name.
+func Describe(name string) (Info, error) {
+	info, ok := catalog[name]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %q (have %v)", ErrUnknown, name, Names())
+	}
+	return info, nil
+}
+
+// Dir returns the dataset cache directory: $HUBLAB_DATA_DIR if set,
+// else <user cache>/hublab/datasets, else ./.hublab-datasets for
+// environments with no resolvable cache home.
+func Dir() string {
+	if d := os.Getenv("HUBLAB_DATA_DIR"); d != "" {
+		return d
+	}
+	if base, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(base, "hublab", "datasets")
+	}
+	return ".hublab-datasets"
+}
+
+// Path returns where name lives (or would live) in the cache: the plain
+// file if present, else the .gz sibling if present, else the plain path
+// (the spot the fetch script fills).
+func Path(name string) (string, error) {
+	info, err := Describe(name)
+	if err != nil {
+		return "", err
+	}
+	plain := filepath.Join(Dir(), info.File)
+	if _, err := os.Stat(plain); err == nil {
+		return plain, nil
+	}
+	if gz := plain + ".gz"; fileExists(gz) {
+		return gz, nil
+	}
+	return plain, nil
+}
+
+// Fetched reports whether name is present in the cache.
+func Fetched(name string) bool {
+	p, err := Path(name)
+	return err == nil && fileExists(p)
+}
+
+// Load reads a catalog dataset from the cache, decompressing .gz files
+// transparently. A cache miss returns ErrNotFetched with the command
+// that fills it.
+func Load(name string) (*graph.Graph, error) {
+	p, err := Path(name)
+	if err != nil {
+		return nil, err
+	}
+	if !fileExists(p) {
+		return nil, fmt.Errorf("%w: %q not in %s — run scripts/fetch_dimacs.sh %s", ErrNotFetched, name, Dir(), name)
+	}
+	return LoadFile(p)
+}
+
+// LoadFile reads a .gr or .gr.gz file from an explicit path, outside
+// the catalog — the hook for hubgen -in on hand-fetched instances.
+func LoadFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	g, err := graph.ReadGr(r)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+func fileExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && !st.IsDir()
+}

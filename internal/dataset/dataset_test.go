@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const tinyGr = "c test instance\np sp 3 4\na 1 2 2\na 2 1 2\na 2 3 5\na 3 2 5\n"
+
+func TestCatalog(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("empty catalog")
+	}
+	for i := 1; i < len(names); i++ {
+		a, _ := Describe(names[i-1])
+		b, _ := Describe(names[i])
+		if a.Vertices > b.Vertices {
+			t.Errorf("Names not size-sorted: %s(%d) before %s(%d)", a.Name, a.Vertices, b.Name, b.Vertices)
+		}
+	}
+	if _, err := Describe("atlantis"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown dataset error = %v, want ErrUnknown", err)
+	}
+}
+
+func TestLoadFromCache(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("HUBLAB_DATA_DIR", dir)
+
+	// Miss: typed, with the fetch hint.
+	_, err := Load("rome99")
+	if !errors.Is(err, ErrNotFetched) {
+		t.Fatalf("cache-miss error = %v, want ErrNotFetched", err)
+	}
+	if Fetched("rome99") {
+		t.Fatal("Fetched true on an empty cache")
+	}
+
+	// Hit, plain file.
+	if err := os.WriteFile(filepath.Join(dir, "rome99.gr"), []byte(tinyGr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load("rome99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got n=%d m=%d, want n=3 m=2", g.NumNodes(), g.NumEdges())
+	}
+	if !Fetched("rome99") {
+		t.Error("Fetched false after a successful Load")
+	}
+}
+
+func TestLoadGzipTransparent(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("HUBLAB_DATA_DIR", dir)
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(tinyGr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "USA-road-d.NY.gr.gz"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load("usa-ny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("gz load: n=%d, want 3", g.NumNodes())
+	}
+	// Corrupt gz bytes must error, not parse garbage.
+	if err := os.WriteFile(filepath.Join(dir, "USA-road-d.NY.gr.gz"), []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load("usa-ny"); err == nil {
+		t.Error("corrupt gzip loaded successfully")
+	}
+}

@@ -378,3 +378,54 @@ func (s *shortWriter) Write(p []byte) (int, error) {
 	}
 	return n, err
 }
+
+// WrapWriterAt is WrapWriter for positioned writers (the streaming
+// container emitter saves through io.WriterAt): unless a shortwrite
+// trigger on the point fires at wrap time, w is returned untouched;
+// otherwise the returned writer passes through limit bytes in total —
+// regardless of offset order — and then fails with ErrInjected.
+func WrapWriterAt(point string, w io.WriterAt) io.WriterAt {
+	if !enabled.Load() {
+		return w
+	}
+	mu.RLock()
+	ts := points[point]
+	mu.RUnlock()
+	for _, t := range ts {
+		if t.kind != KindShortWrite || !t.shouldFire() {
+			continue
+		}
+		return &shortWriterAt{w: w, point: point, left: t.limit}
+	}
+	return w
+}
+
+// shortWriterAt forwards up to left bytes of WriteAt traffic, then
+// fails every call. The budget counts bytes written, not file extent,
+// so it models a crash after N successful device writes no matter how
+// the caller interleaves its column cursors.
+type shortWriterAt struct {
+	w     io.WriterAt
+	point string
+	mu    sync.Mutex
+	left  int64
+}
+
+func (s *shortWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.left <= 0 {
+		return 0, fmt.Errorf("%w: short write at %s", ErrInjected, s.point)
+	}
+	if int64(len(p)) <= s.left {
+		n, err := s.w.WriteAt(p, off)
+		s.left -= int64(n)
+		return n, err
+	}
+	n, err := s.w.WriteAt(p[:s.left], off)
+	s.left -= int64(n)
+	if err == nil {
+		err = fmt.Errorf("%w: short write at %s", ErrInjected, s.point)
+	}
+	return n, err
+}

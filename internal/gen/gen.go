@@ -131,6 +131,51 @@ func RoadLike(rows, cols, period int, seed int64) (*graph.Graph, error) {
 	return b.Build()
 }
 
+// RMAT returns a recursive-matrix random graph with 2^scale vertices
+// and about m distinct edges (Chakrabarti–Zhan–Faloutsos parameters
+// a=0.57 b=c=0.19, the Graph500 mix), made connected by a random
+// spanning path like Gnm. R-MAT's skewed degree distribution is the
+// standard stand-in for social/web graphs, the regime where degree
+// ordering shines and the parallel builder's early high-degree roots do
+// the most work — which is exactly what the large-build CI smoke wants
+// to stress.
+func RMAT(scale, m int, seed int64) (*graph.Graph, error) {
+	if scale < 1 || scale > 30 {
+		return nil, fmt.Errorf("%w: scale=%d", ErrBadParam, scale)
+	}
+	n := 1 << scale
+	if m < n-1 {
+		return nil, fmt.Errorf("%w: m=%d below spanning tree size %d", ErrBadParam, m, n-1)
+	}
+	const a, b, c = 0.57, 0.19, 0.19
+	rng := rand.New(rand.NewSource(seed))
+	bld := graph.NewBuilder(n, m)
+	perm := rng.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		bld.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[i+1]))
+	}
+	for k := n - 1; k < m; k++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a: // top-left
+			case r < a+b: // top-right
+				v |= 1 << bit
+			case r < a+b+c: // bottom-left
+				u |= 1 << bit
+			default: // bottom-right
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			bld.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return bld.Build()
+}
+
 // RandomTree returns a uniformly random labelled tree on n vertices
 // (random Prüfer sequence).
 func RandomTree(n int, seed int64) (*graph.Graph, error) {

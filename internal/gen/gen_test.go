@@ -194,3 +194,60 @@ func TestCycleAndPath(t *testing.T) {
 		t.Errorf("Path(0) err = %v, want ErrBadParam", err)
 	}
 }
+
+func TestRMAT(t *testing.T) {
+	g, err := RMAT(10, 4096, 5)
+	if err != nil {
+		t.Fatalf("RMAT: %v", err)
+	}
+	if g.NumNodes() != 1024 {
+		t.Errorf("NumNodes = %d, want 1024", g.NumNodes())
+	}
+	if g.NumEdges() < 1023 || g.NumEdges() > 4096 {
+		t.Errorf("NumEdges = %d, want in [1023,4096]", g.NumEdges())
+	}
+	if !sssp.Connected(g) {
+		t.Error("RMAT graph not connected")
+	}
+	// The recursive-matrix skew must actually show: the maximum degree of
+	// an R-MAT graph is far above the Gnm value at the same density.
+	ref, err := Gnm(1024, 4096, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() <= ref.MaxDegree() {
+		t.Errorf("RMAT max degree %d not above Gnm's %d — skew missing", g.MaxDegree(), ref.MaxDegree())
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	g1, err := RMAT(8, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RMAT(8, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("same seed produced different edge counts: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("same seed produced different edges at %d", i)
+		}
+	}
+}
+
+func TestRMATErrors(t *testing.T) {
+	if _, err := RMAT(0, 10, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("RMAT(0,...) err = %v, want ErrBadParam", err)
+	}
+	if _, err := RMAT(31, 1<<31, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("RMAT(31,...) err = %v, want ErrBadParam", err)
+	}
+	if _, err := RMAT(4, 3, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("RMAT(4,3) err = %v, want ErrBadParam", err)
+	}
+}

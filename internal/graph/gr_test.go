@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A valid 4-vertex instance with both arc directions listed, the way
+// the DIMACS road networks are published.
+const grOK = `c tiny road fragment
+p sp 4 8
+a 1 2 3
+a 2 1 3
+a 2 3 1
+a 3 2 1
+a 3 4 2
+a 4 3 2
+a 1 4 9
+a 4 1 9
+`
+
+func TestReadGr(t *testing.T) {
+	g, err := ReadGr(strings.NewReader(grOK))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got n=%d m=%d, want n=4 m=4", g.NumNodes(), g.NumEdges())
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 3 {
+		t.Errorf("edge {0,1} weight = %d,%v, want 3", w, ok)
+	}
+	if w, ok := g.EdgeWeight(0, 3); !ok || w != 9 {
+		t.Errorf("edge {0,3} weight = %d,%v, want 9", w, ok)
+	}
+}
+
+// TestReadGrAsymmetric pins the documented merge rule: an arc pair with
+// unequal directional weights collapses to the cheaper one.
+func TestReadGrAsymmetric(t *testing.T) {
+	g, err := ReadGr(strings.NewReader("p sp 2 2\na 1 2 7\na 2 1 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.EdgeWeight(0, 1); !ok || w != 4 {
+		t.Fatalf("asymmetric pair merged to %d,%v, want 4", w, ok)
+	}
+}
+
+func TestReadGrSelfLoopsSkipped(t *testing.T) {
+	g, err := ReadGr(strings.NewReader("p sp 2 3\na 1 1 5\na 1 2 2\na 2 1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("got %d edges, want the self-loop dropped", g.NumEdges())
+	}
+}
+
+func TestReadGrIsolatedTrailingVertex(t *testing.T) {
+	g, err := ReadGr(strings.NewReader("p sp 5 2\na 1 2 1\na 2 1 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("got n=%d, want the header's 5 kept", g.NumNodes())
+	}
+}
+
+// TestReadGrHostile walks the hostile-input corpus the fuzzer grew out
+// of: every case must fail with ErrGrFormat, never a panic or a
+// silently wrong graph.
+func TestReadGrHostile(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"empty", ""},
+		{"comments-only", "c nothing here\nc still nothing\n"},
+		{"truncated-header", "p sp 4\na 1 2 3\n"},
+		{"wrong-problem-kind", "p max 4 2\na 1 2 3\n"},
+		{"header-junk-counts", "p sp four 8\n"},
+		{"negative-n", "p sp -4 2\n"},
+		{"arc-before-header", "a 1 2 3\np sp 4 1\n"},
+		{"double-header", "p sp 2 0\np sp 2 0\n"},
+		{"arc-count-under", "p sp 4 8\na 1 2 3\n"},
+		{"arc-count-over", "p sp 2 1\na 1 2 3\na 2 1 3\n"},
+		{"endpoint-zero", "p sp 4 1\na 0 2 3\n"},
+		{"endpoint-past-n", "p sp 4 1\na 1 5 3\n"},
+		{"endpoint-huge", "p sp 4 1\na 1 99999999999999999999 3\n"},
+		{"negative-weight", "p sp 2 1\na 1 2 -5\n"},
+		{"weight-at-infinity", "p sp 2 1\na 1 2 536870912\n"},
+		{"weight-junk", "p sp 2 1\na 1 2 cheap\n"},
+		{"short-arc", "p sp 2 1\na 1 2\n"},
+		{"long-arc", "p sp 2 1\na 1 2 3 4\n"},
+		{"unknown-record", "p sp 2 0\nq 1 2\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ReadGr(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("hostile input parsed into a %d-vertex graph", g.NumNodes())
+			}
+			if !errors.Is(err, ErrGrFormat) {
+				t.Fatalf("error %v does not wrap ErrGrFormat", err)
+			}
+		})
+	}
+}
+
+// FuzzReadGr asserts the parser's only failure mode is a clean error:
+// no panic, no out-of-range structure on whatever parses.
+func FuzzReadGr(f *testing.F) {
+	f.Add(grOK)
+	f.Add("p sp 2 2\na 1 2 7\na 2 1 4\n")
+	f.Add("p sp 0 0\n")
+	f.Add("c x\np sp 3 2\na 1 3 1\na 3 1 1\n")
+	f.Add("p sp 4 8\na 1 2 3\n")
+	f.Add("a 1 2 3\n")
+	f.Add("p sp 2 1\na 1 2 -5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadGr(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		n := g.NumNodes()
+		for v := 0; v < n; v++ {
+			for _, u := range g.Neighbors(NodeID(v)) {
+				if u < 0 || int(u) >= n {
+					t.Fatalf("parsed graph has out-of-range neighbor %d (n=%d)", u, n)
+				}
+			}
+		}
+	})
+}

@@ -530,6 +530,25 @@ func FromSlicesParents(labels [][]Hub, parents [][]graph.NodeID) *Labeling {
 	return l
 }
 
+// AssembleSlicesParents is FromSlicesParents without the final Freeze: the
+// result is canonical but carries no flat copy. It is the emit path for
+// builds that stream straight into a container (index.SaveStreaming) —
+// freezing a million-vertex labeling just to write it out would double
+// peak RSS for nothing. Freeze the result when in-RAM queries are needed.
+func AssembleSlicesParents(labels [][]Hub, parents [][]graph.NodeID) *Labeling {
+	if len(parents) != len(labels) {
+		panic("hub: parent column does not parallel the labels")
+	}
+	for v := range labels {
+		if len(parents[v]) != len(labels[v]) {
+			panic(fmt.Sprintf("hub: vertex %d has %d parents for %d hubs", v, len(parents[v]), len(labels[v])))
+		}
+	}
+	l := &Labeling{labels: labels, parents: parents}
+	l.Canonicalize()
+	return l
+}
+
 // sortHubs sorts a label slice by (hub id, distance) — the canonical
 // per-vertex order.
 func sortHubs(hubs []Hub) {

@@ -253,7 +253,15 @@ func (l *Labeling) VerifySampled(g *graph.Graph, pairs int, seed int64) error {
 	if n == 0 {
 		return nil
 	}
-	query := l.verifyQueryFunc()
+	// Unlike VerifyCover, a sampled check touches only `pairs` pairs, so it
+	// never pays to materialize a temporary flat copy of an unfrozen
+	// labeling — for a streamed million-vertex build that copy would double
+	// peak RSS just to check a few thousand pairs. Use the cached flat form
+	// when present and the plain merge otherwise.
+	query := l.Query
+	if f := l.flat; f != nil {
+		query = f.Query
+	}
 	batch := make([][2]graph.NodeID, pairs)
 	for i := range batch {
 		batch[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))}

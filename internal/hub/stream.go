@@ -1,0 +1,393 @@
+package hub
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"hublab/internal/graph"
+)
+
+// Streaming container emission.
+//
+// WriteContainer needs the frozen flat arrays, so persisting a build the
+// ordinary way costs 2× the labeling in RAM: the slice-of-slices form the
+// builder produced plus the flat copy made just to serialize it. For a
+// million-vertex build that doubling is the difference between fitting in
+// a CI-class machine and not. ContainerWriter removes it: label runs are
+// appended one vertex at a time and land directly in the file, and the
+// output is byte-identical to WriteContainer's for every format version —
+// pinned by test — so readers (Load, LoadMmap, hubserve) cannot tell the
+// difference.
+//
+// The container formats are columnar (all offsets, then all hub ids, then
+// all distances, …), so per-vertex emission writes to as many distinct
+// file regions as there are columns. The writer therefore requires an
+// io.WriterAt — a fresh *os.File in practice — and gives each column a
+// region cursor with a small flush buffer. The one global in the format,
+// the trailing crc32 of the whole stream, is recovered at Finish without
+// re-reading anything: each column tracks the crc32 of its own bytes and
+// the trailer combines them with crc32Combine (the GF(2) matrix trick —
+// crc(A‖B) from crc(A), crc(B), len(B)).
+//
+// The Elias-gamma payload (ContainerOptions.Compress) is refused: its
+// variable-width codes admit no per-column cursor. Gamma containers are a
+// decode-path feature for small indexes; million-vertex builds use the
+// raw or aligned layouts, which are the servable ones anyway.
+
+// streamBufBytes is each column's flush buffer; four columns make the
+// writer's total steady-state memory ~1 MB regardless of index size.
+const streamBufBytes = 256 << 10
+
+// columnWriter appends bytes to one contiguous file region, tracking the
+// region's running crc32.
+type columnWriter struct {
+	w    io.WriterAt
+	base int64 // file offset where the column starts
+	n    int64 // bytes appended so far
+	crc  uint32
+	buf  []byte
+}
+
+func (c *columnWriter) appendInt32(x int32) error {
+	if len(c.buf)+4 > streamBufBytes {
+		if err := c.flush(); err != nil {
+			return err
+		}
+	}
+	c.buf = append(c.buf, byte(x), byte(uint32(x)>>8), byte(uint32(x)>>16), byte(uint32(x)>>24))
+	return nil
+}
+
+func (c *columnWriter) flush() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	if _, err := c.w.WriteAt(c.buf, c.base+c.n); err != nil {
+		return err
+	}
+	c.crc = crc32.Update(c.crc, castagnoli, c.buf)
+	c.n += int64(len(c.buf))
+	c.buf = c.buf[:0]
+	return nil
+}
+
+// ContainerWriter emits a container incrementally, one vertex's label run
+// per AppendVertex call, in vertex order. Construct with
+// NewContainerWriter, append exactly n vertices totalling exactly the
+// declared number of entries, then Finish. Any error is sticky: the
+// writer refuses further use, and the output must be discarded.
+type ContainerWriter struct {
+	w       io.WriterAt
+	n       int   // declared vertex count
+	slots   int64 // declared slots (entries + n sentinels)
+	parents bool
+	aligned bool
+
+	next      int   // vertices appended so far
+	pos       int64 // slots consumed so far
+	headerCrc uint32
+	headerLen int64
+	secs      []containerSection // one per column, all versions
+	cols      []columnWriter     // offsets, hubIDs, dists[, parents]
+	err       error
+}
+
+// NewContainerWriter starts a container for n vertices and `entries`
+// label entries (sentinels excluded — the caller knows this total from
+// its build counters). withParents declares the parent column; every
+// AppendVertex call must then supply parents. The header is written
+// immediately. Regions the writer skips are written explicitly, so w can
+// be any io.WriterAt, not only a fresh sparse file.
+func NewContainerWriter(w io.WriterAt, n int, entries int64, withParents bool, opts ContainerOptions) (*ContainerWriter, error) {
+	if opts.Compress {
+		return nil, fmt.Errorf("hub: streaming container emission cannot produce the gamma payload (write a raw or aligned container)")
+	}
+	if n < 0 || entries < 0 {
+		return nil, fmt.Errorf("hub: negative container dimensions n=%d entries=%d", n, entries)
+	}
+	cw := &ContainerWriter{
+		w:       w,
+		n:       n,
+		slots:   entries + int64(n),
+		parents: withParents,
+		aligned: opts.Aligned,
+	}
+	var header []byte
+	if opts.Aligned {
+		cw.secs, _ = containerSections(int64(n), cw.slots, withParents)
+		header = make([]byte, alignedHeaderLen(len(cw.secs)))
+		copy(header[0:8], containerMagic[:])
+		putU16(header[8:], ContainerVersion)
+		flags := uint16(0)
+		if withParents {
+			flags |= containerFlagParents
+		}
+		putU16(header[10:], flags)
+		putU64(header[16:], uint64(n))
+		putU64(header[24:], uint64(cw.slots))
+		putU64(header[32:], uint64(len(cw.secs)))
+		for i, s := range cw.secs {
+			putU64(header[40+16*i:], uint64(s.off))
+			putU64(header[48+16*i:], uint64(s.length))
+		}
+		putU32(header[len(header)-4:], crc32.Checksum(header[:len(header)-4], castagnoli))
+	} else {
+		header = make([]byte, containerHeaderLen)
+		copy(header[0:8], containerMagic[:])
+		version, flags := uint16(1), uint16(0)
+		if withParents {
+			version = containerVersionParents
+			flags |= containerFlagParents
+		}
+		putU16(header[8:], version)
+		putU16(header[10:], flags)
+		putU64(header[16:], uint64(n))
+		putU64(header[24:], uint64(cw.slots))
+		// Versions 1/2 pack the columns back to back after the header.
+		lengths := []int64{4 * (int64(n) + 1), 4 * cw.slots, 4 * cw.slots, 4 * cw.slots}
+		k := 3
+		if withParents {
+			k = 4
+		}
+		pos := int64(containerHeaderLen)
+		cw.secs = make([]containerSection, k)
+		for i := 0; i < k; i++ {
+			cw.secs[i] = containerSection{off: pos, length: lengths[i]}
+			pos += lengths[i]
+		}
+	}
+	cw.headerLen = int64(len(header))
+	cw.headerCrc = crc32.Checksum(header, castagnoli)
+	if _, err := w.WriteAt(header, 0); err != nil {
+		cw.err = err
+		return nil, err
+	}
+	cw.cols = make([]columnWriter, len(cw.secs))
+	for i := range cw.cols {
+		cw.cols[i] = columnWriter{w: w, base: cw.secs[i].off, buf: make([]byte, 0, streamBufBytes)}
+	}
+	return cw, nil
+}
+
+// AppendVertex emits vertex next's label run: hubs sorted strictly by id
+// (the canonical form), with parents[i] the next hop toward hubs[i].Node
+// (-1 for the self entry). parents must be nil exactly when the writer
+// was created without a parent column. The sentinel slot every format
+// version stores per vertex is appended automatically.
+func (cw *ContainerWriter) AppendVertex(hubs []Hub, parents []graph.NodeID) error {
+	if cw.err != nil {
+		return cw.err
+	}
+	fail := func(err error) error { cw.err = err; return err }
+	v := graph.NodeID(cw.next)
+	if cw.next >= cw.n {
+		return fail(fmt.Errorf("hub: AppendVertex beyond the declared %d vertices", cw.n))
+	}
+	if cw.parents != (parents != nil) {
+		return fail(fmt.Errorf("hub: vertex %d parent column mismatch (writer declared withParents=%v)", v, cw.parents))
+	}
+	if parents != nil && len(parents) != len(hubs) {
+		return fail(fmt.Errorf("hub: vertex %d has %d parents for %d hubs", v, len(parents), len(hubs)))
+	}
+	if cw.pos+int64(len(hubs))+1 > cw.slots {
+		return fail(fmt.Errorf("hub: vertex %d overflows the declared %d slots", v, cw.slots))
+	}
+	if err := cw.cols[0].appendInt32(int32(cw.pos)); err != nil {
+		return fail(err)
+	}
+	prev := graph.NodeID(-1)
+	for i, h := range hubs {
+		if h.Node <= prev || int(h.Node) >= cw.n {
+			return fail(fmt.Errorf("hub: vertex %d label not canonical at entry %d (hub %d after %d, n=%d)", v, i, h.Node, prev, cw.n))
+		}
+		prev = h.Node
+		if h.Dist < 0 || h.Dist >= graph.Infinity {
+			return fail(fmt.Errorf("hub: vertex %d hub %d has distance %d outside [0, Infinity)", v, h.Node, h.Dist))
+		}
+		if parents != nil {
+			p := parents[i]
+			if h.Node == v {
+				if p != -1 {
+					return fail(fmt.Errorf("hub: vertex %d self entry has parent %d, want -1", v, p))
+				}
+			} else if p < 0 || int(p) >= cw.n || p == v {
+				return fail(fmt.Errorf("hub: vertex %d hub %d has invalid parent %d", v, h.Node, p))
+			}
+		}
+		if err := cw.cols[1].appendInt32(int32(h.Node)); err != nil {
+			return fail(err)
+		}
+		if err := cw.cols[2].appendInt32(int32(h.Dist)); err != nil {
+			return fail(err)
+		}
+		if parents != nil {
+			if err := cw.cols[3].appendInt32(int32(parents[i])); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	// Sentinel slot, exactly as buildFlat lays it out.
+	if err := cw.cols[1].appendInt32(int32(flatSentinel)); err != nil {
+		return fail(err)
+	}
+	if err := cw.cols[2].appendInt32(int32(graph.Infinity)); err != nil {
+		return fail(err)
+	}
+	if cw.parents {
+		if err := cw.cols[3].appendInt32(-1); err != nil {
+			return fail(err)
+		}
+	}
+	cw.pos += int64(len(hubs)) + 1
+	cw.next++
+	return nil
+}
+
+// Finish writes the closing offset, inter-column padding and the combined
+// crc32 trailer, and returns the container's total byte length. The
+// writer must have received exactly the declared vertices and entries.
+func (cw *ContainerWriter) Finish() (int64, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	fail := func(err error) (int64, error) { cw.err = err; return 0, err }
+	if cw.next != cw.n {
+		return fail(fmt.Errorf("hub: Finish after %d of %d vertices", cw.next, cw.n))
+	}
+	if cw.pos != cw.slots {
+		return fail(fmt.Errorf("hub: labels fill %d of the declared %d slots", cw.pos, cw.slots))
+	}
+	if err := cw.cols[0].appendInt32(int32(cw.pos)); err != nil {
+		return fail(err)
+	}
+	for i := range cw.cols {
+		if err := cw.cols[i].flush(); err != nil {
+			return fail(err)
+		}
+		if cw.cols[i].n != cw.secs[i].length {
+			return fail(fmt.Errorf("hub: column %d wrote %d of %d bytes", i, cw.cols[i].n, cw.secs[i].length))
+		}
+	}
+	// Assemble the stream crc left to right: header, then each column with
+	// its zero padding (aligned layout only; versions 1/2 have none).
+	crc := cw.headerCrc
+	pos := cw.headerLen
+	var pad [containerAlign]byte
+	for i := range cw.cols {
+		if gap := cw.secs[i].off - pos; gap > 0 {
+			if _, err := cw.w.WriteAt(pad[:gap], pos); err != nil {
+				return fail(err)
+			}
+			crc = crc32.Update(crc, castagnoli, pad[:gap])
+		}
+		crc = crc32Combine(crc, cw.cols[i].crc, cw.cols[i].n)
+		pos = cw.secs[i].off + cw.secs[i].length
+	}
+	var trailer [4]byte
+	putU32(trailer[:], crc)
+	if _, err := cw.w.WriteAt(trailer[:], pos); err != nil {
+		return fail(err)
+	}
+	cw.err = fmt.Errorf("hub: container writer already finished")
+	return pos + 4, nil
+}
+
+// WriteContainerStreaming streams l into w per vertex, never building the
+// flat arrays; the bytes are identical to Freeze().WriteContainer(...).
+// The labeling must be canonical (every builder's output is; after manual
+// Adds call Canonicalize first).
+func (l *Labeling) WriteContainerStreaming(w io.WriterAt, opts ContainerOptions) (int64, error) {
+	if !l.canonical() {
+		return 0, fmt.Errorf("hub: streaming emission needs canonical labels (call Canonicalize)")
+	}
+	var entries int64
+	for v := range l.labels {
+		entries += int64(len(l.labels[v]))
+	}
+	cw, err := NewContainerWriter(w, len(l.labels), entries, l.parents != nil, opts)
+	if err != nil {
+		return 0, err
+	}
+	for v := range l.labels {
+		var parents []graph.NodeID
+		if l.parents != nil {
+			parents = l.parents[v]
+			if parents == nil {
+				parents = []graph.NodeID{}
+			}
+		}
+		if err := cw.AppendVertex(l.labels[v], parents); err != nil {
+			return 0, err
+		}
+	}
+	return cw.Finish()
+}
+
+func putU16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+// crc32Combine returns the crc32 (Castagnoli, the container polynomial)
+// of the concatenation A‖B given crc32(A), crc32(B) and len(B), in
+// O(log len(B)) — zlib's crc32_combine ported to the reflected Castagnoli
+// polynomial. It is what lets Finish emit the format's single whole-file
+// checksum from independently tracked per-column checksums without
+// re-reading the file.
+func crc32Combine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1 ^ crc2
+	}
+	var even, odd [32]uint32 // operators for 2^k zero bytes
+	odd[0] = 0x82f63b78      // reflected Castagnoli polynomial
+	row := uint32(1)
+	for i := 1; i < 32; i++ {
+		odd[i] = row
+		row <<= 1
+	}
+	gf2Square(&even, &odd) // even = one zero byte (4 zero bits, twice)
+	gf2Square(&odd, &even)
+	for {
+		gf2Square(&even, &odd)
+		if len2&1 != 0 {
+			crc1 = gf2Times(&even, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+		gf2Square(&odd, &even)
+		if len2&1 != 0 {
+			crc1 = gf2Times(&odd, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+	}
+	return crc1 ^ crc2
+}
+
+// gf2Times multiplies the GF(2) matrix by the bit-vector vec.
+func gf2Times(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; vec >>= 1 {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		i++
+	}
+	return sum
+}
+
+// gf2Square sets dst to mat·mat.
+func gf2Square(dst, mat *[32]uint32) {
+	for i := range dst {
+		dst[i] = gf2Times(mat, mat[i])
+	}
+}

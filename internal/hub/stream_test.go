@@ -1,0 +1,198 @@
+package hub
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"hublab/internal/graph"
+)
+
+// memWriterAt is an in-memory io.WriterAt that grows on demand, for
+// comparing streamed bytes against the reference writer.
+type memWriterAt struct {
+	buf []byte
+}
+
+func (m *memWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	if need := off + int64(len(p)); need > int64(len(m.buf)) {
+		m.buf = append(m.buf, make([]byte, need-int64(len(m.buf)))...)
+	}
+	copy(m.buf[off:], p)
+	return len(p), nil
+}
+
+func TestCrc32Combine(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, split := range []struct{ a, b int }{
+		{0, 0}, {0, 17}, {17, 0}, {1, 1}, {13, 4096}, {4096, 13}, {100000, 3}, {7, 1 << 20},
+	} {
+		data := make([]byte, split.a+split.b)
+		rng.Read(data)
+		want := crc32.Checksum(data, castagnoli)
+		crcA := crc32.Checksum(data[:split.a], castagnoli)
+		crcB := crc32.Checksum(data[split.a:], castagnoli)
+		if got := crc32Combine(crcA, crcB, int64(split.b)); got != want {
+			t.Errorf("combine(%d,%d): got %#x, want %#x", split.a, split.b, got, want)
+		}
+	}
+}
+
+// streamTestLabeling builds a small canonical labeling with a parent
+// column: hub sets are downward-closed prefixes {0..k} so parents can
+// point at hub 0 trivially while staying structurally valid.
+func streamTestLabeling(t *testing.T, n int, withParents bool) *Labeling {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	labels := make([][]Hub, n)
+	parents := make([][]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		k := rng.Intn(5)
+		for h := 0; h <= k && h < n; h++ {
+			d := graph.Weight(rng.Intn(50))
+			p := graph.NodeID(-1)
+			if graph.NodeID(h) != graph.NodeID(v) {
+				d++ // non-self entries get a nonzero distance for variety
+				p = graph.NodeID((v + 1) % n)
+				if p == graph.NodeID(v) {
+					p = graph.NodeID((v + 2) % n)
+				}
+			} else {
+				d = 0
+			}
+			labels[v] = append(labels[v], Hub{Node: graph.NodeID(h), Dist: d})
+			parents[v] = append(parents[v], p)
+		}
+	}
+	if !withParents {
+		l := &Labeling{labels: labels}
+		l.Canonicalize()
+		return l
+	}
+	return AssembleSlicesParents(labels, parents)
+}
+
+func TestContainerWriterByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		n       int
+		parents bool
+		opts    ContainerOptions
+	}{
+		{"v1-no-parents", 40, false, ContainerOptions{}},
+		{"v2-parents", 40, true, ContainerOptions{}},
+		{"v3-aligned", 40, true, ContainerOptions{Aligned: true}},
+		{"v3-aligned-no-parents", 40, false, ContainerOptions{Aligned: true}},
+		{"v1-empty", 0, false, ContainerOptions{}},
+		{"v3-empty", 0, true, ContainerOptions{Aligned: true}},
+		{"v2-large", 3000, true, ContainerOptions{}},
+		{"v3-large", 3000, true, ContainerOptions{Aligned: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l := streamTestLabeling(t, tc.n, tc.parents)
+			var want bytes.Buffer
+			if _, err := l.Freeze().WriteContainer(&want, tc.opts); err != nil {
+				t.Fatalf("WriteContainer: %v", err)
+			}
+			// Stream from a thawed twin so the flat form cannot leak in.
+			l2 := streamTestLabeling(t, tc.n, tc.parents)
+			var got memWriterAt
+			total, err := l2.WriteContainerStreaming(&got, tc.opts)
+			if err != nil {
+				t.Fatalf("WriteContainerStreaming: %v", err)
+			}
+			if total != int64(len(got.buf)) {
+				t.Errorf("reported %d bytes, wrote %d", total, len(got.buf))
+			}
+			if !bytes.Equal(got.buf, want.Bytes()) {
+				t.Fatalf("streamed container differs from reference (%d vs %d bytes)", len(got.buf), want.Len())
+			}
+			// And the bytes round-trip through the ordinary reader.
+			back, err := ReadContainer(bytes.NewReader(got.buf))
+			if err != nil {
+				t.Fatalf("ReadContainer: %v", err)
+			}
+			if back.NumVertices() != tc.n {
+				t.Errorf("round-trip has %d vertices, want %d", back.NumVertices(), tc.n)
+			}
+		})
+	}
+}
+
+func TestContainerWriterRejectsGamma(t *testing.T) {
+	var w memWriterAt
+	if _, err := NewContainerWriter(&w, 1, 0, false, ContainerOptions{Compress: true}); err == nil {
+		t.Fatal("gamma payload accepted by the streaming writer")
+	}
+}
+
+func TestContainerWriterContractErrors(t *testing.T) {
+	mk := func(n int, entries int64, parents bool) *ContainerWriter {
+		t.Helper()
+		cw, err := NewContainerWriter(&memWriterAt{}, n, entries, parents, ContainerOptions{})
+		if err != nil {
+			t.Fatalf("NewContainerWriter: %v", err)
+		}
+		return cw
+	}
+	t.Run("unsorted-label", func(t *testing.T) {
+		cw := mk(3, 2, false)
+		err := cw.AppendVertex([]Hub{{Node: 1, Dist: 1}, {Node: 0, Dist: 1}}, nil)
+		if err == nil {
+			t.Fatal("unsorted label accepted")
+		}
+		if _, err := cw.Finish(); err == nil {
+			t.Fatal("error was not sticky")
+		}
+	})
+	t.Run("too-many-vertices", func(t *testing.T) {
+		cw := mk(1, 1, false)
+		if err := cw.AppendVertex([]Hub{{Node: 0, Dist: 0}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := cw.AppendVertex(nil, nil); err == nil {
+			t.Fatal("appended past the declared vertex count")
+		}
+	})
+	t.Run("short-finish", func(t *testing.T) {
+		cw := mk(2, 3, false)
+		if err := cw.AppendVertex([]Hub{{Node: 0, Dist: 0}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cw.Finish(); err == nil {
+			t.Fatal("Finish accepted a half-filled container")
+		}
+	})
+	t.Run("entries-mismatch", func(t *testing.T) {
+		cw := mk(1, 5, false)
+		if err := cw.AppendVertex([]Hub{{Node: 0, Dist: 0}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cw.Finish(); err == nil {
+			t.Fatal("Finish accepted an under-filled slot count")
+		}
+	})
+	t.Run("parents-mismatch", func(t *testing.T) {
+		cw := mk(1, 1, true)
+		if err := cw.AppendVertex([]Hub{{Node: 0, Dist: 0}}, nil); err == nil {
+			t.Fatal("missing parent column accepted")
+		}
+	})
+	t.Run("bad-parent", func(t *testing.T) {
+		cw := mk(2, 2, true)
+		err := cw.AppendVertex([]Hub{{Node: 0, Dist: 0}, {Node: 1, Dist: 3}}, []graph.NodeID{-1, 5})
+		if err == nil {
+			t.Fatal("out-of-range parent accepted")
+		}
+	})
+	t.Run("double-finish", func(t *testing.T) {
+		cw := mk(0, 0, false)
+		if _, err := cw.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cw.Finish(); err == nil {
+			t.Fatal("second Finish did not error")
+		}
+	})
+}

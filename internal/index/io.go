@@ -65,6 +65,48 @@ func Save(path string, idx Index, opts hub.ContainerOptions) error {
 	return syncDir(filepath.Dir(path))
 }
 
+// SaveStreaming writes a canonical (not necessarily frozen) labeling to
+// path with the same crash-safety discipline as Save — temp sibling,
+// fsync, rename, directory fsync — but through hub.ContainerWriter, so
+// the flat representation is never materialized. This is the save path
+// for million-vertex builds: the process's peak RSS stays at roughly one
+// copy of the labeling instead of two (mutable + flat), and the
+// on-disk bytes are identical to what Save would have produced.
+//
+// Gamma-compressed containers cannot be emitted incrementally (the
+// payload is one bit-packed stream whose length is unknowable up
+// front); callers wanting Compress must Freeze and use Save.
+func SaveStreaming(path string, l *hub.Labeling, opts hub.ContainerOptions) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".hli-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Same chaos seam as Save: a shortwrite trigger on PointContainerWrite
+	// tears the streamed save partway through, and the temp+rename
+	// discipline must still leave path intact.
+	w := faultinject.WrapWriterAt(faultinject.PointContainerWrite, tmp)
+	if _, err := l.WriteContainerStreaming(w, opts); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
 // syncDir fsyncs a directory so a just-renamed entry survives a crash.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)

@@ -9,7 +9,9 @@ import (
 
 	"hublab/internal/faultinject"
 	"hublab/internal/gen"
+	"hublab/internal/graph"
 	"hublab/internal/hub"
+	"hublab/internal/pll"
 )
 
 // saveFixture builds a small hub-labels index worth persisting.
@@ -197,5 +199,130 @@ func TestLoadFaultPoint(t *testing.T) {
 	}
 	if failed != 2 {
 		t.Fatalf("every=2 failed %d of 4 loads", failed)
+	}
+}
+
+// TestSaveStreamingByteIdentical pins that the streaming save path and
+// the freeze-then-Save path put the same bytes on disk — for the plain,
+// parent-carrying, and aligned container formats — and that the
+// streamed file loads through every reader.
+func TestSaveStreamingByteIdentical(t *testing.T) {
+	g, err := gen.RoadLike(9, 8, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := pll.BuildUnfrozen(g, pll.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewHubLabelsFrom(pllBuildFrozen(t, g))
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		opts hub.ContainerOptions
+	}{
+		{"v2", hub.ContainerOptions{}},
+		{"v3", hub.ContainerOptions{Aligned: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := filepath.Join(dir, tc.name+"-ref.hli")
+			got := filepath.Join(dir, tc.name+"-stream.hli")
+			if err := Save(ref, idx, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			if err := SaveStreaming(got, l, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			refB, err := os.ReadFile(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotB, err := os.ReadFile(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(refB, gotB) {
+				t.Fatalf("streamed save differs from Save (%d vs %d bytes)", len(gotB), len(refB))
+			}
+			x, err := Load(got)
+			if err != nil {
+				t.Fatalf("streamed container does not load: %v", err)
+			}
+			if err := VerifySampled(x, g, 200, 3); err != nil {
+				t.Error(err)
+			}
+			if tc.opts.Aligned {
+				m, err := LoadMmap(got)
+				if err != nil {
+					t.Fatalf("streamed aligned container does not mmap: %v", err)
+				}
+				m.Release()
+			}
+		})
+	}
+	// Gamma compression has no streaming form; the error must be
+	// immediate, not a torn file.
+	if err := SaveStreaming(filepath.Join(dir, "gz.hli"), l, hub.ContainerOptions{Compress: true}); err == nil {
+		t.Error("SaveStreaming accepted Compress")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gz.hli")); !os.IsNotExist(err) {
+		t.Error("rejected streaming save left a file behind")
+	}
+}
+
+// pllBuildFrozen rebuilds the same labeling frozen, for the reference
+// Save. (Both builds are deterministic, so the two labelings agree.)
+func pllBuildFrozen(t *testing.T, g *graph.Graph) *hub.Labeling {
+	t.Helper()
+	l, err := pll.Build(g, pll.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestSaveStreamingCrashSafety is TestSaveCrashSafety for the streaming
+// path: a short write mid-stream must leave the previous complete file
+// untouched and no litter behind.
+func TestSaveStreamingCrashSafety(t *testing.T) {
+	g, err := gen.Gnm(150, 280, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := pll.BuildUnfrozen(g, pll.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "labels.hli")
+	if err := SaveStreaming(path, l, hub.ContainerOptions{Aligned: true}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Enable("index.save.write:shortwrite:n=100", 1); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Disable)
+	err = SaveStreaming(path, l, hub.ContainerOptions{Aligned: true})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("short-write streaming save err = %v, want ErrInjected", err)
+	}
+	faultinject.Disable()
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("destination vanished after crashed save: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("crashed streaming save modified the destination")
+	}
+	removed, err := CleanPartials(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Errorf("SaveStreaming leaked temp files: %v", removed)
 	}
 }

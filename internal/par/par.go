@@ -49,8 +49,16 @@ func Workers(n int) int {
 // when fn(i) writes only to position i of shared slices. A panic inside
 // fn is recovered on its worker, the loop drains, and the first panic
 // value is re-raised on the calling goroutine.
-func For(n int, fn func(i int)) {
-	w := Workers(n)
+func For(n int, fn func(i int)) { ForN(Workers(n), n, fn) }
+
+// ForN is For with an explicit worker count instead of the global pool
+// bound. It exists for callers that manage their own per-call parallelism
+// (the batched PLL builder runs concurrent builds with different widths,
+// which a global SetWorkers cannot express). w is clamped to [1, n].
+func ForN(w, n int, fn func(i int)) {
+	if w > n {
+		w = n
+	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)

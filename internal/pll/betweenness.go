@@ -1,0 +1,204 @@
+package pll
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"hublab/internal/graph"
+	"hublab/internal/par"
+	"hublab/internal/pqueue"
+)
+
+// BetweennessSketchOrder ranks vertices by approximate betweenness
+// centrality from ~4·log₂(n) sampled single-source shortest-path trees
+// (Brandes dependency accumulation per sampled source). High-betweenness
+// vertices sit on many shortest paths, which is exactly what makes a good
+// hub — the ordering-approximation results of Angelidakis–Makarychev–
+// Oparin (PAPERS.md) justify spending build time here: order quality is
+// the main lever on label size.
+//
+// The sketch is deterministic for a given (g, seed): sources are drawn
+// once from the seed, per-source dependency passes may run in parallel,
+// but their float64 contributions are always reduced in source order, so
+// the scores — and therefore the order — are bit-stable across runs,
+// worker counts, and machines. Ties break toward lower vertex id.
+//
+// Zero-weight edges are ignored by the dependency DAG (only strict
+// distance progress counts as a predecessor); the sketch stays
+// well-defined and deterministic, just blind to 0-cost hops.
+func BetweennessSketchOrder(g *graph.Graph, seed int64) ([]graph.NodeID, error) {
+	n := g.NumNodes()
+	order := identityOrder(n)
+	if n <= 2 {
+		return order, nil
+	}
+	k := 4 * bits.Len(uint(n))
+	if k < 32 {
+		k = 32
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sources := rng.Perm(n)[:k]
+
+	score := make([]float64, n)
+	wave := par.Workers(k)
+	if wave > 4 {
+		wave = 4 // bound the n-sized per-slot scratch, not the CPU use
+	}
+	slots := make([]*brandesScratch, wave)
+	for i := range slots {
+		slots[i] = newBrandesScratch(n, g.Weighted())
+	}
+	for s := 0; s < k; s += wave {
+		m := wave
+		if s+m > k {
+			m = k - s
+		}
+		par.ForN(wave, m, func(i int) {
+			slots[i].dependencies(g, graph.NodeID(sources[s+i]))
+		})
+		// Reduce in source order, visited vertices only: unvisited slots
+		// hold stale deltas from earlier waves that must not re-enter, and
+		// a fixed summation order keeps the float64 totals deterministic.
+		for i := 0; i < m; i++ {
+			sl := slots[i]
+			for _, v := range sl.order[1:] { // order[0] is the source itself
+				score[v] += sl.delta[v]
+			}
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return score[order[i]] > score[order[j]] })
+	return order, nil
+}
+
+// brandesScratch is one wave slot's reusable SSSP + dependency state.
+type brandesScratch struct {
+	dist    []graph.Weight
+	sigma   []float64
+	delta   []float64
+	order   []graph.NodeID // settle order; doubles as the BFS queue
+	touched []graph.NodeID // weighted only: every vertex with finite dist
+	heap    *pqueue.IndexedHeap
+}
+
+func newBrandesScratch(n int, weighted bool) *brandesScratch {
+	bs := &brandesScratch{
+		dist:  make([]graph.Weight, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+	}
+	for i := range bs.dist {
+		bs.dist[i] = graph.Infinity
+	}
+	if weighted {
+		bs.heap = pqueue.New(n)
+		bs.touched = make([]graph.NodeID, 0, 64)
+	}
+	return bs
+}
+
+// dependencies runs one Brandes pass from s: after it returns, delta[v]
+// holds s's dependency on every v in order[1:] (and order lists the
+// settled vertices, source first). Scratch arrays are restored for reuse.
+func (bs *brandesScratch) dependencies(g *graph.Graph, s graph.NodeID) {
+	if bs.heap != nil {
+		bs.forwardWeighted(g, s)
+	} else {
+		bs.forwardUnweighted(g, s)
+	}
+	for _, v := range bs.order {
+		bs.delta[v] = 0
+	}
+	// Accumulate dependencies leaf-first. u is a DAG predecessor of v when
+	// the edge closes a shortest path with strict progress; σ can be 0 for
+	// vertices reachable only through ignored zero-weight hops — skip them.
+	for i := len(bs.order) - 1; i >= 1; i-- {
+		v := bs.order[i]
+		if bs.sigma[v] <= 0 {
+			continue
+		}
+		dv := bs.dist[v]
+		coef := (1 + bs.delta[v]) / bs.sigma[v]
+		ws := g.NeighborWeights(v)
+		for j, u := range g.Neighbors(v) {
+			w := graph.Weight(1)
+			if ws != nil {
+				w = ws[j]
+			}
+			if bs.dist[u] < dv && bs.dist[u]+w == dv {
+				bs.delta[u] += bs.sigma[u] * coef
+			}
+		}
+	}
+	if bs.heap != nil {
+		for _, v := range bs.touched {
+			bs.dist[v] = graph.Infinity
+		}
+	} else {
+		for _, v := range bs.order {
+			bs.dist[v] = graph.Infinity
+		}
+	}
+}
+
+func (bs *brandesScratch) forwardUnweighted(g *graph.Graph, s graph.NodeID) {
+	bs.dist[s] = 0
+	bs.sigma[s] = 1
+	bs.order = append(bs.order[:0], s)
+	for qi := 0; qi < len(bs.order); qi++ {
+		u := bs.order[qi]
+		du := bs.dist[u]
+		for _, v := range g.Neighbors(u) {
+			if bs.dist[v] == graph.Infinity {
+				bs.dist[v] = du + 1
+				bs.sigma[v] = 0
+				bs.order = append(bs.order, v)
+			}
+			if bs.dist[v] == du+1 {
+				bs.sigma[v] += bs.sigma[u]
+			}
+		}
+	}
+}
+
+func (bs *brandesScratch) forwardWeighted(g *graph.Graph, s graph.NodeID) {
+	bs.dist[s] = 0
+	bs.sigma[s] = 1
+	bs.order = bs.order[:0]
+	bs.touched = append(bs.touched[:0], s)
+	h := bs.heap
+	h.Reset()
+	h.Push(s, 0)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if du > bs.dist[u] {
+			continue
+		}
+		bs.order = append(bs.order, u)
+		ws := g.NeighborWeights(u)
+		for j, v := range g.Neighbors(u) {
+			w := graph.Weight(1)
+			if ws != nil {
+				w = ws[j]
+			}
+			if w <= 0 {
+				continue // zero-weight hops are outside the sketch's DAG
+			}
+			nd := du + w
+			switch {
+			case nd < bs.dist[v]:
+				if bs.dist[v] == graph.Infinity {
+					bs.touched = append(bs.touched, v)
+				}
+				bs.dist[v] = nd
+				bs.sigma[v] = bs.sigma[u]
+				h.Push(v, nd)
+			case nd == bs.dist[v]:
+				bs.sigma[v] += bs.sigma[u]
+			}
+		}
+	}
+}

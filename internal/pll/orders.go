@@ -1,8 +1,11 @@
 package pll
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
+	"sync"
 
 	"hublab/internal/graph"
 )
@@ -86,4 +89,92 @@ func RoadHighwayOrder(rows, cols, period int) ([]graph.NodeID, error) {
 	}
 	sort.SliceStable(order, func(i, j int) bool { return rank(order[i]) > rank(order[j]) })
 	return order, nil
+}
+
+// ---- pluggable order registry ----
+
+// OrderFunc computes a landmark order for g: a permutation of V, highest
+// priority first. seed drives any sampling or shuffling the order does;
+// the same (g, seed) must always produce the same order, since the whole
+// build pipeline (and its byte-equality guarantees) is deterministic.
+type OrderFunc func(g *graph.Graph, seed int64) ([]graph.NodeID, error)
+
+// ErrUnknownOrder reports an OrderByName lookup that matched nothing.
+var ErrUnknownOrder = errors.New("pll: unknown order name")
+
+var (
+	orderMu       sync.RWMutex
+	orderRegistry = map[string]OrderFunc{}
+)
+
+// RegisterOrder adds a named order to the registry (hubgen -order exposes
+// every registered name). Built-ins: "degree", "random", "natural",
+// "betweenness". Registering an empty name or a duplicate errors.
+func RegisterOrder(name string, f OrderFunc) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("pll: RegisterOrder needs a name and a function")
+	}
+	orderMu.Lock()
+	defer orderMu.Unlock()
+	if _, dup := orderRegistry[name]; dup {
+		return fmt.Errorf("pll: order %q already registered", name)
+	}
+	orderRegistry[name] = f
+	return nil
+}
+
+// OrderNames returns the registered order names, sorted.
+func OrderNames() []string {
+	orderMu.RLock()
+	defer orderMu.RUnlock()
+	names := make([]string, 0, len(orderRegistry))
+	for name := range orderRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OrderByName computes the named registered order for g.
+func OrderByName(g *graph.Graph, name string, seed int64) ([]graph.NodeID, error) {
+	orderMu.RLock()
+	f := orderRegistry[name]
+	orderMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownOrder, name, OrderNames())
+	}
+	return f(g, seed)
+}
+
+func identityOrder(n int) []graph.NodeID {
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	return order
+}
+
+func init() {
+	must := func(name string, f OrderFunc) {
+		if err := RegisterOrder(name, f); err != nil {
+			panic(err)
+		}
+	}
+	must("degree", func(g *graph.Graph, _ int64) ([]graph.NodeID, error) {
+		order := identityOrder(g.NumNodes())
+		sort.SliceStable(order, func(i, j int) bool {
+			return g.Degree(order[i]) > g.Degree(order[j])
+		})
+		return order, nil
+	})
+	must("natural", func(g *graph.Graph, _ int64) ([]graph.NodeID, error) {
+		return identityOrder(g.NumNodes()), nil
+	})
+	must("random", func(g *graph.Graph, seed int64) ([]graph.NodeID, error) {
+		order := identityOrder(g.NumNodes())
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		return order, nil
+	})
+	must("betweenness", BetweennessSketchOrder)
 }

@@ -5,6 +5,12 @@
 // weighted graphs) adds the root as a hub exactly where the current labels
 // cannot already certify the distance. The result is always a valid
 // shortest-path cover, and is minimal with respect to the chosen order.
+//
+// Two builders produce that cover: a sequential reference (this file) and a
+// batched shared-memory parallel engine (parallel.go) that processes roots
+// in rank-ordered batches and commits them in rank order, so its output is
+// byte-identical to the sequential one for the same order — see DESIGN.md
+// ("Parallel build: the commit-order invariant") for why.
 package pll
 
 import (
@@ -15,6 +21,7 @@ import (
 
 	"hublab/internal/graph"
 	"hublab/internal/hub"
+	"hublab/internal/par"
 	"hublab/internal/pqueue"
 )
 
@@ -32,27 +39,72 @@ const (
 	OrderNatural
 )
 
+// Progress carries running counters of a build, delivered to
+// Options.Progress so hour-scale builds are observable.
+type Progress struct {
+	RootsDone int   // roots fully committed so far
+	Roots     int   // total roots (= vertices)
+	Labels    int64 // label entries committed so far
+}
+
 // Options configures Build.
 type Options struct {
 	// Order selects the built-in processing order (default OrderDegree).
 	Order Order
-	// Seed drives OrderRandom.
+	// Seed drives OrderRandom and the seeded registry orders (OrderBy).
 	Seed int64
-	// Custom, when non-nil, overrides Order: vertices are processed in the
-	// given sequence, which must be a permutation of V.
+	// OrderBy, when non-empty, selects a registered order by name
+	// (RegisterOrder; built-ins: "degree", "random", "natural",
+	// "betweenness") and takes precedence over Order.
+	OrderBy string
+	// Custom, when non-nil, overrides Order and OrderBy: vertices are
+	// processed in the given sequence, which must be a permutation of V.
 	Custom []graph.NodeID
+	// Workers selects build parallelism: 0 uses the par pool default
+	// (NumCPU, or the par.SetWorkers override), 1 forces the sequential
+	// reference builder, ≥2 runs the batched parallel engine. Both
+	// builders produce byte-identical labelings for the same order.
+	Workers int
+	// Progress, when non-nil, is called synchronously from the build loop
+	// (after each committed batch / every few hundred sequential roots)
+	// with running counters. Callers rate-limit display themselves.
+	Progress func(Progress)
 }
 
-// Build computes a pruned landmark labeling of g.
+// Build computes a pruned landmark labeling of g, frozen to the flat query
+// form.
 func Build(g *graph.Graph, opts Options) (*hub.Labeling, error) {
+	l, err := BuildUnfrozen(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	l.Freeze()
+	return l, nil
+}
+
+// BuildUnfrozen is Build without the final Freeze: the result is canonical
+// (sorted, deduplicated labels with a parallel parent column) but carries
+// no flat copy. It exists for the streaming emission path — hubgen builds
+// a million-vertex labeling, streams it into a container with
+// index.SaveStreaming, and never holds 2× the labeling in RAM. Freeze the
+// result (or reload the container) to get the fast in-RAM query form.
+func BuildUnfrozen(g *graph.Graph, opts Options) (*hub.Labeling, error) {
 	order, err := buildOrder(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	if g.Weighted() {
-		return buildWeighted(g, order), nil
+	w := opts.Workers
+	if w == 0 {
+		w = par.Workers(g.NumNodes())
 	}
-	return buildUnweighted(g, order), nil
+	var labels [][]hub.Hub
+	var parents [][]graph.NodeID
+	if w <= 1 {
+		labels, parents = buildSequential(g, order, opts.Progress)
+	} else {
+		labels, parents = buildParallel(g, order, w, opts.Progress)
+	}
+	return hub.AssembleSlicesParents(labels, parents), nil
 }
 
 func buildOrder(g *graph.Graph, opts Options) ([]graph.NodeID, error) {
@@ -69,6 +121,9 @@ func buildOrder(g *graph.Graph, opts Options) ([]graph.NodeID, error) {
 			seen[v] = true
 		}
 		return opts.Custom, nil
+	}
+	if opts.OrderBy != "" {
+		return OrderByName(g, opts.OrderBy, opts.Seed)
 	}
 	order := make([]graph.NodeID, n)
 	for i := range order {
@@ -88,18 +143,31 @@ func buildOrder(g *graph.Graph, opts Options) ([]graph.NodeID, error) {
 	return order, nil
 }
 
+// progressStride is how often (in roots) the sequential builder reports
+// progress; the parallel engine reports per batch instead.
+const progressStride = 256
+
+func buildSequential(g *graph.Graph, order []graph.NodeID, progress func(Progress)) ([][]hub.Hub, [][]graph.NodeID) {
+	if g.Weighted() {
+		return buildWeighted(g, order, progress)
+	}
+	return buildUnweighted(g, order, progress)
+}
+
 // buildUnweighted runs one pruned BFS per root in priority order.
 //
 // Labels are accumulated in root-rank order; since pruning only ever
 // consults labels of already-ranked roots, a temporary array holding the
 // current root's distances makes each prune check O(|label|).
 //
-// The BFS tree predecessor of each labeled vertex is recorded as the
-// entry's parent (the next hop toward the root). Every vertex on the tree
-// path from the root to a labeled vertex is itself labeled — a pruned
-// vertex never expands, so it can never be an interior tree vertex — which
-// is what makes the recorded hops unpackable into full paths.
-func buildUnweighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
+// Parents are assigned after each root's search by the order-canonical
+// rule (canonicalPred), not from the BFS tree: the tree predecessor
+// depends on traversal order, and the parent column must be a pure
+// function of (graph, order) so the parallel engine can reproduce it
+// exactly. Every vertex on a shortest path from the root to a labeled
+// vertex is itself labeled — pruning it would prune the endpoint too —
+// which is what makes the recorded hops unpackable into full paths.
+func buildUnweighted(g *graph.Graph, order []graph.NodeID, progress func(Progress)) ([][]hub.Hub, [][]graph.NodeID) {
 	n := g.NumNodes()
 	labels := make([][]hub.Hub, n)
 	parents := make([][]graph.NodeID, n)
@@ -111,58 +179,60 @@ func buildUnweighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 	for i := range dist {
 		dist[i] = graph.Infinity
 	}
-	pred := make([]graph.NodeID, n)
+	stamp := make([]int32, n) // stamp[v] == rank ⇔ v labeled by this root
+	for i := range stamp {
+		stamp[i] = -1
+	}
 	queue := make([]graph.NodeID, 0, n)
 	visited := make([]graph.NodeID, 0, n)
+	labeled := make([]graph.NodeID, 0, n)
+	var total int64
 
-	for _, root := range order {
+	for rank, root := range order {
 		// Load the root's current label into rootDist for O(1) lookups.
 		for _, h := range labels[root] {
 			rootDist[h.Node] = h.Dist
 		}
 		dist[root] = 0
-		pred[root] = -1
 		queue = append(queue[:0], root)
 		visited = append(visited[:0], root)
+		labeled = labeled[:0]
 		for qi := 0; qi < len(queue); qi++ {
 			u := queue[qi]
 			du := dist[u]
-			// Prune: can existing labels already certify dist(root,u) ≤ du?
-			pruned := false
-			for _, h := range labels[u] {
-				if rd := rootDist[h.Node]; rd < graph.Infinity && rd+h.Dist <= du {
-					pruned = true
-					break
-				}
-			}
-			if pruned {
+			if certified(labels[u], rootDist, du) {
 				continue
 			}
 			labels[u] = append(labels[u], hub.Hub{Node: root, Dist: du})
-			parents[u] = append(parents[u], pred[u])
+			stamp[u] = int32(rank)
+			labeled = append(labeled, u)
 			for _, v := range g.Neighbors(u) {
 				if dist[v] == graph.Infinity {
 					dist[v] = du + 1
-					pred[v] = u
 					queue = append(queue, v)
 					visited = append(visited, v)
 				}
 			}
 		}
+		appendCanonicalPreds(g, root, labeled, dist, stamp, int32(rank), parents)
+		total += int64(len(labeled))
 		for _, h := range labels[root] {
 			rootDist[h.Node] = graph.Infinity
 		}
 		for _, v := range visited {
 			dist[v] = graph.Infinity
 		}
+		if progress != nil && (rank%progressStride == progressStride-1 || rank == n-1) {
+			progress(Progress{RootsDone: rank + 1, Roots: n, Labels: total})
+		}
 	}
-	return hub.FromSlicesParents(labels, parents)
+	return labels, parents
 }
 
 // buildWeighted is the pruned Dijkstra variant (handles any non-negative
 // weights, including the 0-weight auxiliary edges used by degree
 // reduction).
-func buildWeighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
+func buildWeighted(g *graph.Graph, order []graph.NodeID, progress func(Progress)) ([][]hub.Hub, [][]graph.NodeID) {
 	n := g.NumNodes()
 	labels := make([][]hub.Hub, n)
 	parents := make([][]graph.NodeID, n)
@@ -174,36 +244,35 @@ func buildWeighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 	for i := range dist {
 		dist[i] = graph.Infinity
 	}
-	pred := make([]graph.NodeID, n)
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
 	h := pqueue.New(n)
 	visited := make([]graph.NodeID, 0, n)
+	labeled := make([]graph.NodeID, 0, n)
+	var total int64
 
-	for _, root := range order {
+	for rank, root := range order {
 		for _, e := range labels[root] {
 			rootDist[e.Node] = e.Dist
 		}
 		dist[root] = 0
-		pred[root] = -1
 		h.Reset()
 		h.Push(root, 0)
 		visited = append(visited[:0], root)
+		labeled = labeled[:0]
 		for h.Len() > 0 {
 			u, du := h.Pop()
 			if du > dist[u] {
 				continue
 			}
-			pruned := false
-			for _, e := range labels[u] {
-				if rd := rootDist[e.Node]; rd < graph.Infinity && rd+e.Dist <= du {
-					pruned = true
-					break
-				}
-			}
-			if pruned {
+			if certified(labels[u], rootDist, du) {
 				continue
 			}
 			labels[u] = append(labels[u], hub.Hub{Node: root, Dist: du})
-			parents[u] = append(parents[u], pred[u])
+			stamp[u] = int32(rank)
+			labeled = append(labeled, u)
 			ws := g.NeighborWeights(u)
 			for i, v := range g.Neighbors(u) {
 				w := graph.Weight(1)
@@ -215,17 +284,21 @@ func buildWeighted(g *graph.Graph, order []graph.NodeID) *hub.Labeling {
 						visited = append(visited, v)
 					}
 					dist[v] = nd
-					pred[v] = u
 					h.Push(v, nd)
 				}
 			}
 		}
+		appendCanonicalPreds(g, root, labeled, dist, stamp, int32(rank), parents)
+		total += int64(len(labeled))
 		for _, e := range labels[root] {
 			rootDist[e.Node] = graph.Infinity
 		}
 		for _, v := range visited {
 			dist[v] = graph.Infinity
 		}
+		if progress != nil && (rank%progressStride == progressStride-1 || rank == n-1) {
+			progress(Progress{RootsDone: rank + 1, Roots: n, Labels: total})
+		}
 	}
-	return hub.FromSlicesParents(labels, parents)
+	return labels, parents
 }

@@ -9,11 +9,11 @@
 # default regex covers the query-path benchmarks plus the container-load
 # (E17), serving-throughput (E18), admission-control (E19),
 # path/eccentricity (E20), zero-copy mmap (E21) and disabled-faultinject
-# overhead (E22) series.
+# overhead (E22) and build-pipeline (E23) series.
 set -eu
 
 PR="${1:?usage: bench_json.sh PR_NUMBER [BENCH_REGEX]}"
-REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*|BenchmarkE21.*|BenchmarkE22.*}"
+REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*|BenchmarkE21.*|BenchmarkE22.*|BenchmarkE23.*}"
 OUT="BENCH_pr${PR}.json"
 cd "$(dirname "$0")/.."
 

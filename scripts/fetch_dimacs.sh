@@ -1,0 +1,66 @@
+#!/bin/sh
+# fetch_dimacs.sh [dataset ...]
+#
+# Downloads 9th DIMACS Implementation Challenge road instances into the
+# hublab dataset cache (internal/dataset reads them from there; the Go
+# code itself never touches the network). With no arguments, fetches
+# rome99 and the smallest USA instance (usa-ny). Idempotent: instances
+# already in the cache are kept, so re-running after a partial fetch
+# only downloads what is missing.
+#
+# Cache dir: $HUBLAB_DATA_DIR, else the user cache dir the Go side uses
+# (~/.cache/hublab/datasets on Linux).
+set -eu
+
+BASE_URL="${DIMACS_MIRROR:-http://www.diag.uniroma1.it/challenge9/data}"
+DIR="${HUBLAB_DATA_DIR:-${XDG_CACHE_HOME:-$HOME/.cache}/hublab/datasets}"
+mkdir -p "$DIR"
+
+# name -> remote path (relative to BASE_URL) and local filename; the
+# names must match internal/dataset's catalog.
+remote_path() {
+	case "$1" in
+	rome99) echo "rome/rome99.gr" ;;
+	usa-ny) echo "USA-road-d/USA-road-d.NY.gr.gz" ;;
+	usa-bay) echo "USA-road-d/USA-road-d.BAY.gr.gz" ;;
+	usa-col) echo "USA-road-d/USA-road-d.COL.gr.gz" ;;
+	usa-fla) echo "USA-road-d/USA-road-d.FLA.gr.gz" ;;
+	*)
+		echo "fetch_dimacs.sh: unknown dataset '$1' (have: rome99 usa-ny usa-bay usa-col usa-fla)" >&2
+		exit 2
+		;;
+	esac
+}
+
+fetch() {
+	rel="$(remote_path "$1")"
+	file="$(basename "$rel")"
+	dest="$DIR/$file"
+	plain="${dest%.gz}"
+	if [ -s "$dest" ] || [ -s "$plain" ]; then
+		echo "have  $1 ($dest)"
+		return 0
+	fi
+	echo "fetch $1 <- $BASE_URL/$rel"
+	# Download to a temp sibling and rename, so a killed fetch never
+	# leaves a truncated file where internal/dataset would read it.
+	tmp="$dest.part"
+	if command -v curl >/dev/null 2>&1; then
+		curl -fL --retry 3 -o "$tmp" "$BASE_URL/$rel"
+	elif command -v wget >/dev/null 2>&1; then
+		wget -O "$tmp" "$BASE_URL/$rel"
+	else
+		echo "fetch_dimacs.sh: need curl or wget" >&2
+		exit 3
+	fi
+	mv "$tmp" "$dest"
+	echo "ok    $1 ($dest)"
+}
+
+if [ $# -eq 0 ]; then
+	set -- rome99 usa-ny
+fi
+for name in "$@"; do
+	fetch "$name"
+done
+echo "cache: $DIR"
