@@ -1107,3 +1107,67 @@ func BenchmarkE23SaveFreeze(b *testing.B) {
 		}
 	}
 }
+
+// --- E24: compressed serving — the merge over both representations ------
+
+var benchE24 struct {
+	once sync.Once
+	c    *hub.CompactLabeling
+}
+
+// benchCompact10k converts (once) the shared Gnm(10k) labeling to the
+// compact representation.
+func benchCompact10k(b *testing.B) (*hub.CompactLabeling, [][2]graph.NodeID) {
+	flat, _, pairs := benchQueryGraph10k(b)
+	benchE24.once.Do(func() { benchE24.c = hub.CompactFromFlat(flat) })
+	return benchE24.c, pairs
+}
+
+// BenchmarkE24QueryExpanded10k is the expanded merge on the shared E24
+// workload — the baseline the compact premium is read against (the same
+// kernel as BenchmarkE10QueryFlat10k, repeated here so the two E24 rows
+// come from one run).
+func BenchmarkE24QueryExpanded10k(b *testing.B) {
+	flat, _, pairs := benchQueryGraph10k(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		flat.Query(p[0], p[1])
+	}
+}
+
+// BenchmarkE24QueryCompact10k is the rank-sorted delta-decoding merge
+// over the compact representation — the latency a compressed serving
+// deployment pays per distance query (must stay 0 allocs/op and within
+// the E24 acceptance bar of 1.5x the expanded kernel).
+func BenchmarkE24QueryCompact10k(b *testing.B) {
+	c, pairs := benchCompact10k(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		c.Query(p[0], p[1])
+	}
+}
+
+// BenchmarkE24PathCompact10k prices full path unpacking over the compact
+// representation (parent escapes into the int32 column, hop walk per
+// vertex).
+func BenchmarkE24PathCompact10k(b *testing.B) {
+	c, pairs := benchCompact10k(b)
+	if !c.HasParents() {
+		b.Skip("no parents on the shared labeling")
+	}
+	buf := make([]graph.NodeID, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		var err error
+		buf, err = c.AppendPath(buf[:0], p[0], p[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +41,7 @@ import (
 
 	"hublab/internal/approx"
 	"hublab/internal/cover"
+	"hublab/internal/dataset"
 	"hublab/internal/dlabel"
 	"hublab/internal/faultinject"
 	"hublab/internal/flowctl"
@@ -95,6 +97,7 @@ var experiments = []struct {
 	{"E21", "Serving: zero-copy mmap open, first-touch cost, shared memory", e21},
 	{"E22", "Robustness: chaos storm — injected panics, corrupt reloads, exact accounting", e22},
 	{"E23", "Build pipeline: parallel PLL throughput, byte-equality, streaming memory", e23},
+	{"E24", "Serving: compressed v4 vs expanded v3 — resident bytes and query latency", e24},
 }
 
 // cacheDir, when non-empty, holds persisted index containers so repeated
@@ -1807,5 +1810,184 @@ func e23() error {
 	}
 	fmt.Println("\n(byte-equality of parallel vs sequential containers is also pinned")
 	fmt.Println(" per-family by TestParallelBuildMatchesSequential under -race)")
+	return nil
+}
+
+// e24: compressed queryable serving (PR 8). The same labeling is saved
+// two ways — aligned v3 (expanded int32 columns) and compact v4
+// (frequency-ranked hub remap, delta-narrowed byte distances) — and
+// both are opened via mmap, compared on what a deployment pays:
+// container bytes on disk, the resident bytes a distance-only workload
+// touches (the arithmetic QueryBytes figure, corroborated by counting
+// soft page faults over a full query sweep on a fresh mapping — parent
+// pages are only ever faulted in by path queries), and merge-query
+// latency. Answers must be byte-identical across representations for
+// distances, unpacked paths, and eccentricities on every sampled pair.
+//
+// On the shared Gnm(10k) instance the experiment asserts the PR's
+// acceptance bar rather than just reporting it: the compact form must
+// hold ≥3× fewer distance-resident bytes at ≤1.5× merge latency.
+func e24() error {
+	type inst struct {
+		name string
+		idx  *index.HubLabels
+		gate bool
+	}
+	var insts []inst
+	shared, _, _, err := servingIndex()
+	if err != nil {
+		return err
+	}
+	insts = append(insts, inst{"gnm10k", shared, true})
+	roadG, err := gen.RoadLike(100, 100, 8, 23)
+	if err != nil {
+		return err
+	}
+	roadL, err := pll.Build(roadG, pll.Options{})
+	if err != nil {
+		return err
+	}
+	insts = append(insts, inst{"road100x100", index.NewHubLabelsFrom(roadL), false})
+	switch g, err := dataset.Load("rome99"); {
+	case errors.Is(err, dataset.ErrNotFetched):
+		fmt.Println("  (DIMACS rome99 skipped: not fetched — run scripts/fetch_dimacs.sh rome99)")
+	case err != nil:
+		return err
+	default:
+		l, err := pll.Build(g, pll.Options{})
+		if err != nil {
+			return err
+		}
+		insts = append(insts, inst{"rome99", index.NewHubLabelsFrom(l), false})
+	}
+
+	dir, err := os.MkdirTemp("", "hublab-e24-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	page := int64(os.Getpagesize())
+
+	// sweepFaults opens a fresh mapping of path and counts the soft page
+	// faults one full distance sweep provokes — the kernel's own account
+	// of the resident working set, at page granularity.
+	sweepFaults := func(path string) (int64, error) {
+		x, err := index.LoadMmap(path)
+		if err != nil {
+			return 0, err
+		}
+		defer x.Release()
+		n := x.Meta().Vertices
+		f0 := minorFaults()
+		for v := 0; v < n; v++ {
+			x.Distance(graph.NodeID(v), graph.NodeID((v+7)%n))
+		}
+		return minorFaults() - f0, nil
+	}
+
+	fmt.Println("  instance      rep        container-B   query-resident-B   sweep-fault-MB   ns/query")
+	for _, tc := range insts {
+		n := tc.idx.Meta().Vertices
+		rng := rand.New(rand.NewSource(24))
+		pairs := make([][2]graph.NodeID, 20000)
+		for i := range pairs {
+			pairs[i] = [2]graph.NodeID{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))}
+		}
+		doors := []struct {
+			rep  string
+			opts hub.ContainerOptions
+		}{
+			{hub.RepExpanded, hub.ContainerOptions{Aligned: true}},
+			{hub.RepCompact, hub.ContainerOptions{Compact: true}},
+		}
+		var (
+			views    [2]*index.HubLabels
+			faults   [2]int64
+			resident [2]float64
+			latency  [2]float64
+		)
+		for d, door := range doors {
+			path := filepath.Join(dir, tc.name+"-"+door.rep+".hli")
+			if err := index.Save(path, tc.idx, door.opts); err != nil {
+				return err
+			}
+			x, err := index.LoadMmap(path)
+			if err != nil {
+				return err
+			}
+			defer x.Release()
+			if got := x.Meta().Representation; got != door.rep {
+				return fmt.Errorf("e24: %s opened as %q, want %q", path, got, door.rep)
+			}
+			// Byte-identical answers vs the build-side index: distances,
+			// unpacked paths, eccentricities.
+			for k := 0; k < 4000; k++ {
+				u, v := pairs[k][0], pairs[k][1]
+				if a, b := tc.idx.Distance(u, v), x.Distance(u, v); a != b {
+					return fmt.Errorf("e24: %s/%s distance(%d,%d)=%d, want %d", tc.name, door.rep, u, v, b, a)
+				}
+			}
+			for k := 0; k < 300; k++ {
+				u, v := pairs[k][0], pairs[k][1]
+				want, werr := tc.idx.AppendPath(nil, u, v)
+				got, gerr := x.AppendPath(nil, u, v)
+				if (werr == nil) != (gerr == nil) || !slices.Equal(want, got) {
+					return fmt.Errorf("e24: %s/%s path(%d,%d) diverges from build-side index", tc.name, door.rep, u, v)
+				}
+			}
+			for v := 0; v < 8 && v < n; v++ {
+				a, aerr := tc.idx.Eccentricity(graph.NodeID(v))
+				b, berr := x.Eccentricity(graph.NodeID(v))
+				if a != b || (aerr == nil) != (berr == nil) {
+					return fmt.Errorf("e24: %s/%s ecc(%d)=%d, want %d", tc.name, door.rep, v, b, a)
+				}
+			}
+			if faults[d], err = sweepFaults(path); err != nil {
+				return err
+			}
+			views[d] = x
+			resident[d] = float64(x.Store().QueryBytes())
+			latency[d] = math.MaxFloat64
+			// Warm the mapping so the timed rounds below measure the merge,
+			// not first-touch faults.
+			for _, p := range pairs {
+				x.Distance(p[0], p[1])
+			}
+		}
+		// Time the two doors interleaved — alternating rounds, minimum per
+		// door — so a machine-load swing lands on both representations
+		// instead of skewing whichever happened to run during it.
+		for round := 0; round < 5; round++ {
+			for d := range doors {
+				x := views[d]
+				s := time.Now()
+				for _, p := range pairs {
+					x.Distance(p[0], p[1])
+				}
+				if ns := float64(time.Since(s).Nanoseconds()) / float64(len(pairs)); ns < latency[d] {
+					latency[d] = ns
+				}
+			}
+		}
+		for d, door := range doors {
+			fmt.Printf("  %-12s  %-9s %12d  %17.0f  %15.2f  %9.0f\n",
+				tc.name, door.rep, views[d].Meta().ContainerBytes, resident[d],
+				float64(faults[d]*page)/(1<<20), latency[d])
+		}
+		rr := resident[0] / resident[1]
+		lr := latency[1] / latency[0]
+		fmt.Printf("  %-12s  compact: %.2fx smaller distance-resident set, %.2fx merge latency\n",
+			tc.name, rr, lr)
+		if tc.gate {
+			if rr < 3 {
+				return fmt.Errorf("e24: %s resident reduction %.2fx below the 3x acceptance bar", tc.name, rr)
+			}
+			if lr > 1.5 {
+				return fmt.Errorf("e24: %s merge latency %.2fx above the 1.5x acceptance bar", tc.name, lr)
+			}
+		}
+	}
+	fmt.Println("  (query-resident-B = QueryBytes: the columns a distance merge reads; the")
+	fmt.Println("   fault column is the kernel's page-granular count over a fresh mapping)")
 	return nil
 }

@@ -16,8 +16,15 @@
 //	hubgen -gen reg3 -n 300 -algo thm41 -d 3
 //	hubgen -gen road -n 400 -algo pll -order betweenness
 //	hubgen -gen rmat -n 1048576 -algo pll -workers 8 -progress -out labels.hli -aligned
+//	hubgen -gen gnm -n 100000 -algo pll -out labels.hli -v4
 //	hubgen -in USA-road-d.NY.gr.gz -algo pll
 //	hubgen -dataset rome99 -algo pll -out rome.hli
+//
+// Exactly one container payload style may be given with -out: -compress
+// (Elias-gamma, smallest file, decode-only load), -aligned (expanded v3,
+// zero-copy mmap serving) or -v4/-compact (compressed v4, zero-copy mmap
+// serving at a fraction of the resident bytes). They do not compose, and
+// hubgen rejects conflicting combinations before building anything.
 package main
 
 import (
@@ -65,8 +72,28 @@ func run() error {
 	out := flag.String("out", "", "write the labeling as an index container (.hli)")
 	compress := flag.Bool("compress", false, "use the Elias-gamma container payload for -out")
 	aligned := flag.Bool("aligned", false, "write the 64-byte-aligned v3 container for -out (servable zero-copy: hubserve -mmap)")
+	v4 := flag.Bool("v4", false, "write the compact v4 container for -out (queryable compressed, servable zero-copy: hubserve -mmap)")
+	compact := flag.Bool("compact", false, "alias for -v4")
 	graphOut := flag.String("graphout", "", "write the graph in the text format hubgen/hubserve read")
 	flag.Parse()
+	useV4 := *v4 || *compact
+
+	// Container payload options are validated before any build work: a
+	// conflicting combination must fail in milliseconds, not after an
+	// hour-long labeling construction. Exactly one payload style can be
+	// chosen: -compress (gamma bits, decode-only), -aligned (expanded v3,
+	// mmap-servable) or -v4 (compact, mmap-servable); each is a complete
+	// layout and none of them compose. All three require -out.
+	switch {
+	case *compress && *aligned:
+		return fmt.Errorf("hubgen: -compress and -aligned are mutually exclusive (gamma bits cannot be pointed at zero-copy)")
+	case *compress && useV4:
+		return fmt.Errorf("hubgen: -compress and -v4 are mutually exclusive (the compact layout has its own encoding)")
+	case *aligned && useV4:
+		return fmt.Errorf("hubgen: -aligned and -v4 are mutually exclusive (each is a complete mmap-servable layout)")
+	case (*compress || *aligned || useV4) && *out == "":
+		return fmt.Errorf("hubgen: -compress/-aligned/-v4 shape the container written by -out; pass -out")
+	}
 
 	if spec, on, err := faultinject.EnableFromEnv(); err != nil {
 		return fmt.Errorf("hubgen: %w", err)
@@ -178,7 +205,7 @@ func run() error {
 		fmt.Printf("wrote graph: %s\n", *graphOut)
 	}
 	if *out != "" {
-		copts := hub.ContainerOptions{Compress: *compress, Aligned: *aligned}
+		copts := hub.ContainerOptions{Compress: *compress, Aligned: *aligned, Compact: useV4}
 		if streaming {
 			err = index.SaveStreaming(*out, labeling, copts)
 		} else {
@@ -192,11 +219,11 @@ func run() error {
 			return err
 		}
 		serveHint := fmt.Sprintf("hubserve -index %s", *out)
-		if *aligned {
+		if *aligned || useV4 {
 			serveHint = fmt.Sprintf("hubserve -mmap -index %s", *out)
 		}
-		fmt.Printf("wrote container: %s (%d bytes, compress=%v aligned=%v streamed=%v; serve with: %s)\n",
-			*out, info.Size(), *compress, *aligned, streaming, serveHint)
+		fmt.Printf("wrote container: %s (%d bytes, compress=%v aligned=%v v4=%v streamed=%v; serve with: %s)\n",
+			*out, info.Size(), *compress, *aligned, useV4, streaming, serveHint)
 	}
 	return nil
 }

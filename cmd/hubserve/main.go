@@ -737,11 +737,14 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := srv.Stats()
+		meta := srv.Meta()
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"shards":%d,"served":%d,"batches":%d,"rejected":%d,"shed":%d,"hot_clients":%d,`+
-			`"panics":%d,"faulted":%d,"timeouts":%d,"health":%q,"health_reason":%q}`+"\n",
+			`"panics":%d,"faulted":%d,"timeouts":%d,"health":%q,"health_reason":%q,`+
+			`"representation":%q,"resident_bytes":%d,"container_bytes":%d}`+"\n",
 			st.Shards, st.Served, st.Batches, st.Rejected, st.Shed, st.PerClientHot,
-			st.Panics, st.Faulted, st.Timeouts, st.Health.String(), st.HealthReason)
+			st.Panics, st.Faulted, st.Timeouts, st.Health.String(), st.HealthReason,
+			meta.Representation, meta.ResidentBytes, meta.ContainerBytes)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Overload is by design NOT a health signal — a saturated server

@@ -108,6 +108,18 @@ type (
 	// with sentinel-terminated per-vertex runs. Queries on it allocate
 	// nothing and it is safe for concurrent use.
 	FlatLabeling = hub.FlatLabeling
+	// CompactLabeling is the queryable compressed labeling: hubs are
+	// frequency-rank remapped and stored as delta-encoded byte columns
+	// with escape slots, and every query decodes on the fly — answers
+	// are byte-identical to FlatLabeling's at a fraction of the resident
+	// bytes. Obtain one with CompactFromFlat, ReadContainerStore or
+	// OpenStoreMmap (compact v4 containers).
+	CompactLabeling = hub.CompactLabeling
+	// LabelStore is the representation-generic query interface both
+	// FlatLabeling and CompactLabeling satisfy: distance merges, batched
+	// queries, witness paths, eccentricity support, space accounting and
+	// container serialization, independent of how labels are stored.
+	LabelStore = hub.LabelStore
 	// Hub is one label entry.
 	Hub = hub.Hub
 	// PLLOptions configures BuildPLL (landmark order, worker count,
@@ -449,19 +461,39 @@ func WriteContainer(w io.Writer, f *FlatLabeling, opts ContainerOptions) (int64,
 // panic.
 func ReadContainer(r io.Reader) (*FlatLabeling, error) { return hub.ReadContainer(r) }
 
+// ReadContainerStore parses an index container into its native
+// representation: version 1–3 files come back as a *FlatLabeling,
+// version-4 (compact) files as a *CompactLabeling serving compressed.
+func ReadContainerStore(r io.Reader) (LabelStore, error) { return hub.ReadContainerStore(r) }
+
 // OpenContainerMmap opens an aligned (v3) container file as a
 // view-backed FlatLabeling whose columns alias the memory-mapped file.
-// See hub.OpenContainerMmap for the lifetime (Release) and validation
-// contract.
+// Compact (v4) files are decoded and expanded; use OpenStoreMmap to
+// serve them compressed. See hub.OpenContainerMmap for the lifetime
+// (Release) and validation contract.
 func OpenContainerMmap(path string) (*FlatLabeling, error) { return hub.OpenContainerMmap(path) }
+
+// OpenStoreMmap opens a container file in its native representation,
+// zero-copy where the format allows: aligned (v3) files map as expanded
+// views, compact (v4) files map as compressed views that decode per
+// query — the resident working set is then the compressed bytes
+// actually touched. See hub.OpenStoreMmap for the lifetime (Release)
+// and validation contract.
+func OpenStoreMmap(path string) (LabelStore, error) { return hub.OpenStoreMmap(path) }
+
+// CompactFromFlat re-encodes a frozen labeling into the compressed
+// queryable representation (identical answers, smaller resident set).
+func CompactFromFlat(f *FlatLabeling) *CompactLabeling { return hub.CompactFromFlat(f) }
 
 // NewServer starts the sharded query service over idx. Close it to
 // release the workers; Swap replaces the served index under live traffic.
 func NewServer(idx Index, opts ServerOptions) *Server { return server.New(idx, opts) }
 
-// NewEccIndex inverts a frozen labeling into the farthest-first per-hub
-// lists that answer exact eccentricity and farthest-vertex queries.
-func NewEccIndex(f *FlatLabeling) *EccIndex { return hub.NewEccIndex(f) }
+// NewEccIndex inverts a frozen label store — expanded or compact —
+// into the farthest-first per-hub lists that answer exact eccentricity
+// and farthest-vertex queries. The index is identical across
+// representations of the same labeling.
+func NewEccIndex(s LabelStore) *EccIndex { return hub.NewEccIndex(s) }
 
 // EstimateHighwayDimension returns greedy shortest-path-cover sizes per
 // doubling scale (the ADF+16 highway-dimension proxy).

@@ -1,0 +1,266 @@
+package hub
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"hublab/internal/graph"
+)
+
+// compactBytes serializes f as a version-4 compact container.
+func compactBytes(t testing.TB, f *FlatLabeling) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := f.WriteContainer(&buf, ContainerOptions{Compact: true}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// refreshHeaderCRCV4 recomputes the version-4 header checksum (the
+// extended header carries an extra escape-count word v3 does not, so the
+// checksum sits 8 bytes later).
+func refreshHeaderCRCV4(data []byte) []byte {
+	k := int(binary.LittleEndian.Uint64(data[32:40]))
+	he := 32 + 8 + 8 + 16*k + 4
+	binary.LittleEndian.PutUint32(data[he-4:he], crc32.Checksum(data[:he-4], castagnoli))
+	return data
+}
+
+// v4SectionOff reads section i's file offset from the table.
+func v4SectionOff(data []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(data[48+16*i:])
+}
+
+// escFixture is a labeling whose compact form exercises every v4
+// feature a forger can aim at: hub-rank escapes, the wide distance
+// column, and a populated shared escape array.
+func escFixture(t testing.TB) *FlatLabeling {
+	t.Helper()
+	f := randomFlat(t, 700, 12, 1<<27, 2)
+	c := CompactFromFlat(f)
+	if !c.wide || len(c.esc) == 0 {
+		t.Fatal("escape fixture lost its escapes")
+	}
+	return f
+}
+
+// TestOpenStoreMmapHostileV4 drives the v4 quick open through the
+// hostile-writer corpus: every structural forgery — even with all
+// checksums recomputed by the attacker — must be refused by the O(n)
+// validation, at the bytes door, the decode door and the file door
+// alike.
+func TestOpenStoreMmapHostileV4(t *testing.T) {
+	base := compactBytes(t, escFixture(t))
+	for _, tc := range []struct {
+		name   string
+		tamper func([]byte) []byte
+	}{
+		{"truncated-mid-column", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"truncated-trailer", func(d []byte) []byte { return d[:len(d)-2] }},
+		{"trailing-garbage (mmap-only)", func(d []byte) []byte { return refreshCRC(append(d, 0, 0, 0, 0)) }},
+		{"wrong-section-count", func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[32:40], 9)
+			return refreshCRC(d)
+		}},
+		{"forged-escape-count", func(d []byte) []byte {
+			escs := binary.LittleEndian.Uint64(d[40:48])
+			binary.LittleEndian.PutUint64(d[40:48], escs+1)
+			return refreshCRC(refreshHeaderCRCV4(d))
+		}},
+		{"huge-escape-count", func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[40:48], 1<<40)
+			return refreshCRC(refreshHeaderCRCV4(d))
+		}},
+		{"misaligned-section-offset", func(d []byte) []byte {
+			off := v4SectionOff(d, 0)
+			binary.LittleEndian.PutUint64(d[48:56], off+4)
+			return refreshCRC(refreshHeaderCRCV4(d))
+		}},
+		{"wide-flag-flip", func(d []byte) []byte {
+			// Narrowing the declared stride halves the expected distance
+			// column; the CRC-consistent table no longer matches the layout.
+			d[10] ^= byte(containerFlagWideDist)
+			return refreshCRC(refreshHeaderCRCV4(d))
+		}},
+		{"stale-header-crc", func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[48+16:], 1<<20) // remap offset, checksum left stale
+			return refreshCRC(d)
+		}},
+		{"remap-duplicate", func(d []byte) []byte {
+			// Two ranks mapping to one hub: not a permutation, so inverse
+			// lookups would alias. buildInv must refuse it at the quick open.
+			off := v4SectionOff(d, 1)
+			copy(d[off:off+4], d[off+4:off+8])
+			return refreshCRC(d)
+		}},
+		{"remap-out-of-range", func(d []byte) []byte {
+			off := v4SectionOff(d, 1)
+			binary.LittleEndian.PutUint32(d[off:], 1<<20)
+			return refreshCRC(d)
+		}},
+		{"escape-csr-overrun", func(d []byte) []byte {
+			// escOff[n] beyond the escape array: cursors would start out of
+			// range. The quick cover check must catch it.
+			n := binary.LittleEndian.Uint64(d[16:24])
+			off := v4SectionOff(d, 2) + 4*n
+			v := binary.LittleEndian.Uint32(d[off:])
+			binary.LittleEndian.PutUint32(d[off:], v+4)
+			return refreshCRC(d)
+		}},
+		{"broken-entry-csr", func(d []byte) []byte {
+			off := v4SectionOff(d, 0)
+			binary.LittleEndian.PutUint32(d[off+4:], 1<<30)
+			return refreshCRC(d)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.tamper(append([]byte(nil), base...))
+			if s, err := openStoreBytes(data); err == nil {
+				t.Fatalf("hostile v4 container accepted (%s)", s.Representation())
+			}
+			if !strings.Contains(tc.name, "mmap-only") {
+				if _, err := ReadContainerStore(bytes.NewReader(data)); err == nil {
+					t.Fatal("ReadContainerStore accepted the hostile container")
+				}
+			}
+			if _, err := OpenStoreMmap(writeTemp(t, data)); err == nil {
+				t.Fatal("OpenStoreMmap accepted the hostile container")
+			}
+		})
+	}
+}
+
+// TestCompactQuickValidationTrustModel pins the v4 trust delta: interior
+// forgeries the O(n) open knowingly does not audit — out-of-range
+// escape slots, garbage delta bytes, forged parent hops — are accepted
+// as views, every query path stays panic-free and in-bounds on them,
+// and both the full audit and the decoding reader (which always audits)
+// reject the same bytes.
+func TestCompactQuickValidationTrustModel(t *testing.T) {
+	probe := func(t *testing.T, s LabelStore) {
+		t.Helper()
+		n := graph.NodeID(s.NumVertices())
+		probes := [][2]graph.NodeID{{0, 0}, {0, n - 1}, {n - 1, 0}, {n / 2, n / 2}, {1, n / 2}}
+		out := make([]graph.Weight, len(probes))
+		for _, p := range probes {
+			s.Query(p[0], p[1])
+			s.QueryVia(p[0], p[1])
+			s.Label(p[0], nil, nil)
+			if s.HasParents() {
+				if _, err := s.AppendPath(nil, p[0], p[1]); err != nil {
+					_ = err // forged hops must error, not panic
+				}
+			}
+		}
+		s.QueryBatch(probes, out)
+		e := NewEccIndex(s)
+		e.Eccentricity(0)
+		e.EccentricityUpperBound(n - 1)
+	}
+	open := func(t *testing.T, data []byte) *CompactLabeling {
+		t.Helper()
+		if _, err := ReadContainerStore(bytes.NewReader(data)); err == nil {
+			t.Fatal("decoding reader accepted the forged interior")
+		}
+		s, err := openStoreBytes(data)
+		if err != nil {
+			t.Fatalf("quick open rejected a structurally valid forgery: %v", err)
+		}
+		c := s.(*CompactLabeling)
+		if err := c.Validate(); err == nil {
+			t.Fatal("full audit accepted the forged interior")
+		}
+		return c
+	}
+
+	t.Run("escape-slot-out-of-range", func(t *testing.T) {
+		data := compactBytes(t, escFixture(t))
+		off := v4SectionOff(data, 5)
+		// -1 is invalid whichever kind of slot this is: as a rank it is
+		// out of range, as a raw distance it is negative.
+		binary.LittleEndian.PutUint32(data[off:], 0xFFFFFFFF)
+		refreshCRC(data)
+		c := open(t, data)
+		defer c.Release()
+		probe(t, c)
+	})
+
+	t.Run("delta-garbage-stale-trailer", func(t *testing.T) {
+		// Accidental bit rot with the trailer left stale: the decoder's
+		// whole-file checksum rejects it; the quick open knowingly accepts
+		// (a flipped delta can even still audit clean) and must stay safe.
+		data := compactBytes(t, escFixture(t))
+		off := v4SectionOff(data, 4)
+		data[off+17] ^= 0xFF
+		if _, err := ReadContainerStore(bytes.NewReader(data)); err == nil {
+			t.Fatal("decoder accepted a stale trailer checksum")
+		}
+		s, err := openStoreBytes(data)
+		if err != nil {
+			t.Fatalf("quick open rejected a stale-trailer delta flip: %v", err)
+		}
+		defer s.Release()
+		probe(t, s)
+	})
+
+	t.Run("forged-parent-hop", func(t *testing.T) {
+		_, star := parentFixture(t)
+		data := compactBytes(t, star)
+		off := v4SectionOff(data, 6)
+		binary.LittleEndian.PutUint32(data[off:], 1<<20)
+		refreshCRC(data)
+		c := open(t, data)
+		defer c.Release()
+		if !c.HasParents() {
+			t.Fatal("parent column lost")
+		}
+		probe(t, c)
+	})
+}
+
+// hostileV4Seeds is the version-4 face of the fuzz corpus: intact
+// compact containers plus every forgery class of the hostile tests, so
+// the fuzzers start from inputs that already reach the deep v4 paths.
+func hostileV4Seeds(tb testing.TB) [][]byte {
+	_, star := parentFixture(tb)
+	base := compactBytes(tb, escFixture(tb))
+	tamper := func(fn func([]byte) []byte) []byte {
+		return fn(append([]byte(nil), base...))
+	}
+	return [][]byte{
+		base,
+		compactBytes(tb, star),
+		compactBytes(tb, NewLabeling(0).Freeze()),
+		compactBytes(tb, randomFlat(tb, 40, 6, 30, 4)),
+		tamper(func(d []byte) []byte { return d[:len(d)/2] }),
+		tamper(func(d []byte) []byte {
+			off := v4SectionOff(d, 1)
+			copy(d[off:off+4], d[off+4:off+8]) // remap duplicate
+			return refreshCRC(d)
+		}),
+		tamper(func(d []byte) []byte {
+			off := v4SectionOff(d, 5)
+			binary.LittleEndian.PutUint32(d[off:], 1<<20) // escape slot out of range
+			return refreshCRC(d)
+		}),
+		tamper(func(d []byte) []byte {
+			n := binary.LittleEndian.Uint64(d[16:24])
+			off := v4SectionOff(d, 2) + 4*n
+			binary.LittleEndian.PutUint32(d[off:], 1<<30) // escape CSR overrun
+			return refreshCRC(d)
+		}),
+		tamper(func(d []byte) []byte {
+			d[10] ^= byte(containerFlagWideDist)
+			return refreshCRC(refreshHeaderCRCV4(d))
+		}),
+		tamper(func(d []byte) []byte {
+			escs := binary.LittleEndian.Uint64(d[40:48])
+			binary.LittleEndian.PutUint64(d[40:48], escs+1)
+			return refreshCRC(refreshHeaderCRCV4(d))
+		}),
+	}
+}

@@ -37,6 +37,22 @@ import (
 //	  entries and sentinel slots), raw even in gamma containers: parents
 //	  are near-incompressible neighbor ids, and keeping them columnar
 //	  preserves the near-memcpy load
+//	payload (version 4 — the compact, mmap-servable layout)
+//	  [32:40)  section count (6, or 7 with the parent flag)
+//	  [40:48)  escape-slot count
+//	  then the same {offset, length} table + header crc32 scheme as
+//	  version 3, over the compact columns in fixed order: offsets
+//	  (n+1)·int32 (entry CSR, no sentinels), remap n·int32 (rank →
+//	  original hub id), escOff (n+1)·int32 (escape CSR), hubDelta
+//	  entries·u8, distDelta entries·u8 (or ·u16LE with flag bit 2),
+//	  esc escapes·int32, and optionally parents entries·int32. Same
+//	  64-byte alignment, zero padding and canonical-layout rejection
+//	  discipline as version 3; see CompactLabeling for the encoding and
+//	  OpenContainerMmap for the quick-open trust model (identical to v3
+//	  plus one O(n) addition: the remap table is verified to be a
+//	  permutation before any query runs). Flag bit 0 (gamma) and the
+//	  version-3 layout are both invalid in version 4 — the compact
+//	  payload composes with nothing else.
 //	payload (version 3 — the aligned, mmap-servable layout)
 //	  [32:40)  section count (3, or 4 with the parent flag)
 //	  then per section {file offset u64, byte length u64}: the table for
@@ -73,23 +89,32 @@ import (
 // regardless of host order.
 
 // ContainerVersion is the newest container format version this package
-// writes and reads. Version 1 (no parent column) and version 2 files
-// remain readable; version 3 is only written on request (Aligned).
-const ContainerVersion = 3
+// writes and reads. Version 1 (no parent column), version 2 and
+// version 3 (Aligned) files remain readable; version 4 is only written
+// on request (Compact).
+const ContainerVersion = 4
 
 // containerMagic identifies hub-labeling index containers.
 var containerMagic = [8]byte{'H', 'U', 'B', 'L', 'A', 'B', 'I', 'X'}
 
 const (
-	containerHeaderLen    = 32
-	containerFlagGamma    = 1 << 0
-	containerFlagParents  = 1 << 1
+	containerHeaderLen   = 32
+	containerFlagGamma   = 1 << 0
+	containerFlagParents = 1 << 1
+	// containerFlagWideDist (version 4 only) widens the distance column
+	// to two-byte codes; set deterministically by the plan when narrow
+	// distance escapes would exceed 1 in 8 entries.
+	containerFlagWideDist = 1 << 2
 	containerKnownFlagsV1 = containerFlagGamma
 	containerKnownFlagsV2 = containerFlagGamma | containerFlagParents
 	containerKnownFlagsV3 = containerFlagParents
+	containerKnownFlagsV4 = containerFlagParents | containerFlagWideDist
 	// containerVersionParents is the version emitted for labelings with a
 	// parent column when no alignment is requested.
 	containerVersionParents = 2
+	// containerVersionAligned is the version of the expanded aligned
+	// layout (written on Aligned; version 4 is the compact layout).
+	containerVersionAligned = 3
 	// containerAlign is the file-offset alignment of every version-3
 	// section: one cache line, which page-aligned mappings carry through
 	// to memory addresses.
@@ -114,7 +139,18 @@ type ContainerOptions struct {
 	// OpenContainerMmap. Without it the writer emits the historical
 	// version 1/2 stream byte-identically. Incompatible with Compress.
 	Aligned bool
+	// Compact selects the version-4 layout: the queryable compressed
+	// representation (frequency-ranked remap, narrow delta columns with
+	// escape slots), 64-byte aligned and servable zero-copy like
+	// version 3 at roughly a quarter of the resident bytes. Incompatible
+	// with both Compress and Aligned — the compact payload IS the
+	// compression and IS aligned.
+	Compact bool
 }
+
+// errCompactCompose rejects option sets that try to combine the compact
+// payload with another payload transform.
+var errCompactCompose = errors.New("hub: the compact (v4) container composes with no other payload option (drop -compress/-aligned)")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -127,6 +163,19 @@ func (f *FlatLabeling) WriteTo(w io.Writer) (int64, error) {
 // WriteContainer serializes f in the container format described above and
 // returns the number of bytes written.
 func (f *FlatLabeling) WriteContainer(w io.Writer, opts ContainerOptions) (int64, error) {
+	if opts.Compact {
+		if opts.Compress || opts.Aligned {
+			return 0, errCompactCompose
+		}
+		// Re-encoding rank-maps every hub id, so the labels must be
+		// structurally valid — always true for built or decoded labelings,
+		// not guaranteed for quick-validated mmap views. The audit is
+		// O(entries), the same order as the write itself.
+		if err := f.validate(); err != nil {
+			return 0, fmt.Errorf("hub: compact re-encode: %w", err)
+		}
+		return CompactFromFlat(f).writeV4(w)
+	}
 	if opts.Aligned {
 		if opts.Compress {
 			return 0, fmt.Errorf("hub: aligned containers cannot use the gamma payload")
@@ -246,7 +295,7 @@ func (f *FlatLabeling) writeAligned(w io.Writer) (int64, error) {
 	secs, _ := containerSections(n, slots, f.parents != nil)
 	hdr := make([]byte, alignedHeaderLen(len(secs)))
 	copy(hdr[0:8], containerMagic[:])
-	binary.LittleEndian.PutUint16(hdr[8:10], ContainerVersion)
+	binary.LittleEndian.PutUint16(hdr[8:10], containerVersionAligned)
 	flags := uint16(0)
 	if f.parents != nil {
 		flags |= containerFlagParents
@@ -327,10 +376,35 @@ func (f *FlatLabeling) ReadFrom(r io.Reader) (int64, error) {
 
 // ReadContainer parses a container produced by WriteContainer and
 // returns the loaded FlatLabeling. See (*FlatLabeling).ReadFrom for the
-// error contract; ReadContainer never panics on hostile input.
+// error contract; ReadContainer never panics on hostile input. A
+// version-4 container is decoded, fully validated, and then expanded —
+// use ReadContainerStore to keep the compact representation.
 func ReadContainer(r io.Reader) (*FlatLabeling, error) {
 	f, _, err := readContainer(r)
 	return f, err
+}
+
+// ReadContainerStore parses a container in whatever representation it
+// was written: version 1–3 files load as a *FlatLabeling, version-4
+// files as a *CompactLabeling. Every load is fully validated (structure
+// and trailer checksum); errors wrap ErrContainer and parsing never
+// panics on hostile input.
+func ReadContainerStore(r io.Reader) (LabelStore, error) {
+	s, _, err := readContainerStore(r)
+	return s, err
+}
+
+// readContainer is readContainerStore pinned to the expanded
+// representation: compact loads are expanded before returning.
+func readContainer(r io.Reader) (*FlatLabeling, int64, error) {
+	s, read, err := readContainerStore(r)
+	if err != nil {
+		return nil, read, err
+	}
+	if c, ok := s.(*CompactLabeling); ok {
+		return c.Expand(), read, nil
+	}
+	return s.(*FlatLabeling), read, nil
 }
 
 // parseContainerHeader validates the fixed 32-byte header shared by all
@@ -350,7 +424,9 @@ func parseContainerHeader(header []byte) (version, flags uint16, n64, slots64 ui
 	}
 	known := uint16(containerKnownFlagsV1)
 	switch {
-	case version >= 3:
+	case version >= 4:
+		known = containerKnownFlagsV4
+	case version == 3:
 		known = containerKnownFlagsV3
 	case version == 2:
 		known = containerKnownFlagsV2
@@ -364,13 +440,20 @@ func parseContainerHeader(header []byte) (version, flags uint16, n64, slots64 ui
 	}
 	n64 = binary.LittleEndian.Uint64(header[16:24])
 	slots64 = binary.LittleEndian.Uint64(header[24:32])
-	if slots64 > math.MaxInt32 || n64 > slots64 {
+	if version >= 4 {
+		// Version 4 stores entries (no sentinels) in the slots field, so
+		// slots < n is legal (empty labels cost nothing); n itself must
+		// leave room for int32 vertex ids.
+		if slots64 > math.MaxInt32 || n64 >= math.MaxInt32 {
+			return 0, 0, 0, 0, fmt.Errorf("%w: implausible sizes n=%d entries=%d", ErrContainer, n64, slots64)
+		}
+	} else if slots64 > math.MaxInt32 || n64 > slots64 {
 		return 0, 0, 0, 0, fmt.Errorf("%w: implausible sizes n=%d slots=%d", ErrContainer, n64, slots64)
 	}
 	return version, flags, n64, slots64, nil
 }
 
-func readContainer(r io.Reader) (*FlatLabeling, int64, error) {
+func readContainerStore(r io.Reader) (LabelStore, int64, error) {
 	var header [containerHeaderLen]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return nil, 0, fmt.Errorf("%w: header: %v", ErrContainer, err)
@@ -386,7 +469,28 @@ func readContainer(r io.Reader) (*FlatLabeling, int64, error) {
 	crc.Write(header[:])
 	body := io.TeeReader(r, crc)
 
-	if version >= 3 {
+	if version >= 4 {
+		c, sread, err := readCompactSections(header[:], body, n, slots,
+			flags&containerFlagWideDist != 0, flags&containerFlagParents != 0)
+		read += sread
+		if err != nil {
+			return nil, read, err
+		}
+		var trailer [4]byte
+		if _, err := io.ReadFull(r, trailer[:]); err != nil {
+			return nil, read, fmt.Errorf("%w: checksum: %v", ErrContainer, err)
+		}
+		read += 4
+		if got, want := crc.Sum32(), binary.LittleEndian.Uint32(trailer[:]); got != want {
+			return nil, read, fmt.Errorf("%w: checksum mismatch (computed %#x, stored %#x)", ErrContainer, got, want)
+		}
+		if err := c.Validate(); err != nil {
+			return nil, read, fmt.Errorf("%w: %v", ErrContainer, err)
+		}
+		return c, read, nil
+	}
+
+	if version == 3 {
 		f, sread, err := readAlignedSections(header[:], body, n, slots, flags&containerFlagParents != 0)
 		read += sread
 		if err != nil {
@@ -559,6 +663,215 @@ func readAlignedSections(header []byte, body io.Reader, n, slots int, parents bo
 		f.parents = cols[3]
 	}
 	return f, read, nil
+}
+
+// compactHeaderLen is the byte length of the version-4 extended header:
+// base header, section count, escape-slot count, k table entries, header
+// crc32.
+func compactHeaderLen(k int) int64 {
+	return containerHeaderLen + 8 + 8 + 16*int64(k) + 4
+}
+
+// containerSectionsV4 computes the canonical version-4 layout for n
+// vertices, entries label entries and escs escape slots: each column's
+// file offset and byte length in fixed order (offsets, remap, escOff,
+// hubDelta, distDelta, esc, then parents when present). Alignment rules
+// are exactly version 3's.
+func containerSectionsV4(n, entries, escs int64, wide, parents bool) (secs []containerSection, end int64) {
+	k := 6
+	if parents {
+		k = 7
+	}
+	stride := int64(1)
+	if wide {
+		stride = 2
+	}
+	lengths := []int64{4 * (n + 1), 4 * n, 4 * (n + 1), entries, stride * entries, 4 * escs, 4 * entries}[:k]
+	pos := compactHeaderLen(k)
+	secs = make([]containerSection, k)
+	for i, l := range lengths {
+		pos = alignUp(pos)
+		secs[i] = containerSection{off: pos, length: l}
+		pos += l
+	}
+	return secs, pos
+}
+
+// buildCompactHeader assembles the version-4 extended header, shared by
+// the in-memory writer (writeV4) and the streaming writer so the two
+// emit byte-identical files.
+func buildCompactHeader(n, entries, escs int64, wide, parents bool, secs []containerSection) []byte {
+	hdr := make([]byte, compactHeaderLen(len(secs)))
+	copy(hdr[0:8], containerMagic[:])
+	binary.LittleEndian.PutUint16(hdr[8:10], ContainerVersion)
+	flags := uint16(0)
+	if parents {
+		flags |= containerFlagParents
+	}
+	if wide {
+		flags |= containerFlagWideDist
+	}
+	binary.LittleEndian.PutUint16(hdr[10:12], flags)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(n))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(entries))
+	binary.LittleEndian.PutUint64(hdr[32:40], uint64(len(secs)))
+	binary.LittleEndian.PutUint64(hdr[40:48], uint64(escs))
+	for i, s := range secs {
+		binary.LittleEndian.PutUint64(hdr[48+16*i:], uint64(s.off))
+		binary.LittleEndian.PutUint64(hdr[56+16*i:], uint64(s.length))
+	}
+	binary.LittleEndian.PutUint32(hdr[len(hdr)-4:], crc32.Checksum(hdr[:len(hdr)-4], castagnoli))
+	return hdr
+}
+
+// validateCompactExt validates a version-4 extended header — section
+// count, escape-slot plausibility, canonical table, header checksum —
+// given the 32-byte base header and the compactHeaderLen-32 bytes after
+// it. Shared by the streaming reader and the mmap opener. The escape
+// count is bounded by construction (at most one hub and one distance
+// escape per entry) before it sizes anything.
+func validateCompactExt(base, ext []byte, n, entries int64, wide, parents bool) ([]containerSection, int64, error) {
+	esc64 := binary.LittleEndian.Uint64(ext[8:16])
+	if esc64 > 2*uint64(entries) {
+		return nil, 0, fmt.Errorf("%w: %d escape slots for %d entries", ErrContainer, esc64, entries)
+	}
+	want, _ := containerSectionsV4(n, entries, int64(esc64), wide, parents)
+	if got := binary.LittleEndian.Uint64(ext[0:8]); got != uint64(len(want)) {
+		return nil, 0, fmt.Errorf("%w: %d sections, layout has %d", ErrContainer, got, len(want))
+	}
+	hcrc := crc32.Checksum(base, castagnoli)
+	hcrc = crc32.Update(hcrc, castagnoli, ext[:len(ext)-4])
+	if stored := binary.LittleEndian.Uint32(ext[len(ext)-4:]); hcrc != stored {
+		return nil, 0, fmt.Errorf("%w: header checksum mismatch (computed %#x, stored %#x)", ErrContainer, hcrc, stored)
+	}
+	secs, err := parseSectionTable(ext[16:len(ext)-4], want)
+	return secs, int64(esc64), err
+}
+
+// readCompactSections streams the version-4 payload into an owned
+// CompactLabeling; structural validation and the trailer checksum stay
+// with the caller.
+func readCompactSections(header []byte, body io.Reader, n, entries int, wide, parents bool) (*CompactLabeling, int64, error) {
+	k := 6
+	if parents {
+		k = 7
+	}
+	var read int64
+	ext, err := readExact(body, compactHeaderLen(k)-containerHeaderLen)
+	read += int64(len(ext))
+	if err != nil {
+		return nil, read, fmt.Errorf("%w: extended header: %v", ErrContainer, err)
+	}
+	secs, _, err := validateCompactExt(header, ext, int64(n), int64(entries), wide, parents)
+	if err != nil {
+		return nil, read, err
+	}
+
+	c := &CompactLabeling{n: n, wide: wide}
+	pos := compactHeaderLen(len(secs))
+	for i, s := range secs {
+		pad, err := readExact(body, s.off-pos)
+		read += int64(len(pad))
+		if err != nil {
+			return nil, read, fmt.Errorf("%w: section %d padding: %v", ErrContainer, i, err)
+		}
+		for _, b := range pad {
+			if b != 0 {
+				return nil, read, fmt.Errorf("%w: nonzero padding before section %d", ErrContainer, i)
+			}
+		}
+		if s.length > math.MaxInt-containerHeaderLen {
+			return nil, read, fmt.Errorf("%w: %d-byte section exceeds address space", ErrContainer, s.length)
+		}
+		raw, err := readExact(body, s.length)
+		read += int64(len(raw))
+		if err != nil {
+			return nil, read, fmt.Errorf("%w: section %d: %v", ErrContainer, i, err)
+		}
+		switch i {
+		case 0:
+			c.offsets = getInt32s(raw, 0, n+1)
+		case 1:
+			c.remap = getInt32s(raw, 0, n)
+		case 2:
+			c.escOff = getInt32s(raw, 0, n+1)
+		case 3:
+			c.hubDelta = raw
+		case 4:
+			c.distDelta = raw
+		case 5:
+			c.esc = getInt32s(raw, 0, int(s.length/4))
+		case 6:
+			c.parents = getInt32s(raw, 0, entries)
+		}
+		pos = s.off + s.length
+	}
+	if err := c.buildInv(); err != nil {
+		return nil, read, fmt.Errorf("%w: %v", ErrContainer, err)
+	}
+	return c, read, nil
+}
+
+// writeV4 emits the version-4 compact container.
+func (c *CompactLabeling) writeV4(w io.Writer) (int64, error) {
+	n, entries, escs := int64(c.n), int64(len(c.hubDelta)), int64(len(c.esc))
+	secs, _ := containerSectionsV4(n, entries, escs, c.wide, c.parents != nil)
+	hdr := buildCompactHeader(n, entries, escs, c.wide, c.parents != nil, secs)
+
+	crc := crc32.New(castagnoli)
+	cw := &countingWriter{w: w}
+	body := io.MultiWriter(cw, crc)
+	if _, err := body.Write(hdr); err != nil {
+		return cw.n, err
+	}
+	var pad [containerAlign]byte
+	pos := int64(len(hdr))
+	secIdx := 0
+	enter := func() (containerSection, []byte) {
+		s := secs[secIdx]
+		secIdx++
+		gap := pad[:s.off-pos]
+		pos = s.off + s.length
+		return s, gap
+	}
+	writeInts := func(col []int32) error {
+		_, gap := enter()
+		if _, err := body.Write(gap); err != nil {
+			return err
+		}
+		return writeColumns(body, [][]int32{col})
+	}
+	writeBytes := func(col []byte) error {
+		_, gap := enter()
+		if _, err := body.Write(gap); err != nil {
+			return err
+		}
+		_, err := body.Write(col)
+		return err
+	}
+	for _, step := range []func() error{
+		func() error { return writeInts(c.offsets) },
+		func() error { return writeInts(c.remap) },
+		func() error { return writeInts(c.escOff) },
+		func() error { return writeBytes(c.hubDelta) },
+		func() error { return writeBytes(c.distDelta) },
+		func() error { return writeInts(c.esc) },
+	} {
+		if err := step(); err != nil {
+			return cw.n, err
+		}
+	}
+	if c.parents != nil {
+		if err := writeInts(c.parents); err != nil {
+			return cw.n, err
+		}
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	if _, err := cw.Write(trailer[:]); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
 }
 
 // encodeGamma produces the gamma payload straight from the flat arrays, in

@@ -334,6 +334,10 @@ func FuzzReadContainer(f *testing.F) {
 	for _, seed := range hostileV3Seeds(f) {
 		f.Add(seed)
 	}
+	// Version-4 seeds: the compact layout, whole and hostile.
+	for _, seed := range hostileV4Seeds(f) {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadContainer(bytes.NewReader(data))
 		if err != nil {
@@ -341,6 +345,17 @@ func FuzzReadContainer(f *testing.F) {
 		}
 		if err := got.validate(); err != nil {
 			t.Fatalf("accepted container fails validation: %v", err)
+		}
+		// The store-preserving door must agree on acceptance and content.
+		s, err := ReadContainerStore(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("ReadContainer accepted what ReadContainerStore rejects: %v", err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted store fails validation: %v", err)
+		}
+		if !flatEqual(storeFlat(s), got) {
+			t.Fatal("the two decode doors disagree on the same bytes")
 		}
 	})
 }

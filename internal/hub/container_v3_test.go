@@ -46,12 +46,27 @@ func refreshHeaderCRC(data []byte) []byte {
 // Mapping exercises byte-for-byte the same parsing and casting code as a
 // file mapping).
 func openBytes(data []byte) (*FlatLabeling, error) {
+	s, err := openStoreBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := s.(*CompactLabeling); ok {
+		f := c.Expand()
+		c.Release()
+		return f, nil
+	}
+	return s.(*FlatLabeling), nil
+}
+
+// openStoreBytes is openBytes without the expansion: the store comes
+// back in the container's native representation.
+func openStoreBytes(data []byte) (LabelStore, error) {
 	m := mmapio.FromBytes(data)
-	f, err := openMapped(m)
-	if err != nil || f.Owned() {
+	s, err := openStore(m)
+	if err != nil || s.Owned() {
 		m.Close()
 	}
-	return f, err
+	return s, err
 }
 
 // writeTemp drops data into a fresh temp file and returns its path.
@@ -190,6 +205,12 @@ func TestOpenContainerMmapHostile(t *testing.T) {
 		{"trailing-garbage (mmap-only)", func(d []byte) []byte { return refreshCRC(append(d, 0, 0, 0, 0)) }},
 		{"bad-magic", func(d []byte) []byte { d[0] ^= 0xFF; return refreshCRC(d) }},
 		{"future-version", func(d []byte) []byte {
+			binary.LittleEndian.PutUint16(d[8:10], ContainerVersion+1)
+			return refreshCRC(d)
+		}},
+		{"v4-stamp-on-v3-body", func(d []byte) []byte {
+			// A v3 layout relabeled as the compact format must be refused
+			// by the v4 extended-header validation, not misparsed.
 			binary.LittleEndian.PutUint16(d[8:10], 4)
 			return refreshCRC(d)
 		}},

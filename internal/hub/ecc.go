@@ -40,16 +40,20 @@ import (
 // that sublinear-space labeling schemes argue for.
 //
 // An EccIndex is immutable and safe for concurrent queries (per-query
-// scratch is pooled).
+// scratch is pooled). It is representation-generic: the labeling behind
+// it may be expanded or compact, and because the inverted lists are
+// fully sorted by a total order, the index — and every answer drawn
+// from it — is identical across representations of the same labeling.
 type EccIndex struct {
-	f *FlatLabeling
+	s LabelStore
 	// CSR over hubs: users of hub w sit at [start[w], start[w+1]) in the
 	// id/dist arrays, sorted by distance descending (ties: id ascending).
 	start     []int32
 	userIDs   []graph.NodeID
 	userDists []graph.Weight
-	// scratch pools per-query state (seen bitmap, heap, batch buffers) so
-	// concurrent queries allocate nothing in steady state.
+	// scratch pools per-query state (seen bitmap, heap, batch and label
+	// decode buffers) so concurrent queries allocate nothing in steady
+	// state.
 	scratch sync.Pool
 }
 
@@ -59,15 +63,17 @@ type eccScratch struct {
 	heap  []eccCand
 	pairs [][2]graph.NodeID
 	out   []graph.Weight
+	ids   []graph.NodeID
+	ds    []graph.Weight
 }
 
 // NewEccIndex inverts the labeling into per-hub farthest-first user lists.
 // Build cost is O(total · log) time and O(total) space.
-func NewEccIndex(f *FlatLabeling) *EccIndex {
-	n := f.NumVertices()
-	total := f.NumHubs()
+func NewEccIndex(s LabelStore) *EccIndex {
+	n := s.NumVertices()
+	total := s.NumHubs()
 	e := &EccIndex{
-		f:         f,
+		s:         s,
 		start:     make([]int32, n+1),
 		userIDs:   make([]graph.NodeID, total),
 		userDists: make([]graph.Weight, total),
@@ -76,12 +82,16 @@ func NewEccIndex(f *FlatLabeling) *EccIndex {
 	// validated mmap view may carry forged interior ids, and the
 	// inversion must stay in bounds on them (on validated labelings the
 	// branch never fires).
+	var idBuf []graph.NodeID
+	var dBuf []graph.Weight
 	for v := 0; v < n; v++ {
-		for _, h := range f.LabelIDs(graph.NodeID(v)) {
+		ids, ds := s.Label(graph.NodeID(v), idBuf, dBuf)
+		for _, h := range ids {
 			if h >= 0 && int(h) < n {
 				e.start[h+1]++
 			}
 		}
+		idBuf, dBuf = ids[:0], ds[:0]
 	}
 	for w := 0; w < n; w++ {
 		e.start[w+1] += e.start[w]
@@ -89,7 +99,7 @@ func NewEccIndex(f *FlatLabeling) *EccIndex {
 	next := make([]int32, n)
 	copy(next, e.start[:n])
 	for v := 0; v < n; v++ {
-		ids, ds := f.LabelIDs(graph.NodeID(v)), f.LabelDists(graph.NodeID(v))
+		ids, ds := s.Label(graph.NodeID(v), idBuf, dBuf)
 		for i, h := range ids {
 			if h < 0 || int(h) >= n {
 				continue
@@ -98,7 +108,11 @@ func NewEccIndex(f *FlatLabeling) *EccIndex {
 			e.userDists[next[h]] = ds[i]
 			next[h]++
 		}
+		idBuf, dBuf = ids[:0], ds[:0]
 	}
+	// The per-hub sort is by a total order ((dist desc, id asc); a vertex
+	// appears at most once per hub list), so the lists come out identical
+	// no matter what entry order the representation yielded above.
 	par.For(n, func(w int) {
 		lo, hi := e.start[w], e.start[w+1]
 		sort.Sort(&userSorter{ids: e.userIDs[lo:hi], ds: e.userDists[lo:hi]})
@@ -123,11 +137,23 @@ func (s *userSorter) Swap(i, j int) {
 	s.ds[i], s.ds[j] = s.ds[j], s.ds[i]
 }
 
+// getScratch pops (or makes) a per-query scratch sized for n vertices.
+func (e *EccIndex) getScratch(n int) *eccScratch {
+	sc, _ := e.scratch.Get().(*eccScratch)
+	if sc == nil || len(sc.seen) < n {
+		sc = &eccScratch{seen: make([]bool, n)}
+	}
+	return sc
+}
+
 // EccentricityUpperBound returns the one-scan hub bound on ecc(v) — the
 // quantity the exact query refines. It never underestimates.
 func (e *EccIndex) EccentricityUpperBound(v graph.NodeID) graph.Weight {
-	ids, ds := e.f.LabelIDs(v), e.f.LabelDists(v)
-	n := e.f.NumVertices()
+	n := e.s.NumVertices()
+	sc := e.getScratch(n)
+	defer e.scratch.Put(sc)
+	ids, ds := e.s.Label(v, sc.ids, sc.ds)
+	sc.ids, sc.ds = ids[:0], ds[:0]
 	var ub graph.Weight
 	for i, w := range ids {
 		if w < 0 || int(w) >= n {
@@ -155,17 +181,15 @@ type eccCand struct {
 // from v over all reachable vertices — together with a vertex attaining
 // it (v itself when v reaches nothing else). v must be in range.
 func (e *EccIndex) Eccentricity(v graph.NodeID) (graph.Weight, graph.NodeID) {
-	n := e.f.NumVertices()
-	sc, _ := e.scratch.Get().(*eccScratch)
-	if sc == nil || len(sc.seen) < n {
-		sc = &eccScratch{seen: make([]bool, n)}
-	}
+	n := e.s.NumVertices()
+	sc := e.getScratch(n)
 	defer func() {
 		clear(sc.seen)
 		e.scratch.Put(sc)
 	}()
 
-	ids, ds := e.f.LabelIDs(v), e.f.LabelDists(v)
+	ids, ds := e.s.Label(v, sc.ids, sc.ds)
+	sc.ids, sc.ds = ids[:0], ds[:0]
 	heap := sc.heap[:0]
 	for i, w := range ids {
 		if w < 0 || int(w) >= n {
@@ -197,7 +221,7 @@ func (e *EccIndex) Eccentricity(v graph.NodeID) (graph.Weight, graph.NodeID) {
 			sc.seen[u] = true
 			// The exact distance: u shares a hub with v, so the merge is
 			// always finite and ≤ the candidate's bound.
-			if d, ok := e.f.Query(v, u); ok && d > best {
+			if d, ok := e.s.Query(v, u); ok && d > best {
 				best, bestU = d, u
 			}
 		}
@@ -226,9 +250,9 @@ func (e *EccIndex) scanRemaining(v graph.NodeID, sc *eccScratch, best graph.Weig
 		sc.out = make([]graph.Weight, chunk)
 	}
 	pairs, out := sc.pairs[:0], sc.out[:chunk]
-	n := e.f.NumVertices()
+	n := e.s.NumVertices()
 	flush := func() {
-		e.f.QueryBatch(pairs, out)
+		e.s.QueryBatch(pairs, out)
 		for i := range pairs {
 			if d := out[i]; d < graph.Infinity && d > best {
 				best, bestU = d, pairs[i][1]

@@ -500,6 +500,13 @@ func (f *FlatLabeling) SpaceBytes() int64 {
 		int64(len(f.parents))*4
 }
 
+// QueryBytes returns the bytes a distance merge can touch — the offsets
+// and the hub/distance columns, excluding the parent column (see the
+// LabelStore contract; E24 compares this figure across representations).
+func (f *FlatLabeling) QueryBytes() int64 {
+	return f.SpaceBytes() - 4*int64(len(f.parents))
+}
+
 // FromSlices builds a canonical, frozen Labeling directly from raw
 // per-vertex hub slices, taking ownership of them. It is the emit path the
 // construction algorithms use so their output carries the flat

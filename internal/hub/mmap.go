@@ -45,29 +45,62 @@ import (
 // (which audits everything including the trailer checksum) or run
 // Validate when loading files of unknown provenance, and hubserve
 // -selfcheck to spot-check served answers against the graph.
+//
+// Version-4 (compact) containers get the same treatment through
+// OpenStoreMmap; OpenContainerMmap itself expands them into an owned
+// FlatLabeling, trading the compression away for the historical return
+// type.
 func OpenContainerMmap(path string) (*FlatLabeling, error) {
+	s, err := OpenStoreMmap(path)
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := s.(*CompactLabeling); ok {
+		f := c.Expand()
+		if err := c.Release(); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return s.(*FlatLabeling), nil
+}
+
+// OpenStoreMmap opens a container file as a memory-mapped LabelStore in
+// its native representation: version-3 files as a zero-copy
+// *FlatLabeling and version-4 files as a zero-copy *CompactLabeling
+// (version-1/2 and gamma files fall back to an owned decode, exactly as
+// OpenContainerMmap documents). The version-4 quick-open budget matches
+// version 3 — O(n) metadata, never the label columns — with one
+// addition: the remap table is verified to be a permutation (and its
+// inverse heap-built) before the store is returned, which is what keeps
+// every rank-to-id and id-to-rank lookup in-bounds on forged interiors.
+// Escape-slot reads are bounds-checked in the kernels instead, so
+// hostile delta or escape data degrades to wrong answers, never to an
+// out-of-map access. Lifetime and rename discipline are identical to
+// OpenContainerMmap.
+func OpenStoreMmap(path string) (LabelStore, error) {
 	m, err := mmapio.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	f, err := openMapped(m)
+	s, err := openStore(m)
 	if err != nil {
 		m.Close()
 		return nil, err
 	}
-	if f.Owned() {
+	if s.Owned() {
 		// Decode fallback (old version, gamma payload, or every column
 		// copied by the cast guards): the labeling no longer needs the
 		// mapping.
 		m.Close()
 	}
-	return f, nil
+	return s, nil
 }
 
-// openMapped builds a labeling over an established mapping. On success
-// the result either aliases the mapping (f.ref == m) or is fully owned;
+// openStore builds a label store over an established mapping. On success
+// the result either aliases the mapping (ref == m) or is fully owned;
 // the caller closes the mapping in the latter case and on error.
-func openMapped(m *mmapio.Mapping) (*FlatLabeling, error) {
+func openStore(m *mmapio.Mapping) (LabelStore, error) {
 	data := m.Bytes()
 	if len(data) < containerHeaderLen {
 		return nil, fmt.Errorf("%w: %d bytes is shorter than a header", ErrContainer, len(data))
@@ -79,6 +112,9 @@ func openMapped(m *mmapio.Mapping) (*FlatLabeling, error) {
 	if version < 3 {
 		// No alignment guarantees to point at: decode the old format.
 		return ReadContainer(bytes.NewReader(data))
+	}
+	if version >= 4 {
+		return openCompactMapped(m, data, flags, int(n64), int(slots64))
 	}
 	parents := flags&containerFlagParents != 0
 
@@ -125,6 +161,70 @@ func openMapped(m *mmapio.Mapping) (*FlatLabeling, error) {
 		return nil, fmt.Errorf("%w: %v", ErrContainer, err)
 	}
 	return f, nil
+}
+
+// openCompactMapped builds a zero-copy CompactLabeling over a mapped
+// version-4 container. Validation order mirrors openStore's v3 path:
+// the extended header (escape-count bound, authenticated canonical
+// section table) is checked reading only header bytes, the exact file
+// size is then pinned from the canonical layout before any column view
+// exists, the padding is verified zero, and finally the O(n) structural
+// quick checks (CSR monotonicity, remap permutation) that the kernels'
+// memory-safety argument rests on.
+func openCompactMapped(m *mmapio.Mapping, data []byte, flags uint16, n, entries int) (*CompactLabeling, error) {
+	wide := flags&containerFlagWideDist != 0
+	parents := flags&containerFlagParents != 0
+	k := 6
+	if parents {
+		k = 7
+	}
+	headerEnd := compactHeaderLen(k)
+	if int64(len(data)) < headerEnd {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than a version-4 header", ErrContainer, len(data))
+	}
+	secs, _, err := validateCompactExt(data[:containerHeaderLen], data[containerHeaderLen:headerEnd],
+		int64(n), int64(entries), wide, parents)
+	if err != nil {
+		return nil, err
+	}
+	end := secs[len(secs)-1].off + secs[len(secs)-1].length
+	if int64(len(data)) != end+4 {
+		return nil, fmt.Errorf("%w: %d bytes, canonical layout needs %d", ErrContainer, len(data), end+4)
+	}
+	pos := headerEnd
+	for i, s := range secs {
+		for _, b := range data[pos:s.off] {
+			if b != 0 {
+				return nil, fmt.Errorf("%w: nonzero padding before section %d", ErrContainer, i)
+			}
+		}
+		pos = s.off + s.length
+	}
+
+	c := &CompactLabeling{n: n, wide: wide}
+	aliased := false
+	view := func(s containerSection) []int32 {
+		col, a := mmapio.View[int32](data[s.off : s.off+s.length])
+		aliased = aliased || a
+		return col
+	}
+	c.offsets = view(secs[0])
+	c.remap = view(secs[1])
+	c.escOff = view(secs[2])
+	// The byte columns need no cast and alias the mapping directly.
+	c.hubDelta = data[secs[3].off : secs[3].off+secs[3].length]
+	c.distDelta = data[secs[4].off : secs[4].off+secs[4].length]
+	c.esc = view(secs[5])
+	if parents {
+		c.parents = view(secs[6])
+	}
+	if aliased || entries > 0 {
+		c.ref = m
+	}
+	if err := c.validateQuick(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrContainer, err)
+	}
+	return c, nil
 }
 
 // ensure the alias types the casts rely on hold at compile time: the

@@ -52,33 +52,53 @@ func hostileV3Seeds(tb testing.TB) [][]byte {
 	}
 }
 
+// storeFlat reduces a store of either representation to the expanded
+// arrays, for cross-door agreement checks.
+func storeFlat(s LabelStore) *FlatLabeling {
+	if c, ok := s.(*CompactLabeling); ok {
+		return c.Expand()
+	}
+	return s.(*FlatLabeling)
+}
+
 // FuzzOpenContainerMmap hammers the zero-copy open path with arbitrary
-// bytes. The invariants: opening never panics and never reads outside
-// the buffer (the heap Mapping puts the Go bounds checker directly on
-// the map boundary); whatever opens successfully must answer queries,
-// batched queries, paths and eccentricities without panicking; and a
-// successful open must agree with the decoding reader whenever the
-// decoder also accepts (the decoder is strictly stricter — it audits
-// interior entries — so the reverse need not hold).
+// bytes, across both serving representations. The invariants: opening
+// never panics and never reads outside the buffer (the heap Mapping
+// puts the Go bounds checker directly on the map boundary); whatever
+// opens successfully must answer queries, batched queries, labels,
+// paths and eccentricities without panicking; and a successful open
+// must agree with the decoding reader whenever the decoder also accepts
+// (the decoder is strictly stricter — it audits interior entries — so
+// the reverse need not hold).
 func FuzzOpenContainerMmap(f *testing.F) {
 	for _, seed := range hostileV3Seeds(f) {
 		f.Add(seed)
 	}
+	for _, seed := range hostileV4Seeds(f) {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		fl, err := openBytes(data)
+		s, err := openStoreBytes(data)
 		if err != nil {
 			return
 		}
-		defer fl.Release()
-		if err := fl.validateOffsets(); err != nil {
-			t.Fatalf("accepted labeling fails offsets validation: %v", err)
+		defer s.Release()
+		switch v := s.(type) {
+		case *FlatLabeling:
+			if err := v.validateOffsets(); err != nil {
+				t.Fatalf("accepted labeling fails offsets validation: %v", err)
+			}
+		case *CompactLabeling:
+			if err := v.validateQuick(); err != nil {
+				t.Fatalf("accepted compact store fails quick validation: %v", err)
+			}
 		}
-		n := graph.NodeID(fl.NumVertices())
-		if dec, derr := ReadContainer(bytes.NewReader(data)); derr == nil {
-			if !flatEqual(dec, fl) {
+		if dec, derr := ReadContainerStore(bytes.NewReader(data)); derr == nil {
+			if !flatEqual(storeFlat(dec), storeFlat(s)) {
 				t.Fatal("mmap open and decode disagree on the same bytes")
 			}
 		}
+		n := graph.NodeID(s.NumVertices())
 		if n == 0 {
 			return
 		}
@@ -87,16 +107,17 @@ func FuzzOpenContainerMmap(f *testing.F) {
 		probes := [][2]graph.NodeID{{0, 0}, {0, n - 1}, {n - 1, 0}, {n / 2, n / 2}, {0, n / 2}}
 		out := make([]graph.Weight, len(probes))
 		for _, p := range probes {
-			fl.Query(p[0], p[1])
-			fl.QueryVia(p[0], p[1])
-			if fl.HasParents() {
-				if _, err := fl.Path(p[0], p[1]); err != nil {
+			s.Query(p[0], p[1])
+			s.QueryVia(p[0], p[1])
+			s.Label(p[0], nil, nil)
+			if s.HasParents() {
+				if _, err := s.AppendPath(nil, p[0], p[1]); err != nil {
 					_ = err // forged hops must error, not panic
 				}
 			}
 		}
-		fl.QueryBatch(probes, out)
-		e := NewEccIndex(fl)
+		s.QueryBatch(probes, out)
+		e := NewEccIndex(s)
 		e.Eccentricity(0)
 		e.EccentricityUpperBound(n - 1)
 	})

@@ -71,6 +71,23 @@ func (f *FlatLabeling) nextHop(v, h graph.NodeID) (graph.NodeID, bool) {
 	return f.parents[int(f.offsets[v])+i], true
 }
 
+// hopToward adapts nextHop to the pathStore interface.
+func (f *FlatLabeling) hopToward(v, h graph.NodeID) (graph.NodeID, bool) {
+	return f.nextHop(v, h)
+}
+
+// pathStore is the slice of LabelStore the shared path-unpacking walk
+// needs: a representation-specific hop lookup plus the meeting-hub
+// query. Both representations resolve ties in QueryVia toward the same
+// hub (smallest original id among the minimizers), so the walk — and
+// with it every unpacked path — is identical across them.
+type pathStore interface {
+	NumVertices() int
+	QueryVia(u, v graph.NodeID) (graph.Weight, graph.NodeID, bool)
+	hopToward(v, h graph.NodeID) (graph.NodeID, bool)
+	HasParents() bool
+}
+
 // Path returns one shortest u–v path as a fresh slice. See AppendPath for
 // the contract.
 func (f *FlatLabeling) Path(u, v graph.NodeID) ([]graph.NodeID, error) {
@@ -92,10 +109,16 @@ func (f *FlatLabeling) Path(u, v graph.NodeID) ([]graph.NodeID, error) {
 // ErrPathUnpack (see that error's documentation) — it never returns a
 // wrong path.
 func (f *FlatLabeling) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]graph.NodeID, error) {
-	if f.parents == nil {
+	return appendPathOver(f, dst, u, v)
+}
+
+// appendPathOver is the representation-generic two-ended walk behind
+// AppendPath; s supplies the hop lookups and meeting-hub queries.
+func appendPathOver(s pathStore, dst []graph.NodeID, u, v graph.NodeID) ([]graph.NodeID, error) {
+	if !s.HasParents() {
 		return dst, ErrNoParents
 	}
-	n := graph.NodeID(f.NumVertices())
+	n := graph.NodeID(s.NumVertices())
 	if u < 0 || u >= n || v < 0 || v >= n {
 		return dst, fmt.Errorf("%w: (%d,%d) outside [0,%d)", graph.ErrVertexRange, u, v, n)
 	}
@@ -121,7 +144,7 @@ func (f *FlatLabeling) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]grap
 		// before it becomes a cursor: a quick-validated mmap view may
 		// carry a forged parent column, and an escaped id must degrade to
 		// ErrPathUnpack, never index outside the arrays.
-		if p, ok := f.nextHop(x, y); ok {
+		if p, ok := s.hopToward(x, y); ok {
 			if p < 0 || p >= n {
 				*bp = back
 				backBufs.Put(bp)
@@ -131,7 +154,7 @@ func (f *FlatLabeling) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]grap
 			x = p
 			continue
 		}
-		if p, ok := f.nextHop(y, x); ok {
+		if p, ok := s.hopToward(y, x); ok {
 			if p < 0 || p >= n {
 				*bp = back
 				backBufs.Put(bp)
@@ -143,7 +166,7 @@ func (f *FlatLabeling) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]grap
 		}
 		// General step: find the meeting hub. Both fast paths missed, so
 		// w ∉ {x, y} and the hop entry (x, w) exists with a real parent.
-		_, w, ok := f.QueryVia(x, y)
+		_, w, ok := s.QueryVia(x, y)
 		if !ok {
 			*bp = back
 			backBufs.Put(bp)
@@ -152,7 +175,7 @@ func (f *FlatLabeling) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]grap
 			}
 			return dst[:base], ErrPathUnpack
 		}
-		p, ok := f.nextHop(x, w)
+		p, ok := s.hopToward(x, w)
 		if !ok || p < 0 || p >= n {
 			*bp = back
 			backBufs.Put(bp)

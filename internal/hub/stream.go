@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 
 	"hublab/internal/graph"
 )
@@ -59,6 +60,21 @@ func (c *columnWriter) appendInt32(x int32) error {
 	return nil
 }
 
+// appendBytes appends a raw byte run (the compact layout's delta
+// columns), flushing in streamBufBytes chunks.
+func (c *columnWriter) appendBytes(p []byte) error {
+	for len(c.buf)+len(p) > streamBufBytes {
+		take := streamBufBytes - len(c.buf)
+		c.buf = append(c.buf, p[:take]...)
+		if err := c.flush(); err != nil {
+			return err
+		}
+		p = p[take:]
+	}
+	c.buf = append(c.buf, p...)
+	return nil
+}
+
 func (c *columnWriter) flush() error {
 	if len(c.buf) == 0 {
 		return nil
@@ -103,6 +119,12 @@ func NewContainerWriter(w io.WriterAt, n int, entries int64, withParents bool, o
 	if opts.Compress {
 		return nil, fmt.Errorf("hub: streaming container emission cannot produce the gamma payload (write a raw or aligned container)")
 	}
+	if opts.Compact {
+		// The compact layout needs the global plan (remap table, column
+		// width, escape totals) before the first vertex lands, which the
+		// incremental per-vertex protocol cannot supply.
+		return nil, fmt.Errorf("hub: per-vertex container emission cannot produce the compact (v4) payload; use Labeling.WriteContainerStreaming, which plans the encoding in a pre-pass")
+	}
 	if n < 0 || entries < 0 {
 		return nil, fmt.Errorf("hub: negative container dimensions n=%d entries=%d", n, entries)
 	}
@@ -118,7 +140,7 @@ func NewContainerWriter(w io.WriterAt, n int, entries int64, withParents bool, o
 		cw.secs, _ = containerSections(int64(n), cw.slots, withParents)
 		header = make([]byte, alignedHeaderLen(len(cw.secs)))
 		copy(header[0:8], containerMagic[:])
-		putU16(header[8:], ContainerVersion)
+		putU16(header[8:], containerVersionAligned)
 		flags := uint16(0)
 		if withParents {
 			flags |= containerFlagParents
@@ -296,10 +318,21 @@ func (cw *ContainerWriter) Finish() (int64, error) {
 // WriteContainerStreaming streams l into w per vertex, never building the
 // flat arrays; the bytes are identical to Freeze().WriteContainer(...).
 // The labeling must be canonical (every builder's output is; after manual
-// Adds call Canonicalize first).
+// Adds call Canonicalize first). The compact (v4) layout streams too: its
+// global plan (remap table, column width, escape totals) is computed in a
+// pre-pass over the labels, then the encoded columns land in the file one
+// vertex at a time — still never materializing the flat arrays, and still
+// byte-identical to the in-memory writer because both feed the same
+// per-vertex encoder under the same plan.
 func (l *Labeling) WriteContainerStreaming(w io.WriterAt, opts ContainerOptions) (int64, error) {
 	if !l.canonical() {
 		return 0, fmt.Errorf("hub: streaming emission needs canonical labels (call Canonicalize)")
+	}
+	if opts.Compact {
+		if opts.Compress || opts.Aligned {
+			return 0, errCompactCompose
+		}
+		return l.writeCompactStreaming(w)
 	}
 	var entries int64
 	for v := range l.labels {
@@ -322,6 +355,118 @@ func (l *Labeling) WriteContainerStreaming(w io.WriterAt, opts ContainerOptions)
 		}
 	}
 	return cw.Finish()
+}
+
+// writeCompactStreaming emits the version-4 compact container from the
+// mutable labeling without ever building the flat arrays. Pass 1 is the
+// plan (hub frequencies → remap, escape counts → width and exact section
+// sizes, so the header and section table are final before any column
+// byte lands); pass 2 rank-sorts each vertex's entries and feeds them
+// through the same per-vertex encoder the in-memory writer uses, which
+// is what pins the two outputs byte-identical.
+func (l *Labeling) writeCompactStreaming(w io.WriterAt) (int64, error) {
+	n := len(l.labels)
+	plan := planCompactLabeling(l)
+	if plan.entries > math.MaxInt32 {
+		return 0, fmt.Errorf("hub: %d entries overflow the compact container's int32 CSR", plan.entries)
+	}
+	withParents := l.parents != nil
+	secs, _ := containerSectionsV4(int64(n), plan.entries, plan.escs, plan.wide, withParents)
+	hdr := buildCompactHeader(int64(n), plan.entries, plan.escs, plan.wide, withParents, secs)
+	if _, err := w.WriteAt(hdr, 0); err != nil {
+		return 0, err
+	}
+	// Columns in section order: offsets, remap, escOff, hubDelta,
+	// distDelta, esc[, parents].
+	cols := make([]columnWriter, len(secs))
+	for i := range cols {
+		cols[i] = columnWriter{w: w, base: secs[i].off, buf: make([]byte, 0, streamBufBytes)}
+	}
+	for _, h := range plan.remap {
+		if err := cols[1].appendInt32(int32(h)); err != nil {
+			return 0, err
+		}
+	}
+	var (
+		es      []compactEntry
+		hb, db  []byte
+		escRun  []int32
+		parRun  []graph.NodeID
+		entries int64
+		escPos  int64
+	)
+	for v := range l.labels {
+		if err := cols[0].appendInt32(int32(entries)); err != nil {
+			return 0, err
+		}
+		if err := cols[2].appendInt32(int32(escPos)); err != nil {
+			return 0, err
+		}
+		es = es[:0]
+		for i, h := range l.labels[v] {
+			ent := compactEntry{rank: plan.inv[h.Node], dist: h.Dist, parent: -1}
+			if withParents {
+				ent.parent = l.parents[v][i]
+			}
+			es = append(es, ent)
+		}
+		sortCompactEntries(es)
+		hb, db, escRun, parRun = hb[:0], db[:0], escRun[:0], parRun[:0]
+		hb, db, escRun, parRun = appendVertexCompact(hb, db, escRun, parRun, es, plan.wide, withParents)
+		if err := cols[3].appendBytes(hb); err != nil {
+			return 0, err
+		}
+		if err := cols[4].appendBytes(db); err != nil {
+			return 0, err
+		}
+		for _, x := range escRun {
+			if err := cols[5].appendInt32(x); err != nil {
+				return 0, err
+			}
+		}
+		if withParents {
+			for _, p := range parRun {
+				if err := cols[6].appendInt32(int32(p)); err != nil {
+					return 0, err
+				}
+			}
+		}
+		entries += int64(len(es))
+		escPos += int64(len(escRun))
+	}
+	if err := cols[0].appendInt32(int32(entries)); err != nil {
+		return 0, err
+	}
+	if err := cols[2].appendInt32(int32(escPos)); err != nil {
+		return 0, err
+	}
+	for i := range cols {
+		if err := cols[i].flush(); err != nil {
+			return 0, err
+		}
+		if cols[i].n != secs[i].length {
+			return 0, fmt.Errorf("hub: compact column %d wrote %d of %d bytes", i, cols[i].n, secs[i].length)
+		}
+	}
+	crc := crc32.Checksum(hdr, castagnoli)
+	pos := int64(len(hdr))
+	var pad [containerAlign]byte
+	for i := range cols {
+		if gap := secs[i].off - pos; gap > 0 {
+			if _, err := w.WriteAt(pad[:gap], pos); err != nil {
+				return 0, err
+			}
+			crc = crc32.Update(crc, castagnoli, pad[:gap])
+		}
+		crc = crc32Combine(crc, cols[i].crc, cols[i].n)
+		pos = secs[i].off + secs[i].length
+	}
+	var trailer [4]byte
+	putU32(trailer[:], crc)
+	if _, err := w.WriteAt(trailer[:], pos); err != nil {
+		return 0, err
+	}
+	return pos + 4, nil
 }
 
 func putU16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }

@@ -163,16 +163,24 @@ func (m *Matrix) Name() string { return KindMatrix }
 
 // Meta implements Index.
 func (m *Matrix) Meta() Meta {
-	return Meta{Kind: KindMatrix, Vertices: len(m.dist), QueryOps: 1}
+	return Meta{Kind: KindMatrix, Vertices: len(m.dist), QueryOps: 1, ResidentBytes: m.SpaceBytes()}
 }
 
-// HubLabels is the hub labeling point of the tradeoff. Queries run on the
-// frozen flat CSR form, so each Distance call is a zero-allocation merge,
-// and DistanceBatch interleaves three merges per loop. A HubLabels index
-// is the only backend with a persistent container form (see Load/Save).
+// HubLabels is the hub labeling point of the tradeoff. Queries run on a
+// frozen hub.LabelStore — the expanded flat CSR form or the compact
+// (rank-remapped, delta-encoded) form — so each Distance call is a
+// zero-allocation merge, and DistanceBatch interleaves merges per loop.
+// Every capability (distances, batches, paths, eccentricities) is
+// representation-agnostic: the two forms answer byte-identically. A
+// HubLabels index is the only backend with a persistent container form
+// (see Load/Save).
 type HubLabels struct {
 	l *hub.Labeling // nil when loaded from a container
-	f *hub.FlatLabeling
+	s hub.LabelStore
+	// containerBytes is the on-disk size of the container this index was
+	// loaded from (0 for built indexes) — reported in Meta so operators
+	// can compare the serving working set against the file.
+	containerBytes int64
 	// ecc is the inverted farthest-first hub index, built lazily on the
 	// first eccentricity query (it costs one pass over the labels and is
 	// dead weight for distance-only serving).
@@ -199,19 +207,23 @@ func NewHubLabels(g *graph.Graph) (*HubLabels, error) {
 }
 
 // NewHubLabelsFrom wraps an existing labeling, freezing it if necessary.
-func NewHubLabelsFrom(l *hub.Labeling) *HubLabels { return &HubLabels{l: l, f: l.Freeze()} }
+func NewHubLabelsFrom(l *hub.Labeling) *HubLabels { return &HubLabels{l: l, s: l.Freeze()} }
 
 // FromFlat wraps an already-frozen flat labeling (e.g. one loaded from a
 // container) without ever materializing the mutable form.
-func FromFlat(f *hub.FlatLabeling) *HubLabels { return &HubLabels{f: f} }
+func FromFlat(f *hub.FlatLabeling) *HubLabels { return &HubLabels{s: f} }
+
+// FromStore wraps any frozen label store — expanded or compact — e.g.
+// one loaded from a container in its native representation.
+func FromStore(s hub.LabelStore) *HubLabels { return &HubLabels{s: s} }
 
 // Distance decodes from the two labels. Out-of-range ids return
-// Infinity rather than indexing outside the flat offsets array.
+// Infinity rather than indexing outside the label offsets.
 func (x *HubLabels) Distance(u, v graph.NodeID) graph.Weight {
-	if !inRange(u, v, x.f.NumVertices()) {
+	if !inRange(u, v, x.s.NumVertices()) {
 		return graph.Infinity
 	}
-	d, ok := x.f.Query(u, v)
+	d, ok := x.s.Query(u, v)
 	if !ok {
 		return graph.Infinity
 	}
@@ -222,7 +234,7 @@ func (x *HubLabels) Distance(u, v graph.NodeID) graph.Weight {
 // A batch containing out-of-range ids falls back to the bounds-checked
 // scalar path (the common all-valid case pays one cheap scan).
 func (x *HubLabels) DistanceBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
-	n := x.f.NumVertices()
+	n := x.s.NumVertices()
 	for _, p := range pairs {
 		if !inRange(p[0], p[1], n) {
 			for i, q := range pairs {
@@ -231,19 +243,19 @@ func (x *HubLabels) DistanceBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
 			return
 		}
 	}
-	x.f.QueryBatch(pairs, out)
+	x.s.QueryBatch(pairs, out)
 }
 
 // AppendPath implements PathReporter by unpacking the meeting hub through
 // the labeling's parent column. Indexes loaded from version-1 containers
 // (no parent column) report hub.ErrNoParents.
 func (x *HubLabels) AppendPath(dst []graph.NodeID, u, v graph.NodeID) ([]graph.NodeID, error) {
-	return x.f.AppendPath(dst, u, v)
+	return x.s.AppendPath(dst, u, v)
 }
 
 // eccIndex builds the farthest-first inverted index once.
 func (x *HubLabels) eccIndex() *hub.EccIndex {
-	x.eccOnce.Do(func() { x.ecc = hub.NewEccIndex(x.f) })
+	x.eccOnce.Do(func() { x.ecc = hub.NewEccIndex(x.s) })
 	return x.ecc
 }
 
@@ -258,8 +270,8 @@ func (x *HubLabels) WarmEccentricity() { x.eccIndex() }
 // Eccentricity implements EccentricityReporter via the best-first refined
 // hub scan (exact on any shortest-path cover).
 func (x *HubLabels) Eccentricity(v graph.NodeID) (graph.Weight, error) {
-	if !inRange(v, v, x.f.NumVertices()) {
-		return 0, fmt.Errorf("%w: %d outside [0,%d)", graph.ErrVertexRange, v, x.f.NumVertices())
+	if !inRange(v, v, x.s.NumVertices()) {
+		return 0, fmt.Errorf("%w: %d outside [0,%d)", graph.ErrVertexRange, v, x.s.NumVertices())
 	}
 	d, _ := x.eccIndex().Eccentricity(v)
 	return d, nil
@@ -267,54 +279,70 @@ func (x *HubLabels) Eccentricity(v graph.NodeID) (graph.Weight, error) {
 
 // Farthest implements EccentricityReporter.
 func (x *HubLabels) Farthest(v graph.NodeID) (graph.NodeID, graph.Weight, error) {
-	if !inRange(v, v, x.f.NumVertices()) {
-		return -1, 0, fmt.Errorf("%w: %d outside [0,%d)", graph.ErrVertexRange, v, x.f.NumVertices())
+	if !inRange(v, v, x.s.NumVertices()) {
+		return -1, 0, fmt.Errorf("%w: %d outside [0,%d)", graph.ErrVertexRange, v, x.s.NumVertices())
 	}
 	d, far := x.eccIndex().Eccentricity(v)
 	return far, d, nil
 }
 
-// SpaceBytes counts the flat storage exactly: 4 bytes per CSR offset plus
-// 8 bytes per slot (hub id + distance), sentinels included, plus the
-// parent column when present.
-func (x *HubLabels) SpaceBytes() int64 { return x.f.SpaceBytes() }
+// SpaceBytes counts the resident label storage exactly, as the store
+// accounts it: for the expanded form, 4 bytes per CSR offset plus 8 per
+// slot (sentinels included) plus the parent column; for the compact
+// form, the remap and escape tables plus one (narrow) or two (wide)
+// bytes per entry per column. An honest space report is the point: the
+// compressed representation's SpaceBytes is what it actually keeps
+// resident, not the expanded equivalent.
+func (x *HubLabels) SpaceBytes() int64 { return x.s.SpaceBytes() }
 
 // Name implements Index.
 func (x *HubLabels) Name() string { return KindHubLabels }
 
 // Meta implements Index. It is O(1): the average label size falls out of
-// the flat array lengths, so metadata reads never scan the offsets.
+// the array lengths, so metadata reads never scan the offsets.
 func (x *HubLabels) Meta() Meta {
-	n := x.f.NumVertices()
+	n := x.s.NumVertices()
 	var avg float64
 	if n > 0 {
-		avg = float64(x.f.NumHubs()) / float64(n)
+		avg = float64(x.s.NumHubs()) / float64(n)
 	}
 	return Meta{
-		Kind:     KindHubLabels,
-		Vertices: n,
-		QueryOps: 2 * avg,
+		Kind:           KindHubLabels,
+		Vertices:       n,
+		QueryOps:       2 * avg,
+		Representation: x.s.Representation(),
+		ResidentBytes:  x.s.SpaceBytes(),
+		ContainerBytes: x.containerBytes,
 	}
 }
 
 // Owned reports whether the index's label storage is heap-owned. A
-// mmap-loaded index (LoadMmap over an aligned container) returns false:
-// its columns alias the mapped file and carry the Release lifetime.
-func (x *HubLabels) Owned() bool { return x.f.Owned() }
+// mmap-loaded index (LoadMmap over an aligned or compact container)
+// returns false: its columns alias the mapped file and carry the
+// Release lifetime.
+func (x *HubLabels) Owned() bool { return x.s.Owned() }
 
 // Release implements Releaser: it unmaps a view-backed index's container
 // (a no-op for heap-owned indexes). The caller owns the contract that no
 // query is in flight or issued afterwards; serving layers enforce it by
 // refcounting snapshots and releasing only after the last in-flight
 // query drains.
-func (x *HubLabels) Release() error { return x.f.Release() }
+func (x *HubLabels) Release() error { return x.s.Release() }
 
 // Labeling exposes the underlying mutable labeling; it is nil for indexes
-// loaded from a container (use Flat instead).
+// loaded from a container (use Store instead).
 func (x *HubLabels) Labeling() *hub.Labeling { return x.l }
 
-// Flat exposes the frozen flat labeling the queries run on.
-func (x *HubLabels) Flat() *hub.FlatLabeling { return x.f }
+// Store exposes the frozen label store the queries run on.
+func (x *HubLabels) Store() hub.LabelStore { return x.s }
+
+// Flat exposes the frozen flat labeling when the index serves the
+// expanded representation; it is nil for a compact index (use Store,
+// or Store().Thaw() for a mutable expanded copy).
+func (x *HubLabels) Flat() *hub.FlatLabeling {
+	f, _ := x.s.(*hub.FlatLabeling)
+	return f
+}
 
 // Search is the S = O(m) endpoint: store only the graph, search per query.
 type Search struct {
@@ -392,8 +420,9 @@ func (x *Search) Name() string { return KindSearch }
 // Meta implements Index.
 func (x *Search) Meta() Meta {
 	return Meta{
-		Kind:     KindSearch,
-		Vertices: x.g.NumNodes(),
-		QueryOps: float64(2 * x.g.NumEdges()),
+		Kind:          KindSearch,
+		Vertices:      x.g.NumNodes(),
+		QueryOps:      float64(2 * x.g.NumEdges()),
+		ResidentBytes: x.SpaceBytes(),
 	}
 }

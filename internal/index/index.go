@@ -47,6 +47,17 @@ type Meta struct {
 	// operations touched per query (matrix: 1; hub labels: average merged
 	// label length; search: edges scanned estimate).
 	QueryOps float64
+	// Representation names the label storage form serving the queries
+	// (hub.RepExpanded or hub.RepCompact); empty for backends without a
+	// label store.
+	Representation string
+	// ResidentBytes is the byte size of the query structure as held in
+	// memory (or mapped) — SpaceBytes, surfaced alongside ContainerBytes
+	// so the two are comparable in one report.
+	ResidentBytes int64
+	// ContainerBytes is the on-disk size of the container the index was
+	// loaded from; 0 for indexes built in-process.
+	ContainerBytes int64
 }
 
 // Batcher is the optional batched-query fast path. Backends whose query

@@ -195,74 +195,103 @@ func RunProperties(t *testing.T, g *graph.Graph, idx index.Index, seed int64) {
 	}
 }
 
-// RunContainerLoadEquivalence pins the zero-copy serving path against
-// the decode path: it builds a hub-label index over g, persists it as an
-// aligned (v3) container, loads it back through both doors — the
-// decoding reader and the mmap view — and asserts that each satisfies
-// the full property set and that the two agree answer-for-answer on
-// distances, witness paths and eccentricities. Both loads come from the
-// same container bytes, so even the path walks (deterministic given the
-// labels) must be identical vertex-for-vertex.
+// RunContainerLoadEquivalence pins the serving paths against each other
+// across formats and representations: it builds a hub-label index over
+// g, persists it both as an aligned (v3, expanded) and a compact (v4,
+// compressed) container, loads each back through both doors — the
+// decoding reader and the mmap view — and asserts that all four
+// resulting indexes satisfy the full property set and agree
+// answer-for-answer on distances, witness paths and eccentricities.
+// All four serve the same labeling, so even the path walks
+// (deterministic given the labels) must be identical vertex-for-vertex
+// — the compressed representation is required to be indistinguishable
+// from the expanded one at every query door.
 func RunContainerLoadEquivalence(t *testing.T, g *graph.Graph, seed int64) {
 	t.Helper()
 	built, err := index.Build(index.KindHubLabels, g, index.Options{Seed: 7})
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
-	path := filepath.Join(t.TempDir(), "prop.hli")
-	if err := index.Save(path, built, hub.ContainerOptions{Aligned: true}); err != nil {
-		t.Fatalf("save: %v", err)
-	}
-	dec, err := index.Load(path)
-	if err != nil {
-		t.Fatalf("decode load: %v", err)
-	}
-	view, err := index.LoadMmap(path)
-	if err != nil {
-		t.Fatalf("mmap load: %v", err)
-	}
-	defer view.Release()
-	if view.Owned() {
-		t.Fatal("mmap load of an aligned container did not produce a view")
-	}
-
-	// Each backend independently satisfies every property…
-	t.Run("decode", func(t *testing.T) { RunProperties(t, g, dec, seed) })
-	t.Run("mmap", func(t *testing.T) { RunProperties(t, g, view, seed) })
-
-	// …and the two doors agree byte-for-byte.
-	n := g.NumNodes()
-	rng := rand.New(rand.NewSource(seed + 99))
-	var pd, pv []graph.NodeID
-	for k := 0; k < 200; k++ {
-		u := graph.NodeID(rng.Intn(n))
-		v := graph.NodeID(rng.Intn(n))
-		if a, b := dec.Distance(u, v), view.Distance(u, v); a != b {
-			t.Fatalf("distance(%d,%d): decode %d, mmap %d", u, v, a, b)
+	dir := t.TempDir()
+	doors := make(map[string]*index.HubLabels, 4)
+	for _, format := range []struct {
+		name string
+		rep  string
+		opts hub.ContainerOptions
+	}{
+		{"v3", hub.RepExpanded, hub.ContainerOptions{Aligned: true}},
+		{"v4", hub.RepCompact, hub.ContainerOptions{Compact: true}},
+	} {
+		path := filepath.Join(dir, "prop-"+format.name+".hli")
+		if err := index.Save(path, built, format.opts); err != nil {
+			t.Fatalf("save %s: %v", format.name, err)
 		}
-		var errD, errV error
-		pd, errD = dec.AppendPath(pd[:0], u, v)
-		pv, errV = view.AppendPath(pv[:0], u, v)
-		if (errD == nil) != (errV == nil) {
-			t.Fatalf("path(%d,%d): decode err %v, mmap err %v", u, v, errD, errV)
+		dec, err := index.Load(path)
+		if err != nil {
+			t.Fatalf("%s decode load: %v", format.name, err)
 		}
-		if len(pd) != len(pv) {
-			t.Fatalf("path(%d,%d): decode %v, mmap %v", u, v, pd, pv)
+		view, err := index.LoadMmap(path)
+		if err != nil {
+			t.Fatalf("%s mmap load: %v", format.name, err)
 		}
-		for i := range pd {
-			if pd[i] != pv[i] {
-				t.Fatalf("path(%d,%d) diverges at hop %d: decode %v, mmap %v", u, v, i, pd, pv)
+		defer view.Release()
+		if g.NumNodes() > 0 && view.Owned() {
+			t.Fatalf("mmap load of a %s container did not produce a view", format.name)
+		}
+		for door, x := range map[string]*index.HubLabels{"decode": dec, "mmap": view} {
+			if rep := x.Meta().Representation; rep != format.rep {
+				t.Fatalf("%s %s load serves representation %q, want %q", format.name, door, rep, format.rep)
 			}
+			doors[format.name+"-"+door] = x
 		}
-		ed, errD := dec.Eccentricity(v)
-		ev, errV := view.Eccentricity(v)
-		if errD != nil || errV != nil || ed != ev {
-			t.Fatalf("ecc(%d): decode (%d,%v), mmap (%d,%v)", v, ed, errD, ev, errV)
-		}
-		fd, fdd, _ := dec.Farthest(v)
-		fv, fvd, _ := view.Farthest(v)
-		if fd != fv || fdd != fvd {
-			t.Fatalf("farthest(%d): decode (%d,%d), mmap (%d,%d)", v, fd, fdd, fv, fvd)
+	}
+	if a, b := doors["v4-decode"].SpaceBytes(), doors["v3-decode"].SpaceBytes(); a >= b {
+		t.Fatalf("compact resident bytes %d not below expanded %d", a, b)
+	}
+
+	// Each door independently satisfies every property…
+	for _, name := range []string{"v3-decode", "v3-mmap", "v4-decode", "v4-mmap"} {
+		x := doors[name]
+		t.Run(name, func(t *testing.T) { RunProperties(t, g, x, seed) })
+	}
+
+	// …and all doors agree with the v3 decode baseline answer-for-answer.
+	base := doors["v3-decode"]
+	n := g.NumNodes()
+	for _, name := range []string{"v3-mmap", "v4-decode", "v4-mmap"} {
+		other := doors[name]
+		rng := rand.New(rand.NewSource(seed + 99))
+		var pd, pv []graph.NodeID
+		for k := 0; k < 200; k++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if a, b := base.Distance(u, v), other.Distance(u, v); a != b {
+				t.Fatalf("distance(%d,%d): baseline %d, %s %d", u, v, a, name, b)
+			}
+			var errD, errV error
+			pd, errD = base.AppendPath(pd[:0], u, v)
+			pv, errV = other.AppendPath(pv[:0], u, v)
+			if (errD == nil) != (errV == nil) {
+				t.Fatalf("path(%d,%d): baseline err %v, %s err %v", u, v, errD, name, errV)
+			}
+			if len(pd) != len(pv) {
+				t.Fatalf("path(%d,%d): baseline %v, %s %v", u, v, pd, name, pv)
+			}
+			for i := range pd {
+				if pd[i] != pv[i] {
+					t.Fatalf("path(%d,%d) diverges at hop %d: baseline %v, %s %v", u, v, i, pd, name, pv)
+				}
+			}
+			ed, errD := base.Eccentricity(v)
+			ev, errV := other.Eccentricity(v)
+			if errD != nil || errV != nil || ed != ev {
+				t.Fatalf("ecc(%d): baseline (%d,%v), %s (%d,%v)", v, ed, errD, name, ev, errV)
+			}
+			fd, fdd, _ := base.Farthest(v)
+			fv, fvd, _ := other.Farthest(v)
+			if fd != fv || fdd != fvd {
+				t.Fatalf("farthest(%d): baseline (%d,%d), %s (%d,%d)", v, fd, fdd, name, fv, fvd)
+			}
 		}
 	}
 }

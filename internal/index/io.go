@@ -41,8 +41,10 @@ func Save(path string, idx Index, opts hub.ContainerOptions) error {
 	}
 	// The faultinject wrap is how tests crash a save partway through: a
 	// shortwrite trigger makes the writer fail after n bytes, the exact
-	// observable shape of a torn write.
-	if _, err := x.Flat().WriteContainer(faultinject.WrapWriter(faultinject.PointContainerWrite, tmp), opts); err != nil {
+	// observable shape of a torn write. Writing through the store lets a
+	// compact index save any format (converting as needed) and an
+	// expanded index emit the compact v4 layout via opts.Compact.
+	if _, err := x.Store().WriteContainer(faultinject.WrapWriter(faultinject.PointContainerWrite, tmp), opts); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -163,7 +165,8 @@ func CleanPartials(dir string) ([]string, error) {
 
 // Load reads an index container from path. The raw container path is
 // near-memcpy: the flat arrays are reconstructed without ever touching
-// the slice-of-slices labeling form.
+// the slice-of-slices labeling form. A version-4 (compact) container
+// loads in its compressed representation and serves from it.
 func Load(path string) (*HubLabels, error) {
 	if err := faultinject.Fire(faultinject.PointContainerRead); err != nil {
 		return nil, err
@@ -173,35 +176,54 @@ func Load(path string) (*HubLabels, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return LoadReader(f)
+	x, err := LoadReader(f)
+	if err != nil {
+		return nil, err
+	}
+	x.containerBytes = statSize(path)
+	return x, nil
 }
 
 // LoadReader is Load over an arbitrary stream.
 func LoadReader(r io.Reader) (*HubLabels, error) {
-	flat, err := hub.ReadContainer(r)
+	s, err := hub.ReadContainerStore(r)
 	if err != nil {
 		return nil, err
 	}
-	return FromFlat(flat), nil
+	return FromStore(s), nil
 }
 
-// LoadMmap opens a container zero-copy: for version-3 (aligned) files
-// the index's CSR columns are typed views of the memory-mapped region,
-// so the open is O(n) plus one checksum pass instead of a full decode,
-// no second copy of the index exists in anonymous memory, and processes
-// serving the same file share its physical pages. Old or compressed
+// LoadMmap opens a container zero-copy: for version-3 (aligned) and
+// version-4 (compact) files the index's columns are typed views of the
+// memory-mapped region, so the open is O(n) plus one header checksum
+// instead of a full decode, no second copy of the index exists in
+// anonymous memory, and processes serving the same file share its
+// physical pages. A compact container serves straight from its
+// compressed form — queries decode on the fly and the resident working
+// set is the compressed bytes actually touched. Old or gamma-compressed
 // containers fall back to the decoded load transparently.
 //
 // A view-backed index must be released (Release, or a serving layer that
 // owns it — server.Options.OwnIndex / SwapRetire) after its last query;
-// see hub.OpenContainerMmap for the lifetime and validation contract.
+// see hub.OpenStoreMmap for the lifetime and validation contract.
 func LoadMmap(path string) (*HubLabels, error) {
 	if err := faultinject.Fire(faultinject.PointContainerRead); err != nil {
 		return nil, err
 	}
-	flat, err := hub.OpenContainerMmap(path)
+	s, err := hub.OpenStoreMmap(path)
 	if err != nil {
 		return nil, err
 	}
-	return FromFlat(flat), nil
+	x := FromStore(s)
+	x.containerBytes = statSize(path)
+	return x, nil
+}
+
+// statSize returns the byte size of path, 0 when unknowable (the load
+// already succeeded; metadata must not fail it).
+func statSize(path string) int64 {
+	if fi, err := os.Stat(path); err == nil {
+		return fi.Size()
+	}
+	return 0
 }

@@ -8,12 +8,13 @@
 # EXPERIMENTS.md tracks (BENCH_pr1.json, BENCH_pr2.json, ...). The
 # default regex covers the query-path benchmarks plus the container-load
 # (E17), serving-throughput (E18), admission-control (E19),
-# path/eccentricity (E20), zero-copy mmap (E21) and disabled-faultinject
-# overhead (E22) and build-pipeline (E23) series.
+# path/eccentricity (E20), zero-copy mmap (E21), disabled-faultinject
+# overhead (E22), build-pipeline (E23) and compressed-serving (E24)
+# series.
 set -eu
 
 PR="${1:?usage: bench_json.sh PR_NUMBER [BENCH_REGEX]}"
-REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*|BenchmarkE21.*|BenchmarkE22.*|BenchmarkE23.*}"
+REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*|BenchmarkE21.*|BenchmarkE22.*|BenchmarkE23.*|BenchmarkE24.*}"
 OUT="BENCH_pr${PR}.json"
 cd "$(dirname "$0")/.."
 
