@@ -110,6 +110,7 @@ func run() error {
 	simLatency := flag.Duration("simlatency", 0, "artificial per-query service time, for load and overload testing")
 	selfcheck := flag.Int("selfcheck", 0, "verify this many random queries against graph search before serving and on reload (needs -graph)")
 	queryTimeout := flag.Duration("querytimeout", 0, "per-query deadline (0 = none); timed-out queries answer TIMEOUT / HTTP 504")
+	hotCache := flag.Int("hotcache", 0, "per-shard hot result cache entries for repeated (u,v) pairs (0 = disabled); invalidated automatically on reload")
 	flag.Parse()
 	if *indexPath == "" {
 		return fmt.Errorf("hubserve: -index is required")
@@ -179,7 +180,7 @@ func run() error {
 	// The server owns every served index (the initial one here, reloaded
 	// ones via SwapRetire): a retired mmap view is unmapped after its
 	// last in-flight query drains, and Close releases the final one.
-	opts := server.Options{Shards: *workers, QueueDepth: *queue, OwnIndex: true, QueryTimeout: *queryTimeout}
+	opts := server.Options{Shards: *workers, QueueDepth: *queue, OwnIndex: true, QueryTimeout: *queryTimeout, HotCache: *hotCache}
 	if *admission {
 		opts.Admission = &flowctl.Options{}
 	}
@@ -741,9 +742,11 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"shards":%d,"served":%d,"batches":%d,"rejected":%d,"shed":%d,"hot_clients":%d,`+
 			`"panics":%d,"faulted":%d,"timeouts":%d,"health":%q,"health_reason":%q,`+
+			`"direct":%d,"direct_batches":%d,"hot_hits":%d,"hot_misses":%d,"hot_evicts":%d,`+
 			`"representation":%q,"resident_bytes":%d,"container_bytes":%d}`+"\n",
 			st.Shards, st.Served, st.Batches, st.Rejected, st.Shed, st.PerClientHot,
 			st.Panics, st.Faulted, st.Timeouts, st.Health.String(), st.HealthReason,
+			st.Direct, st.DirectBatches, st.HotHits, st.HotMisses, st.HotEvicts,
 			meta.Representation, meta.ResidentBytes, meta.ContainerBytes)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,172 @@
+package hotcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"hublab/internal/graph"
+)
+
+func TestKeyCanonical(t *testing.T) {
+	if Key(3, 7) != Key(7, 3) {
+		t.Fatal("key not symmetric")
+	}
+	if Key(0, 0) == 0 {
+		t.Fatal("zero pair maps to the empty-slot sentinel")
+	}
+	if Key(3, 7) == Key(3, 8) || Key(3, 7) == Key(2, 7) {
+		t.Fatal("distinct pairs collide")
+	}
+	// The halves must not bleed into each other: (1, 2) vs (2, 1) is the
+	// same pair, but (0, 258) must differ from (1, 2).
+	if Key(0, 258) == Key(1, 2) {
+		t.Fatal("pair halves alias")
+	}
+}
+
+func TestNewSizing(t *testing.T) {
+	if New(0) != nil || New(-5) != nil {
+		t.Fatal("non-positive sizes must disable the cache")
+	}
+	for _, tc := range []struct{ entries, sets int }{
+		{1, 1}, {4, 1}, {5, 2}, {16, 4}, {17, 8}, {4096, 1024},
+	} {
+		c := New(tc.entries)
+		if c.Sets() != tc.sets {
+			t.Fatalf("New(%d): got %d sets, want %d", tc.entries, c.Sets(), tc.sets)
+		}
+		if c.Len() != tc.sets*ways {
+			t.Fatalf("New(%d): Len %d, want %d", tc.entries, c.Len(), tc.sets*ways)
+		}
+	}
+}
+
+func TestLookupInsert(t *testing.T) {
+	c := New(64)
+	c.ResetIfStale(1)
+	k := Key(10, 20)
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(k, 42)
+	if d, ok := c.Lookup(k); !ok || d != 42 {
+		t.Fatalf("got (%d, %v), want (42, true)", d, ok)
+	}
+	// Symmetric probe hits the same entry.
+	if d, ok := c.Lookup(Key(20, 10)); !ok || d != 42 {
+		t.Fatalf("reversed pair: got (%d, %v), want (42, true)", d, ok)
+	}
+	// Overwrite in place.
+	c.Insert(k, 7)
+	if d, _ := c.Lookup(k); d != 7 {
+		t.Fatalf("overwrite: got %d, want 7", d)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("counters: hits=%d misses=%d, want 3/1", hits, misses)
+	}
+}
+
+func TestEvictionWithinSet(t *testing.T) {
+	c := New(4) // one set, four ways
+	c.ResetIfStale(1)
+	keys := make([]uint64, 0, 5)
+	for u := graph.NodeID(0); len(keys) < 5; u++ {
+		keys = append(keys, Key(u, u+1))
+	}
+	for i, k := range keys {
+		c.Insert(k, graph.Weight(i))
+	}
+	_, _, evicts := c.Stats()
+	if evicts != 1 {
+		t.Fatalf("evicts=%d, want 1 (5 inserts into 4 ways)", evicts)
+	}
+	live := 0
+	for i, k := range keys {
+		if d, ok := c.Lookup(k); ok {
+			live++
+			if d != graph.Weight(i) {
+				t.Fatalf("key %d: got %d, want %d", i, d, i)
+			}
+		}
+	}
+	if live != 4 {
+		t.Fatalf("%d keys survive, want 4", live)
+	}
+}
+
+func TestResetIfStale(t *testing.T) {
+	c := New(64)
+	c.ResetIfStale(1)
+	k := Key(1, 2)
+	c.Insert(k, 9)
+	c.ResetIfStale(1) // same generation: contents survive
+	if _, ok := c.Lookup(k); !ok {
+		t.Fatal("same-generation reset dropped the entry")
+	}
+	c.ResetIfStale(2) // new generation: wholesale discard
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("stale entry survived a generation bump")
+	}
+	c.Insert(k, 11)
+	if d, ok := c.Lookup(k); !ok || d != 11 {
+		t.Fatal("cache unusable after reset")
+	}
+}
+
+// TestNeverWrong is the cache's core property: against a moving
+// ground-truth oracle with generation bumps at random points, a Lookup
+// hit must always equal what the current generation's oracle inserted —
+// never a value from before the bump.
+func TestNeverWrong(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := New(32) // small, to force heavy eviction traffic
+	gen := uint64(1)
+	c.ResetIfStale(gen)
+	truth := map[uint64]graph.Weight{}
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(500) == 0 {
+			gen++
+			c.ResetIfStale(gen)
+			truth = map[uint64]graph.Weight{}
+		}
+		u := graph.NodeID(rng.Intn(64))
+		v := graph.NodeID(rng.Intn(64))
+		k := Key(u, v)
+		if d, ok := c.Lookup(k); ok {
+			want, present := truth[k]
+			if !present {
+				t.Fatalf("step %d: hit on never-inserted key", step)
+			}
+			if d != want {
+				t.Fatalf("step %d: cached %d, truth %d", step, d, want)
+			}
+		} else {
+			d := graph.Weight(rng.Intn(1000)) + graph.Weight(gen)*1000
+			truth[k] = d
+			c.Insert(k, d)
+		}
+	}
+	hits, misses, evicts := c.Stats()
+	if hits == 0 || misses == 0 || evicts == 0 {
+		t.Fatalf("test exercised nothing: hits=%d misses=%d evicts=%d", hits, misses, evicts)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(4096)
+	c.ResetIfStale(1)
+	const n = 512
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = Key(graph.NodeID(i), graph.NodeID(i+7777))
+		c.Insert(keys[i], graph.Weight(i))
+	}
+	b.ResetTimer()
+	var sink graph.Weight
+	for i := 0; i < b.N; i++ {
+		d, _ := c.Lookup(keys[i%n])
+		sink += d
+	}
+	_ = sink
+}

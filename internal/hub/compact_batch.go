@@ -1,0 +1,308 @@
+package hub
+
+import (
+	"sync"
+
+	"hublab/internal/graph"
+)
+
+// Batched compact queries: decode-then-merge, two merges in flight.
+//
+// The compact scalar merge pays for every entry twice — a dependent
+// byte-decode chain (delta add, escape test, zig-zag) feeding an
+// unpredictable three-way merge branch. Interleaving two such
+// byte-decoding merges was measured to hide none of the stall: the
+// decode chain blocks at the head of the reorder window regardless of
+// how many merges are in flight, and the extra stream state spills
+// (the refilled-interleave variant ran at a ~1.9× premium over the
+// expanded batch on gnm10k).
+//
+// Splitting the phases wins instead. Each run is decoded by a tight
+// sequential loop into pooled scratch (the chain shrinks to a one-add
+// prefix sum over bytes the hardware prefetcher streams, ~1.15 µs/query
+// on gnm10k), and the merges then run over L1-hot int32 scratch where
+// they are bound only by their own load→advance dependency chains —
+// which two lockstep, independent merges genuinely overlap. Measured
+// on the gnm10k fixture (1024 random pairs, min-of-10 alternating
+// rounds): expanded batch ~2.4 µs/q, decode+serial merge ~3.6 µs/q
+// (premium 1.47, matching the E24 scalar premium), decode+lockstep
+// pair ~3.3 µs/q (premium 1.33–1.40).
+//
+// Variants tried and rejected by the same harness: lazy distance
+// decode (stop at the last matching rank — random pairs share hubs
+// deep into both runs, so the lazy prefix covered nearly everything
+// and the extra passes doubled the cost); three lockstep streams
+// (register spills, 1.46); sorting four pairs by decoded length to
+// pair like-sized merges (no change); a shared decode arena with
+// integer cursors instead of slice headers (no change, 1.47).
+// Skewed pairs never enter the lockstep at all — fillStream peels
+// them to gallopDecoded, the same policy the flat kernels apply.
+
+// batchScratch holds the decoded runs of the two pairs a batch keeps
+// in flight: slots 0,1 for stream 0, slots 2,3 for stream 1. Buffers
+// grow to the longest run seen and are recycled through a pool so
+// concurrent server shards never share or reallocate them.
+type batchScratch struct {
+	id [4][]int32
+	d  [4][]graph.Weight
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// decodeRun decodes vertex v's run into ids/ds (grown as needed),
+// returning the filled slices. Escape codes take the outlined slow
+// path; everything else is a two-byte load and two adds per entry.
+// Bounds come from the validated offsets/escOff arrays, so on a
+// hostile quick-validated view this degrades to wrong decoded values,
+// never to out-of-bounds access.
+func (c *CompactLabeling) decodeRun(v graph.NodeID, ids []int32, ds []graph.Weight) ([]int32, []graph.Weight) {
+	if c.wide {
+		return c.decodeRunWide(v, ids, ds)
+	}
+	return c.decodeRunNarrow(v, ids, ds)
+}
+
+func (c *CompactLabeling) decodeRunNarrow(v graph.NodeID, ids []int32, ds []graph.Weight) ([]int32, []graph.Weight) {
+	i0, i1 := c.offsets[v], c.offsets[v+1]
+	hd, dd := c.hubDelta[i0:i1], c.distDelta[i0:i1]
+	esc, e := c.esc, c.escOff[v]
+	ln := len(hd)
+	if cap(ids) < ln {
+		ids = make([]int32, ln)
+		ds = make([]graph.Weight, ln)
+	}
+	ids, ds = ids[:ln], ds[:ln]
+	r, d := int32(-1), graph.Weight(0)
+	k := 0
+	for ; k+1 < ln; k += 2 {
+		hb0, db0 := hd[k], dd[k]
+		hb1, db1 := hd[k+1], dd[k+1]
+		if hb0 == escByte || db0 == escByte || hb1 == escByte || db1 == escByte {
+			e, r = stepHub(hd, esc, k, e, r)
+			e, d = stepDistNarrow(dd, esc, k, e, d)
+			ids[k] = r
+			ds[k] = d
+			e, r = stepHub(hd, esc, k+1, e, r)
+			e, d = stepDistNarrow(dd, esc, k+1, e, d)
+			ids[k+1] = r
+			ds[k+1] = d
+			continue
+		}
+		r += int32(hb0) + 1
+		d += unzig32(uint32(db0))
+		ids[k] = r
+		ds[k] = d
+		r += int32(hb1) + 1
+		d += unzig32(uint32(db1))
+		ids[k+1] = r
+		ds[k+1] = d
+	}
+	for ; k < ln; k++ {
+		e, r = stepHub(hd, esc, k, e, r)
+		e, d = stepDistNarrow(dd, esc, k, e, d)
+		ids[k] = r
+		ds[k] = d
+	}
+	return ids, ds
+}
+
+func (c *CompactLabeling) decodeRunWide(v graph.NodeID, ids []int32, ds []graph.Weight) ([]int32, []graph.Weight) {
+	i0, i1 := c.offsets[v], c.offsets[v+1]
+	hd, dd := c.hubDelta[i0:i1], c.distDelta[2*i0:2*i1]
+	esc, e := c.esc, c.escOff[v]
+	ln := len(hd)
+	if cap(ids) < ln {
+		ids = make([]int32, ln)
+		ds = make([]graph.Weight, ln)
+	}
+	ids, ds = ids[:ln], ds[:ln]
+	r, d := int32(-1), graph.Weight(0)
+	for k := 0; k < ln; k++ {
+		hb := hd[k]
+		z := uint32(dd[2*k]) | uint32(dd[2*k+1])<<8
+		if hb == escByte || z == escWord {
+			e, r = stepHub(hd, esc, k, e, r)
+			e, d = stepDistWide(dd, esc, k, e, d)
+		} else {
+			r += int32(hb) + 1
+			d += unzig32(z)
+		}
+		ids[k] = r
+		ds[k] = d
+	}
+	return ids, ds
+}
+
+// mergeDecoded merges two decoded runs with the branch-reduced linear
+// scan, starting from cursors i, j with a carried-in best.
+func mergeDecoded(idA []int32, dA []graph.Weight, idB []int32, dB []graph.Weight, i, j int, best graph.Weight) graph.Weight {
+	for i < len(idA) && j < len(idB) {
+		a, b := idA[i], idB[j]
+		if a == b {
+			if d := dA[i] + dB[j]; d < best {
+				best = d
+			}
+			i++
+			j++
+		} else {
+			lt := int(uint64(int64(a)-int64(b)) >> 63)
+			i += lt
+			j += 1 - lt
+		}
+	}
+	return best
+}
+
+// gallopDecoded is mergeGallop over decoded scratch: each short-run
+// rank probes the long run exponentially, then binary-searches the
+// overshot window. Dispatched when skewed() fires on the decoded
+// lengths, so compact batches keep the same skew behavior as the flat
+// kernels.
+func gallopDecoded(idS []int32, dS []graph.Weight, idL []int32, dL []graph.Weight) graph.Weight {
+	best := graph.Infinity
+	si, li := 0, 0
+	for si < len(idS) && li < len(idL) {
+		h := idS[si]
+		if idL[li] < h {
+			step := 1
+			for li+step < len(idL) && idL[li+step] < h {
+				li += step
+				step <<= 1
+			}
+			lo, hi := li+1, li+step
+			if hi > len(idL) {
+				hi = len(idL)
+			}
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if idL[mid] < h {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			li = lo
+			if li >= len(idL) {
+				break
+			}
+		}
+		if idL[li] == h {
+			if d := dS[si] + dL[li]; d < best {
+				best = d
+			}
+			li++
+		}
+		si++
+	}
+	return best
+}
+
+// batchKernel selects the batched merge structure; settable from the
+// measurement harness (export_test.go) to A/B the variants on the
+// same fixture. 0 = lockstep pair merge with serial drains (default),
+// 1 = per-pair scalar merge over decoded scratch (the baseline the
+// lockstep is measured against).
+var batchKernel = 0
+
+// fillStream decodes the next mergeable pair into slot group s,
+// answering empty and skewed pairs inline; returns the pair index and
+// the next cursor, or ok=false when the batch is exhausted.
+func (c *CompactLabeling) fillStream(sc *batchScratch, pairs [][2]graph.NodeID, out []graph.Weight, next, s int) (o, nxt int, ok bool) {
+	for next < len(pairs) {
+		p := pairs[next]
+		o = next
+		next++
+		sc.id[s], sc.d[s] = c.decodeRun(p[0], sc.id[s], sc.d[s])
+		sc.id[s+1], sc.d[s+1] = c.decodeRun(p[1], sc.id[s+1], sc.d[s+1])
+		la, lb := len(sc.id[s]), len(sc.id[s+1])
+		if la == 0 || lb == 0 {
+			out[o] = graph.Infinity
+			continue
+		}
+		if swap, sk := skewed(la, lb); sk {
+			if swap {
+				out[o] = gallopDecoded(sc.id[s+1], sc.d[s+1], sc.id[s], sc.d[s])
+			} else {
+				out[o] = gallopDecoded(sc.id[s], sc.d[s], sc.id[s+1], sc.d[s+1])
+			}
+			continue
+		}
+		return o, next, true
+	}
+	return 0, next, false
+}
+
+// mergeDecodedPair runs slots 0,1 and 2,3 in lockstep until either
+// stream exhausts, then drains each serially. The two merges carry no
+// data dependence on each other, so their load→advance chains overlap
+// in the pipeline — the overlap the byte-decoding interleave could
+// never reach.
+func mergeDecodedPair(sc *batchScratch) (graph.Weight, graph.Weight) {
+	b0, b1 := graph.Infinity, graph.Infinity
+	idA0, dA0, idB0, dB0 := sc.id[0], sc.d[0], sc.id[1], sc.d[1]
+	idA1, dA1, idB1, dB1 := sc.id[2], sc.d[2], sc.id[3], sc.d[3]
+	i0, j0, i1, j1 := 0, 0, 0, 0
+	for i0 < len(idA0) && j0 < len(idB0) && i1 < len(idA1) && j1 < len(idB1) {
+		a0, c0 := idA0[i0], idB0[j0]
+		a1, c1 := idA1[i1], idB1[j1]
+		if a0 == c0 {
+			if d := dA0[i0] + dB0[j0]; d < b0 {
+				b0 = d
+			}
+			i0++
+			j0++
+		} else {
+			lt := int(uint64(int64(a0)-int64(c0)) >> 63)
+			i0 += lt
+			j0 += 1 - lt
+		}
+		if a1 == c1 {
+			if d := dA1[i1] + dB1[j1]; d < b1 {
+				b1 = d
+			}
+			i1++
+			j1++
+		} else {
+			lt := int(uint64(int64(a1)-int64(c1)) >> 63)
+			i1 += lt
+			j1 += 1 - lt
+		}
+	}
+	b0 = mergeDecoded(idA0, dA0, idB0, dB0, i0, j0, b0)
+	b1 = mergeDecoded(idA1, dA1, idB1, dB1, i1, j1, b1)
+	return b0, b1
+}
+
+// queryBatchLockstep answers pairs two at a time: decode both pairs'
+// runs into scratch, lockstep-merge them, repeat. An odd trailing pair
+// drains serially.
+func (c *CompactLabeling) queryBatchLockstep(sc *batchScratch, pairs [][2]graph.NodeID, out []graph.Weight) {
+	next := 0
+	for {
+		o0, nxt, ok := c.fillStream(sc, pairs, out, next, 0)
+		if !ok {
+			return
+		}
+		o1, nxt2, ok := c.fillStream(sc, pairs, out, nxt, 2)
+		if !ok {
+			out[o0] = mergeDecoded(sc.id[0], sc.d[0], sc.id[1], sc.d[1], 0, 0, graph.Infinity)
+			return
+		}
+		next = nxt2
+		out[o0], out[o1] = mergeDecodedPair(sc)
+	}
+}
+
+// queryBatchScalarMerge is the one-merge-at-a-time baseline over the
+// same decoded scratch; kept for the A/B measurement harness.
+func (c *CompactLabeling) queryBatchScalarMerge(sc *batchScratch, pairs [][2]graph.NodeID, out []graph.Weight) {
+	next := 0
+	for {
+		o, nxt, ok := c.fillStream(sc, pairs, out, next, 0)
+		if !ok {
+			return
+		}
+		next = nxt
+		out[o] = mergeDecoded(sc.id[0], sc.d[0], sc.id[1], sc.d[1], 0, 0, graph.Infinity)
+	}
+}

@@ -222,6 +222,65 @@ func TestCompactQuickValidationTrustModel(t *testing.T) {
 	})
 }
 
+// TestCompactHostileRankNeverLeaks pins the Label/Expand escape-rank
+// bound: a hostile quick-validated view whose escape slots hold ranks
+// ≥ n must surface those entries as the invalid hub id -1 — loudly,
+// like every other hostile-interior path — never as the raw rank, which
+// callers would mistake for a real vertex id. (Regression: Label used
+// to fall through to the unmapped rank when the range check failed.)
+func TestCompactHostileRankNeverLeaks(t *testing.T) {
+	data := compactBytes(t, escFixture(t))
+	escs := binary.LittleEndian.Uint64(data[40:48])
+	if escs == 0 {
+		t.Fatal("fixture has no escape slots to forge")
+	}
+	// Aim every shared escape slot far outside [0, n): each hub-rank
+	// escape now decodes to a rank no remap row covers.
+	off := v4SectionOff(data, 5)
+	for i := uint64(0); i < escs; i++ {
+		binary.LittleEndian.PutUint32(data[off+4*i:], 1<<20)
+	}
+	refreshCRC(data)
+	s, err := openStoreBytes(data)
+	if err != nil {
+		t.Fatalf("quick open rejected a forged-escape view: %v", err)
+	}
+	c := s.(*CompactLabeling)
+	defer c.Release()
+	if err := c.Validate(); err == nil {
+		t.Fatal("full audit accepted forged escape slots")
+	}
+	n := graph.NodeID(c.NumVertices())
+	checkIDs := func(where string, ids []graph.NodeID) {
+		t.Helper()
+		for _, h := range ids {
+			if h != -1 && (h < 0 || h >= n) {
+				t.Fatalf("%s leaked raw rank %d as a hub id (n=%d)", where, h, n)
+			}
+		}
+	}
+	leaked := false
+	var idBuf []graph.NodeID
+	var dBuf []graph.Weight
+	for v := graph.NodeID(0); v < n; v++ {
+		ids, _ := c.Label(v, idBuf, dBuf)
+		checkIDs("Label", ids)
+		for _, h := range ids {
+			if h == -1 {
+				leaked = true
+			}
+		}
+		idBuf, dBuf = ids[:0], dBuf[:0]
+	}
+	if !leaked {
+		t.Fatal("no forged escape reached a hub byte — the fixture no longer covers the bug")
+	}
+	x := c.Expand()
+	for v := graph.NodeID(0); v < n; v++ {
+		checkIDs("Expand", x.LabelIDs(v))
+	}
+}
+
 // hostileV4Seeds is the version-4 face of the fuzz corpus: intact
 // compact containers plus every forgery class of the hostile tests, so
 // the fuzzers start from inputs that already reach the deep v4 paths.

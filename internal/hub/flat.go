@@ -278,8 +278,22 @@ func (f *FlatLabeling) LabelDists(v graph.NodeID) []graph.Weight {
 // sentinel is the maximum id, so no length checks are needed: when one
 // run is exhausted the other side advances to its own sentinel and the
 // cursors meet there.
+//
+// Skewed pairs — one run at least gallopRatio× longer than the other —
+// are routed to the galloping kernel instead (see skew.go), which skips
+// the long run in O(short·log long) probes.
 func (f *FlatLabeling) Query(u, v graph.NodeID) (graph.Weight, bool) {
 	i, j := int(f.offsets[u]), int(f.offsets[v])
+	iEnd, jEnd := int(f.offsets[u+1])-1, int(f.offsets[v+1])-1
+	if swap, ok := skewed(iEnd-i, jEnd-j); ok {
+		var best graph.Weight
+		if swap {
+			best = f.mergeGallop(j, jEnd, i, iEnd, graph.Infinity)
+		} else {
+			best = f.mergeGallop(i, iEnd, j, jEnd, graph.Infinity)
+		}
+		return best, best < graph.Infinity
+	}
 	ids, ds := f.hubIDs, f.dists
 	best := graph.Infinity
 	for {
@@ -309,8 +323,22 @@ func (f *FlatLabeling) Query(u, v graph.NodeID) (graph.Weight, bool) {
 }
 
 // QueryVia is Query but also returns the minimizing hub (-1 when none).
+// Like Query it routes skewed pairs to the galloping kernel; both
+// kernels break distance ties toward the smallest hub id, so the
+// witness never depends on which kernel the skew selected.
 func (f *FlatLabeling) QueryVia(u, v graph.NodeID) (graph.Weight, graph.NodeID, bool) {
 	i, j := int(f.offsets[u]), int(f.offsets[v])
+	iEnd, jEnd := int(f.offsets[u+1])-1, int(f.offsets[v+1])-1
+	if swap, ok := skewed(iEnd-i, jEnd-j); ok {
+		var best graph.Weight
+		var via graph.NodeID
+		if swap {
+			best, via = f.mergeGallopVia(j, jEnd, i, iEnd)
+		} else {
+			best, via = f.mergeGallopVia(i, iEnd, j, jEnd)
+		}
+		return best, via, via >= 0
+	}
 	ids, ds := f.hubIDs, f.dists
 	best := graph.Infinity
 	via := graph.NodeID(-1)
@@ -336,11 +364,13 @@ func (f *FlatLabeling) QueryVia(u, v graph.NodeID) (graph.Weight, graph.NodeID, 
 }
 
 // queryStream is the saved state of one in-flight merge inside
-// QueryBatch: cursors, the running minimum, and the batch slot the result
-// belongs to.
+// QueryBatch: cursors, run ends (exclusive of the sentinel — the hot
+// interleave never reads them, only the skew dispatch in mergeRest
+// does), the running minimum, and the batch slot the result belongs to.
 type queryStream struct {
-	i, j, o int
-	best    graph.Weight
+	i, j, o    int
+	iEnd, jEnd int
+	best       graph.Weight
 }
 
 // QueryBatch answers pairs[k] = (u, v) into out[k] for every k, writing
@@ -365,6 +395,7 @@ func (f *FlatLabeling) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
 	for t := 0; t < 3; t++ {
 		s[t] = queryStream{
 			i: int(f.offsets[pairs[t][0]]), j: int(f.offsets[pairs[t][1]]),
+			iEnd: int(f.offsets[pairs[t][0]+1]) - 1, jEnd: int(f.offsets[pairs[t][1]+1]) - 1,
 			o: t, best: graph.Infinity,
 		}
 	}
@@ -436,6 +467,7 @@ func (f *FlatLabeling) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
 		if k < len(pairs) {
 			s[fin] = queryStream{
 				i: int(f.offsets[pairs[k][0]]), j: int(f.offsets[pairs[k][1]]),
+				iEnd: int(f.offsets[pairs[k][0]+1]) - 1, jEnd: int(f.offsets[pairs[k][1]+1]) - 1,
 				o: k, best: graph.Infinity,
 			}
 			k++
@@ -445,12 +477,27 @@ func (f *FlatLabeling) QueryBatch(pairs [][2]graph.NodeID, out []graph.Weight) {
 		}
 	}
 	// Batch exhausted: drain the two remaining streams single-file.
-	out[s[0].o] = f.mergeRest(s[0].i, s[0].j, s[0].best)
-	out[s[1].o] = f.mergeRest(s[1].i, s[1].j, s[1].best)
+	out[s[0].o] = f.mergeRest(s[0].i, s[0].iEnd, s[0].j, s[0].jEnd, s[0].best)
+	out[s[1].o] = f.mergeRest(s[1].i, s[1].iEnd, s[1].j, s[1].jEnd, s[1].best)
 }
 
-// mergeRest continues a single merge from saved cursors.
-func (f *FlatLabeling) mergeRest(i, j int, best graph.Weight) graph.Weight {
+// mergeRest continues a single merge from saved cursors. The remaining
+// tails decide the kernel: skewed tails gallop, balanced tails run the
+// sentinel-terminated linear scan (which never consults the ends).
+func (f *FlatLabeling) mergeRest(i, iEnd, j, jEnd int, best graph.Weight) graph.Weight {
+	if swap, ok := skewed(iEnd-i, jEnd-j); ok {
+		if swap {
+			return f.mergeGallop(j, jEnd, i, iEnd, best)
+		}
+		return f.mergeGallop(i, iEnd, j, jEnd, best)
+	}
+	return f.mergeLinear(i, j, best)
+}
+
+// mergeLinear is the branch-reduced sentinel-terminated scan from saved
+// cursors — the balanced-tail half of mergeRest, and the baseline the
+// gallop crossover benchmark measures against.
+func (f *FlatLabeling) mergeLinear(i, j int, best graph.Weight) graph.Weight {
 	ids, ds := f.hubIDs, f.dists
 	for {
 		a, b := ids[i], ids[j]

@@ -5,6 +5,7 @@ import (
 
 	"hublab/internal/index"
 	"hublab/internal/index/indextest"
+	"hublab/internal/server/servertest"
 )
 
 // TestPropertyBackends runs the randomized cross-backend property harness
@@ -41,6 +42,28 @@ func TestPropertyContainerLoads(t *testing.T) {
 	for _, pg := range indextest.PropertyGraphs(t, 42) {
 		t.Run(pg.Name, func(t *testing.T) {
 			indextest.RunContainerLoadEquivalence(t, pg.G, 1234)
+		})
+	}
+}
+
+// TestPropertyCachedServing runs every backend kind over every harness
+// family behind a hot-cached server and requires answers byte-identical
+// to the bare index across cache hits, misses, and the post-swap cold
+// state — the "zero wrong answers" half of the E25 cache gate. CI runs
+// it inside the -race -count=2 property shard, so the single-writer
+// cache arrays are also race-checked under concurrent shard traffic.
+func TestPropertyCachedServing(t *testing.T) {
+	for _, kind := range index.Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			for _, pg := range indextest.PropertyGraphs(t, 42) {
+				t.Run(pg.Name, func(t *testing.T) {
+					idx, err := index.Build(kind, pg.G, index.Options{Seed: 7})
+					if err != nil {
+						t.Fatalf("build %s over %s: %v", kind, pg.Name, err)
+					}
+					servertest.RunCachedServing(t, pg.G, idx, 1234)
+				})
+			}
 		})
 	}
 }

@@ -1,0 +1,13 @@
+package server
+
+// SetBatchSizeForTest re-tunes the shard coalescing bound for the
+// batch-size sweep harness. size is clamped to [1, maxBatch].
+func SetBatchSizeForTest(size int) {
+	if size < 1 {
+		size = 1
+	}
+	if size > maxBatch {
+		size = maxBatch
+	}
+	batchSize = size
+}

@@ -48,6 +48,7 @@ import (
 	"hublab/internal/faultinject"
 	"hublab/internal/flowctl"
 	"hublab/internal/graph"
+	"hublab/internal/hotcache"
 	"hublab/internal/index"
 	"hublab/internal/par"
 )
@@ -84,11 +85,23 @@ var ErrBackendFault = errors.New("server: backend fault while serving the reques
 // machine, never Served.
 var ErrTimeout = errors.New("server: query deadline exceeded")
 
+// maxBatch bounds the per-shard group buffers; batchSize may be
+// re-tuned below it without resizing shards.
+const maxBatch = 8
+
 // batchSize is how many adjacent requests a shard coalesces into one
 // DistanceBatch call. Three matches the stream count of the interleaved
-// merge in hub.QueryBatch — more would queue behind the merge, fewer
-// wastes pipeline overlap.
-const batchSize = 3
+// merge in hub.QueryBatch, and the value is pinned by measurement, not
+// inheritance: the env-gated sweep in batchsize_sweep_test.go measures
+// both the serving envelope and the bare merge across sizes 1–8 —
+// groups of 1–2 fall back to the scalar merge (~3.1 µs/q on gnm10k),
+// 3 fills the interleave (2.3 µs/q), and everything past 3 sits on the
+// same plateau because the interleave refills its streams continuously
+// regardless of group length. 3 is the smallest size on the plateau;
+// deeper coalescing buys no merge throughput and only adds queueing
+// delay for the requests at the back of a group. A var only so the
+// sweep harness can set it; nothing else may write it.
+var batchSize = 3
 
 // Options configures a Server.
 type Options struct {
@@ -118,6 +131,16 @@ type Options struct {
 	// blocked callers behind a stuck backend. Blocking Query calls are
 	// exempt (trusted in-process callers own their own patience).
 	QueryTimeout time.Duration
+	// HotCache, when positive, attaches a per-shard hotcache.Cache of at
+	// least this many entries (rounded up to power-of-two sets) to every
+	// shard worker: distance requests probe it before the batch merge,
+	// and computed answers are inserted after. The cache is invalidated
+	// wholesale on Swap/SwapRetire via the snapshot generation, so a hit
+	// can never survive a reload. 0 disables caching. The direct
+	// QueryBatch door never consults the cache — bulk scans would evict
+	// the genuinely hot pairs, and the door has no owning worker to keep
+	// the single-writer arrays safe.
+	HotCache int
 	// Health tunes the fault-health state machine (healthy → degraded →
 	// failed, driven by recent panic and timeout counts). The zero value
 	// applies the package defaults; overload (Rejected/Shed) never moves
@@ -148,6 +171,14 @@ type Server struct {
 	// shard queues and their per-shard counters.
 	direct        atomic.Uint64
 	directBatches atomic.Uint64
+	// gen issues snapshot generation numbers: every installed snapshot
+	// (New, Swap, SwapRetire) gets the next value. Shard workers compare
+	// the generation of the snapshot they pinned against their hot
+	// cache's fill generation and discard stale contents before probing
+	// (hotcache.ResetIfStale) — tagging contents by the pinned snapshot,
+	// not by a counter read racily beside the swap, is what makes a
+	// cached answer provably from the snapshot it is served against.
+	gen atomic.Uint64
 	// timeout is Options.QueryTimeout; zero disables deadlines.
 	timeout time.Duration
 	// Fault containment: panics counts recovered worker/warm panics
@@ -183,6 +214,9 @@ type snapshot struct {
 	// atomic load) and concurrent cold requests share one warm attempt.
 	pathsWarm warmFlight
 	eccWarm   warmFlight
+	// gen is this snapshot's generation number (see Server.gen); shard
+	// hot caches are valid for exactly one gen.
+	gen uint64
 	// owned records that the server must release the index's resources
 	// (index.Releaser) when the snapshot retires — set by Options.OwnIndex
 	// and SwapRetire, never by plain Swap, whose caller keeps the old
@@ -277,11 +311,15 @@ type shard struct {
 	ch chan *request
 	// Reusable per-shard batch buffers: the worker is the only goroutine
 	// touching them, so groups recycle the same storage forever.
-	reqs    [batchSize]*request
-	pairs   [batchSize][2]graph.NodeID
-	out     [batchSize]graph.Weight
+	reqs    [maxBatch]*request
+	pairs   [maxBatch][2]graph.NodeID
+	out     [maxBatch]graph.Weight
 	served  atomic.Uint64
 	batches atomic.Uint64
+	// cache is the shard's private Zipf-hot result cache (nil when
+	// Options.HotCache is 0). Only this shard's worker touches its
+	// key/value arrays — see hotcache's package comment.
+	cache *hotcache.Cache
 }
 
 // New starts a server over idx. Callers must Close it to release the
@@ -301,10 +339,12 @@ func New(idx index.Index, opts Options) *Server {
 	if opts.Admission != nil {
 		s.ctl = flowctl.New(*opts.Admission)
 	}
-	s.snap.Store(newSnapshot(idx, opts.OwnIndex))
+	first := newSnapshot(idx, opts.OwnIndex)
+	first.gen = s.gen.Add(1)
+	s.snap.Store(first)
 	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	for i := range s.shards {
-		sh := &shard{ch: make(chan *request, depth)}
+		sh := &shard{ch: make(chan *request, depth), cache: hotcache.New(opts.HotCache)}
 		s.shards[i] = sh
 		s.wg.Add(1)
 		go s.run(sh)
@@ -715,7 +755,9 @@ func (s *Server) Meta() index.Meta {
 // once in-flight queries drain; the returned value is then only good
 // until that moment. Don't mix the two styles on the same index.)
 func (s *Server) Swap(next index.Index) index.Index {
-	old := s.snap.Swap(newSnapshot(next, false))
+	ns := newSnapshot(next, false)
+	ns.gen = s.gen.Add(1)
+	old := s.snap.Swap(ns)
 	idx := old.idx
 	old.retire()
 	return idx
@@ -729,7 +771,9 @@ func (s *Server) Swap(next index.Index) index.Index {
 // pins, and the release runs on whichever goroutine drops the last one.
 // This is the hot-reload door (hubserve /reload, SIGHUP).
 func (s *Server) SwapRetire(next index.Index) {
-	old := s.snap.Swap(newSnapshot(next, true))
+	ns := newSnapshot(next, true)
+	ns.gen = s.gen.Add(1)
+	old := s.snap.Swap(ns)
 	old.retire()
 }
 
@@ -767,6 +811,26 @@ type Stats struct {
 	Faulted uint64
 	// Timeouts counts requests abandoned at Options.QueryTimeout.
 	Timeouts uint64
+	// Direct and DirectBatches count queries and calls through the
+	// direct QueryBatch door, which bypasses the shard queues, the
+	// admission controller, and the hot cache. Direct traffic is
+	// included in Served and DirectBatches in Batches, so the exact
+	// accounting identity reads: Served + Rejected + Shed + Faulted +
+	// Timeouts == (requests submitted through the queue doors) +
+	// Direct. Subtract Direct from Served to reason about queue-door
+	// traffic alone.
+	Direct        uint64
+	DirectBatches uint64
+	// HotHits / HotMisses / HotEvicts aggregate the per-shard hot
+	// result caches (all zero when Options.HotCache is 0). A hit is a
+	// distance request answered without touching the index; hits are
+	// counted in Served like any other answer but never in Batches,
+	// so Served/Batches can exceed the coalescing factor on cache-warm
+	// workloads. HotHits + HotMisses equals the number of distance
+	// requests that probed a cache.
+	HotHits   uint64
+	HotMisses uint64
+	HotEvicts uint64
 	// Health is the fault-health state (healthy / degraded / failed),
 	// derived from recent panic and timeout counts — never from
 	// Rejected/Shed, because shedding under overload is the designed
@@ -783,7 +847,10 @@ type Stats struct {
 // outcome is visible here no later than its reply: every TryQuery has
 // been counted exactly once across Served / Rejected / Shed / Faulted /
 // Timeouts by the time it returns, and those five buckets sum exactly
-// to the submitted-request count.
+// to the submitted-request count plus Direct — queries through the
+// direct QueryBatch door are Served without ever being submitted to a
+// queue, and the Direct field makes that contribution explicit rather
+// than leaving the identity silently violated.
 func (s *Server) Stats() Stats {
 	st := Stats{Shards: len(s.shards), PerShard: make([]uint64, len(s.shards))}
 	for i, sh := range s.shards {
@@ -793,8 +860,18 @@ func (s *Server) Stats() Stats {
 		st.Batches += sh.batches.Load()
 		st.Queued += len(sh.ch)
 	}
-	st.Served += s.direct.Load()
-	st.Batches += s.directBatches.Load()
+	for _, sh := range s.shards {
+		if sh.cache != nil {
+			h, m, e := sh.cache.Stats()
+			st.HotHits += h
+			st.HotMisses += m
+			st.HotEvicts += e
+		}
+	}
+	st.Direct = s.direct.Load()
+	st.DirectBatches = s.directBatches.Load()
+	st.Served += st.Direct
+	st.Batches += st.DirectBatches
 	st.Rejected = s.rejected.Load()
 	st.Shed = s.shed.Load()
 	st.Panics = s.panics.Load()
@@ -877,7 +954,9 @@ func (s *Server) run(sh *shard) {
 	}
 }
 
-// serveGroup answers one coalesced group on one snapshot. A panic out of
+// serveGroup answers one coalesced group on one snapshot, probing the
+// shard's hot cache (when enabled) for distance requests before paying
+// for the merge and feeding computed answers back in. A panic out of
 // the backend — or an injected worker fault — is recovered here: every
 // undelivered request in the group fails with ErrBackendFault (counted
 // in Faulted, the panic event in Panics), completions are still
@@ -912,6 +991,33 @@ func (s *Server) serveGroup(sh *shard, n int) {
 		}
 		return
 	}
+	if sh.cache != nil {
+		// Validate the cache against the snapshot this group is pinned
+		// to, then answer distance hits immediately and compact the
+		// misses to the front. ResetIfStale keys on the pinned
+		// snapshot's generation, so a hit is by construction an answer
+		// this exact snapshot once computed — a Swap racing this group
+		// cannot smuggle an old index's answer past the reset.
+		sh.cache.ResetIfStale(snap.gen)
+		m := 0
+		for i := 0; i < n; i++ {
+			r := sh.reqs[i]
+			sh.reqs[i] = nil
+			if r.op == opDistance {
+				if d, ok := sh.cache.Lookup(hotcache.Key(r.u, r.v)); ok {
+					r.d = d
+					s.deliver(sh, r)
+					continue
+				}
+			}
+			sh.reqs[m] = r
+			m++
+		}
+		n = m
+		if n == 0 {
+			return
+		}
+	}
 	allDist := true
 	for i := 0; i < n; i++ {
 		if sh.reqs[i].op != opDistance {
@@ -930,6 +1036,16 @@ func (s *Server) serveGroup(sh *shard, n int) {
 	} else {
 		for i := 0; i < n; i++ {
 			serveOne(snap, sh.reqs[i])
+		}
+	}
+	if sh.cache != nil {
+		// Computed distances (including Infinity for unreachable pairs)
+		// go into the cache before delivery, so an immediate repeat of
+		// the same pair hits even under adversarial timing.
+		for i := 0; i < n; i++ {
+			if r := sh.reqs[i]; r.op == opDistance && r.err == nil {
+				sh.cache.Insert(hotcache.Key(r.u, r.v), r.d)
+			}
 		}
 	}
 	// Count before replying: once done is signaled, callers may observe

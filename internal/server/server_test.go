@@ -100,6 +100,22 @@ func TestServerQueryBatch(t *testing.T) {
 			t.Fatalf("%s: batch-door stats served=%d batches=%d, want %d/1",
 				backend.Name(), st.Served, st.Batches, len(pairs))
 		}
+		// Mix in queue-door traffic and assert the exact accounting
+		// identity with the direct door made explicit: Served + Rejected
+		// + Shed + Faulted + Timeouts == queue-door submissions + Direct.
+		const queued = 25
+		for i := 0; i < queued; i++ {
+			srv.Query(graph.NodeID(i%200), graph.NodeID((i*31)%200))
+		}
+		st := srv.Stats()
+		if st.Direct != uint64(len(pairs)) || st.DirectBatches != 1 {
+			t.Fatalf("%s: direct counters %d/%d, want %d/1",
+				backend.Name(), st.Direct, st.DirectBatches, len(pairs))
+		}
+		if got := st.Served + st.Rejected + st.Shed + st.Faulted + st.Timeouts; got != queued+st.Direct {
+			t.Fatalf("%s: accounting identity broken: outcomes %d, submitted %d + direct %d",
+				backend.Name(), got, queued, st.Direct)
+		}
 		srv.Close()
 	}
 }

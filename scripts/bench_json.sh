@@ -3,30 +3,43 @@
 #
 # Runs the E-series benchmarks and emits BENCH_pr<N>.json in the repo
 # root: one JSON object per benchmark with name, iterations, ns/op and
-# (where reported) B/op and allocs/op. The PR number is required so each
+# every other metric the row reports (B/op, allocs/op, and custom
+# metrics such as E25's hit_rate). The PR number is required so each
 # PR appends its own point to the performance trajectory that
 # EXPERIMENTS.md tracks (BENCH_pr1.json, BENCH_pr2.json, ...). The
 # default regex covers the query-path benchmarks plus the container-load
 # (E17), serving-throughput (E18), admission-control (E19),
 # path/eccentricity (E20), zero-copy mmap (E21), disabled-faultinject
-# overhead (E22), build-pipeline (E23) and compressed-serving (E24)
-# series.
+# overhead (E22), build-pipeline (E23), compressed-serving (E24) and
+# skewed-serving (E25) series. The E25 gallop-crossover rows live in
+# package internal/hub (they time unexported kernels directly), so a
+# second fixed pass collects them alongside the root-package run.
 set -eu
 
 PR="${1:?usage: bench_json.sh PR_NUMBER [BENCH_REGEX]}"
-REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*|BenchmarkE21.*|BenchmarkE22.*|BenchmarkE23.*|BenchmarkE24.*}"
+REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*|BenchmarkE21.*|BenchmarkE22.*|BenchmarkE23.*|BenchmarkE24.*|BenchmarkE25.*}"
 OUT="BENCH_pr${PR}.json"
 cd "$(dirname "$0")/.."
 
-go test -run '^$' -bench "$REGEX" -benchtime=1s -benchmem . |
+{
+	go test -run '^$' -bench "$REGEX" -benchtime=1s -benchmem .
+	go test -run '^$' -bench 'BenchmarkE25Skew.*' -benchtime=1s -benchmem ./internal/hub
+} |
 	awk -v pr="$PR" '
 	BEGIN { print "["; first = 1 }
 	/^Benchmark/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
-		line = sprintf("  {\"pr\": %s, \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", pr, name, $2, $3)
-		if ($6 == "B/op")      { line = line sprintf(", \"bytes_per_op\": %s", $5) }
-		if ($8 == "allocs/op") { line = line sprintf(", \"allocs_per_op\": %s", $7) }
+		line = sprintf("  {\"pr\": %s, \"name\": \"%s\", \"iterations\": %s", pr, name, $2)
+		# Everything after the iteration count is value/unit pairs.
+		for (i = 3; i + 1 <= NF; i += 2) {
+			key = $(i + 1)
+			if      (key == "ns/op")      key = "ns_per_op"
+			else if (key == "B/op")       key = "bytes_per_op"
+			else if (key == "allocs/op")  key = "allocs_per_op"
+			else gsub(/[^A-Za-z0-9_]/, "_", key)
+			line = line sprintf(", \"%s\": %s", key, $i)
+		}
 		line = line "}"
 		if (!first) { print prev "," }
 		prev = line
