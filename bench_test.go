@@ -5,12 +5,18 @@ package hublab
 // Run with: go test -bench=. -benchmem
 
 import (
+	"bufio"
 	"bytes"
+	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -27,6 +33,7 @@ import (
 	"hublab/internal/hub"
 	"hublab/internal/index"
 	"hublab/internal/lbound"
+	"hublab/internal/netserve"
 	"hublab/internal/oracle"
 	"hublab/internal/par"
 	"hublab/internal/pll"
@@ -36,6 +43,7 @@ import (
 	"hublab/internal/sssp"
 	"hublab/internal/sumindex"
 	"hublab/internal/ubound"
+	"hublab/internal/wire"
 )
 
 // BenchmarkE1FigureOne rebuilds H_{2,2} and validates both Figure 1 paths.
@@ -1379,3 +1387,112 @@ func BenchmarkE25CacheHitProbe(b *testing.B) {
 }
 
 var benchZipfSink graph.Weight
+
+// benchE26Doors starts a binary netserve door and an HTTP door over the
+// shared Gnm(10k) labeling — the same pairing experiment E26 measures —
+// and returns their addresses. Both are torn down with the benchmark.
+func benchE26Doors(b *testing.B) (binAddr, httpAddr string) {
+	b.Helper()
+	_, slices, _ := benchQueryGraph10k(b)
+	srv := server.New(index.NewHubLabelsFrom(slices), server.Options{})
+	door := netserve.New(srv, netserve.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go door.Serve(ln) //nolint:errcheck // returns net.ErrClosed on Close
+	mux := http.NewServeMux()
+	mux.HandleFunc("/distance", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		u, _ := strconv.Atoi(q.Get("u"))
+		v, _ := strconv.Atoi(q.Get("v"))
+		d, err := srv.TryQuery("bench", graph.NodeID(u), graph.NodeID(v))
+		if err != nil {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "%d\n", d)
+	})
+	hln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(hln) //nolint:errcheck // returns ErrServerClosed on Close
+	b.Cleanup(func() {
+		hs.Close()
+		door.Close()
+		srv.Close()
+	})
+	return ln.Addr().String(), hln.Addr().String()
+}
+
+// BenchmarkE26WireDoorBatch16 is one 16-query binary frame round-trip
+// through the netserve door (ns/op is per frame — divide by 16 for
+// per-query cost). Read against BenchmarkE26HTTPDoor: the ratio is the
+// per-connection view of E26's ≥5× door-throughput gate.
+func BenchmarkE26WireDoorBatch16(b *testing.B) {
+	binAddr, _ := benchE26Doors(b)
+	_, _, pairs := benchQueryGraph10k(b)
+	conn, err := net.Dial("tcp", binAddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close() //nolint:errcheck
+	br := bufio.NewReader(conn)
+	const batch = 16
+	qs := make([]wire.Query, batch)
+	kinds := make([]uint8, batch)
+	rs := make([]wire.Result, batch)
+	var frame, buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range qs {
+			p := pairs[(i*batch+j)%len(pairs)]
+			qs[j] = wire.Query{Kind: wire.QDist, U: p[0], V: p[1]}
+		}
+		frame, err = wire.AppendRequest(frame[:0], uint64(i), qs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			b.Fatal(err)
+		}
+		kind, payload, err := wire.ReadFrame(br, &buf, 1<<20)
+		if err != nil || kind != wire.FrameReply {
+			b.Fatalf("reply: kind=%d err=%v", kind, err)
+		}
+		if _, _, err := wire.ParseReply(payload, kinds, rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE26HTTPDoor is one keep-alive HTTP GET /distance round-trip
+// against the same server — the text door E26 compares the binary
+// protocol to.
+func BenchmarkE26HTTPDoor(b *testing.B) {
+	_, httpAddr := benchE26Doors(b)
+	_, _, pairs := benchQueryGraph10k(b)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+	defer client.CloseIdleConnections()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		resp, err := client.Get(fmt.Sprintf("http://%s/distance?u=%d&v=%d", httpAddr, p[0], p[1]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

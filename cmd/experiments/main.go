@@ -1,5 +1,5 @@
 // Command experiments reproduces every experiment in DESIGN.md's
-// per-experiment index (E1–E12 plus the extension experiments E13–E21),
+// per-experiment index (E1–E12 plus the extension experiments E13–E26),
 // printing one table per experiment. The output of `experiments -run all`
 // is the source of EXPERIMENTS.md.
 //
@@ -27,6 +27,8 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -50,9 +52,11 @@ import (
 	"hublab/internal/hdim"
 	"hublab/internal/hhl"
 	"hublab/internal/hub"
+	"hublab/internal/hubclient"
 	"hublab/internal/index"
 	"hublab/internal/index/indextest"
 	"hublab/internal/lbound"
+	"hublab/internal/netserve"
 	"hublab/internal/oracle"
 	"hublab/internal/pll"
 	"hublab/internal/rs"
@@ -61,6 +65,7 @@ import (
 	"hublab/internal/sssp"
 	"hublab/internal/sumindex"
 	"hublab/internal/ubound"
+	"hublab/internal/wire"
 )
 
 func main() {
@@ -98,6 +103,7 @@ var experiments = []struct {
 	{"E22", "Robustness: chaos storm — injected panics, corrupt reloads, exact accounting", e22},
 	{"E23", "Build pipeline: parallel PLL throughput, byte-equality, streaming memory", e23},
 	{"E24", "Serving: compressed v4 vs expanded v3 — resident bytes and query latency", e24},
+	{"E26", "Fleet: binary batch door vs HTTP door, goodput and shed sharing under flood", e26},
 }
 
 // cacheDir, when non-empty, holds persisted index containers so repeated
@@ -1990,4 +1996,623 @@ func e24() error {
 	fmt.Println("  (query-resident-B = QueryBytes: the columns a distance merge reads; the")
 	fmt.Println("   fault column is the kernel's page-granular count over a fresh mapping)")
 	return nil
+}
+
+// --- E26: binary batch door vs HTTP door, fleet goodput under flood ----
+
+// e26Door runs one closed-loop load generator per worker against a door
+// until the deadline, sums the queries each finished, and returns the
+// aggregate rate. The first worker error wins.
+func e26Door(workers int, dur time.Duration, worker func(w int, deadline time.Time) (int64, error)) (float64, error) {
+	var total atomic.Int64
+	errc := make(chan error, workers)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n, err := worker(w, deadline)
+			total.Add(n)
+			if err != nil {
+				errc <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	return float64(total.Load()) / dur.Seconds(), nil
+}
+
+// e26Doors is part A of E26: the same Gnm(10k) serving index behind the
+// HTTP text door (one request-response per query, the hubserve -http
+// shape) and the binary batch door (up to wire.MaxBatch queries per
+// frame). The acceptance gate is the batching dividend: at batch 16 the
+// binary door must clear 5x the HTTP door's throughput.
+func e26Doors() error {
+	idx, ready, cached, err := servingIndex()
+	if err != nil {
+		return err
+	}
+	how := "built"
+	if cached {
+		how = "cache"
+	}
+	fmt.Printf("  part A: door throughput on Gnm(10000,18000) PLL (%s in %v)\n", how, ready.Round(time.Millisecond))
+
+	srv := server.New(idx, server.Options{Shards: runtime.GOMAXPROCS(0)})
+	defer srv.Close()
+	n := srv.Meta().Vertices
+
+	door := netserve.New(srv, netserve.Options{})
+	defer door.Close()
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() {
+		if err := door.Serve(lnB); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("e26: binary door: %v", err)
+		}
+	}()
+
+	// The HTTP door replicates hubserve's /distance handler shape: text
+	// answer, one query per round trip, keep-alive connections.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/distance", func(w http.ResponseWriter, r *http.Request) {
+		u, erru := strconv.Atoi(r.URL.Query().Get("u"))
+		v, errv := strconv.Atoi(r.URL.Query().Get("v"))
+		if erru != nil || errv != nil || u < 0 || u >= n || v < 0 || v >= n {
+			http.Error(w, "bad query", http.StatusBadRequest)
+			return
+		}
+		d, err := srv.TryQuery("e26-http", graph.NodeID(u), graph.NodeID(v))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "%d\n", d)
+	})
+	lnH, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: mux}
+	defer hs.Close()
+	go func() {
+		if err := hs.Serve(lnH); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("e26: http door: %v", err)
+		}
+	}()
+
+	httpDoor := func(workers int, dur time.Duration) (float64, error) {
+		tr := &http.Transport{MaxIdleConnsPerHost: workers, MaxIdleConns: 2 * workers}
+		defer tr.CloseIdleConnections()
+		cl := &http.Client{Transport: tr}
+		base := "http://" + lnH.Addr().String() + "/distance"
+		return e26Door(workers, dur, func(w int, deadline time.Time) (int64, error) {
+			rng := rand.New(rand.NewSource(int64(2600 + w)))
+			var nq int64
+			for time.Now().Before(deadline) {
+				resp, err := cl.Get(fmt.Sprintf("%s?u=%d&v=%d", base, rng.Intn(n), rng.Intn(n)))
+				if err != nil {
+					return nq, err
+				}
+				_, cerr := io.Copy(io.Discard, resp.Body)
+				if err := resp.Body.Close(); cerr == nil {
+					cerr = err
+				}
+				if cerr != nil {
+					return nq, cerr
+				}
+				if resp.StatusCode != http.StatusOK {
+					return nq, fmt.Errorf("http door: status %d", resp.StatusCode)
+				}
+				nq++
+			}
+			return nq, nil
+		})
+	}
+
+	wireDoor := func(workers, batch int, dur time.Duration) (float64, error) {
+		addr := lnB.Addr().String()
+		return e26Door(workers, dur, func(w int, deadline time.Time) (int64, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return 0, err
+			}
+			defer conn.Close()
+			bw := bufio.NewWriter(conn)
+			br := bufio.NewReader(conn)
+			rng := rand.New(rand.NewSource(int64(2700 + w)))
+			qs := make([]wire.Query, batch)
+			kinds := make([]uint8, batch)
+			rs := make([]wire.Result, 0, batch)
+			var frame, rbuf []byte
+			var nq int64
+			id := uint64(w) << 32
+			for time.Now().Before(deadline) {
+				for i := range qs {
+					qs[i] = wire.Query{Kind: wire.QDist, U: graph.NodeID(rng.Intn(n)), V: graph.NodeID(rng.Intn(n))}
+					kinds[i] = wire.QDist
+				}
+				id++
+				frame, err = wire.AppendRequest(frame[:0], id, qs)
+				if err != nil {
+					return nq, err
+				}
+				if _, err := bw.Write(frame); err != nil {
+					return nq, err
+				}
+				if err := bw.Flush(); err != nil {
+					return nq, err
+				}
+				kind, payload, err := wire.ReadFrame(br, &rbuf, 0)
+				if err != nil {
+					return nq, err
+				}
+				if kind != wire.FrameReply {
+					return nq, fmt.Errorf("binary door answered frame kind %d", kind)
+				}
+				gotID, out, err := wire.ParseReply(payload, kinds, rs[:0])
+				if err != nil {
+					return nq, err
+				}
+				if gotID != id || len(out) != batch {
+					return nq, fmt.Errorf("binary door reply mismatch: id %d want %d, %d results", gotID, id, len(out))
+				}
+				for _, r := range out {
+					if r.Status != uint8(wire.StatusOK) {
+						return nq, fmt.Errorf("binary door result status %d", r.Status)
+					}
+				}
+				nq += int64(batch)
+			}
+			return nq, nil
+		})
+	}
+
+	const (
+		workers = 8
+		warm    = 150 * time.Millisecond
+		window  = 600 * time.Millisecond
+	)
+	if _, err := httpDoor(workers, warm); err != nil {
+		return err
+	}
+	if _, err := wireDoor(workers, 16, warm); err != nil {
+		return err
+	}
+	httpQPS, err := httpDoor(workers, window)
+	if err != nil {
+		return err
+	}
+	bin1, err := wireDoor(workers, 1, window)
+	if err != nil {
+		return err
+	}
+	bin16, err := wireDoor(workers, 16, window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  door          batch        q/s   vs http\n")
+	fmt.Printf("  http/text         1  %9.0f     1.00x\n", httpQPS)
+	fmt.Printf("  binary            1  %9.0f  %7.2fx\n", bin1, bin1/httpQPS)
+	fmt.Printf("  binary           16  %9.0f  %7.2fx\n", bin16, bin16/httpQPS)
+	if speed := bin16 / httpQPS; speed < 5 {
+		return fmt.Errorf("e26: binary door at batch 16 is %.2fx the HTTP door, below the 5x acceptance bar", speed)
+	}
+	return nil
+}
+
+// fleetClient is one load generator's outcome ledger in E26 part B.
+type fleetClient struct {
+	attempts atomic.Uint64
+	served   atomic.Uint64
+}
+
+// e26Flood drives closed-loop 64-query waves at one replica's binary
+// door over a raw connection under the given client identity, counting
+// per-query outcomes into fc/busy, until stop closes. Transport errors
+// end the goroutine — under a healthy fleet they mean the experiment is
+// tearing down.
+func e26Flood(addr, name string, stop <-chan struct{}, wg *sync.WaitGroup, fc *fleetClient, busy *atomic.Uint64) {
+	defer wg.Done()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+	hello, err := wire.AppendHello(nil, name)
+	if err != nil {
+		return
+	}
+	if _, err := bw.Write(hello); err != nil {
+		return
+	}
+	const batch = 64
+	qs := make([]wire.Query, batch)
+	kinds := make([]uint8, batch)
+	for i := range qs {
+		qs[i] = wire.Query{Kind: wire.QDist, U: 0, V: 1}
+		kinds[i] = wire.QDist
+	}
+	rs := make([]wire.Result, 0, batch)
+	var frame, rbuf []byte
+	var id uint64
+	writeWave := func() error {
+		id++
+		var err error
+		if frame, err = wire.AppendRequest(frame[:0], id, qs); err != nil {
+			return err
+		}
+		fc.attempts.Add(batch)
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	// Keep two waves outstanding: the next frame is already buffered at
+	// the door when the current wave completes, so the replica sees a
+	// continuous demand stream instead of a round-trip bubble per wave.
+	if err := writeWave(); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if err := writeWave(); err != nil {
+			return
+		}
+		kind, payload, err := wire.ReadFrame(br, &rbuf, 0)
+		if err != nil || kind != wire.FrameReply {
+			return
+		}
+		_, out, err := wire.ParseReply(payload, kinds, rs[:0])
+		if err != nil {
+			return
+		}
+		for _, r := range out {
+			switch r.Status {
+			case uint8(wire.StatusOK):
+				fc.served.Add(1)
+			case uint8(wire.StatusOverloaded):
+				busy.Add(1)
+			}
+		}
+	}
+}
+
+// e26Fleet is part B of E26: a 3-replica fleet of synthetic-latency
+// servers behind binary doors with gossiped admission state, loaded to
+// ~4x its aggregate capacity by one flooder while ten polite clients
+// pace at half the aggregate. Gates: total fleet goodput stays at or
+// above 0.9x the calibrated aggregate capacity, and a hog that floods
+// only replica A is rejected by replica B — which never saw the hog —
+// once A's verdict gossips over.
+func e26Fleet() error {
+	const (
+		// 2ms of synthetic service keeps the experiment sleep-bound
+		// rather than CPU-bound, so it stays meaningful on a small (even
+		// single-core) box where framing and bookkeeping would otherwise
+		// eat into the capacity being measured.
+		svc    = 2 * time.Millisecond
+		shards = 2
+		queue  = 16
+		nNodes = 3
+		nLight = 10
+		// Raw flood connections per replica: with two 64-query waves
+		// outstanding per connection, demand comfortably outstrips the
+		// shards x queue slots.
+		floodConns = 2
+		warmup     = 500 * time.Millisecond
+		measured   = 1500 * time.Millisecond
+	)
+	// Calibrate one replica's capacity end to end: the same server
+	// shape behind a real binary door, saturated by the same raw wave
+	// generator the flood phase uses — so the baseline pays the same
+	// framing, parsing and door bookkeeping as the fleet, and the
+	// goodput ratio compares like with like (nominal shards/svc would
+	// be optimistic twice over). Best of several short windows: a
+	// scheduler hiccup during one window understates what the replica
+	// can sustain, and every later pacing rate and gate hangs off this
+	// figure.
+	cal := server.New(e19Index(svc), server.Options{Shards: shards, QueueDepth: queue})
+	calDoor := netserve.New(cal, netserve.Options{})
+	calLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() {
+		if err := calDoor.Serve(calLn); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("e26: calibration door: %v", err)
+		}
+	}()
+	calStop := make(chan struct{})
+	var calWG sync.WaitGroup
+	calLedger := &fleetClient{}
+	var calBusy atomic.Uint64
+	for c := 0; c < floodConns; c++ {
+		calWG.Add(1)
+		go e26Flood(calLn.Addr().String(), "cal", calStop, &calWG, calLedger, &calBusy)
+	}
+	nominal := float64(shards) * float64(time.Second) / float64(svc)
+	calDur := 150 * time.Millisecond
+	var capacity float64
+	for w := 0; w < 4; w++ {
+		before := cal.Stats().Served
+		time.Sleep(calDur)
+		if c := float64(cal.Stats().Served-before) / calDur.Seconds(); c > capacity {
+			capacity = c
+		}
+		if capacity >= 0.7*nominal {
+			break
+		}
+	}
+	close(calStop)
+	calWG.Wait()
+	calDoor.Close()
+	cal.Close()
+	if capacity < 0.1*nominal {
+		return fmt.Errorf("e26: capacity calibration measured %.0f q/s against a %.0f q/s nominal — box too noisy to run the fleet experiment", capacity, nominal)
+	}
+	aggregate := nNodes * capacity
+	fmt.Printf("  part B: %d-replica fleet, %v/query x %d shards, queue %d: %.0f q/s per replica, %.0f aggregate\n",
+		nNodes, svc, shards, queue, capacity, aggregate)
+
+	// The fleet: each replica is a server + binary door + gossiper, the
+	// wiring of `hubserve -binary -peers`. Default admission options
+	// share Seed 0, so bucket geometry lines up for the max-merge.
+	type replica struct {
+		srv  *server.Server
+		door *netserve.Door
+	}
+	reps := make([]*replica, nNodes)
+	addrs := make([]string, nNodes)
+	for i := range reps {
+		srv := server.New(e19Index(svc), server.Options{
+			Shards:     shards,
+			QueueDepth: queue,
+			Admission:  &flowctl.Options{},
+		})
+		defer srv.Close()
+		door := netserve.New(srv, netserve.Options{})
+		defer door.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := door.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("e26: fleet door: %v", err)
+			}
+		}()
+		reps[i] = &replica{srv: srv, door: door}
+		addrs[i] = ln.Addr().String()
+	}
+	stopGossip := make(chan struct{})
+	defer close(stopGossip)
+	for i, r := range reps {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		g := netserve.NewGossiper(r.srv.AdmissionController(), peers, 20*time.Millisecond)
+		go g.Run(stopGossip)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Ten polite clients jointly pace at half the aggregate capacity.
+	// Each spreads its rate over several phase-offset workers so a
+	// query's queue wait under overload (up to queue x svc) stays below
+	// the per-worker interval — a single blocking worker would sag the
+	// offered rate instead of holding the pace.
+	const politeW = 8
+	polite := make([]*fleetClient, nLight)
+	interval := time.Duration(float64(2*nLight) / aggregate * float64(time.Second))
+	perWorker := interval * politeW
+	for i := range polite {
+		cl, err := hubclient.New(hubclient.Options{Replicas: addrs, Name: fmt.Sprintf("polite-%d", i), Timeout: 5 * time.Second})
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		fc := &fleetClient{}
+		polite[i] = fc
+		for w := 0; w < politeW; w++ {
+			wg.Add(1)
+			go func(i, w int) {
+				defer wg.Done()
+				phase := perWorker * time.Duration(i*politeW+w) / time.Duration(nLight*politeW)
+				select {
+				case <-stop:
+					return
+				case <-time.After(phase):
+				}
+				next := time.Now()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					fc.attempts.Add(1)
+					if _, err := cl.Distance(0, 1); err == nil {
+						fc.served.Add(1)
+					}
+					next = next.Add(perWorker)
+					if d := time.Until(next); d > 0 {
+						select {
+						case <-stop:
+							return
+						case <-time.After(d):
+						}
+					} else {
+						next = time.Now()
+					}
+				}
+			}(i, w)
+		}
+	}
+
+	// The flooder offers whatever the fleet will take: floodConns raw
+	// connections per replica, each driving closed-loop 64-query waves
+	// under one shared identity. Full waves are the point — every wave
+	// claims queue slots in bulk at the door, so the flood's pressure
+	// reaches the shard queues instead of trickling in as small frames.
+	flooder := &fleetClient{}
+	var floodBusy atomic.Uint64
+	for i := 0; i < nNodes; i++ {
+		for c := 0; c < floodConns; c++ {
+			wg.Add(1)
+			go e26Flood(addrs[i], "flooder", stop, &wg, flooder, &floodBusy)
+		}
+	}
+
+	// Warm past the controller transient, then measure a steady-state
+	// window by snapshotting server and client counters around it.
+	time.Sleep(warmup)
+	served0 := make([]uint64, nNodes)
+	var shed0, rej0 uint64
+	for i, r := range reps {
+		st := r.srv.Stats()
+		served0[i] = st.Served
+		shed0 += st.Shed
+		rej0 += st.Rejected
+	}
+	snap := func(fcs []*fleetClient) (att, srvd uint64) {
+		for _, fc := range fcs {
+			att += fc.attempts.Load()
+			srvd += fc.served.Load()
+		}
+		return
+	}
+	pAtt0, pSrv0 := snap(polite)
+	fAtt0, fSrv0 := snap([]*fleetClient{flooder})
+	time.Sleep(measured)
+	var goodput float64
+	for i, r := range reps {
+		goodput += float64(r.srv.Stats().Served - served0[i])
+	}
+	goodput /= measured.Seconds()
+	var shed, rej uint64
+	for _, r := range reps {
+		st := r.srv.Stats()
+		shed += st.Shed
+		rej += st.Rejected
+	}
+	shed -= shed0
+	rej -= rej0
+	pAtt, pSrv := snap(polite)
+	fAtt, fSrv := snap([]*fleetClient{flooder})
+	close(stop)
+	wg.Wait()
+
+	sec := measured.Seconds()
+	politeOff := float64(pAtt-pAtt0) / sec
+	politeGot := float64(pSrv-pSrv0) / sec
+	floodOff := float64(fAtt-fAtt0) / sec
+	floodGot := float64(fSrv-fSrv0) / sec
+	fmt.Printf("  client       offered-q/s  served-q/s    sat\n")
+	fmt.Printf("  polite x%-2d   %11.0f  %10.0f  %5.2f\n", nLight, politeOff, politeGot, politeGot/math.Max(politeOff, 1))
+	fmt.Printf("  flooder      %11.0f  %10.0f  %5.2f   (%d shed as busy)\n",
+		floodOff, floodGot, floodGot/math.Max(floodOff, 1), floodBusy.Load())
+	fmt.Printf("  offered %.1fx aggregate; fleet goodput %.0f q/s = %.2fx aggregate (shed %d, rejected %d)\n",
+		(politeOff+floodOff)/aggregate, goodput, goodput/aggregate, shed, rej)
+	if goodput < 0.9*aggregate {
+		return fmt.Errorf("e26: fleet goodput %.2fx aggregate capacity, below the 0.9x acceptance bar", goodput/aggregate)
+	}
+
+	// Shed sharing: a hog floods replica A only. Its drop probability
+	// must cross to B and C — replicas that never saw a hog request —
+	// through the gossip max-merge, and B must then reject the hog from
+	// a cold start while serving a bystander.
+	hogStop := make(chan struct{})
+	var hogWG sync.WaitGroup
+	hogLedger := &fleetClient{}
+	var hogBusy atomic.Uint64
+	// More in-flight hog queries than the replica has queue slots
+	// (shards x queue), or its queues can never overflow and no verdict
+	// forms: 4 connections x 64-query waves = 256 against 64 slots.
+	for c := 0; c < floodConns; c++ {
+		hogWG.Add(1)
+		go e26Flood(addrs[0], "hog", hogStop, &hogWG, hogLedger, &hogBusy)
+	}
+	// Sample A's verdict while the hog still floods: once the flood
+	// stops, every hog query A drains decays the probability back down
+	// (OnServed), so a post-stop read would understate the verdict that
+	// actually gossiped.
+	ctlA := reps[0].srv.AdmissionController()
+	deadline := time.Now().Add(5 * time.Second)
+	pA := ctlA.Probability("hog")
+	for pA < 0.3 {
+		if time.Now().After(deadline) {
+			close(hogStop)
+			hogWG.Wait()
+			return fmt.Errorf("e26: hog never throttled on A (P(drop)=%.2f)", pA)
+		}
+		time.Sleep(5 * time.Millisecond)
+		pA = ctlA.Probability("hog")
+	}
+	close(hogStop)
+	hogWG.Wait()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		pB := reps[1].srv.AdmissionController().Probability("hog")
+		pC := reps[2].srv.AdmissionController().Probability("hog")
+		if pB >= 0.3 && pC >= 0.3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("e26: hog verdict never gossiped to peers (A=%.2f B=%.2f C=%.2f)", pA, pB, pC)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	pB := reps[1].srv.AdmissionController().Probability("hog")
+	pC := reps[2].srv.AdmissionController().Probability("hog")
+
+	hogB, err := hubclient.New(hubclient.Options{Replicas: addrs[1:2], Name: "hog", Timeout: 5 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer hogB.Close()
+	busy := 0
+	for i := 0; i < 100; i++ {
+		if _, err := hogB.Distance(0, 1); errors.Is(err, wire.ErrOverloaded) {
+			busy++
+		}
+	}
+	if busy == 0 {
+		return fmt.Errorf("e26: hog unthrottled on B despite gossiped P(drop) %.2f", pB)
+	}
+	bystander, err := hubclient.New(hubclient.Options{Replicas: addrs[1:2], Name: "bystander", Timeout: 5 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer bystander.Close()
+	if _, err := bystander.Distance(0, 1); err != nil {
+		return fmt.Errorf("e26: bystander on B rejected alongside the hog: %v", err)
+	}
+	fmt.Printf("  shed sharing: hog flooded A only -> P(drop) A=%.2f B=%.2f C=%.2f; B rejected %d/100 hog probes, served the bystander\n",
+		pA, pB, pC, busy)
+	return nil
+}
+
+func e26() error {
+	if err := e26Doors(); err != nil {
+		return err
+	}
+	return e26Fleet()
 }

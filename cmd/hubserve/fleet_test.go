@@ -1,0 +1,204 @@
+package main
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hublab/internal/flowctl"
+	"hublab/internal/graph"
+	"hublab/internal/hubclient"
+	"hublab/internal/index"
+	"hublab/internal/index/indextest"
+	"hublab/internal/netserve"
+	"hublab/internal/server"
+	"hublab/internal/wire"
+)
+
+// fleetNode is one in-process replica: a query server behind a binary
+// door, the same wiring `hubserve -binary` assembles.
+type fleetNode struct {
+	srv  *server.Server
+	door *netserve.Door
+	addr string
+}
+
+func startFleetNode(t *testing.T, idx index.Index, admission *flowctl.Options) *fleetNode {
+	t.Helper()
+	opts := server.Options{Shards: 2}
+	if admission != nil {
+		opts.Admission = admission
+	}
+	srv := server.New(idx, opts)
+	door := netserve.New(srv, netserve.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go door.Serve(ln) //nolint:errcheck // returns net.ErrClosed on Close
+	t.Cleanup(func() {
+		door.Close()
+		srv.Close()
+	})
+	return &fleetNode{srv: srv, door: door, addr: ln.Addr().String()}
+}
+
+// TestFleetSurvivesReplicaKill runs a 3-replica fleet under concurrent
+// client load and kills one replica's door mid-run. The contract is
+// the chaos gate from the fleet design: zero wrong answers ever (a
+// killed connection may lose in-flight queries, never corrupt them),
+// the surviving replicas keep serving, and the client's failover keeps
+// the error count bounded by the in-flight window rather than
+// proportional to the outage.
+func TestFleetSurvivesReplicaKill(t *testing.T) {
+	idx := &indextest.Fixed{N: 1 << 20, Delay: 50 * time.Microsecond}
+	var addrs []string
+	nodes := make([]*fleetNode, 3)
+	for i := range nodes {
+		nodes[i] = startFleetNode(t, idx, nil)
+		addrs = append(addrs, nodes[i].addr)
+	}
+	cl, err := hubclient.New(hubclient.Options{
+		Replicas: addrs,
+		Name:     "fleet-chaos",
+		Timeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const workers = 16
+	deadline := time.Now().Add(400 * time.Millisecond)
+	var ok, failed, wrong atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for time.Now().Before(deadline) {
+				u := graph.NodeID(rng.Intn(1 << 20))
+				v := graph.NodeID(rng.Intn(1 << 20))
+				d, err := cl.Distance(u, v)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				want := u - v
+				if want < 0 {
+					want = -want
+				}
+				if d != graph.Weight(want) {
+					wrong.Add(1)
+				} else {
+					ok.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	nodes[0].door.Close() // the kill: listener and every conn die mid-run
+	wg.Wait()
+
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d wrong answers across the kill — a lost query may fail, never lie", n)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no successful queries at all")
+	}
+	// Failover retries transport errors on the surviving replicas, so
+	// only requests that exhausted their options may fail — bounded by
+	// the in-flight window at the kill, not by the outage duration.
+	if f := failed.Load(); f > workers+2*64 {
+		t.Fatalf("%d failed queries, more than the in-flight window allows", f)
+	}
+	st := cl.Stats()
+	if st.TransportErrors == 0 {
+		t.Fatal("the kill left no transport-error trace in client stats")
+	}
+	t.Logf("ok=%d failed=%d retries=%d transport=%d", ok.Load(), failed.Load(), st.Retries, st.TransportErrors)
+}
+
+// TestFleetSharesShedState pins the fleet-wide admission contract: a
+// flooder shed on replica A is rejected by replica B without B ever
+// seeing the flood, because A's controller state gossips to its peers
+// and max-merges into theirs. Polite clients are unaffected — the
+// controller is per-client, and the gossip carries bucket state, not a
+// global brake.
+func TestFleetSharesShedState(t *testing.T) {
+	idx := &indextest.Fixed{N: 4096}
+	adm := func() *flowctl.Options {
+		// MaxDrop 1 + Inc 1: one queue-full observation pins the drop
+		// probability at 1, making the shed deterministic. All replicas
+		// share Seed so bucket geometry lines up — the same requirement
+		// `hubserve -peers` documents.
+		return &flowctl.Options{Seed: 7, MaxDrop: 1, Inc: 1}
+	}
+	nodes := make([]*fleetNode, 3)
+	var addrs []string
+	for i := range nodes {
+		nodes[i] = startFleetNode(t, idx, adm())
+		addrs = append(addrs, nodes[i].addr)
+	}
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	for i := range nodes {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		g := netserve.NewGossiper(nodes[i].srv.AdmissionController(), peers, 5*time.Millisecond)
+		go g.Run(stop)
+	}
+
+	// The flood's verdict on A, compressed to its deterministic effect:
+	// one queue-full observation against "flooder" pins its drop
+	// probability at 1 on A's controller.
+	nodes[0].srv.AdmissionController().OnQueueFull("flooder")
+
+	// Gossip must carry the verdict to B and C.
+	waitUntil := time.Now().Add(5 * time.Second)
+	for {
+		pB := nodes[1].srv.AdmissionController().Probability("flooder")
+		pC := nodes[2].srv.AdmissionController().Probability("flooder")
+		if pB == 1 && pC == 1 {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			t.Fatalf("shed state never reached peers: B=%v C=%v", pB, pC)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The flooder is rejected by B — a replica it never flooded.
+	flooder, err := hubclient.New(hubclient.Options{Replicas: []string{nodes[1].addr}, Name: "flooder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flooder.Close()
+	if _, err := flooder.Distance(1, 2); !errors.Is(err, wire.ErrOverloaded) {
+		t.Fatalf("flooder on replica B got %v, want wire.ErrOverloaded", err)
+	}
+
+	// A polite client on the same replica is untouched.
+	polite, err := hubclient.New(hubclient.Options{Replicas: []string{nodes[1].addr}, Name: "polite"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer polite.Close()
+	d, err := polite.Distance(10, 14)
+	if err != nil {
+		t.Fatalf("polite client rejected alongside the flooder: %v", err)
+	}
+	if d != 4 {
+		t.Fatalf("polite client got d=%d, want 4", d)
+	}
+}

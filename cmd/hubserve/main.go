@@ -34,7 +34,7 @@
 // exiting; a corrupt container is quarantined (renamed aside) at
 // startup and on reload instead of being retried forever.
 //
-// Two front ends:
+// Three front ends:
 //
 //   - line protocol (default): one "u v" pair per stdin line, answered as
 //     "u v dist" ("inf" when unreachable); "PATH u v" answers "path u v
@@ -49,6 +49,21 @@
 //     -index path; on failure the previous index keeps serving). The
 //     server carries read/write/idle timeouts so a stalled client cannot
 //     hold a handler goroutine forever.
+//   - binary batch protocol (-binary addr): the internal/wire framed
+//     protocol — many queries per frame, varint-packed, answered through
+//     the same shard queues, admission controller, deadlines and hot
+//     cache as the other doors. This is the door cmd/hubq and the
+//     internal/hubclient pooled client speak, and the one replicas use
+//     for fleet traffic. It can run alongside -http; with neither -http
+//     nor stdin traffic wanted, -binary alone parks the process until
+//     SIGTERM.
+//
+// Fleets: -peers gossips the local admission controller's bucket state
+// to the binary doors of the listed replicas every -gossipevery (see
+// DESIGN.md "Shared admission"). All replicas must run the same
+// admission geometry and seed; a flooding client shed on one replica
+// is then throttled fleet-wide, so retrying against a different
+// replica buys it nothing.
 //
 // With -graph the input graph is loaded too and every served distance is
 // spot-checkable: -selfcheck n verifies n random queries against
@@ -87,6 +102,7 @@ import (
 	"hublab/internal/graph"
 	"hublab/internal/hub"
 	"hublab/internal/index"
+	"hublab/internal/netserve"
 	"hublab/internal/server"
 )
 
@@ -111,6 +127,9 @@ func run() error {
 	selfcheck := flag.Int("selfcheck", 0, "verify this many random queries against graph search before serving and on reload (needs -graph)")
 	queryTimeout := flag.Duration("querytimeout", 0, "per-query deadline (0 = none); timed-out queries answer TIMEOUT / HTTP 504")
 	hotCache := flag.Int("hotcache", 0, "per-shard hot result cache entries for repeated (u,v) pairs (0 = disabled); invalidated automatically on reload")
+	binaryAddr := flag.String("binary", "", "serve the length-prefixed binary batch protocol on this address (alone, or alongside -http)")
+	peers := flag.String("peers", "", "comma-separated binary-door addresses of replica peers to gossip admission state to (needs admission)")
+	gossipEvery := flag.Duration("gossipevery", 100*time.Millisecond, "interval between admission-gossip rounds to -peers")
 	flag.Parse()
 	if *indexPath == "" {
 		return fmt.Errorf("hubserve: -index is required")
@@ -222,10 +241,54 @@ func run() error {
 		}
 	}()
 
+	var door *netserve.Door
+	if *binaryAddr != "" {
+		ln, err := net.Listen("tcp", *binaryAddr)
+		if err != nil {
+			return err
+		}
+		door = netserve.New(srv, netserve.Options{})
+		defer door.Close()
+		go func() {
+			if serr := door.Serve(ln); serr != nil && !errors.Is(serr, net.ErrClosed) {
+				log.Printf("hubserve: binary door: %v", serr)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving binary protocol on %s\n", ln.Addr())
+	}
+	if *peers != "" {
+		if !*admission {
+			return fmt.Errorf("hubserve: -peers shares admission state and needs -admission=true")
+		}
+		gsp := netserve.NewGossiper(srv.AdmissionController(), strings.Split(*peers, ","), *gossipEvery)
+		go gsp.Run(stop)
+		fmt.Fprintf(os.Stderr, "gossiping admission state to %s every %v\n", *peers, *gossipEvery)
+	}
+
 	if *httpAddr != "" {
 		return serveHTTP(srv, rl, *httpAddr, stop)
 	}
+	if door != nil {
+		return serveBinary(srv, door, stop)
+	}
 	return serveLinesMain(srv, os.Stdin, os.Stdout, stop)
+}
+
+// serveBinary parks the main goroutine until a termination signal when
+// the binary door is the only front end, then drains it: Close stops
+// the listener, closes every connection and waits for the per-conn
+// goroutines, so the deferred server Close runs with no query in
+// flight. In-flight frames finish; clients see the connection close
+// and fail over to a replica.
+func serveBinary(srv *server.Server, door *netserve.Door, stop <-chan struct{}) error {
+	<-stop
+	door.Close()
+	ds := door.Stats()
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "drained: %d frames / %d queries over binary (%d bad frames, %d gossip merges); served %d (%d rejected, %d shed, %d faulted, %d timeouts)\n",
+		ds.Frames, ds.Queries, ds.BadFrames, ds.GossipMerged,
+		st.Served, st.Rejected, st.Shed, st.Faulted, st.Timeouts)
+	return nil
 }
 
 // reloader hot-swaps the served index from the container path. Reloads
@@ -458,36 +521,68 @@ loop:
 	return nil
 }
 
+// busyLine and timeoutLine are the overload and deadline answers,
+// written via io.WriteString so the shed path stays allocation-free: a
+// flooding client the admission controller is rejecting must not cost
+// the server a per-answer heap envelope (TestServeLineShedZeroAlloc).
+const (
+	busyLine    = "BUSY\n"
+	timeoutLine = "TIMEOUT\n"
+)
+
+// splitLine splits a protocol line into at most 4 whitespace-separated
+// fields without allocating (strings.Fields heap-allocates its result
+// slice on every call — on a flooded connection that is a per-shed
+// allocation). ok is false when a fifth field exists; no valid query
+// has more than three, so the caller answers "bad query" either way.
+func splitLine(line string, dst *[4]string) (int, bool) {
+	n, i := 0, 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		if n == len(dst) {
+			return n, false
+		}
+		dst[n] = line[i:j]
+		n++
+		i = j
+	}
+	return n, true
+}
+
 // serveLine parses and answers one protocol line. Field counts are
 // strict — Sscanf would silently ignore trailing garbage ("1 2 3",
 // "1 2.5") and answer a different query than the client sent.
 func serveLine(srv *server.Server, client string, n int, line string, pathBuf *[]graph.NodeID, w io.Writer) {
-	fields := strings.Fields(line)
-	atoi := func(s string) (int, bool) {
-		x, err := strconv.Atoi(s)
-		return x, err == nil
-	}
-	inRange := func(xs ...int) bool {
-		for _, x := range xs {
-			if x < 0 || x >= n {
-				return false
-			}
-		}
-		return true
+	var fields [4]string
+	nf, ok := splitLine(line, &fields)
+	if !ok {
+		fmt.Fprintf(w, "error: bad query %q (want: u v | PATH u v | ECC v)\n", line)
+		return
 	}
 	switch {
-	case len(fields) > 0 && fields[0] == "PATH":
+	case nf > 0 && fields[0] == "PATH":
 		var u, v int
 		okU, okV := false, false
-		if len(fields) == 3 {
-			u, okU = atoi(fields[1])
-			v, okV = atoi(fields[2])
+		if nf == 3 {
+			var errU, errV error
+			u, errU = strconv.Atoi(fields[1])
+			v, errV = strconv.Atoi(fields[2])
+			okU, okV = errU == nil, errV == nil
 		}
 		if !okU || !okV {
 			fmt.Fprintf(w, "error: bad query %q (want: PATH u v)\n", line)
 			return
 		}
-		if !inRange(u, v) {
+		if u < 0 || u >= n || v < 0 || v >= n {
 			fmt.Fprintf(w, "error: vertex out of range [0,%d)\n", n)
 			return
 		}
@@ -495,9 +590,9 @@ func serveLine(srv *server.Server, client string, n int, line string, pathBuf *[
 		*pathBuf = path
 		switch {
 		case errors.Is(err, server.ErrOverloaded):
-			fmt.Fprintf(w, "BUSY\n")
+			io.WriteString(w, busyLine)
 		case errors.Is(err, server.ErrTimeout):
-			fmt.Fprintf(w, "TIMEOUT\n")
+			io.WriteString(w, timeoutLine)
 		case unsupported(err):
 			fmt.Fprintf(w, "error: path queries unsupported by this index\n")
 		case err != nil:
@@ -511,26 +606,28 @@ func serveLine(srv *server.Server, client string, n int, line string, pathBuf *[
 			}
 			fmt.Fprintf(w, "\n")
 		}
-	case len(fields) > 0 && fields[0] == "ECC":
+	case nf > 0 && fields[0] == "ECC":
 		var v int
 		okV := false
-		if len(fields) == 2 {
-			v, okV = atoi(fields[1])
+		if nf == 2 {
+			var errV error
+			v, errV = strconv.Atoi(fields[1])
+			okV = errV == nil
 		}
 		if !okV {
 			fmt.Fprintf(w, "error: bad query %q (want: ECC v)\n", line)
 			return
 		}
-		if !inRange(v) {
+		if v < 0 || v >= n {
 			fmt.Fprintf(w, "error: vertex out of range [0,%d)\n", n)
 			return
 		}
 		far, ecc, err := srv.TryFarthest(client, graph.NodeID(v))
 		switch {
 		case errors.Is(err, server.ErrOverloaded):
-			fmt.Fprintf(w, "BUSY\n")
+			io.WriteString(w, busyLine)
 		case errors.Is(err, server.ErrTimeout):
-			fmt.Fprintf(w, "TIMEOUT\n")
+			io.WriteString(w, timeoutLine)
 		case unsupported(err):
 			fmt.Fprintf(w, "error: eccentricity queries unsupported by this index\n")
 		case err != nil:
@@ -538,23 +635,23 @@ func serveLine(srv *server.Server, client string, n int, line string, pathBuf *[
 		default:
 			fmt.Fprintf(w, "ecc %d %d %d\n", v, ecc, far)
 		}
-	case len(fields) == 2:
-		u, okU := atoi(fields[0])
-		v, okV := atoi(fields[1])
-		if !okU || !okV {
+	case nf == 2:
+		u, errU := strconv.Atoi(fields[0])
+		v, errV := strconv.Atoi(fields[1])
+		if errU != nil || errV != nil {
 			fmt.Fprintf(w, "error: bad query %q (want: u v)\n", line)
 			return
 		}
-		if !inRange(u, v) {
+		if u < 0 || u >= n || v < 0 || v >= n {
 			fmt.Fprintf(w, "error: vertex out of range [0,%d)\n", n)
 			return
 		}
 		d, err := srv.TryQuery(client, graph.NodeID(u), graph.NodeID(v))
 		switch {
 		case errors.Is(err, server.ErrOverloaded):
-			fmt.Fprintf(w, "BUSY\n")
+			io.WriteString(w, busyLine)
 		case errors.Is(err, server.ErrTimeout):
-			fmt.Fprintf(w, "TIMEOUT\n")
+			io.WriteString(w, timeoutLine)
 		case err != nil:
 			fmt.Fprintf(w, "error: %v\n", err)
 		case d >= graph.Infinity:
@@ -595,6 +692,59 @@ func clientID(r *http.Request) string {
 	return host
 }
 
+// queryParam extracts one raw query parameter without allocating.
+// r.URL.Query() builds a url.Values map per request — paid even when
+// the admission controller then sheds the query, which hands a flooder
+// a per-rejection allocation on the server. Vertex ids are plain
+// digits, so skipping percent-decoding is sound (a percent-escaped id
+// fails strconv.Atoi and answers 400, same as any other malformed id).
+func queryParam(raw, key string) string {
+	for len(raw) > 0 {
+		kv := raw
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			kv, raw = raw[:i], raw[i+1:]
+		} else {
+			raw = ""
+		}
+		if len(kv) > len(key) && kv[len(key)] == '=' && kv[:len(key)] == key {
+			return kv[len(key)+1:]
+		}
+	}
+	return ""
+}
+
+// vertexParam parses query parameter key as a vertex id in [0,n).
+func vertexParam(r *http.Request, key string, n int) (int, bool) {
+	x, err := strconv.Atoi(queryParam(r.URL.RawQuery, key))
+	if err != nil || x < 0 || x >= n {
+		return 0, false
+	}
+	return x, true
+}
+
+// Shared overload-response pieces: assigning the same []string into the
+// header map and writing a constant body keeps the 429 path free of
+// per-shed allocations (http.Error + Header().Set allocate both), so a
+// flooder being rejected costs the server no heap. Pinned by
+// TestHTTPShedZeroAlloc.
+const overloadedBody = "overloaded, retry later\n"
+
+var (
+	retryAfterVal = []string{"1"}
+	plainTextVal  = []string{"text/plain; charset=utf-8"}
+)
+
+// answer429 is the allocation-free analogue of
+// http.Error(w, overloadedBody, http.StatusTooManyRequests) with a
+// Retry-After hint.
+func answer429(w http.ResponseWriter) {
+	h := w.Header()
+	h["Retry-After"] = retryAfterVal
+	h["Content-Type"] = plainTextVal
+	w.WriteHeader(http.StatusTooManyRequests)
+	io.WriteString(w, overloadedBody)
+}
+
 // newMux builds the hubserve HTTP surface over srv. The vertex count is
 // read per request from the served snapshot (it is O(1) there), so a
 // /reload to a different-size index re-validates ids correctly without a
@@ -603,9 +753,9 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/distance", func(w http.ResponseWriter, r *http.Request) {
 		n := srv.Meta().Vertices
-		u, errU := strconv.Atoi(r.URL.Query().Get("u"))
-		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
-		if errU != nil || errV != nil || u < 0 || u >= n || v < 0 || v >= n {
+		u, okU := vertexParam(r, "u", n)
+		v, okV := vertexParam(r, "v", n)
+		if !okU || !okV {
 			http.Error(w, fmt.Sprintf("want /distance?u=U&v=V with vertices in [0,%d)", n),
 				http.StatusBadRequest)
 			return
@@ -613,8 +763,7 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 		d, err := srv.TryQuery(clientID(r), graph.NodeID(u), graph.NodeID(v))
 		switch {
 		case errors.Is(err, server.ErrOverloaded):
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			answer429(w)
 			return
 		case errors.Is(err, server.ErrTimeout):
 			http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
@@ -635,9 +784,9 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 	})
 	mux.HandleFunc("/path", func(w http.ResponseWriter, r *http.Request) {
 		n := srv.Meta().Vertices
-		u, errU := strconv.Atoi(r.URL.Query().Get("u"))
-		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
-		if errU != nil || errV != nil || u < 0 || u >= n || v < 0 || v >= n {
+		u, okU := vertexParam(r, "u", n)
+		v, okV := vertexParam(r, "v", n)
+		if !okU || !okV {
 			http.Error(w, fmt.Sprintf("want /path?u=U&v=V with vertices in [0,%d)", n),
 				http.StatusBadRequest)
 			return
@@ -648,8 +797,7 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 		defer pathBufs.Put(bp)
 		switch {
 		case errors.Is(err, server.ErrOverloaded):
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			answer429(w)
 			return
 		case errors.Is(err, server.ErrTimeout):
 			http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
@@ -684,8 +832,8 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 	})
 	mux.HandleFunc("/ecc", func(w http.ResponseWriter, r *http.Request) {
 		n := srv.Meta().Vertices
-		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
-		if errV != nil || v < 0 || v >= n {
+		v, okV := vertexParam(r, "v", n)
+		if !okV {
 			http.Error(w, fmt.Sprintf("want /ecc?v=V with a vertex in [0,%d)", n),
 				http.StatusBadRequest)
 			return
@@ -693,8 +841,7 @@ func newMux(srv *server.Server, rl *reloader) *http.ServeMux {
 		far, ecc, err := srv.TryFarthest(clientID(r), graph.NodeID(v))
 		switch {
 		case errors.Is(err, server.ErrOverloaded):
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			answer429(w)
 			return
 		case errors.Is(err, server.ErrTimeout):
 			http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)

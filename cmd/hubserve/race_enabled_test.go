@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in.
+// Race-mode sync.Pool intentionally drops a fraction of Puts, so
+// allocation counts on pooled paths are meaningless under -race.
+const raceEnabled = true

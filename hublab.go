@@ -47,6 +47,7 @@ import (
 	"hublab/internal/hdim"
 	"hublab/internal/hhl"
 	"hublab/internal/hub"
+	"hublab/internal/hubclient"
 	"hublab/internal/index"
 	"hublab/internal/lbound"
 	"hublab/internal/oracle"
@@ -57,6 +58,7 @@ import (
 	"hublab/internal/sssp"
 	"hublab/internal/sumindex"
 	"hublab/internal/ubound"
+	"hublab/internal/wire"
 )
 
 // Core graph types.
@@ -365,6 +367,21 @@ type (
 	// shedding probabilities that rise on queue-full events and decay on
 	// successful serves.
 	AdmissionOptions = flowctl.Options
+	// FleetClient is the pooled, batching, hedging client for hubserve
+	// -binary doors (the internal/wire framed protocol): calls from any
+	// goroutine are coalesced into binary batch frames, pipelined over
+	// pooled connections, round-robined across replicas, and retried on
+	// the survivors when a replica dies. Construct with NewFleetClient.
+	FleetClient = hubclient.Client
+	// FleetClientOptions configures NewFleetClient: the replica
+	// addresses, the client identity sent to admission control, pool
+	// size, batching bounds, timeout, failover hold-down and optional
+	// hedging delay.
+	FleetClientOptions = hubclient.Options
+	// FleetClientStats counts the client's traffic: queries, frames,
+	// retries, hedges (and wins), pool-exhausted events and transport
+	// errors.
+	FleetClientStats = hubclient.Stats
 )
 
 // Server fault-health states (see ServerHealth).
@@ -399,6 +416,14 @@ var (
 	// ErrLabelingViewImmutable reports an in-place mutation attempted on
 	// a view-backed (mmap) labeling; CopyOwned first.
 	ErrLabelingViewImmutable = hub.ErrViewImmutable
+	// ErrFleetOverloaded reports a FleetClient query shed by a replica's
+	// admission control (with -peers gossip, by every replica at once);
+	// back off and retry.
+	ErrFleetOverloaded = wire.ErrOverloaded
+	// ErrFleetTimeout reports a FleetClient query that missed its
+	// deadline — the replica's per-query deadline or the client's
+	// FleetClientOptions.Timeout.
+	ErrFleetTimeout = wire.ErrTimeout
 )
 
 // BuildIndex constructs a registered index backend ("matrix",
@@ -488,6 +513,13 @@ func CompactFromFlat(f *FlatLabeling) *CompactLabeling { return hub.CompactFromF
 // NewServer starts the sharded query service over idx. Close it to
 // release the workers; Swap replaces the served index under live traffic.
 func NewServer(idx Index, opts ServerOptions) *Server { return server.New(idx, opts) }
+
+// NewFleetClient connects to a fleet of hubserve -binary replicas.
+// Queries load-balance across the replicas, fail over on transport
+// errors, and travel as binary batch frames — 5–10× the HTTP door's
+// per-connection throughput at batch sizes ≥16. Close it to release
+// the connections and collectors.
+func NewFleetClient(opts FleetClientOptions) (*FleetClient, error) { return hubclient.New(opts) }
 
 // NewEccIndex inverts a frozen label store — expanded or compact —
 // into the farthest-first per-hub lists that answer exact eccentricity

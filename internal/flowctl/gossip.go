@@ -1,0 +1,65 @@
+package flowctl
+
+import "fmt"
+
+// This file is the fleet-sharing surface of the controller: replicas
+// exchange bucket probabilities so a flow throttled on one node is
+// throttled everywhere. Sharing is a max-merge — remote state can only
+// raise a local bucket, never lower it — which makes gossip idempotent,
+// commutative, and safe to replay out of order. Downward convergence is
+// purely local: each node's own OnServed decay relaxes its buckets once
+// the admitted trickle (MaxDrop < 1) starts succeeding again.
+
+// Levels returns the configured number of hash levels (L).
+func (c *Controller) Levels() int { return c.levels }
+
+// Buckets returns the per-level bucket count after power-of-two
+// rounding (B).
+func (c *Controller) Buckets() int { return int(c.mask) + 1 }
+
+// Seed returns the hash seed. Controllers can only meaningfully merge
+// state when their seeds (and shapes) match: the seed determines which
+// bucket a given client hashes to, so merging across different seeds
+// would penalize unrelated flows.
+func (c *Controller) Seed() uint64 { return c.seed }
+
+// ProbOne is the fixed-point representation of probability 1.0 used by
+// Snapshot and MergeMax values.
+const ProbOne = probOne
+
+// Snapshot appends the current fixed-point probability of every bucket
+// (levels × buckets values, level-major) to dst and returns the
+// extended slice. Pass a recycled slice to avoid allocation.
+func (c *Controller) Snapshot(dst []uint32) []uint32 {
+	for i := range c.p {
+		dst = append(dst, c.p[i].Load())
+	}
+	return dst
+}
+
+// MergeMax raises bucket (a flat index in [0, Levels×Buckets)) to at
+// least prob, saturating at the controller's MaxDrop cap so gossip can
+// never pin a bucket at 1.0 and starve its flows' recovery trickle.
+// It reports whether the bucket changed. Merging is lock-free and
+// allocation free, like every other hot-path operation.
+func (c *Controller) MergeMax(bucket int, prob uint32) (bool, error) {
+	if bucket < 0 || bucket >= len(c.p) {
+		return false, fmt.Errorf("flowctl: merge bucket %d out of range [0,%d)", bucket, len(c.p))
+	}
+	if prob > probOne {
+		return false, fmt.Errorf("flowctl: merge probability %d above fixed-point 1.0", prob)
+	}
+	if prob > c.maxDrop {
+		prob = c.maxDrop
+	}
+	b := &c.p[bucket]
+	for {
+		old := b.Load()
+		if old >= prob {
+			return false, nil
+		}
+		if b.CompareAndSwap(old, prob) {
+			return true, nil
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package flowctl
+
+import "testing"
+
+// TestSnapshotMergeMax pins the gossip contract: a snapshot of one
+// controller max-merged into a same-shape peer transfers the shed
+// decision for the flow that caused it.
+func TestSnapshotMergeMax(t *testing.T) {
+	opts := Options{Seed: 7, MaxDrop: 1}
+	a, b := New(opts), New(opts)
+	for i := 0; i < 200; i++ {
+		a.OnQueueFull("flooder")
+	}
+	if p := a.Probability("flooder"); p != 1 {
+		t.Fatalf("flooder probability on a = %v, want 1", p)
+	}
+	snap := a.Snapshot(nil)
+	if len(snap) != a.Levels()*a.Buckets() {
+		t.Fatalf("snapshot length %d, want %d", len(snap), a.Levels()*a.Buckets())
+	}
+	changed := 0
+	for i, p := range snap {
+		if p == 0 {
+			continue
+		}
+		ch, err := b.MergeMax(i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("merge changed no buckets")
+	}
+	if p := b.Probability("flooder"); p != 1 {
+		t.Fatalf("flooder probability on b after merge = %v, want 1", p)
+	}
+	if p := b.Probability("polite"); p != 0 {
+		t.Fatalf("merge throttled an innocent flow: %v", p)
+	}
+	// Merging is idempotent: replaying the same snapshot changes nothing.
+	for i, p := range snap {
+		if ch, _ := b.MergeMax(i, p); ch {
+			t.Fatalf("replayed merge changed bucket %d", i)
+		}
+	}
+}
+
+// TestMergeMaxCaps checks that gossip respects the local MaxDrop cap
+// (so remote state can never starve a flow's recovery trickle) and
+// that it rejects out-of-range input.
+func TestMergeMaxCaps(t *testing.T) {
+	c := New(Options{MaxDrop: 0.5})
+	if _, err := c.MergeMax(0, ProbOne); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.p[0].Load(); got != c.maxDrop {
+		t.Fatalf("merged prob %d, want cap %d", got, c.maxDrop)
+	}
+	if _, err := c.MergeMax(-1, 1); err == nil {
+		t.Fatal("negative bucket accepted")
+	}
+	if _, err := c.MergeMax(c.Levels()*c.Buckets(), 1); err == nil {
+		t.Fatal("out-of-range bucket accepted")
+	}
+	if _, err := c.MergeMax(0, ProbOne+1); err == nil {
+		t.Fatal("over-1.0 probability accepted")
+	}
+}
+
+// TestMergeNeverLowers checks the monotone-up property: a merge with a
+// smaller probability leaves the local (higher) state alone, so stale
+// gossip replayed out of order is harmless.
+func TestMergeNeverLowers(t *testing.T) {
+	c := New(Options{})
+	if _, err := c.MergeMax(3, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if ch, err := c.MergeMax(3, 10); err != nil || ch {
+		t.Fatalf("stale merge lowered bucket: changed=%v err=%v", ch, err)
+	}
+	if got := c.p[3].Load(); got != 1000 {
+		t.Fatalf("bucket = %d, want 1000", got)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	c := New(Options{})
+	buf := make([]uint32, 0, c.Levels()*c.Buckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = c.Snapshot(buf[:0])
+	}
+}

@@ -1,0 +1,714 @@
+// Package hubclient is the Go client of the binary serving protocol
+// (internal/wire): connection pooling per replica, automatic batching
+// of concurrent requests into multi-query frames, per-request
+// deadlines, and hedged retries across a replica set.
+//
+// Concurrency is the batching mechanism: every in-flight request joins
+// its replica's collector queue, and the collector drains whatever is
+// queued — up to Options.MaxBatch — into one frame. A single caller
+// pays one frame per query; a thousand concurrent callers pay ~1/1000th
+// of the framing and syscall cost each, with no explicit batch API
+// needed (DistanceBatch is a convenience that fans out and joins).
+//
+// Every request resolves exactly once. A request may be in flight on
+// two replicas at a time (a hedge fired, or a retry raced a slow first
+// attempt); whichever answer arrives first wins an atomic CAS and later
+// answers are dropped and counted (Stats.LateDrops) — never delivered
+// twice, never silently lost.
+package hubclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hublab/internal/graph"
+	"hublab/internal/wire"
+)
+
+// Typed client-side errors. Server-side statuses surface as the wire
+// sentinels (wire.ErrOverloaded and friends).
+var (
+	// ErrNoReplicas reports that every replica is marked down.
+	ErrNoReplicas = errors.New("hubclient: no live replicas")
+	// ErrPoolExhausted reports that every live replica's submit queue is
+	// full — the typed answer to "the pool is saturated", returned
+	// immediately instead of blocking the caller behind it.
+	ErrPoolExhausted = errors.New("hubclient: connection pool exhausted")
+	// ErrDeadline reports a request that outlived Options.Timeout
+	// client-side (distinct from wire.ErrTimeout, the replica's own
+	// deadline verdict).
+	ErrDeadline = errors.New("hubclient: request deadline exceeded")
+	// ErrClientClosed reports a request issued after Close.
+	ErrClientClosed = errors.New("hubclient: client closed")
+)
+
+// transportError wraps connection-level failures (dial, read, write,
+// replica hangup). Transport errors are retryable on another replica —
+// the request may never have been seen — unlike a replica's explicit
+// verdict, which is final.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "hubclient: transport: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// retryable reports whether err may be answered by trying another
+// replica. wire.ErrClosed counts: the replica announced shutdown, so
+// the query should fail over.
+func retryable(err error) bool {
+	var te *transportError
+	return errors.As(err, &te) || errors.Is(err, wire.ErrClosed)
+}
+
+// Options configures a Client.
+type Options struct {
+	// Replicas is the replica set (host:port of binary doors). At least
+	// one is required.
+	Replicas []string
+	// Name identifies this client to the fleet's admission controllers
+	// (sent in a hello frame on every new connection). Unset, replicas
+	// fall back to the connection's remote host — useless when many
+	// clients share a machine, so set it.
+	Name string
+	// PoolSize is the number of connections kept per replica (default 2).
+	PoolSize int
+	// MaxBatch bounds queries per frame (default 64, capped at
+	// wire.MaxBatch).
+	MaxBatch int
+	// QueueDepth is the per-replica collector queue (default 256). When
+	// every live replica's queue is full, requests answer
+	// ErrPoolExhausted immediately.
+	QueueDepth int
+	// Timeout is the per-request end-to-end deadline (default 2s).
+	Timeout time.Duration
+	// HedgeAfter, when positive, sends a request a second time — to a
+	// different replica — if no answer arrived within this duration. The
+	// first answer wins; the loser is dropped by the exactly-once CAS.
+	HedgeAfter time.Duration
+	// DownFor is how long a replica sits out after a dial failure
+	// (default 1s). Read/write failures kill the connection but only a
+	// failed dial marks the replica down.
+	DownFor time.Duration
+	// MaxFrame bounds accepted reply frames (default
+	// wire.DefaultMaxFrame).
+	MaxFrame int
+}
+
+// Stats counts client-side events since New.
+type Stats struct {
+	// Queries counts requests resolved (any outcome); Frames the request
+	// frames written. Queries/Frames is the achieved batching factor.
+	Queries, Frames uint64
+	// Retries counts failovers after a retryable error; Hedges counts
+	// hedge submissions, HedgeWins the requests a hedge answered first.
+	Retries, Hedges, HedgeWins uint64
+	// LateDrops counts answers that lost the exactly-once race (the
+	// request had already resolved — by the other attempt, the deadline,
+	// or a transport verdict).
+	LateDrops uint64
+	// PoolExhausted counts requests refused with ErrPoolExhausted;
+	// TransportErrors counts connection-level failures observed.
+	PoolExhausted, TransportErrors uint64
+}
+
+// Client is a pooled, hedging client over a replica set. Safe for
+// concurrent use by any number of goroutines.
+type Client struct {
+	opts   Options
+	reps   []*replica
+	rr     atomic.Uint64
+	closed atomic.Bool
+	stop   chan struct{}
+	// wgCollect tracks collector goroutines, wgConns reader goroutines;
+	// Close drains them in that order (collectors first, so no new
+	// connection can be dialed once the readers are being killed).
+	wgCollect sync.WaitGroup
+	wgConns   sync.WaitGroup
+
+	queries       atomic.Uint64
+	frames        atomic.Uint64
+	retries       atomic.Uint64
+	hedges        atomic.Uint64
+	hedgeWins     atomic.Uint64
+	lateDrops     atomic.Uint64
+	poolExhausted atomic.Uint64
+	transportErrs atomic.Uint64
+}
+
+// New returns a client over the replica set. It dials lazily: a replica
+// that is down at New simply sits out until its cooldown expires.
+func New(opts Options) (*Client, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, errors.New("hubclient: no replicas configured")
+	}
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 2
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 64
+	}
+	if opts.MaxBatch > wire.MaxBatch {
+		opts.MaxBatch = wire.MaxBatch
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	if opts.DownFor <= 0 {
+		opts.DownFor = time.Second
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = wire.DefaultMaxFrame
+	}
+	c := &Client{opts: opts, stop: make(chan struct{})}
+	for _, addr := range opts.Replicas {
+		rep := &replica{
+			c:      c,
+			addr:   addr,
+			submit: make(chan attempt, opts.QueueDepth),
+			conns:  make([]*rconn, opts.PoolSize),
+		}
+		c.reps = append(c.reps, rep)
+		c.wgCollect.Add(1)
+		go rep.collect()
+	}
+	return c, nil
+}
+
+// Close stops the collectors, hangs up every connection, and fails any
+// still-queued requests. Safe to call twice.
+func (c *Client) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	close(c.stop)
+	c.wgCollect.Wait()
+	for _, rep := range c.reps {
+		rep.mu.Lock()
+		for i, rc := range rep.conns {
+			if rc != nil {
+				rc.kill(ErrClientClosed)
+				rep.conns[i] = nil
+			}
+		}
+		rep.mu.Unlock()
+	}
+	c.wgConns.Wait()
+	// Fail requests still parked in the collector queues.
+	for _, rep := range c.reps {
+		for {
+			select {
+			case att := <-rep.submit:
+				att.cl.failAttempt(c, ErrClientClosed)
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}
+
+// Stats returns the client counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Queries:         c.queries.Load(),
+		Frames:          c.frames.Load(),
+		Retries:         c.retries.Load(),
+		Hedges:          c.hedges.Load(),
+		HedgeWins:       c.hedgeWins.Load(),
+		LateDrops:       c.lateDrops.Load(),
+		PoolExhausted:   c.poolExhausted.Load(),
+		TransportErrors: c.transportErrs.Load(),
+	}
+}
+
+// Distance asks the fleet for the exact distance u–v.
+func (c *Client) Distance(u, v graph.NodeID) (graph.Weight, error) {
+	r, err := c.do(wire.Query{Kind: wire.QDist, U: u, V: v})
+	if err != nil {
+		return graph.Infinity, err
+	}
+	return r.Dist, nil
+}
+
+// Path asks for a witness path u→v, appended to dst (nothing appended
+// for unreachable pairs).
+func (c *Client) Path(u, v graph.NodeID, dst []graph.NodeID) ([]graph.NodeID, error) {
+	r, err := c.do(wire.Query{Kind: wire.QPath, U: u, V: v})
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, r.Path...), nil
+}
+
+// Eccentricity asks for v's eccentricity and the farthest vertex
+// attaining it.
+func (c *Client) Eccentricity(v graph.NodeID) (graph.NodeID, graph.Weight, error) {
+	r, err := c.do(wire.Query{Kind: wire.QEcc, U: v})
+	if err != nil {
+		return -1, graph.Infinity, err
+	}
+	return r.Far, r.Dist, nil
+}
+
+// DistanceBatch resolves pairs[k] into out[k] with per-pair errors in
+// errs[k], fanning the pairs out as concurrent requests (which the
+// collectors coalesce into frames) and joining them all.
+func (c *Client) DistanceBatch(pairs [][2]graph.NodeID, out []graph.Weight, errs []error) {
+	if len(out) < len(pairs) || len(errs) < len(pairs) {
+		panic("hubclient: DistanceBatch out/errs shorter than pairs")
+	}
+	var wg sync.WaitGroup
+	for i := range pairs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = c.Distance(pairs[i][0], pairs[i][1])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Request lifecycle states (call.state).
+const (
+	callPending int32 = iota
+	callDone
+)
+
+// call is one in-flight request. It resolves exactly once: answers,
+// transport verdicts and the client deadline all race on one CAS from
+// callPending, and only the winner writes the result fields (before
+// signaling done, so the waiter reads them race-free).
+type call struct {
+	q     wire.Query
+	res   wire.Result
+	err   error
+	state atomic.Int32
+	// attempts counts in-flight submissions. A transport failure only
+	// resolves the call when it drops the last attempt — if a hedge is
+	// still out there, its answer gets to win instead.
+	attempts atomic.Int32
+	// hedgeWon marks resolution by a hedge attempt (Stats.HedgeWins).
+	hedgeWon bool
+	done     chan struct{}
+}
+
+// attempt is one submission of a call to one replica; hedge marks the
+// speculative second copy.
+type attempt struct {
+	cl    *call
+	hedge bool
+}
+
+// complete resolves the call with a replica's answer. Reports whether
+// this resolution won the exactly-once race.
+func (cl *call) complete(c *Client, res wire.Result, hedge bool) bool {
+	if !cl.state.CompareAndSwap(callPending, callDone) {
+		c.lateDrops.Add(1)
+		return false
+	}
+	cl.res = res
+	cl.err = wire.StatusError(res.Status)
+	cl.hedgeWon = hedge
+	cl.done <- struct{}{}
+	return true
+}
+
+// fail resolves the call with a client-side error.
+func (cl *call) fail(c *Client, err error) bool {
+	if !cl.state.CompareAndSwap(callPending, callDone) {
+		c.lateDrops.Add(1)
+		return false
+	}
+	cl.err = err
+	cl.done <- struct{}{}
+	return true
+}
+
+// failAttempt records that one submission of this call died in
+// transport. The call resolves only when no other attempt remains in
+// flight.
+func (cl *call) failAttempt(c *Client, err error) {
+	if cl.attempts.Add(-1) > 0 {
+		return
+	}
+	var te *transportError
+	if !errors.As(err, &te) && !errors.Is(err, ErrClientClosed) {
+		err = &transportError{err: err}
+	}
+	cl.fail(c, err)
+}
+
+// do runs one request end to end: submit, await, hedge, fail over.
+func (c *Client) do(q wire.Query) (wire.Result, error) {
+	defer c.queries.Add(1)
+	if c.closed.Load() {
+		return wire.Result{}, ErrClientClosed
+	}
+	cl := &call{q: q, done: make(chan struct{}, 1)}
+	start := int(c.rr.Add(1) % uint64(len(c.reps)))
+	tried := 0
+	if err := c.submit(cl, start, &tried, false); err != nil {
+		return wire.Result{}, err
+	}
+	deadline := time.NewTimer(c.opts.Timeout)
+	defer deadline.Stop()
+	var hedge <-chan time.Time
+	if c.opts.HedgeAfter > 0 {
+		ht := time.NewTimer(c.opts.HedgeAfter)
+		defer ht.Stop()
+		hedge = ht.C
+	}
+	for {
+		select {
+		case <-cl.done:
+			err := cl.err
+			if err != nil && retryable(err) && tried < len(c.reps) {
+				// The replica never answered (transport) or announced
+				// shutdown — fail over with a fresh call. The old one is
+				// abandoned: a hedge still out on it resolves into the
+				// dead envelope and is dropped, never racing the retry's
+				// state machine.
+				cl = &call{q: q, done: make(chan struct{}, 1)}
+				if serr := c.submit(cl, start, &tried, false); serr != nil {
+					return wire.Result{}, err // report the original failure
+				}
+				c.retries.Add(1)
+				continue
+			}
+			if err != nil {
+				return wire.Result{}, err
+			}
+			if cl.hedgeWon {
+				c.hedgeWins.Add(1)
+			}
+			return cl.res, nil
+		case <-hedge:
+			hedge = nil
+			if tried < len(c.reps) {
+				if err := c.submit(cl, start, &tried, true); err == nil {
+					c.hedges.Add(1)
+				}
+			}
+		case <-deadline.C:
+			if cl.fail(c, ErrDeadline) {
+				return wire.Result{}, ErrDeadline
+			}
+			// Lost to a concurrent resolution: take that answer.
+			<-cl.done
+			if cl.err != nil {
+				return wire.Result{}, cl.err
+			}
+			if cl.hedgeWon {
+				c.hedgeWins.Add(1)
+			}
+			return cl.res, nil
+		}
+	}
+}
+
+// submit enqueues the call on the next live replica after start+tried,
+// walking the ring until one accepts. Live replicas with full queues
+// count toward pool exhaustion; a ring with no live replica at all is
+// ErrNoReplicas.
+func (c *Client) submit(cl *call, start int, tried *int, hedge bool) error {
+	if c.closed.Load() {
+		return ErrClientClosed
+	}
+	sawLive := false
+	for ; *tried < len(c.reps); *tried++ {
+		rep := c.reps[(start+*tried)%len(c.reps)]
+		if rep.isDown() {
+			continue
+		}
+		sawLive = true
+		cl.attempts.Add(1)
+		select {
+		case rep.submit <- attempt{cl: cl, hedge: hedge}:
+			*tried++
+			return nil
+		default:
+			cl.attempts.Add(-1)
+		}
+	}
+	if sawLive {
+		c.poolExhausted.Add(1)
+		return ErrPoolExhausted
+	}
+	return ErrNoReplicas
+}
+
+// replica is one member of the replica set: a collector goroutine that
+// drains the submit queue into frames, and a small connection pool.
+type replica struct {
+	c      *Client
+	addr   string
+	submit chan attempt
+
+	mu    sync.Mutex
+	conns []*rconn
+	next  int
+
+	downUntil atomic.Int64 // UnixNano; 0 = up
+}
+
+func (rep *replica) isDown() bool {
+	d := rep.downUntil.Load()
+	return d != 0 && time.Now().UnixNano() < d
+}
+
+func (rep *replica) markDown() {
+	rep.downUntil.Store(time.Now().Add(rep.c.opts.DownFor).UnixNano())
+}
+
+// collect is the replica's batching loop: block for one submission,
+// drain whatever else is queued (up to MaxBatch), ship one frame.
+func (rep *replica) collect() {
+	defer rep.c.wgCollect.Done()
+	batch := make([]attempt, 0, rep.c.opts.MaxBatch)
+	for {
+		select {
+		case <-rep.c.stop:
+			return
+		case att := <-rep.submit:
+			batch = append(batch[:0], att)
+		drain:
+			for len(batch) < rep.c.opts.MaxBatch {
+				select {
+				case att2 := <-rep.submit:
+					batch = append(batch, att2)
+				default:
+					break drain
+				}
+			}
+			rep.send(batch)
+		}
+	}
+}
+
+// send ships one batch as a frame on a pooled connection. All attempt
+// accounting for the batch happens here or in sendBatch — each
+// submission is decremented exactly once on every path.
+func (rep *replica) send(batch []attempt) {
+	rc, err := rep.conn()
+	if err != nil {
+		rep.c.transportErrs.Add(1)
+		rep.markDown()
+		for _, att := range batch {
+			att.cl.failAttempt(rep.c, err)
+		}
+		return
+	}
+	sent, err := rc.sendBatch(batch)
+	if err != nil {
+		rep.c.transportErrs.Add(1)
+		rc.kill(err)
+		return
+	}
+	if sent {
+		rep.c.frames.Add(1)
+	}
+}
+
+// conn returns a live pooled connection, dialing if the slot under the
+// rotation cursor is empty or its occupant died.
+func (rep *replica) conn() (*rconn, error) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	slot := rep.next % len(rep.conns)
+	rep.next = slot + 1
+	if rc := rep.conns[slot]; rc != nil && !rc.dead.Load() {
+		return rc, nil
+	}
+	// The cursor landed on an empty or dead slot: dial its replacement,
+	// growing the pool toward PoolSize so frames actually fan out over
+	// that many connections. If the dial fails, fall back to any live
+	// connection before giving up — a replica with one working
+	// connection is degraded, not down.
+	nc, err := net.DialTimeout("tcp", rep.addr, rep.c.opts.Timeout)
+	if err != nil {
+		for i := 0; i < len(rep.conns); i++ {
+			if rc := rep.conns[(slot+1+i)%len(rep.conns)]; rc != nil && !rc.dead.Load() {
+				return rc, nil
+			}
+		}
+		return nil, err
+	}
+	rc := &rconn{
+		rep:     rep,
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 32<<10),
+		pending: make(map[uint64]*batchEntry),
+	}
+	if name := rep.c.opts.Name; name != "" {
+		hello, herr := wire.AppendHello(nil, name)
+		if herr != nil {
+			nc.Close()
+			return nil, herr
+		}
+		if _, werr := rc.bw.Write(hello); werr != nil {
+			nc.Close()
+			return nil, werr
+		}
+	}
+	rep.conns[slot] = rc
+	rep.c.wgConns.Add(1)
+	go rc.readLoop()
+	rep.downUntil.Store(0)
+	return rc, nil
+}
+
+// batchEntry is one outstanding frame on a connection: the submissions
+// it carries and their query kinds (the positional schema ParseReply
+// needs).
+type batchEntry struct {
+	atts  []attempt
+	kinds []uint8
+}
+
+// rconn is one pooled connection: a write path under a mutex, a
+// pending-frame map, and a reader goroutine demultiplexing replies.
+type rconn struct {
+	rep  *replica
+	nc   net.Conn
+	dead atomic.Bool
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	pmu     sync.Mutex
+	pending map[uint64]*batchEntry
+	nextID  uint64
+}
+
+// sendBatch registers the batch and writes its frame. Submissions whose
+// call already resolved (deadline, a faster hedge) are dropped here —
+// their slots would only waste reply bytes. Reports whether a frame was
+// written; on error the batch's attempts are already failed.
+func (rc *rconn) sendBatch(batch []attempt) (bool, error) {
+	entry := &batchEntry{}
+	for _, att := range batch {
+		if att.cl.state.Load() != callPending {
+			att.cl.attempts.Add(-1)
+			continue
+		}
+		entry.atts = append(entry.atts, att)
+		entry.kinds = append(entry.kinds, att.cl.q.Kind)
+	}
+	if len(entry.atts) == 0 {
+		return false, nil
+	}
+	rc.wmu.Lock()
+	defer rc.wmu.Unlock()
+	rc.pmu.Lock()
+	rc.nextID++
+	id := rc.nextID & 0x7fffffff // wire ids are capped at MaxInt32
+	rc.pending[id] = entry
+	rc.pmu.Unlock()
+	qs := make([]wire.Query, len(entry.atts))
+	for i, att := range entry.atts {
+		qs[i] = att.cl.q
+	}
+	// Bound the write so a stalled replica (reading nothing, TCP window
+	// shut) cannot wedge the collector goroutine forever.
+	_ = rc.nc.SetWriteDeadline(time.Now().Add(rc.rep.c.opts.Timeout))
+	frame, err := wire.AppendRequest(nil, id, qs)
+	if err == nil {
+		_, err = rc.bw.Write(frame)
+	}
+	if err == nil {
+		err = rc.bw.Flush()
+	}
+	if err != nil {
+		rc.pmu.Lock()
+		delete(rc.pending, id)
+		rc.pmu.Unlock()
+		rc.failEntry(entry, err)
+		return false, err
+	}
+	return true, nil
+}
+
+// readLoop demultiplexes reply frames into their batch entries until
+// the connection dies, then fails every outstanding attempt.
+func (rc *rconn) readLoop() {
+	defer rc.rep.c.wgConns.Done()
+	br := bufio.NewReaderSize(rc.nc, 32<<10)
+	var buf []byte
+	var readErr error
+	for {
+		kind, payload, err := wire.ReadFrame(br, &buf, rc.rep.c.opts.MaxFrame)
+		if err != nil {
+			readErr = err
+			break
+		}
+		if kind != wire.FrameReply {
+			readErr = fmt.Errorf("wire: unexpected frame kind %d from replica", kind)
+			break
+		}
+		id, err := wire.PeekReplyID(payload)
+		if err != nil {
+			readErr = err
+			break
+		}
+		rc.pmu.Lock()
+		entry := rc.pending[id]
+		delete(rc.pending, id)
+		rc.pmu.Unlock()
+		if entry == nil {
+			continue // reply to a frame we already gave up on
+		}
+		_, rs, err := wire.ParseReply(payload, entry.kinds, nil)
+		if err != nil {
+			readErr = err
+			rc.failEntry(entry, err)
+			break
+		}
+		for i, att := range entry.atts {
+			att.cl.complete(rc.rep.c, rs[i], att.hedge)
+			att.cl.attempts.Add(-1)
+		}
+	}
+	rc.kill(readErr)
+}
+
+// failEntry fails one batch entry's attempts.
+func (rc *rconn) failEntry(entry *batchEntry, err error) {
+	for _, att := range entry.atts {
+		att.cl.failAttempt(rc.rep.c, err)
+	}
+}
+
+// kill marks the connection dead, closes it, and fails every pending
+// frame. Idempotent.
+func (rc *rconn) kill(err error) {
+	if rc.dead.Swap(true) {
+		return
+	}
+	if err == nil {
+		err = net.ErrClosed
+	}
+	if !errors.Is(err, ErrClientClosed) {
+		rc.rep.c.transportErrs.Add(1)
+	}
+	rc.nc.Close()
+	rc.pmu.Lock()
+	entries := make([]*batchEntry, 0, len(rc.pending))
+	for id, e := range rc.pending {
+		entries = append(entries, e)
+		delete(rc.pending, id)
+	}
+	rc.pmu.Unlock()
+	for _, e := range entries {
+		rc.failEntry(e, err)
+	}
+}

@@ -1,0 +1,455 @@
+package hubclient
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hublab/internal/flowctl"
+	"hublab/internal/gen"
+	"hublab/internal/graph"
+	"hublab/internal/index"
+	"hublab/internal/index/indextest"
+	"hublab/internal/netserve"
+	"hublab/internal/server"
+	"hublab/internal/wire"
+)
+
+// startNode runs a server + binary door over idx on a loopback
+// listener, returning the door (for chaos hooks) and its address.
+func startNode(t testing.TB, idx index.Index, opts server.Options) (*server.Server, *netserve.Door, string) {
+	t.Helper()
+	srv := server.New(idx, opts)
+	t.Cleanup(srv.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	d := netserve.New(srv, netserve.Options{})
+	go func() { _ = d.Serve(ln) }()
+	t.Cleanup(d.Close)
+	return srv, d, ln.Addr().String()
+}
+
+// TestClientMatchesInProcess drives all three query kinds through a
+// pooled client against a real index and compares with the in-process
+// doors.
+func TestClientMatchesInProcess(t *testing.T) {
+	g, err := gen.Gnm(200, 380, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.NewHubLabels(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _, addr := startNode(t, idx, server.Options{Shards: 2})
+	c, err := New(Options{Replicas: []string{addr}, Name: "tester"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		u, v := graph.NodeID(i%200), graph.NodeID((i*7+3)%200)
+		got, err := c.Distance(u, v)
+		if err != nil {
+			t.Fatalf("Distance(%d,%d): %v", u, v, err)
+		}
+		want, _ := srv.TryQuery("inproc", u, v)
+		if got != want {
+			t.Fatalf("Distance(%d,%d) = %d, want %d", u, v, got, want)
+		}
+	}
+	path, err := c.Path(5, 55, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPath, _ := srv.TryPath("inproc", 5, 55, nil)
+	if len(path) != len(wantPath) {
+		t.Fatalf("path %v, want %v", path, wantPath)
+	}
+	far, ecc, err := c.Eccentricity(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFar, wantEcc, _ := srv.TryFarthest("inproc", 9)
+	if far != wantFar || ecc != wantEcc {
+		t.Fatalf("Eccentricity(9) = (%d,%d), want (%d,%d)", far, ecc, wantFar, wantEcc)
+	}
+}
+
+// TestClientCoalesces checks the batching story: a burst of concurrent
+// queries lands in far fewer frames than queries.
+func TestClientCoalesces(t *testing.T) {
+	idx := &indextest.Fixed{N: 100000, Delay: 200 * time.Microsecond}
+	_, _, addr := startNode(t, idx, server.Options{Shards: 4, QueueDepth: 4096})
+	c, err := New(Options{Replicas: []string{addr}, Name: "burst", MaxBatch: 512, QueueDepth: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const queries = 2000
+	pairs := make([][2]graph.NodeID, queries)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(i), graph.NodeID(2 * i)}
+	}
+	out := make([]graph.Weight, queries)
+	errs := make([]error, queries)
+	c.DistanceBatch(pairs, out, errs)
+	for i := range pairs {
+		if errs[i] != nil {
+			t.Fatalf("pair %d: %v", i, errs[i])
+		}
+		if want := graph.Weight(i); out[i] != want {
+			t.Fatalf("pair %d: got %d want %d", i, out[i], want)
+		}
+	}
+	st := c.Stats()
+	if st.Frames == 0 || st.Frames >= st.Queries/4 {
+		t.Errorf("poor coalescing: %d frames for %d queries", st.Frames, st.Queries)
+	}
+}
+
+// stallServer accepts wire connections and reads frames forever without
+// ever answering — the pathological slow replica.
+func stallServer(t testing.TB) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = io.Copy(io.Discard, c) }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientHedgesStalledReplica pins the hedging chaos case: one
+// replica swallows requests, the other answers; hedges fire and every
+// query still resolves correctly, exactly once.
+func TestClientHedgesStalledReplica(t *testing.T) {
+	idx := &indextest.Fixed{N: 100000}
+	_, _, goodAddr := startNode(t, idx, server.Options{Shards: 2})
+	stallAddr := stallServer(t)
+	c, err := New(Options{
+		Replicas:   []string{stallAddr, goodAddr},
+		Name:       "hedger",
+		Timeout:    5 * time.Second,
+		HedgeAfter: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		u, v := graph.NodeID(i), graph.NodeID(3*i+7)
+		got, err := c.Distance(u, v)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if want := graph.Weight(2*i + 7); got != want {
+			t.Fatalf("query %d: got %d want %d", i, got, want)
+		}
+	}
+	st := c.Stats()
+	if st.Hedges == 0 {
+		t.Errorf("no hedges fired against a stalled replica (stats %+v)", st)
+	}
+	if st.HedgeWins == 0 {
+		t.Errorf("no hedge wins recorded (stats %+v)", st)
+	}
+	if st.Queries != 10 {
+		t.Errorf("queries = %d, want exactly 10 (exactly-once accounting)", st.Queries)
+	}
+}
+
+// slowServer answers every distance query correctly (|u-v|) but only
+// after delay — slow enough to lose every hedge race, so its late
+// answers must be dropped by the exactly-once accounting.
+func slowServer(t testing.TB, delay time.Duration) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				var buf []byte
+				var rs []wire.Result
+				for {
+					kind, payload, err := wire.ReadFrame(br, &buf, 0)
+					if err != nil {
+						return
+					}
+					if kind != wire.FrameRequest {
+						continue
+					}
+					id, qs, err := wire.ParseRequest(payload, nil)
+					if err != nil {
+						return
+					}
+					time.Sleep(delay)
+					rs = rs[:0]
+					for _, q := range qs {
+						d := q.V - q.U
+						if d < 0 {
+							d = -d
+						}
+						rs = append(rs, wire.Result{Kind: q.Kind, Status: wire.StatusOK, Dist: graph.Weight(d), Far: -1})
+					}
+					frame, err := wire.AppendReply(nil, id, rs)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(frame); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientLateAnswersDropped pairs a slow-but-correct replica with a
+// fast one: hedges win, and the slow replica's late answers are counted
+// as drops, never delivered twice.
+func TestClientLateAnswersDropped(t *testing.T) {
+	idx := &indextest.Fixed{N: 100000}
+	_, _, fastAddr := startNode(t, idx, server.Options{Shards: 2})
+	slowAddr := slowServer(t, 250*time.Millisecond)
+	c, err := New(Options{
+		Replicas:   []string{slowAddr, fastAddr},
+		Name:       "dropper",
+		Timeout:    5 * time.Second,
+		HedgeAfter: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 6; i++ {
+		got, err := c.Distance(graph.NodeID(i), graph.NodeID(10*i))
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if want := graph.Weight(9 * i); got != want {
+			t.Fatalf("query %d: got %d want %d", i, got, want)
+		}
+	}
+	// The slow replica's answers arrive ~230ms after each hedge win;
+	// wait for them to land and be dropped.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().LateDrops == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no late drops recorded (stats %+v)", c.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := c.Stats(); st.Queries != 6 {
+		t.Errorf("queries = %d, want exactly 6", st.Queries)
+	}
+}
+
+// TestClientReplicaKillMidBatch is the kill-chaos satellite: a single
+// replica's connections are severed mid-traffic. Requirements pinned:
+// zero wrong answers, and an error count bounded by the in-flight
+// window around the kill (the client re-dials and keeps serving).
+func TestClientReplicaKillMidBatch(t *testing.T) {
+	idx := &indextest.Fixed{N: 1 << 20, Delay: 100 * time.Microsecond}
+	_, door, addr := startNode(t, idx, server.Options{Shards: 4, QueueDepth: 1024})
+	c, err := New(Options{Replicas: []string{addr}, Name: "chaos", Timeout: 3 * time.Second, QueueDepth: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const workers = 32
+	var wrong, failed, ok atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := graph.NodeID((w*131071 + i*7919) % (1 << 20))
+				v := graph.NodeID((w*524287 + i*104729) % (1 << 20))
+				got, err := c.Distance(u, v)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				want := v - u
+				if want < 0 {
+					want = -want
+				}
+				if got != graph.Weight(want) {
+					wrong.Add(1)
+					return
+				}
+				ok.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(150 * time.Millisecond)
+	door.Kill() // sever every connection mid-batch
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if wrong.Load() != 0 {
+		t.Fatalf("%d wrong answers after replica kill", wrong.Load())
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no queries succeeded")
+	}
+	// Bounded error rate: only requests in flight around the kill (≤ one
+	// per worker, plus one collector batch) may fail; everything after
+	// the re-dial must succeed.
+	bound := uint64(workers + 2*64)
+	if failed.Load() > bound {
+		t.Errorf("%d failed queries, want ≤ %d (in-flight window)", failed.Load(), bound)
+	}
+	if failed.Load() == 0 {
+		t.Log("note: kill landed between batches; no errors observed")
+	}
+	st := c.Stats()
+	if st.TransportErrors == 0 {
+		t.Errorf("kill left no transport-error trace (stats %+v)", st)
+	}
+}
+
+// TestClientPoolExhaustionTyped pins the typed-error satellite: with a
+// starved collector queue, surplus submissions answer ErrPoolExhausted
+// immediately instead of blocking.
+func TestClientPoolExhaustionTyped(t *testing.T) {
+	stallAddr := stallServer(t)
+	c, err := New(Options{
+		Replicas:   []string{stallAddr},
+		Name:       "exhauster",
+		QueueDepth: 1,
+		Timeout:    500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const workers = 64
+	var exhausted atomic.Uint64
+	var slowest atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			_, err := c.Distance(1, 2)
+			el := time.Since(start)
+			for {
+				old := slowest.Load()
+				if int64(el) <= old || slowest.CompareAndSwap(old, int64(el)) {
+					break
+				}
+			}
+			if errors.Is(err, ErrPoolExhausted) {
+				exhausted.Add(1)
+				if el > 200*time.Millisecond {
+					t.Errorf("ErrPoolExhausted took %v, want immediate", el)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if exhausted.Load() == 0 {
+		t.Fatalf("no ErrPoolExhausted among %d concurrent submits on a depth-1 queue (stats %+v)", workers, c.Stats())
+	}
+	// Nothing may block past the client deadline — "instead of blocking
+	// forever".
+	if got := time.Duration(slowest.Load()); got > 2*time.Second {
+		t.Errorf("slowest call %v, want bounded by the deadline", got)
+	}
+}
+
+// TestClientNoReplicas checks the typed error when the whole replica
+// set is unreachable.
+func TestClientNoReplicas(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+	c, err := New(Options{Replicas: []string{addr}, Name: "lost", Timeout: time.Second, DownFor: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// First call eats the dial failure (a transport error)…
+	if _, err := c.Distance(1, 2); err == nil {
+		t.Fatal("query against nothing succeeded")
+	}
+	// …which marks the replica down; from then on it's the typed verdict.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := c.Distance(1, 2)
+		if errors.Is(err, ErrNoReplicas) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw ErrNoReplicas, last err %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClientOverloadSurfaces checks that a replica's admission verdict
+// is final: the client reports wire.ErrOverloaded without retrying the
+// other replica (hedging around shedding would defeat fleet-wide
+// admission).
+func TestClientOverloadSurfaces(t *testing.T) {
+	idx := &indextest.Fixed{N: 1000}
+	adm := &flowctl.Options{MaxDrop: 1, Inc: 1}
+	srvA, _, addrA := startNode(t, idx, server.Options{Shards: 1, Admission: adm})
+	_, _, addrB := startNode(t, idx, server.Options{Shards: 1, Admission: adm})
+	srvA.AdmissionController().OnQueueFull("flooder")
+	c, err := New(Options{Replicas: []string{addrA, addrB}, Name: "flooder", Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sawOverload := false
+	for i := 0; i < 20 && !sawOverload; i++ {
+		_, qerr := c.Distance(1, 2)
+		sawOverload = errors.Is(qerr, wire.ErrOverloaded)
+	}
+	if !sawOverload {
+		t.Fatal("flooder never saw wire.ErrOverloaded")
+	}
+	if st := c.Stats(); st.Retries != 0 {
+		t.Errorf("client retried an admission verdict: %d retries", st.Retries)
+	}
+}

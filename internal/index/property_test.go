@@ -68,6 +68,32 @@ func TestPropertyCachedServing(t *testing.T) {
 	}
 }
 
+// TestPropertyNetworkServing drives every backend kind over every
+// harness family through the binary network door on a real loopback
+// TCP connection, requiring every wire answer — distances, witness
+// paths, eccentricities — to be identical to the in-process
+// TryQuery/TryPath/TryFarthest answer for the same input, and
+// distances to match brute-force truth. This is the network half of
+// the "byte-identical answers" contract: a backend registered later is
+// network-property-checked with zero new test code, and CI runs it
+// inside the -race -count=2 property shard so the door's per-conn
+// buffer reuse is race-checked too.
+func TestPropertyNetworkServing(t *testing.T) {
+	for _, kind := range index.Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			for _, pg := range indextest.PropertyGraphs(t, 42) {
+				t.Run(pg.Name, func(t *testing.T) {
+					idx, err := index.Build(kind, pg.G, index.Options{Seed: 7})
+					if err != nil {
+						t.Fatalf("build %s over %s: %v", kind, pg.Name, err)
+					}
+					servertest.RunNetworkServing(t, pg.G, idx, 1234)
+				})
+			}
+		})
+	}
+}
+
 // TestPropertyCapabilityCoverage pins that the capability interfaces are
 // actually exercised: all three built-in backends must report paths and
 // eccentricities (a silent type-assertion miss in the harness would

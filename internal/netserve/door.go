@@ -1,0 +1,373 @@
+// Package netserve is the binary network door of the serving layer: it
+// speaks the internal/wire batch protocol over TCP (or any
+// net.Listener) and rides the existing server.Server machinery — shard
+// queues, fair admission, deadlines, hot cache — without adding any
+// queueing of its own. One goroutine per connection reads a frame,
+// answers it against the server, and writes one reply frame; batching
+// lives inside the frame (up to wire.MaxBatch queries), so throughput
+// scales with batch size while the per-connection state stays a pair of
+// reused buffers.
+//
+// The door is also the fleet's gossip sink: FrameGossip frames from
+// peer replicas merge remote flowctl bucket state into the local
+// admission controller (max-merge, see flowctl.MergeMax), so a flooder
+// shed elsewhere is shed here before it costs a queue slot.
+package netserve
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"hublab/internal/flowctl"
+	"hublab/internal/graph"
+	"hublab/internal/hub"
+	"hublab/internal/server"
+	"hublab/internal/wire"
+)
+
+// Options tunes a Door.
+type Options struct {
+	// MaxFrame bounds accepted frame payloads (default
+	// wire.DefaultMaxFrame). Oversized frames close the connection.
+	MaxFrame int
+}
+
+// Door accepts wire-protocol connections against one server.
+type Door struct {
+	srv      *server.Server
+	ctl      *flowctl.Controller
+	maxFrame int
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	frames       atomic.Uint64
+	queries      atomic.Uint64
+	badFrames    atomic.Uint64
+	gossipMerged atomic.Uint64
+}
+
+// Stats is a point-in-time view of door traffic.
+type Stats struct {
+	// Frames counts request frames answered; Queries the queries inside
+	// them.
+	Frames, Queries uint64
+	// BadFrames counts connections dropped for protocol violations.
+	BadFrames uint64
+	// GossipMerged counts gossip entries that raised a local admission
+	// bucket.
+	GossipMerged uint64
+	// Conns is the number of currently open connections.
+	Conns int
+}
+
+// New returns a door serving srv. The door shares the server's
+// admission controller (if any): request frames consult it through the
+// normal Try* doors, and incoming gossip merges into it.
+func New(srv *server.Server, opts Options) *Door {
+	maxFrame := opts.MaxFrame
+	if maxFrame <= 0 {
+		maxFrame = wire.DefaultMaxFrame
+	}
+	return &Door{
+		srv:      srv,
+		ctl:      srv.AdmissionController(),
+		maxFrame: maxFrame,
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Close. It owns ln and always
+// returns a non-nil error (net.ErrClosed after a clean Close).
+func (d *Door) Serve(ln net.Listener) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	d.ln = ln
+	d.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			c.Close()
+			return net.ErrClosed
+		}
+		d.conns[c] = struct{}{}
+		d.wg.Add(1)
+		d.mu.Unlock()
+		go d.serveConn(c)
+	}
+}
+
+// Close stops accepting, closes every open connection, and waits for
+// the connection goroutines to drain. Safe to call more than once.
+func (d *Door) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		d.wg.Wait()
+		return
+	}
+	d.closed = true
+	ln := d.ln
+	for c := range d.conns {
+		c.Close()
+	}
+	d.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	d.wg.Wait()
+}
+
+// Kill abruptly closes every open connection (the listener keeps
+// accepting) — the chaos hook that simulates a replica dropping its
+// clients mid-batch without a graceful shutdown.
+func (d *Door) Kill() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for c := range d.conns {
+		c.Close()
+	}
+}
+
+// Stats returns the door's traffic counters.
+func (d *Door) Stats() Stats {
+	d.mu.Lock()
+	conns := len(d.conns)
+	d.mu.Unlock()
+	return Stats{
+		Frames:       d.frames.Load(),
+		Queries:      d.queries.Load(),
+		BadFrames:    d.badFrames.Load(),
+		GossipMerged: d.gossipMerged.Load(),
+		Conns:        conns,
+	}
+}
+
+// connState is the per-connection scratch: every buffer is reused
+// across frames, so a connection serving any number of batches settles
+// into zero allocations per frame — including frames that are entirely
+// shed by admission.
+type connState struct {
+	client  string // admission identity: remote host until a hello renames it
+	payload []byte
+	reply   []byte
+	qs      []wire.Query
+	rs      []wire.Result
+	pairs   [][2]graph.NodeID
+	out     []graph.Weight
+	errs    []error
+	gossip  []wire.GossipEntry
+}
+
+func (d *Door) serveConn(c net.Conn) {
+	defer d.wg.Done()
+	defer func() {
+		d.mu.Lock()
+		delete(d.conns, c)
+		d.mu.Unlock()
+		c.Close()
+	}()
+	st := &connState{client: remoteHost(c)}
+	br := bufio.NewReaderSize(c, 32<<10)
+	bw := bufio.NewWriterSize(c, 32<<10)
+	for {
+		kind, payload, err := wire.ReadFrame(br, &st.payload, d.maxFrame)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				d.badFrames.Add(1)
+			}
+			return
+		}
+		switch kind {
+		case wire.FrameHello:
+			name, err := wire.ParseHello(payload)
+			if err != nil {
+				d.badFrames.Add(1)
+				return
+			}
+			if name != "" {
+				st.client = name
+			}
+		case wire.FrameGossip:
+			if !d.mergeGossip(st, payload) {
+				d.badFrames.Add(1)
+				return
+			}
+		case wire.FrameRequest:
+			id, qs, err := wire.ParseRequest(payload, st.qs[:0])
+			if err != nil {
+				d.badFrames.Add(1)
+				return
+			}
+			st.qs = qs
+			d.frames.Add(1)
+			d.queries.Add(uint64(len(qs)))
+			d.answer(st, id, qs)
+			frame, err := wire.AppendReply(st.reply[:0], id, st.rs)
+			if err != nil {
+				// Only possible for an over-long path; drop the
+				// connection rather than desync the stream.
+				d.badFrames.Add(1)
+				return
+			}
+			st.reply = frame
+			if _, err := bw.Write(frame); err != nil {
+				return
+			}
+			if br.Buffered() > 0 {
+				continue // more pipelined frames queued; flush once drained
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		default:
+			// ParseReply-only kinds (FrameReply) are client-bound;
+			// receiving one here is a protocol violation.
+			d.badFrames.Add(1)
+			return
+		}
+	}
+}
+
+// answer resolves one request frame into st.rs, reusing its storage.
+// All-distance frames of more than one query take the batched queue
+// door so shard coalescing engages across the frame.
+func (d *Door) answer(st *connState, id uint64, qs []wire.Query) {
+	if cap(st.rs) < len(qs) {
+		st.rs = make([]wire.Result, len(qs))
+		st.pairs = make([][2]graph.NodeID, len(qs))
+		st.out = make([]graph.Weight, len(qs))
+		st.errs = make([]error, len(qs))
+	}
+	st.rs = st.rs[:len(qs)]
+	allDist := true
+	for i := range qs {
+		if qs[i].Kind != wire.QDist {
+			allDist = false
+			break
+		}
+	}
+	if allDist && len(qs) > 1 {
+		pairs, out, errs := st.pairs[:len(qs)], st.out[:len(qs)], st.errs[:len(qs)]
+		for i := range qs {
+			pairs[i] = [2]graph.NodeID{qs[i].U, qs[i].V}
+		}
+		d.srv.TryQueryBatch(st.client, pairs, out, errs)
+		for i := range qs {
+			st.rs[i] = wire.Result{Kind: wire.QDist, Status: statusFor(errs[i]), Dist: out[i], Far: -1}
+		}
+		return
+	}
+	n := graph.NodeID(d.srv.Meta().Vertices)
+	for i := range qs {
+		st.rs[i] = d.answerOne(st, qs[i], n, i)
+	}
+}
+
+// answerOne resolves a single query of any kind. Path and eccentricity
+// queries validate their vertices against the served snapshot first —
+// distance queries need not (out-of-range answers Infinity by index
+// contract), but a path backend is entitled to in-range input.
+func (d *Door) answerOne(st *connState, q wire.Query, n graph.NodeID, slot int) wire.Result {
+	r := wire.Result{Kind: q.Kind, Status: wire.StatusOK, Dist: graph.Infinity, Far: -1}
+	switch q.Kind {
+	case wire.QDist:
+		dist, err := d.srv.TryQuery(st.client, q.U, q.V)
+		r.Dist, r.Status = dist, statusFor(err)
+	case wire.QPath:
+		if q.U < 0 || q.U >= n || q.V < 0 || q.V >= n {
+			r.Status = wire.StatusBadRequest
+			return r
+		}
+		// Reuse the previous frame's path storage at this slot.
+		var dst []graph.NodeID
+		if slot < cap(st.rs) {
+			dst = st.rs[:cap(st.rs)][slot].Path[:0]
+		}
+		path, err := d.srv.TryPath(st.client, q.U, q.V, dst)
+		r.Path, r.Status = path, statusFor(err)
+	case wire.QEcc:
+		if q.U < 0 || q.U >= n {
+			r.Status = wire.StatusBadRequest
+			return r
+		}
+		far, ecc, err := d.srv.TryFarthest(st.client, q.U)
+		r.Far, r.Dist, r.Status = far, ecc, statusFor(err)
+	}
+	return r
+}
+
+// mergeGossip folds a peer's bucket deltas into the local admission
+// controller. Frames whose controller shape or seed disagree with ours
+// are protocol violations — merging across hash geometries would
+// throttle unrelated flows.
+func (d *Door) mergeGossip(st *connState, payload []byte) bool {
+	seed, levels, buckets, entries, err := wire.ParseGossip(payload, st.gossip[:0])
+	if err != nil {
+		return false
+	}
+	st.gossip = entries
+	if d.ctl == nil {
+		return true // no controller: gossip is valid but moot
+	}
+	if seed != d.ctl.Seed() || levels != d.ctl.Levels() || buckets != d.ctl.Buckets() {
+		return false
+	}
+	for _, e := range entries {
+		changed, err := d.ctl.MergeMax(int(e.Bucket), e.Prob)
+		if err != nil {
+			return false
+		}
+		if changed {
+			d.gossipMerged.Add(1)
+		}
+	}
+	return true
+}
+
+// statusFor maps the server error taxonomy onto wire status codes.
+func statusFor(err error) uint8 {
+	switch {
+	case err == nil:
+		return wire.StatusOK
+	case errors.Is(err, server.ErrOverloaded):
+		return wire.StatusOverloaded
+	case errors.Is(err, server.ErrTimeout):
+		return wire.StatusTimeout
+	case errors.Is(err, server.ErrBackendFault):
+		return wire.StatusBackendFault
+	case errors.Is(err, server.ErrUnsupported), errors.Is(err, hub.ErrNoParents):
+		return wire.StatusUnsupported
+	case errors.Is(err, server.ErrClosed):
+		return wire.StatusClosed
+	default:
+		return wire.StatusInternal
+	}
+}
+
+// remoteHost is the fallback admission identity of a connection that
+// never sent a hello: the remote address without the ephemeral port,
+// so reconnecting does not reset a flow's admission state.
+func remoteHost(c net.Conn) string {
+	addr := c.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}

@@ -1,0 +1,132 @@
+package netserve
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"hublab/internal/flowctl"
+	"hublab/internal/wire"
+)
+
+// Gossiper periodically ships the local admission controller's bucket
+// state to a static set of peer binary doors. Each round sends the
+// buckets that rose since the last successful round (the deltas); every
+// refreshEvery-th round sends all nonzero buckets instead, so a peer
+// that restarted — or a round lost to a dropped connection — heals
+// without any acknowledgement protocol. Max-merge on the receiving side
+// makes resends idempotent and ordering irrelevant.
+type Gossiper struct {
+	ctl   *flowctl.Controller
+	peers []string
+	every time.Duration
+
+	mu      sync.Mutex
+	conns   map[string]net.Conn
+	cur     []uint32
+	last    []uint32
+	entries []wire.GossipEntry
+	buf     []byte
+	round   int
+
+	sent   uint64
+	failed uint64
+}
+
+// refreshEvery is the cadence of full-state rounds (see type comment).
+const refreshEvery = 10
+
+// NewGossiper returns a gossiper that ships ctl's state to the peer
+// addresses (host:port of their binary doors). It dials lazily and
+// re-dials dropped peers on the next round.
+func NewGossiper(ctl *flowctl.Controller, peers []string, every time.Duration) *Gossiper {
+	if every <= 0 {
+		every = 100 * time.Millisecond
+	}
+	return &Gossiper{
+		ctl:   ctl,
+		peers: peers,
+		every: every,
+		conns: make(map[string]net.Conn),
+		last:  make([]uint32, ctl.Levels()*ctl.Buckets()),
+	}
+}
+
+// Run gossips until stop closes, then hangs up on every peer.
+func (g *Gossiper) Run(stop <-chan struct{}) {
+	t := time.NewTicker(g.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			g.mu.Lock()
+			for addr, c := range g.conns {
+				c.Close()
+				delete(g.conns, addr)
+			}
+			g.mu.Unlock()
+			return
+		case <-t.C:
+			g.Tick()
+		}
+	}
+}
+
+// Tick runs one gossip round: snapshot, diff, send. Exported so tests
+// and single-shot tools can drive rounds without the ticker.
+func (g *Gossiper) Tick() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cur = g.ctl.Snapshot(g.cur[:0])
+	full := g.round%refreshEvery == 0
+	g.round++
+	g.entries = g.entries[:0]
+	for i, p := range g.cur {
+		if p == 0 {
+			continue
+		}
+		if full || p > g.last[i] {
+			g.entries = append(g.entries, wire.GossipEntry{Bucket: uint32(i), Prob: p})
+		}
+	}
+	if len(g.entries) == 0 {
+		return
+	}
+	frame, err := wire.AppendGossip(g.buf[:0], g.ctl.Seed(), g.ctl.Levels(), g.ctl.Buckets(), g.entries)
+	if err != nil {
+		return // impossible for a well-shaped controller; drop the round
+	}
+	g.buf = frame
+	delivered := false
+	for _, addr := range g.peers {
+		c := g.conns[addr]
+		if c == nil {
+			c, err = net.DialTimeout("tcp", addr, g.every)
+			if err != nil {
+				g.failed++
+				continue
+			}
+			g.conns[addr] = c
+		}
+		c.SetWriteDeadline(time.Now().Add(g.every))
+		if _, err := c.Write(frame); err != nil {
+			c.Close()
+			delete(g.conns, addr)
+			g.failed++
+			continue
+		}
+		delivered = true
+		g.sent++
+	}
+	if delivered {
+		copy(g.last, g.cur)
+	}
+}
+
+// Stats reports gossip rounds delivered per peer-send and send
+// failures (dial errors, write errors).
+func (g *Gossiper) Stats() (sent, failed uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sent, g.failed
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package netserve
+
+// raceEnabled reports whether the race detector is compiled in (see
+// the server package's note on race-mode sync.Pool behavior).
+const raceEnabled = true

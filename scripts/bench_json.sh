@@ -11,13 +11,14 @@
 # (E17), serving-throughput (E18), admission-control (E19),
 # path/eccentricity (E20), zero-copy mmap (E21), disabled-faultinject
 # overhead (E22), build-pipeline (E23), compressed-serving (E24) and
-# skewed-serving (E25) series. The E25 gallop-crossover rows live in
+# skewed-serving (E25) and network-door (E26) series. The E25
+# gallop-crossover rows live in
 # package internal/hub (they time unexported kernels directly), so a
 # second fixed pass collects them alongside the root-package run.
 set -eu
 
 PR="${1:?usage: bench_json.sh PR_NUMBER [BENCH_REGEX]}"
-REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*|BenchmarkE21.*|BenchmarkE22.*|BenchmarkE23.*|BenchmarkE24.*|BenchmarkE25.*}"
+REGEX="${2:-BenchmarkE10Query.*|BenchmarkE17.*|BenchmarkE18.*|BenchmarkE19.*|BenchmarkE20.*|BenchmarkE21.*|BenchmarkE22.*|BenchmarkE23.*|BenchmarkE24.*|BenchmarkE25.*|BenchmarkE26.*}"
 OUT="BENCH_pr${PR}.json"
 cd "$(dirname "$0")/.."
 
